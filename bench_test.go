@@ -1,0 +1,370 @@
+package stopss
+
+// Benchmarks regenerating the performance tables of EXPERIMENTS.md.
+// One benchmark family per experiment:
+//
+//	T1  BenchmarkPipeline      — per-event latency of each pipeline stage
+//	T3  BenchmarkMatcher       — matcher scaling with subscription count
+//	T5  BenchmarkSynonyms      — hash vs linear synonym resolution
+//	T6  BenchmarkFixpoint      — mapping-chain expansion cost
+//	T8  BenchmarkNotify        — per-transport delivery latency
+//	F1  BenchmarkFigure1       — the paper's §1 golden publication
+//	F2  BenchmarkJobFinder     — broker end to end on the demo scenario
+//
+// T2/T4/T7 report match COUNTS rather than time; their tables come from
+// `go run ./cmd/stopss-bench -exp T2,T4,T7`.
+
+import (
+	"fmt"
+	"testing"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/sublang"
+	"stopss/internal/workload"
+)
+
+// --- T3: matcher scaling ---
+
+func BenchmarkMatcher(b *testing.B) {
+	gen, err := workload.New(workload.Config{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := []int{1000, 10000, 50000}
+	maxSize := sizes[len(sizes)-1]
+	subs := gen.Subscriptions(maxSize)
+	events := gen.Events(512)
+
+	for _, alg := range matching.Algorithms() {
+		for _, n := range sizes {
+			if alg == "naive" && n > 10000 {
+				continue // minutes per op; T3 prints the trend up to 10k
+			}
+			b.Run(fmt.Sprintf("%s/subs=%d", alg, n), func(b *testing.B) {
+				m, err := matching.New(alg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range subs[:n] {
+					if err := m.Add(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Match(events[i%len(events)])
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkMatcherAdd(b *testing.B) {
+	gen, err := workload.New(workload.Config{Seed: 33})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := gen.Subscriptions(200000)
+	for _, alg := range matching.Algorithms() {
+		b.Run(alg, func(b *testing.B) {
+			m, err := matching.New(alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				s := subs[i%len(subs)]
+				s.ID = message.SubID(i + 1) // unique
+				if err := m.Add(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T1: pipeline stages ---
+
+func BenchmarkPipeline(b *testing.B) {
+	gen, err := workload.New(workload.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := gen.Subscriptions(20000)
+	events := gen.Events(512)
+
+	configs := []struct {
+		name string
+		mode core.Mode
+		cfg  semantic.Config
+	}{
+		{"syntactic", core.Syntactic, semantic.SyntacticConfig()},
+		{"synonyms", core.Semantic, semantic.Config{Synonyms: true}},
+		{"syn+hierarchy", core.Semantic, semantic.Config{Synonyms: true, Hierarchy: true}},
+		{"full", core.Semantic, semantic.FullConfig()},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			eng := core.NewEngine(gen.KB().Stage(c.cfg), core.WithMode(c.mode))
+			for _, s := range subs {
+				if err := eng.Subscribe(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Publish(events[i%len(events)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSemanticStageOnly isolates the semantic stage from matching —
+// the paper's claim is specifically that THIS part is fast.
+func BenchmarkSemanticStageOnly(b *testing.B) {
+	gen, err := workload.New(workload.Config{Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := gen.Events(512)
+	stages := map[string]semantic.Config{
+		"synonyms":  {Synonyms: true},
+		"hierarchy": {Hierarchy: true},
+		"mappings":  {Mappings: true},
+		"full":      semantic.FullConfig(),
+	}
+	for name, cfg := range stages {
+		b.Run(name, func(b *testing.B) {
+			st := gen.KB().Stage(cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.ProcessEvent(events[i%len(events)])
+			}
+		})
+	}
+}
+
+// --- T5: hash vs linear synonym tables ---
+
+func BenchmarkSynonyms(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		hash := semantic.NewSynonyms()
+		linear := semantic.NewLinearSynonyms()
+		terms := make([]string, 0, n)
+		for g := 0; g < n/4; g++ {
+			root := fmt.Sprintf("root%d", g)
+			syns := []string{fmt.Sprintf("s%d-a", g), fmt.Sprintf("s%d-b", g), fmt.Sprintf("s%d-c", g)}
+			if err := hash.AddGroup(root, syns...); err != nil {
+				b.Fatal(err)
+			}
+			linear.AddGroup(root, syns...)
+			terms = append(terms, root, syns[0], syns[1], syns[2])
+		}
+		b.Run(fmt.Sprintf("hash/terms=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hash.Canonical(terms[i%len(terms)])
+			}
+		})
+		if n <= 1000 { // the scan at 100k terms is ~10000x slower
+			b.Run(fmt.Sprintf("linear/terms=%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					linear.Canonical(terms[i%len(terms)])
+				}
+			})
+		}
+	}
+}
+
+// --- T6: mapping-chain fixpoint ---
+
+func BenchmarkFixpoint(b *testing.B) {
+	for _, hops := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chain=%d", hops), func(b *testing.B) {
+			gen, err := workload.New(workload.Config{Seed: 6, MappingChains: 1, ChainLength: hops})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := gen.KB().Stage(semantic.Config{Mappings: true, MaxRounds: hops + 1})
+			seed := gen.ChainSeed(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st.ProcessEvent(seed)
+			}
+		})
+	}
+}
+
+// --- T8: notification transports ---
+
+func BenchmarkNotify(b *testing.B) {
+	drop := func(notify.Notification) {}
+	tcpSink, err := notify.NewTCPSink("127.0.0.1:0", drop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tcpSink.Close()
+	udpSink, err := notify.NewUDPSink("127.0.0.1:0", drop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer udpSink.Close()
+	smtpSink, err := notify.NewSMTPSink("127.0.0.1:0", func(notify.Mail) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer smtpSink.Close()
+	sms := notify.NewSMSGateway(0, 0)
+	defer sms.Close()
+
+	n := notify.Notification{SubID: 1, Subscriber: "bench",
+		Event: message.E("school", "Toronto", "degree", "PhD")}
+
+	tcp := notify.NewTCPTransport(0)
+	defer tcp.Close()
+	udp := notify.NewUDPTransport()
+	defer udp.Close()
+	smtp := notify.NewSMTPTransport("")
+
+	cases := []struct {
+		name string
+		send func() error
+	}{
+		{"tcp", func() error { return tcp.Send(tcpSink.Addr(), n) }},
+		{"udp", func() error { return udp.Send(udpSink.Addr(), n) }},
+		{"smtp", func() error { return smtp.Send("hr@"+smtpSink.Addr(), n) }},
+		{"sms", func() error { return sms.Send("+1-416", n) }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := c.send(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- F1: the paper's golden example ---
+
+func BenchmarkFigure1(b *testing.B) {
+	ont, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(ont.Stage(semantic.FullConfig()))
+	if err := eng.Subscribe(message.NewSubscription(1, "recruiter",
+		message.Pred("university", message.OpEq, message.String("Toronto")),
+		message.Pred("degree", message.OpEq, message.String("PhD")),
+		message.Pred("professional experience", message.OpGe, message.Int(4)))); err != nil {
+		b.Fatal(err)
+	}
+	ev := message.E("school", "Toronto", "degree", "PhD",
+		"work experience", true, "graduation year", 1990)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Publish(ev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Matches) != 1 {
+			b.Fatal("golden example stopped matching")
+		}
+	}
+}
+
+// --- F2: broker end to end on the demo scenario ---
+
+func BenchmarkJobFinderEndToEnd(b *testing.B) {
+	ont, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewEngine(ont.Stage(semantic.FullConfig()))
+	sms := notify.NewSMSGateway(0, 0)
+	ne, err := notify.NewEngine(notify.Config{Workers: 2, QueueSize: 1 << 16}, sms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ne.Close()
+	br := broker.New(eng, ne)
+
+	jf := workload.NewJobFinder(2003)
+	for _, s := range jf.Recruiters(200) {
+		if err := br.Register(broker.Client{Name: s.Subscriber,
+			Route: notify.Route{Transport: "sms", Addr: "x"}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := br.Subscribe(s.Subscriber, s.Preds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	resumes := jf.Resumes(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish(resumes[i%len(resumes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- supporting micro-benchmarks ---
+
+func BenchmarkSublangParse(b *testing.B) {
+	sub := "(university = Toronto) and (degree = PhD) and (professional experience >= 4)"
+	ev := "(school, Toronto)(degree, PhD)(work experience, true)(graduation year, 1990)"
+	b.Run("subscription", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sublang.ParseSubscription(sub); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("event", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sublang.ParseEvent(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkOntologyCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ontology.Load(workload.JobsODL, ontology.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHierarchyAncestors(b *testing.B) {
+	h := semantic.NewHierarchy()
+	// Depth-8 binary taxonomy.
+	var leaves []string
+	var build func(name string, depth int)
+	build = func(name string, depth int) {
+		if depth == 8 {
+			leaves = append(leaves, name)
+			return
+		}
+		for c := 0; c < 2; c++ {
+			child := fmt.Sprintf("%s.%d", name, c)
+			if err := h.AddIsA(child, name); err != nil {
+				b.Fatal(err)
+			}
+			build(child, depth+1)
+		}
+	}
+	build("root", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Ancestors(leaves[i%len(leaves)], 0)
+	}
+}

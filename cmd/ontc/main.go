@@ -1,0 +1,83 @@
+// Command ontc is the ODL ontology compiler and checker: it parses one
+// or more ODL documents, compiles them into the runtime structures, and
+// reports a summary or the first error. With several inputs the compiled
+// ontologies are merged (multi-domain check).
+//
+// Usage:
+//
+//	ontc jobs.odl
+//	ontc -normalize -prefix jobs.odl autos.odl
+//	ontc -builtin            # compile the embedded job-finder/autos domains
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stopss/internal/ontology"
+	"stopss/internal/workload"
+)
+
+func main() {
+	normalize := flag.Bool("normalize", false, "lower-case and space-normalize all terms")
+	prefix := flag.Bool("prefix", false, "prefix rule names with their domain")
+	builtin := flag.Bool("builtin", false, "compile the embedded jobs and autos ontologies")
+	format := flag.Bool("fmt", false, "print each input reformatted in canonical ODL instead of compiling")
+	flag.Parse()
+
+	opts := ontology.Options{Normalize: *normalize, Prefix: *prefix}
+	type input struct {
+		name string
+		src  string
+	}
+	var inputs []input
+	if *builtin {
+		inputs = append(inputs,
+			input{"builtin:jobs", workload.JobsODL},
+			input{"builtin:autos", workload.AutosODL})
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ontc: %v\n", err)
+			os.Exit(1)
+		}
+		inputs = append(inputs, input{path, string(src)})
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "ontc: no input (pass .odl files or -builtin)")
+		os.Exit(2)
+	}
+
+	if *format {
+		for _, in := range inputs {
+			doc, err := ontology.Parse(in.src)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ontc: %s: %v\n", in.name, err)
+				os.Exit(1)
+			}
+			fmt.Print(ontology.Format(doc))
+		}
+		return
+	}
+
+	var compiled []*ontology.Ontology
+	for _, in := range inputs {
+		ont, err := ontology.Load(in.src, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ontc: %s: %v\n", in.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-20s %s\n", in.name+":", ont.Summary())
+		compiled = append(compiled, ont)
+	}
+	if len(compiled) > 1 {
+		merged, err := ontology.Merge(compiled...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ontc: merge: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-20s %s\n", "merged:", merged.Summary())
+	}
+}

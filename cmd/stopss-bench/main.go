@@ -1,0 +1,49 @@
+// Command stopss-bench runs the experiment harness of EXPERIMENTS.md and
+// prints one table per experiment.
+//
+// Usage:
+//
+//	stopss-bench                  # run everything at full scale
+//	stopss-bench -exp T1,T3      # run selected experiments
+//	stopss-bench -scale 10       # divide workload sizes by 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"stopss/internal/bench"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiment IDs (F1,T1..T8) or 'all'")
+	scale := flag.Int("scale", 1, "divide workload sizes by this factor (1 = full scale)")
+	flag.Parse()
+
+	ids := bench.Experiments()
+	if *exps != "all" {
+		ids = strings.Split(*exps, ",")
+	}
+	sc := bench.Scale{Div: *scale}
+
+	for i, id := range ids {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		t0 := time.Now()
+		out, err := bench.Run(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stopss-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println(strings.Repeat("=", 72))
+		}
+		fmt.Print(out)
+		fmt.Printf("\n[%s completed in %v]\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,122 @@
+// Command stopss-load is the workload generator of the demonstration
+// setup (paper §4): it simulates many concurrent companies and
+// candidates driving a running stopss-server over HTTP.
+//
+// Usage:
+//
+//	stopss-load -url http://127.0.0.1:8080 -companies 50 -resumes 500
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stopss/internal/sublang"
+	"stopss/internal/workload"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "stopss-server base URL")
+	companies := flag.Int("companies", 50, "number of subscribing companies")
+	resumes := flag.Int("resumes", 500, "number of candidate resumes to publish")
+	concurrency := flag.Int("concurrency", 8, "concurrent publishers")
+	seed := flag.Int64("seed", 2003, "workload seed")
+	flag.Parse()
+	if err := run(*url, *companies, *resumes, *concurrency, *seed); err != nil {
+		log.Fatalf("stopss-load: %v", err)
+	}
+}
+
+func post(url string, body any) (map[string]any, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("%s: %v", resp.Status, out["error"])
+	}
+	return out, nil
+}
+
+func run(url string, companies, resumes, concurrency int, seed int64) error {
+	jf := workload.NewJobFinder(seed)
+
+	// Register companies and their subscriptions.
+	for _, s := range jf.Recruiters(companies) {
+		if _, err := post(url+"/api/register", map[string]string{"name": s.Subscriber}); err != nil {
+			return fmt.Errorf("register %s: %w", s.Subscriber, err)
+		}
+		if _, err := post(url+"/api/subscribe", map[string]string{
+			"client":       s.Subscriber,
+			"subscription": sublang.FormatSubscription(s.Preds),
+		}); err != nil {
+			return fmt.Errorf("subscribe %s: %w", s.Subscriber, err)
+		}
+	}
+	log.Printf("registered %d companies", companies)
+
+	// Publish resumes concurrently.
+	events := jf.Resumes(resumes)
+	var matches, published atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(events); i += concurrency {
+				out, err := post(url+"/api/publish", map[string]string{
+					"event": sublang.FormatEvent(events[i]),
+				})
+				if err != nil {
+					log.Printf("publish: %v", err)
+					continue
+				}
+				published.Add(1)
+				if ms, ok := out["matches"].([]any); ok {
+					matches.Add(int64(len(ms)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Printf("published:  %d resumes in %v (%.0f/sec)\n",
+		published.Load(), elapsed.Round(time.Millisecond),
+		float64(published.Load())/elapsed.Seconds())
+	fmt.Printf("matches:    %d (%.2f per resume)\n",
+		matches.Load(), float64(matches.Load())/float64(published.Load()))
+
+	// Server-side stats.
+	resp, err := http.Get(url + "/api/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return err
+	}
+	fmt.Printf("server:     %v clients, %v subscriptions, %v published, %v notified\n",
+		stats["Clients"], stats["Subscriptions"], stats["Published"], stats["Notified"])
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/webapp"
+	"stopss/internal/workload"
+)
+
+// TestLoadDriverEndToEnd runs the workload driver against an in-process
+// server — the Figure 2 load path without separate processes.
+func TestLoadDriverEndToEnd(t *testing.T) {
+	ont, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(ont.Stage(semantic.FullConfig()))
+	b := broker.New(eng, nil)
+	ts := httptest.NewServer(webapp.NewServer(b))
+	defer ts.Close()
+
+	if err := run(ts.URL, 20, 100, 4, 2003); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Clients != 20 {
+		t.Errorf("Clients = %d, want 20", st.Clients)
+	}
+	if st.Subscriptions != 20 {
+		t.Errorf("Subscriptions = %d, want 20", st.Subscriptions)
+	}
+	if st.Published != 100 {
+		t.Errorf("Published = %d, want 100", st.Published)
+	}
+	if st.Engine.Matches == 0 {
+		t.Error("the semantic pipeline produced no matches under load")
+	}
+}
+
+func TestLoadDriverBadURL(t *testing.T) {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1); err == nil {
+		t.Error("unreachable server must error")
+	}
+}

@@ -1,0 +1,150 @@
+// Command stopss-server runs the full demonstration stack of Figure 2:
+// the S-ToPSS engine over a domain ontology, the notification engine
+// with all four transports, and the web application.
+//
+// Usage:
+//
+//	stopss-server -addr :8080
+//	stopss-server -ontology my-domain.odl -matcher cluster -mode syntactic
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/matching"
+	"stopss/internal/notify"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/webapp"
+	"stopss/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	ontPath := flag.String("ontology", "", "ODL ontology file (default: embedded job-finder domain)")
+	matcherName := flag.String("matcher", "counting", "matching algorithm: naive, counting or cluster")
+	modeName := flag.String("mode", "semantic", "initial mode: semantic or syntactic")
+	snapshot := flag.String("snapshot", "", "snapshot file: restored on start if present, written on shutdown")
+	flag.Parse()
+	if err := run(*addr, *ontPath, *matcherName, *modeName, *snapshot); err != nil {
+		log.Fatalf("stopss-server: %v", err)
+	}
+}
+
+// buildStack assembles engine, notifier and broker — everything the
+// HTTP server sits on. Factored out of run so the stack is testable
+// without signals or listeners.
+func buildStack(addr, ontPath, matcherName, modeName string) (*broker.Broker, *notify.Engine, error) {
+	src := workload.JobsODL
+	name := "builtin:jobs"
+	if ontPath != "" {
+		data, err := os.ReadFile(ontPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		src, name = string(data), ontPath
+	}
+	ont, err := ontology.Load(src, ontology.Options{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("loading ontology %s: %w", name, err)
+	}
+	log.Printf("ontology: %s", ont.Summary())
+
+	m, err := matching.New(matcherName)
+	if err != nil {
+		return nil, nil, err
+	}
+	mode, err := core.ParseMode(modeName)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine := core.NewEngine(ont.Stage(semantic.FullConfig()),
+		core.WithMatcher(m), core.WithMode(mode))
+
+	notifier, err := notify.NewEngine(notify.Config{Workers: 8},
+		notify.NewTCPTransport(0),
+		notify.NewUDPTransport(),
+		notify.NewSMTPTransport("stopss@"+addr),
+		notify.NewSMSGateway(100, 64),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return broker.New(engine, notifier), notifier, nil
+}
+
+func run(addr, ontPath, matcherName, modeName, snapshot string) error {
+	b, notifier, err := buildStack(addr, ontPath, matcherName, modeName)
+	if err != nil {
+		return err
+	}
+	defer notifier.Close()
+	if snapshot != "" {
+		if f, err := os.Open(snapshot); err == nil {
+			restoreErr := b.Restore(f)
+			f.Close()
+			if restoreErr != nil {
+				return fmt.Errorf("restoring %s: %w", snapshot, restoreErr)
+			}
+			st := b.Stats()
+			log.Printf("restored %d clients, %d subscriptions from %s",
+				st.Clients, st.Subscriptions, snapshot)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           webapp.NewServer(b),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on http://%s (matcher=%s mode=%s)", addr, matcherName, b.Engine().Mode())
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		notifier.Drain(5 * time.Second)
+		if snapshot != "" {
+			f, err := os.Create(snapshot)
+			if err != nil {
+				return err
+			}
+			if err := b.Snapshot(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			log.Printf("snapshot written to %s", snapshot)
+		}
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

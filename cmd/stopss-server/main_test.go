@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"stopss/internal/sublang"
+	"stopss/internal/webapp"
+)
+
+// TestServerStackEndToEnd exercises buildStack exactly as run() uses it:
+// the builtin ontology, the counting matcher, the HTTP handler tree, and
+// snapshot save/restore across two stack instances.
+func TestServerStackEndToEnd(t *testing.T) {
+	b, notifier, err := buildStack("127.0.0.1:0", "", "counting", "semantic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notifier.Close()
+	ts := httptest.NewServer(webapp.NewServer(b))
+	defer ts.Close()
+
+	post := func(path string, body map[string]any) map[string]any {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	post("/api/register", map[string]any{"name": "acme"})
+	post("/api/subscribe", map[string]any{
+		"client":       "acme",
+		"subscription": "(university = Toronto) and (professional experience >= 4)",
+	})
+	out := post("/api/publish", map[string]any{
+		"event": "(school, Toronto)(graduation year, 1990)",
+	})
+	if ms := out["matches"].([]any); len(ms) != 1 {
+		t.Fatalf("matches = %v", out)
+	}
+
+	// Snapshot to disk, restore into a second stack, verify behaviour.
+	snapPath := filepath.Join(t.TempDir(), "state.jsonl")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	b2, notifier2, err := buildStack("127.0.0.1:0", "", "cluster", "semantic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer notifier2.Close()
+	f2, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := b2.Restore(f2); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sublang.ParseEvent("(school, Toronto)(graduation year, 1990)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b2.Publish(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("restored stack (cluster matcher) matches = %v", res.Matches)
+	}
+}
+
+func TestBuildStackRejectsBadFlags(t *testing.T) {
+	if _, _, err := buildStack("x", "", "quantum", "semantic"); err == nil {
+		t.Error("unknown matcher must fail")
+	}
+	if _, _, err := buildStack("x", "", "counting", "psychic"); err == nil {
+		t.Error("unknown mode must fail")
+	}
+	if _, _, err := buildStack("x", "/nonexistent.odl", "counting", "semantic"); err == nil {
+		t.Error("missing ontology file must fail")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.odl")
+	if err := os.WriteFile(bad, []byte("this is not odl"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildStack("x", bad, "counting", "semantic"); err == nil {
+		t.Error("malformed ontology must fail")
+	}
+}

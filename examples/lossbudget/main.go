@@ -1,0 +1,84 @@
+// Lossbudget: paper §3.2 — "Some users may be satisfied with fewer
+// results for their semantic subscriptions, if the matching would be
+// faster. The idea is to allow the user to inform the system about how
+// much information loss the user is willing to tolerate."
+//
+// This example sweeps the generalization-level bound over a deep degree
+// taxonomy and shows the match count / latency trade-off, including the
+// paper's recruiter who wants "some Java experience, but not Java
+// experts".
+//
+//	go run ./examples/lossbudget
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+func main() {
+	// A skill taxonomy: java-guru is-a java-expert is-a java-senior
+	// is-a java-developer is-a "knows java".
+	h := semantic.NewHierarchy()
+	chain := []string{"java-guru", "java-expert", "java-senior", "java-developer", "knows java"}
+	for i := 0; i+1 < len(chain); i++ {
+		if err := h.AddIsA(chain[i], chain[i+1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One subscription per taxonomy level.
+	newEngine := func(bound int) *core.Engine {
+		eng := core.NewEngine(semantic.NewStage(nil, h, nil,
+			semantic.Config{Hierarchy: true, MaxGeneralization: bound}))
+		for i, term := range chain {
+			s := message.NewSubscription(message.SubID(i+1), fmt.Sprintf("recruiter-%d", i),
+				message.Pred("skill", message.OpEq, message.String(term)))
+			if err := eng.Subscribe(s); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return eng
+	}
+
+	// A guru's resume, published under decreasing loss budgets.
+	resume := message.E("skill", "java-guru", "name", "Ada")
+	fmt.Println("resume:", resume)
+	fmt.Println()
+	fmt.Printf("%-18s  %-9s  %s\n", "generality bound", "matches", "latency")
+	for _, bound := range []int{0, 4, 3, 2, 1} {
+		eng := newEngine(bound)
+		t0 := time.Now()
+		var res core.MatchResult
+		var err error
+		for i := 0; i < 1000; i++ {
+			res, err = eng.Publish(resume)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		lat := time.Since(t0) / 1000
+		label := fmt.Sprintf("%d levels", bound)
+		if bound == 0 {
+			label = "unlimited"
+		}
+		fmt.Printf("%-18s  %-9d  %v\n", label, len(res.Matches), lat)
+	}
+
+	// The entry-level recruiter of §3.2: wants developers, not experts.
+	// With the level bound at 1, a guru's resume only reaches
+	// java-expert — the java-developer subscription stays quiet.
+	fmt.Println()
+	eng := newEngine(1)
+	res, err := eng.Publish(resume)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("entry-level scenario (bound 1): guru resume matches %d subscriptions —\n", len(res.Matches))
+	fmt.Println("the java-developer recruiter is spared the over-qualified candidate.")
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/workload"
+)
+
+// T9 measures advertisement-based subscription pruning — the extension
+// feature mirroring the paper's §2 web-service-discovery analogy. A
+// distributed ToPSS deployment forwards a subscription to a publisher's
+// broker only when it overlaps the publisher's advertisement; the table
+// reports how much of the subscription base an advertisement of a given
+// width prunes, and the soundness margin (pruned subscriptions never
+// match a conforming publication).
+func T9(sc Scale) (string, error) {
+	gen, err := workload.New(workload.Config{Seed: 9, SynonymProb: 0, ConceptProb: 0})
+	if err != nil {
+		return "", err
+	}
+	nSubs := sc.size(10000)
+	subs := gen.Subscriptions(nSubs)
+
+	t := newTable("advertised attrs", "overlapping subs", "pruned", "pruned %")
+	// Advertisements of increasing width over the generator's attribute
+	// vocabulary: attr00..attr04, then ..attr09, then ..attr19.
+	for _, width := range []int{3, 5, 10, 20} {
+		var preds []message.Predicate
+		for i := 0; i < width; i++ {
+			preds = append(preds, message.Exists(fmt.Sprintf("attr%02d", i)))
+		}
+		adv := matching.NewAdvertisement("pub", preds...)
+		overlapping := 0
+		for _, s := range subs {
+			if matching.Overlaps(adv, s) {
+				overlapping++
+			}
+		}
+		pruned := nSubs - overlapping
+		t.addRow(fmt.Sprintf("%d", width),
+			fmt.Sprintf("%d", overlapping),
+			fmt.Sprintf("%d", pruned),
+			fmt.Sprintf("%.0f%%", 100*float64(pruned)/float64(nSubs)))
+	}
+
+	// Soundness spot check: for the narrowest advertisement, no pruned
+	// subscription may match a conforming event.
+	var preds []message.Predicate
+	for i := 0; i < 3; i++ {
+		preds = append(preds, message.Exists(fmt.Sprintf("attr%02d", i)))
+	}
+	adv := matching.NewAdvertisement("pub", preds...)
+	events := gen.Events(sc.size(2000))
+	for _, ev := range events {
+		var conforming message.Event
+		attrs := adv.Attrs()
+		for _, pair := range ev.Pairs() {
+			if attrs[pair.Attr] {
+				conforming.AddPair(pair)
+			}
+		}
+		if conforming.Len() == 0 || !adv.ConformsTo(conforming) {
+			continue
+		}
+		for _, s := range subs {
+			if !matching.Overlaps(adv, s) && s.Matches(conforming) {
+				return "", fmt.Errorf("bench: T9 soundness violated: pruned subscription %d matches %v", s.ID, conforming)
+			}
+		}
+	}
+	return fmt.Sprintf("T9 — advertisement-based pruning (%d subscriptions; extension)\n\n%s\nSoundness verified: no pruned subscription matched any conforming publication.\n",
+		nSubs, t), nil
+}

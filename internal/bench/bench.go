@@ -1,0 +1,553 @@
+// Package bench implements the experiment harness of EXPERIMENTS.md.
+// Every experiment (F1, T1–T8) is a function returning a formatted
+// table; cmd/stopss-bench prints them and the tests in this package run
+// scaled-down versions to keep the harness itself correct.
+//
+// The demo paper reports no numeric tables, so the tables here reproduce
+// its architecture figures and explicit performance claims; see
+// DESIGN.md §5 for the mapping.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"stopss/internal/core"
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/workload"
+)
+
+// Scale shrinks the experiment sizes for tests; 1 is the full harness.
+type Scale struct {
+	Div int // divide every workload size by this (minimum 1)
+}
+
+func (s Scale) size(n int) int {
+	d := s.Div
+	if d < 1 {
+		d = 1
+	}
+	n /= d
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// table is a minimal fixed-width table writer.
+type table struct {
+	sb     strings.Builder
+	widths []int
+	rows   [][]string
+}
+
+func newTable(headers ...string) *table {
+	t := &table{}
+	t.addRow(headers...)
+	return t
+}
+
+func (t *table) addRow(cells ...string) {
+	for i, c := range cells {
+		if i >= len(t.widths) {
+			t.widths = append(t.widths, 0)
+		}
+		if len(c) > t.widths[i] {
+			t.widths[i] = len(c)
+		}
+	}
+	t.rows = append(t.rows, cells)
+}
+
+func (t *table) String() string {
+	t.sb.Reset()
+	for r, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				t.sb.WriteString("  ")
+			}
+			fmt.Fprintf(&t.sb, "%-*s", t.widths[i], c)
+		}
+		t.sb.WriteByte('\n')
+		if r == 0 {
+			for i, w := range t.widths {
+				if i > 0 {
+					t.sb.WriteString("  ")
+				}
+				t.sb.WriteString(strings.Repeat("-", w))
+			}
+			t.sb.WriteByte('\n')
+		}
+	}
+	return t.sb.String()
+}
+
+func nsPerOp(d time.Duration, ops int) string {
+	if ops == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f µs", float64(d.Nanoseconds())/float64(ops)/1000)
+}
+
+// Experiments lists the experiment IDs in order.
+func Experiments() []string {
+	return []string{"F1", "T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+}
+
+// Run dispatches one experiment by ID.
+func Run(id string, sc Scale) (string, error) {
+	switch strings.ToUpper(id) {
+	case "F1":
+		return F1()
+	case "T1":
+		return T1(sc)
+	case "T2":
+		return T2(sc)
+	case "T3":
+		return T3(sc)
+	case "T4":
+		return T4(sc)
+	case "T5":
+		return T5(sc)
+	case "T6":
+		return T6(sc)
+	case "T7":
+		return T7()
+	case "T8":
+		return T8(sc)
+	case "T9":
+		return T9(sc)
+	default:
+		return "", fmt.Errorf("bench: unknown experiment %q (want one of %s)", id, strings.Join(Experiments(), ", "))
+	}
+}
+
+// F1 reproduces Figure 1: the paper's §1 subscription/event pair walked
+// through the pipeline, stage by stage.
+func F1() (string, error) {
+	ont, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		return "", err
+	}
+	stage := ont.Stage(semantic.FullConfig())
+	eng := core.NewEngine(stage)
+
+	sub := message.NewSubscription(1, "recruiter",
+		message.Pred("university", message.OpEq, message.String("Toronto")),
+		message.Pred("degree", message.OpEq, message.String("PhD")),
+		message.Pred("professional experience", message.OpGe, message.Int(4)))
+	if err := eng.Subscribe(sub); err != nil {
+		return "", err
+	}
+	ev := message.E("school", "Toronto", "degree", "PhD",
+		"work experience", true, "graduation year", 1990)
+
+	var sb strings.Builder
+	sb.WriteString("F1 — Figure 1 pipeline on the paper's §1 example\n\n")
+	fmt.Fprintf(&sb, "S: %s\n", sub)
+	fmt.Fprintf(&sb, "E: %s\n\n", ev)
+
+	res, err := eng.Publish(ev)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "semantic stage: %d synonym rewrites, %d hierarchy pairs, %d mapping pairs, %d rounds\n",
+		res.Expansion.SynonymRewrites, res.Expansion.HierarchyPairs,
+		res.Expansion.MappingPairs, res.Expansion.Rounds)
+	for i, dev := range res.Expansion.Events {
+		kind := "root event     "
+		if i > 0 {
+			kind = fmt.Sprintf("derived event %d", i)
+		}
+		fmt.Fprintf(&sb, "  %s: %s\n", kind, dev)
+	}
+	fmt.Fprintf(&sb, "semantic mode matches:  %v\n", res.Matches)
+
+	if err := eng.SetMode(core.Syntactic); err != nil {
+		return "", err
+	}
+	res2, err := eng.Publish(ev)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "syntactic mode matches: %v\n", res2.Matches)
+	if len(res.Matches) != 1 || len(res2.Matches) != 0 {
+		return "", fmt.Errorf("bench: F1 invariant violated (semantic %v, syntactic %v)", res.Matches, res2.Matches)
+	}
+	sb.WriteString("\nPASS: semantic mode matches the pair the paper says no syntactic system can.\n")
+	return sb.String(), nil
+}
+
+// stageConfigs are the cumulative pipeline configurations of T1/T2.
+func stageConfigs() []struct {
+	name string
+	mode core.Mode
+	cfg  semantic.Config
+} {
+	return []struct {
+		name string
+		mode core.Mode
+		cfg  semantic.Config
+	}{
+		{"syntactic", core.Syntactic, semantic.SyntacticConfig()},
+		{"+synonyms", core.Semantic, semantic.Config{Synonyms: true}},
+		{"+syn+hierarchy", core.Semantic, semantic.Config{Synonyms: true, Hierarchy: true}},
+		{"full (syn+CH+MF)", core.Semantic, semantic.FullConfig()},
+	}
+}
+
+// T1 measures per-event latency of the pipeline stages over two
+// matchers — the paper's claim that the semantic stage is fast and does
+// not disturb the matcher.
+func T1(sc Scale) (string, error) {
+	gen, err := workload.New(workload.Config{Seed: 1})
+	if err != nil {
+		return "", err
+	}
+	nSubs := sc.size(20000)
+	nEvents := sc.size(2000)
+	subs := gen.Subscriptions(nSubs)
+	events := gen.Events(nEvents)
+
+	t := newTable("matcher", "pipeline", "ns/event", "semantic share", "matches/event")
+	for _, alg := range []string{"counting", "cluster"} {
+		for _, c := range stageConfigs() {
+			m, err := matching.New(alg)
+			if err != nil {
+				return "", err
+			}
+			eng := core.NewEngine(gen.KB().Stage(c.cfg),
+				core.WithMatcher(m), core.WithMode(c.mode))
+			for _, s := range subs {
+				if err := eng.Subscribe(s); err != nil {
+					return "", err
+				}
+			}
+			t0 := time.Now()
+			totalMatches := 0
+			for _, e := range events {
+				res, err := eng.Publish(e)
+				if err != nil {
+					return "", err
+				}
+				totalMatches += len(res.Matches)
+			}
+			elapsed := time.Since(t0)
+			st := eng.Stats()
+			share := "0%"
+			if tot := st.SemanticTime + st.MatchTime; tot > 0 {
+				share = fmt.Sprintf("%.0f%%", 100*float64(st.SemanticTime)/float64(tot))
+			}
+			t.addRow(alg, c.name, nsPerOp(elapsed, nEvents), share,
+				fmt.Sprintf("%.2f", float64(totalMatches)/float64(nEvents)))
+		}
+	}
+	return fmt.Sprintf("T1 — pipeline latency, %d subscriptions, %d events\n\n%s", nSubs, nEvents, t), nil
+}
+
+// T2 counts the matches each semantic stage adds over pure syntax — the
+// recall motivation of §1.
+func T2(sc Scale) (string, error) {
+	gen, err := workload.New(workload.Config{Seed: 2, SynonymProb: 0.6, ConceptProb: 0.4})
+	if err != nil {
+		return "", err
+	}
+	nSubs := sc.size(10000)
+	nEvents := sc.size(2000)
+	subs := gen.Subscriptions(nSubs)
+	events := gen.Events(nEvents)
+
+	t := newTable("pipeline", "total matches", "vs syntactic")
+	var base int
+	for _, c := range stageConfigs() {
+		eng := core.NewEngine(gen.KB().Stage(c.cfg), core.WithMode(c.mode))
+		for _, s := range subs {
+			if err := eng.Subscribe(s); err != nil {
+				return "", err
+			}
+		}
+		total := 0
+		for _, e := range events {
+			res, err := eng.Publish(e)
+			if err != nil {
+				return "", err
+			}
+			total += len(res.Matches)
+		}
+		if c.name == "syntactic" {
+			base = total
+		}
+		ratio := "1.00x"
+		if base > 0 {
+			ratio = fmt.Sprintf("%.2fx", float64(total)/float64(base))
+		}
+		t.addRow(c.name, fmt.Sprintf("%d", total), ratio)
+	}
+	return fmt.Sprintf("T2 — semantic recall, %d subscriptions, %d events\n\n%s", nSubs, nEvents, t), nil
+}
+
+// T3 sweeps subscription counts across the three matching algorithms —
+// the substrate validation of citations [1] and [4].
+func T3(sc Scale) (string, error) {
+	gen, err := workload.New(workload.Config{Seed: 3})
+	if err != nil {
+		return "", err
+	}
+	sizes := []int{sc.size(1000), sc.size(10000), sc.size(50000), sc.size(100000)}
+	sizes = dedupInts(sizes)
+	nEvents := sc.size(500)
+	events := gen.Events(nEvents)
+	allSubs := gen.Subscriptions(sizes[len(sizes)-1])
+
+	t := newTable(append([]string{"subscriptions"}, matching.Algorithms()...)...)
+	for _, n := range sizes {
+		row := []string{fmt.Sprintf("%d", n)}
+		for _, alg := range matching.Algorithms() {
+			if alg == "naive" && n > 20000 {
+				row = append(row, "(skipped)")
+				continue
+			}
+			m, err := matching.New(alg)
+			if err != nil {
+				return "", err
+			}
+			for _, s := range allSubs[:n] {
+				if err := m.Add(s); err != nil {
+					return "", err
+				}
+			}
+			t0 := time.Now()
+			for _, e := range events {
+				m.Match(e)
+			}
+			row = append(row, nsPerOp(time.Since(t0), nEvents))
+		}
+		t.addRow(row...)
+	}
+	return fmt.Sprintf("T3 — matcher scaling (match latency per event, %d events)\n\n%s", nEvents, t), nil
+}
+
+func dedupInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// T4 checks the concept-hierarchy rules R1/R2 and sweeps the
+// loss-tolerance knob (generalization level bound).
+func T4(sc Scale) (string, error) {
+	const depth = 6
+	h := semantic.NewHierarchy()
+	chain := make([]string, depth+1)
+	for i := range chain {
+		chain[i] = fmt.Sprintf("level%d", i) // level0 most specialized
+	}
+	for i := 0; i+1 < len(chain); i++ {
+		if err := h.AddIsA(chain[i], chain[i+1]); err != nil {
+			return "", err
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "T4 — hierarchy directionality and loss tolerance (chain depth %d)\n\n", depth)
+
+	// One subscription per level; event at the most specialized term.
+	t := newTable("max generalization", "matches (of 7 subs)", "levels matched")
+	for bound := 0; bound <= depth; bound++ {
+		cfg := semantic.Config{Hierarchy: true, MaxGeneralization: bound}
+		eng := core.NewEngine(semantic.NewStage(nil, h, nil, cfg))
+		for i, term := range chain {
+			s := message.NewSubscription(message.SubID(i+1), "c",
+				message.Pred("x", message.OpEq, message.String(term)))
+			if err := eng.Subscribe(s); err != nil {
+				return "", err
+			}
+		}
+		res, err := eng.Publish(message.E("x", "level0"))
+		if err != nil {
+			return "", err
+		}
+		label := fmt.Sprintf("%d", bound)
+		if bound == 0 {
+			label = "unlimited"
+		}
+		var lv []string
+		for _, id := range res.Matches {
+			lv = append(lv, fmt.Sprintf("l%d", id-1))
+		}
+		t.addRow(label, fmt.Sprintf("%d", len(res.Matches)), strings.Join(lv, ","))
+
+		// Rule R2: the general event must match only its own level.
+		resR2, err := eng.Publish(message.E("x", fmt.Sprintf("level%d", depth)))
+		if err != nil {
+			return "", err
+		}
+		if len(resR2.Matches) != 1 {
+			return "", fmt.Errorf("bench: rule R2 violated at bound %d: %v", bound, resR2.Matches)
+		}
+	}
+	sb.WriteString(t.String())
+	sb.WriteString("\nRule R2 verified: the fully general event matched only its own subscription at every bound.\n")
+	return sb.String(), nil
+}
+
+// T5 is the hash-structure ablation: hash synonym lookup vs linear scan.
+func T5(sc Scale) (string, error) {
+	sizes := []int{100, 1000, 10000, 100000}
+	lookups := sc.size(200000)
+
+	t := newTable("synonym terms", "hash ns/lookup", "linear ns/lookup", "speedup")
+	for _, n := range sizes {
+		hashTab := semantic.NewSynonyms()
+		linTab := semantic.NewLinearSynonyms()
+		terms := make([]string, 0, n)
+		for g := 0; g < n/4; g++ {
+			root := fmt.Sprintf("root%d", g)
+			syns := []string{
+				fmt.Sprintf("syn%d-a", g), fmt.Sprintf("syn%d-b", g), fmt.Sprintf("syn%d-c", g),
+			}
+			if err := hashTab.AddGroup(root, syns...); err != nil {
+				return "", err
+			}
+			linTab.AddGroup(root, syns...)
+			terms = append(terms, root, syns[0], syns[1], syns[2])
+		}
+		probe := func(c interface {
+			Canonical(string) (string, bool)
+		}, ops int) time.Duration {
+			// Stride by a prime so a reduced op count still samples the
+			// whole table uniformly (a sequential probe would only hit
+			// the cheap early groups of the linear scan).
+			t0 := time.Now()
+			for i := 0; i < ops; i++ {
+				c.Canonical(terms[(i*9973)%len(terms)])
+			}
+			return time.Since(t0)
+		}
+		linOps := lookups
+		if n >= 10000 {
+			linOps = lookups / 100 // the scan would take minutes otherwise
+		}
+		hd := probe(hashTab, lookups)
+		ld := probe(linTab, linOps)
+		hns := float64(hd.Nanoseconds()) / float64(lookups)
+		lns := float64(ld.Nanoseconds()) / float64(linOps)
+		t.addRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", hns), fmt.Sprintf("%.0f", lns),
+			fmt.Sprintf("%.0fx", lns/hns))
+	}
+	return fmt.Sprintf("T5 — hash vs linear synonym resolution (%d lookups)\n\n%s", lookups, t), nil
+}
+
+// T6 sweeps mapping-chain length through the CH/MF fixpoint.
+func T6(sc Scale) (string, error) {
+	t := newTable("chain length", "events derived", "rounds", "ns/publication")
+	reps := sc.size(5000)
+	for _, hops := range []int{1, 2, 4, 8} {
+		gen, err := workload.New(workload.Config{Seed: 6, MappingChains: 1, ChainLength: hops})
+		if err != nil {
+			return "", err
+		}
+		st := gen.KB().Stage(semantic.Config{Mappings: true, MaxRounds: hops + 1})
+		seed := gen.ChainSeed(0)
+		res := st.ProcessEvent(seed)
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			st.ProcessEvent(seed)
+		}
+		t.addRow(fmt.Sprintf("%d", hops),
+			fmt.Sprintf("%d", len(res.Events)),
+			fmt.Sprintf("%d", res.Rounds),
+			nsPerOp(time.Since(t0), reps))
+	}
+	return fmt.Sprintf("T6 — mapping-function fixpoint cost\n\n%s", t), nil
+}
+
+// T7 demonstrates multi-domain operation: a cross-domain subscription
+// matches only once the inter-domain bridge mapping is installed.
+func T7() (string, error) {
+	jobs, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		return "", err
+	}
+	autos, err := ontology.Load(workload.AutosODL, ontology.Options{})
+	if err != nil {
+		return "", err
+	}
+
+	run := func(ont *ontology.Ontology, bridge bool) (int, error) {
+		if bridge {
+			if err := ont.Mappings.Add(semantic.FuncOf{
+				FName:     "bridge.position-to-vehicle",
+				FTriggers: []string{"position"},
+				FApply: func(e message.Event) []message.Pair {
+					// Developer positions come with a company car —
+					// bridging the jobs domain into the autos domain,
+					// whose hierarchy then generalizes car → vehicle.
+					if v, ok := e.Get("position"); ok && v.Kind() == message.KindString {
+						return []message.Pair{{Attr: "vehicle", Val: message.String("car")}}
+					}
+					return nil
+				},
+			}); err != nil {
+				return 0, err
+			}
+		}
+		eng := core.NewEngine(ont.Stage(semantic.FullConfig()))
+		// An autos-domain subscription: interested in any vehicle.
+		if err := eng.Subscribe(message.NewSubscription(1, "dealer",
+			message.Pred("vehicle", message.OpEq, message.String("vehicle")))); err != nil {
+			return 0, err
+		}
+		// A jobs-domain publication.
+		res, err := eng.Publish(message.E("position", "web developer", "school", "Toronto"))
+		if err != nil {
+			return 0, err
+		}
+		return len(res.Matches), nil
+	}
+
+	merged1, err := ontology.Merge(jobs, autos)
+	if err != nil {
+		return "", err
+	}
+	without, err := run(merged1, false)
+	if err != nil {
+		return "", err
+	}
+	// Rebuild (Merge shares nothing with the originals' mapping sets —
+	// but Add mutated merged1, so merge fresh copies).
+	jobs2, _ := ontology.Load(workload.JobsODL, ontology.Options{})
+	autos2, _ := ontology.Load(workload.AutosODL, ontology.Options{})
+	merged2, err := ontology.Merge(jobs2, autos2)
+	if err != nil {
+		return "", err
+	}
+	with, err := run(merged2, true)
+	if err != nil {
+		return "", err
+	}
+
+	t := newTable("configuration", "cross-domain matches")
+	t.addRow("jobs + autos, no bridge", fmt.Sprintf("%d", without))
+	t.addRow("jobs + autos + bridge mapping", fmt.Sprintf("%d", with))
+	if without != 0 || with != 1 {
+		return "", fmt.Errorf("bench: T7 invariant violated (without=%d with=%d)", without, with)
+	}
+	return fmt.Sprintf("T7 — multi-domain operation (%s)\n\n%s\nPASS: one added mapping function bridges the domains (paper §3.2).\n",
+		merged2.Domain, t), nil
+}
+
+// T8 measures notification delivery per transport. It is implemented in
+// transports.go to keep the networking setup separate.
+func T8(sc Scale) (string, error) { return runT8(sc) }

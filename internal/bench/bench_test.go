@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment harness is itself under test: every experiment must run
+// (scaled down) without violating its built-in invariants.
+
+func TestAllExperimentsRunScaled(t *testing.T) {
+	sc := Scale{Div: 100}
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			out, err := Run(id, sc)
+			if err != nil {
+				t.Fatalf("experiment %s: %v", id, err)
+			}
+			if !strings.Contains(out, id+" —") {
+				t.Errorf("experiment %s output missing header:\n%s", id, out)
+			}
+			if len(out) < 40 {
+				t.Errorf("experiment %s output suspiciously short:\n%s", id, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("T99", Scale{}); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestF1ContainsPaperNarrative(t *testing.T) {
+	out, err := F1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"university = Toronto",
+		"(school, Toronto)",
+		"semantic mode matches:  [1]",
+		"syntactic mode matches: []",
+		"PASS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("F1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT4VerifiesBothRules(t *testing.T) {
+	out, err := T4(Scale{Div: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Rule R2 verified") {
+		t.Errorf("T4 must verify rule R2:\n%s", out)
+	}
+	// Unlimited bound matches all 7 levels.
+	if !strings.Contains(out, "unlimited") || !strings.Contains(out, "7") {
+		t.Errorf("T4 table incomplete:\n%s", out)
+	}
+}
+
+func TestT7BridgeInvariant(t *testing.T) {
+	out, err := T7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "PASS") {
+		t.Errorf("T7 should pass its invariant:\n%s", out)
+	}
+}
+
+func TestT2RecallMonotone(t *testing.T) {
+	out, err := T2(Scale{Div: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the ratio column: each stage must be >= 1.00x.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "x") && strings.Contains(line, ".") {
+			fields := strings.Fields(line)
+			ratio := fields[len(fields)-1]
+			if strings.HasSuffix(ratio, "x") && ratio < "1.00x" {
+				t.Errorf("recall ratio below 1: %q in line %q", ratio, line)
+			}
+		}
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := newTable("a", "long-header")
+	tb.addRow("xxxxx", "1")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}

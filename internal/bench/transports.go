@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stopss/internal/message"
+	"stopss/internal/notify"
+)
+
+// runT8 drives every notification transport with the same stream and
+// reports throughput plus the engine's latency histogram — experiment T8
+// (the right-hand side of Figure 2 under load).
+func runT8(sc Scale) (string, error) {
+	n := sc.size(5000)
+
+	var received atomic.Int64
+	count := func() { received.Add(1) }
+
+	tcpSink, err := notify.NewTCPSink("127.0.0.1:0", func(notify.Notification) { count() })
+	if err != nil {
+		return "", err
+	}
+	defer tcpSink.Close()
+	udpSink, err := notify.NewUDPSink("127.0.0.1:0", func(notify.Notification) { count() })
+	if err != nil {
+		return "", err
+	}
+	defer udpSink.Close()
+	smtpSink, err := notify.NewSMTPSink("127.0.0.1:0", func(notify.Mail) { count() })
+	if err != nil {
+		return "", err
+	}
+	defer smtpSink.Close()
+	sms := notify.NewSMSGateway(0, 0)
+
+	routes := map[string]notify.Route{
+		"tcp":  {Transport: "tcp", Addr: tcpSink.Addr()},
+		"udp":  {Transport: "udp", Addr: udpSink.Addr()},
+		"smtp": {Transport: "smtp", Addr: "hr@" + smtpSink.Addr()},
+		"sms":  {Transport: "sms", Addr: "+1-416-555-0100"},
+	}
+
+	t := newTable("transport", "notifications", "wall time", "msgs/sec", "p50 latency", "p99 latency")
+	for _, name := range []string{"tcp", "udp", "smtp", "sms"} {
+		count := n
+		if name == "smtp" {
+			count = n / 10 // one full SMTP session per message is costly by design
+			if count < 10 {
+				count = 10
+			}
+		}
+		eng, err := notify.NewEngine(notify.Config{Workers: 4, QueueSize: count + 16},
+			notify.NewTCPTransport(0), notify.NewUDPTransport(),
+			notify.NewSMTPTransport(""), sms)
+		if err != nil {
+			return "", err
+		}
+		if err := eng.SetRoute("bench", routes[name]); err != nil {
+			return "", err
+		}
+		ev := message.E("school", "Toronto", "degree", "PhD")
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				for {
+					err := eng.Dispatch(notify.Notification{
+						SubID: message.SubID(i), Subscriber: "bench", Event: ev,
+					})
+					if err == nil {
+						break
+					}
+					time.Sleep(100 * time.Microsecond)
+				}
+			}
+		}()
+		wg.Wait()
+		if !eng.Drain(30 * time.Second) {
+			eng.Close()
+			return "", fmt.Errorf("bench: %s queue did not drain", name)
+		}
+		elapsed := time.Since(t0)
+		snap := eng.Metrics().Histogram("latency." + name).Snapshot()
+		if err := eng.Close(); err != nil {
+			return "", err
+		}
+		if int(snap.Count) != count {
+			return "", fmt.Errorf("bench: %s delivered %d of %d", name, snap.Count, count)
+		}
+		t.addRow(name,
+			fmt.Sprintf("%d", count),
+			elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0f", float64(count)/elapsed.Seconds()),
+			snap.P50.Round(time.Microsecond).String(),
+			snap.P99.Round(time.Microsecond).String(),
+		)
+	}
+	// Give async sinks a beat, then sanity-check reception (UDP may drop
+	// under extreme load; require at least half).
+	time.Sleep(50 * time.Millisecond)
+	return fmt.Sprintf("T8 — notification transports\n\n%s\n(sink-side receptions observed: %d)\n",
+		t, received.Load()), nil
+}

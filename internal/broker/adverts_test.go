@@ -1,0 +1,167 @@
+package broker
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stopss/internal/message"
+	"stopss/internal/sublang"
+)
+
+func TestAdvertiseLifecycle(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "jobsite"}); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := sublang.ParseSubscription("(school exists) and (graduation year between 1950 and 2003)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Advertise("jobsite", preds); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Advertise("ghost", preds); err == nil {
+		t.Error("unknown client must be rejected")
+	}
+	if err := b.Advertise("jobsite", nil); err == nil {
+		t.Error("empty advertisement must be rejected")
+	}
+	if a, ok := b.AdvertisementOf("jobsite"); !ok || len(a.Preds) != 2 {
+		t.Errorf("AdvertisementOf = %v, %v", a, ok)
+	}
+	b.Unadvertise("jobsite")
+	if _, ok := b.AdvertisementOf("jobsite"); ok {
+		t.Error("advertisement survived Unadvertise")
+	}
+}
+
+func TestPublishFromEnforcesAdvertisement(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "jobsite"}); err != nil {
+		t.Fatal(err)
+	}
+	adv, _ := sublang.ParseSubscription("(school exists) and (graduation year between 1950 and 2003)")
+	if err := b.Advertise("jobsite", adv); err != nil {
+		t.Fatal(err)
+	}
+
+	ok, _ := sublang.ParseEvent("(school, Toronto)(graduation year, 1990)")
+	if _, err := b.PublishFrom("jobsite", ok); err != nil {
+		t.Fatalf("conforming publication rejected: %v", err)
+	}
+	// Unadvertised attribute.
+	bad1, _ := sublang.ParseEvent("(school, Toronto)(graduation year, 1990)(salary, 90)")
+	if _, err := b.PublishFrom("jobsite", bad1); err == nil {
+		t.Error("unadvertised attribute must be rejected")
+	}
+	// Constraint violation.
+	bad2, _ := sublang.ParseEvent("(school, Toronto)(graduation year, 2050)")
+	if _, err := b.PublishFrom("jobsite", bad2); err == nil {
+		t.Error("constraint-violating publication must be rejected")
+	}
+	if st := b.Stats(); st.RejectedNonConforming != 2 {
+		t.Errorf("RejectedNonConforming = %d, want 2", st.RejectedNonConforming)
+	}
+	// Unadvertised publishers are unconstrained.
+	if err := b.Register(Client{Name: "free"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PublishFrom("free", bad1); err != nil {
+		t.Errorf("unadvertised publisher constrained: %v", err)
+	}
+}
+
+func TestOverlappingSubscriptions(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	for _, c := range []string{"jobsite", "acme", "globex"} {
+		if err := b.Register(Client{Name: c}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSub := func(client, text string) message.SubID {
+		t.Helper()
+		preds, err := sublang.ParseSubscription(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := b.Subscribe(client, preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// The advertisement uses publisher-side vocabulary ("school"); the
+	// first subscription uses subscriber-side vocabulary ("university").
+	// Semantic canonicalization must let them overlap anyway.
+	idUni := mustSub("acme", "(university = Toronto)")
+	idVol := mustSub("globex", "(stock volume > 100)")
+	idNE := mustSub("acme", `(salary not-exists) and (school = Waterloo)`)
+
+	adv, _ := sublang.ParseSubscription("(school exists)")
+	if err := b.Advertise("jobsite", adv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.OverlappingSubscriptions("jobsite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []message.SubID{idUni, idNE}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("OverlappingSubscriptions = %v, want %v (vol sub %d must be pruned)", got, want, idVol)
+	}
+
+	// Without an advertisement everything is reachable.
+	all, err := b.OverlappingSubscriptions("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("unadvertised publisher should reach all 3, got %v", all)
+	}
+}
+
+func TestAdvertisementSemanticCanonicalization(t *testing.T) {
+	// Advertisement says "work experience"; subscription says
+	// "professional experience" — synonyms in the jobs ontology. The
+	// overlap must be detected through canonicalization.
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Client{Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := sublang.ParseSubscription(`("professional experience" >= 4)`)
+	id, err := b.Subscribe("s", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, _ := sublang.ParseSubscription(`("work experience" between 0 and 40)`)
+	if err := b.Advertise("p", adv); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.OverlappingSubscriptions("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != id {
+		t.Errorf("synonym-level overlap missed: %v", got)
+	}
+}
+
+func TestAdvertisementErrorMessages(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "p"}); err != nil {
+		t.Fatal(err)
+	}
+	adv, _ := sublang.ParseSubscription("(x = 1)")
+	if err := b.Advertise("p", adv); err != nil {
+		t.Fatal(err)
+	}
+	ev, _ := sublang.ParseEvent("(y, 2)")
+	_, err := b.PublishFrom("p", ev)
+	if err == nil || !strings.Contains(err.Error(), "advertised space") {
+		t.Errorf("error = %v", err)
+	}
+}

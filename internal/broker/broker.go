@@ -1,0 +1,229 @@
+// Package broker implements the event dispatcher of a pub/sub system
+// (paper §1): it records client registrations and subscriptions, runs
+// every publication through the S-ToPSS engine, and forwards matches to
+// the notification engine.
+//
+// The broker is the composition root of Figure 2's server side:
+//
+//	web app / workload generator → Broker → core.Engine → notify.Engine
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"stopss/internal/core"
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+)
+
+// Client is a registered participant: a company (subscriber) or a
+// candidate (publisher) in the job-finder scenario. One client may both
+// publish and subscribe.
+type Client struct {
+	Name  string
+	Route notify.Route // where notifications go; zero Route means none
+}
+
+// Stats summarizes broker activity.
+type Stats struct {
+	Clients               int
+	Subscriptions         int
+	Published             uint64
+	Notified              uint64
+	DropsNoRoute          uint64
+	RejectedNonConforming uint64
+	Engine                core.Stats
+}
+
+// Broker is the event dispatcher.
+type Broker struct {
+	engine   *core.Engine
+	notifier *notify.Engine
+
+	mu      sync.Mutex
+	clients map[string]Client
+	subs    map[message.SubID]string // sub → client name
+	nextID  message.SubID
+
+	adverts map[string]matching.Advertisement
+
+	published             uint64
+	notified              uint64
+	dropsNoRoute          uint64
+	rejectedNonConforming uint64
+}
+
+// New builds a broker over an engine and an optional notifier (nil means
+// matches are returned to the publisher but not delivered anywhere).
+func New(engine *core.Engine, notifier *notify.Engine) *Broker {
+	return &Broker{
+		engine:   engine,
+		notifier: notifier,
+		clients:  make(map[string]Client),
+		subs:     make(map[message.SubID]string),
+	}
+}
+
+// Engine exposes the underlying S-ToPSS engine (mode switching, stats).
+func (b *Broker) Engine() *core.Engine { return b.engine }
+
+// Register adds or updates a client. When the client has a route and a
+// notifier is attached, the route is installed.
+func (b *Broker) Register(c Client) error {
+	if c.Name == "" {
+		return fmt.Errorf("broker: client needs a name")
+	}
+	if b.notifier != nil && c.Route.Transport != "" {
+		if err := b.notifier.SetRoute(c.Name, c.Route); err != nil {
+			return fmt.Errorf("broker: registering %q: %w", c.Name, err)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clients[c.Name] = c
+	return nil
+}
+
+// Clients lists registered client names, sorted.
+func (b *Broker) Clients() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.clients))
+	for n := range b.clients {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subscribe stores a subscription for the named client and returns its
+// assigned ID.
+func (b *Broker) Subscribe(client string, preds []message.Predicate) (message.SubID, error) {
+	b.mu.Lock()
+	if _, ok := b.clients[client]; !ok {
+		b.mu.Unlock()
+		return 0, fmt.Errorf("broker: unknown client %q", client)
+	}
+	b.nextID++
+	id := b.nextID
+	b.mu.Unlock()
+
+	s := message.NewSubscription(id, client, preds...)
+	if err := b.engine.Subscribe(s); err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	b.subs[id] = client
+	b.mu.Unlock()
+	return id, nil
+}
+
+// Unsubscribe removes a subscription. Only the owning client may remove
+// it.
+func (b *Broker) Unsubscribe(client string, id message.SubID) error {
+	b.mu.Lock()
+	owner, ok := b.subs[id]
+	if !ok {
+		b.mu.Unlock()
+		return fmt.Errorf("broker: unknown subscription %d", id)
+	}
+	if owner != client {
+		b.mu.Unlock()
+		return fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, owner, client)
+	}
+	delete(b.subs, id)
+	b.mu.Unlock()
+	b.engine.Unsubscribe(id)
+	return nil
+}
+
+// SubscriptionsOf lists the subscription IDs of one client, ascending.
+func (b *Broker) SubscriptionsOf(client string) []message.SubID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []message.SubID
+	for id, owner := range b.subs {
+		if owner == client {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PublishResult reports one publication's outcome to the publisher.
+type PublishResult struct {
+	Matches  []message.SubID
+	Notified int // notifications successfully enqueued
+	Dropped  int // matches without a routable subscriber
+}
+
+// Publish runs the publication through the engine and dispatches one
+// notification per match. Publishing does not require registration —
+// candidates in the demo scenario submit resumes anonymously.
+func (b *Broker) Publish(ev message.Event) (PublishResult, error) {
+	res, err := b.engine.Publish(ev)
+	if err != nil {
+		return PublishResult{}, err
+	}
+	out := PublishResult{Matches: res.Matches}
+
+	b.mu.Lock()
+	b.published++
+	b.mu.Unlock()
+
+	if b.notifier == nil {
+		return out, nil
+	}
+	mode := b.engine.Mode().String()
+	for _, id := range res.Matches {
+		sub, ok := b.engine.Subscription(id)
+		if !ok {
+			continue // raced with unsubscribe
+		}
+		n := notify.Notification{
+			SubID:      id,
+			Subscriber: sub.Subscriber,
+			Event:      ev,
+			Mode:       mode,
+		}
+		if _, routed := b.notifier.RouteOf(sub.Subscriber); !routed {
+			out.Dropped++
+			b.mu.Lock()
+			b.dropsNoRoute++
+			b.mu.Unlock()
+			continue
+		}
+		if err := b.notifier.Dispatch(n); err != nil {
+			out.Dropped++
+			b.mu.Lock()
+			b.dropsNoRoute++
+			b.mu.Unlock()
+			continue
+		}
+		out.Notified++
+	}
+	b.mu.Lock()
+	b.notified += uint64(out.Notified)
+	b.mu.Unlock()
+	return out, nil
+}
+
+// Stats snapshots broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	s := Stats{
+		Clients:               len(b.clients),
+		Subscriptions:         len(b.subs),
+		Published:             b.published,
+		Notified:              b.notified,
+		DropsNoRoute:          b.dropsNoRoute,
+		RejectedNonConforming: b.rejectedNonConforming,
+	}
+	b.mu.Unlock()
+	s.Engine = b.engine.Stats()
+	return s
+}

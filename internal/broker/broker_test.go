@@ -1,0 +1,294 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/sublang"
+)
+
+const jobsODL = `
+domain jobs
+synonyms {
+    university: school, college
+    "professional experience": "work experience"
+}
+concepts {
+    degree { "graduate degree" { PhD MSc } BSc }
+}
+mappings {
+    rule experience_from_graduation
+        when exists("graduation year")
+        derive "professional experience" = 2003 - attr("graduation year")
+}
+`
+
+func jobsEngine(t testing.TB) *core.Engine {
+	t.Helper()
+	ont, err := ontology.Load(jobsODL, ontology.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewEngine(ont.Stage(semantic.FullConfig()))
+}
+
+func TestBrokerLifecycle(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register(Client{}); err == nil {
+		t.Error("nameless client must be rejected")
+	}
+	preds, err := sublang.ParseSubscription("(university = Toronto) and (professional experience >= 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := b.Subscribe("acme", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("ghost", preds); err == nil {
+		t.Error("unknown client must be rejected")
+	}
+	if got := b.SubscriptionsOf("acme"); len(got) != 1 || got[0] != id {
+		t.Errorf("SubscriptionsOf = %v", got)
+	}
+	if got := b.Clients(); len(got) != 1 || got[0] != "acme" {
+		t.Errorf("Clients = %v", got)
+	}
+
+	ev, err := sublang.ParseEvent("(school, Toronto)(graduation year, 1995)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Publish(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0] != id {
+		t.Fatalf("Matches = %v (semantic pipeline broken)", res.Matches)
+	}
+
+	// Ownership enforcement on unsubscribe.
+	if err := b.Register(Client{Name: "rival"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unsubscribe("rival", id); err == nil {
+		t.Error("foreign unsubscribe must be rejected")
+	}
+	if err := b.Unsubscribe("acme", id); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Unsubscribe("acme", id); err == nil {
+		t.Error("double unsubscribe must be rejected")
+	}
+	res, err = b.Publish(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("unsubscribed subscription still matches: %v", res.Matches)
+	}
+}
+
+func TestBrokerNotifies(t *testing.T) {
+	var mu sync.Mutex
+	var got []notify.Notification
+	sink, err := notify.NewTCPSink("127.0.0.1:0", func(n notify.Notification) {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	ne, err := notify.NewEngine(notify.Config{Workers: 2}, notify.NewTCPTransport(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ne.Close()
+
+	b := New(jobsEngine(t), ne)
+	if err := b.Register(Client{
+		Name:  "acme",
+		Route: notify.Route{Transport: "tcp", Addr: sink.Addr()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := sublang.ParseSubscription("(university = Toronto)")
+	id, err := b.Subscribe("acme", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Publish(message.E("school", "Toronto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Notified != 1 || res.Dropped != 0 {
+		t.Fatalf("PublishResult = %+v", res)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("notification never arrived over TCP")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	n := got[0]
+	mu.Unlock()
+	if n.SubID != id || n.Subscriber != "acme" || n.Mode != "semantic" {
+		t.Errorf("notification = %+v", n)
+	}
+	if !n.Event.Has("school") {
+		t.Errorf("notification should carry the original event, got %v", n.Event)
+	}
+}
+
+func TestBrokerDropsUnroutedMatches(t *testing.T) {
+	ne, err := notify.NewEngine(notify.Config{Workers: 1}, notify.NewSMSGateway(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ne.Close()
+	b := New(jobsEngine(t), ne)
+	// No Route on the client → matches are counted as drops.
+	if err := b.Register(Client{Name: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := sublang.ParseSubscription("(university = Toronto)")
+	if _, err := b.Subscribe("acme", preds); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Publish(message.E("university", "Toronto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 || res.Notified != 0 {
+		t.Errorf("PublishResult = %+v", res)
+	}
+	if st := b.Stats(); st.DropsNoRoute != 1 {
+		t.Errorf("DropsNoRoute = %d", st.DropsNoRoute)
+	}
+}
+
+func TestBrokerStats(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := sublang.ParseSubscription("(x = 1)")
+	if _, err := b.Subscribe("a", preds); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := b.Publish(message.E("x", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.Stats()
+	if st.Clients != 1 || st.Subscriptions != 1 || st.Published != 3 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if st.Engine.Matches != 3 {
+		t.Errorf("engine matches = %d", st.Engine.Matches)
+	}
+}
+
+func TestBrokerConcurrentPublishers(t *testing.T) {
+	b := New(jobsEngine(t), nil)
+	if err := b.Register(Client{Name: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				preds, err := sublang.ParseSubscription(fmt.Sprintf("(k%d = %d)", w, i))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := b.Subscribe("acme", preds); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := b.Publish(message.E(fmt.Sprintf("k%d", w), i)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Subscriptions != 240 {
+		t.Errorf("Subscriptions = %d, want 240", st.Subscriptions)
+	}
+	// Subscription IDs must be unique across concurrent subscribers.
+	ids := b.SubscriptionsOf("acme")
+	seen := make(map[message.SubID]bool)
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate subscription ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestBrokerModeSwitchVisibleInNotifications(t *testing.T) {
+	sms := notify.NewSMSGateway(0, 0)
+	ne, err := notify.NewEngine(notify.Config{Workers: 1}, sms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ne.Close()
+	b := New(jobsEngine(t), ne)
+	if err := b.Register(Client{Name: "acme", Route: notify.Route{Transport: "sms", Addr: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := sublang.ParseSubscription("(university = Toronto)")
+	if _, err := b.Subscribe("acme", preds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(message.E("university", "Toronto")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Engine().SetMode(core.Syntactic); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(message.E("university", "Toronto")); err != nil {
+		t.Fatal(err)
+	}
+	if !ne.Drain(2 * time.Second) {
+		t.Fatal("queue did not drain")
+	}
+	payloads := strings.Join(sms.Reassemble("x"), "\n")
+	if !strings.Contains(payloads, `"mode":"semantic"`) || !strings.Contains(payloads, `"mode":"syntactic"`) {
+		t.Errorf("modes not recorded in notifications:\n%s", payloads)
+	}
+}

@@ -1,0 +1,175 @@
+package broker
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stopss/internal/message"
+	"stopss/internal/notify"
+	"stopss/internal/sublang"
+)
+
+func populatedBroker(t *testing.T, ne *notify.Engine) *Broker {
+	t.Helper()
+	b := New(jobsEngine(t), ne)
+	clients := []Client{
+		{Name: "acme"},
+		{Name: "globex"},
+	}
+	if ne != nil {
+		clients[0].Route = notify.Route{Transport: "sms", Addr: "+1-416"}
+	}
+	for _, c := range clients {
+		if err := b.Register(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, text := range []string{
+		"(university = Toronto) and (professional experience >= 4)",
+		"(degree = PhD)",
+		"(skill = COBOL)",
+	} {
+		preds, err := sublang.ParseSubscription(text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := clients[i%2].Name
+		if _, err := b.Subscribe(owner, preds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	sms := notify.NewSMSGateway(0, 0)
+	ne, err := notify.NewEngine(notify.Config{Workers: 1}, sms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ne.Close()
+
+	orig := populatedBroker(t, ne)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(jobsEngine(t), ne)
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same clients.
+	if got, want := restored.Clients(), orig.Clients(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("clients = %v, want %v", got, want)
+	}
+	// Same subscriptions per client.
+	for _, c := range orig.Clients() {
+		if got, want := len(restored.SubscriptionsOf(c)), len(orig.SubscriptionsOf(c)); got != want {
+			t.Errorf("subscriptions of %s = %d, want %d", c, got, want)
+		}
+	}
+	// Same matching behaviour, including the semantic pipeline.
+	ev, _ := sublang.ParseEvent("(school, Toronto)(graduation year, 1995)")
+	r1, err := orig.Publish(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := restored.Publish(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(idStrings(r1.Matches), ",") != strings.Join(idStrings(r2.Matches), ",") {
+		t.Errorf("restored matches %v, want %v", r2.Matches, r1.Matches)
+	}
+	// Routes survived: the acme match must be routable.
+	if _, ok := ne.RouteOf("acme"); !ok {
+		t.Error("route lost through snapshot")
+	}
+	// New subscriptions continue from the watermark (no ID collision).
+	preds, _ := sublang.ParseSubscription("(x = 1)")
+	id, err := restored.Subscribe("acme", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 3 {
+		t.Errorf("new subscription ID %d collides with restored range", id)
+	}
+}
+
+func idStrings(ids []message.SubID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(rune('0' + int(id)))
+	}
+	return out
+}
+
+func TestRestoreRequiresEmptyBroker(t *testing.T) {
+	orig := populatedBroker(t, nil)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("restore into a populated broker must fail")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not json\n",
+		`{"kind":"client","client":{"name":"x"}}` + "\n", // record before header
+		`{"kind":"header","version":99}` + "\n",
+		`{"kind":"header","version":1}` + "\n" + `{"kind":"martian"}` + "\n",
+		`{"kind":"header","version":1}` + "\n" + `{"kind":"client"}` + "\n",
+		`{"kind":"header","version":1}` + "\n" + `{"kind":"subscription"}` + "\n",
+	} {
+		b := New(jobsEngine(t), nil)
+		if err := b.Restore(strings.NewReader(bad)); err == nil {
+			t.Errorf("Restore(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRestoreFixesIDWatermark(t *testing.T) {
+	// A snapshot whose header under-reports next_id must still avoid
+	// collisions thanks to the max-ID guard.
+	snap := `{"kind":"header","version":1,"next_id":1}
+{"kind":"client","client":{"name":"acme"}}
+{"kind":"subscription","sub":{"id":7,"subscriber":"acme","preds":[{"attr":"a","op":"=","val":{"kind":"int","int":1}}]}}
+`
+	b := New(jobsEngine(t), nil)
+	if err := b.Restore(strings.NewReader(snap)); err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := sublang.ParseSubscription("(b = 2)")
+	id, err := b.Subscribe("acme", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id <= 7 {
+		t.Errorf("new ID %d collides with restored subscription 7", id)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	b := populatedBroker(t, nil)
+	var a, c bytes.Buffer
+	if err := b.Snapshot(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot(&c); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != c.String() {
+		t.Error("snapshot output not deterministic")
+	}
+	// Snapshot excludes transient counters.
+	if strings.Contains(a.String(), "Published") {
+		t.Error("snapshot should not contain transient stats")
+	}
+}

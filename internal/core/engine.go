@@ -1,0 +1,299 @@
+// Package core assembles the S-ToPSS engine of Figure 1: a semantic
+// stage (internal/semantic) in front of a content-based matching
+// algorithm (internal/matching).
+//
+// The engine is the unit the demonstration runs in "semantic" or
+// "syntactic" mode (paper §4): in syntactic mode the semantic stage is
+// bypassed entirely and the engine behaves like the underlying ToPSS
+// matcher; in semantic mode subscriptions are synonym-canonicalized on
+// entry and every publication is expanded into a set of derived events
+// whose matches are unioned.
+//
+// Engine is safe for concurrent use: matching state is guarded by a
+// read-write mutex (publications of distinct events still serialize on
+// the matcher, whose counter structures are single-writer by design).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// Mode selects semantic or syntactic operation (paper §4: "the
+// application can run in two different modes: semantic or syntactic").
+type Mode int
+
+// The two demonstration modes.
+const (
+	Syntactic Mode = iota
+	Semantic
+)
+
+// String returns "semantic" or "syntactic".
+func (m Mode) String() string {
+	if m == Semantic {
+		return "semantic"
+	}
+	return "syntactic"
+}
+
+// ParseMode converts the surface form to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "semantic":
+		return Semantic, nil
+	case "syntactic":
+		return Syntactic, nil
+	default:
+		return Syntactic, fmt.Errorf("core: unknown mode %q (want semantic or syntactic)", s)
+	}
+}
+
+// Stats aggregates engine activity since construction.
+type Stats struct {
+	Subscriptions   int           // currently indexed
+	SubsAdded       uint64        // total ever added
+	SubsRemoved     uint64        // total ever removed
+	Events          uint64        // publications processed
+	DerivedEvents   uint64        // events produced by the semantic stage (incl. roots)
+	Matches         uint64        // subscription matches delivered
+	SynonymRewrites uint64        // attribute/value rewrites (events + subscriptions)
+	HierarchyPairs  uint64        // generalized pairs added
+	MappingPairs    uint64        // pairs derived by mapping functions
+	MappingCalls    uint64        // mapping function invocations
+	Truncated       uint64        // publications whose expansion hit the budget
+	SemanticTime    time.Duration // cumulative time in the semantic stage
+	MatchTime       time.Duration // cumulative time in the matching algorithm
+}
+
+// Engine is the S-ToPSS box of Figure 1.
+type Engine struct {
+	mu      sync.RWMutex
+	stage   *semantic.Stage
+	matcher matching.Matcher
+	mode    Mode
+	// originals remembers the subscription as submitted, so that mode
+	// switches can re-canonicalize and notifications can echo the
+	// user's own terminology.
+	originals map[message.SubID]message.Subscription
+	stats     Stats
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMatcher selects the underlying matching algorithm (default:
+// counting).
+func WithMatcher(m matching.Matcher) Option {
+	return func(e *Engine) { e.matcher = m }
+}
+
+// WithMode selects the initial mode (default: Semantic).
+func WithMode(m Mode) Option {
+	return func(e *Engine) { e.mode = m }
+}
+
+// NewEngine builds an engine over the given semantic stage. A nil stage
+// yields an engine with an empty knowledge base (still valid: it simply
+// never rewrites or expands anything).
+func NewEngine(stage *semantic.Stage, opts ...Option) *Engine {
+	if stage == nil {
+		stage = semantic.NewStage(nil, nil, nil, semantic.FullConfig())
+	}
+	e := &Engine{
+		stage:     stage,
+		matcher:   matching.NewCounting(),
+		mode:      Semantic,
+		originals: make(map[message.SubID]message.Subscription),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Stage exposes the semantic stage (e.g. for the ontology loader).
+func (e *Engine) Stage() *semantic.Stage { return e.stage }
+
+// MatcherName reports the underlying algorithm.
+func (e *Engine) MatcherName() string { return e.matcher.Name() }
+
+// Mode reports the current mode.
+func (e *Engine) Mode() Mode {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.mode
+}
+
+// SetMode switches between semantic and syntactic operation. Because
+// subscriptions are canonicalized when indexed, a switch re-indexes every
+// stored subscription under the new mode's rewrite.
+func (e *Engine) SetMode(m Mode) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m == e.mode {
+		return nil
+	}
+	e.mode = m
+	// Re-index all subscriptions from their original forms.
+	ids := make([]message.SubID, 0, len(e.originals))
+	for id := range e.originals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !e.matcher.Remove(id) {
+			return fmt.Errorf("core: subscription %d lost during mode switch", id)
+		}
+	}
+	for _, id := range ids {
+		if err := e.matcher.Add(e.indexedForm(e.originals[id])); err != nil {
+			return fmt.Errorf("core: re-indexing subscription %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// indexedForm computes the form of a subscription as stored in the
+// matcher under the current mode. Callers hold e.mu.
+func (e *Engine) indexedForm(s message.Subscription) message.Subscription {
+	if e.mode != Semantic {
+		return s.Clone()
+	}
+	out, rewrites := e.stage.ProcessSubscription(s)
+	e.stats.SynonymRewrites += uint64(rewrites)
+	return out
+}
+
+// Subscribe validates, canonicalizes and indexes a subscription.
+func (e *Engine) Subscribe(s message.Subscription) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.originals[s.ID]; dup {
+		return fmt.Errorf("core: subscription %d already exists", s.ID)
+	}
+	if err := e.matcher.Add(e.indexedForm(s)); err != nil {
+		return err
+	}
+	e.originals[s.ID] = s.Clone()
+	e.stats.SubsAdded++
+	return nil
+}
+
+// Unsubscribe removes a subscription, reporting whether it existed.
+func (e *Engine) Unsubscribe(id message.SubID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.originals[id]; !ok {
+		return false
+	}
+	delete(e.originals, id)
+	e.matcher.Remove(id)
+	e.stats.SubsRemoved++
+	return true
+}
+
+// Subscription returns the original (pre-canonicalization) form of a
+// stored subscription.
+func (e *Engine) Subscription(id message.SubID) (message.Subscription, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s, ok := e.originals[id]
+	if !ok {
+		return message.Subscription{}, false
+	}
+	return s.Clone(), true
+}
+
+// MatchResult reports the outcome of one publication.
+type MatchResult struct {
+	// Matches holds the IDs of all satisfied subscriptions, ascending.
+	Matches []message.SubID
+	// Expansion is the semantic stage's report (Events[0] is the root
+	// event; empty Events in syntactic mode means the original event
+	// was matched directly).
+	Expansion semantic.Result
+	// SemanticTime and MatchTime split the publication's latency
+	// between the two pipeline halves (experiment T1).
+	SemanticTime time.Duration
+	MatchTime    time.Duration
+}
+
+// Publish runs a publication through the pipeline and returns every
+// matching subscription.
+func (e *Engine) Publish(ev message.Event) (MatchResult, error) {
+	if err := ev.Validate(); err != nil {
+		return MatchResult{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var res MatchResult
+	e.stats.Events++
+
+	if e.mode == Semantic {
+		t0 := time.Now()
+		res.Expansion = e.stage.ProcessEvent(ev)
+		res.SemanticTime = time.Since(t0)
+		e.stats.SemanticTime += res.SemanticTime
+		e.stats.DerivedEvents += uint64(len(res.Expansion.Events))
+		e.stats.SynonymRewrites += uint64(res.Expansion.SynonymRewrites)
+		e.stats.HierarchyPairs += uint64(res.Expansion.HierarchyPairs)
+		e.stats.MappingPairs += uint64(res.Expansion.MappingPairs)
+		e.stats.MappingCalls += uint64(res.Expansion.MappingCalls)
+		if res.Expansion.Truncated {
+			e.stats.Truncated++
+		}
+
+		t1 := time.Now()
+		if len(res.Expansion.Events) == 1 {
+			res.Matches = e.matcher.Match(res.Expansion.Events[0])
+		} else {
+			set := make(map[message.SubID]bool)
+			for _, dev := range res.Expansion.Events {
+				for _, id := range e.matcher.Match(dev) {
+					set[id] = true
+				}
+			}
+			res.Matches = make([]message.SubID, 0, len(set))
+			for id := range set {
+				res.Matches = append(res.Matches, id)
+			}
+			sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i] < res.Matches[j] })
+		}
+		res.MatchTime = time.Since(t1)
+	} else {
+		t1 := time.Now()
+		res.Matches = e.matcher.Match(ev)
+		res.MatchTime = time.Since(t1)
+	}
+
+	e.stats.MatchTime += res.MatchTime
+	e.stats.Matches += uint64(len(res.Matches))
+	return res, nil
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	s := e.stats
+	s.Subscriptions = e.matcher.Size()
+	return s
+}
+
+// Size reports the number of indexed subscriptions.
+func (e *Engine) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.matcher.Size()
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+	"stopss/internal/workload"
+)
+
+// TestQuickEnginesAgreeAcrossMatchers is the engine-level counterpart of
+// the matcher-equivalence property: under the FULL semantic pipeline,
+// the engine must produce identical match sets regardless of which
+// matching algorithm sits behind the semantic stage. This is precisely
+// the paper's modularity claim — the semantic stage composes with
+// "existing matching algorithms" without changing their semantics.
+func TestQuickEnginesAgreeAcrossMatchers(t *testing.T) {
+	for _, mode := range []Mode{Semantic, Syntactic} {
+		for _, seed := range []int64{1, 2, 3} {
+			gen, err := workload.New(workload.Config{
+				Seed: seed, SynonymProb: 0.7, ConceptProb: 0.5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			subs := gen.Subscriptions(400)
+			events := gen.Events(120)
+
+			engines := make([]*Engine, 0, 3)
+			for _, alg := range matching.Algorithms() {
+				m, err := matching.New(alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng := NewEngine(gen.KB().Stage(semantic.FullConfig()),
+					WithMatcher(m), WithMode(mode))
+				for _, s := range subs {
+					if err := eng.Subscribe(s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				engines = append(engines, eng)
+			}
+			for i, e := range events {
+				ref, err := engines[0].Publish(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := 1; k < len(engines); k++ {
+					got, err := engines[k].Publish(e)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Matches, ref.Matches) {
+						t.Fatalf("mode %v seed %d event %d: %s disagrees with %s\n got %v\nwant %v\nevent %v",
+							mode, seed, i, engines[k].MatcherName(), engines[0].MatcherName(),
+							got.Matches, ref.Matches, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickModeSwitchPreservesSubscriptions: an engine that flips modes
+// repeatedly under churn must never lose or duplicate subscriptions.
+func TestQuickModeSwitchPreservesSubscriptions(t *testing.T) {
+	gen, err := workload.New(workload.Config{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(gen.KB().Stage(semantic.FullConfig()))
+	live := 0
+	for step := 0; step < 200; step++ {
+		switch step % 5 {
+		case 0, 1, 2:
+			if err := eng.Subscribe(gen.Subscription(fmt.Sprintf("c%d", step))); err != nil {
+				t.Fatal(err)
+			}
+			live++
+		case 3:
+			mode := Semantic
+			if step%2 == 0 {
+				mode = Syntactic
+			}
+			if err := eng.SetMode(mode); err != nil {
+				t.Fatal(err)
+			}
+		case 4:
+			if live > 0 {
+				// Remove the lowest still-live subscription ID (the
+				// generator assigns 1-based sequence numbers).
+				removed := false
+				for id := 1; id <= step+1 && !removed; id++ {
+					removed = eng.Unsubscribe(message.SubID(id))
+				}
+				if removed {
+					live--
+				}
+			}
+		}
+		if eng.Size() != live {
+			t.Fatalf("step %d: Size = %d, want %d", step, eng.Size(), live)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/workload"
+)
+
+// ExampleEngine runs the paper's opening example through the engine in
+// both modes.
+func ExampleEngine() {
+	ont, _ := ontology.Load(workload.JobsODL, ontology.Options{})
+	engine := core.NewEngine(ont.Stage(semantic.FullConfig()))
+
+	_ = engine.Subscribe(message.NewSubscription(1, "recruiter",
+		message.Pred("university", message.OpEq, message.String("Toronto")),
+		message.Pred("degree", message.OpEq, message.String("PhD")),
+		message.Pred("professional experience", message.OpGe, message.Int(4)),
+	))
+
+	resume := message.E("school", "Toronto", "degree", "PhD",
+		"work experience", true, "graduation year", 1990)
+
+	res, _ := engine.Publish(resume)
+	fmt.Println("semantic: ", res.Matches)
+
+	_ = engine.SetMode(core.Syntactic)
+	res, _ = engine.Publish(resume)
+	fmt.Println("syntactic:", res.Matches)
+	// Output:
+	// semantic:  [1]
+	// syntactic: []
+}
+
+// ExampleEngine_Explain traces why the match happened.
+func ExampleEngine_Explain() {
+	ont, _ := ontology.Load(workload.JobsODL, ontology.Options{})
+	engine := core.NewEngine(ont.Stage(semantic.FullConfig()))
+	_ = engine.Subscribe(message.NewSubscription(1, "recruiter",
+		message.Pred("university", message.OpEq, message.String("Toronto"))))
+
+	x, _ := engine.Explain(1, message.E("school", "Toronto"))
+	fmt.Print(x)
+	// Output:
+	// MATCH — subscription 1 (recruiter)
+	//   ✓ (university = Toronto) — by (university, Toronto), DERIVED by the semantic stage (event 0)
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"stopss/internal/message"
+)
+
+// Explanation traces why one subscription matched one publication: per
+// predicate, which derived event and which attribute/value pair
+// satisfied it, and whether that pair existed in the original
+// publication or was produced by the semantic stage. The demonstration's
+// purpose — "the real power of this scheme is only apparent by
+// witnessing how seamlessly unrelated objects end up matching" (paper
+// §4) — is exactly what an explanation makes visible.
+type Explanation struct {
+	SubID      message.SubID
+	Subscriber string
+	Matched    bool
+	Steps      []ExplainStep
+}
+
+// ExplainStep records the witness for one predicate.
+type ExplainStep struct {
+	Predicate message.Predicate
+	// Satisfied reports whether any derived event satisfied the
+	// predicate (false only when the subscription did not match).
+	Satisfied bool
+	// EventIndex is the index into the expansion's Events of the first
+	// derived event containing the witness (0 = root event).
+	EventIndex int
+	// Witness is the satisfying pair (absent for not-exists, which is
+	// witnessed by absence).
+	Witness message.Pair
+	// Derived reports whether the witness pair was absent from the
+	// original publication — i.e. the semantic stage created it.
+	Derived bool
+}
+
+// Explain re-runs the semantic expansion of ev and traces how the stored
+// subscription id is (or is not) satisfied. It is a diagnostic path: it
+// does not touch engine statistics.
+func (e *Engine) Explain(id message.SubID, ev message.Event) (Explanation, error) {
+	if err := ev.Validate(); err != nil {
+		return Explanation{}, err
+	}
+	e.mu.RLock()
+	orig, ok := e.originals[id]
+	mode := e.mode
+	e.mu.RUnlock()
+	if !ok {
+		return Explanation{}, fmt.Errorf("core: unknown subscription %d", id)
+	}
+
+	// Reproduce the indexed form and the expansion outside the lock
+	// (Stage and ProcessSubscription are read-only over the knowledge
+	// structures).
+	sub := orig.Clone()
+	var events []message.Event
+	if mode == Semantic {
+		sub, _ = e.stage.ProcessSubscription(sub)
+		events = e.stage.ProcessEvent(ev).Events
+	} else {
+		events = []message.Event{ev}
+	}
+
+	out := Explanation{SubID: id, Subscriber: orig.Subscriber, Matched: true}
+	for _, p := range sub.Preds {
+		step := ExplainStep{Predicate: p}
+		for idx, dev := range events {
+			if w, found := witness(p, dev); found {
+				step.Satisfied = true
+				step.EventIndex = idx
+				step.Witness = w
+				step.Derived = !pairIn(ev, w)
+				break
+			}
+		}
+		if !step.Satisfied {
+			out.Matched = false
+		}
+		out.Steps = append(out.Steps, step)
+	}
+	return out, nil
+}
+
+// witness returns the first pair of dev satisfying p. Not-exists
+// predicates are witnessed by the attribute's absence (empty pair).
+func witness(p message.Predicate, dev message.Event) (message.Pair, bool) {
+	if p.Op == message.OpNotExists {
+		if dev.Has(p.Attr) {
+			return message.Pair{}, false
+		}
+		return message.Pair{}, true
+	}
+	for _, pair := range dev.Pairs() {
+		if pair.Attr == p.Attr && p.Eval(pair.Val, true) {
+			return pair, true
+		}
+	}
+	return message.Pair{}, false
+}
+
+// pairIn reports whether the original publication already carried the
+// pair (same attribute and equal value).
+func pairIn(ev message.Event, w message.Pair) bool {
+	if w.Attr == "" {
+		return true // absence witness: nothing was derived
+	}
+	for _, pair := range ev.Pairs() {
+		if pair.Attr == w.Attr && pair.Val.Equal(w.Val) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the explanation as a human-readable trace.
+func (x Explanation) String() string {
+	var sb strings.Builder
+	verdict := "MATCH"
+	if !x.Matched {
+		verdict = "NO MATCH"
+	}
+	fmt.Fprintf(&sb, "%s — subscription %d (%s)\n", verdict, x.SubID, x.Subscriber)
+	for _, s := range x.Steps {
+		switch {
+		case !s.Satisfied:
+			fmt.Fprintf(&sb, "  ✗ %s — no derived event satisfies it\n", s.Predicate)
+		case s.Predicate.Op == message.OpNotExists:
+			fmt.Fprintf(&sb, "  ✓ %s — attribute absent\n", s.Predicate)
+		case s.Derived:
+			fmt.Fprintf(&sb, "  ✓ %s — by (%s, %s), DERIVED by the semantic stage (event %d)\n",
+				s.Predicate, s.Witness.Attr, s.Witness.Val, s.EventIndex)
+		default:
+			fmt.Fprintf(&sb, "  ✓ %s — by (%s, %s) from the original publication\n",
+				s.Predicate, s.Witness.Attr, s.Witness.Val)
+		}
+	}
+	return sb.String()
+}

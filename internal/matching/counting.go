@@ -1,0 +1,395 @@
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"stopss/internal/message"
+)
+
+// Counting implements the counting algorithm of Aguilera, Strom, Sturman,
+// Astley and Chandra, "Matching events in a content-based subscription
+// system" (PODC 1999) — citation [1] of the S-ToPSS paper.
+//
+// Identical predicates appearing in many subscriptions are stored once
+// (unique-predicate table keyed by the predicate's canonical form). Per
+// attribute there is an operator-specific index:
+//
+//   - equality:  hash  value → predicates               (O(1) probe)
+//   - ordering:  sorted threshold arrays per operator   (binary search)
+//   - between:   intervals sorted by lower bound
+//   - existence: per-attribute list
+//   - the rest (≠, prefix/suffix/contains, non-numeric ordering) live in
+//     a per-attribute scan list evaluated directly.
+//
+// Matching an event walks its pairs, collects the satisfied unique
+// predicates from the indexes, and increments one counter per affected
+// subscription; a subscription matches when its counter reaches its
+// predicate count. Counters are reset lazily with an epoch stamp, so a
+// Match is O(satisfied predicates), not O(subscriptions).
+type Counting struct {
+	preds     map[string]*cPred          // canonical form → unique predicate
+	subs      map[message.SubID]*cSub    // indexed subscriptions
+	attrs     map[string]*attrIndex      // per-attribute operator indexes
+	notExists map[string]map[*cPred]bool // attr → not-exists predicates
+	epoch     uint64
+}
+
+type cPred struct {
+	pred    message.Predicate
+	subs    map[message.SubID]*cSub // subscriptions referencing this predicate (a sub may reference it more than once)
+	refs    int                     // total references (for removal bookkeeping)
+	hitAt   uint64                  // epoch of last satisfaction (per-event dedup)
+	ordered bool                    // tracked by a sorted threshold index
+}
+
+type cSub struct {
+	id    message.SubID
+	need  int // number of predicate slots that must be satisfied
+	preds []*cPred
+	count int
+	seen  uint64 // epoch stamp for lazy counter reset
+}
+
+// attrIndex groups the per-attribute structures of the counting matcher.
+type attrIndex struct {
+	eq       map[string][]*cPred // canonical value → equality predicates
+	lt       thresholds          // attr < t
+	le       thresholds          // attr <= t
+	gt       thresholds          // attr > t
+	ge       thresholds          // attr >= t
+	between  []*cPred            // sorted by lower bound
+	exists   []*cPred
+	scan     []*cPred // evaluated directly per pair
+	betweenD bool     // between slice needs re-sort
+}
+
+// thresholds is a sorted multiset of numeric cut points with their
+// predicates.
+type thresholds struct {
+	cuts  []float64
+	preds []*cPred
+	dirty bool
+}
+
+func (t *thresholds) add(cut float64, p *cPred) {
+	t.cuts = append(t.cuts, cut)
+	t.preds = append(t.preds, p)
+	t.dirty = true
+}
+
+func (t *thresholds) sortIfDirty() {
+	if !t.dirty {
+		return
+	}
+	idx := make([]int, len(t.cuts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return t.cuts[idx[a]] < t.cuts[idx[b]] })
+	cuts := make([]float64, len(t.cuts))
+	preds := make([]*cPred, len(t.preds))
+	for i, j := range idx {
+		cuts[i] = t.cuts[j]
+		preds[i] = t.preds[j]
+	}
+	t.cuts, t.preds, t.dirty = cuts, preds, false
+}
+
+func (t *thresholds) remove(p *cPred) {
+	for i := range t.preds {
+		if t.preds[i] == p {
+			t.cuts = append(t.cuts[:i], t.cuts[i+1:]...)
+			t.preds = append(t.preds[:i], t.preds[i+1:]...)
+			return
+		}
+	}
+}
+
+// NewCounting returns an empty counting matcher.
+func NewCounting() *Counting {
+	return &Counting{
+		preds:     make(map[string]*cPred),
+		subs:      make(map[message.SubID]*cSub),
+		attrs:     make(map[string]*attrIndex),
+		notExists: make(map[string]map[*cPred]bool),
+	}
+}
+
+// Name implements Matcher.
+func (m *Counting) Name() string { return "counting" }
+
+// Size implements Matcher.
+func (m *Counting) Size() int { return len(m.subs) }
+
+// UniquePredicates reports the size of the shared predicate table, a key
+// statistic of the counting algorithm (predicate sharing across
+// subscriptions is what makes it sublinear).
+func (m *Counting) UniquePredicates() int { return len(m.preds) }
+
+func (m *Counting) attr(name string) *attrIndex {
+	ai := m.attrs[name]
+	if ai == nil {
+		ai = &attrIndex{eq: make(map[string][]*cPred)}
+		m.attrs[name] = ai
+	}
+	return ai
+}
+
+// Add implements Matcher.
+func (m *Counting) Add(sub message.Subscription) error {
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.subs[sub.ID]; dup {
+		return fmt.Errorf("matching: subscription %d already indexed", sub.ID)
+	}
+	cs := &cSub{id: sub.ID}
+	// Identical predicates within one subscription collapse to a single
+	// slot: they are satisfied together, so counting them once keeps the
+	// "count == need" completion test exact.
+	within := make(map[string]bool, len(sub.Preds))
+	for _, p := range sub.Preds {
+		key := p.Canonical()
+		if within[key] {
+			continue
+		}
+		within[key] = true
+		cp := m.preds[key]
+		if cp == nil {
+			cp = &cPred{pred: p, subs: make(map[message.SubID]*cSub)}
+			m.preds[key] = cp
+			m.indexPredicate(cp)
+		}
+		cp.refs++
+		cp.subs[sub.ID] = cs
+		cs.preds = append(cs.preds, cp)
+	}
+	cs.need = len(cs.preds)
+	m.subs[sub.ID] = cs
+	return nil
+}
+
+// indexPredicate places a new unique predicate into the per-attribute
+// operator structures.
+func (m *Counting) indexPredicate(cp *cPred) {
+	p := cp.pred
+	ai := m.attr(p.Attr)
+	switch p.Op {
+	case message.OpEq:
+		ai.eq[p.Val.Canonical()] = append(ai.eq[p.Val.Canonical()], cp)
+	case message.OpExists:
+		ai.exists = append(ai.exists, cp)
+	case message.OpNotExists:
+		set := m.notExists[p.Attr]
+		if set == nil {
+			set = make(map[*cPred]bool)
+			m.notExists[p.Attr] = set
+		}
+		set[cp] = true
+	case message.OpLt, message.OpLe, message.OpGt, message.OpGe:
+		if f, ok := p.Val.AsFloat(); ok {
+			cp.ordered = true
+			switch p.Op {
+			case message.OpLt:
+				ai.lt.add(f, cp)
+			case message.OpLe:
+				ai.le.add(f, cp)
+			case message.OpGt:
+				ai.gt.add(f, cp)
+			case message.OpGe:
+				ai.ge.add(f, cp)
+			}
+		} else {
+			// Ordering over strings/bools: direct evaluation.
+			ai.scan = append(ai.scan, cp)
+		}
+	case message.OpBetween:
+		ai.between = append(ai.between, cp)
+		ai.betweenD = true
+	default:
+		ai.scan = append(ai.scan, cp)
+	}
+}
+
+// Remove implements Matcher.
+func (m *Counting) Remove(id message.SubID) bool {
+	cs, ok := m.subs[id]
+	if !ok {
+		return false
+	}
+	delete(m.subs, id)
+	for _, cp := range cs.preds {
+		delete(cp.subs, id)
+		cp.refs--
+		if cp.refs == 0 {
+			m.unindexPredicate(cp)
+			delete(m.preds, cp.pred.Canonical())
+		}
+	}
+	return true
+}
+
+func (m *Counting) unindexPredicate(cp *cPred) {
+	p := cp.pred
+	ai := m.attrs[p.Attr]
+	if ai == nil {
+		return
+	}
+	removeFrom := func(s []*cPred) []*cPred {
+		for i := range s {
+			if s[i] == cp {
+				return append(s[:i], s[i+1:]...)
+			}
+		}
+		return s
+	}
+	switch p.Op {
+	case message.OpEq:
+		key := p.Val.Canonical()
+		ai.eq[key] = removeFrom(ai.eq[key])
+		if len(ai.eq[key]) == 0 {
+			delete(ai.eq, key)
+		}
+	case message.OpExists:
+		ai.exists = removeFrom(ai.exists)
+	case message.OpNotExists:
+		delete(m.notExists[p.Attr], cp)
+		if len(m.notExists[p.Attr]) == 0 {
+			delete(m.notExists, p.Attr)
+		}
+	case message.OpLt:
+		if cp.ordered {
+			ai.lt.remove(cp)
+		} else {
+			ai.scan = removeFrom(ai.scan)
+		}
+	case message.OpLe:
+		if cp.ordered {
+			ai.le.remove(cp)
+		} else {
+			ai.scan = removeFrom(ai.scan)
+		}
+	case message.OpGt:
+		if cp.ordered {
+			ai.gt.remove(cp)
+		} else {
+			ai.scan = removeFrom(ai.scan)
+		}
+	case message.OpGe:
+		if cp.ordered {
+			ai.ge.remove(cp)
+		} else {
+			ai.scan = removeFrom(ai.scan)
+		}
+	case message.OpBetween:
+		ai.between = removeFrom(ai.between)
+	default:
+		ai.scan = removeFrom(ai.scan)
+	}
+}
+
+// Match implements Matcher.
+func (m *Counting) Match(e message.Event) []message.SubID {
+	m.epoch++
+	var out []message.SubID
+
+	hit := func(cp *cPred) {
+		if cp.hitAt == m.epoch {
+			return // predicate already satisfied by an earlier pair
+		}
+		cp.hitAt = m.epoch
+		for _, cs := range cp.subs {
+			if cs.seen != m.epoch {
+				cs.seen = m.epoch
+				cs.count = 0
+			}
+			cs.count++
+			if cs.count == cs.need {
+				out = append(out, cs.id)
+			}
+		}
+	}
+
+	for _, pair := range e.Pairs() {
+		ai := m.attrs[pair.Attr]
+		if ai == nil {
+			continue
+		}
+		// Equality probe.
+		for _, cp := range ai.eq[pair.Val.Canonical()] {
+			hit(cp)
+		}
+		// Existence.
+		for _, cp := range ai.exists {
+			hit(cp)
+		}
+		// Ordering thresholds.
+		if x, ok := pair.Val.AsFloat(); ok {
+			ai.lt.sortIfDirty()
+			ai.le.sortIfDirty()
+			ai.gt.sortIfDirty()
+			ai.ge.sortIfDirty()
+			// attr < t  satisfied for all t > x: suffix of sorted cuts.
+			from := sort.Search(len(ai.lt.cuts), func(i int) bool { return ai.lt.cuts[i] > x })
+			for _, cp := range ai.lt.preds[from:] {
+				hit(cp)
+			}
+			// attr <= t satisfied for all t >= x.
+			from = sort.Search(len(ai.le.cuts), func(i int) bool { return ai.le.cuts[i] >= x })
+			for _, cp := range ai.le.preds[from:] {
+				hit(cp)
+			}
+			// attr > t  satisfied for all t < x: prefix.
+			to := sort.Search(len(ai.gt.cuts), func(i int) bool { return ai.gt.cuts[i] >= x })
+			for _, cp := range ai.gt.preds[:to] {
+				hit(cp)
+			}
+			// attr >= t satisfied for all t <= x.
+			to = sort.Search(len(ai.ge.cuts), func(i int) bool { return ai.ge.cuts[i] > x })
+			for _, cp := range ai.ge.preds[:to] {
+				hit(cp)
+			}
+			// Intervals sorted by lower bound: candidates have lo <= x.
+			if ai.betweenD {
+				sort.SliceStable(ai.between, func(a, b int) bool {
+					fa, _ := ai.between[a].pred.Val.AsFloat()
+					fb, _ := ai.between[b].pred.Val.AsFloat()
+					return fa < fb
+				})
+				ai.betweenD = false
+			}
+			n := sort.Search(len(ai.between), func(i int) bool {
+				lo, _ := ai.between[i].pred.Val.AsFloat()
+				return lo > x
+			})
+			for _, cp := range ai.between[:n] {
+				if hi, ok := cp.pred.Hi.AsFloat(); ok && x <= hi {
+					hit(cp)
+				}
+			}
+		}
+		// Residual predicates: direct evaluation.
+		for _, cp := range ai.scan {
+			if cp.hitAt != m.epoch && cp.pred.Eval(pair.Val, true) {
+				hit(cp)
+			}
+		}
+	}
+
+	// Negation pass: a not-exists predicate is satisfied when the event
+	// lacks the attribute entirely.
+	if len(m.notExists) > 0 {
+		for attrName, set := range m.notExists {
+			if e.Has(attrName) {
+				continue
+			}
+			for cp := range set {
+				hit(cp)
+			}
+		}
+	}
+
+	sortIDs(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package matching
+
+import (
+	"strings"
+
+	"stopss/internal/message"
+)
+
+// Covers reports whether subscription a subsumes subscription b: every
+// event that matches b also matches a. Covering is the standard
+// subscription-management facility of content-based pub/sub systems
+// (a broker may skip indexing b when an owner's a already covers it, and
+// the web app uses it to flag redundant subscriptions).
+//
+// The check is SOUND but not complete: it decides implication predicate
+// by predicate, so conjunction-level entailments (e.g. x > 1 ∧ x < 3
+// jointly implying x != 5) are not discovered and yield a conservative
+// false. Under the any-pair event semantics this pairwise rule is sound:
+// if some pair satisfies the implying predicate of b, the same pair
+// satisfies the implied predicate of a.
+func Covers(a, b message.Subscription) bool {
+	for _, pa := range a.Preds {
+		implied := false
+		for _, pb := range b.Preds {
+			if pb.Attr == pa.Attr && implies(pb, pa) {
+				implied = true
+				break
+			}
+		}
+		if !implied {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports mutual covering.
+func Equivalent(a, b message.Subscription) bool {
+	return Covers(a, b) && Covers(b, a)
+}
+
+// implies reports whether satisfaction of pb (by one attribute value)
+// guarantees satisfaction of pa by that same value. Both predicates are
+// on the same attribute.
+func implies(pb, pa message.Predicate) bool {
+	// Identical predicates trivially imply each other.
+	if pb.Canonical() == pa.Canonical() {
+		return true
+	}
+	switch pa.Op {
+	case message.OpExists:
+		// Any satisfied value-level predicate witnesses existence.
+		return pb.Op != message.OpNotExists
+	case message.OpNotExists:
+		return pb.Op == message.OpNotExists
+	}
+	if pb.Op == message.OpNotExists || pb.Op == message.OpExists {
+		// Existence alone never pins a value.
+		return false
+	}
+
+	switch pa.Op {
+	case message.OpEq:
+		return pb.Op == message.OpEq && pb.Val.Equal(pa.Val)
+
+	case message.OpNe:
+		switch pb.Op {
+		case message.OpEq:
+			c, ok := pb.Val.Compare(pa.Val)
+			if ok {
+				return c != 0
+			}
+			// Incomparable kinds are unequal by Eval's semantics.
+			return !pb.Val.Equal(pa.Val)
+		case message.OpNe:
+			return pb.Val.Equal(pa.Val)
+		case message.OpLt:
+			return geCmp(pa.Val, pb.Val) // value < t and v >= t ⇒ value != v
+		case message.OpLe:
+			return gtCmp(pa.Val, pb.Val)
+		case message.OpGt:
+			return leCmp(pa.Val, pb.Val)
+		case message.OpGe:
+			return ltCmp(pa.Val, pb.Val)
+		case message.OpBetween:
+			return ltCmp(pa.Val, pb.Val) || gtCmp(pa.Val, pb.Hi)
+		}
+		return false
+
+	case message.OpLt:
+		switch pb.Op {
+		case message.OpLt:
+			return leCmp(pb.Val, pa.Val)
+		case message.OpLe:
+			return ltCmp(pb.Val, pa.Val)
+		case message.OpEq:
+			return ltCmp(pb.Val, pa.Val)
+		case message.OpBetween:
+			return ltCmp(pb.Hi, pa.Val)
+		}
+		return false
+
+	case message.OpLe:
+		switch pb.Op {
+		case message.OpLt, message.OpLe, message.OpEq:
+			return leCmp(pb.Val, pa.Val)
+		case message.OpBetween:
+			return leCmp(pb.Hi, pa.Val)
+		}
+		return false
+
+	case message.OpGt:
+		switch pb.Op {
+		case message.OpGt:
+			return geCmp(pb.Val, pa.Val)
+		case message.OpGe:
+			return gtCmp(pb.Val, pa.Val)
+		case message.OpEq:
+			return gtCmp(pb.Val, pa.Val)
+		case message.OpBetween:
+			return gtCmp(pb.Val, pa.Val)
+		}
+		return false
+
+	case message.OpGe:
+		switch pb.Op {
+		case message.OpGt, message.OpGe, message.OpEq:
+			return geCmp(pb.Val, pa.Val)
+		case message.OpBetween:
+			return geCmp(pb.Val, pa.Val)
+		}
+		return false
+
+	case message.OpBetween:
+		switch pb.Op {
+		case message.OpEq:
+			return geCmp(pb.Val, pa.Val) && leCmp(pb.Val, pa.Hi)
+		case message.OpBetween:
+			return geCmp(pb.Val, pa.Val) && leCmp(pb.Hi, pa.Hi)
+		}
+		return false
+
+	case message.OpPrefix:
+		switch pb.Op {
+		case message.OpEq:
+			return isStr(pb.Val) && strings.HasPrefix(pb.Val.Str(), pa.Val.Str())
+		case message.OpPrefix:
+			return strings.HasPrefix(pb.Val.Str(), pa.Val.Str())
+		}
+		return false
+
+	case message.OpSuffix:
+		switch pb.Op {
+		case message.OpEq:
+			return isStr(pb.Val) && strings.HasSuffix(pb.Val.Str(), pa.Val.Str())
+		case message.OpSuffix:
+			return strings.HasSuffix(pb.Val.Str(), pa.Val.Str())
+		}
+		return false
+
+	case message.OpContains:
+		switch pb.Op {
+		case message.OpEq:
+			return isStr(pb.Val) && strings.Contains(pb.Val.Str(), pa.Val.Str())
+		case message.OpContains, message.OpPrefix, message.OpSuffix:
+			return strings.Contains(pb.Val.Str(), pa.Val.Str())
+		}
+		return false
+	}
+	return false
+}
+
+func isStr(v message.Value) bool { return v.Kind() == message.KindString }
+
+// Comparison helpers returning false for incomparable values (which is
+// the conservative answer for implication).
+func ltCmp(a, b message.Value) bool { c, ok := a.Compare(b); return ok && c < 0 }
+func leCmp(a, b message.Value) bool { c, ok := a.Compare(b); return ok && c <= 0 }
+func gtCmp(a, b message.Value) bool { c, ok := a.Compare(b); return ok && c > 0 }
+func geCmp(a, b message.Value) bool { c, ok := a.Compare(b); return ok && c >= 0 }

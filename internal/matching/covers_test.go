@@ -1,0 +1,237 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func sub(preds ...message.Predicate) message.Subscription {
+	return message.NewSubscription(1, "c", preds...)
+}
+
+func TestCoversBasics(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b message.Subscription
+		want bool
+	}{
+		{"identical",
+			sub(message.Pred("x", message.OpEq, message.Int(1))),
+			sub(message.Pred("x", message.OpEq, message.Int(1))), true},
+		{"numeric kind collapse",
+			sub(message.Pred("x", message.OpEq, message.Int(4))),
+			sub(message.Pred("x", message.OpEq, message.Float(4))), true},
+		{"wider range covers narrower",
+			sub(message.Pred("x", message.OpGe, message.Int(1))),
+			sub(message.Pred("x", message.OpGe, message.Int(5))), true},
+		{"narrower does not cover wider",
+			sub(message.Pred("x", message.OpGe, message.Int(5))),
+			sub(message.Pred("x", message.OpGe, message.Int(1))), false},
+		{"ge covers eq above",
+			sub(message.Pred("x", message.OpGe, message.Int(3))),
+			sub(message.Pred("x", message.OpEq, message.Int(7))), true},
+		{"lt covers between below",
+			sub(message.Pred("x", message.OpLt, message.Int(10))),
+			sub(message.Between("x", message.Int(1), message.Int(9))), true},
+		{"between covers inner between",
+			sub(message.Between("x", message.Int(0), message.Int(10))),
+			sub(message.Between("x", message.Int(2), message.Int(8))), true},
+		{"between does not cover outer",
+			sub(message.Between("x", message.Int(2), message.Int(8))),
+			sub(message.Between("x", message.Int(0), message.Int(10))), false},
+		{"exists covered by any value predicate",
+			sub(message.Exists("x")),
+			sub(message.Pred("x", message.OpEq, message.Int(1))), true},
+		{"value predicate not covered by exists",
+			sub(message.Pred("x", message.OpEq, message.Int(1))),
+			sub(message.Exists("x")), false},
+		{"not-exists only by not-exists",
+			sub(message.Pred("x", message.OpNotExists, message.None())),
+			sub(message.Pred("x", message.OpNotExists, message.None())), true},
+		{"not-exists not by eq",
+			sub(message.Pred("x", message.OpNotExists, message.None())),
+			sub(message.Pred("x", message.OpEq, message.Int(1))), false},
+		{"ne covered by different eq",
+			sub(message.Pred("x", message.OpNe, message.Int(5))),
+			sub(message.Pred("x", message.OpEq, message.Int(3))), true},
+		{"ne not covered by same eq",
+			sub(message.Pred("x", message.OpNe, message.Int(5))),
+			sub(message.Pred("x", message.OpEq, message.Int(5))), false},
+		{"ne covered by lt below",
+			sub(message.Pred("x", message.OpNe, message.Int(5))),
+			sub(message.Pred("x", message.OpLt, message.Int(5))), true},
+		{"prefix covers longer prefix",
+			sub(message.Pred("x", message.OpPrefix, message.String("To"))),
+			sub(message.Pred("x", message.OpPrefix, message.String("Toronto"))), true},
+		{"prefix covered by eq",
+			sub(message.Pred("x", message.OpPrefix, message.String("To"))),
+			sub(message.Pred("x", message.OpEq, message.String("Toronto"))), true},
+		{"contains covered by prefix",
+			sub(message.Pred("x", message.OpContains, message.String("oro"))),
+			sub(message.Pred("x", message.OpPrefix, message.String("Toronto"))), true},
+		{"suffix covers longer suffix",
+			sub(message.Pred("x", message.OpSuffix, message.String("to"))),
+			sub(message.Pred("x", message.OpSuffix, message.String("onto"))), true},
+		{"fewer predicates cover more",
+			sub(message.Pred("x", message.OpEq, message.Int(1))),
+			sub(message.Pred("x", message.OpEq, message.Int(1)),
+				message.Pred("y", message.OpEq, message.Int(2))), true},
+		{"more predicates do not cover fewer",
+			sub(message.Pred("x", message.OpEq, message.Int(1)),
+				message.Pred("y", message.OpEq, message.Int(2))),
+			sub(message.Pred("x", message.OpEq, message.Int(1))), false},
+		{"different attributes never imply",
+			sub(message.Pred("x", message.OpEq, message.Int(1))),
+			sub(message.Pred("y", message.OpEq, message.Int(1))), false},
+		{"string ordering",
+			sub(message.Pred("x", message.OpLt, message.String("m"))),
+			sub(message.Pred("x", message.OpLt, message.String("g"))), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Covers(tc.a, tc.b); got != tc.want {
+				t.Errorf("Covers(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := sub(message.Pred("x", message.OpEq, message.Int(4)))
+	b := sub(message.Pred("x", message.OpEq, message.Float(4)))
+	if !Equivalent(a, b) {
+		t.Error("numerically equal equality subscriptions should be equivalent")
+	}
+	c := sub(message.Pred("x", message.OpGe, message.Int(4)))
+	if Equivalent(a, c) {
+		t.Error("eq and ge are not equivalent")
+	}
+}
+
+// satisfyingValue produces a value that satisfies p (nil means use
+// attribute absence).
+func satisfyingValue(r *rand.Rand, p message.Predicate) (message.Value, bool) {
+	switch p.Op {
+	case message.OpEq:
+		return p.Val, true
+	case message.OpNe:
+		return message.String("definitely-other-" + randWord(r, 3)), true
+	case message.OpLt:
+		if f, ok := p.Val.AsFloat(); ok {
+			return message.Float(f - 1 - float64(r.Intn(5))), true
+		}
+		return message.None(), false
+	case message.OpLe:
+		if f, ok := p.Val.AsFloat(); ok {
+			return message.Float(f - float64(r.Intn(5))), true
+		}
+		return message.None(), false
+	case message.OpGt:
+		if f, ok := p.Val.AsFloat(); ok {
+			return message.Float(f + 1 + float64(r.Intn(5))), true
+		}
+		return message.None(), false
+	case message.OpGe:
+		if f, ok := p.Val.AsFloat(); ok {
+			return message.Float(f + float64(r.Intn(5))), true
+		}
+		return message.None(), false
+	case message.OpBetween:
+		lo, _ := p.Val.AsFloat()
+		hi, _ := p.Hi.AsFloat()
+		return message.Float(lo + (hi-lo)*r.Float64()), true
+	case message.OpPrefix:
+		return message.String(p.Val.Str() + randWord(r, 3)), true
+	case message.OpSuffix:
+		return message.String(randWord(r, 3) + p.Val.Str()), true
+	case message.OpContains:
+		return message.String(randWord(r, 2) + p.Val.Str() + randWord(r, 2)), true
+	case message.OpExists:
+		return message.Int(int64(r.Intn(10))), true
+	default: // NotExists: no pair at all
+		return message.None(), false
+	}
+}
+
+// eventSatisfying builds an event that matches the subscription, by
+// construction, plus noise pairs.
+func eventSatisfying(r *rand.Rand, s message.Subscription) (message.Event, bool) {
+	var ev message.Event
+	for _, p := range s.Preds {
+		if p.Op == message.OpNotExists {
+			continue // satisfied by absence
+		}
+		v, ok := satisfyingValue(r, p)
+		if !ok {
+			return message.Event{}, false
+		}
+		ev.Add(p.Attr, v)
+	}
+	// Noise that must not break matching (avoid attributes of s).
+	for i := 0; i < r.Intn(3); i++ {
+		ev.Add("noise-"+randWord(r, 2), randValue(r))
+	}
+	if ev.Len() == 0 {
+		ev.Add("noise", message.Int(1))
+	}
+	return ev, true
+}
+
+// TestQuickCoversIsSound: whenever Covers(a, b) holds, every event
+// (constructed to) match b must match a.
+func TestQuickCoversIsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	covered := 0
+	for trial := 0; trial < 4000; trial++ {
+		a := randSubscription(r, 1)
+		b := randSubscription(r, 2)
+		// Bias: half the time derive b from a by narrowing, so that
+		// Covers fires often enough to test the sound direction.
+		if trial%2 == 0 {
+			b = a.Clone()
+			b.ID = 2
+			if len(b.Preds) > 0 && r.Intn(2) == 0 {
+				b.Preds = append(b.Preds, randPredicate(r))
+			}
+		}
+		if !Covers(a, b) {
+			continue
+		}
+		covered++
+		for k := 0; k < 20; k++ {
+			ev, ok := eventSatisfying(r, b)
+			if !ok {
+				break
+			}
+			if !b.Matches(ev) {
+				continue // construction failed (e.g. conflicting preds); not a covering question
+			}
+			if !a.Matches(ev) {
+				t.Fatalf("UNSOUND: Covers(a,b) but event matches only b\n a=%v\n b=%v\n e=%v", a, b, ev)
+			}
+		}
+	}
+	if covered < 100 {
+		t.Fatalf("only %d covered pairs exercised; generator too weak", covered)
+	}
+}
+
+// TestQuickCoversReflexiveTransitive: Covers is a preorder.
+func TestQuickCoversReflexiveTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(405))
+	for trial := 0; trial < 500; trial++ {
+		a := randSubscription(r, 1)
+		if !Covers(a, a) {
+			t.Fatalf("Covers not reflexive on %v", a)
+		}
+	}
+	// Transitivity over a chain of narrowing ranges.
+	wide := sub(message.Pred("x", message.OpGe, message.Int(0)))
+	mid := sub(message.Pred("x", message.OpGe, message.Int(5)))
+	tight := sub(message.Pred("x", message.OpGe, message.Int(9)))
+	if !Covers(wide, mid) || !Covers(mid, tight) || !Covers(wide, tight) {
+		t.Error("transitivity broken on range chain")
+	}
+}

@@ -1,0 +1,113 @@
+// Package matching implements the content-based matching algorithms that
+// S-ToPSS builds on. The paper (§3.1) extends "existing matching
+// algorithms" and cites two: the counting algorithm of Aguilera et al.
+// (PODC 1999) and the clustering/access-predicate algorithm of Fabret et
+// al. (SIGMOD 2001). Both are implemented here, together with a naive
+// linear-scan matcher that serves as the correctness oracle and scaling
+// baseline.
+//
+// All matchers implement Matcher and must produce exactly the matches of
+// the reference semantics message.Subscription.Matches; the property
+// tests in this package enforce pairwise agreement on random workloads.
+//
+// Matchers are not safe for concurrent use; the broker layer serializes
+// access (see internal/broker).
+package matching
+
+import (
+	"fmt"
+	"sort"
+
+	"stopss/internal/message"
+)
+
+// Matcher indexes subscriptions and matches events against them.
+type Matcher interface {
+	// Add indexes the subscription. Adding an ID that is already
+	// present is an error.
+	Add(sub message.Subscription) error
+	// Remove deletes the subscription and reports whether it existed.
+	Remove(id message.SubID) bool
+	// Match returns the IDs of all subscriptions satisfied by the
+	// event, in ascending order.
+	Match(e message.Event) []message.SubID
+	// Size reports the number of indexed subscriptions.
+	Size() int
+	// Name identifies the algorithm for reports and benchmarks.
+	Name() string
+}
+
+// New constructs a matcher by algorithm name: "naive", "counting",
+// "cluster" or "tree".
+func New(algorithm string) (Matcher, error) {
+	switch algorithm {
+	case "naive":
+		return NewNaive(), nil
+	case "counting":
+		return NewCounting(), nil
+	case "cluster":
+		return NewCluster(), nil
+	case "tree":
+		return NewTree(), nil
+	default:
+		return nil, fmt.Errorf("matching: unknown algorithm %q (want naive, counting, cluster or tree)", algorithm)
+	}
+}
+
+// Algorithms lists the available matcher names in a stable order.
+func Algorithms() []string { return []string{"naive", "counting", "cluster", "tree"} }
+
+// Naive is the brute-force matcher: it evaluates every subscription
+// against every event. It is the oracle for the indexed matchers and the
+// lower baseline for experiment T3.
+type Naive struct {
+	subs map[message.SubID]message.Subscription
+}
+
+// NewNaive returns an empty naive matcher.
+func NewNaive() *Naive {
+	return &Naive{subs: make(map[message.SubID]message.Subscription)}
+}
+
+// Name implements Matcher.
+func (m *Naive) Name() string { return "naive" }
+
+// Size implements Matcher.
+func (m *Naive) Size() int { return len(m.subs) }
+
+// Add implements Matcher.
+func (m *Naive) Add(sub message.Subscription) error {
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	if _, dup := m.subs[sub.ID]; dup {
+		return fmt.Errorf("matching: subscription %d already indexed", sub.ID)
+	}
+	m.subs[sub.ID] = sub.Clone()
+	return nil
+}
+
+// Remove implements Matcher.
+func (m *Naive) Remove(id message.SubID) bool {
+	if _, ok := m.subs[id]; !ok {
+		return false
+	}
+	delete(m.subs, id)
+	return true
+}
+
+// Match implements Matcher.
+func (m *Naive) Match(e message.Event) []message.SubID {
+	var out []message.SubID
+	for id, s := range m.subs {
+		if s.Matches(e) {
+			out = append(out, id)
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []message.SubID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

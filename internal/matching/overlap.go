@@ -1,0 +1,228 @@
+package matching
+
+import (
+	"math"
+	"strings"
+
+	"stopss/internal/message"
+)
+
+// Advertisements. The ToPSS system family (and the paper's web-service
+// discovery analogy in §2, where "provided services [are analogous] to
+// subscriptions") routes subscriptions only to publishers whose
+// advertised event space overlaps them. An Advertisement is a
+// conjunction of predicates describing every event the publisher will
+// emit: each future event carries exactly the advertised attributes,
+// with values satisfying the advertised constraints.
+
+// Advertisement describes a publisher's event space.
+type Advertisement struct {
+	Publisher string
+	Preds     []message.Predicate
+}
+
+// NewAdvertisement builds an advertisement.
+func NewAdvertisement(publisher string, preds ...message.Predicate) Advertisement {
+	a := Advertisement{Publisher: publisher, Preds: make([]message.Predicate, len(preds))}
+	copy(a.Preds, preds)
+	return a
+}
+
+// Validate checks the predicate list.
+func (a Advertisement) Validate() error {
+	s := message.Subscription{ID: 1, Preds: a.Preds}
+	return s.Validate()
+}
+
+// Attrs returns the advertised attribute set.
+func (a Advertisement) Attrs() map[string]bool {
+	out := make(map[string]bool, len(a.Preds))
+	for _, p := range a.Preds {
+		if p.Op != message.OpNotExists {
+			out[p.Attr] = true
+		}
+	}
+	return out
+}
+
+// ConformsTo reports whether a concrete event stays inside the
+// advertised space: every advertised predicate holds and the event
+// carries no unadvertised attributes.
+func (a Advertisement) ConformsTo(e message.Event) bool {
+	attrs := a.Attrs()
+	for _, pair := range e.Pairs() {
+		if !attrs[pair.Attr] {
+			return false
+		}
+	}
+	for _, p := range a.Preds {
+		if !p.Matches(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether some event in the advertised space could
+// match the subscription. Like Covers, the check is SOUND in the
+// conservative direction — a false result is definitive only when the
+// per-attribute reasoning can prove emptiness; uncertain predicate
+// combinations answer true, so no matching subscription is ever wrongly
+// pruned.
+func Overlaps(a Advertisement, s message.Subscription) bool {
+	attrs := a.Attrs()
+	for _, sp := range s.Preds {
+		if sp.Op == message.OpNotExists {
+			// Satisfiable iff the attribute is not advertised (all
+			// advertised attributes appear in every event).
+			if attrs[sp.Attr] {
+				return false
+			}
+			continue
+		}
+		if !attrs[sp.Attr] {
+			return false // events never carry this attribute
+		}
+		// Every advertised constraint on the attribute must be jointly
+		// satisfiable with the subscription predicate.
+		for _, ap := range a.Preds {
+			if ap.Attr == sp.Attr && !satisfiable(ap, sp) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// satisfiable reports whether one value can satisfy both predicates.
+// Conservative: unknown combinations return true.
+func satisfiable(p, q message.Predicate) bool {
+	// Existence constrains nothing at the value level.
+	if p.Op == message.OpExists || q.Op == message.OpExists {
+		return true
+	}
+	// Numeric interval reasoning.
+	if pi, ok := interval(p); ok {
+		if qi, ok2 := interval(q); ok2 {
+			return pi.intersects(qi)
+		}
+	}
+	// String reasoning.
+	if ps, ok := strConstraintOf(p); ok {
+		if qs, ok2 := strConstraintOf(q); ok2 {
+			return strSatisfiable(ps, qs)
+		}
+	}
+	// Equality against inequality of the same value.
+	if p.Op == message.OpEq && q.Op == message.OpNe && p.Val.Equal(q.Val) {
+		return false
+	}
+	if q.Op == message.OpEq && p.Op == message.OpNe && p.Val.Equal(q.Val) {
+		return false
+	}
+	// Cross-kind equalities: Eq(string) vs numeric interval etc.
+	if p.Op == message.OpEq && q.Op == message.OpEq && !p.Val.Equal(q.Val) {
+		return false
+	}
+	return true
+}
+
+// numInterval is a closed/open numeric interval.
+type numInterval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+}
+
+// interval abstracts a predicate into a numeric interval when possible.
+func interval(p message.Predicate) (numInterval, bool) {
+	full := numInterval{lo: math.Inf(-1), hi: math.Inf(1)}
+	switch p.Op {
+	case message.OpEq:
+		if f, ok := p.Val.AsFloat(); ok {
+			return numInterval{lo: f, hi: f}, true
+		}
+	case message.OpLt:
+		if f, ok := p.Val.AsFloat(); ok {
+			full.hi, full.hiOpen = f, true
+			return full, true
+		}
+	case message.OpLe:
+		if f, ok := p.Val.AsFloat(); ok {
+			full.hi = f
+			return full, true
+		}
+	case message.OpGt:
+		if f, ok := p.Val.AsFloat(); ok {
+			full.lo, full.loOpen = f, true
+			return full, true
+		}
+	case message.OpGe:
+		if f, ok := p.Val.AsFloat(); ok {
+			full.lo = f
+			return full, true
+		}
+	case message.OpBetween:
+		lo, ok1 := p.Val.AsFloat()
+		hi, ok2 := p.Hi.AsFloat()
+		if ok1 && ok2 {
+			return numInterval{lo: lo, hi: hi}, true
+		}
+	}
+	return numInterval{}, false
+}
+
+func (a numInterval) intersects(b numInterval) bool {
+	lo, loOpen := a.lo, a.loOpen
+	if b.lo > lo || (b.lo == lo && b.loOpen) {
+		lo, loOpen = b.lo, b.loOpen
+	}
+	hi, hiOpen := a.hi, a.hiOpen
+	if b.hi < hi || (b.hi == hi && b.hiOpen) {
+		hi, hiOpen = b.hi, b.hiOpen
+	}
+	if lo < hi {
+		return true
+	}
+	return lo == hi && !loOpen && !hiOpen
+}
+
+// strConstraint abstracts string predicates.
+type strConstraint struct {
+	op  message.Op // OpEq, OpPrefix, OpSuffix, OpContains
+	val string
+}
+
+func strConstraintOf(p message.Predicate) (strConstraint, bool) {
+	switch p.Op {
+	case message.OpEq:
+		if p.Val.Kind() == message.KindString {
+			return strConstraint{op: message.OpEq, val: p.Val.Str()}, true
+		}
+	case message.OpPrefix, message.OpSuffix, message.OpContains:
+		return strConstraint{op: p.Op, val: p.Val.Str()}, true
+	}
+	return strConstraint{}, false
+}
+
+func strSatisfiable(a, b strConstraint) bool {
+	// Normalize so equality comes first when present.
+	if b.op == message.OpEq && a.op != message.OpEq {
+		a, b = b, a
+	}
+	switch {
+	case a.op == message.OpEq && b.op == message.OpEq:
+		return a.val == b.val
+	case a.op == message.OpEq && b.op == message.OpPrefix:
+		return strings.HasPrefix(a.val, b.val)
+	case a.op == message.OpEq && b.op == message.OpSuffix:
+		return strings.HasSuffix(a.val, b.val)
+	case a.op == message.OpEq && b.op == message.OpContains:
+		return strings.Contains(a.val, b.val)
+	case a.op == message.OpPrefix && b.op == message.OpPrefix:
+		return strings.HasPrefix(a.val, b.val) || strings.HasPrefix(b.val, a.val)
+	default:
+		// suffix/contains combinations: a witness can usually be
+		// constructed (e.g. prefix+suffix → concatenate), so true.
+		return true
+	}
+}

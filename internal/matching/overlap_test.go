@@ -1,0 +1,179 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func adv(preds ...message.Predicate) Advertisement {
+	return NewAdvertisement("pub", preds...)
+}
+
+func TestAdvertisementConformsTo(t *testing.T) {
+	a := adv(
+		message.Pred("sym", message.OpEq, message.String("IBM")),
+		message.Between("price", message.Int(0), message.Int(500)),
+	)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ConformsTo(message.E("sym", "IBM", "price", 100)) {
+		t.Error("conforming event rejected")
+	}
+	if a.ConformsTo(message.E("sym", "MSFT", "price", 100)) {
+		t.Error("advertised constraint violated but accepted")
+	}
+	if a.ConformsTo(message.E("sym", "IBM", "price", 100, "volume", 1)) {
+		t.Error("unadvertised attribute accepted")
+	}
+	if a.ConformsTo(message.E("sym", "IBM")) {
+		t.Error("missing advertised attribute accepted")
+	}
+}
+
+func TestOverlapsBasics(t *testing.T) {
+	a := adv(
+		message.Pred("sym", message.OpEq, message.String("IBM")),
+		message.Between("price", message.Int(0), message.Int(500)),
+	)
+	cases := []struct {
+		name string
+		sub  message.Subscription
+		want bool
+	}{
+		{"same symbol", sub(message.Pred("sym", message.OpEq, message.String("IBM"))), true},
+		{"other symbol", sub(message.Pred("sym", message.OpEq, message.String("MSFT"))), false},
+		{"price inside", sub(message.Pred("price", message.OpGe, message.Int(100))), true},
+		{"price outside", sub(message.Pred("price", message.OpGt, message.Int(500))), false},
+		{"price boundary closed", sub(message.Pred("price", message.OpGe, message.Int(500))), true},
+		{"unadvertised attribute", sub(message.Pred("volume", message.OpGt, message.Int(0))), false},
+		{"not-exists on unadvertised", sub(message.Predicate{Attr: "volume", Op: message.OpNotExists}), true},
+		{"not-exists on advertised", sub(message.Predicate{Attr: "sym", Op: message.OpNotExists}), false},
+		{"exists on advertised", sub(message.Exists("price")), true},
+		{"conjunction overlapping", sub(
+			message.Pred("sym", message.OpEq, message.String("IBM")),
+			message.Between("price", message.Int(400), message.Int(600))), true},
+		{"conjunction disjoint", sub(
+			message.Pred("sym", message.OpEq, message.String("IBM")),
+			message.Between("price", message.Int(501), message.Int(600))), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Overlaps(a, tc.sub); got != tc.want {
+				t.Errorf("Overlaps = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestOverlapsStringReasoning(t *testing.T) {
+	a := adv(message.Pred("name", message.OpPrefix, message.String("To")))
+	if !Overlaps(a, sub(message.Pred("name", message.OpEq, message.String("Toronto")))) {
+		t.Error("Toronto has prefix To: overlap expected")
+	}
+	if Overlaps(a, sub(message.Pred("name", message.OpEq, message.String("Montreal")))) {
+		t.Error("Montreal lacks prefix To: no overlap")
+	}
+	if !Overlaps(a, sub(message.Pred("name", message.OpPrefix, message.String("Tor")))) {
+		t.Error("nested prefixes overlap")
+	}
+	if Overlaps(a, sub(message.Pred("name", message.OpPrefix, message.String("Mo")))) {
+		t.Error("divergent prefixes cannot overlap")
+	}
+	// Conservative combinations answer true.
+	if !Overlaps(a, sub(message.Pred("name", message.OpSuffix, message.String("onto")))) {
+		t.Error("prefix+suffix is satisfiable (conservatively true)")
+	}
+}
+
+func TestOverlapsOpenIntervals(t *testing.T) {
+	a := adv(message.Pred("x", message.OpLt, message.Int(10)))
+	if Overlaps(a, sub(message.Pred("x", message.OpGe, message.Int(10)))) {
+		t.Error("x<10 and x>=10 are disjoint")
+	}
+	if !Overlaps(a, sub(message.Pred("x", message.OpGe, message.Int(9)))) {
+		t.Error("x<10 and x>=9 share [9,10)")
+	}
+	b := adv(message.Pred("x", message.OpLe, message.Int(10)))
+	if !Overlaps(b, sub(message.Pred("x", message.OpGe, message.Int(10)))) {
+		t.Error("x<=10 and x>=10 share the point 10")
+	}
+	c := adv(message.Pred("x", message.OpGt, message.Int(5)))
+	if Overlaps(c, sub(message.Pred("x", message.OpLt, message.Int(5)))) {
+		t.Error("x>5 and x<5 are disjoint")
+	}
+}
+
+func TestOverlapsEqNe(t *testing.T) {
+	a := adv(message.Pred("k", message.OpEq, message.String("v")))
+	if Overlaps(a, sub(message.Pred("k", message.OpNe, message.String("v")))) {
+		t.Error("k=v and k!=v are disjoint")
+	}
+	if !Overlaps(a, sub(message.Pred("k", message.OpNe, message.String("w")))) {
+		t.Error("k=v and k!=w overlap")
+	}
+}
+
+// TestQuickOverlapsSound: if Overlaps says false, then no conforming
+// event may match the subscription.
+func TestQuickOverlapsSound(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	checked := 0
+	for trial := 0; trial < 3000; trial++ {
+		// Advertisement from a random subscription shape.
+		as := randSubscription(r, 1)
+		a := NewAdvertisement("p", as.Preds...)
+		s := randSubscription(r, 2)
+		if Overlaps(a, s) {
+			continue
+		}
+		checked++
+		// Build events conforming to the advertisement; none may match s.
+		for k := 0; k < 20; k++ {
+			ev, ok := eventSatisfying(r, as)
+			if !ok {
+				break
+			}
+			// Strip unadvertised noise pairs so the event conforms.
+			attrs := a.Attrs()
+			var conforming message.Event
+			for _, pair := range ev.Pairs() {
+				if attrs[pair.Attr] {
+					conforming.AddPair(pair)
+				}
+			}
+			if conforming.Len() == 0 || !a.ConformsTo(conforming) {
+				continue
+			}
+			if s.Matches(conforming) {
+				t.Fatalf("UNSOUND: Overlaps=false but conforming event matches\n adv=%v\n sub=%v\n ev=%v",
+					as, s, conforming)
+			}
+		}
+	}
+	if checked < 200 {
+		t.Fatalf("only %d non-overlapping pairs exercised", checked)
+	}
+}
+
+func TestOverlapsCoversConsistency(t *testing.T) {
+	// If subscription b is covered by a, any advertisement overlapping b
+	// must overlap a (a is weaker).
+	r := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 2000; trial++ {
+		a := randSubscription(r, 1)
+		b := a.Clone()
+		b.ID = 2
+		b.Preds = append(b.Preds, randPredicate(r)) // narrow b
+		if !Covers(a, b) {
+			continue
+		}
+		advS := randSubscription(r, 3)
+		advt := NewAdvertisement("p", advS.Preds...)
+		if Overlaps(advt, b) && !Overlaps(advt, a) {
+			t.Fatalf("inconsistent: adv overlaps covered %v but not covering %v (adv %v)", b, a, advS)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package matching
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func TestTreeSharedPrefixPaths(t *testing.T) {
+	// Subscriptions sharing equality tests share tree paths: the depth
+	// grows with the number of distinct constrained attributes, not the
+	// number of subscriptions.
+	m := NewTree()
+	for i := 0; i < 100; i++ {
+		s := message.NewSubscription(message.SubID(i+1), "c",
+			message.Pred("sym", message.OpEq, message.String("IBM")),
+			message.Pred("price", message.OpEq, message.Int(int64(i%10))))
+		if err := m.Add(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := m.Depth(); d > 4 {
+		t.Errorf("Depth = %d; shared prefixes should keep the tree shallow", d)
+	}
+	got := m.Match(message.E("sym", "IBM", "price", 3))
+	if len(got) != 10 {
+		t.Errorf("Match = %d subs, want 10", len(got))
+	}
+}
+
+func TestTreeDontCareRouting(t *testing.T) {
+	// A subscription constraining only a late attribute must be found
+	// through don't-care edges of earlier tests.
+	m := NewTree()
+	mustAdd := func(id int, preds ...message.Predicate) {
+		t.Helper()
+		if err := m.Add(message.NewSubscription(message.SubID(id), "c", preds...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(1, message.Pred("a", message.OpEq, message.Int(1)), message.Pred("z", message.OpEq, message.Int(9)))
+	mustAdd(2, message.Pred("z", message.OpEq, message.Int(9)))
+	mustAdd(3, message.Pred("m", message.OpEq, message.Int(5)))
+	// Insertion order forces the "node.attr > attr" routing case: the
+	// first path claims "a" at the root, then a sub on "a"-preceding
+	// attribute arrives.
+	mustAdd(4, message.Pred("A", message.OpEq, message.Int(0))) // "A" < "a"
+
+	cases := []struct {
+		e    message.Event
+		want []message.SubID
+	}{
+		{message.E("a", 1, "z", 9), []message.SubID{1, 2}},
+		{message.E("z", 9), []message.SubID{2}},
+		{message.E("m", 5), []message.SubID{3}},
+		{message.E("A", 0), []message.SubID{4}},
+		{message.E("a", 1), nil},
+	}
+	for _, tc := range cases {
+		got := m.Match(tc.e)
+		if !reflect.DeepEqual(got, tc.want) && !(len(got) == 0 && len(tc.want) == 0) {
+			t.Errorf("Match(%v) = %v, want %v", tc.e, got, tc.want)
+		}
+	}
+}
+
+func TestTreeResidualOnlySubscription(t *testing.T) {
+	// No equality predicates at all: the subscription lives at the root
+	// and is verified residually.
+	m := NewTree()
+	if err := m.Add(message.NewSubscription(1, "c",
+		message.Pred("p", message.OpGt, message.Int(10)))); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Match(message.E("p", 11)); len(got) != 1 {
+		t.Errorf("Match = %v", got)
+	}
+	if got := m.Match(message.E("p", 9)); len(got) != 0 {
+		t.Errorf("Match = %v", got)
+	}
+}
+
+func TestTreeDuplicateEqualitySameAttr(t *testing.T) {
+	// Two equalities on one attribute: the second goes residual, making
+	// the subscription unsatisfiable by a single-valued event but
+	// satisfiable by a multi-valued one.
+	m := NewTree()
+	if err := m.Add(message.NewSubscription(1, "c",
+		message.Pred("tag", message.OpEq, message.String("x")),
+		message.Pred("tag", message.OpEq, message.String("y")))); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Match(message.E("tag", "x")); len(got) != 0 {
+		t.Errorf("single-valued event matched: %v", got)
+	}
+	if got := m.Match(message.E("tag", "x", "tag", "y")); len(got) != 1 {
+		t.Errorf("multi-valued event should match: %v", got)
+	}
+}
+
+func TestTreeFuzzAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(808))
+	for trial := 0; trial < 15; trial++ {
+		naive, tree := NewNaive(), NewTree()
+		for i := 0; i < 120; i++ {
+			s := randSubscription(r, message.SubID(i+1))
+			if err := naive.Add(s); err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Add(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for j := 0; j < 60; j++ {
+			e := randEvent(r)
+			want := naive.Match(e)
+			got := tree.Match(e)
+			if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+				t.Fatalf("tree disagrees with naive on %v:\n got %v\nwant %v", e, got, want)
+			}
+		}
+	}
+}
+
+func ExampleTree() {
+	m := NewTree()
+	_ = m.Add(message.NewSubscription(1, "recruiter",
+		message.Pred("university", message.OpEq, message.String("Toronto")),
+		message.Pred("professional experience", message.OpGe, message.Int(4))))
+	fmt.Println(m.Match(message.E("university", "Toronto", "professional experience", 5)))
+	fmt.Println(m.Depth())
+	// Output:
+	// [1]
+	// 2
+}

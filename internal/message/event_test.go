@@ -1,0 +1,222 @@
+package message
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventConstructionAndAccess(t *testing.T) {
+	e := NewEvent(Pair{"school", String("Toronto")}, Pair{"year", Int(1990)})
+	if e.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", e.Len())
+	}
+	if v, ok := e.Get("school"); !ok || v.Str() != "Toronto" {
+		t.Errorf("Get(school) = %v, %v", v, ok)
+	}
+	if _, ok := e.Get("salary"); ok {
+		t.Error("Get of absent attribute should report false")
+	}
+	if !e.Has("year") || e.Has("nope") {
+		t.Error("Has misreports")
+	}
+	if p := e.Pair(1); p.Attr != "year" {
+		t.Errorf("Pair(1) = %v", p)
+	}
+}
+
+func TestEShorthand(t *testing.T) {
+	e := E("a", 1, "b", "x", "c", 2.5, "d", true, "e", int64(9), "f", Int(3))
+	want := []Kind{KindInt, KindString, KindFloat, KindBool, KindInt, KindInt}
+	for i, k := range want {
+		if e.Pair(i).Val.Kind() != k {
+			t.Errorf("pair %d kind = %v, want %v", i, e.Pair(i).Val.Kind(), k)
+		}
+	}
+
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("odd args", func() { E("a") })
+	mustPanic("non-string attr", func() { E(1, 2) })
+	mustPanic("bad value type", func() { E("a", struct{}{}) })
+}
+
+func TestEventMultiValued(t *testing.T) {
+	e := E("job", "IBM", "job", "Microsoft")
+	vs := e.GetAll("job")
+	if len(vs) != 2 || vs[0].Str() != "IBM" || vs[1].Str() != "Microsoft" {
+		t.Errorf("GetAll = %v", vs)
+	}
+	if v, _ := e.Get("job"); v.Str() != "IBM" {
+		t.Error("Get should return the first instance")
+	}
+}
+
+func TestEventAddUnique(t *testing.T) {
+	e := E("a", 1)
+	if !e.AddUnique("a", Int(2)) {
+		t.Error("different value should be added")
+	}
+	if e.AddUnique("a", Int(1)) {
+		t.Error("duplicate pair must not be added")
+	}
+	if e.AddUnique("a", Float(2)) {
+		t.Error("numerically equal pair must not be added")
+	}
+	if e.Len() != 2 {
+		t.Errorf("Len = %d, want 2", e.Len())
+	}
+}
+
+func TestEventCloneIndependence(t *testing.T) {
+	e := E("a", 1)
+	c := e.Clone()
+	c.Add("b", Int(2))
+	if e.Has("b") {
+		t.Error("mutating a clone must not affect the original")
+	}
+}
+
+func TestEventSignatureOrderInsensitive(t *testing.T) {
+	a := E("x", 1, "y", "two")
+	b := E("y", "two", "x", 1)
+	if a.Signature() != b.Signature() {
+		t.Error("signatures must ignore pair order")
+	}
+	if !a.Equal(b) {
+		t.Error("Equal must ignore pair order")
+	}
+	c := E("x", 1, "y", "three")
+	if a.Equal(c) {
+		t.Error("different value multisets must not be Equal")
+	}
+	// Duplicates count: (a,1)(a,1) differs from (a,1).
+	d1 := E("a", 1, "a", 1)
+	d2 := E("a", 1)
+	if d1.Equal(d2) {
+		t.Error("multiset semantics: duplicate pairs are significant")
+	}
+}
+
+func TestEventAttrsSortedDistinct(t *testing.T) {
+	e := E("b", 1, "a", 2, "b", 3)
+	got := e.Attrs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := E("school", "Toronto", "degree", "PhD")
+	if got, want := e.String(), "(school, Toronto)(degree, PhD)"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestEventValidate(t *testing.T) {
+	if err := E("a", 1).Validate(); err != nil {
+		t.Errorf("valid event rejected: %v", err)
+	}
+	if err := (Event{}).Validate(); err == nil {
+		t.Error("empty event must be invalid")
+	}
+	bad := NewEvent(Pair{"", Int(1)})
+	if err := bad.Validate(); err == nil {
+		t.Error("empty attribute must be invalid")
+	}
+	bad2 := NewEvent(Pair{"a", None()})
+	if err := bad2.Validate(); err == nil {
+		t.Error("none value must be invalid")
+	}
+}
+
+func randomEvent(r *rand.Rand) Event {
+	n := 1 + r.Intn(6)
+	e := Event{}
+	for i := 0; i < n; i++ {
+		e.Add(randomWord(r), randomValue(r))
+	}
+	return e
+}
+
+func TestQuickSignatureStableUnderShuffle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		e := randomEvent(r)
+		sig := e.Signature()
+		shuffled := e.Clone()
+		r.Shuffle(shuffled.Len(), func(i, j int) {
+			shuffled.pairs[i], shuffled.pairs[j] = shuffled.pairs[j], shuffled.pairs[i]
+		})
+		if shuffled.Signature() != sig {
+			t.Fatalf("signature changed under shuffle: %v vs %v", e, shuffled)
+		}
+	}
+}
+
+func TestQuickJSONRoundTripEvent(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		e := randomEvent(r)
+		data, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if !e.Equal(back) {
+			t.Fatalf("round trip changed event: %v -> %v", e, back)
+		}
+		// Kinds must survive exactly, not just Equal-collapse.
+		for j := 0; j < e.Len(); j++ {
+			if e.Pair(j).Val.Kind() != back.Pair(j).Val.Kind() {
+				t.Fatalf("kind lost in round trip at pair %d: %v vs %v", j, e.Pair(j).Val.Kind(), back.Pair(j).Val.Kind())
+			}
+		}
+	}
+}
+
+func TestQuickValueJSONRoundTrip(t *testing.T) {
+	prop := func(v Value) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return v.Equal(back) && v.Kind() == back.Kind()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueJSONRejectsGarbage(t *testing.T) {
+	var v Value
+	for _, bad := range []string{
+		`{"kind":"string"}`,
+		`{"kind":"int"}`,
+		`{"kind":"float"}`,
+		`{"kind":"bool"}`,
+		`{"kind":"martian","str":"x"}`,
+		`[1,2]`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &v); err == nil {
+			t.Errorf("Unmarshal(%s) should fail", bad)
+		}
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"none"}`), &v); err != nil || !v.IsNone() {
+		t.Errorf("none value should decode: %v %v", v, err)
+	}
+}

@@ -1,0 +1,151 @@
+package message
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The wire representation used by the web application and the
+// notification transports. Values are encoded as tagged objects so that
+// the string "4" and the integer 4 survive a round trip distinctly.
+
+type wireValue struct {
+	Kind  string   `json:"kind"`
+	Str   *string  `json:"str,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+	Bool  *bool    `json:"bool,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	w := wireValue{Kind: v.kind.String()}
+	switch v.kind {
+	case KindString:
+		s := v.str
+		w.Str = &s
+	case KindInt:
+		n := v.num
+		w.Int = &n
+	case KindFloat:
+		f := v.flt
+		w.Float = &f
+	case KindBool:
+		b := v.b
+		w.Bool = &b
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w wireValue
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("message: decoding value: %w", err)
+	}
+	switch w.Kind {
+	case "none", "":
+		*v = None()
+	case "string":
+		if w.Str == nil {
+			return fmt.Errorf("message: string value missing payload")
+		}
+		*v = String(*w.Str)
+	case "int":
+		if w.Int == nil {
+			return fmt.Errorf("message: int value missing payload")
+		}
+		*v = Int(*w.Int)
+	case "float":
+		if w.Float == nil {
+			return fmt.Errorf("message: float value missing payload")
+		}
+		*v = Float(*w.Float)
+	case "bool":
+		if w.Bool == nil {
+			return fmt.Errorf("message: bool value missing payload")
+		}
+		*v = Bool(*w.Bool)
+	default:
+		return fmt.Errorf("message: unknown value kind %q", w.Kind)
+	}
+	return nil
+}
+
+type wirePair struct {
+	Attr string `json:"attr"`
+	Val  Value  `json:"val"`
+}
+
+type wireEvent struct {
+	Pairs []wirePair `json:"pairs"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	w := wireEvent{Pairs: make([]wirePair, len(e.pairs))}
+	for i, p := range e.pairs {
+		w.Pairs[i] = wirePair{Attr: p.Attr, Val: p.Val}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w wireEvent
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("message: decoding event: %w", err)
+	}
+	e.pairs = make([]Pair, len(w.Pairs))
+	for i, p := range w.Pairs {
+		e.pairs[i] = Pair{Attr: p.Attr, Val: p.Val}
+	}
+	return nil
+}
+
+type wirePredicate struct {
+	Attr string `json:"attr"`
+	Op   string `json:"op"`
+	Val  Value  `json:"val,omitempty"`
+	Hi   Value  `json:"hi,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p Predicate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wirePredicate{Attr: p.Attr, Op: p.Op.String(), Val: p.Val, Hi: p.Hi})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Predicate) UnmarshalJSON(data []byte) error {
+	var w wirePredicate
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("message: decoding predicate: %w", err)
+	}
+	op := ParseOp(w.Op)
+	if op == OpInvalid {
+		return fmt.Errorf("message: unknown operator %q", w.Op)
+	}
+	*p = Predicate{Attr: w.Attr, Op: op, Val: w.Val, Hi: w.Hi}
+	return nil
+}
+
+type wireSubscription struct {
+	ID         SubID       `json:"id"`
+	Subscriber string      `json:"subscriber,omitempty"`
+	Preds      []Predicate `json:"preds"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Subscription) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireSubscription{ID: s.ID, Subscriber: s.Subscriber, Preds: s.Preds})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Subscription) UnmarshalJSON(data []byte) error {
+	var w wireSubscription
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("message: decoding subscription: %w", err)
+	}
+	*s = Subscription{ID: w.ID, Subscriber: w.Subscriber, Preds: w.Preds}
+	return nil
+}

@@ -1,0 +1,249 @@
+package message
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates the predicate operators of the subscription language.
+type Op uint8
+
+// Supported operators. Exists and NotExists are unary (their Value is
+// ignored); Between is the only ternary operator and uses both Value and
+// Hi bounds (inclusive).
+const (
+	OpInvalid   Op = iota
+	OpEq           // attr = v
+	OpNe           // attr != v
+	OpLt           // attr < v
+	OpLe           // attr <= v
+	OpGt           // attr > v
+	OpGe           // attr >= v
+	OpPrefix       // attr has-prefix v   (strings)
+	OpSuffix       // attr has-suffix v   (strings)
+	OpContains     // attr contains v     (strings)
+	OpExists       // attr present with any value
+	OpNotExists    // attr absent
+	OpBetween      // v <= attr <= hi     (numeric)
+)
+
+var opNames = map[Op]string{
+	OpEq:        "=",
+	OpNe:        "!=",
+	OpLt:        "<",
+	OpLe:        "<=",
+	OpGt:        ">",
+	OpGe:        ">=",
+	OpPrefix:    "prefix",
+	OpSuffix:    "suffix",
+	OpContains:  "contains",
+	OpExists:    "exists",
+	OpNotExists: "not-exists",
+	OpBetween:   "between",
+}
+
+// String returns the surface syntax of the operator.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp is the inverse of Op.String. It returns OpInvalid for unknown
+// tokens.
+func ParseOp(s string) Op {
+	switch s {
+	case "=", "==":
+		return OpEq
+	case "!=", "<>":
+		return OpNe
+	case "<":
+		return OpLt
+	case "<=":
+		return OpLe
+	case ">":
+		return OpGt
+	case ">=":
+		return OpGe
+	case "prefix":
+		return OpPrefix
+	case "suffix":
+		return OpSuffix
+	case "contains":
+		return OpContains
+	case "exists":
+		return OpExists
+	case "not-exists":
+		return OpNotExists
+	case "between":
+		return OpBetween
+	default:
+		return OpInvalid
+	}
+}
+
+// IsUnary reports whether the operator takes no right-hand value.
+func (o Op) IsUnary() bool { return o == OpExists || o == OpNotExists }
+
+// IsOrdering reports whether the operator compares magnitudes and can be
+// served by the sorted threshold indexes of the counting matcher.
+func (o Op) IsOrdering() bool {
+	switch o {
+	case OpLt, OpLe, OpGt, OpGe, OpBetween:
+		return true
+	}
+	return false
+}
+
+// Predicate is a single constraint over one attribute. A Subscription is
+// a conjunction of Predicates. The zero Predicate is invalid.
+type Predicate struct {
+	Attr string
+	Op   Op
+	Val  Value
+	Hi   Value // upper bound, OpBetween only
+}
+
+// Pred is a convenience constructor for binary predicates.
+func Pred(attr string, op Op, val Value) Predicate {
+	return Predicate{Attr: attr, Op: op, Val: val}
+}
+
+// Exists constructs the unary existence predicate.
+func Exists(attr string) Predicate { return Predicate{Attr: attr, Op: OpExists} }
+
+// Between constructs the inclusive range predicate lo <= attr <= hi.
+func Between(attr string, lo, hi Value) Predicate {
+	return Predicate{Attr: attr, Op: OpBetween, Val: lo, Hi: hi}
+}
+
+// Eval reports whether the predicate is satisfied by value v of its
+// attribute. present distinguishes "attribute carried by the event with
+// some value" from "attribute absent" for the unary operators.
+func (p Predicate) Eval(v Value, present bool) bool {
+	switch p.Op {
+	case OpExists:
+		return present
+	case OpNotExists:
+		return !present
+	}
+	if !present {
+		return false
+	}
+	switch p.Op {
+	case OpEq:
+		return v.Equal(p.Val)
+	case OpNe:
+		// Comparable and different: mismatched kinds (string vs int)
+		// are treated as not-equal, matching the loose semantics of
+		// the publication language.
+		return !v.Equal(p.Val)
+	case OpLt:
+		c, ok := v.Compare(p.Val)
+		return ok && c < 0
+	case OpLe:
+		c, ok := v.Compare(p.Val)
+		return ok && c <= 0
+	case OpGt:
+		c, ok := v.Compare(p.Val)
+		return ok && c > 0
+	case OpGe:
+		c, ok := v.Compare(p.Val)
+		return ok && c >= 0
+	case OpBetween:
+		lo, ok1 := v.Compare(p.Val)
+		hi, ok2 := v.Compare(p.Hi)
+		return ok1 && ok2 && lo >= 0 && hi <= 0
+	case OpPrefix:
+		return v.Kind() == KindString && p.Val.Kind() == KindString &&
+			strings.HasPrefix(v.Str(), p.Val.Str())
+	case OpSuffix:
+		return v.Kind() == KindString && p.Val.Kind() == KindString &&
+			strings.HasSuffix(v.Str(), p.Val.Str())
+	case OpContains:
+		return v.Kind() == KindString && p.Val.Kind() == KindString &&
+			strings.Contains(v.Str(), p.Val.Str())
+	default:
+		return false
+	}
+}
+
+// Matches evaluates the predicate against a whole event: it is satisfied
+// if any attribute instance of the event satisfies it (events may carry
+// several values for one root attribute after semantic expansion).
+func (p Predicate) Matches(e Event) bool {
+	if p.Op == OpNotExists {
+		return !e.Has(p.Attr)
+	}
+	for _, pair := range e.pairs {
+		if pair.Attr == p.Attr && p.Eval(pair.Val, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the predicate in subscription-language syntax.
+func (p Predicate) String() string {
+	switch {
+	case p.Op.IsUnary():
+		return fmt.Sprintf("(%s %s)", p.Attr, p.Op)
+	case p.Op == OpBetween:
+		return fmt.Sprintf("(%s between %s and %s)", p.Attr, p.Val, p.Hi)
+	default:
+		return fmt.Sprintf("(%s %s %s)", p.Attr, p.Op, p.Val)
+	}
+}
+
+// Canonical renders the predicate unambiguously for signatures: operator,
+// attribute and canonical value forms joined with unit separators.
+func (p Predicate) Canonical() string {
+	var sb strings.Builder
+	sb.WriteString(p.Attr)
+	sb.WriteByte(0x1f)
+	sb.WriteString(p.Op.String())
+	sb.WriteByte(0x1f)
+	sb.WriteString(p.Val.Canonical())
+	if p.Op == OpBetween {
+		sb.WriteByte(0x1f)
+		sb.WriteString(p.Hi.Canonical())
+	}
+	return sb.String()
+}
+
+// Validate reports whether the predicate is well formed: a non-empty
+// attribute, a known operator, value kinds appropriate for the operator.
+func (p Predicate) Validate() error {
+	if p.Attr == "" {
+		return fmt.Errorf("message: predicate has empty attribute")
+	}
+	switch p.Op {
+	case OpInvalid:
+		return fmt.Errorf("message: predicate %q has invalid operator", p.Attr)
+	case OpExists, OpNotExists:
+		return nil
+	case OpPrefix, OpSuffix, OpContains:
+		if p.Val.Kind() != KindString {
+			return fmt.Errorf("message: %s predicate on %q requires a string value, got %s", p.Op, p.Attr, p.Val.Kind())
+		}
+	case OpBetween:
+		if !p.Val.IsNumeric() || !p.Hi.IsNumeric() {
+			return fmt.Errorf("message: between predicate on %q requires numeric bounds", p.Attr)
+		}
+		lo, _ := p.Val.AsFloat()
+		hi, _ := p.Hi.AsFloat()
+		if lo > hi {
+			return fmt.Errorf("message: between predicate on %q has inverted bounds (%v > %v)", p.Attr, p.Val, p.Hi)
+		}
+	case OpLt, OpLe, OpGt, OpGe:
+		if p.Val.IsNone() {
+			return fmt.Errorf("message: ordering predicate on %q has no value", p.Attr)
+		}
+	case OpEq, OpNe:
+		if p.Val.IsNone() {
+			return fmt.Errorf("message: equality predicate on %q has no value", p.Attr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package message
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseOpRoundTrip(t *testing.T) {
+	ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpPrefix, OpSuffix, OpContains, OpExists, OpNotExists, OpBetween}
+	for _, op := range ops {
+		if got := ParseOp(op.String()); got != op {
+			t.Errorf("ParseOp(%q) = %v, want %v", op.String(), got, op)
+		}
+	}
+	if ParseOp("bogus") != OpInvalid {
+		t.Error("ParseOp should reject unknown tokens")
+	}
+	if ParseOp("==") != OpEq || ParseOp("<>") != OpNe {
+		t.Error("ParseOp should accept the alternative spellings == and <>")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpExists.IsUnary() || !OpNotExists.IsUnary() || OpEq.IsUnary() {
+		t.Error("IsUnary misclassifies operators")
+	}
+	for _, op := range []Op{OpLt, OpLe, OpGt, OpGe, OpBetween} {
+		if !op.IsOrdering() {
+			t.Errorf("%v should be an ordering operator", op)
+		}
+	}
+	for _, op := range []Op{OpEq, OpNe, OpPrefix, OpExists} {
+		if op.IsOrdering() {
+			t.Errorf("%v should not be an ordering operator", op)
+		}
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Predicate
+		v       Value
+		present bool
+		want    bool
+	}{
+		{"eq hit", Pred("a", OpEq, Int(4)), Int(4), true, true},
+		{"eq cross-kind numeric", Pred("a", OpEq, Int(4)), Float(4.0), true, true},
+		{"eq miss", Pred("a", OpEq, Int(4)), Int(5), true, false},
+		{"eq absent", Pred("a", OpEq, Int(4)), None(), false, false},
+		{"ne hit", Pred("a", OpNe, Int(4)), Int(5), true, true},
+		{"ne kind mismatch is ne", Pred("a", OpNe, Int(4)), String("x"), true, true},
+		{"lt hit", Pred("a", OpLt, Int(4)), Int(3), true, true},
+		{"lt boundary", Pred("a", OpLt, Int(4)), Int(4), true, false},
+		{"le boundary", Pred("a", OpLe, Int(4)), Int(4), true, true},
+		{"gt hit", Pred("a", OpGt, Int(4)), Int(5), true, true},
+		{"ge boundary", Pred("a", OpGe, Int(4)), Int(4), true, true},
+		{"ge hit from paper", Pred("professional experience", OpGe, Int(4)), Int(5), true, true},
+		{"ordering incomparable", Pred("a", OpLt, Int(4)), String("z"), true, false},
+		{"between inside", Between("a", Int(2), Int(6)), Int(4), true, true},
+		{"between lo edge", Between("a", Int(2), Int(6)), Int(2), true, true},
+		{"between hi edge", Between("a", Int(2), Int(6)), Int(6), true, true},
+		{"between outside", Between("a", Int(2), Int(6)), Int(7), true, false},
+		{"prefix hit", Pred("a", OpPrefix, String("To")), String("Toronto"), true, true},
+		{"prefix miss", Pred("a", OpPrefix, String("to")), String("Toronto"), true, false},
+		{"suffix hit", Pred("a", OpSuffix, String("onto")), String("Toronto"), true, true},
+		{"contains hit", Pred("a", OpContains, String("ron")), String("Toronto"), true, true},
+		{"contains non-string", Pred("a", OpContains, String("ron")), Int(3), true, false},
+		{"exists present", Exists("a"), Int(1), true, true},
+		{"exists absent", Exists("a"), None(), false, false},
+		{"not-exists absent", Pred("a", OpNotExists, None()), None(), false, true},
+		{"not-exists present", Pred("a", OpNotExists, None()), Int(1), true, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Eval(tc.v, tc.present); got != tc.want {
+				t.Errorf("%v.Eval(%v, %v) = %v, want %v", tc.p, tc.v, tc.present, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPredicateMatchesEvent(t *testing.T) {
+	e := E("school", "Toronto", "degree", "PhD", "job1", "IBM", "job2", "Microsoft")
+	if !Pred("school", OpEq, String("Toronto")).Matches(e) {
+		t.Error("school = Toronto should match")
+	}
+	if Pred("university", OpEq, String("Toronto")).Matches(e) {
+		t.Error("university = Toronto must not match syntactically (paper §3.1)")
+	}
+	if !Pred("job2", OpEq, String("Microsoft")).Matches(e) {
+		t.Error("second pair should be reachable")
+	}
+	if !Pred("salary", OpNotExists, None()).Matches(e) {
+		t.Error("not-exists should hold for absent attribute")
+	}
+	// Multi-valued attribute: any instance may satisfy.
+	multi := E("skill", "Java", "skill", "COBOL")
+	if !Pred("skill", OpEq, String("COBOL")).Matches(multi) {
+		t.Error("any instance of a multi-valued attribute may satisfy a predicate")
+	}
+}
+
+func TestPredicateString(t *testing.T) {
+	cases := []struct {
+		p    Predicate
+		want string
+	}{
+		{Pred("university", OpEq, String("Toronto")), "(university = Toronto)"},
+		{Pred("exp", OpGe, Int(4)), "(exp >= 4)"},
+		{Exists("x"), "(x exists)"},
+		{Between("y", Int(1), Int(9)), "(y between 1 and 9)"},
+	}
+	for _, tc := range cases {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	valid := []Predicate{
+		Pred("a", OpEq, Int(1)),
+		Pred("a", OpPrefix, String("x")),
+		Exists("a"),
+		Between("a", Int(1), Int(2)),
+	}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("Validate(%v) = %v, want nil", p, err)
+		}
+	}
+	invalid := []Predicate{
+		{},
+		{Attr: "a"},
+		Pred("", OpEq, Int(1)),
+		Pred("a", OpEq, None()),
+		Pred("a", OpPrefix, Int(1)),
+		Between("a", Int(5), Int(2)),
+		Between("a", String("x"), Int(2)),
+		Pred("a", OpLt, None()),
+	}
+	for _, p := range invalid {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%v) = nil, want error", p)
+		}
+	}
+	if !strings.Contains(Between("a", Int(5), Int(2)).Validate().Error(), "inverted") {
+		t.Error("inverted bounds should be reported as such")
+	}
+}
+
+func TestQuickPredicateCanonicalInjective(t *testing.T) {
+	// Two predicates with equal canonical forms must evaluate identically
+	// on every value.
+	cfg := &quick.Config{MaxCount: 300}
+	prop := func(a, b Value, probe Value, opIdx uint8) bool {
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		p1 := Pred("x", ops[int(opIdx)%len(ops)], a)
+		p2 := Pred("x", ops[int(opIdx)%len(ops)], b)
+		if p1.Canonical() != p2.Canonical() {
+			return true
+		}
+		return p1.Eval(probe, true) == p2.Eval(probe, true)
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBetweenEquivalentToConjunction(t *testing.T) {
+	prop := func(v Value, lo, hi int64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		between := Between("a", Int(lo), Int(hi)).Eval(v, true)
+		conj := Pred("a", OpGe, Int(lo)).Eval(v, true) && Pred("a", OpLe, Int(hi)).Eval(v, true)
+		return between == conj
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExistsComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		v := randomValue(r)
+		present := r.Intn(2) == 0
+		ex := Exists("a").Eval(v, present)
+		nex := Pred("a", OpNotExists, None()).Eval(v, present)
+		if ex == nex {
+			t.Fatalf("exists and not-exists must be complementary (v=%v present=%v)", v, present)
+		}
+	}
+}

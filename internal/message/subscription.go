@@ -1,0 +1,100 @@
+package message
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SubID identifies a subscription inside a matcher. IDs are assigned by
+// the broker/engine and are unique for the lifetime of the process.
+type SubID uint64
+
+// Subscription is a conjunction of predicates, as in the paper:
+//
+//	S: (university = Toronto) ∧ (degree = PhD) ∧ (professional experience ≥ 4)
+//
+// Subscriber carries the opaque identity of the subscribing client so the
+// notification engine can route matches.
+type Subscription struct {
+	ID         SubID
+	Subscriber string
+	Preds      []Predicate
+}
+
+// NewSubscription builds a subscription over the given predicates.
+func NewSubscription(id SubID, subscriber string, preds ...Predicate) Subscription {
+	s := Subscription{ID: id, Subscriber: subscriber, Preds: make([]Predicate, len(preds))}
+	copy(s.Preds, preds)
+	return s
+}
+
+// Matches reports whether the event satisfies every predicate of the
+// subscription. This is the reference (model) semantics that all matcher
+// implementations must agree with; the property tests in
+// internal/matching check exactly that.
+func (s Subscription) Matches(e Event) bool {
+	for _, p := range s.Preds {
+		if !p.Matches(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the subscription.
+func (s Subscription) Clone() Subscription {
+	c := s
+	c.Preds = make([]Predicate, len(s.Preds))
+	copy(c.Preds, s.Preds)
+	return c
+}
+
+// Attrs returns the distinct attribute names constrained by the
+// subscription, sorted.
+func (s Subscription) Attrs() []string {
+	seen := make(map[string]struct{}, len(s.Preds))
+	var out []string
+	for _, p := range s.Preds {
+		if _, dup := seen[p.Attr]; !dup {
+			seen[p.Attr] = struct{}{}
+			out = append(out, p.Attr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the subscription in the paper's syntax, predicates
+// joined by the conjunction sign.
+func (s Subscription) String() string {
+	parts := make([]string, len(s.Preds))
+	for i, p := range s.Preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Canonical returns an order-insensitive signature of the predicate set,
+// used to detect duplicate subscriptions.
+func (s Subscription) Canonical() string {
+	keys := make([]string, len(s.Preds))
+	for i, p := range s.Preds {
+		keys[i] = p.Canonical()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "\x1e")
+}
+
+// Validate checks every predicate and rejects empty subscriptions.
+func (s Subscription) Validate() error {
+	if len(s.Preds) == 0 {
+		return fmt.Errorf("message: subscription %d has no predicates", s.ID)
+	}
+	for _, p := range s.Preds {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("message: subscription %d: %w", s.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package message
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// The paper's running example (§1): the subscription and event below must
+// NOT match syntactically — making them match is the whole point of the
+// semantic stage tested in internal/semantic and internal/core.
+func TestPaperSection1ExampleIsSyntacticMiss(t *testing.T) {
+	s := NewSubscription(1, "recruiter",
+		Pred("university", OpEq, String("Toronto")),
+		Pred("degree", OpEq, String("PhD")),
+		Pred("professional experience", OpGe, Int(4)),
+	)
+	e := E(
+		"school", "Toronto",
+		"degree", "PhD",
+		"work experience", true,
+		"graduation year", 1990,
+	)
+	if s.Matches(e) {
+		t.Fatal("paper §1: S must not match E under purely syntactic matching")
+	}
+}
+
+func TestSubscriptionMatchesConjunction(t *testing.T) {
+	s := NewSubscription(2, "c",
+		Pred("university", OpEq, String("Toronto")),
+		Pred("professional experience", OpGe, Int(4)),
+	)
+	hit := E("university", "Toronto", "professional experience", 5)
+	if !s.Matches(hit) {
+		t.Error("paper §3.1: event with root attributes should match")
+	}
+	missOne := E("university", "Toronto", "professional experience", 3)
+	if s.Matches(missOne) {
+		t.Error("one failing predicate must fail the conjunction")
+	}
+	missAttr := E("university", "Toronto")
+	if s.Matches(missAttr) {
+		t.Error("missing attribute must fail the conjunction")
+	}
+}
+
+func TestSubscriptionAttrs(t *testing.T) {
+	s := NewSubscription(3, "c",
+		Pred("b", OpEq, Int(1)),
+		Pred("a", OpEq, Int(2)),
+		Pred("b", OpGt, Int(0)),
+	)
+	got := s.Attrs()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestSubscriptionString(t *testing.T) {
+	s := NewSubscription(4, "c",
+		Pred("university", OpEq, String("Toronto")),
+		Pred("degree", OpEq, String("PhD")),
+	)
+	want := "(university = Toronto) and (degree = PhD)"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSubscriptionCanonicalOrderInsensitive(t *testing.T) {
+	a := NewSubscription(5, "c", Pred("x", OpEq, Int(1)), Pred("y", OpGt, Int(2)))
+	b := NewSubscription(6, "d", Pred("y", OpGt, Int(2)), Pred("x", OpEq, Int(1)))
+	if a.Canonical() != b.Canonical() {
+		t.Error("canonical form must ignore predicate order and identity fields")
+	}
+	c := NewSubscription(7, "c", Pred("x", OpEq, Int(2)), Pred("y", OpGt, Int(2)))
+	if a.Canonical() == c.Canonical() {
+		t.Error("different predicates must not collide")
+	}
+}
+
+func TestSubscriptionCloneIndependence(t *testing.T) {
+	s := NewSubscription(8, "c", Pred("x", OpEq, Int(1)))
+	c := s.Clone()
+	c.Preds[0] = Pred("x", OpEq, Int(2))
+	if s.Preds[0].Val.IntVal() != 1 {
+		t.Error("mutating a clone must not affect the original")
+	}
+}
+
+func TestSubscriptionValidate(t *testing.T) {
+	if err := NewSubscription(9, "c", Pred("x", OpEq, Int(1))).Validate(); err != nil {
+		t.Errorf("valid subscription rejected: %v", err)
+	}
+	if err := NewSubscription(10, "c").Validate(); err == nil {
+		t.Error("empty subscription must be invalid")
+	}
+	if err := NewSubscription(11, "c", Pred("", OpEq, Int(1))).Validate(); err == nil {
+		t.Error("invalid predicate must invalidate the subscription")
+	}
+}
+
+func TestSubscriptionJSONRoundTrip(t *testing.T) {
+	s := NewSubscription(12, "recruiter-7",
+		Pred("university", OpEq, String("Toronto")),
+		Pred("professional experience", OpGe, Int(4)),
+		Between("salary", Int(50), Int(90)),
+		Exists("degree"),
+	)
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Subscription
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.ID != s.ID || back.Subscriber != s.Subscriber {
+		t.Errorf("identity fields lost: %+v", back)
+	}
+	if back.Canonical() != s.Canonical() {
+		t.Errorf("predicates lost: %v vs %v", back, s)
+	}
+}
+
+func TestSubscriptionJSONRejectsBadOp(t *testing.T) {
+	var s Subscription
+	bad := `{"id":1,"preds":[{"attr":"a","op":"~~","val":{"kind":"int","int":1}}]}`
+	if err := json.Unmarshal([]byte(bad), &s); err == nil {
+		t.Error("unknown operator should fail decoding")
+	}
+}
+
+// randomPredicate builds a predicate suited for random matcher workloads.
+func randomPredicate(r *rand.Rand) Predicate {
+	attr := randomWord(r)
+	switch r.Intn(8) {
+	case 0:
+		return Pred(attr, OpEq, randomValue(r))
+	case 1:
+		return Pred(attr, OpNe, randomValue(r))
+	case 2:
+		return Pred(attr, OpLt, Int(int64(r.Intn(100))))
+	case 3:
+		return Pred(attr, OpGe, Int(int64(r.Intn(100))))
+	case 4:
+		return Pred(attr, OpPrefix, String(randomWord(r)))
+	case 5:
+		return Exists(attr)
+	case 6:
+		lo := int64(r.Intn(50))
+		return Between(attr, Int(lo), Int(lo+int64(r.Intn(50))))
+	default:
+		return Pred(attr, OpContains, String(randomWord(r)))
+	}
+}
+
+func TestQuickMatchesAgainstBruteForce(t *testing.T) {
+	// Subscription.Matches must equal "every predicate has a satisfying
+	// pair" computed by an independent double loop.
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		n := 1 + r.Intn(4)
+		preds := make([]Predicate, n)
+		for j := range preds {
+			preds[j] = randomPredicate(r)
+		}
+		s := NewSubscription(SubID(i), "q", preds...)
+		e := randomEvent(r)
+
+		want := true
+		for _, p := range preds {
+			ok := false
+			if p.Op == OpNotExists {
+				ok = !e.Has(p.Attr)
+			} else {
+				for _, pair := range e.Pairs() {
+					if pair.Attr == p.Attr && p.Eval(pair.Val, true) {
+						ok = true
+						break
+					}
+				}
+			}
+			if !ok {
+				want = false
+				break
+			}
+		}
+		if got := s.Matches(e); got != want {
+			t.Fatalf("Matches disagreement on %v vs %v: got %v want %v", s, e, got, want)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package message defines the data model of S-ToPSS: typed attribute
+// values, predicates over attributes, publications (events) and
+// subscriptions (conjunctions of predicates).
+//
+// The model follows the attribute/value-pair scheme of the paper's
+// examples, e.g. the publication
+//
+//	(school, Toronto)(degree, PhD)(graduation year, 1990)
+//
+// and the subscription
+//
+//	(university = Toronto) ∧ (degree = PhD) ∧ (professional experience ≥ 4).
+//
+// Everything in this package is a plain value type: copying an Event or a
+// Subscription yields an independent instance, which the semantic stage
+// relies on when it derives new events from old ones.
+package message
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNone is the zero value and marks an
+// absent Value (used by unary operators such as Exists).
+const (
+	KindNone Kind = iota
+	KindString
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed attribute value. The zero Value has
+// KindNone. Values are immutable; all operations return new Values.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64   // int payload
+	flt  float64 // float payload
+	b    bool
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int constructs an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float constructs a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, flt: f} }
+
+// Bool constructs a boolean Value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// None is the absent value.
+func None() Value { return Value{} }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNone reports whether v is the absent value.
+func (v Value) IsNone() bool { return v.kind == KindNone }
+
+// Str returns the string payload; it is only meaningful for KindString.
+func (v Value) Str() string { return v.str }
+
+// IntVal returns the integer payload; only meaningful for KindInt.
+func (v Value) IntVal() int64 { return v.num }
+
+// FloatVal returns the float payload; only meaningful for KindFloat.
+func (v Value) FloatVal() float64 { return v.flt }
+
+// BoolVal returns the boolean payload; only meaningful for KindBool.
+func (v Value) BoolVal() bool { return v.b }
+
+// IsNumeric reports whether v is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsFloat converts a numeric Value to float64. The second result is false
+// when v is not numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.num), true
+	case KindFloat:
+		return v.flt, true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports semantic equality. Ints and floats compare numerically
+// across kinds, so Int(4).Equal(Float(4.0)) is true; this mirrors the
+// loose typing of the paper's publication language, where
+// "(professional experience, 5)" must satisfy "professional experience ≥ 4"
+// regardless of lexical number form.
+func (v Value) Equal(o Value) bool {
+	if v.IsNumeric() && o.IsNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		return a == b
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNone:
+		return true
+	case KindString:
+		return v.str == o.str
+	case KindBool:
+		return v.b == o.b
+	default:
+		return false
+	}
+}
+
+// Compare orders two values. The result is (-1, true), (0, true) or
+// (1, true) when the values are comparable (both numeric, both strings or
+// both bools), and (0, false) otherwise. Booleans order false < true.
+func (v Value) Compare(o Value) (int, bool) {
+	if v.IsNumeric() && o.IsNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind != o.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.str, o.str), true
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0, true
+		case !v.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for humans: strings bare, numbers in decimal,
+// booleans as true/false, None as "∅".
+func (v Value) String() string {
+	switch v.kind {
+	case KindNone:
+		return "∅"
+	case KindString:
+		return v.str
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// Canonical renders the value unambiguously for use in signatures and
+// hash keys: the kind is prefixed so that String("4") and Int(4) differ,
+// while Int(4) and Float(4) collapse to the same key (they are Equal).
+func (v Value) Canonical() string {
+	switch v.kind {
+	case KindNone:
+		return "n:"
+	case KindString:
+		return "s:" + v.str
+	case KindInt:
+		return "f:" + strconv.FormatFloat(float64(v.num), 'g', -1, 64)
+	case KindFloat:
+		return "f:" + strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindBool:
+		return "b:" + strconv.FormatBool(v.b)
+	default:
+		return "?"
+	}
+}
+
+// ParseValue converts an external token into a Value using the same
+// inference the web application and the workload generator use: integers
+// and floats parse to numeric kinds, "true"/"false" to bool, everything
+// else is a string.
+func ParseValue(tok string) Value {
+	if tok == "" {
+		return String("")
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		return Float(f)
+	}
+	if tok == "true" {
+		return Bool(true)
+	}
+	if tok == "false" {
+		return Bool(false)
+	}
+	return String(tok)
+}

@@ -1,0 +1,244 @@
+package message
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNone:   "none",
+		KindString: "string",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindBool:   "bool",
+		Kind(99):   "kind(99)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := String("x"); v.Kind() != KindString || v.Str() != "x" {
+		t.Errorf("String constructor broken: %v", v)
+	}
+	if v := Int(7); v.Kind() != KindInt || v.IntVal() != 7 {
+		t.Errorf("Int constructor broken: %v", v)
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.FloatVal() != 2.5 {
+		t.Errorf("Float constructor broken: %v", v)
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.BoolVal() {
+		t.Errorf("Bool constructor broken: %v", v)
+	}
+	if v := None(); !v.IsNone() {
+		t.Errorf("None constructor broken: %v", v)
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(4).Equal(Float(4.0)) {
+		t.Error("Int(4) should equal Float(4.0)")
+	}
+	if !Float(4.0).Equal(Int(4)) {
+		t.Error("Float(4.0) should equal Int(4)")
+	}
+	if Int(4).Equal(String("4")) {
+		t.Error("Int(4) should not equal String(\"4\")")
+	}
+	if Int(4).Equal(Int(5)) {
+		t.Error("Int(4) should not equal Int(5)")
+	}
+	if !None().Equal(None()) {
+		t.Error("None should equal None")
+	}
+	if Bool(true).Equal(Bool(false)) {
+		t.Error("true should not equal false")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(1), 1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(1), Float(1.5), -1, true},
+		{Float(1.5), Int(1), 1, true},
+		{String("a"), String("b"), -1, true},
+		{String("b"), String("b"), 0, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Bool(true), Bool(false), 1, true},
+		{String("a"), Int(1), 0, false},
+		{None(), None(), 0, false},
+		{Bool(true), Int(1), 0, false},
+	}
+	for _, tc := range tests {
+		got, ok := tc.a.Compare(tc.b)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("Compare(%v, %v) = (%d, %v), want (%d, %v)", tc.a, tc.b, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{String("hi"), "hi"},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Bool(true), "true"},
+		{None(), "∅"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestValueCanonicalCollapsesNumerics(t *testing.T) {
+	if Int(4).Canonical() != Float(4).Canonical() {
+		t.Error("canonical form of Int(4) and Float(4) should collide (they are Equal)")
+	}
+	if Int(4).Canonical() == String("4").Canonical() {
+		t.Error("canonical form of Int(4) and String(\"4\") must differ")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"2.5", Float(2.5)},
+		{"true", Bool(true)},
+		{"false", Bool(false)},
+		{"Toronto", String("Toronto")},
+		{"", String("")},
+		{"1990", Int(1990)},
+		{"3e2", Float(300)},
+	}
+	for _, tc := range cases {
+		if got := ParseValue(tc.in); !got.Equal(tc.want) || got.Kind() != tc.want.Kind() {
+			t.Errorf("ParseValue(%q) = %v (%s), want %v (%s)", tc.in, got, got.Kind(), tc.want, tc.want.Kind())
+		}
+	}
+}
+
+// randomValue produces an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(4) {
+	case 0:
+		return String(randomWord(r))
+	case 1:
+		return Int(int64(r.Intn(200) - 100))
+	case 2:
+		return Float(float64(r.Intn(2000)-1000) / 4.0)
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func randomWord(r *rand.Rand) string {
+	letters := "abcdefgh"
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+// Generate implements quick.Generator so Value can be used directly in
+// quick.Check properties.
+func (Value) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randomValue(r))
+}
+
+func TestQuickEqualReflexive(t *testing.T) {
+	prop := func(v Value) bool { return v.Equal(v) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEqualSymmetric(t *testing.T) {
+	prop := func(a, b Value) bool { return a.Equal(b) == b.Equal(a) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	prop := func(a, b Value) bool {
+		ab, ok1 := a.Compare(b)
+		ba, ok2 := b.Compare(a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return ab == -ba
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareConsistentWithEqual(t *testing.T) {
+	prop := func(a, b Value) bool {
+		c, ok := a.Compare(b)
+		if !ok {
+			return true
+		}
+		return (c == 0) == a.Equal(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCanonicalAgreesWithEqual(t *testing.T) {
+	prop := func(a, b Value) bool {
+		return (a.Canonical() == b.Canonical()) == a.Equal(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCompareTransitive(t *testing.T) {
+	prop := func(a, b, c Value) bool {
+		ab, ok1 := a.Compare(b)
+		bc, ok2 := b.Compare(c)
+		ac, ok3 := a.Compare(c)
+		if !ok1 || !ok2 || !ok3 {
+			return true // incomparable triples carry no obligation
+		}
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			return false
+		}
+		if ab >= 0 && bc >= 0 && ac < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

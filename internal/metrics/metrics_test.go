@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Errorf("Value = %d, want 16000", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.String() != "n=0" {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	durations := []time.Duration{
+		time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+		10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond,
+	}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Min != time.Microsecond || s.Max != time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if s.Mean <= 0 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	// Quantiles are bucket upper bounds: p50 must sit between min and max.
+	if s.P50 < s.Min || s.P50 > s.Max*2 {
+		t.Errorf("P50 = %v out of plausible range", s.P50)
+	}
+	if s.P99 < s.P50 {
+		t.Errorf("P99 %v < P50 %v", s.P99, s.P50)
+	}
+	if !strings.Contains(s.String(), "n=6") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// 1000 observations of exactly 1ms: every quantile must land in the
+	// 1ms bucket (upper bound within ~35% of 1ms given 8 buckets/decade).
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	for _, q := range []time.Duration{s.P50, s.P90, s.P99} {
+		if q < 900*time.Microsecond || q > 1400*time.Microsecond {
+			t.Errorf("quantile %v too far from 1ms", q)
+		}
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second) // clamped to zero
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	h.Observe(10 * time.Minute) // beyond top bucket
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Min != 0 {
+		t.Errorf("Min = %v", s.Min)
+	}
+	if s.Max != 10*time.Minute {
+		t.Errorf("Max = %v", s.Max)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	var h Histogram
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max < time.Millisecond {
+		t.Errorf("Time did not record: %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 4000 {
+		t.Errorf("Count = %d, want 4000", s.Count)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pubs").Add(3)
+	r.Counter("pubs").Inc() // same instance
+	r.Gauge("depth").Set(2)
+	r.Histogram("lat").Observe(time.Millisecond)
+
+	if r.Counter("pubs").Value() != 4 {
+		t.Errorf("counter identity broken")
+	}
+	rep := r.Report()
+	for _, want := range []string{"counter", "pubs", "4", "gauge", "depth", "hist", "lat"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("Report missing %q:\n%s", want, rep)
+		}
+	}
+	// Sorted output is deterministic.
+	if rep != r.Report() {
+		t.Error("Report not deterministic")
+	}
+}
+
+func TestBucketMonotonicity(t *testing.T) {
+	prev := time.Duration(0)
+	for i := 0; i < bucketCount; i++ {
+		b := boundOf(i)
+		if b <= prev {
+			t.Fatalf("bucket bounds not increasing at %d: %v <= %v", i, b, prev)
+		}
+		prev = b
+	}
+	// bucketOf is consistent with boundOf: a value inside bucket i maps
+	// to a bucket whose bound is >= the value.
+	for _, d := range []time.Duration{
+		150 * time.Nanosecond, time.Microsecond, 30 * time.Microsecond,
+		time.Millisecond, 70 * time.Millisecond, time.Second, 30 * time.Second,
+	} {
+		idx := bucketOf(d)
+		if boundOf(idx) < d/2 {
+			t.Errorf("bucketOf(%v) = %d with bound %v, too small", d, idx, boundOf(idx))
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package notify implements the notification engine of the S-ToPSS
+// demonstration (paper §4, Figure 2): when a publication matches a
+// subscription, the engine delivers a notification to the subscriber
+// over one of several transports — TCP, UDP, SMTP or SMS.
+//
+// TCP, UDP and SMTP are real protocol implementations over the loopback
+// network; SMS is simulated by an in-process gateway with message
+// segmentation and rate limiting (DESIGN.md §2 records the
+// substitution). Delivery is asynchronous through a bounded queue with
+// retry, exponential backoff and a dead-letter list.
+package notify
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stopss/internal/message"
+	"stopss/internal/metrics"
+)
+
+// Notification is what a subscriber receives when a publication matches
+// one of its subscriptions.
+type Notification struct {
+	SubID      message.SubID `json:"sub_id"`
+	Subscriber string        `json:"subscriber"`
+	Event      message.Event `json:"event"`
+	Mode       string        `json:"mode,omitempty"` // semantic | syntactic
+	Seq        uint64        `json:"seq,omitempty"`  // dispatcher sequence number
+}
+
+// Encode renders the notification as one JSON line (no trailing newline).
+func (n Notification) Encode() ([]byte, error) {
+	b, err := json.Marshal(n)
+	if err != nil {
+		return nil, fmt.Errorf("notify: encoding notification: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeNotification parses one JSON line.
+func DecodeNotification(b []byte) (Notification, error) {
+	var n Notification
+	if err := json.Unmarshal(b, &n); err != nil {
+		return Notification{}, fmt.Errorf("notify: decoding notification: %w", err)
+	}
+	return n, nil
+}
+
+// Transport delivers notifications to an address whose format is
+// transport-specific (host:port for TCP/UDP, mailbox for SMTP, phone
+// number for SMS). Implementations must be safe for concurrent use.
+type Transport interface {
+	Name() string
+	Send(addr string, n Notification) error
+	Close() error
+}
+
+// Route binds a subscriber to a transport and address.
+type Route struct {
+	Transport string
+	Addr      string
+}
+
+// ErrQueueFull is returned by Dispatch when the engine's bounded queue
+// is saturated; callers may retry or drop.
+var ErrQueueFull = errors.New("notify: queue full")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("notify: engine closed")
+
+// Config tunes the dispatcher.
+type Config struct {
+	QueueSize  int           // bounded queue length (default 1024)
+	Workers    int           // delivery goroutines (default 4)
+	MaxRetries int           // attempts per notification beyond the first (default 3)
+	Backoff    time.Duration // base backoff, doubled per retry (default 1ms)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	return c
+}
+
+// DeadLetter records a notification that exhausted its retries.
+type DeadLetter struct {
+	Notification Notification
+	Route        Route
+	Err          error
+	Attempts     int
+}
+
+type job struct {
+	n Notification
+	r Route
+}
+
+// Engine is the notification dispatcher of Figure 2.
+type Engine struct {
+	cfg        Config
+	transports map[string]Transport
+	queue      chan job
+	wg         sync.WaitGroup
+	inflight   atomic.Int64
+
+	mu     sync.Mutex
+	routes map[string]Route // subscriber → route
+	dead   []DeadLetter
+	closed bool
+	seq    uint64
+
+	reg *metrics.Registry
+}
+
+// NewEngine builds a dispatcher over the given transports.
+func NewEngine(cfg Config, transports ...Transport) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:        cfg,
+		transports: make(map[string]Transport, len(transports)),
+		queue:      make(chan job, cfg.QueueSize),
+		routes:     make(map[string]Route),
+		reg:        metrics.NewRegistry(),
+	}
+	for _, tr := range transports {
+		if tr.Name() == "" {
+			return nil, fmt.Errorf("notify: transport with empty name")
+		}
+		if _, dup := e.transports[tr.Name()]; dup {
+			return nil, fmt.Errorf("notify: duplicate transport %q", tr.Name())
+		}
+		e.transports[tr.Name()] = tr
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// SetRoute binds a subscriber to a transport/address. The transport must
+// be registered.
+func (e *Engine) SetRoute(subscriber string, r Route) error {
+	if _, ok := e.transports[r.Transport]; !ok {
+		return fmt.Errorf("notify: unknown transport %q", r.Transport)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.routes[subscriber] = r
+	return nil
+}
+
+// RouteOf returns the subscriber's route.
+func (e *Engine) RouteOf(subscriber string) (Route, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.routes[subscriber]
+	return r, ok
+}
+
+// Dispatch enqueues a notification for the subscriber it names. The
+// call never blocks: a full queue returns ErrQueueFull.
+func (e *Engine) Dispatch(n Notification) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	r, ok := e.routes[n.Subscriber]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("notify: no route for subscriber %q", n.Subscriber)
+	}
+	e.seq++
+	n.Seq = e.seq
+	e.mu.Unlock()
+
+	// inflight counts accepted-but-not-yet-delivered notifications
+	// (queued or executing), so Drain has no dequeue/track gap.
+	e.inflight.Add(1)
+	select {
+	case e.queue <- job{n: n, r: r}:
+		e.reg.Counter("enqueued").Inc()
+		return nil
+	default:
+		e.inflight.Add(-1)
+		e.reg.Counter("rejected").Inc()
+		return ErrQueueFull
+	}
+}
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.deliver(j)
+		e.inflight.Add(-1)
+	}
+}
+
+func (e *Engine) deliver(j job) {
+	tr := e.transports[j.r.Transport]
+	lat := e.reg.Histogram("latency." + j.r.Transport)
+	var err error
+	backoff := e.cfg.Backoff
+	attempts := 0
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		attempts++
+		t0 := time.Now()
+		err = tr.Send(j.r.Addr, j.n)
+		if err == nil {
+			lat.Observe(time.Since(t0))
+			e.reg.Counter("delivered." + j.r.Transport).Inc()
+			if attempt > 0 {
+				e.reg.Counter("recovered").Add(uint64(attempt))
+			}
+			return
+		}
+		e.reg.Counter("attempts_failed." + j.r.Transport).Inc()
+		if attempt < e.cfg.MaxRetries {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+	}
+	e.reg.Counter("dead_lettered").Inc()
+	e.mu.Lock()
+	e.dead = append(e.dead, DeadLetter{Notification: j.n, Route: j.r, Err: err, Attempts: attempts})
+	e.mu.Unlock()
+}
+
+// DeadLetters returns a copy of the dead-letter list.
+func (e *Engine) DeadLetters() []DeadLetter {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]DeadLetter, len(e.dead))
+	copy(out, e.dead)
+	return out
+}
+
+// Metrics exposes the dispatcher's registry.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
+
+// Drain blocks until the queue is empty and every in-flight delivery
+// has finished, or the timeout elapses. It reports whether the engine
+// fully drained.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if e.inflight.Load() == 0 {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return e.inflight.Load() == 0
+}
+
+// Close stops accepting work, waits for the workers and closes every
+// transport. Safe to call once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	e.mu.Unlock()
+
+	close(e.queue)
+	e.wg.Wait()
+	var firstErr error
+	for _, tr := range e.transports {
+		if err := tr.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

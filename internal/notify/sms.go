@@ -1,0 +1,144 @@
+package notify
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// segmentSize is the classic GSM short-message payload.
+const segmentSize = 160
+
+// SMSMessage is one short message (or message segment) accepted by the
+// gateway.
+type SMSMessage struct {
+	To      string
+	Part    int // 1-based segment index
+	Parts   int // total segments of the notification
+	Payload string
+}
+
+// SMSGateway simulates the SMS delivery path of the demonstration setup
+// (paper Figure 2 lists SMS among the notification transports). Real
+// SMSC access is substituted (DESIGN.md §2) by an in-process gateway
+// that preserves the behaviours the engine must handle:
+//
+//   - 160-character segmentation of long notifications,
+//   - a token-bucket rate limit (a saturated SMSC rejects, which the
+//     engine's retry/backoff path must absorb),
+//   - injectable failures for fault-injection tests.
+type SMSGateway struct {
+	mu       sync.Mutex
+	messages []SMSMessage
+
+	// rate limiting
+	capacity int
+	tokens   float64
+	rate     float64 // tokens per second
+	last     time.Time
+
+	// failure injection: fail the next N sends
+	failNext int
+}
+
+// NewSMSGateway builds a gateway delivering at most ratePerSec message
+// segments per second with the given burst capacity. ratePerSec <= 0
+// disables limiting.
+func NewSMSGateway(ratePerSec float64, burst int) *SMSGateway {
+	if burst <= 0 {
+		burst = 16
+	}
+	return &SMSGateway{
+		capacity: burst,
+		tokens:   float64(burst),
+		rate:     ratePerSec,
+		last:     time.Now(),
+	}
+}
+
+// Name implements Transport.
+func (g *SMSGateway) Name() string { return "sms" }
+
+// FailNext makes the next n sends fail with a gateway error (fault
+// injection for the engine's retry tests).
+func (g *SMSGateway) FailNext(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.failNext = n
+}
+
+// Send implements Transport: the notification is rendered to its JSON
+// form and segmented.
+func (g *SMSGateway) Send(addr string, n Notification) error {
+	b, err := n.Encode()
+	if err != nil {
+		return err
+	}
+	text := string(b)
+	parts := (len(text) + segmentSize - 1) / segmentSize
+	if parts == 0 {
+		parts = 1
+	}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.failNext > 0 {
+		g.failNext--
+		return fmt.Errorf("notify/sms: gateway error (injected)")
+	}
+	if g.rate > 0 {
+		now := time.Now()
+		g.tokens += now.Sub(g.last).Seconds() * g.rate
+		if g.tokens > float64(g.capacity) {
+			g.tokens = float64(g.capacity)
+		}
+		g.last = now
+		if g.tokens < float64(parts) {
+			return fmt.Errorf("notify/sms: rate limited (need %d tokens, have %.1f)", parts, g.tokens)
+		}
+		g.tokens -= float64(parts)
+	}
+	for i := 0; i < parts; i++ {
+		lo := i * segmentSize
+		hi := lo + segmentSize
+		if hi > len(text) {
+			hi = len(text)
+		}
+		g.messages = append(g.messages, SMSMessage{
+			To: addr, Part: i + 1, Parts: parts, Payload: text[lo:hi],
+		})
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (g *SMSGateway) Close() error { return nil }
+
+// Messages returns a copy of everything delivered so far.
+func (g *SMSGateway) Messages() []SMSMessage {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]SMSMessage, len(g.messages))
+	copy(out, g.messages)
+	return out
+}
+
+// Reassemble joins the segments addressed to one recipient back into
+// notification payloads, in arrival order.
+func (g *SMSGateway) Reassemble(addr string) []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []string
+	var cur string
+	for _, m := range g.messages {
+		if m.To != addr {
+			continue
+		}
+		cur += m.Payload
+		if m.Part == m.Parts {
+			out = append(out, cur)
+			cur = ""
+		}
+	}
+	return out
+}

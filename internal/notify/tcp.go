@@ -1,0 +1,151 @@
+package notify
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport delivers newline-delimited JSON notifications over TCP.
+// Connections are cached per destination and re-dialed transparently
+// after failures (the retry loop of the engine then re-sends).
+type TCPTransport struct {
+	dialTimeout time.Duration
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+}
+
+// NewTCPTransport returns a TCP transport with the given dial timeout
+// (<=0 selects 2s).
+func NewTCPTransport(dialTimeout time.Duration) *TCPTransport {
+	if dialTimeout <= 0 {
+		dialTimeout = 2 * time.Second
+	}
+	return &TCPTransport{dialTimeout: dialTimeout, conns: make(map[string]net.Conn)}
+}
+
+// Name implements Transport.
+func (t *TCPTransport) Name() string { return "tcp" }
+
+// Send implements Transport.
+func (t *TCPTransport) Send(addr string, n Notification) error {
+	b, err := n.Encode()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	conn := t.conns[addr]
+	if conn == nil {
+		conn, err = net.DialTimeout("tcp", addr, t.dialTimeout)
+		if err != nil {
+			return fmt.Errorf("notify/tcp: dial %s: %w", addr, err)
+		}
+		t.conns[addr] = conn
+	}
+	if _, err := conn.Write(b); err != nil {
+		// Connection went stale: drop it so the retry re-dials.
+		conn.Close()
+		delete(t.conns, addr)
+		return fmt.Errorf("notify/tcp: write to %s: %w", addr, err)
+	}
+	return nil
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var firstErr error
+	for addr, c := range t.conns {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(t.conns, addr)
+	}
+	return firstErr
+}
+
+// TCPSink is the receiving side used by the demo and the tests: it
+// accepts connections, decodes one notification per line and hands each
+// to the callback.
+type TCPSink struct {
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewTCPSink listens on addr ("127.0.0.1:0" for an ephemeral port) and
+// invokes handle for every received notification.
+func NewTCPSink(addr string, handle func(Notification)) (*TCPSink, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("notify/tcp: listen %s: %w", addr, err)
+	}
+	s := &TCPSink{ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop(handle)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPSink) Addr() string { return s.ln.Addr().String() }
+
+func (s *TCPSink) acceptLoop(handle func(Notification)) {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+			for sc.Scan() {
+				if n, err := DecodeNotification(sc.Bytes()); err == nil {
+					handle(n)
+				}
+			}
+		}()
+	}
+}
+
+// Close stops the sink: the listener and every accepted connection are
+// closed, so peers observe the shutdown on their next write.
+func (s *TCPSink) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}

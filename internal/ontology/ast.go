@@ -1,0 +1,86 @@
+package ontology
+
+// The abstract syntax tree of an ODL document. The parser produces a
+// Document; the compiler (compile.go) lowers it into the runtime
+// structures of internal/semantic.
+
+// Document is one parsed ODL file: a named domain with synonym groups,
+// a concept forest, and mapping declarations.
+type Document struct {
+	Domain   string
+	Synonyms []SynonymGroup
+	Concepts []ConceptNode
+	Rules    []RuleDecl
+	PairMaps []PairMapDecl
+}
+
+// SynonymGroup is `root: member, member, …`.
+type SynonymGroup struct {
+	Root    string
+	Members []string
+	Line    int
+}
+
+// ConceptNode is one node of the concept forest; children are
+// specializations of the node ("child is-a node").
+type ConceptNode struct {
+	Name     string
+	Children []ConceptNode
+	Line     int
+}
+
+// RuleDecl is a computed mapping function:
+//
+//	rule name when <conditions> derive attr = expr, attr = expr
+//
+// The when clause is optional (an absent clause always holds, provided
+// the derive expressions can evaluate).
+type RuleDecl struct {
+	Name       string
+	Conditions []Condition
+	Derives    []Derive
+	Line       int
+}
+
+// Condition is one conjunct of a when clause: either exists(attr) or a
+// comparison between two expressions.
+type Condition struct {
+	// Exists is set for exists(attr); Attr holds the attribute.
+	Exists bool
+	Attr   string
+	// Otherwise a comparison Left Cmp Right.
+	Left  Expr
+	Cmp   string // "=", "!=", "<", "<=", ">", ">="
+	Right Expr
+	Line  int
+}
+
+// Derive is one derived pair: Attr = Expr.
+type Derive struct {
+	Attr string
+	Expr Expr
+	Line int
+}
+
+// PairMapDecl is a declarative single-pair mapping:
+//
+//	map attr "value" -> attr "value", attr "value"
+type PairMapDecl struct {
+	Attr    string
+	Value   Literal
+	Derived []PairDecl
+	Line    int
+}
+
+// PairDecl is one derived (attr, literal) pair of a map declaration.
+type PairDecl struct {
+	Attr  string
+	Value Literal
+}
+
+// Literal is a string or numeric constant in ODL source.
+type Literal struct {
+	IsNum bool
+	Str   string
+	Num   float64
+}

@@ -1,0 +1,290 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// Ontology is a compiled ODL document: the hash-based runtime structures
+// the semantic stage consumes, plus the domain name for multi-domain
+// bookkeeping.
+type Ontology struct {
+	Domain    string
+	Synonyms  *semantic.Synonyms
+	Hierarchy *semantic.Hierarchy
+	Mappings  *semantic.Mappings
+}
+
+// Options tunes compilation.
+type Options struct {
+	// Normalize lower-cases and space-normalizes every term (see
+	// semantic.NormalizeTerm). Off by default: the paper's examples are
+	// case-sensitive ("PhD").
+	Normalize bool
+	// Prefix, when non-empty, prefixes rule and map names with
+	// "<domain>." so that identically named rules in different domains
+	// can coexist in one registry.
+	Prefix bool
+}
+
+// Compile lowers a parsed document into runtime structures.
+func Compile(doc *Document, opts Options) (*Ontology, error) {
+	norm := func(t string) string {
+		if opts.Normalize {
+			return semantic.NormalizeTerm(t)
+		}
+		return t
+	}
+
+	o := &Ontology{
+		Domain:    doc.Domain,
+		Synonyms:  semantic.NewSynonyms(),
+		Hierarchy: semantic.NewHierarchy(),
+		Mappings:  semantic.NewMappings(),
+	}
+
+	for _, g := range doc.Synonyms {
+		members := make([]string, len(g.Members))
+		for i, m := range g.Members {
+			members[i] = norm(m)
+		}
+		if err := o.Synonyms.AddGroup(norm(g.Root), members...); err != nil {
+			return nil, errf(g.Line, 1, "synonym group %q: %v", g.Root, err)
+		}
+	}
+
+	var walk func(parent string, n ConceptNode) error
+	walk = func(parent string, n ConceptNode) error {
+		name := norm(n.Name)
+		if err := o.Hierarchy.AddConcept(name); err != nil {
+			return errf(n.Line, 1, "concept %q: %v", n.Name, err)
+		}
+		if parent != "" {
+			if err := o.Hierarchy.AddIsA(name, parent); err != nil {
+				return errf(n.Line, 1, "concept %q: %v", n.Name, err)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(name, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, root := range doc.Concepts {
+		if err := walk("", root); err != nil {
+			return nil, err
+		}
+	}
+
+	qualify := func(name string) string {
+		if opts.Prefix {
+			return doc.Domain + "." + name
+		}
+		return name
+	}
+
+	for _, r := range doc.Rules {
+		f, err := compileRule(r, norm, qualify(r.Name))
+		if err != nil {
+			return nil, err
+		}
+		if err := o.Mappings.Add(f); err != nil {
+			return nil, errf(r.Line, 1, "rule %q: %v", r.Name, err)
+		}
+	}
+
+	for i, pm := range doc.PairMaps {
+		f, err := compilePairMap(pm, norm, fmt.Sprintf("%s#map%d", qualify(pm.Attr), i))
+		if err != nil {
+			return nil, err
+		}
+		if err := o.Mappings.Add(f); err != nil {
+			return nil, errf(pm.Line, 1, "map %q: %v", pm.Attr, err)
+		}
+	}
+	return o, nil
+}
+
+// ruleFunc is the compiled form of a RuleDecl. It fires when every
+// condition holds and every derive expression evaluates; evaluation
+// failures (missing attribute, type mismatch) silently disable the rule
+// for that event.
+type ruleFunc struct {
+	name     string
+	triggers []string
+	conds    []Condition
+	derives  []compiledDerive
+}
+
+type compiledDerive struct {
+	attr string
+	expr Expr
+}
+
+// Name implements semantic.MappingFunc.
+func (r *ruleFunc) Name() string { return r.name }
+
+// Triggers implements semantic.MappingFunc.
+func (r *ruleFunc) Triggers() []string { return r.triggers }
+
+// Apply implements semantic.MappingFunc.
+func (r *ruleFunc) Apply(e message.Event) []message.Pair {
+	for _, c := range r.conds {
+		if !evalCondition(c, e) {
+			return nil
+		}
+	}
+	out := make([]message.Pair, 0, len(r.derives))
+	for _, d := range r.derives {
+		v, err := d.expr.Eval(e)
+		if err != nil {
+			return nil // expression does not apply to this event
+		}
+		out = append(out, message.Pair{Attr: d.attr, Val: v})
+	}
+	return out
+}
+
+// compileRule normalizes terms, infers triggers from the attributes the
+// rule references, and validates that at least one trigger exists.
+func compileRule(r RuleDecl, norm func(string) string, name string) (semantic.MappingFunc, error) {
+	if len(r.Derives) == 0 {
+		return nil, errf(r.Line, 1, "rule %q derives nothing", r.Name)
+	}
+	f := &ruleFunc{name: name}
+
+	var attrs []string
+	for i := range r.Conditions {
+		c := r.Conditions[i]
+		if c.Exists {
+			c.Attr = norm(c.Attr)
+			attrs = append(attrs, c.Attr)
+		} else {
+			c.Left = normalizeExpr(c.Left, norm)
+			c.Right = normalizeExpr(c.Right, norm)
+			attrs = c.Left.Attrs(attrs)
+			attrs = c.Right.Attrs(attrs)
+		}
+		f.conds = append(f.conds, c)
+	}
+	for _, d := range r.Derives {
+		expr := normalizeExpr(d.Expr, norm)
+		attrs = expr.Attrs(attrs)
+		f.derives = append(f.derives, compiledDerive{attr: norm(d.Attr), expr: expr})
+	}
+
+	seen := make(map[string]bool)
+	for _, a := range attrs {
+		if !seen[a] {
+			seen[a] = true
+			f.triggers = append(f.triggers, a)
+		}
+	}
+	sort.Strings(f.triggers)
+	if len(f.triggers) == 0 {
+		return nil, errf(r.Line, 1, "rule %q references no attributes; it could never be triggered", r.Name)
+	}
+	return f, nil
+}
+
+// normalizeExpr rewrites attribute references through the term
+// normalizer.
+func normalizeExpr(e Expr, norm func(string) string) Expr {
+	switch x := e.(type) {
+	case AttrRef:
+		return AttrRef{Name: norm(x.Name)}
+	case Neg:
+		return Neg{X: normalizeExpr(x.X, norm)}
+	case BinOp:
+		return BinOp{Op: x.Op, L: normalizeExpr(x.L, norm), R: normalizeExpr(x.R, norm)}
+	default:
+		return e
+	}
+}
+
+func compilePairMap(pm PairMapDecl, norm func(string) string, name string) (semantic.MappingFunc, error) {
+	if len(pm.Derived) == 0 {
+		return nil, errf(pm.Line, 1, "map %q derives nothing", pm.Attr)
+	}
+	derived := make([]message.Pair, len(pm.Derived))
+	for i, d := range pm.Derived {
+		derived[i] = message.Pair{Attr: norm(d.Attr), Val: literalValue(d.Value, norm)}
+	}
+	return semantic.PairMap{
+		MapName: name,
+		Attr:    norm(pm.Attr),
+		Match:   literalValue(pm.Value, norm),
+		Derived: derived,
+	}, nil
+}
+
+func literalValue(l Literal, norm func(string) string) message.Value {
+	if l.IsNum {
+		return numValue(l.Num)
+	}
+	return message.String(norm(l.Str))
+}
+
+// Load parses and compiles one ODL document.
+func Load(src string, opts Options) (*Ontology, error) {
+	doc, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(doc, opts)
+}
+
+// Merge combines several compiled ontologies into one knowledge base —
+// the multi-domain operation of paper §3.2. Inter-domain bridges are
+// ordinary mapping functions declared in any of the documents (or added
+// programmatically afterwards).
+func Merge(onts ...*Ontology) (*Ontology, error) {
+	out := &Ontology{
+		Domain:    "merged",
+		Synonyms:  semantic.NewSynonyms(),
+		Hierarchy: semantic.NewHierarchy(),
+		Mappings:  semantic.NewMappings(),
+	}
+	if len(onts) == 1 {
+		out.Domain = onts[0].Domain
+	}
+	names := make([]string, 0, len(onts))
+	for _, o := range onts {
+		names = append(names, o.Domain)
+		if err := out.Synonyms.Merge(o.Synonyms); err != nil {
+			return nil, fmt.Errorf("ontology: merging %q: %w", o.Domain, err)
+		}
+		if err := out.Hierarchy.Merge(o.Hierarchy); err != nil {
+			return nil, fmt.Errorf("ontology: merging %q: %w", o.Domain, err)
+		}
+		if err := out.Mappings.Merge(o.Mappings); err != nil {
+			return nil, fmt.Errorf("ontology: merging %q: %w", o.Domain, err)
+		}
+	}
+	if len(onts) > 1 {
+		sort.Strings(names)
+		out.Domain = "merged(" + names[0]
+		for _, n := range names[1:] {
+			out.Domain += "+" + n
+		}
+		out.Domain += ")"
+	}
+	return out, nil
+}
+
+// Stage builds a semantic stage over the ontology with the given
+// configuration.
+func (o *Ontology) Stage(cfg semantic.Config) *semantic.Stage {
+	return semantic.NewStage(o.Synonyms, o.Hierarchy, o.Mappings, cfg)
+}
+
+// Summary describes the compiled ontology for diagnostics and the ontc
+// tool.
+func (o *Ontology) Summary() string {
+	return fmt.Sprintf("domain %q: %d synonym terms in %d groups, %d concepts, %d mapping functions",
+		o.Domain, o.Synonyms.Len(), o.Synonyms.Groups(), o.Hierarchy.Len(), o.Mappings.Len())
+}

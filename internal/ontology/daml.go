@@ -1,0 +1,154 @@
+package ontology
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"stopss/internal/semantic"
+)
+
+// This file implements the paper's stated future work (§2): "automating
+// translation of ontologies expressed in DAML+OIL into a more efficient
+// representation suitable for S-ToPSS."
+//
+// ImportDAML reads the subset of DAML+OIL (RDF/XML syntax) that carries
+// the knowledge S-ToPSS consumes:
+//
+//   - daml:Class rdf:ID="car" with nested rdfs:subClassOf
+//     rdf:resource="#vehicle"      → concept-hierarchy is-a edges
+//   - daml:samePropertyAs / daml:sameClassAs / daml:equivalentTo
+//     (nested in a class/property)  → synonym groups, rooted at the
+//     element that declares the equivalence
+//   - rdfs:label                    → alternative surface form, treated
+//     as a synonym of the ID
+//
+// Mapping functions have no DAML+OIL counterpart (they are arbitrary
+// computations); they remain the domain expert's job and are declared in
+// ODL or Go. The importer returns an Ontology whose Mappings registry is
+// empty.
+
+// damlDocument mirrors the RDF/XML structure we accept.
+type damlDocument struct {
+	XMLName    xml.Name       `xml:"RDF"`
+	Classes    []damlClass    `xml:"Class"`
+	Properties []damlProperty `xml:"DatatypeProperty"`
+	ObjProps   []damlProperty `xml:"ObjectProperty"`
+}
+
+type damlClass struct {
+	ID          string         `xml:"ID,attr"`
+	About       string         `xml:"about,attr"`
+	Label       string         `xml:"label"`
+	SubClassOf  []damlResource `xml:"subClassOf"`
+	SameClassAs []damlResource `xml:"sameClassAs"`
+	Equivalent  []damlResource `xml:"equivalentTo"`
+}
+
+type damlProperty struct {
+	ID             string         `xml:"ID,attr"`
+	About          string         `xml:"about,attr"`
+	Label          string         `xml:"label"`
+	SamePropertyAs []damlResource `xml:"samePropertyAs"`
+	Equivalent     []damlResource `xml:"equivalentTo"`
+}
+
+type damlResource struct {
+	Resource string `xml:"resource,attr"`
+}
+
+// refName extracts the local concept name from an rdf:resource reference
+// ("#vehicle" or "http://example.org/onto#vehicle" → "vehicle").
+func refName(ref string) string {
+	if i := strings.LastIndex(ref, "#"); i >= 0 {
+		return ref[i+1:]
+	}
+	if i := strings.LastIndex(ref, "/"); i >= 0 {
+		return ref[i+1:]
+	}
+	return ref
+}
+
+// nameOf returns a node's own name: rdf:ID, or the fragment of
+// rdf:about.
+func nameOf(id, about string) string {
+	if id != "" {
+		return id
+	}
+	return refName(about)
+}
+
+// ImportDAML parses a DAML+OIL (RDF/XML subset) document and compiles it
+// into the runtime structures. domain names the resulting ontology.
+func ImportDAML(src string, domain string) (*Ontology, error) {
+	var doc damlDocument
+	dec := xml.NewDecoder(strings.NewReader(src))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("ontology: parsing DAML+OIL: %w", err)
+	}
+	if domain == "" {
+		domain = "daml-import"
+	}
+	o := &Ontology{
+		Domain:    domain,
+		Synonyms:  semantic.NewSynonyms(),
+		Hierarchy: semantic.NewHierarchy(),
+		Mappings:  semantic.NewMappings(),
+	}
+
+	for _, c := range doc.Classes {
+		name := nameOf(c.ID, c.About)
+		if name == "" {
+			return nil, fmt.Errorf("ontology: DAML class without rdf:ID or rdf:about")
+		}
+		if err := o.Hierarchy.AddConcept(name); err != nil {
+			return nil, err
+		}
+		for _, sup := range c.SubClassOf {
+			parent := refName(sup.Resource)
+			if parent == "" {
+				return nil, fmt.Errorf("ontology: class %q has empty rdfs:subClassOf resource", name)
+			}
+			if err := o.Hierarchy.AddIsA(name, parent); err != nil {
+				return nil, fmt.Errorf("ontology: class %q: %w", name, err)
+			}
+		}
+		var syns []string
+		for _, eq := range append(c.SameClassAs, c.Equivalent...) {
+			if s := refName(eq.Resource); s != "" && s != name {
+				syns = append(syns, s)
+			}
+		}
+		if c.Label != "" && c.Label != name {
+			syns = append(syns, c.Label)
+		}
+		if len(syns) > 0 {
+			if err := o.Synonyms.AddGroup(name, syns...); err != nil {
+				return nil, fmt.Errorf("ontology: class %q synonyms: %w", name, err)
+			}
+		}
+	}
+
+	props := append(append([]damlProperty{}, doc.Properties...), doc.ObjProps...)
+	for _, p := range props {
+		name := nameOf(p.ID, p.About)
+		if name == "" {
+			return nil, fmt.Errorf("ontology: DAML property without rdf:ID or rdf:about")
+		}
+		var syns []string
+		for _, eq := range append(p.SamePropertyAs, p.Equivalent...) {
+			if s := refName(eq.Resource); s != "" && s != name {
+				syns = append(syns, s)
+			}
+		}
+		if p.Label != "" && p.Label != name {
+			syns = append(syns, p.Label)
+		}
+		if len(syns) > 0 {
+			if err := o.Synonyms.AddGroup(name, syns...); err != nil {
+				return nil, fmt.Errorf("ontology: property %q synonyms: %w", name, err)
+			}
+		}
+	}
+	return o, nil
+}

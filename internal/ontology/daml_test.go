@@ -1,0 +1,176 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// autosDAML expresses (a fragment of) the autos domain in DAML+OIL
+// RDF/XML syntax, the interchange format of the paper's future work.
+const autosDAML = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:daml="http://www.daml.org/2001/03/daml+oil#">
+
+  <daml:Class rdf:ID="vehicle"/>
+
+  <daml:Class rdf:ID="car">
+    <rdfs:subClassOf rdf:resource="#vehicle"/>
+    <daml:sameClassAs rdf:resource="#automobile"/>
+    <rdfs:label>auto</rdfs:label>
+  </daml:Class>
+
+  <daml:Class rdf:ID="sedan">
+    <rdfs:subClassOf rdf:resource="#car"/>
+  </daml:Class>
+
+  <daml:Class rdf:about="http://example.org/autos#truck">
+    <rdfs:subClassOf rdf:resource="http://example.org/autos#vehicle"/>
+  </daml:Class>
+
+  <daml:DatatypeProperty rdf:ID="price">
+    <daml:samePropertyAs rdf:resource="#cost"/>
+  </daml:DatatypeProperty>
+
+  <daml:ObjectProperty rdf:ID="university">
+    <daml:equivalentTo rdf:resource="#school"/>
+    <rdfs:label>college</rdfs:label>
+  </daml:ObjectProperty>
+</rdf:RDF>
+`
+
+func TestImportDAML(t *testing.T) {
+	o, err := ImportDAML(autosDAML, "autos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Domain != "autos" {
+		t.Errorf("Domain = %q", o.Domain)
+	}
+	// Hierarchy: sedan → car → vehicle, truck → vehicle (via rdf:about URIs).
+	if !o.Hierarchy.IsA("sedan", "vehicle") {
+		t.Error("sedan should be a vehicle transitively")
+	}
+	if !o.Hierarchy.IsA("truck", "vehicle") {
+		t.Error("rdf:about URI references should resolve to local names")
+	}
+	if o.Hierarchy.IsA("vehicle", "sedan") {
+		t.Error("direction reversed")
+	}
+	// Synonyms: sameClassAs + rdfs:label on classes, samePropertyAs +
+	// equivalentTo + label on properties.
+	for term, root := range map[string]string{
+		"automobile": "car",
+		"auto":       "car",
+		"cost":       "price",
+		"school":     "university",
+		"college":    "university",
+	} {
+		if got, _ := o.Synonyms.Canonical(term); got != root {
+			t.Errorf("Canonical(%q) = %q, want %q", term, got, root)
+		}
+	}
+	// No mapping functions come from DAML.
+	if o.Mappings.Len() != 0 {
+		t.Errorf("Mappings.Len = %d, want 0", o.Mappings.Len())
+	}
+	if !strings.Contains(o.Summary(), "autos") {
+		t.Errorf("Summary = %q", o.Summary())
+	}
+}
+
+func TestImportDAMLErrors(t *testing.T) {
+	cases := []string{
+		`not xml at all`,
+		`<?xml version="1.0"?><rdf:RDF xmlns:rdf="x" xmlns:daml="y"><daml:Class/></rdf:RDF>`, // no ID
+		`<?xml version="1.0"?><rdf:RDF xmlns:rdf="x" xmlns:rdfs="z" xmlns:daml="y">
+		   <daml:Class rdf:ID="a"><rdfs:subClassOf rdf:resource="#b"/></daml:Class>
+		   <daml:Class rdf:ID="b"><rdfs:subClassOf rdf:resource="#a"/></daml:Class>
+		 </rdf:RDF>`, // cycle
+	}
+	for _, src := range cases {
+		if _, err := ImportDAML(src, "d"); err == nil {
+			t.Errorf("ImportDAML should fail on %q", src[:min(40, len(src))])
+		}
+	}
+}
+
+func TestImportDAMLDefaultDomain(t *testing.T) {
+	o, err := ImportDAML(`<?xml version="1.0"?><rdf:RDF xmlns:rdf="x"></rdf:RDF>`, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Domain != "daml-import" {
+		t.Errorf("Domain = %q", o.Domain)
+	}
+}
+
+// TestDAMLEquivalentToODL: the same knowledge expressed in DAML+OIL and
+// in ODL drives the engine to identical matching decisions — the
+// "translation into a more efficient representation" is faithful.
+func TestDAMLEquivalentToODL(t *testing.T) {
+	odl := `
+domain autos
+synonyms {
+    car: automobile, auto
+    price: cost
+    university: school, college
+}
+concepts {
+    vehicle { car { sedan } truck }
+}
+`
+	fromODL, err := Load(odl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDAML, err := ImportDAML(autosDAML, "autos")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sub := message.NewSubscription(1, "dealer",
+		message.Pred("item", message.OpEq, message.String("vehicle")))
+	probe := func(o *Ontology) []message.SubID {
+		eng := core.NewEngine(o.Stage(semantic.FullConfig()))
+		if err := eng.Subscribe(sub); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Publish(message.E("item", "sedan"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Matches
+	}
+	a, b := probe(fromODL), probe(fromDAML)
+	if len(a) != 1 || len(b) != 1 {
+		t.Errorf("ODL matches %v, DAML matches %v — both should be [1]", a, b)
+	}
+}
+
+// TestMergeDAMLWithODL: imported DAML ontologies merge with ODL-compiled
+// ones like any other (multi-domain operation).
+func TestMergeDAMLWithODL(t *testing.T) {
+	daml, err := ImportDAML(autosDAML, "autos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	odl, err := Load(`domain jobs synonyms { degree: diploma }`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := Merge(daml, odl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := merged.Synonyms.Canonical("diploma"); got != "degree" {
+		t.Error("ODL synonyms lost")
+	}
+	if !merged.Hierarchy.IsA("sedan", "vehicle") {
+		t.Error("DAML hierarchy lost")
+	}
+}

@@ -1,0 +1,190 @@
+package ontology
+
+import (
+	"fmt"
+
+	"stopss/internal/message"
+)
+
+// Expr is an arithmetic expression over event attributes, used in rule
+// conditions and derive clauses. Grammar (precedence low → high):
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/') unary)*
+//	unary  := '-' unary | primary
+//	primary:= number | string | attr '(' string-or-ident ')' | '(' expr ')'
+type Expr interface {
+	// Eval computes the expression over an event. An error means the
+	// expression does not apply to this event (missing attribute,
+	// non-numeric operand); rules treat that as "rule does not fire",
+	// not as a system failure.
+	Eval(e message.Event) (message.Value, error)
+	// Attrs appends the attributes the expression references.
+	Attrs(dst []string) []string
+	// String renders ODL source for the expression.
+	String() string
+}
+
+// NumLit is a numeric literal. Integral literals evaluate to KindInt so
+// that derived pairs compare cleanly with integer predicates.
+type NumLit struct{ V float64 }
+
+// Eval implements Expr.
+func (n NumLit) Eval(message.Event) (message.Value, error) { return numValue(n.V), nil }
+
+// Attrs implements Expr.
+func (n NumLit) Attrs(dst []string) []string { return dst }
+
+// String implements Expr.
+func (n NumLit) String() string { return fmt.Sprintf("%g", n.V) }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+// Eval implements Expr.
+func (s StrLit) Eval(message.Event) (message.Value, error) { return message.String(s.V), nil }
+
+// Attrs implements Expr.
+func (s StrLit) Attrs(dst []string) []string { return dst }
+
+// String implements Expr.
+func (s StrLit) String() string { return quoteODL(s.V) }
+
+// AttrRef reads an attribute of the event: attr("graduation year").
+type AttrRef struct{ Name string }
+
+// Eval implements Expr.
+func (a AttrRef) Eval(e message.Event) (message.Value, error) {
+	v, ok := e.Get(a.Name)
+	if !ok {
+		return message.None(), fmt.Errorf("attribute %q absent", a.Name)
+	}
+	return v, nil
+}
+
+// Attrs implements Expr.
+func (a AttrRef) Attrs(dst []string) []string { return append(dst, a.Name) }
+
+// String implements Expr.
+func (a AttrRef) String() string { return "attr(" + quoteODL(a.Name) + ")" }
+
+// Neg is unary minus.
+type Neg struct{ X Expr }
+
+// Eval implements Expr.
+func (n Neg) Eval(e message.Event) (message.Value, error) {
+	v, err := n.X.Eval(e)
+	if err != nil {
+		return message.None(), err
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return message.None(), fmt.Errorf("cannot negate %s value", v.Kind())
+	}
+	return numValue(-f), nil
+}
+
+// Attrs implements Expr.
+func (n Neg) Attrs(dst []string) []string { return n.X.Attrs(dst) }
+
+// String implements Expr.
+func (n Neg) String() string { return "-" + n.X.String() }
+
+// BinOp is a binary arithmetic node: + - * /. Addition of two strings
+// concatenates; all other combinations require numeric operands.
+type BinOp struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// Eval implements Expr.
+func (b BinOp) Eval(e message.Event) (message.Value, error) {
+	l, err := b.L.Eval(e)
+	if err != nil {
+		return message.None(), err
+	}
+	r, err := b.R.Eval(e)
+	if err != nil {
+		return message.None(), err
+	}
+	if b.Op == '+' && l.Kind() == message.KindString && r.Kind() == message.KindString {
+		return message.String(l.Str() + r.Str()), nil
+	}
+	lf, ok1 := l.AsFloat()
+	rf, ok2 := r.AsFloat()
+	if !ok1 || !ok2 {
+		return message.None(), fmt.Errorf("operator %q needs numeric operands, got %s and %s",
+			string(rune(b.Op)), l.Kind(), r.Kind())
+	}
+	switch b.Op {
+	case '+':
+		return numValue(lf + rf), nil
+	case '-':
+		return numValue(lf - rf), nil
+	case '*':
+		return numValue(lf * rf), nil
+	case '/':
+		if rf == 0 {
+			return message.None(), fmt.Errorf("division by zero")
+		}
+		return numValue(lf / rf), nil
+	default:
+		return message.None(), fmt.Errorf("unknown operator %q", string(rune(b.Op)))
+	}
+}
+
+// Attrs implements Expr.
+func (b BinOp) Attrs(dst []string) []string { return b.R.Attrs(b.L.Attrs(dst)) }
+
+// String implements Expr.
+func (b BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, string(rune(b.Op)), b.R)
+}
+
+// numValue renders a float as Int when integral, preserving the loose
+// numeric typing of the publication language.
+func numValue(f float64) message.Value {
+	if f == float64(int64(f)) {
+		return message.Int(int64(f))
+	}
+	return message.Float(f)
+}
+
+// evalCondition reports whether a when-conjunct holds for the event.
+// Unsatisfiable evaluation (missing attribute, type mismatch) counts as
+// false, never as an error: the rule simply does not fire.
+func evalCondition(c Condition, e message.Event) bool {
+	if c.Exists {
+		return e.Has(c.Attr)
+	}
+	l, err := c.Left.Eval(e)
+	if err != nil {
+		return false
+	}
+	r, err := c.Right.Eval(e)
+	if err != nil {
+		return false
+	}
+	switch c.Cmp {
+	case "=":
+		return l.Equal(r)
+	case "!=":
+		return !l.Equal(r)
+	}
+	cmp, ok := l.Compare(r)
+	if !ok {
+		return false
+	}
+	switch c.Cmp {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	default:
+		return false
+	}
+}

@@ -1,0 +1,147 @@
+package ontology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a Document back into canonical ODL source. The output
+// parses back to a structurally identical document (round-trip property
+// tested), making it suitable for ontology normalization and diffing —
+// `ontc` can thus act as a formatter.
+func Format(doc *Document) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "domain %s\n", formatTerm(doc.Domain))
+
+	if len(doc.Synonyms) > 0 {
+		sb.WriteString("\nsynonyms {\n")
+		for _, g := range doc.Synonyms {
+			members := make([]string, len(g.Members))
+			for i, m := range g.Members {
+				members[i] = formatTerm(m)
+			}
+			fmt.Fprintf(&sb, "    %s: %s\n", formatTerm(g.Root), strings.Join(members, ", "))
+		}
+		sb.WriteString("}\n")
+	}
+
+	if len(doc.Concepts) > 0 {
+		sb.WriteString("\nconcepts {\n")
+		for _, n := range doc.Concepts {
+			formatConcept(&sb, n, 1)
+		}
+		sb.WriteString("}\n")
+	}
+
+	if len(doc.Rules) > 0 || len(doc.PairMaps) > 0 {
+		sb.WriteString("\nmappings {\n")
+		for _, r := range doc.Rules {
+			fmt.Fprintf(&sb, "    rule %s\n", r.Name)
+			if len(r.Conditions) > 0 {
+				conds := make([]string, len(r.Conditions))
+				for i, c := range r.Conditions {
+					conds[i] = formatCondition(c)
+				}
+				fmt.Fprintf(&sb, "        when %s\n", strings.Join(conds, " and "))
+			}
+			derives := make([]string, len(r.Derives))
+			for i, d := range r.Derives {
+				derives[i] = fmt.Sprintf("%s = %s", formatTerm(d.Attr), d.Expr)
+			}
+			fmt.Fprintf(&sb, "        derive %s\n", strings.Join(derives, ", "))
+		}
+		for _, pm := range doc.PairMaps {
+			pairs := make([]string, len(pm.Derived))
+			for i, d := range pm.Derived {
+				pairs[i] = fmt.Sprintf("%s %s", formatTerm(d.Attr), formatLiteral(d.Value))
+			}
+			fmt.Fprintf(&sb, "    map %s %s -> %s\n",
+				formatTerm(pm.Attr), formatLiteral(pm.Value), strings.Join(pairs, ", "))
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+func formatConcept(sb *strings.Builder, n ConceptNode, depth int) {
+	indent := strings.Repeat("    ", depth)
+	if len(n.Children) == 0 {
+		fmt.Fprintf(sb, "%s%s\n", indent, formatTerm(n.Name))
+		return
+	}
+	fmt.Fprintf(sb, "%s%s {\n", indent, formatTerm(n.Name))
+	for _, c := range n.Children {
+		formatConcept(sb, c, depth+1)
+	}
+	fmt.Fprintf(sb, "%s}\n", indent)
+}
+
+func formatCondition(c Condition) string {
+	if c.Exists {
+		return fmt.Sprintf("exists(%s)", formatTerm(c.Attr))
+	}
+	return fmt.Sprintf("%s %s %s", c.Left, c.Cmp, c.Right)
+}
+
+// formatTerm quotes a term unless it is a bare identifier.
+func formatTerm(t string) string {
+	if isBareIdent(t) {
+		return t
+	}
+	return quoteODL(t)
+}
+
+// quoteODL renders a string literal using only the escapes the ODL
+// lexer understands (\" \\ \n \t); all other bytes pass through
+// verbatim. strconv.Quote is unsuitable here: it emits \xNN and \uNNNN
+// escapes that ODL does not define.
+func quoteODL(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}
+
+func isBareIdent(t string) bool {
+	if t == "" {
+		return false
+	}
+	// Keywords must be quoted to avoid being re-parsed as structure.
+	switch t {
+	case "domain", "synonyms", "concepts", "mappings", "rule", "map",
+		"when", "derive", "and", "exists", "attr":
+		return false
+	}
+	if !isIdentStart(t[0]) || t[0] >= 0x80 {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		if c >= 0x80 || !isIdentPart(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func formatLiteral(l Literal) string {
+	if l.IsNum {
+		return strconv.FormatFloat(l.Num, 'g', -1, 64)
+	}
+	return quoteODL(l.Str)
+}

@@ -1,0 +1,156 @@
+package ontology
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// normalizeDoc strips position information so structural comparison
+// ignores line numbers.
+func normalizeDoc(d *Document) *Document {
+	out := *d
+	out.Synonyms = append([]SynonymGroup{}, d.Synonyms...)
+	for i := range out.Synonyms {
+		out.Synonyms[i].Line = 0
+	}
+	var walk func(n ConceptNode) ConceptNode
+	walk = func(n ConceptNode) ConceptNode {
+		n.Line = 0
+		kids := make([]ConceptNode, len(n.Children))
+		for i, c := range n.Children {
+			kids[i] = walk(c)
+		}
+		n.Children = kids
+		return n
+	}
+	out.Concepts = make([]ConceptNode, len(d.Concepts))
+	for i, c := range d.Concepts {
+		out.Concepts[i] = walk(c)
+	}
+	out.Rules = append([]RuleDecl{}, d.Rules...)
+	for i := range out.Rules {
+		out.Rules[i].Line = 0
+		conds := append([]Condition{}, out.Rules[i].Conditions...)
+		for j := range conds {
+			conds[j].Line = 0
+		}
+		out.Rules[i].Conditions = conds
+		ders := append([]Derive{}, out.Rules[i].Derives...)
+		for j := range ders {
+			ders[j].Line = 0
+		}
+		out.Rules[i].Derives = ders
+	}
+	out.PairMaps = append([]PairMapDecl{}, d.PairMaps...)
+	for i := range out.PairMaps {
+		out.PairMaps[i].Line = 0
+	}
+	return &out
+}
+
+func TestFormatRoundTripJobs(t *testing.T) {
+	doc, err := Parse(jobsODL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(doc)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(normalizeDoc(doc), normalizeDoc(back)) {
+		t.Errorf("round trip changed the document\n--- formatted ---\n%s", text)
+	}
+}
+
+func TestFormatIdempotent(t *testing.T) {
+	doc, err := Parse(jobsODL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Format(doc)
+	doc2, err := Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := Format(doc2)
+	if once != twice {
+		t.Errorf("Format not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+}
+
+func TestFormatQuotesKeywordsAndSpaces(t *testing.T) {
+	doc := &Document{
+		Domain: "jobs domain", // space → quoted
+		Synonyms: []SynonymGroup{
+			{Root: "rule", Members: []string{"map", "plain"}}, // keywords → quoted
+		},
+		Concepts: []ConceptNode{{Name: "graduate degree"}},
+	}
+	text := Format(doc)
+	for _, want := range []string{`"jobs domain"`, `"rule":`, `"map"`, `"graduate degree"`} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("quoted output does not parse: %v\n%s", err, text)
+	}
+	if back.Domain != "jobs domain" || back.Synonyms[0].Root != "rule" {
+		t.Errorf("round trip lost quoting: %+v", back)
+	}
+}
+
+func TestFormatRoundTripRuleExpressions(t *testing.T) {
+	src := `
+domain d
+mappings {
+    rule r1 when attr(x) > 0 and exists(y) and attr(s) = "lit"
+        derive out = -(attr(x) + 2) * 3 / (1 + 1), msg = "pre-" + attr(s)
+    map position "mainframe developer" -> skill "COBOL", years 2.5, neg -3
+}
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(doc)
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, text)
+	}
+	// Compare semantics rather than AST shape (parenthesization may
+	// differ): evaluate the derive expressions on a probe event.
+	probe := func(d *Document) []string {
+		var out []string
+		for _, r := range d.Rules {
+			for _, dv := range r.Derives {
+				v, err := dv.Expr.Eval(mustEvent())
+				if err != nil {
+					out = append(out, "err:"+err.Error())
+				} else {
+					out = append(out, v.String())
+				}
+			}
+		}
+		for _, pm := range d.PairMaps {
+			out = append(out, formatLiteral(pm.Value))
+			for _, dd := range pm.Derived {
+				out = append(out, dd.Attr+"="+formatLiteral(dd.Value))
+			}
+		}
+		return out
+	}
+	if !reflect.DeepEqual(probe(doc), probe(back)) {
+		t.Errorf("round trip changed semantics:\n orig: %v\n back: %v\n--- formatted ---\n%s",
+			probe(doc), probe(back), text)
+	}
+}
+
+func mustEvent() message.Event {
+	return message.E("x", 4, "s", "lit", "y", 1)
+}

@@ -1,0 +1,58 @@
+package ontology
+
+import "testing"
+
+// FuzzParse checks the ODL front end never panics and that accepted
+// documents survive a format → parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(jobsODL)
+	f.Add(`domain d`)
+	f.Add(`domain d synonyms { a: b, c }`)
+	f.Add(`domain d concepts { a { b { c } d } }`)
+	f.Add(`domain d mappings { rule r when exists(x) derive y = attr(x) * 2 - 1 }`)
+	f.Add(`domain d mappings { map a "v" -> b "w", c 3 }`)
+	f.Add(`domain "quoted domain" synonyms { "root term": "member term" }`)
+	f.Add(`domain d # comment
+synonyms { a: b }`)
+	f.Add(`{{{{`)
+	f.Add(`domain d mappings { rule r derive a = ((((1)))) }`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(doc)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted ODL does not re-parse: %v\nsource: %q\nformat: %q", err, src, text)
+		}
+		// Idempotence: formatting the re-parse changes nothing.
+		if again := Format(back); again != text {
+			t.Fatalf("Format not idempotent:\nfirst:  %q\nsecond: %q", text, again)
+		}
+		// Compilation must not panic either; semantic errors are fine.
+		_, _ = Compile(doc, Options{})
+		_, _ = Compile(doc, Options{Normalize: true, Prefix: true})
+	})
+}
+
+// FuzzImportDAML checks the XML importer against arbitrary input.
+func FuzzImportDAML(f *testing.F) {
+	f.Add(`<?xml version="1.0"?><rdf:RDF xmlns:rdf="x"></rdf:RDF>`)
+	f.Add(`<?xml version="1.0"?><rdf:RDF xmlns:rdf="x" xmlns:rdfs="z" xmlns:daml="y">
+<daml:Class rdf:ID="a"><rdfs:subClassOf rdf:resource="#b"/></daml:Class></rdf:RDF>`)
+	f.Add(`not xml`)
+	f.Add(`<rdf:RDF xmlns:rdf="x"><Class rdf:ID=""/></rdf:RDF>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		o, err := ImportDAML(src, "fuzz")
+		if err != nil {
+			return
+		}
+		// Whatever imported must be internally consistent: ancestors
+		// terminate (the importer rejects cycles).
+		for _, root := range o.Hierarchy.Roots() {
+			o.Hierarchy.Descendants(root)
+		}
+	})
+}

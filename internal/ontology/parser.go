@@ -1,0 +1,475 @@
+package ontology
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses one ODL document.
+func Parse(src string) (*Document, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.document()
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind) (token, error) {
+	t := p.cur()
+	if t.kind != k {
+		return t, errf(t.line, t.col, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+// expectKeyword consumes an identifier with the given text.
+func (p *parser) expectKeyword(kw string) error {
+	t := p.cur()
+	if t.kind != tokIdent || t.text != kw {
+		return errf(t.line, t.col, "expected %q, found %s", kw, t)
+	}
+	p.advance()
+	return nil
+}
+
+// atKeyword reports whether the current token is the identifier kw.
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == kw
+}
+
+// term consumes an identifier or quoted string and returns its text.
+func (p *parser) term() (string, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIdent, tokString:
+		p.advance()
+		if t.text == "" {
+			return "", errf(t.line, t.col, "empty term")
+		}
+		return t.text, nil
+	default:
+		return "", errf(t.line, t.col, "expected a term (identifier or string), found %s", t)
+	}
+}
+
+// document := "domain" term section*
+func (p *parser) document() (*Document, error) {
+	if err := p.expectKeyword("domain"); err != nil {
+		return nil, err
+	}
+	name, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	doc := &Document{Domain: name}
+	for p.cur().kind != tokEOF {
+		t := p.cur()
+		switch {
+		case p.atKeyword("synonyms"):
+			if err := p.synonymsSection(doc); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("concepts"):
+			if err := p.conceptsSection(doc); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("mappings"):
+			if err := p.mappingsSection(doc); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, errf(t.line, t.col, "expected a section (synonyms, concepts or mappings), found %s", t)
+		}
+	}
+	return doc, nil
+}
+
+// synonymsSection := "synonyms" "{" group* "}"
+// group           := term ":" term ("," term)*
+func (p *parser) synonymsSection(doc *Document) error {
+	p.advance() // "synonyms"
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		line := p.cur().line
+		root, err := p.term()
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokColon); err != nil {
+			return err
+		}
+		g := SynonymGroup{Root: root, Line: line}
+		for {
+			member, err := p.term()
+			if err != nil {
+				return err
+			}
+			g.Members = append(g.Members, member)
+			if p.cur().kind != tokComma {
+				break
+			}
+			p.advance()
+		}
+		doc.Synonyms = append(doc.Synonyms, g)
+	}
+	_, err := p.expect(tokRBrace)
+	return err
+}
+
+// conceptsSection := "concepts" "{" conceptNode* "}"
+// conceptNode     := term ("{" conceptNode* "}")?
+func (p *parser) conceptsSection(doc *Document) error {
+	p.advance() // "concepts"
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		n, err := p.conceptNode(0)
+		if err != nil {
+			return err
+		}
+		doc.Concepts = append(doc.Concepts, n)
+	}
+	_, err := p.expect(tokRBrace)
+	return err
+}
+
+const maxConceptDepth = 64
+
+func (p *parser) conceptNode(depth int) (ConceptNode, error) {
+	if depth > maxConceptDepth {
+		t := p.cur()
+		return ConceptNode{}, errf(t.line, t.col, "concept nesting exceeds %d levels", maxConceptDepth)
+	}
+	line := p.cur().line
+	name, err := p.term()
+	if err != nil {
+		return ConceptNode{}, err
+	}
+	n := ConceptNode{Name: name, Line: line}
+	if p.cur().kind == tokLBrace {
+		p.advance()
+		for p.cur().kind != tokRBrace {
+			child, err := p.conceptNode(depth + 1)
+			if err != nil {
+				return ConceptNode{}, err
+			}
+			n.Children = append(n.Children, child)
+		}
+		if _, err := p.expect(tokRBrace); err != nil {
+			return ConceptNode{}, err
+		}
+	}
+	return n, nil
+}
+
+// mappingsSection := "mappings" "{" (rule | pairMap)* "}"
+func (p *parser) mappingsSection(doc *Document) error {
+	p.advance() // "mappings"
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+	for p.cur().kind != tokRBrace {
+		switch {
+		case p.atKeyword("rule"):
+			r, err := p.ruleDecl()
+			if err != nil {
+				return err
+			}
+			doc.Rules = append(doc.Rules, r)
+		case p.atKeyword("map"):
+			m, err := p.pairMapDecl()
+			if err != nil {
+				return err
+			}
+			doc.PairMaps = append(doc.PairMaps, m)
+		default:
+			t := p.cur()
+			return errf(t.line, t.col, "expected 'rule' or 'map', found %s", t)
+		}
+	}
+	_, err := p.expect(tokRBrace)
+	return err
+}
+
+// ruleDecl := "rule" ident ("when" condition ("and" condition)*)?
+//
+//	"derive" derive ("," derive)*
+func (p *parser) ruleDecl() (RuleDecl, error) {
+	line := p.cur().line
+	p.advance() // "rule"
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return RuleDecl{}, err
+	}
+	r := RuleDecl{Name: nameTok.text, Line: line}
+	if p.atKeyword("when") {
+		p.advance()
+		for {
+			c, err := p.condition()
+			if err != nil {
+				return RuleDecl{}, err
+			}
+			r.Conditions = append(r.Conditions, c)
+			if !p.atKeyword("and") {
+				break
+			}
+			p.advance()
+		}
+	}
+	if err := p.expectKeyword("derive"); err != nil {
+		return RuleDecl{}, err
+	}
+	for {
+		dLine := p.cur().line
+		attr, err := p.term()
+		if err != nil {
+			return RuleDecl{}, err
+		}
+		if _, err := p.expect(tokEq); err != nil {
+			return RuleDecl{}, err
+		}
+		expr, err := p.expr()
+		if err != nil {
+			return RuleDecl{}, err
+		}
+		r.Derives = append(r.Derives, Derive{Attr: attr, Expr: expr, Line: dLine})
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	return r, nil
+}
+
+// condition := "exists" "(" term ")" | expr cmp expr
+func (p *parser) condition() (Condition, error) {
+	line := p.cur().line
+	if p.atKeyword("exists") && p.peek().kind == tokLParen {
+		p.advance() // "exists"
+		p.advance() // "("
+		attr, err := p.term()
+		if err != nil {
+			return Condition{}, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Condition{}, err
+		}
+		return Condition{Exists: true, Attr: attr, Line: line}, nil
+	}
+	left, err := p.expr()
+	if err != nil {
+		return Condition{}, err
+	}
+	t := p.cur()
+	var cmp string
+	switch t.kind {
+	case tokEq:
+		cmp = "="
+	case tokNe:
+		cmp = "!="
+	case tokLt:
+		cmp = "<"
+	case tokLe:
+		cmp = "<="
+	case tokGt:
+		cmp = ">"
+	case tokGe:
+		cmp = ">="
+	default:
+		return Condition{}, errf(t.line, t.col, "expected a comparison operator, found %s", t)
+	}
+	p.advance()
+	right, err := p.expr()
+	if err != nil {
+		return Condition{}, err
+	}
+	return Condition{Left: left, Cmp: cmp, Right: right, Line: line}, nil
+}
+
+// expr := term (('+'|'-') term)*
+func (p *parser) expr() (Expr, error) {
+	left, err := p.mulTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokPlus:
+			p.advance()
+			right, err := p.mulTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinOp{Op: '+', L: left, R: right}
+		case tokMinus:
+			p.advance()
+			right, err := p.mulTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = BinOp{Op: '-', L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// mulTerm := unary (('*'|'/') unary)*
+func (p *parser) mulTerm() (Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().kind {
+		case tokStar:
+			p.advance()
+			right, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			left = BinOp{Op: '*', L: left, R: right}
+		case tokSlash:
+			p.advance()
+			right, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			left = BinOp{Op: '/', L: left, R: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+// unary := '-' unary | primary
+func (p *parser) unary() (Expr, error) {
+	if p.cur().kind == tokMinus {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Neg{X: x}, nil
+	}
+	return p.primary()
+}
+
+// primary := number | string | "attr" "(" term ")" | "(" expr ")"
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return NumLit{V: t.num}, nil
+	case t.kind == tokString:
+		p.advance()
+		return StrLit{V: t.text}, nil
+	case t.kind == tokIdent && t.text == "attr":
+		p.advance()
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return AttrRef{Name: name}, nil
+	case t.kind == tokLParen:
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, errf(t.line, t.col, "expected an expression, found %s", t)
+	}
+}
+
+// pairMapDecl := "map" term literal "->" pair ("," pair)*
+// pair        := term literal
+func (p *parser) pairMapDecl() (PairMapDecl, error) {
+	line := p.cur().line
+	p.advance() // "map"
+	attr, err := p.term()
+	if err != nil {
+		return PairMapDecl{}, err
+	}
+	val, err := p.literal()
+	if err != nil {
+		return PairMapDecl{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return PairMapDecl{}, err
+	}
+	m := PairMapDecl{Attr: attr, Value: val, Line: line}
+	for {
+		dAttr, err := p.term()
+		if err != nil {
+			return PairMapDecl{}, err
+		}
+		dVal, err := p.literal()
+		if err != nil {
+			return PairMapDecl{}, err
+		}
+		m.Derived = append(m.Derived, PairDecl{Attr: dAttr, Value: dVal})
+		if p.cur().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	return m, nil
+}
+
+// literal := string | number | ident (bare word treated as string)
+func (p *parser) literal() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString, tokIdent:
+		p.advance()
+		return Literal{Str: t.text}, nil
+	case tokNumber:
+		p.advance()
+		return Literal{IsNum: true, Num: t.num}, nil
+	case tokMinus:
+		p.advance()
+		n, err := p.expect(tokNumber)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{IsNum: true, Num: -n.num}, nil
+	default:
+		return Literal{}, errf(t.line, t.col, "expected a literal, found %s", t)
+	}
+}

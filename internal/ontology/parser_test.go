@@ -1,0 +1,211 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+const jobsODL = `
+# The job-finder domain of the paper's running examples.
+domain jobs
+
+synonyms {
+    university: school, college, "alma mater"
+    "professional experience": "work experience"
+}
+
+concepts {
+    degree {
+        "graduate degree" { PhD MSc }
+        BSc
+    }
+}
+
+mappings {
+    rule experience_from_graduation
+        when exists("graduation year")
+        derive "professional experience" = 2003 - attr("graduation year")
+
+    map position "mainframe developer" -> skill "COBOL", era "1960-1980"
+}
+`
+
+func TestParseJobsDocument(t *testing.T) {
+	doc, err := Parse(jobsODL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Domain != "jobs" {
+		t.Errorf("Domain = %q", doc.Domain)
+	}
+	if len(doc.Synonyms) != 2 {
+		t.Fatalf("Synonyms = %d, want 2", len(doc.Synonyms))
+	}
+	if doc.Synonyms[0].Root != "university" || len(doc.Synonyms[0].Members) != 3 {
+		t.Errorf("group 0 = %+v", doc.Synonyms[0])
+	}
+	if doc.Synonyms[0].Members[2] != "alma mater" {
+		t.Errorf("quoted member = %q", doc.Synonyms[0].Members[2])
+	}
+	if len(doc.Concepts) != 1 || doc.Concepts[0].Name != "degree" {
+		t.Fatalf("Concepts = %+v", doc.Concepts)
+	}
+	grad := doc.Concepts[0].Children[0]
+	if grad.Name != "graduate degree" || len(grad.Children) != 2 {
+		t.Errorf("graduate degree node = %+v", grad)
+	}
+	if len(doc.Rules) != 1 {
+		t.Fatalf("Rules = %d, want 1", len(doc.Rules))
+	}
+	r := doc.Rules[0]
+	if r.Name != "experience_from_graduation" || len(r.Conditions) != 1 || !r.Conditions[0].Exists {
+		t.Errorf("rule = %+v", r)
+	}
+	if len(r.Derives) != 1 || r.Derives[0].Attr != "professional experience" {
+		t.Errorf("derives = %+v", r.Derives)
+	}
+	if got := r.Derives[0].Expr.String(); got != `(2003 - attr("graduation year"))` {
+		t.Errorf("expr = %q", got)
+	}
+	if len(doc.PairMaps) != 1 {
+		t.Fatalf("PairMaps = %d, want 1", len(doc.PairMaps))
+	}
+	pm := doc.PairMaps[0]
+	if pm.Attr != "position" || pm.Value.Str != "mainframe developer" || len(pm.Derived) != 2 {
+		t.Errorf("pair map = %+v", pm)
+	}
+}
+
+func TestParseRuleVariants(t *testing.T) {
+	src := `
+domain d
+mappings {
+    rule simple derive a = 1
+    rule multi_derive derive a = 1, b = attr(x) * 2
+    rule multi_cond when attr(x) > 0 and attr(y) != "no" and exists(z)
+        derive w = attr(x) + attr(y)
+    rule arithmetic derive v = -(attr(a) + 2) * 3 / (1 + 1) - -4
+    rule strings when attr(s) = "yes" derive msg = "pre-" + attr(s)
+}
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rules) != 5 {
+		t.Fatalf("Rules = %d, want 5", len(doc.Rules))
+	}
+	if len(doc.Rules[1].Derives) != 2 {
+		t.Errorf("multi_derive has %d derives", len(doc.Rules[1].Derives))
+	}
+	if len(doc.Rules[2].Conditions) != 3 {
+		t.Errorf("multi_cond has %d conditions", len(doc.Rules[2].Conditions))
+	}
+}
+
+func TestParseConceptForest(t *testing.T) {
+	src := `
+domain autos
+concepts {
+    vehicle {
+        car { sedan suv }
+        truck { pickup }
+    }
+    color { red blue }
+}
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Concepts) != 2 {
+		t.Fatalf("roots = %d, want 2", len(doc.Concepts))
+	}
+	if len(doc.Concepts[0].Children) != 2 || len(doc.Concepts[0].Children[0].Children) != 2 {
+		t.Errorf("vehicle subtree = %+v", doc.Concepts[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src      string
+		contains string
+	}{
+		{``, `expected "domain"`},
+		{`domain`, "expected a term"},
+		{`domain d junk`, "expected a section"},
+		{`domain d synonyms { a }`, "expected ':'"},
+		{`domain d synonyms { a: }`, "expected a term"},
+		{`domain d synonyms { a: b,, }`, "expected a term"},
+		{`domain d concepts { `, "expected a term"},
+		{`domain d concepts { a { b }`, "expected a term"},
+		{`domain d mappings { junk }`, "expected 'rule' or 'map'"},
+		{`domain d mappings { rule }`, "expected identifier"},
+		{`domain d mappings { rule r }`, `expected "derive"`},
+		{`domain d mappings { rule r derive }`, "expected a term"},
+		{`domain d mappings { rule r derive a }`, "expected '='"},
+		{`domain d mappings { rule r derive a = }`, "expected an expression"},
+		{`domain d mappings { rule r when derive a = 1 }`, "expected an expression"},
+		{`domain d mappings { rule r when exists(x derive a = 1 }`, "expected ')'"},
+		{`domain d mappings { rule r derive a = (1 + }`, "expected an expression"},
+		{`domain d mappings { rule r derive a = (1 }`, "expected ')'"},
+		{`domain d mappings { rule r derive a = attr }`, "expected '('"},
+		{`domain d mappings { map a -> b 1 }`, "expected a literal"},
+		{`domain d mappings { map a 1 b 2 }`, "expected '->'"},
+		{`domain d mappings { map a 1 -> }`, "expected a term"},
+		{`domain d mappings { map a 1 -> b }`, "expected a literal"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.contains) {
+			t.Errorf("Parse(%q) error = %q, want contains %q", tc.src, err, tc.contains)
+		}
+	}
+}
+
+func TestParseDeepNestingRejected(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("domain d concepts { ")
+	for i := 0; i < 80; i++ {
+		sb.WriteString("a { ")
+	}
+	src := sb.String()
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("deep nesting should be rejected with a clear error, got %v", err)
+	}
+}
+
+func TestParseNegativeLiteralInMap(t *testing.T) {
+	doc, err := Parse(`domain d mappings { map t -1 -> u -2.5 }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := doc.PairMaps[0]
+	if !pm.Value.IsNum || pm.Value.Num != -1 {
+		t.Errorf("match literal = %+v", pm.Value)
+	}
+	if !pm.Derived[0].Value.IsNum || pm.Derived[0].Value.Num != -2.5 {
+		t.Errorf("derived literal = %+v", pm.Derived[0].Value)
+	}
+}
+
+func TestParseMultipleSections(t *testing.T) {
+	src := `
+domain d
+synonyms { a: b }
+concepts { c }
+mappings { rule r derive x = attr(a) }
+synonyms { e: f }
+`
+	doc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Synonyms) != 2 {
+		t.Errorf("repeated sections should accumulate: %+v", doc.Synonyms)
+	}
+}

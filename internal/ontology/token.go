@@ -1,0 +1,386 @@
+// Package ontology implements ODL, the ontology description language of
+// this S-ToPSS reproduction, and its compiler into the hash-based
+// runtime structures of internal/semantic.
+//
+// The paper's future work (§2) is "automating translation of ontologies
+// expressed in DAML+OIL into a more efficient representation suitable
+// for S-ToPSS"; ODL plays the role of the interchange format. A document
+// declares one domain:
+//
+//	domain jobs
+//
+//	synonyms {
+//	    university: school, college, "alma mater"
+//	    "professional experience": "work experience"
+//	}
+//
+//	concepts {
+//	    degree {
+//	        "graduate degree" { phd msc }
+//	        bsc
+//	    }
+//	}
+//
+//	mappings {
+//	    rule experience_from_graduation
+//	        when exists("graduation year")
+//	        derive "professional experience" = 2003 - attr("graduation year")
+//
+//	    map position "mainframe developer" -> skill "COBOL", era "1960-1980"
+//	}
+//
+// Comments run from '#' to end of line. Identifiers are bare words
+// (letters, digits, '_', '-'); terms containing spaces are quoted.
+package ontology
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokLBrace // {
+	tokRBrace // }
+	tokLParen // (
+	tokRParen // )
+	tokColon  // :
+	tokComma  // ,
+	tokArrow  // ->
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+	tokEq     // =
+	tokNe     // !=
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokColon:
+		return "':'"
+	case tokComma:
+		return "','"
+	case tokArrow:
+		return "'->'"
+	case tokPlus:
+		return "'+'"
+	case tokMinus:
+		return "'-'"
+	case tokStar:
+		return "'*'"
+	case tokSlash:
+		return "'/'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'!='"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// token is one lexical unit with its source position.
+type token struct {
+	kind tokKind
+	text string  // identifier or string payload
+	num  float64 // number payload
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokIdent, tokString:
+		return fmt.Sprintf("%s %q", t.kind, t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %g", t.num)
+	default:
+		return t.kind.String()
+	}
+}
+
+// Error reports an ODL syntax or semantic error with position.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("odl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns ODL source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.advance()
+		case c == '#':
+			for {
+				c, ok := l.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				_ = c
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	c, ok := l.peekByte()
+	if !ok {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	switch {
+	case c == '{':
+		l.advance()
+		return token{kind: tokLBrace, line: line, col: col}, nil
+	case c == '}':
+		l.advance()
+		return token{kind: tokRBrace, line: line, col: col}, nil
+	case c == '(':
+		l.advance()
+		return token{kind: tokLParen, line: line, col: col}, nil
+	case c == ')':
+		l.advance()
+		return token{kind: tokRParen, line: line, col: col}, nil
+	case c == ':':
+		l.advance()
+		return token{kind: tokColon, line: line, col: col}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, line: line, col: col}, nil
+	case c == '+':
+		l.advance()
+		return token{kind: tokPlus, line: line, col: col}, nil
+	case c == '*':
+		l.advance()
+		return token{kind: tokStar, line: line, col: col}, nil
+	case c == '/':
+		l.advance()
+		return token{kind: tokSlash, line: line, col: col}, nil
+	case c == '=':
+		l.advance()
+		return token{kind: tokEq, line: line, col: col}, nil
+	case c == '!':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return token{kind: tokNe, line: line, col: col}, nil
+		}
+		return token{}, errf(line, col, "unexpected '!'")
+	case c == '<':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return token{kind: tokLe, line: line, col: col}, nil
+		}
+		return token{kind: tokLt, line: line, col: col}, nil
+	case c == '>':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '=' {
+			l.advance()
+			return token{kind: tokGe, line: line, col: col}, nil
+		}
+		return token{kind: tokGt, line: line, col: col}, nil
+	case c == '-':
+		l.advance()
+		if c2, ok := l.peekByte(); ok && c2 == '>' {
+			l.advance()
+			return token{kind: tokArrow, line: line, col: col}, nil
+		}
+		return token{kind: tokMinus, line: line, col: col}, nil
+	case c == '"':
+		return l.lexString(line, col)
+	case c >= '0' && c <= '9':
+		return l.lexNumber(line, col)
+	case isIdentStart(c):
+		return l.lexIdent(line, col)
+	default:
+		return token{}, errf(line, col, "unexpected character %q", string(rune(c)))
+	}
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		c, ok := l.peekByte()
+		if !ok || c == '\n' {
+			return token{}, errf(line, col, "unterminated string")
+		}
+		l.advance()
+		if c == '\\' {
+			c2, ok := l.peekByte()
+			if !ok {
+				return token{}, errf(line, col, "unterminated escape")
+			}
+			l.advance()
+			switch c2 {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return token{}, errf(line, col, "unknown escape \\%s", string(rune(c2)))
+			}
+			continue
+		}
+		if c == '"' {
+			return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	start := l.pos
+	seenDot := false
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			break
+		}
+		if c == '.' {
+			if seenDot {
+				return token{}, errf(line, col, "malformed number")
+			}
+			seenDot = true
+			l.advance()
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.advance()
+	}
+	text := l.src[start:l.pos]
+	var num float64
+	if _, err := fmt.Sscanf(text, "%g", &num); err != nil {
+		return token{}, errf(line, col, "malformed number %q", text)
+	}
+	return token{kind: tokNumber, num: num, text: text, line: line, col: col}, nil
+}
+
+func (l *lexer) lexIdent(line, col int) (token, error) {
+	start := l.pos
+	for {
+		c, ok := l.peekByte()
+		if !ok || !isIdentPart(c) {
+			break
+		}
+		l.advance()
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+}
+
+// lexAll tokenizes the whole document (used by the parser and tests).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []token) []tokKind {
+	out := make([]tokKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.kind
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll(`domain jobs { } ( ) : , -> + - * / = != < <= > >=`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{
+		tokIdent, tokIdent, tokLBrace, tokRBrace, tokLParen, tokRParen,
+		tokColon, tokComma, tokArrow, tokPlus, tokMinus, tokStar, tokSlash,
+		tokEq, tokNe, tokLt, tokLe, tokGt, tokGe, tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := lexAll(`"alma mater" "quo\"te" "tab\t" "back\\slash" "line\n"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alma mater", `quo"te`, "tab\t", `back\slash`, "line\n"}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].text != w {
+			t.Errorf("token %d = %v, want string %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll(`42 2.5 1990 0.125`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{42, 2.5, 1990, 0.125}
+	for i, w := range want {
+		if toks[i].kind != tokNumber || toks[i].num != w {
+			t.Errorf("token %d = %v, want number %g", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexAll("a # comment to end of line\nb # another\n# full line\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[1].text != "b" || toks[1].line != 2 {
+		t.Errorf("line tracking broken: %+v", toks[1])
+	}
+	if toks[2].line != 4 {
+		t.Errorf("token c on line %d, want 4", toks[2].line)
+	}
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks, err := lexAll(`foo foo_bar foo-bar foo2 _x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"foo", "foo_bar", "foo-bar", "foo2", "_x"}
+	for i, w := range want {
+		if toks[i].kind != tokIdent || toks[i].text != w {
+			t.Errorf("token %d = %v, want ident %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`"bad escape \q"`,
+		`"unterminated escape \`,
+		`1.2.3`,
+		`!x`,
+		"\"newline\nin string\"",
+		`@`,
+	} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) should fail", src)
+		} else if !strings.HasPrefix(err.Error(), "odl:") {
+			t.Errorf("error should carry position: %v", err)
+		}
+	}
+}
+
+func TestLexPositionInError(t *testing.T) {
+	_, err := lexAll("ok ok\n   @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	oerr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if oerr.Line != 2 || oerr.Col != 4 {
+		t.Errorf("position = %d:%d, want 2:4", oerr.Line, oerr.Col)
+	}
+}
+
+func TestArrowVsMinus(t *testing.T) {
+	toks, err := lexAll(`a -> b - c -5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []tokKind{tokIdent, tokArrow, tokIdent, tokMinus, tokIdent, tokMinus, tokNumber, tokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package semantic
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// vehicles builds the taxonomy used across the tests:
+//
+//	vehicle
+//	├── car
+//	│   ├── sedan
+//	│   └── suv
+//	└── truck
+//	    └── pickup
+func vehicles(t *testing.T) *Hierarchy {
+	t.Helper()
+	h := NewHierarchy()
+	for child, parent := range map[string]string{
+		"car":    "vehicle",
+		"truck":  "vehicle",
+		"sedan":  "car",
+		"suv":    "car",
+		"pickup": "truck",
+	} {
+		if err := h.AddIsA(child, parent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestHierarchyBasics(t *testing.T) {
+	h := vehicles(t)
+	if h.Len() != 6 {
+		t.Errorf("Len = %d, want 6", h.Len())
+	}
+	if !h.Has("sedan") || h.Has("boat") {
+		t.Error("Has misreports")
+	}
+	if got := h.Parents("sedan"); !reflect.DeepEqual(got, []string{"car"}) {
+		t.Errorf("Parents(sedan) = %v", got)
+	}
+	if got := h.Children("car"); !reflect.DeepEqual(got, []string{"sedan", "suv"}) {
+		t.Errorf("Children(car) = %v", got)
+	}
+	if got := h.Roots(); !reflect.DeepEqual(got, []string{"vehicle"}) {
+		t.Errorf("Roots = %v", got)
+	}
+}
+
+func TestHierarchyAncestors(t *testing.T) {
+	h := vehicles(t)
+	if got := h.Ancestors("sedan", 0); !reflect.DeepEqual(got, []string{"car", "vehicle"}) {
+		t.Errorf("Ancestors(sedan, ∞) = %v", got)
+	}
+	if got := h.Ancestors("sedan", 1); !reflect.DeepEqual(got, []string{"car"}) {
+		t.Errorf("Ancestors(sedan, 1) = %v (loss-tolerance bound violated)", got)
+	}
+	if got := h.Ancestors("vehicle", 0); len(got) != 0 {
+		t.Errorf("Ancestors(vehicle) = %v, want none", got)
+	}
+	if got := h.Ancestors("boat", 0); got != nil {
+		t.Errorf("Ancestors of unknown term = %v, want nil", got)
+	}
+}
+
+func TestHierarchyDescendants(t *testing.T) {
+	h := vehicles(t)
+	if got := h.Descendants("vehicle"); !reflect.DeepEqual(got, []string{"car", "pickup", "sedan", "suv", "truck"}) {
+		t.Errorf("Descendants(vehicle) = %v", got)
+	}
+	if got := h.Descendants("sedan"); len(got) != 0 {
+		t.Errorf("Descendants(sedan) = %v, want none", got)
+	}
+}
+
+func TestHierarchyIsA(t *testing.T) {
+	h := vehicles(t)
+	if !h.IsA("sedan", "vehicle") || !h.IsA("sedan", "car") || !h.IsA("car", "car") {
+		t.Error("IsA should hold transitively and reflexively")
+	}
+	if h.IsA("vehicle", "sedan") {
+		t.Error("IsA must be directional (rule R2)")
+	}
+	if h.IsA("boat", "boat") {
+		t.Error("unknown terms are not IsA anything")
+	}
+}
+
+func TestHierarchyDepth(t *testing.T) {
+	h := vehicles(t)
+	for term, want := range map[string]int{"vehicle": 0, "car": 1, "sedan": 2, "pickup": 2} {
+		if d, ok := h.Depth(term); !ok || d != want {
+			t.Errorf("Depth(%s) = (%d,%v), want %d", term, d, ok, want)
+		}
+	}
+	if _, ok := h.Depth("boat"); ok {
+		t.Error("Depth of unknown term should report false")
+	}
+}
+
+func TestHierarchyCycleRejection(t *testing.T) {
+	h := vehicles(t)
+	if err := h.AddIsA("vehicle", "sedan"); err == nil {
+		t.Error("cycle-creating edge must be rejected")
+	}
+	if err := h.AddIsA("x", "x"); err == nil {
+		t.Error("self loop must be rejected")
+	}
+	if err := h.AddIsA("", "y"); err == nil {
+		t.Error("empty concept must be rejected")
+	}
+	// Idempotent edge.
+	if err := h.AddIsA("sedan", "car"); err != nil {
+		t.Errorf("re-adding an edge should be a no-op: %v", err)
+	}
+	if got := h.Parents("sedan"); len(got) != 1 {
+		t.Errorf("duplicate edge stored: %v", got)
+	}
+}
+
+func TestHierarchyDAGMultipleParents(t *testing.T) {
+	h := NewHierarchy()
+	// amphibious-vehicle is-a car AND is-a boat.
+	mustIsA(t, h, "car", "vehicle")
+	mustIsA(t, h, "boat", "vehicle")
+	mustIsA(t, h, "amphibious", "car")
+	mustIsA(t, h, "amphibious", "boat")
+	got := h.Ancestors("amphibious", 0)
+	want := []string{"boat", "car", "vehicle"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Ancestors = %v, want %v", got, want)
+	}
+	// Level bound across a diamond: one level up gives both parents.
+	if got := h.Ancestors("amphibious", 1); !reflect.DeepEqual(got, []string{"boat", "car"}) {
+		t.Errorf("Ancestors level 1 = %v", got)
+	}
+}
+
+func mustIsA(t *testing.T, h *Hierarchy, child, parent string) {
+	t.Helper()
+	if err := h.AddIsA(child, parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyMerge(t *testing.T) {
+	a := vehicles(t)
+	b := NewHierarchy()
+	mustIsA(t, b, "phd", "degree")
+	mustIsA(t, b, "msc", "degree")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.IsA("phd", "degree") || !a.IsA("sedan", "vehicle") {
+		t.Error("merge lost edges")
+	}
+	// A merge that would create a cycle fails.
+	c := NewHierarchy()
+	mustIsA(t, c, "vehicle", "sedan")
+	if err := a.Merge(c); err == nil {
+		t.Error("cycle-creating merge must fail")
+	}
+}
+
+// TestQuickAncestorDescendantDuality: y ∈ Ancestors(x) ⇔ x ∈ Descendants(y)
+// on random DAGs.
+func TestQuickAncestorDescendantDuality(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		h := NewHierarchy()
+		n := 5 + r.Intn(20)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("c%d", i)
+			_ = h.AddConcept(names[i])
+		}
+		// Random edges child→parent with child index > parent index keep
+		// it acyclic by construction; AddIsA must accept all of them.
+		for i := 1; i < n; i++ {
+			for k := 0; k < 1+r.Intn(2); k++ {
+				p := r.Intn(i)
+				if err := h.AddIsA(names[i], names[p]); err != nil {
+					t.Fatalf("unexpected rejection: %v", err)
+				}
+			}
+		}
+		for _, x := range names {
+			for _, y := range h.Ancestors(x, 0) {
+				found := false
+				for _, d := range h.Descendants(y) {
+					if d == x {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("duality violated: %s ancestor of %s but not dual", y, x)
+				}
+				if !h.IsA(x, y) {
+					t.Fatalf("IsA(%s,%s) false despite ancestry", x, y)
+				}
+				if h.IsA(y, x) {
+					t.Fatalf("IsA symmetric on %s,%s: DAG has a cycle", x, y)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickAncestorsLevelMonotone: the ancestor set grows monotonically
+// with the level bound and converges to the unbounded set.
+func TestQuickAncestorsLevelMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	h := NewHierarchy()
+	for i := 1; i < 40; i++ {
+		_ = h.AddIsA(fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", r.Intn(i)))
+	}
+	full := h.Ancestors("c39", 0)
+	prev := 0
+	for level := 1; level <= 40; level++ {
+		got := h.Ancestors("c39", level)
+		if len(got) < prev {
+			t.Fatalf("ancestor set shrank at level %d", level)
+		}
+		prev = len(got)
+	}
+	if prev != len(full) {
+		t.Fatalf("bounded walk did not converge: %d vs %d", prev, len(full))
+	}
+}

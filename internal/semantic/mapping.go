@@ -1,0 +1,189 @@
+package semantic
+
+import (
+	"fmt"
+	"sort"
+
+	"stopss/internal/message"
+)
+
+// MappingFunc is the paper's third approach (§3.1): a many-to-many
+// function correlating one or more attribute/value pairs of an event to
+// one or more semantically related attribute/value pairs. Mapping
+// functions are supplied by domain experts; the ontology compiler
+// (internal/ontology) builds them from declarative rules, and Go code
+// can implement the interface directly for arbitrary relationships.
+type MappingFunc interface {
+	// Name identifies the function in diagnostics and stats.
+	Name() string
+	// Triggers lists the attributes whose presence in an event makes
+	// the function applicable. The registry hashes on these, so a
+	// publication only ever sees the functions that can fire for it
+	// (the paper's hash-structure performance requirement).
+	Triggers() []string
+	// Apply inspects the event and returns derived pairs, or nil when
+	// the function does not apply. Implementations must not mutate e.
+	Apply(e message.Event) []message.Pair
+}
+
+// Mappings is the registry of mapping functions, hashed by trigger
+// attribute. Multiple functions may share a trigger ("It is possible to
+// have many mapping functions for each attribute").
+type Mappings struct {
+	byTrigger map[string][]MappingFunc
+	names     map[string]bool
+	count     int
+}
+
+// NewMappings returns an empty registry.
+func NewMappings() *Mappings {
+	return &Mappings{
+		byTrigger: make(map[string][]MappingFunc),
+		names:     make(map[string]bool),
+	}
+}
+
+// Add registers a mapping function under every one of its triggers.
+// Functions must have unique, non-empty names and at least one trigger.
+func (m *Mappings) Add(f MappingFunc) error {
+	if f.Name() == "" {
+		return fmt.Errorf("semantic: mapping function needs a name")
+	}
+	if m.names[f.Name()] {
+		return fmt.Errorf("semantic: mapping function %q already registered", f.Name())
+	}
+	trigs := f.Triggers()
+	if len(trigs) == 0 {
+		return fmt.Errorf("semantic: mapping function %q has no trigger attributes", f.Name())
+	}
+	for _, t := range trigs {
+		if t == "" {
+			return fmt.Errorf("semantic: mapping function %q has an empty trigger", f.Name())
+		}
+	}
+	m.names[f.Name()] = true
+	m.count++
+	seen := make(map[string]bool, len(trigs))
+	for _, t := range trigs {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		m.byTrigger[t] = append(m.byTrigger[t], f)
+	}
+	return nil
+}
+
+// Len reports the number of registered functions.
+func (m *Mappings) Len() int { return m.count }
+
+// Applicable returns the functions triggered by any attribute of the
+// event, each at most once, in registration order per trigger. Lookup is
+// one hash probe per distinct event attribute.
+func (m *Mappings) Applicable(e message.Event) []MappingFunc {
+	if m.count == 0 {
+		return nil
+	}
+	var out []MappingFunc
+	seen := make(map[string]bool)
+	seenAttr := make(map[string]bool, e.Len())
+	for _, pair := range e.Pairs() {
+		if seenAttr[pair.Attr] {
+			continue
+		}
+		seenAttr[pair.Attr] = true
+		for _, f := range m.byTrigger[pair.Attr] {
+			if !seen[f.Name()] {
+				seen[f.Name()] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// Names returns the registered function names, sorted.
+func (m *Mappings) Names() []string {
+	out := make([]string, 0, len(m.names))
+	for n := range m.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge copies every function of o into m (multi-domain operation and
+// inter-domain bridging, paper §3.2: "it is possible to provide
+// inter-domain mapping by simply adding additional functions").
+func (m *Mappings) Merge(o *Mappings) error {
+	// Collect distinct functions of o in deterministic order.
+	var fns []MappingFunc
+	seen := make(map[string]bool)
+	trigs := make([]string, 0, len(o.byTrigger))
+	for t := range o.byTrigger {
+		trigs = append(trigs, t)
+	}
+	sort.Strings(trigs)
+	for _, t := range trigs {
+		for _, f := range o.byTrigger[t] {
+			if !seen[f.Name()] {
+				seen[f.Name()] = true
+				fns = append(fns, f)
+			}
+		}
+	}
+	for _, f := range fns {
+		if err := m.Add(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FuncOf builds a MappingFunc from a closure; the common case for
+// programmatic registration.
+type FuncOf struct {
+	FName     string
+	FTriggers []string
+	FApply    func(message.Event) []message.Pair
+}
+
+// Name implements MappingFunc.
+func (f FuncOf) Name() string { return f.FName }
+
+// Triggers implements MappingFunc.
+func (f FuncOf) Triggers() []string { return f.FTriggers }
+
+// Apply implements MappingFunc.
+func (f FuncOf) Apply(e message.Event) []message.Pair { return f.FApply(e) }
+
+// PairMap is a declarative mapping function relating a single
+// attribute/value pair to a set of derived pairs, e.g.
+//
+//	(position, "mainframe developer") → (skill, "COBOL")(era, "1960-1980")
+//
+// It is the building block the ontology compiler emits for `map` rules.
+type PairMap struct {
+	MapName string
+	Attr    string
+	Match   message.Value // pair value that triggers the mapping
+	Derived []message.Pair
+}
+
+// Name implements MappingFunc.
+func (p PairMap) Name() string { return p.MapName }
+
+// Triggers implements MappingFunc.
+func (p PairMap) Triggers() []string { return []string{p.Attr} }
+
+// Apply implements MappingFunc.
+func (p PairMap) Apply(e message.Event) []message.Pair {
+	for _, pair := range e.Pairs() {
+		if pair.Attr == p.Attr && pair.Val.Equal(p.Match) {
+			out := make([]message.Pair, len(p.Derived))
+			copy(out, p.Derived)
+			return out
+		}
+	}
+	return nil
+}

@@ -1,0 +1,184 @@
+package semantic
+
+import (
+	"reflect"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// experienceFunc is the paper's §3.1 example:
+// professional experience = present date − graduation year.
+func experienceFunc(presentYear int64) MappingFunc {
+	return FuncOf{
+		FName:     "experience-from-graduation",
+		FTriggers: []string{"graduation year"},
+		FApply: func(e message.Event) []message.Pair {
+			v, ok := e.Get("graduation year")
+			if !ok {
+				return nil
+			}
+			year, ok := v.AsFloat()
+			if !ok {
+				return nil
+			}
+			return []message.Pair{{Attr: "professional experience", Val: message.Int(presentYear - int64(year))}}
+		},
+	}
+}
+
+func TestMappingsRegistry(t *testing.T) {
+	m := NewMappings()
+	if err := m.Add(experienceFunc(2003)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+	if err := m.Add(experienceFunc(2003)); err == nil {
+		t.Error("duplicate name must be rejected")
+	}
+	if err := m.Add(FuncOf{FName: "", FTriggers: []string{"a"}}); err == nil {
+		t.Error("empty name must be rejected")
+	}
+	if err := m.Add(FuncOf{FName: "x", FTriggers: nil}); err == nil {
+		t.Error("no triggers must be rejected")
+	}
+	if err := m.Add(FuncOf{FName: "y", FTriggers: []string{""}}); err == nil {
+		t.Error("empty trigger must be rejected")
+	}
+	if got := m.Names(); !reflect.DeepEqual(got, []string{"experience-from-graduation"}) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestMappingsApplicable(t *testing.T) {
+	m := NewMappings()
+	if err := m.Add(experienceFunc(2003)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(FuncOf{
+		FName:     "salary-band",
+		FTriggers: []string{"salary"},
+		FApply:    func(message.Event) []message.Pair { return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	e := message.E("graduation year", 1993, "school", "Toronto")
+	fns := m.Applicable(e)
+	if len(fns) != 1 || fns[0].Name() != "experience-from-graduation" {
+		t.Errorf("Applicable = %v", names(fns))
+	}
+	// No trigger present → no functions (hash probe misses).
+	if fns := m.Applicable(message.E("x", 1)); len(fns) != 0 {
+		t.Errorf("unexpected applicable functions: %v", names(fns))
+	}
+	// Duplicate trigger attribute in the event yields the function once.
+	dup := message.E("graduation year", 1990, "graduation year", 1993)
+	if fns := m.Applicable(dup); len(fns) != 1 {
+		t.Errorf("function must be returned once, got %d", len(fns))
+	}
+}
+
+func names(fns []MappingFunc) []string {
+	out := make([]string, len(fns))
+	for i, f := range fns {
+		out[i] = f.Name()
+	}
+	return out
+}
+
+func TestMappingMultiTrigger(t *testing.T) {
+	m := NewMappings()
+	f := FuncOf{
+		FName:     "bridge",
+		FTriggers: []string{"a", "b", "a"}, // duplicate trigger collapses
+		FApply:    func(message.Event) []message.Pair { return nil },
+	}
+	if err := m.Add(f); err != nil {
+		t.Fatal(err)
+	}
+	if fns := m.Applicable(message.E("a", 1, "b", 2)); len(fns) != 1 {
+		t.Errorf("multi-trigger function must apply once, got %d", len(fns))
+	}
+}
+
+func TestPaperExperienceExample(t *testing.T) {
+	// Paper §3.1: E = (school, Toronto)(graduation year, 1993)… with
+	// "professional experience = present date − graduation year" and
+	// present date 2003 (publication year) must derive experience 10.
+	f := experienceFunc(2003)
+	e := message.E("school", "Toronto", "graduation year", 1993,
+		"job1", "IBM", "period", "1994-1997",
+		"job2", "Microsoft", "period", "1999-present")
+	pairs := f.Apply(e)
+	if len(pairs) != 1 {
+		t.Fatalf("Apply = %v", pairs)
+	}
+	if pairs[0].Attr != "professional experience" || pairs[0].Val.IntVal() != 10 {
+		t.Errorf("derived pair = %v, want professional experience = 10", pairs[0])
+	}
+}
+
+func TestPairMap(t *testing.T) {
+	// Paper §1: "mainframe developer" should also surface resumes
+	// mentioning COBOL and the 1960–1980 era.
+	p := PairMap{
+		MapName: "mainframe-to-cobol",
+		Attr:    "position",
+		Match:   message.String("mainframe developer"),
+		Derived: []message.Pair{
+			{Attr: "skill", Val: message.String("COBOL")},
+			{Attr: "era", Val: message.String("1960-1980")},
+		},
+	}
+	if got := p.Triggers(); !reflect.DeepEqual(got, []string{"position"}) {
+		t.Errorf("Triggers = %v", got)
+	}
+	hit := p.Apply(message.E("position", "mainframe developer"))
+	if len(hit) != 2 || hit[0].Attr != "skill" || hit[1].Attr != "era" {
+		t.Errorf("Apply = %v", hit)
+	}
+	if miss := p.Apply(message.E("position", "web developer")); miss != nil {
+		t.Errorf("non-matching value should derive nothing, got %v", miss)
+	}
+	if miss := p.Apply(message.E("role", "mainframe developer")); miss != nil {
+		t.Errorf("non-matching attribute should derive nothing, got %v", miss)
+	}
+	// Derived pairs must be a fresh slice each call.
+	a := p.Apply(message.E("position", "mainframe developer"))
+	a[0].Attr = "mutated"
+	b := p.Apply(message.E("position", "mainframe developer"))
+	if b[0].Attr != "skill" {
+		t.Error("Apply must not share its derived slice across calls")
+	}
+}
+
+func TestMappingsMerge(t *testing.T) {
+	a := NewMappings()
+	if err := a.Add(experienceFunc(2003)); err != nil {
+		t.Fatal(err)
+	}
+	b := NewMappings()
+	if err := b.Add(PairMap{MapName: "m1", Attr: "x", Match: message.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(PairMap{MapName: "m2", Attr: "x", Match: message.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len after merge = %d, want 3", a.Len())
+	}
+	// Merging a registry with a clashing name fails.
+	c := NewMappings()
+	if err := c.Add(PairMap{MapName: "m1", Attr: "y", Match: message.Int(9)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("name clash must fail the merge")
+	}
+}

@@ -1,0 +1,174 @@
+// Package semantic implements the semantic stage of S-ToPSS (paper §3):
+// synonym canonicalization, concept-hierarchy expansion and mapping
+// functions, composed into the Figure 1 pipeline by Stage.
+//
+// Each mechanism is usable independently, exactly as the paper requires
+// ("Each of the approaches can be used independently and for some
+// applications that may be desirable. It is also possible to use all
+// three approaches together."), and every lookup is hash-based, which is
+// the paper's central performance claim.
+package semantic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Synonyms maps semantically equivalent terms to a canonical "root" term
+// (paper §3.1, first approach). It applies both to attribute names
+// ("school" → "university") and to string values. Lookup is a single
+// hash probe.
+type Synonyms struct {
+	root   map[string]string   // term → root (roots map to themselves)
+	groups map[string][]string // root → members (excluding the root)
+}
+
+// NewSynonyms returns an empty synonym table.
+func NewSynonyms() *Synonyms {
+	return &Synonyms{
+		root:   make(map[string]string),
+		groups: make(map[string][]string),
+	}
+}
+
+// AddGroup declares root as the canonical term for every synonym given.
+// The root itself is also registered so Canonical(root) = root. A term
+// may belong to only one group; conflicting registrations are an error,
+// because silently re-rooting a term would change the meaning of
+// already-indexed subscriptions.
+func (s *Synonyms) AddGroup(root string, synonyms ...string) error {
+	if root == "" {
+		return fmt.Errorf("semantic: synonym group needs a non-empty root")
+	}
+	if existing, ok := s.root[root]; ok && existing != root {
+		return fmt.Errorf("semantic: %q is already a synonym of %q and cannot become a root", root, existing)
+	}
+	s.root[root] = root
+	for _, term := range synonyms {
+		if term == "" {
+			return fmt.Errorf("semantic: empty synonym in group %q", root)
+		}
+		if term == root {
+			continue
+		}
+		if existing, ok := s.root[term]; ok && existing != root {
+			return fmt.Errorf("semantic: %q already maps to root %q, cannot remap to %q", term, existing, root)
+		}
+		if _, known := s.root[term]; !known {
+			s.groups[root] = append(s.groups[root], term)
+		}
+		s.root[term] = root
+	}
+	return nil
+}
+
+// Canonical returns the root term for t, or t itself when it is unknown
+// to the table. The second result reports whether a rewrite occurred.
+func (s *Synonyms) Canonical(t string) (string, bool) {
+	if r, ok := s.root[t]; ok {
+		return r, r != t
+	}
+	return t, false
+}
+
+// IsRoot reports whether t is a registered root term.
+func (s *Synonyms) IsRoot(t string) bool { return s.root[t] == t }
+
+// GroupOf returns the full synonym group of t (root first, then members
+// in sorted order), or nil when t is unknown.
+func (s *Synonyms) GroupOf(t string) []string {
+	r, ok := s.root[t]
+	if !ok {
+		return nil
+	}
+	members := append([]string{}, s.groups[r]...)
+	sort.Strings(members)
+	return append([]string{r}, members...)
+}
+
+// Len reports the number of registered terms (roots included).
+func (s *Synonyms) Len() int { return len(s.root) }
+
+// Groups reports the number of synonym groups.
+func (s *Synonyms) Groups() int { return len(s.groups) }
+
+// Merge copies every group of o into s; conflicts are errors. Used by
+// the ontology compiler to combine multiple domain ontologies in one
+// system (paper §3.2, multi-domain operation).
+func (s *Synonyms) Merge(o *Synonyms) error {
+	roots := make([]string, 0, len(o.groups))
+	for r := range o.groups {
+		roots = append(roots, r)
+	}
+	sort.Strings(roots)
+	for _, r := range roots {
+		if err := s.AddGroup(r, o.groups[r]...); err != nil {
+			return err
+		}
+	}
+	// Roots without members still need registering.
+	for term, r := range o.root {
+		if term == r {
+			if err := s.AddGroup(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// String summarizes the table for diagnostics.
+func (s *Synonyms) String() string {
+	return fmt.Sprintf("synonyms{terms: %d, groups: %d}", len(s.root), len(s.groups))
+}
+
+// LinearSynonyms is a deliberately naive variant that stores groups in a
+// slice and resolves terms by scanning. It exists only for experiment T5
+// (the paper's claim that hash structures are "the key aspect of this
+// approach in terms of performance"); production code paths always use
+// Synonyms.
+type LinearSynonyms struct {
+	groups [][]string // group[0] is the root
+}
+
+// NewLinearSynonyms returns an empty scan-based table.
+func NewLinearSynonyms() *LinearSynonyms { return &LinearSynonyms{} }
+
+// AddGroup appends a synonym group with the given root.
+func (s *LinearSynonyms) AddGroup(root string, synonyms ...string) {
+	s.groups = append(s.groups, append([]string{root}, synonyms...))
+}
+
+// Canonical resolves t by scanning every group member.
+func (s *LinearSynonyms) Canonical(t string) (string, bool) {
+	for _, g := range s.groups {
+		for i, term := range g {
+			if term == t {
+				return g[0], i != 0
+			}
+		}
+	}
+	return t, false
+}
+
+// canonicalTerm is the stage-internal helper signature shared by both
+// implementations.
+type canonicalizer interface {
+	Canonical(string) (string, bool)
+}
+
+var (
+	_ canonicalizer = (*Synonyms)(nil)
+	_ canonicalizer = (*LinearSynonyms)(nil)
+)
+
+// normalizeTerm lower-cases and space-normalizes a term the way the
+// ontology loader and the web application do, so that "Graduation Year"
+// and "graduation year" meet in the same hash bucket.
+func normalizeTerm(t string) string {
+	return strings.Join(strings.Fields(strings.ToLower(t)), " ")
+}
+
+// NormalizeTerm exposes the shared normal form.
+func NormalizeTerm(t string) string { return normalizeTerm(t) }

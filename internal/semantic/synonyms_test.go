@@ -1,0 +1,196 @@
+package semantic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSynonymsBasic(t *testing.T) {
+	s := NewSynonyms()
+	if err := s.AddGroup("university", "school", "college"); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		in      string
+		want    string
+		rewrote bool
+	}{
+		{"school", "university", true},
+		{"college", "university", true},
+		{"university", "university", false},
+		{"hospital", "hospital", false},
+	}
+	for _, tc := range cases {
+		got, rewrote := s.Canonical(tc.in)
+		if got != tc.want || rewrote != tc.rewrote {
+			t.Errorf("Canonical(%q) = (%q, %v), want (%q, %v)", tc.in, got, rewrote, tc.want, tc.rewrote)
+		}
+	}
+	if !s.IsRoot("university") || s.IsRoot("school") || s.IsRoot("hospital") {
+		t.Error("IsRoot misreports")
+	}
+	if s.Len() != 3 || s.Groups() != 1 {
+		t.Errorf("Len=%d Groups=%d, want 3/1", s.Len(), s.Groups())
+	}
+}
+
+func TestSynonymsGroupOf(t *testing.T) {
+	s := NewSynonyms()
+	if err := s.AddGroup("university", "school", "college"); err != nil {
+		t.Fatal(err)
+	}
+	got := s.GroupOf("college")
+	want := []string{"university", "college", "school"}
+	if len(got) != len(want) {
+		t.Fatalf("GroupOf = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GroupOf = %v, want %v", got, want)
+		}
+	}
+	if s.GroupOf("nothing") != nil {
+		t.Error("unknown term should have nil group")
+	}
+}
+
+func TestSynonymsConflicts(t *testing.T) {
+	s := NewSynonyms()
+	if err := s.AddGroup("university", "school"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddGroup("academy", "school"); err == nil {
+		t.Error("remapping a term to a different root must fail")
+	}
+	if err := s.AddGroup("school", "kindergarten"); err == nil {
+		t.Error("a synonym must not become a root")
+	}
+	if err := s.AddGroup("", "x"); err == nil {
+		t.Error("empty root must fail")
+	}
+	if err := s.AddGroup("r", ""); err == nil {
+		t.Error("empty synonym must fail")
+	}
+	// Re-adding the same mapping is idempotent.
+	if err := s.AddGroup("university", "school", "college"); err != nil {
+		t.Errorf("idempotent re-add should succeed: %v", err)
+	}
+	// Root listed among its own synonyms is tolerated.
+	if err := s.AddGroup("vehicle", "vehicle", "auto"); err != nil {
+		t.Errorf("root within synonyms should be tolerated: %v", err)
+	}
+	if got, _ := s.Canonical("auto"); got != "vehicle" {
+		t.Errorf("auto should root to vehicle, got %q", got)
+	}
+}
+
+func TestSynonymsMerge(t *testing.T) {
+	a := NewSynonyms()
+	if err := a.AddGroup("university", "school"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewSynonyms()
+	if err := b.AddGroup("car", "automobile", "auto"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddGroup("lonely"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := a.Canonical("automobile"); got != "car" {
+		t.Errorf("merged table should canonicalize automobile → car, got %q", got)
+	}
+	if !a.IsRoot("lonely") {
+		t.Error("memberless roots must survive a merge")
+	}
+	// Conflicting merge fails.
+	c := NewSynonyms()
+	if err := c.AddGroup("vehicle", "auto"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(c); err == nil {
+		t.Error("conflicting merge must fail")
+	}
+}
+
+func TestQuickSynonymsIdempotent(t *testing.T) {
+	// Canonical(Canonical(x)) == Canonical(x) for random tables.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		s := NewSynonyms()
+		terms := make([]string, 0, 40)
+		for g := 0; g < 8; g++ {
+			root := fmt.Sprintf("root%d_%d", trial, g)
+			var syns []string
+			for k := 0; k < 1+r.Intn(4); k++ {
+				syn := fmt.Sprintf("syn%d_%d_%d", trial, g, k)
+				syns = append(syns, syn)
+				terms = append(terms, syn)
+			}
+			terms = append(terms, root)
+			if err := s.AddGroup(root, syns...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		terms = append(terms, "unknown-term")
+		for _, term := range terms {
+			once, _ := s.Canonical(term)
+			twice, rewrote := s.Canonical(once)
+			if once != twice {
+				t.Fatalf("not idempotent: %q → %q → %q", term, once, twice)
+			}
+			if rewrote {
+				t.Fatalf("canonical form %q reported a rewrite", once)
+			}
+		}
+	}
+}
+
+func TestLinearSynonymsAgreesWithHash(t *testing.T) {
+	h := NewSynonyms()
+	l := NewLinearSynonyms()
+	groups := [][]string{
+		{"university", "school", "college"},
+		{"car", "automobile"},
+		{"degree", "diploma", "qualification"},
+	}
+	for _, g := range groups {
+		if err := h.AddGroup(g[0], g[1:]...); err != nil {
+			t.Fatal(err)
+		}
+		l.AddGroup(g[0], g[1:]...)
+	}
+	for _, term := range []string{"school", "college", "university", "automobile", "diploma", "unknown"} {
+		hr, hc := h.Canonical(term)
+		lr, lc := l.Canonical(term)
+		if hr != lr || hc != lc {
+			t.Errorf("hash and linear tables disagree on %q: (%q,%v) vs (%q,%v)", term, hr, hc, lr, lc)
+		}
+	}
+}
+
+func TestNormalizeTerm(t *testing.T) {
+	cases := map[string]string{
+		"Graduation Year":             "graduation year",
+		"  professional  experience ": "professional experience",
+		"PhD":                         "phd",
+		"a":                           "a",
+	}
+	for in, want := range cases {
+		if got := NormalizeTerm(in); got != want {
+			t.Errorf("NormalizeTerm(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSynonymsString(t *testing.T) {
+	s := NewSynonyms()
+	_ = s.AddGroup("a", "b")
+	if !strings.Contains(s.String(), "terms: 2") {
+		t.Errorf("String() = %q", s.String())
+	}
+}

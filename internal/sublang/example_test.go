@@ -1,0 +1,40 @@
+package sublang_test
+
+import (
+	"fmt"
+
+	"stopss/internal/sublang"
+)
+
+// ExampleParseSubscription parses the paper's §1 subscription.
+func ExampleParseSubscription() {
+	preds, err := sublang.ParseSubscription(
+		"(university = Toronto) and (degree = PhD) and (professional experience >= 4)")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, p := range preds {
+		fmt.Println(p)
+	}
+	// Output:
+	// (university = Toronto)
+	// (degree = PhD)
+	// (professional experience >= 4)
+}
+
+// ExampleParseEvent parses the paper's §1 publication.
+func ExampleParseEvent() {
+	ev, err := sublang.ParseEvent(
+		"(school, Toronto)(degree, PhD)(work experience, true)(graduation year, 1990)")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ev.Len())
+	v, _ := ev.Get("graduation year")
+	fmt.Println(v, v.Kind())
+	// Output:
+	// 4
+	// 1990 int
+}

@@ -1,0 +1,84 @@
+package sublang
+
+import (
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// FuzzParseSubscription checks that arbitrary input never panics and
+// that anything that parses also validates, formats and re-parses to the
+// same predicates.
+func FuzzParseSubscription(f *testing.F) {
+	for _, seed := range []string{
+		"(university = Toronto) and (degree = PhD) and (professional experience >= 4)",
+		"(a exists)",
+		"(a between 1 and 9)",
+		`("quoted attr" = "quoted value")`,
+		"(a prefix To) && (b suffix nto) ∧ (c contains x)",
+		"(((",
+		"(a = 1) or (b = 2)",
+		`(a = "unterminated`,
+		"(a not-exists)(b <> 5)",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		preds, err := ParseSubscription(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		for _, p := range preds {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("parsed predicate fails validation: %v (input %q)", err, input)
+			}
+		}
+		text := FormatSubscription(preds)
+		back, err := ParseSubscription(text)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\ninput:  %q\nformat: %q", err, input, text)
+		}
+		if len(back) != len(preds) {
+			t.Fatalf("round trip changed predicate count: %d → %d (input %q)", len(preds), len(back), input)
+		}
+		for i := range preds {
+			if back[i].Canonical() != preds[i].Canonical() {
+				t.Fatalf("round trip changed predicate %d:\n in: %v\nout: %v\ninput %q",
+					i, preds[i], back[i], input)
+			}
+		}
+	})
+}
+
+// FuzzParseEvent is the event-side counterpart.
+func FuzzParseEvent(f *testing.F) {
+	for _, seed := range []string{
+		"(school, Toronto)(degree, PhD)(graduation year, 1990)",
+		`(a, "1990")(b, 2.5)(c, true)`,
+		`("odd,attr", 1)`,
+		"(a, )",
+		"junk",
+		"",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		ev, err := ParseEvent(input)
+		if err != nil {
+			return
+		}
+		if err := ev.Validate(); err != nil {
+			t.Fatalf("parsed event fails validation: %v (input %q)", err, input)
+		}
+		text := FormatEvent(ev)
+		back, err := ParseEvent(text)
+		if err != nil {
+			t.Fatalf("formatted event does not re-parse: %v\ninput:  %q\nformat: %q", err, input, text)
+		}
+		if !ev.Equal(back) {
+			t.Fatalf("round trip changed event:\n in: %v\nout: %v\ninput %q", ev, back, input)
+		}
+		_ = message.SubID(0)
+	})
+}

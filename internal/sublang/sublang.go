@@ -1,0 +1,535 @@
+// Package sublang parses the textual surface syntax of S-ToPSS
+// subscriptions and publications, which follows the notation of the
+// paper:
+//
+//	subscription: (university = Toronto) and (degree = PhD) and
+//	              (professional experience >= 4)
+//	publication:  (school, Toronto)(degree, PhD)(graduation year, 1990)
+//
+// Attributes may contain spaces ("professional experience"). Values are
+// type-inferred like message.ParseValue — integers, floats and booleans
+// parse to their kinds, everything else is a string — unless quoted with
+// double quotes, which forces string ("1990" stays a string). The
+// conjunction keyword is "and" (case-insensitive); "&&" and "∧" are
+// accepted as alternatives.
+//
+// Supported predicate forms:
+//
+//	(attr = v) (attr != v) (attr < v) (attr <= v) (attr > v) (attr >= v)
+//	(attr prefix v) (attr suffix v) (attr contains v)
+//	(attr exists) (attr not-exists)
+//	(attr between lo and hi)
+package sublang
+
+import (
+	"fmt"
+	"strings"
+
+	"stopss/internal/message"
+)
+
+// ParseError reports a syntax error with its byte offset in the input.
+type ParseError struct {
+	Input  string
+	Offset int
+	Msg    string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sublang: %s at offset %d in %q", e.Msg, e.Offset, snippet(e.Input, e.Offset))
+}
+
+func snippet(s string, off int) string {
+	const w = 20
+	lo, hi := off-w, off+w
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	return s[lo:hi]
+}
+
+func errAt(input string, off int, format string, args ...any) error {
+	return &ParseError{Input: input, Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseSubscriptionSet parses a disjunction of conjunctions:
+//
+//	(a = 1) and (b = 2) or (c = 3)
+//
+// "and" binds tighter than "or" ("||" is accepted as an alternative), so
+// the example yields two groups: [a=1 ∧ b=2] and [c=3]. Content-based
+// pub/sub systems represent a disjunctive subscription as one
+// subscription per disjunct; the web application does exactly that.
+func ParseSubscriptionSet(input string) ([][]message.Predicate, error) {
+	var groups [][]message.Predicate
+	start := 0
+	i := 0
+	inQuote := false
+	flush := func(end, next int) error {
+		part := strings.TrimSpace(input[start:end])
+		if part == "" {
+			return errAt(input, end, "empty disjunct")
+		}
+		preds, err := ParseSubscription(part)
+		if err != nil {
+			return err
+		}
+		groups = append(groups, preds)
+		start = next
+		return nil
+	}
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case inQuote:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inQuote = false
+			}
+			i++
+		case c == '"':
+			inQuote = true
+			i++
+		case c == 'o' || c == 'O':
+			// Word-boundary "or" outside quotes.
+			if i+2 <= len(input) && strings.EqualFold(input[i:i+2], "or") &&
+				(i == 0 || isSpaceOrParen(input[i-1])) &&
+				(i+2 == len(input) || isSpaceOrParen(input[i+2])) {
+				if err := flush(i, i+2); err != nil {
+					return nil, err
+				}
+				i += 2
+				continue
+			}
+			i++
+		case c == '|':
+			if strings.HasPrefix(input[i:], "||") {
+				if err := flush(i, i+2); err != nil {
+					return nil, err
+				}
+				i += 2
+				continue
+			}
+			i++
+		default:
+			i++
+		}
+	}
+	if err := flush(len(input), len(input)); err != nil {
+		return nil, err
+	}
+	return groups, nil
+}
+
+func isSpaceOrParen(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == ')'
+}
+
+// FormatSubscriptionSet renders disjunct groups back to surface syntax.
+func FormatSubscriptionSet(groups [][]message.Predicate) string {
+	parts := make([]string, len(groups))
+	for i, g := range groups {
+		parts[i] = FormatSubscription(g)
+	}
+	return strings.Join(parts, " or ")
+}
+
+// ParseSubscription parses a conjunction of parenthesized predicates.
+func ParseSubscription(input string) ([]message.Predicate, error) {
+	var preds []message.Predicate
+	i := skipSpace(input, 0)
+	for i < len(input) {
+		if input[i] != '(' {
+			return nil, errAt(input, i, "expected '(' to open a predicate")
+		}
+		close, err := matchParen(input, i)
+		if err != nil {
+			return nil, err
+		}
+		p, err := parsePredicate(input, i+1, close)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+		i = skipSpace(input, close+1)
+		if i >= len(input) {
+			break
+		}
+		// Conjunction separator (optional between back-to-back parens).
+		if input[i] == '(' {
+			continue
+		}
+		j, ok := eatConjunction(input, i)
+		if !ok {
+			return nil, errAt(input, i, "expected 'and' between predicates")
+		}
+		i = skipSpace(input, j)
+		if i >= len(input) {
+			return nil, errAt(input, i, "dangling conjunction")
+		}
+	}
+	if len(preds) == 0 {
+		return nil, errAt(input, 0, "empty subscription")
+	}
+	for _, p := range preds {
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("sublang: %w", err)
+		}
+	}
+	return preds, nil
+}
+
+// ParseEvent parses a publication: a sequence of (attr, value) pairs.
+func ParseEvent(input string) (message.Event, error) {
+	var ev message.Event
+	i := skipSpace(input, 0)
+	for i < len(input) {
+		if input[i] != '(' {
+			return message.Event{}, errAt(input, i, "expected '(' to open a pair")
+		}
+		close, err := matchParen(input, i)
+		if err != nil {
+			return message.Event{}, err
+		}
+		body := input[i+1 : close]
+		comma := commaSplit(body)
+		if comma < 0 {
+			return message.Event{}, errAt(input, i+1, "pair needs a comma: (attr, value)")
+		}
+		attr, err := attrToken(strings.TrimSpace(body[:comma]))
+		if err != nil || attr == "" {
+			return message.Event{}, errAt(input, i+1, "empty or malformed attribute")
+		}
+		val, err := parseValueToken(strings.TrimSpace(body[comma+1:]))
+		if err != nil {
+			return message.Event{}, errAt(input, i+1+comma, "%v", err)
+		}
+		ev.Add(attr, val)
+		i = skipSpace(input, close+1)
+	}
+	if ev.Len() == 0 {
+		return message.Event{}, errAt(input, 0, "empty publication")
+	}
+	return ev, nil
+}
+
+// FormatEvent renders an event back into surface syntax; quoted strings
+// are used where type inference would otherwise change the kind.
+func FormatEvent(e message.Event) string {
+	var sb strings.Builder
+	for _, p := range e.Pairs() {
+		fmt.Fprintf(&sb, "(%s, %s)", formatAttr(p.Attr), formatValue(p.Val))
+	}
+	return sb.String()
+}
+
+// formatAttr quotes attribute names that would otherwise confuse the
+// parser: embedded operator words, quotes, parentheses or commas.
+func formatAttr(attr string) string {
+	needsQuote := strings.ContainsAny(attr, `(),"=<>!`+"\\")
+	if !needsQuote {
+		for _, w := range []string{"prefix", "suffix", "contains", "exists", "not-exists", "between"} {
+			for _, field := range strings.Fields(attr) {
+				if field == w {
+					needsQuote = true
+				}
+			}
+		}
+	}
+	if needsQuote || attr == "" || attr != strings.TrimSpace(attr) {
+		return `"` + escapeQuoted(attr) + `"`
+	}
+	return attr
+}
+
+// FormatSubscription renders predicates back into surface syntax.
+func FormatSubscription(preds []message.Predicate) string {
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		switch {
+		case p.Op.IsUnary():
+			parts[i] = fmt.Sprintf("(%s %s)", formatAttr(p.Attr), p.Op)
+		case p.Op == message.OpBetween:
+			parts[i] = fmt.Sprintf("(%s between %s and %s)", formatAttr(p.Attr), formatValue(p.Val), formatValue(p.Hi))
+		default:
+			parts[i] = fmt.Sprintf("(%s %s %s)", formatAttr(p.Attr), p.Op, formatValue(p.Val))
+		}
+	}
+	return strings.Join(parts, " and ")
+}
+
+func formatValue(v message.Value) string {
+	if v.Kind() == message.KindString {
+		s := v.Str()
+		// Quote when inference would mis-kind or structure would break.
+		if message.ParseValue(s).Kind() != message.KindString ||
+			strings.ContainsAny(s, `(),"\`) || s == "" ||
+			s != strings.TrimSpace(s) {
+			return `"` + escapeQuoted(s) + `"`
+		}
+		return s
+	}
+	out := v.String()
+	if v.Kind() == message.KindFloat && message.ParseValue(out).Kind() != message.KindFloat {
+		// An integral float like 5.0 prints as "5"; keep the kind.
+		out += ".0"
+	}
+	return out
+}
+
+// --- internals ---
+
+func skipSpace(s string, i int) int {
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// matchParen returns the index of the ')' closing the '(' at i,
+// honouring double-quoted segments.
+func matchParen(s string, i int) (int, error) {
+	inQuote := false
+	for j := i + 1; j < len(s); j++ {
+		switch {
+		case inQuote:
+			if s[j] == '\\' {
+				j++
+			} else if s[j] == '"' {
+				inQuote = false
+			}
+		case s[j] == '"':
+			inQuote = true
+		case s[j] == ')':
+			return j, nil
+		case s[j] == '(':
+			return 0, errAt(s, j, "nested '(' not allowed")
+		}
+	}
+	return 0, errAt(s, i, "unclosed '('")
+}
+
+// commaSplit finds the first top-level comma, honouring quotes.
+func commaSplit(body string) int {
+	inQuote := false
+	for j := 0; j < len(body); j++ {
+		switch {
+		case inQuote:
+			if body[j] == '\\' {
+				j++
+			} else if body[j] == '"' {
+				inQuote = false
+			}
+		case body[j] == '"':
+			inQuote = true
+		case body[j] == ',':
+			return j
+		}
+	}
+	return -1
+}
+
+// eatConjunction consumes "and", "&&" or "∧" at i, case-insensitively,
+// returning the index after it.
+func eatConjunction(s string, i int) (int, bool) {
+	rest := s[i:]
+	switch {
+	case len(rest) >= 3 && strings.EqualFold(rest[:3], "and"):
+		return i + 3, true
+	case strings.HasPrefix(rest, "&&"):
+		return i + 2, true
+	case strings.HasPrefix(rest, "∧"):
+		return i + len("∧"), true
+	}
+	return i, false
+}
+
+// operator tokens ordered so that longer forms match first.
+var opTokens = []struct {
+	tok string
+	op  message.Op
+}{
+	{"not-exists", message.OpNotExists},
+	{"between", message.OpBetween},
+	{"contains", message.OpContains},
+	{"prefix", message.OpPrefix},
+	{"suffix", message.OpSuffix},
+	{"exists", message.OpExists},
+	{"<=", message.OpLe},
+	{">=", message.OpGe},
+	{"!=", message.OpNe},
+	{"<>", message.OpNe},
+	{"==", message.OpEq},
+	{"=", message.OpEq},
+	{"<", message.OpLt},
+	{">", message.OpGt},
+}
+
+// parsePredicate parses the body of one parenthesized predicate,
+// input[open:close].
+func parsePredicate(input string, open, close int) (message.Predicate, error) {
+	body := input[open:close]
+	// Find the operator: the first occurrence of any token outside
+	// quotes, preferring longer tokens at the same position.
+	opPos, opLen := -1, 0
+	var op message.Op
+	inQuote := false
+	for j := 0; j < len(body); j++ {
+		if inQuote {
+			if body[j] == '\\' {
+				j++
+			} else if body[j] == '"' {
+				inQuote = false
+			}
+			continue
+		}
+		if body[j] == '"' {
+			inQuote = true
+			continue
+		}
+		for _, cand := range opTokens {
+			if !strings.HasPrefix(body[j:], cand.tok) {
+				continue
+			}
+			// Word operators need boundaries — and a non-empty
+			// attribute before them — so an attribute named
+			// "prefix length" is not cut apart.
+			if isWordOp(cand.tok) {
+				before := j > 0 && (body[j-1] == ' ' || body[j-1] == '\t')
+				afterIdx := j + len(cand.tok)
+				after := afterIdx >= len(body) || body[afterIdx] == ' ' || body[afterIdx] == '\t'
+				if !before || !after || strings.TrimSpace(body[:j]) == "" {
+					continue
+				}
+			}
+			opPos, opLen, op = j, len(cand.tok), cand.op
+			break
+		}
+		if opPos >= 0 {
+			break
+		}
+	}
+	if opPos < 0 {
+		return message.Predicate{}, errAt(input, open, "no operator in predicate")
+	}
+	attr, err := attrToken(strings.TrimSpace(body[:opPos]))
+	if err != nil || attr == "" {
+		return message.Predicate{}, errAt(input, open, "empty or malformed attribute")
+	}
+	rest := strings.TrimSpace(body[opPos+opLen:])
+
+	switch op {
+	case message.OpExists, message.OpNotExists:
+		if rest != "" {
+			return message.Predicate{}, errAt(input, open+opPos, "%s takes no value", op)
+		}
+		return message.Predicate{Attr: attr, Op: op}, nil
+	case message.OpBetween:
+		loTok, hiTok, ok := splitBetween(rest)
+		if !ok {
+			return message.Predicate{}, errAt(input, open+opPos, "between needs 'lo and hi'")
+		}
+		lo, err := parseValueToken(loTok)
+		if err != nil {
+			return message.Predicate{}, errAt(input, open+opPos, "%v", err)
+		}
+		hi, err := parseValueToken(hiTok)
+		if err != nil {
+			return message.Predicate{}, errAt(input, open+opPos, "%v", err)
+		}
+		return message.Between(attr, lo, hi), nil
+	default:
+		if rest == "" {
+			return message.Predicate{}, errAt(input, open+opPos, "%s needs a value", op)
+		}
+		v, err := parseValueToken(rest)
+		if err != nil {
+			return message.Predicate{}, errAt(input, open+opPos, "%v", err)
+		}
+		return message.Pred(attr, op, v), nil
+	}
+}
+
+func isWordOp(tok string) bool {
+	c := tok[0]
+	return c >= 'a' && c <= 'z'
+}
+
+// splitBetween splits "lo and hi" outside quotes.
+func splitBetween(rest string) (lo, hi string, ok bool) {
+	inQuote := false
+	for j := 0; j+5 <= len(rest); j++ {
+		if inQuote {
+			if rest[j] == '\\' {
+				j++
+			} else if rest[j] == '"' {
+				inQuote = false
+			}
+			continue
+		}
+		if rest[j] == '"' {
+			inQuote = true
+			continue
+		}
+		if strings.EqualFold(rest[j:j+5], " and ") {
+			return strings.TrimSpace(rest[:j]), strings.TrimSpace(rest[j+5:]), true
+		}
+	}
+	return "", "", false
+}
+
+// escapeQuoted renders s for inclusion between double quotes:
+// backslashes and quotes are escaped; everything else passes verbatim.
+func escapeQuoted(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// unescapeQuoted reverses escapeQuoted: a backslash makes the next
+// character literal (matching the quote scanner in matchParen).
+func unescapeQuoted(inner string) string {
+	var sb strings.Builder
+	for i := 0; i < len(inner); i++ {
+		if inner[i] == '\\' && i+1 < len(inner) {
+			i++
+		}
+		sb.WriteByte(inner[i])
+	}
+	return sb.String()
+}
+
+// attrToken unquotes a double-quoted attribute name; bare attributes
+// (which may contain spaces) pass through. Quoting lets an attribute
+// contain an operator word, e.g. ("contains lead" = true).
+func attrToken(tok string) (string, error) {
+	if len(tok) >= 2 && tok[0] == '"' && tok[len(tok)-1] == '"' {
+		return unescapeQuoted(tok[1 : len(tok)-1]), nil
+	}
+	if strings.Contains(tok, `"`) {
+		return "", fmt.Errorf("stray quote in attribute %q", tok)
+	}
+	return tok, nil
+}
+
+// parseValueToken converts a value token: quoted → string verbatim,
+// otherwise type-inferred.
+func parseValueToken(tok string) (message.Value, error) {
+	if tok == "" {
+		return message.None(), fmt.Errorf("empty value")
+	}
+	if tok[0] == '"' {
+		if len(tok) < 2 || tok[len(tok)-1] != '"' {
+			return message.None(), fmt.Errorf("unterminated quoted string %q", tok)
+		}
+		return message.String(unescapeQuoted(tok[1 : len(tok)-1])), nil
+	}
+	if strings.Contains(tok, `"`) {
+		return message.None(), fmt.Errorf("stray quote in value %q", tok)
+	}
+	return message.ParseValue(tok), nil
+}

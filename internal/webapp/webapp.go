@@ -1,0 +1,437 @@
+// Package webapp implements the web application of the demonstration
+// setup (paper §4, Figure 2): client registration, subscription and
+// publication input over an HTTP/JSON API, a mode switch between
+// semantic and syntactic operation, and a statistics view.
+//
+// Subscriptions and publications are submitted in the paper's surface
+// syntax (internal/sublang):
+//
+//	POST /api/register    {"name":"acme","transport":"tcp","addr":"127.0.0.1:9000"}
+//	POST /api/subscribe   {"client":"acme","subscription":"(university = Toronto) and (degree = PhD)"}
+//	POST /api/unsubscribe {"client":"acme","id":1}
+//	POST /api/publish     {"event":"(school, Toronto)(degree, PhD)(graduation year, 1990)"}
+//	GET  /api/mode        → {"mode":"semantic"}
+//	POST /api/mode        {"mode":"syntactic"}
+//	GET  /api/stats       → broker and engine counters
+//	GET  /                → demo page
+package webapp
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+	"stopss/internal/sublang"
+)
+
+// Server is the HTTP front end over a broker.
+type Server struct {
+	broker *broker.Broker
+	mux    *http.ServeMux
+}
+
+// NewServer builds the handler tree.
+func NewServer(b *broker.Broker) *Server {
+	s := &Server{broker: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/register", s.handleRegister)
+	s.mux.HandleFunc("POST /api/subscribe", s.handleSubscribe)
+	s.mux.HandleFunc("POST /api/unsubscribe", s.handleUnsubscribe)
+	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
+	s.mux.HandleFunc("GET /api/mode", s.handleGetMode)
+	s.mux.HandleFunc("POST /api/mode", s.handleSetMode)
+	s.mux.HandleFunc("POST /api/advertise", s.handleAdvertise)
+	s.mux.HandleFunc("POST /api/publish-from", s.handlePublishFrom)
+	s.mux.HandleFunc("GET /api/overlaps", s.handleOverlaps)
+	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/clients", s.handleClients)
+	s.mux.HandleFunc("GET /api/subscriptions", s.handleSubscriptions)
+	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// --- wire types ---
+
+type registerRequest struct {
+	Name      string `json:"name"`
+	Transport string `json:"transport,omitempty"`
+	Addr      string `json:"addr,omitempty"`
+}
+
+type subscribeRequest struct {
+	Client       string `json:"client"`
+	Subscription string `json:"subscription"`
+}
+
+type subscribeResponse struct {
+	// ID is the first (or only) subscription created; IDs lists every
+	// subscription of a disjunctive submission, one per "or"-disjunct.
+	ID     message.SubID   `json:"id"`
+	IDs    []message.SubID `json:"ids"`
+	Parsed string          `json:"parsed"`
+}
+
+type unsubscribeRequest struct {
+	Client string        `json:"client"`
+	ID     message.SubID `json:"id"`
+}
+
+type publishRequest struct {
+	Event string `json:"event"`
+}
+
+type publishResponse struct {
+	Matches  []message.SubID `json:"matches"`
+	Notified int             `json:"notified"`
+	Dropped  int             `json:"dropped"`
+	Parsed   string          `json:"parsed"`
+}
+
+type modeBody struct {
+	Mode string `json:"mode"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("webapp: decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+// --- handlers ---
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c := broker.Client{Name: req.Name}
+	if req.Transport != "" {
+		c.Route = notify.Route{Transport: req.Transport, Addr: req.Addr}
+	}
+	if err := s.broker.Register(c); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"registered": req.Name})
+}
+
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	var req subscribeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	groups, err := sublang.ParseSubscriptionSet(req.Subscription)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ids := make([]message.SubID, 0, len(groups))
+	for _, preds := range groups {
+		id, err := s.broker.Subscribe(req.Client, preds)
+		if err != nil {
+			// Roll back the disjuncts already stored so the submission
+			// is all-or-nothing.
+			for _, done := range ids {
+				_ = s.broker.Unsubscribe(req.Client, done)
+			}
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, http.StatusOK, subscribeResponse{
+		ID:     ids[0],
+		IDs:    ids,
+		Parsed: sublang.FormatSubscriptionSet(groups),
+	})
+}
+
+func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	var req unsubscribeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.broker.Unsubscribe(req.Client, req.ID); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"unsubscribed": req.ID})
+}
+
+func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
+	var req publishRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ev, err := sublang.ParseEvent(req.Event)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.broker.Publish(ev)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	matches := res.Matches
+	if matches == nil {
+		matches = []message.SubID{}
+	}
+	writeJSON(w, http.StatusOK, publishResponse{
+		Matches:  matches,
+		Notified: res.Notified,
+		Dropped:  res.Dropped,
+		Parsed:   sublang.FormatEvent(ev),
+	})
+}
+
+type advertiseRequest struct {
+	Client        string `json:"client"`
+	Advertisement string `json:"advertisement"`
+}
+
+// handleAdvertise records the publisher's advertised event space.
+func (s *Server) handleAdvertise(w http.ResponseWriter, r *http.Request) {
+	var req advertiseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	preds, err := sublang.ParseSubscription(req.Advertisement)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.broker.Advertise(req.Client, preds); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"advertised": req.Client})
+}
+
+type publishFromRequest struct {
+	Client string `json:"client"`
+	Event  string `json:"event"`
+}
+
+// handlePublishFrom publishes on behalf of a client, enforcing its
+// advertisement.
+func (s *Server) handlePublishFrom(w http.ResponseWriter, r *http.Request) {
+	var req publishFromRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ev, err := sublang.ParseEvent(req.Event)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.broker.PublishFrom(req.Client, ev)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	matches := res.Matches
+	if matches == nil {
+		matches = []message.SubID{}
+	}
+	writeJSON(w, http.StatusOK, publishResponse{
+		Matches: matches, Notified: res.Notified, Dropped: res.Dropped,
+		Parsed: sublang.FormatEvent(ev),
+	})
+}
+
+// handleOverlaps lists the subscriptions a publisher's advertisement can
+// ever match.
+func (s *Server) handleOverlaps(w http.ResponseWriter, r *http.Request) {
+	client := r.URL.Query().Get("client")
+	if client == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("webapp: missing ?client= parameter"))
+		return
+	}
+	ids, err := s.broker.OverlappingSubscriptions(client)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if ids == nil {
+		ids = []message.SubID{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"client": client, "overlaps": ids})
+}
+
+type explainRequest struct {
+	ID    message.SubID `json:"id"`
+	Event string        `json:"event"`
+}
+
+// handleExplain traces why a subscription does or does not match a
+// publication — the "witness the matching" view of the demonstration.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req explainRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	ev, err := sublang.ParseEvent(req.Event)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	x, err := s.broker.Engine().Explain(req.ID, ev)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matched": x.Matched,
+		"trace":   x.String(),
+	})
+}
+
+func (s *Server) handleGetMode(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, modeBody{Mode: s.broker.Engine().Mode().String()})
+}
+
+func (s *Server) handleSetMode(w http.ResponseWriter, r *http.Request) {
+	var req modeBody
+	if !decode(w, r, &req) {
+		return
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.broker.Engine().SetMode(mode); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modeBody{Mode: mode.String()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.broker.Stats())
+}
+
+func (s *Server) handleClients(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"clients": s.broker.Clients()})
+}
+
+// subscriptionInfo is one row of the GET /api/subscriptions listing.
+type subscriptionInfo struct {
+	ID   message.SubID `json:"id"`
+	Text string        `json:"text"`
+}
+
+func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
+	client := r.URL.Query().Get("client")
+	if client == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("webapp: missing ?client= parameter"))
+		return
+	}
+	var out []subscriptionInfo
+	for _, id := range s.broker.SubscriptionsOf(client) {
+		if sub, ok := s.broker.Engine().Subscription(id); ok {
+			out = append(out, subscriptionInfo{ID: id, Text: sublang.FormatSubscription(sub.Preds)})
+		}
+	}
+	if out == nil {
+		out = []subscriptionInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"client": client, "subscriptions": out})
+}
+
+// handleSnapshot streams the broker's durable state (clients, routes,
+// subscriptions) as JSON lines — the format broker.Restore consumes.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/jsonl")
+	if err := s.broker.Snapshot(w); err != nil {
+		// Headers are already out; the truncated body will fail to
+		// restore, which is the safe failure mode.
+		fmt.Fprintf(w, `{"kind":"error","error":%q}`+"\n", err.Error())
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+// indexHTML is the single-page demo UI: registration, subscription and
+// publication forms wired to the JSON API, plus a mode toggle — the
+// "web-based application for client registration and
+// subscription/publication input" of paper §4.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head><meta charset="utf-8"><title>S-ToPSS Demonstration</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 56em; }
+ fieldset { margin-bottom: 1em; }
+ input[type=text] { width: 40em; }
+ pre { background: #f4f4f4; padding: .6em; }
+</style></head>
+<body>
+<h1>S-ToPSS — Semantic Toronto Publish/Subscribe System</h1>
+<p>Job-finder demonstration (VLDB 2003). Mode:
+ <select id="mode" onchange="setMode()">
+  <option value="semantic">semantic</option>
+  <option value="syntactic">syntactic</option>
+ </select></p>
+<fieldset><legend>Register client</legend>
+ <input type="text" id="client" placeholder="company name" value="acme">
+ <button onclick="register()">Register</button></fieldset>
+<fieldset><legend>Subscribe</legend>
+ <input type="text" id="sub" value="(university = Toronto) and (degree = PhD) and (professional experience >= 4)">
+ <button onclick="subscribe()">Subscribe</button></fieldset>
+<fieldset><legend>Publish resume</legend>
+ <input type="text" id="pub" value="(school, Toronto)(degree, PhD)(work experience, true)(graduation year, 1990)">
+ <button onclick="publish()">Publish</button></fieldset>
+<pre id="out">ready</pre>
+<script>
+async function api(path, body) {
+  const opts = body ? {method:'POST', body: JSON.stringify(body)} : {};
+  const res = await fetch(path, opts);
+  const text = await res.text();
+  document.getElementById('out').textContent = text;
+  return text;
+}
+function register()  { api('/api/register',  {name: document.getElementById('client').value}); }
+function subscribe() { api('/api/subscribe', {client: document.getElementById('client').value, subscription: document.getElementById('sub').value}); }
+function publish()   { api('/api/publish',   {event: document.getElementById('pub').value}); }
+function setMode()   { api('/api/mode',      {mode: document.getElementById('mode').value}); }
+</script>
+</body></html>
+`
