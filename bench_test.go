@@ -16,7 +16,9 @@ package stopss
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
@@ -24,6 +26,7 @@ import (
 	"stopss/internal/message"
 	"stopss/internal/notify"
 	"stopss/internal/ontology"
+	"stopss/internal/overlay"
 	"stopss/internal/semantic"
 	"stopss/internal/sublang"
 	"stopss/internal/workload"
@@ -367,4 +370,162 @@ func BenchmarkHierarchyAncestors(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Ancestors(leaves[i%len(leaves)], 0)
 	}
+}
+
+// --- Sharded matching engine: 1 engine vs N-shard pool ---
+
+// BenchmarkShard measures multi-core publication throughput of the
+// single engine against overlay.NewSharded pools (EXPERIMENTS.md §Shard).
+// Syntactic mode isolates the matching path, which is what sharding
+// parallelizes; RunParallel publishes from GOMAXPROCS goroutines.
+func BenchmarkShard(b *testing.B) {
+	gen, err := workload.New(workload.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nSubs = 20000
+	subs := gen.Subscriptions(nSubs)
+	events := gen.Events(1024)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		if shards > 2*runtime.NumCPU() {
+			continue
+		}
+		b.Run(fmt.Sprintf("shards=%d/subs=%d", shards, nSubs), func(b *testing.B) {
+			stage := gen.KB().Stage(semantic.FullConfig())
+			var eng core.PubSub
+			if shards == 1 {
+				eng = core.NewEngine(stage, core.WithMode(core.Syntactic))
+			} else {
+				pool := overlay.NewSharded(shards, func(int) *core.Engine {
+					return core.NewEngine(stage, core.WithMode(core.Syntactic))
+				})
+				defer pool.Close()
+				eng = pool
+			}
+			for _, s := range subs {
+				if err := eng.Subscribe(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := eng.Publish(events[i%len(events)]); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// --- Overlay federation: 1 broker vs a 3-broker chain ---
+
+// benchTransport counts deliveries through a channel, closing done when
+// the expected number arrives.
+type benchTransport struct{ ch chan struct{} }
+
+func (t *benchTransport) Name() string                           { return "bench" }
+func (t *benchTransport) Send(string, notify.Notification) error { t.ch <- struct{}{}; return nil }
+func (t *benchTransport) Close() error                           { return nil }
+
+// benchBroker builds one broker (empty knowledge base) with a counting
+// transport and an overlay node listening on loopback.
+func benchBroker(b *testing.B, name string) (*broker.Broker, *overlay.Node, *benchTransport) {
+	b.Helper()
+	tr := &benchTransport{ch: make(chan struct{}, 4096)}
+	ne, err := notify.NewEngine(notify.Config{Workers: 4, QueueSize: 8192}, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := broker.New(core.NewEngine(nil), ne)
+	node, err := overlay.NewNode(overlay.Config{Name: name, Listen: "127.0.0.1:0"}, br)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		node.Close()
+		ne.Close()
+	})
+	return br, node, tr
+}
+
+// BenchmarkOverlay compares end-to-end delivered-notification
+// throughput of a standalone broker against a publication crossing a
+// 3-broker chain over loopback TCP (EXPERIMENTS.md §Overlay): publish
+// at the head, count notifications at the subscriber's broker.
+func BenchmarkOverlay(b *testing.B) {
+	subPreds := []message.Predicate{message.Pred("x", message.OpGe, message.Int(0))}
+	ev := message.E("x", 42)
+
+	run := func(b *testing.B, pub *broker.Broker, tr *benchTransport) {
+		b.Helper()
+		b.ResetTimer()
+		// Bound in-flight publications well under the notify queue
+		// size: the dispatcher drops on a full queue (ErrQueueFull),
+		// which would leave the drain goroutine waiting forever.
+		inflight := make(chan struct{}, 512)
+		done := make(chan struct{})
+		go func() {
+			for i := 0; i < b.N; i++ {
+				<-tr.ch
+				<-inflight
+			}
+			close(done)
+		}()
+		for i := 0; i < b.N; i++ {
+			inflight <- struct{}{}
+			if _, err := pub.Publish(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+		select {
+		case <-done:
+		case <-time.After(2 * time.Minute):
+			b.Fatal("notifications did not drain")
+		}
+	}
+
+	b.Run("brokers=1", func(b *testing.B) {
+		br, _, tr := benchBroker(b, "solo")
+		if err := br.Register(broker.Client{Name: "sub", Route: notify.Route{Transport: "bench", Addr: "x"}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := br.Subscribe("sub", subPreds); err != nil {
+			b.Fatal(err)
+		}
+		run(b, br, tr)
+	})
+
+	b.Run("brokers=3", func(b *testing.B) {
+		brA, nodeA, _ := benchBroker(b, "A")
+		_, nodeB, _ := benchBroker(b, "B")
+		brC, nodeC, trC := benchBroker(b, "C")
+		if err := nodeB.Dial(nodeA.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		if err := nodeC.Dial(nodeB.Addr()); err != nil {
+			b.Fatal(err)
+		}
+		if err := brC.Register(broker.Client{Name: "sub", Route: notify.Route{Transport: "bench", Addr: "x"}}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := brC.Subscribe("sub", subPreds); err != nil {
+			b.Fatal(err)
+		}
+		// Wait for the subscription to reach A before timing.
+		for i := 0; i < 400 && brA.Stats().Remote.RemoteSubs == 0; i++ {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if brA.Stats().Remote.RemoteSubs == 0 {
+			b.Fatal("subscription did not propagate to the chain head")
+		}
+		run(b, brA, trC)
+	})
 }

@@ -1,11 +1,15 @@
 // Command stopss-server runs the full demonstration stack of Figure 2:
 // the S-ToPSS engine over a domain ontology, the notification engine
-// with all four transports, and the web application.
+// with all four transports, and the web application — optionally as one
+// node of a multi-broker overlay with a sharded matching engine.
 //
 // Usage:
 //
 //	stopss-server -addr :8080
 //	stopss-server -ontology my-domain.odl -matcher cluster -mode syntactic
+//	stopss-server -addr :8080 -shards 8
+//	stopss-server -addr :8081 -node b1 -overlay 127.0.0.1:7001
+//	stopss-server -addr :8082 -node b2 -overlay 127.0.0.1:7002 -peer 127.0.0.1:7001
 package main
 
 import (
@@ -17,77 +21,133 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
 	"stopss/internal/matching"
+	"stopss/internal/metrics"
 	"stopss/internal/notify"
 	"stopss/internal/ontology"
+	"stopss/internal/overlay"
 	"stopss/internal/semantic"
 	"stopss/internal/webapp"
 	"stopss/internal/workload"
 )
 
+// peerList collects repeatable -peer flags.
+type peerList []string
+
+func (p *peerList) String() string     { return strings.Join(*p, ",") }
+func (p *peerList) Set(v string) error { *p = append(*p, v); return nil }
+
 func main() {
+	var peers peerList
 	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	ontPath := flag.String("ontology", "", "ODL ontology file (default: embedded job-finder domain)")
-	matcherName := flag.String("matcher", "counting", "matching algorithm: naive, counting or cluster")
+	matcherName := flag.String("matcher", "counting", "matching algorithm: naive, counting, cluster or tree")
 	modeName := flag.String("mode", "semantic", "initial mode: semantic or syntactic")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored on start if present, written on shutdown")
+	shards := flag.Int("shards", 1, "matching engine shards (>1 enables the concurrent sharded pool)")
+	nodeName := flag.String("node", "", "overlay node name (default: the -addr value)")
+	overlayAddr := flag.String("overlay", "", "overlay TCP listen address for peer brokers (empty: no listener)")
+	flag.Var(&peers, "peer", "overlay peer address to connect to (repeatable)")
 	flag.Parse()
-	if err := run(*addr, *ontPath, *matcherName, *modeName, *snapshot); err != nil {
+	opts := stackOptions{
+		Addr:     *addr,
+		Ontology: *ontPath,
+		Matcher:  *matcherName,
+		Mode:     *modeName,
+		Shards:   *shards,
+	}
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers); err != nil {
 		log.Fatalf("stopss-server: %v", err)
 	}
 }
 
+// stackOptions configures buildStack.
+type stackOptions struct {
+	Addr     string
+	Ontology string
+	Matcher  string
+	Mode     string
+	Shards   int
+	Registry *metrics.Registry // optional; shared with the overlay node
+}
+
 // buildStack assembles engine, notifier and broker — everything the
 // HTTP server sits on. Factored out of run so the stack is testable
-// without signals or listeners.
-func buildStack(addr, ontPath, matcherName, modeName string) (*broker.Broker, *notify.Engine, error) {
+// without signals or listeners. The returned cleanup stops the sharded
+// worker pool (a no-op closure for a single engine).
+func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), error) {
 	src := workload.JobsODL
 	name := "builtin:jobs"
-	if ontPath != "" {
-		data, err := os.ReadFile(ontPath)
+	if opts.Ontology != "" {
+		data, err := os.ReadFile(opts.Ontology)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
-		src, name = string(data), ontPath
+		src, name = string(data), opts.Ontology
 	}
 	ont, err := ontology.Load(src, ontology.Options{})
 	if err != nil {
-		return nil, nil, fmt.Errorf("loading ontology %s: %w", name, err)
+		return nil, nil, nil, fmt.Errorf("loading ontology %s: %w", name, err)
 	}
 	log.Printf("ontology: %s", ont.Summary())
 
-	m, err := matching.New(matcherName)
+	mode, err := core.ParseMode(opts.Mode)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	mode, err := core.ParseMode(modeName)
-	if err != nil {
-		return nil, nil, err
+	stage := ont.Stage(semantic.FullConfig())
+
+	var engine core.PubSub
+	cleanup := func() {}
+	if opts.Shards > 1 {
+		// Validate the matcher name once up front; the factory below
+		// cannot report errors.
+		if _, err := matching.New(opts.Matcher); err != nil {
+			return nil, nil, nil, err
+		}
+		var shardOpts []overlay.ShardOption
+		if opts.Registry != nil {
+			shardOpts = append(shardOpts, overlay.WithRegistry(opts.Registry))
+		}
+		pool := overlay.NewSharded(opts.Shards, func(int) *core.Engine {
+			m, _ := matching.New(opts.Matcher)
+			return core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode))
+		}, shardOpts...)
+		engine, cleanup = pool, pool.Close
+	} else {
+		m, err := matching.New(opts.Matcher)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		engine = core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode))
 	}
-	engine := core.NewEngine(ont.Stage(semantic.FullConfig()),
-		core.WithMatcher(m), core.WithMode(mode))
 
 	notifier, err := notify.NewEngine(notify.Config{Workers: 8},
 		notify.NewTCPTransport(0),
 		notify.NewUDPTransport(),
-		notify.NewSMTPTransport("stopss@"+addr),
+		notify.NewSMTPTransport("stopss@"+opts.Addr),
 		notify.NewSMSGateway(100, 64),
 	)
 	if err != nil {
-		return nil, nil, err
+		cleanup()
+		return nil, nil, nil, err
 	}
-	return broker.New(engine, notifier), notifier, nil
+	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(addr, ontPath, matcherName, modeName, snapshot string) error {
-	b, notifier, err := buildStack(addr, ontPath, matcherName, modeName)
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string) error {
+	reg := metrics.NewRegistry()
+	opts.Registry = reg
+	b, notifier, cleanup, err := buildStack(opts)
 	if err != nil {
 		return err
 	}
+	defer cleanup()
 	defer notifier.Close()
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
@@ -103,8 +163,33 @@ func run(addr, ontPath, matcherName, modeName, snapshot string) error {
 			return err
 		}
 	}
+
+	// The overlay node starts after a snapshot restore so freshly
+	// connected peers see the restored subscription set.
+	var node *overlay.Node
+	if overlayAddr != "" || len(peers) > 0 {
+		if nodeName == "" {
+			nodeName = opts.Addr
+		}
+		node, err = overlay.NewNode(overlay.Config{
+			Name:     nodeName,
+			Listen:   overlayAddr,
+			Peers:    peers,
+			Registry: reg,
+			Logf:     log.Printf,
+		}, b)
+		if err != nil {
+			return err
+		}
+		if err := node.Start(); err != nil {
+			return err
+		}
+		defer node.Close()
+		log.Printf("overlay node %q listening on %q, peers %v", nodeName, node.Addr(), peers)
+	}
+
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              opts.Addr,
 		Handler:           webapp.NewServer(b),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
@@ -113,7 +198,8 @@ func run(addr, ontPath, matcherName, modeName, snapshot string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on http://%s (matcher=%s mode=%s)", addr, matcherName, b.Engine().Mode())
+		log.Printf("listening on http://%s (matcher=%s mode=%s shards=%d)",
+			opts.Addr, b.Engine().MatcherName(), b.Engine().Mode(), opts.Shards)
 		errCh <- srv.ListenAndServe()
 	}()
 

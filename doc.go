@@ -11,6 +11,8 @@
 //   - internal/ontology  — the ODL ontology language and compiler
 //   - internal/core      — the S-ToPSS engine (Figure 1)
 //   - internal/broker    — the pub/sub event dispatcher
+//   - internal/overlay   — multi-broker federation (covering-based
+//     subscription routing over TCP) and the sharded engine pool
 //   - internal/notify    — TCP/UDP/SMTP/SMS notification engine (Figure 2)
 //   - internal/webapp    — demonstration web application (Figure 2)
 //   - internal/workload  — workload generator (paper §4)

@@ -1,0 +1,3 @@
+module stopss
+
+go 1.24

@@ -17,18 +17,24 @@ import (
 // client.
 func (b *Broker) Advertise(client string, preds []message.Predicate) error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if _, ok := b.clients[client]; !ok {
+		b.mu.Unlock()
 		return fmt.Errorf("broker: unknown client %q", client)
 	}
 	a := matching.NewAdvertisement(client, preds...)
 	if err := a.Validate(); err != nil {
+		b.mu.Unlock()
 		return fmt.Errorf("broker: advertisement of %q: %w", client, err)
 	}
 	if b.adverts == nil {
 		b.adverts = make(map[string]matching.Advertisement)
 	}
 	b.adverts[client] = a
+	f := b.forwarder
+	b.mu.Unlock()
+	if f != nil {
+		f.AdvertisementChanged(a, true)
+	}
 	return nil
 }
 
@@ -36,8 +42,13 @@ func (b *Broker) Advertise(client string, preds []message.Predicate) error {
 // from it are unconstrained again.
 func (b *Broker) Unadvertise(client string) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	a, had := b.adverts[client]
 	delete(b.adverts, client)
+	f := b.forwarder
+	b.mu.Unlock()
+	if f != nil && had {
+		f.AdvertisementChanged(a, false)
+	}
 }
 
 // AdvertisementOf returns the client's advertisement.

@@ -33,14 +33,16 @@ type Stats struct {
 	Subscriptions         int
 	Published             uint64
 	Notified              uint64
+	RemoteDelivered       uint64 // publications accepted from peer brokers
 	DropsNoRoute          uint64
 	RejectedNonConforming uint64
 	Engine                core.Stats
+	Remote                RemoteStats // overlay routing counters; zero when standalone
 }
 
 // Broker is the event dispatcher.
 type Broker struct {
-	engine   *core.Engine
+	engine   core.PubSub
 	notifier *notify.Engine
 
 	mu      sync.Mutex
@@ -50,15 +52,19 @@ type Broker struct {
 
 	adverts map[string]matching.Advertisement
 
+	forwarder   Forwarder          // overlay hook; nil when standalone
+	remoteStats func() RemoteStats // overlay stats source; nil when standalone
+
 	published             uint64
 	notified              uint64
+	remoteDelivered       uint64
 	dropsNoRoute          uint64
 	rejectedNonConforming uint64
 }
 
 // New builds a broker over an engine and an optional notifier (nil means
 // matches are returned to the publisher but not delivered anywhere).
-func New(engine *core.Engine, notifier *notify.Engine) *Broker {
+func New(engine core.PubSub, notifier *notify.Engine) *Broker {
 	return &Broker{
 		engine:   engine,
 		notifier: notifier,
@@ -68,7 +74,7 @@ func New(engine *core.Engine, notifier *notify.Engine) *Broker {
 }
 
 // Engine exposes the underlying S-ToPSS engine (mode switching, stats).
-func (b *Broker) Engine() *core.Engine { return b.engine }
+func (b *Broker) Engine() core.PubSub { return b.engine }
 
 // Register adds or updates a client. When the client has a route and a
 // notifier is attached, the route is installed.
@@ -117,7 +123,11 @@ func (b *Broker) Subscribe(client string, preds []message.Predicate) (message.Su
 	}
 	b.mu.Lock()
 	b.subs[id] = client
+	f := b.forwarder
 	b.mu.Unlock()
+	if f != nil {
+		f.SubscriptionChanged(s, true)
+	}
 	return id, nil
 }
 
@@ -135,8 +145,13 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 		return fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, owner, client)
 	}
 	delete(b.subs, id)
+	f := b.forwarder
 	b.mu.Unlock()
+	sub, had := b.engine.Subscription(id)
 	b.engine.Unsubscribe(id)
+	if f != nil && had {
+		f.SubscriptionChanged(sub, false)
+	}
 	return nil
 }
 
@@ -165,6 +180,18 @@ type PublishResult struct {
 // notification per match. Publishing does not require registration —
 // candidates in the demo scenario submit resumes anonymously.
 func (b *Broker) Publish(ev message.Event) (PublishResult, error) {
+	return b.publish(ev, false)
+}
+
+// DeliverRemote accepts a publication forwarded by a peer broker: it is
+// matched and notified locally exactly like Publish, but is NOT offered
+// to the forwarder again — the overlay layer owns inter-broker
+// propagation (and its loop prevention).
+func (b *Broker) DeliverRemote(ev message.Event) (PublishResult, error) {
+	return b.publish(ev, true)
+}
+
+func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 	res, err := b.engine.Publish(ev)
 	if err != nil {
 		return PublishResult{}, err
@@ -172,8 +199,16 @@ func (b *Broker) Publish(ev message.Event) (PublishResult, error) {
 	out := PublishResult{Matches: res.Matches}
 
 	b.mu.Lock()
-	b.published++
+	if remote {
+		b.remoteDelivered++
+	} else {
+		b.published++
+	}
+	f := b.forwarder
 	b.mu.Unlock()
+	if f != nil && !remote {
+		f.PublicationAccepted(ev)
+	}
 
 	if b.notifier == nil {
 		return out, nil
@@ -220,10 +255,15 @@ func (b *Broker) Stats() Stats {
 		Subscriptions:         len(b.subs),
 		Published:             b.published,
 		Notified:              b.notified,
+		RemoteDelivered:       b.remoteDelivered,
 		DropsNoRoute:          b.dropsNoRoute,
 		RejectedNonConforming: b.rejectedNonConforming,
 	}
+	rs := b.remoteStats
 	b.mu.Unlock()
 	s.Engine = b.engine.Stats()
+	if rs != nil {
+		s.Remote = rs()
+	}
 	return s
 }

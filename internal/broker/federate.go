@@ -1,0 +1,97 @@
+package broker
+
+import (
+	"sort"
+
+	"stopss/internal/matching"
+	"stopss/internal/message"
+)
+
+// Federation hooks: a broker participating in a multi-broker overlay
+// (internal/overlay) needs three things from the dispatcher — to hear
+// about local subscription/advertisement changes and accepted
+// publications (so they can be routed to peers), to accept publications
+// arriving from peers without bouncing them back out (DeliverRemote in
+// broker.go), and to fold the overlay's routing counters into Stats.
+
+// Forwarder observes local broker activity for inter-broker routing.
+// Callbacks are invoked synchronously after the local operation has
+// succeeded, never while the broker's own lock is held. Implementations
+// may call back into the broker.
+type Forwarder interface {
+	// SubscriptionChanged reports a local subscription being added
+	// (added=true) or removed. The subscription is the original,
+	// pre-canonicalization form.
+	SubscriptionChanged(sub message.Subscription, added bool)
+	// PublicationAccepted reports a locally published event after local
+	// matching and notification dispatch. Publications injected by
+	// DeliverRemote are not reported.
+	PublicationAccepted(ev message.Event)
+	// AdvertisementChanged reports a local advertisement being recorded
+	// (added=true) or withdrawn.
+	AdvertisementChanged(adv matching.Advertisement, added bool)
+}
+
+// SetForwarder installs (or clears, with nil) the overlay hook.
+func (b *Broker) SetForwarder(f Forwarder) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.forwarder = f
+}
+
+// RemoteStats summarizes the overlay routing activity of one broker.
+// The overlay node fills it via SetRemoteStatsSource; a standalone
+// broker reports zeros.
+type RemoteStats struct {
+	Peers         int      // connected peer links
+	SubsForwarded uint64   // subscriptions sent to peers
+	SubsPruned    uint64   // subscriptions suppressed by a covering sub
+	SubsReissued  uint64   // suppressed subs re-advertised after un-covering
+	PubsForwarded uint64   // publications sent along matching links
+	PubsReceived  uint64   // publications accepted from peers
+	PubsDeduped   uint64   // duplicate publications dropped
+	AdvertsSeen   uint64   // remote advertisements currently held
+	RemoteSubs    int      // remote subscriptions currently routed
+	ShardMatches  []uint64 // per-shard match counts (sharded engine only)
+}
+
+// SetRemoteStatsSource installs the overlay's stats callback; Stats()
+// invokes it to populate Stats.Remote.
+func (b *Broker) SetRemoteStatsSource(fn func() RemoteStats) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.remoteStats = fn
+}
+
+// Subscriptions returns every live local subscription in its original
+// form, ascending by ID. The overlay uses it to synchronize state onto
+// a freshly connected peer link.
+func (b *Broker) Subscriptions() []message.Subscription {
+	b.mu.Lock()
+	ids := make([]message.SubID, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	b.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]message.Subscription, 0, len(ids))
+	for _, id := range ids {
+		if s, ok := b.engine.Subscription(id); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Advertisements returns every live local advertisement, sorted by
+// publisher; the overlay floods them to new peer links.
+func (b *Broker) Advertisements() []matching.Advertisement {
+	b.mu.Lock()
+	out := make([]matching.Advertisement, 0, len(b.adverts))
+	for _, a := range b.adverts {
+		out = append(out, a)
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Publisher < out[j].Publisher })
+	return out
+}

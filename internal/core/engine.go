@@ -72,6 +72,25 @@ type Stats struct {
 	MatchTime       time.Duration // cumulative time in the matching algorithm
 }
 
+// PubSub is the engine surface the broker (and everything above it)
+// programs against. *Engine implements it directly; overlay.ShardedEngine
+// implements it by fanning out over a pool of Engines. Keeping the
+// broker on this interface is what lets one deployment swap a single
+// engine for a sharded pool without touching the dispatch layer.
+type PubSub interface {
+	Subscribe(s message.Subscription) error
+	Unsubscribe(id message.SubID) bool
+	Subscription(id message.SubID) (message.Subscription, bool)
+	Publish(ev message.Event) (MatchResult, error)
+	Explain(id message.SubID, ev message.Event) (Explanation, error)
+	Mode() Mode
+	SetMode(m Mode) error
+	Stats() Stats
+	Size() int
+	Stage() *semantic.Stage
+	MatcherName() string
+}
+
 // Engine is the S-ToPSS box of Figure 1.
 type Engine struct {
 	mu      sync.RWMutex
@@ -280,6 +299,59 @@ func (e *Engine) Publish(ev message.Event) (MatchResult, error) {
 	e.stats.MatchTime += res.MatchTime
 	e.stats.Matches += uint64(len(res.Matches))
 	return res, nil
+}
+
+// MatchEvents matches a set of already-expanded events against the
+// index, bypassing the semantic stage, and returns the union of the
+// matches in ascending order. A sharded deployment expands a
+// publication once and hands the derived set to every shard through
+// this entry point, so the (identical) semantic work is not repeated
+// per shard. Only matching counters are updated; the caller owns the
+// publication-level statistics.
+func (e *Engine) MatchEvents(events []message.Event) []message.SubID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t0 := time.Now()
+	var matches []message.SubID
+	if len(events) == 1 {
+		matches = e.matcher.Match(events[0])
+	} else {
+		set := make(map[message.SubID]bool)
+		for _, ev := range events {
+			for _, id := range e.matcher.Match(ev) {
+				set[id] = true
+			}
+		}
+		matches = make([]message.SubID, 0, len(set))
+		for id := range set {
+			matches = append(matches, id)
+		}
+		sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
+	}
+	e.stats.MatchTime += time.Since(t0)
+	e.stats.Matches += uint64(len(matches))
+	return matches
+}
+
+// Merge accumulates another snapshot into s, summing counters and
+// durations. The sharded engine uses it to roll per-shard statistics
+// into one engine-level view (Subscriptions sums because shards
+// partition the subscription set).
+func (s Stats) Merge(o Stats) Stats {
+	s.Subscriptions += o.Subscriptions
+	s.SubsAdded += o.SubsAdded
+	s.SubsRemoved += o.SubsRemoved
+	s.Events += o.Events
+	s.DerivedEvents += o.DerivedEvents
+	s.Matches += o.Matches
+	s.SynonymRewrites += o.SynonymRewrites
+	s.HierarchyPairs += o.HierarchyPairs
+	s.MappingPairs += o.MappingPairs
+	s.MappingCalls += o.MappingCalls
+	s.Truncated += o.Truncated
+	s.SemanticTime += o.SemanticTime
+	s.MatchTime += o.MatchTime
+	return s
 }
 
 // Stats returns a snapshot of engine counters.

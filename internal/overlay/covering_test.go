@@ -1,0 +1,98 @@
+package overlay
+
+import (
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func entryOf(origin string, id message.SubID, preds ...message.Predicate) (routeID, routeEntry) {
+	s := message.NewSubscription(id, "sub", preds...)
+	return routeID{Origin: origin, ID: id},
+		routeEntry{raw: s, canon: s, hops: []string{origin}}
+}
+
+func TestCoverTablePrunesCovered(t *testing.T) {
+	tbl := newCoverTable()
+
+	broadID, broad := entryOf("b", 1, message.Pred("x", message.OpGe, message.Int(0)))
+	narrowID, narrow := entryOf("c", 1, message.Pred("x", message.OpGe, message.Int(10)))
+
+	if !tbl.add(broadID, broad) {
+		t.Fatal("first subscription must be forwarded")
+	}
+	if tbl.add(narrowID, narrow) {
+		t.Fatal("x>=10 is covered by forwarded x>=0 and must be pruned")
+	}
+	if f, s := tbl.size(); f != 1 || s != 1 {
+		t.Fatalf("table = %d forwarded / %d suppressed, want 1/1", f, s)
+	}
+	// Duplicate offers change nothing.
+	if tbl.add(narrowID, narrow) || tbl.add(broadID, broad) {
+		t.Fatal("duplicate offers must not be re-sent")
+	}
+}
+
+func TestCoverTableUncoveringReissues(t *testing.T) {
+	tbl := newCoverTable()
+
+	broadID, broad := entryOf("b", 1, message.Pred("x", message.OpGe, message.Int(0)))
+	midID, mid := entryOf("c", 1, message.Pred("x", message.OpGe, message.Int(5)))
+	narrowID, narrow := entryOf("d", 1, message.Pred("x", message.OpGe, message.Int(10)))
+
+	tbl.add(broadID, broad)
+	tbl.add(midID, mid)       // suppressed by broad
+	tbl.add(narrowID, narrow) // suppressed by broad
+
+	wasForwarded, reissue := tbl.remove(broadID)
+	if !wasForwarded {
+		t.Fatal("the covering subscription had been forwarded")
+	}
+	// mid (x>=5) becomes uncovered and is promoted first (deterministic
+	// order); it then covers narrow (x>=10), which stays suppressed.
+	if len(reissue) != 1 || reissue[0].id != midID {
+		ids := make([]routeID, len(reissue))
+		for i, r := range reissue {
+			ids[i] = r.id
+		}
+		t.Fatalf("reissue = %v, want exactly [%v]", ids, midID)
+	}
+	if f, s := tbl.size(); f != 1 || s != 1 {
+		t.Fatalf("table = %d forwarded / %d suppressed after uncovering, want 1/1", f, s)
+	}
+
+	// Removing mid uncovers narrow in turn.
+	wasForwarded, reissue = tbl.remove(midID)
+	if !wasForwarded || len(reissue) != 1 || reissue[0].id != narrowID {
+		t.Fatalf("removing the promoted coverer must reissue the narrow sub, got fwd=%v reissue=%v",
+			wasForwarded, reissue)
+	}
+}
+
+func TestCoverTableRemoveSuppressed(t *testing.T) {
+	tbl := newCoverTable()
+	broadID, broad := entryOf("b", 1, message.Pred("x", message.OpGe, message.Int(0)))
+	narrowID, narrow := entryOf("c", 1, message.Pred("x", message.OpGe, message.Int(10)))
+	tbl.add(broadID, broad)
+	tbl.add(narrowID, narrow)
+
+	// Withdrawing a suppressed entry must not disturb the peer.
+	wasForwarded, reissue := tbl.remove(narrowID)
+	if wasForwarded || len(reissue) != 0 {
+		t.Fatalf("suppressed removal: fwd=%v reissue=%v, want false/none", wasForwarded, reissue)
+	}
+	// Withdrawing an unknown entry is a no-op.
+	wasForwarded, reissue = tbl.remove(routeID{Origin: "zz", ID: 99})
+	if wasForwarded || len(reissue) != 0 {
+		t.Fatal("unknown removal must be a no-op")
+	}
+}
+
+func TestCoverTableIncomparableSubsBothForwarded(t *testing.T) {
+	tbl := newCoverTable()
+	aID, a := entryOf("b", 1, message.Pred("x", message.OpGe, message.Int(0)))
+	bID, bb := entryOf("c", 1, message.Pred("y", message.OpEq, message.String("jobs")))
+	if !tbl.add(aID, a) || !tbl.add(bID, bb) {
+		t.Fatal("subscriptions on disjoint attributes must both be forwarded")
+	}
+}

@@ -1,0 +1,184 @@
+package overlay
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"stopss/internal/matching"
+	"stopss/internal/metrics"
+)
+
+// advID identifies a routed advertisement overlay-wide (publisher names
+// are broker-local, like SubIDs).
+type advID struct {
+	Origin string
+	Client string
+}
+
+// advEntry is one routed advertisement together with the broker path it
+// travelled (origin first, this node excluded) — preserved so state
+// sync onto new links replays the real path and loop prevention keeps
+// working for advertisements.
+type advEntry struct {
+	adv  matching.Advertisement
+	hops []string
+}
+
+// Errors returned by link.send.
+var (
+	errLinkClosed = errors.New("overlay: link closed")
+	errLinkSlow   = errors.New("overlay: peer too slow, link dropped")
+)
+
+// outqCap bounds the per-link outbound queue. A full queue means the
+// peer is not draining its socket; the link is sacrificed rather than
+// letting backpressure propagate into the routing lock (which could
+// distributed-deadlock two mutually publishing nodes).
+const outqCap = 1024
+
+// link is one established peer connection. Routing state attached to
+// the link (interests, adverts, the outbound cover table) is guarded by
+// the owning Node's mutex; conn writes happen on a dedicated writer
+// goroutine fed by a bounded queue, so callers never block on the
+// network.
+type link struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+
+	peer string // peer node name, fixed by the hello exchange
+
+	outq chan Frame
+	done chan struct{}
+	once sync.Once
+
+	// Per-link frame counters, bound by the Node at attach time so the
+	// hot paths skip registry lookups.
+	sent, recv *metrics.Counter
+
+	// interests holds subscriptions received FROM this link: the
+	// downstream demand reachable through the peer. Publications are
+	// forwarded along the link only when one of these matches.
+	interests map[routeID]routeEntry
+	// adverts holds advertisements received from this link — the event
+	// spaces of publishers reachable through the peer (used by
+	// quenching).
+	adverts map[advID]advEntry
+	// out tracks what this node has advertised to the peer, with
+	// covering-based suppression.
+	out *coverTable
+}
+
+// handshakeTimeout bounds the hello exchange on a new connection.
+const handshakeTimeout = 5 * time.Second
+
+// newLink wraps an accepted or dialed connection and performs the hello
+// exchange: each side sends its node name and reads the peer's. The
+// writer goroutine is not yet running; the handshake writes directly.
+func newLink(conn net.Conn, localName string) (*link, error) {
+	l := &link{
+		conn:      conn,
+		bw:        bufio.NewWriter(conn),
+		br:        bufio.NewReader(conn),
+		outq:      make(chan Frame, outqCap),
+		done:      make(chan struct{}),
+		interests: make(map[routeID]routeEntry),
+		adverts:   make(map[advID]advEntry),
+		out:       newCoverTable(),
+	}
+	deadline := time.Now().Add(handshakeTimeout)
+	conn.SetDeadline(deadline)
+	if err := writeFrame(l.bw, Frame{Type: frameHello, Name: localName}); err == nil {
+		err = l.bw.Flush()
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("overlay: hello to %s: %w", conn.RemoteAddr(), err)
+		}
+	} else {
+		conn.Close()
+		return nil, fmt.Errorf("overlay: hello to %s: %w", conn.RemoteAddr(), err)
+	}
+	f, err := readFrame(l.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("overlay: awaiting hello from %s: %w", conn.RemoteAddr(), err)
+	}
+	if f.Type != frameHello || f.Name == "" {
+		conn.Close()
+		return nil, fmt.Errorf("overlay: expected hello from %s, got %q", conn.RemoteAddr(), f.Type)
+	}
+	if f.Name == localName {
+		conn.Close()
+		return nil, fmt.Errorf("overlay: peer %s has this node's own name %q", conn.RemoteAddr(), f.Name)
+	}
+	l.peer = f.Name
+	conn.SetDeadline(time.Time{})
+	return l, nil
+}
+
+// writer drains the outbound queue onto the socket, batching frames
+// already queued before each flush. It exits when the link fails or is
+// closed.
+func (l *link) writer(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case f := <-l.outq:
+			if err := writeFrame(l.bw, f); err != nil {
+				l.close()
+				return
+			}
+		drain:
+			for {
+				select {
+				case f := <-l.outq:
+					if err := writeFrame(l.bw, f); err != nil {
+						l.close()
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := l.bw.Flush(); err != nil {
+				l.close()
+				return
+			}
+		case <-l.done:
+			return
+		}
+	}
+}
+
+// send enqueues one frame without ever blocking on the network. A full
+// queue drops the link (slow peer) instead of stalling the caller.
+func (l *link) send(f Frame) error {
+	select {
+	case <-l.done:
+		return errLinkClosed
+	default:
+	}
+	select {
+	case l.outq <- f:
+		if l.sent != nil {
+			l.sent.Inc()
+		}
+		return nil
+	default:
+		l.close()
+		return errLinkSlow
+	}
+}
+
+// close tears the connection down (idempotent); the read and writer
+// loops exit on the resulting error/signal.
+func (l *link) close() {
+	l.once.Do(func() {
+		close(l.done)
+		l.conn.Close()
+	})
+}

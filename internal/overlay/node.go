@@ -1,0 +1,651 @@
+package overlay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/matching"
+	"stopss/internal/message"
+	"stopss/internal/metrics"
+)
+
+// Config describes one overlay node.
+type Config struct {
+	// Name is the node's overlay-wide identity; it must be unique among
+	// connected brokers (it keys hop lists and routing state).
+	Name string
+	// Listen is the TCP address to accept peer links on; empty means
+	// the node only dials out.
+	Listen string
+	// Peers are addresses dialed at Start. A dial is retried briefly so
+	// a fleet can start in any order.
+	Peers []string
+	// Quench enables advertisement-based subscription pruning: a
+	// subscription is forwarded on a link only when the link has no
+	// recorded advertisements (mixed deployment) or one of them
+	// overlaps the subscription. Sound only when every publisher in the
+	// overlay advertises.
+	Quench bool
+	// Registry receives the overlay counters; nil allocates a private
+	// one (see Node.Registry).
+	Registry *metrics.Registry
+	// Logf, when set, receives one line per link event.
+	Logf func(format string, args ...any)
+}
+
+// Node connects a local broker into the overlay. It implements
+// broker.Forwarder: the broker reports local activity, the node routes
+// it to peers, and frames arriving from peers are applied back onto the
+// broker (DeliverRemote) or propagated onward.
+type Node struct {
+	cfg Config
+	b   *broker.Broker
+	reg *metrics.Registry
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	links  []*link
+	closed bool
+
+	// Publication duplicate suppression: origin-scoped IDs in a bounded
+	// FIFO set (cycles in the peer graph can deliver a publication on
+	// several paths).
+	seen  map[string]bool
+	seenQ []string
+
+	pubSeq atomic.Uint64
+
+	subsForwarded, subsPruned, subsQuenched, subsReissued *metrics.Counter
+	pubsForwarded, pubsReceived, pubsDeduped              *metrics.Counter
+	advertsForwarded                                      *metrics.Counter
+}
+
+// seenCap bounds the duplicate-suppression window.
+const seenCap = 8192
+
+// NewNode wires a node onto a broker (installing itself as the broker's
+// Forwarder and remote-stats source) but opens no connections until
+// Start.
+func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("overlay: node needs a name")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	n := &Node{
+		cfg:  cfg,
+		b:    b,
+		reg:  reg,
+		seen: make(map[string]bool),
+
+		subsForwarded:    reg.Counter("overlay.subs_forwarded"),
+		subsPruned:       reg.Counter("overlay.subs_pruned"),
+		subsQuenched:     reg.Counter("overlay.subs_quenched"),
+		subsReissued:     reg.Counter("overlay.subs_reissued"),
+		pubsForwarded:    reg.Counter("overlay.pubs_forwarded"),
+		pubsReceived:     reg.Counter("overlay.pubs_received"),
+		pubsDeduped:      reg.Counter("overlay.pubs_deduped"),
+		advertsForwarded: reg.Counter("overlay.adverts_forwarded"),
+	}
+	b.SetForwarder(n)
+	b.SetRemoteStatsSource(n.remoteStats)
+	return n, nil
+}
+
+// Registry exposes the node's metrics registry.
+func (n *Node) Registry() *metrics.Registry { return n.reg }
+
+// Name reports the node's overlay identity.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Addr reports the listen address ("" when not listening), usable by
+// peers once Start has returned.
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Start opens the listener (when configured) and dials every configured
+// peer, synchronizing current broker state onto each link.
+func (n *Node) Start() error {
+	if n.cfg.Listen != "" {
+		ln, err := net.Listen("tcp", n.cfg.Listen)
+		if err != nil {
+			return fmt.Errorf("overlay: listen %s: %w", n.cfg.Listen, err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop(ln)
+	}
+	for _, addr := range n.cfg.Peers {
+		if err := n.Dial(addr); err != nil {
+			n.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// Dial connects to a peer broker, retrying briefly so fleets can start
+// in any order.
+func (n *Node) Dial(addr string) error {
+	var conn net.Conn
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		conn, err = net.DialTimeout("tcp", addr, handshakeTimeout)
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("overlay: dialing peer %s: %w", addr, err)
+	}
+	return n.attach(conn)
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		// Handshake per connection in its own goroutine: one slow or
+		// silent dialer must not stall every other incoming peer for
+		// the handshake timeout.
+		go func(conn net.Conn) {
+			if err := n.attach(conn); err != nil {
+				n.logf("overlay %s: %v", n.cfg.Name, err)
+			}
+		}(conn)
+	}
+}
+
+// attach performs the hello exchange, registers the link, synchronizes
+// the node's current routing state onto it, and starts its read loop.
+func (n *Node) attach(conn net.Conn) error {
+	l, err := newLink(conn, n.cfg.Name)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.close()
+		return fmt.Errorf("overlay: node closed")
+	}
+	for _, existing := range n.links {
+		if existing.peer == l.peer {
+			n.mu.Unlock()
+			l.close()
+			return fmt.Errorf("overlay: rejecting second link named %q from %s (names must be overlay-unique)",
+				l.peer, conn.RemoteAddr())
+		}
+	}
+	l.sent = n.reg.Counter("overlay.link." + l.peer + ".frames_sent")
+	l.recv = n.reg.Counter("overlay.link." + l.peer + ".frames_recv")
+	n.links = append(n.links, l)
+	n.wg.Add(1)
+	go l.writer(&n.wg)
+	n.syncLink(l)
+	n.mu.Unlock()
+	n.logf("overlay %s: link established with %s (%s)", n.cfg.Name, l.peer, conn.RemoteAddr())
+
+	n.wg.Add(1)
+	go n.readLoop(l)
+	return nil
+}
+
+// syncLink pushes every known subscription and advertisement to a fresh
+// link: local broker state plus entries learned from other links.
+// Callers hold n.mu.
+func (n *Node) syncLink(l *link) {
+	for _, sub := range n.b.Subscriptions() {
+		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
+		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
+	}
+	for _, adv := range n.b.Advertisements() {
+		aid := advID{Origin: n.cfg.Name, Client: adv.Publisher}
+		n.sendAdv(l, aid, adv, []string{n.cfg.Name})
+	}
+	for _, other := range n.links {
+		if other == l {
+			continue
+		}
+		for rid, e := range other.interests {
+			fwd := routeEntry{raw: e.raw, canon: e.canon, hops: appendHop(e.hops, n.cfg.Name)}
+			if visited(fwd.hops, l.peer) {
+				continue
+			}
+			n.offerSub(l, rid, fwd)
+		}
+		for aid, ae := range other.adverts {
+			hops := appendHop(ae.hops, n.cfg.Name)
+			if visited(hops, l.peer) {
+				continue
+			}
+			n.sendAdv(l, aid, ae.adv, hops)
+		}
+	}
+}
+
+// readLoop pumps frames off one link until it fails, then detaches it.
+func (n *Node) readLoop(l *link) {
+	defer n.wg.Done()
+	for {
+		f, err := readFrame(l.br)
+		if err != nil {
+			n.detach(l)
+			return
+		}
+		l.recv.Inc()
+		n.handleFrame(l, f)
+	}
+}
+
+// detach removes a failed link. Its interests are dropped; a production
+// deployment would additionally withdraw them from other peers, which
+// is future work recorded in DESIGN.md.
+func (n *Node) detach(l *link) {
+	l.close()
+	n.mu.Lock()
+	for i, x := range n.links {
+		if x == l {
+			n.links = append(n.links[:i], n.links[i+1:]...)
+			break
+		}
+	}
+	closed := n.closed
+	n.mu.Unlock()
+	if !closed {
+		n.logf("overlay %s: link to %s closed", n.cfg.Name, l.peer)
+	}
+}
+
+// Close tears down the listener and every link and unhooks the broker.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	links := append([]*link(nil), n.links...)
+	n.mu.Unlock()
+
+	n.b.SetForwarder(nil)
+	n.b.SetRemoteStatsSource(nil)
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	for _, l := range links {
+		l.close()
+	}
+	n.wg.Wait()
+	return nil
+}
+
+// Peers lists the names of currently connected peers.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.links))
+	for i, l := range n.links {
+		out[i] = l.peer
+	}
+	return out
+}
+
+// --- broker.Forwarder ---
+
+// SubscriptionChanged implements broker.Forwarder for local
+// subscriptions.
+func (n *Node) SubscriptionChanged(sub message.Subscription, added bool) {
+	rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if added {
+		e := routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}}
+		for _, l := range n.links {
+			n.offerSub(l, rid, e)
+		}
+		return
+	}
+	n.withdrawSub(rid, []string{n.cfg.Name}, nil)
+}
+
+// PublicationAccepted implements broker.Forwarder for local
+// publications.
+func (n *Node) PublicationAccepted(ev message.Event) {
+	id := fmt.Sprintf("%s/%d", n.cfg.Name, n.pubSeq.Add(1))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.markSeen(id)
+	n.routePub(ev, id, []string{n.cfg.Name}, nil)
+}
+
+// AdvertisementChanged implements broker.Forwarder for local
+// advertisements.
+func (n *Node) AdvertisementChanged(adv matching.Advertisement, added bool) {
+	aid := advID{Origin: n.cfg.Name, Client: adv.Publisher}
+	hops := []string{n.cfg.Name}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		if added {
+			n.sendAdv(l, aid, adv, hops)
+		} else {
+			l.send(Frame{Type: frameUnadv, Origin: aid.Origin, Client: aid.Client, Hops: hops})
+		}
+	}
+}
+
+// --- frame handling ---
+
+func (n *Node) handleFrame(l *link, f Frame) {
+	switch f.Type {
+	case frameSub:
+		if f.Sub == nil || f.Origin == "" || f.Origin == n.cfg.Name || visited(f.Hops, n.cfg.Name) {
+			return
+		}
+		rid := routeID{Origin: f.Origin, ID: f.Sub.ID}
+		e := routeEntry{raw: *f.Sub, canon: n.canonicalize(*f.Sub), hops: f.Hops}
+		n.mu.Lock()
+		l.interests[rid] = e
+		fwd := routeEntry{raw: e.raw, canon: e.canon, hops: appendHop(f.Hops, n.cfg.Name)}
+		for _, other := range n.links {
+			if other == l || visited(fwd.hops, other.peer) {
+				continue
+			}
+			n.offerSub(other, rid, fwd)
+		}
+		n.mu.Unlock()
+
+	case frameUnsub:
+		if f.Origin == "" || f.Origin == n.cfg.Name || visited(f.Hops, n.cfg.Name) {
+			return
+		}
+		rid := routeID{Origin: f.Origin, ID: f.SubID}
+		n.mu.Lock()
+		delete(l.interests, rid)
+		n.withdrawSub(rid, appendHop(f.Hops, n.cfg.Name), l)
+		n.mu.Unlock()
+
+	case frameAdv:
+		if f.Origin == "" || f.Origin == n.cfg.Name || f.Client == "" || visited(f.Hops, n.cfg.Name) {
+			return
+		}
+		aid := advID{Origin: f.Origin, Client: f.Client}
+		adv := matching.NewAdvertisement(f.Client, f.Preds...)
+		n.mu.Lock()
+		if _, known := l.adverts[aid]; !known {
+			l.adverts[aid] = advEntry{adv: adv, hops: f.Hops}
+			hops := appendHop(f.Hops, n.cfg.Name)
+			for _, other := range n.links {
+				if other == l || visited(hops, other.peer) {
+					continue
+				}
+				n.sendAdv(other, aid, adv, hops)
+			}
+			if n.cfg.Quench {
+				// A new advertised space may unlock previously quenched
+				// subscriptions toward this link.
+				n.requench(l)
+			}
+		}
+		n.mu.Unlock()
+
+	case frameUnadv:
+		if f.Origin == "" || f.Origin == n.cfg.Name || visited(f.Hops, n.cfg.Name) {
+			return
+		}
+		aid := advID{Origin: f.Origin, Client: f.Client}
+		n.mu.Lock()
+		if _, known := l.adverts[aid]; known {
+			delete(l.adverts, aid)
+			hops := appendHop(f.Hops, n.cfg.Name)
+			for _, other := range n.links {
+				if other == l || visited(hops, other.peer) {
+					continue
+				}
+				other.send(Frame{Type: frameUnadv, Origin: aid.Origin, Client: aid.Client, Hops: hops})
+			}
+		}
+		n.mu.Unlock()
+
+	case framePub:
+		if f.Event == nil || f.PubID == "" || visited(f.Hops, n.cfg.Name) {
+			return
+		}
+		n.mu.Lock()
+		if n.seen[f.PubID] {
+			n.pubsDeduped.Inc()
+			n.mu.Unlock()
+			return
+		}
+		n.markSeen(f.PubID)
+		n.mu.Unlock()
+
+		n.pubsReceived.Inc()
+		// Local delivery runs outside n.mu: it takes broker and engine
+		// locks and must not nest under routing state.
+		if _, err := n.b.DeliverRemote(*f.Event); err != nil {
+			n.logf("overlay %s: remote publication rejected: %v", n.cfg.Name, err)
+		}
+		n.mu.Lock()
+		n.routePub(*f.Event, f.PubID, appendHop(f.Hops, n.cfg.Name), l)
+		n.mu.Unlock()
+	}
+}
+
+// --- routing helpers (callers hold n.mu) ---
+
+// offerSub runs one subscription through quenching and the link's cover
+// table and sends it when it survives both.
+func (n *Node) offerSub(l *link, rid routeID, e routeEntry) {
+	if n.cfg.Quench && len(l.adverts) > 0 {
+		overlapping := false
+		for _, ae := range l.adverts {
+			if matching.Overlaps(ae.adv, e.canon) {
+				overlapping = true
+				break
+			}
+		}
+		if !overlapping {
+			n.subsQuenched.Inc()
+			return
+		}
+	}
+	if !l.out.add(rid, e) {
+		n.subsPruned.Inc()
+		return
+	}
+	raw := e.raw.Clone()
+	if err := l.send(Frame{Type: frameSub, Origin: rid.Origin, Sub: &raw, Hops: e.hops}); err != nil {
+		return
+	}
+	n.subsForwarded.Inc()
+}
+
+// withdrawSub removes rid from every link's cover table (except from,
+// the link the withdrawal arrived on), sending unsubs for entries the
+// peers had seen and re-advertising entries the removal uncovered.
+func (n *Node) withdrawSub(rid routeID, hops []string, from *link) {
+	for _, l := range n.links {
+		if l == from || visited(hops, l.peer) {
+			continue
+		}
+		wasForwarded, reissue := l.out.remove(rid)
+		if wasForwarded {
+			l.send(Frame{Type: frameUnsub, Origin: rid.Origin, SubID: rid.ID, Hops: hops})
+		}
+		for _, rs := range reissue {
+			raw := rs.e.raw.Clone()
+			if err := l.send(Frame{Type: frameSub, Origin: rs.id.Origin, Sub: &raw, Hops: rs.e.hops}); err != nil {
+				continue
+			}
+			n.subsReissued.Inc()
+		}
+	}
+}
+
+// requench re-offers every known subscription to l; the cover table
+// drops duplicates, so only entries previously quenched (never offered)
+// go out.
+func (n *Node) requench(l *link) {
+	for _, sub := range n.b.Subscriptions() {
+		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
+		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
+	}
+	for _, other := range n.links {
+		if other == l {
+			continue
+		}
+		for rid, e := range other.interests {
+			fwd := routeEntry{raw: e.raw, canon: e.canon, hops: appendHop(e.hops, n.cfg.Name)}
+			if visited(fwd.hops, l.peer) {
+				continue
+			}
+			n.offerSub(l, rid, fwd)
+		}
+	}
+}
+
+// routePub forwards a publication along every link with a matching
+// recorded interest, excluding the arrival link and visited peers.
+func (n *Node) routePub(ev message.Event, pubID string, hops []string, from *link) {
+	var events []message.Event
+	for _, l := range n.links {
+		if l == from || visited(hops, l.peer) {
+			continue
+		}
+		if len(l.interests) == 0 {
+			continue
+		}
+		if events == nil {
+			events = n.expandForRouting(ev)
+		}
+		if !interestsMatch(l, events) {
+			continue
+		}
+		evCopy := ev.Clone()
+		if err := l.send(Frame{Type: framePub, Origin: hops[0], Event: &evCopy, PubID: pubID, Hops: hops}); err != nil {
+			continue
+		}
+		n.pubsForwarded.Inc()
+	}
+}
+
+// interestsMatch reports whether any interest on the link matches any
+// derived event.
+func interestsMatch(l *link, events []message.Event) bool {
+	for _, e := range l.interests {
+		for _, ev := range events {
+			if e.canon.Matches(ev) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// canonicalize maps a subscription into the local engine's indexed form
+// so routing-table covering and matching agree with the engine.
+func (n *Node) canonicalize(sub message.Subscription) message.Subscription {
+	eng := n.b.Engine()
+	if eng.Mode() != core.Semantic {
+		return sub.Clone()
+	}
+	canon, _ := eng.Stage().ProcessSubscription(sub)
+	return canon
+}
+
+// expandForRouting derives the event set the local engine would match,
+// making the forwarding predicate semantically faithful.
+func (n *Node) expandForRouting(ev message.Event) []message.Event {
+	eng := n.b.Engine()
+	if eng.Mode() != core.Semantic {
+		return []message.Event{ev}
+	}
+	return eng.Stage().ProcessEvent(ev).Events
+}
+
+// sendAdv transmits one advertisement on a link. Hops must be the real
+// travel path (origin first, this node included as the last hop): sync
+// replays pass the stored path so an advertisement can never echo back
+// to its origin and be mistaken for a remote one.
+func (n *Node) sendAdv(l *link, aid advID, adv matching.Advertisement, hops []string) {
+	if err := l.send(Frame{Type: frameAdv, Origin: aid.Origin, Client: aid.Client, Preds: adv.Preds, Hops: hops}); err != nil {
+		return
+	}
+	n.advertsForwarded.Inc()
+}
+
+// markSeen records a publication ID in the bounded dedup window.
+// Callers hold n.mu.
+func (n *Node) markSeen(id string) {
+	if n.seen[id] {
+		return
+	}
+	n.seen[id] = true
+	n.seenQ = append(n.seenQ, id)
+	if len(n.seenQ) > seenCap {
+		old := n.seenQ[0]
+		n.seenQ = n.seenQ[1:]
+		delete(n.seen, old)
+	}
+}
+
+// appendHop returns hops + name in a fresh slice (frames alias their
+// hop lists; sharing backing arrays across links would corrupt paths).
+func appendHop(hops []string, name string) []string {
+	out := make([]string, 0, len(hops)+1)
+	out = append(out, hops...)
+	return append(out, name)
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// remoteStats snapshots the node's routing counters for broker.Stats.
+func (n *Node) remoteStats() broker.RemoteStats {
+	n.mu.Lock()
+	peers := len(n.links)
+	remoteSubs := 0
+	adverts := 0
+	for _, l := range n.links {
+		remoteSubs += len(l.interests)
+		adverts += len(l.adverts)
+	}
+	n.mu.Unlock()
+	rs := broker.RemoteStats{
+		Peers:         peers,
+		RemoteSubs:    remoteSubs,
+		AdvertsSeen:   uint64(adverts),
+		SubsForwarded: n.subsForwarded.Value(),
+		SubsPruned:    n.subsPruned.Value() + n.subsQuenched.Value(),
+		SubsReissued:  n.subsReissued.Value(),
+		PubsForwarded: n.pubsForwarded.Value(),
+		PubsReceived:  n.pubsReceived.Value(),
+		PubsDeduped:   n.pubsDeduped.Value(),
+	}
+	if se, ok := n.b.Engine().(*ShardedEngine); ok {
+		rs.ShardMatches = se.ShardMatchCounts()
+	}
+	return rs
+}

@@ -1,0 +1,307 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/metrics"
+	"stopss/internal/semantic"
+)
+
+// ShardedEngine partitions the subscription index across N core.Engines
+// and matches publications against all shards concurrently through a
+// pool of per-shard workers, unioning the results. It implements
+// core.PubSub, so a broker runs on it unchanged.
+//
+// Subscriptions are placed by a hash of their ID; a publication is
+// expanded by the semantic stage ONCE (core.Engine.MatchEvents lets the
+// shards skip their own stage) and the derived event set is matched by
+// every shard in parallel. With matching dominating the pipeline this
+// makes publication throughput scale with cores, which is the point:
+// each shard holds 1/N of the index and the N matches overlap in time.
+//
+// All shards share one semantic stage (read-only after construction)
+// and are kept in the same mode; SetMode re-indexes every shard.
+type ShardedEngine struct {
+	shards []*core.Engine
+	jobs   []chan matchJob
+	wg     sync.WaitGroup
+
+	mu     sync.RWMutex // excludes SetMode against in-flight publishes
+	closed bool
+
+	// Publication-level statistics (the semantic half lives here, not
+	// in the shards, because expansion happens once at this level).
+	events    atomic.Uint64
+	derived   atomic.Uint64
+	rewrites  atomic.Uint64
+	hierPairs atomic.Uint64
+	mapPairs  atomic.Uint64
+	mapCalls  atomic.Uint64
+	truncated atomic.Uint64
+	semTime   atomic.Int64 // ns
+
+	shardMatches []atomic.Uint64 // per-shard match deliveries
+
+	reg *metrics.Registry // optional; mirrors counters when set
+}
+
+type matchJob struct {
+	events []message.Event
+	reply  chan<- shardReply
+}
+
+type shardReply struct {
+	shard int
+	ids   []message.SubID
+}
+
+// ShardOption configures a ShardedEngine.
+type ShardOption func(*ShardedEngine)
+
+// WithRegistry mirrors per-shard match counts and publication counters
+// into the given metrics registry under "engine.shard.<i>.matches" and
+// "engine.sharded.publishes".
+func WithRegistry(reg *metrics.Registry) ShardOption {
+	return func(s *ShardedEngine) { s.reg = reg }
+}
+
+// NewSharded builds an engine pool of n shards, constructing each with
+// mk (which must return engines sharing one semantic stage and mode,
+// each with its own matcher instance). n < 1 is treated as 1.
+func NewSharded(n int, mk func(shard int) *core.Engine, opts ...ShardOption) *ShardedEngine {
+	if n < 1 {
+		n = 1
+	}
+	s := &ShardedEngine{
+		shards:       make([]*core.Engine, n),
+		jobs:         make([]chan matchJob, n),
+		shardMatches: make([]atomic.Uint64, n),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	for i := range s.shards {
+		s.shards[i] = mk(i)
+		s.jobs[i] = make(chan matchJob)
+	}
+	// Shard 0 is matched by the publishing goroutine itself (see
+	// Publish); workers cover shards 1..n-1.
+	s.wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// worker is the matching loop of one shard, draining its job channel
+// until Close. Engine-internal locking serializes it against any other
+// accessor of the same shard.
+func (s *ShardedEngine) worker(i int) {
+	defer s.wg.Done()
+	eng := s.shards[i]
+	for job := range s.jobs[i] {
+		ids := eng.MatchEvents(job.events)
+		s.shardMatches[i].Add(uint64(len(ids)))
+		if s.reg != nil {
+			s.reg.Counter(fmt.Sprintf("engine.shard.%d.matches", i)).Add(uint64(len(ids)))
+		}
+		job.reply <- shardReply{shard: i, ids: ids}
+	}
+}
+
+// Close stops the worker pool. The engine must not be published to
+// afterwards; subscription bookkeeping remains readable.
+func (s *ShardedEngine) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, ch := range s.jobs {
+		close(ch)
+	}
+	s.wg.Wait()
+}
+
+// Shards reports the pool width.
+func (s *ShardedEngine) Shards() int { return len(s.shards) }
+
+// shardOf places a subscription ID deterministically (FNV-1a over the
+// eight ID bytes, folded modulo the pool width).
+func (s *ShardedEngine) shardOf(id message.SubID) int {
+	h := uint64(14695981039346656037)
+	x := uint64(id)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= 1099511628211
+		x >>= 8
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Subscribe implements core.PubSub: the subscription lands on exactly
+// one shard, which canonicalizes and indexes it under its own lock.
+func (s *ShardedEngine) Subscribe(sub message.Subscription) error {
+	return s.shards[s.shardOf(sub.ID)].Subscribe(sub)
+}
+
+// Unsubscribe implements core.PubSub.
+func (s *ShardedEngine) Unsubscribe(id message.SubID) bool {
+	return s.shards[s.shardOf(id)].Unsubscribe(id)
+}
+
+// Subscription implements core.PubSub.
+func (s *ShardedEngine) Subscription(id message.SubID) (message.Subscription, bool) {
+	return s.shards[s.shardOf(id)].Subscription(id)
+}
+
+// Explain implements core.PubSub by delegating to the owning shard.
+func (s *ShardedEngine) Explain(id message.SubID, ev message.Event) (core.Explanation, error) {
+	return s.shards[s.shardOf(id)].Explain(id, ev)
+}
+
+// Mode implements core.PubSub; all shards share one mode.
+func (s *ShardedEngine) Mode() core.Mode { return s.shards[0].Mode() }
+
+// SetMode implements core.PubSub, re-indexing every shard. In-flight
+// publications are excluded for the duration so no event is matched
+// against a half-switched pool.
+func (s *ShardedEngine) SetMode(m core.Mode) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, sh := range s.shards {
+		if err := sh.SetMode(m); err != nil {
+			return fmt.Errorf("overlay: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stage implements core.PubSub (the stage is shared by every shard).
+func (s *ShardedEngine) Stage() *semantic.Stage { return s.shards[0].Stage() }
+
+// MatcherName implements core.PubSub.
+func (s *ShardedEngine) MatcherName() string {
+	return fmt.Sprintf("%s×%d", s.shards[0].MatcherName(), len(s.shards))
+}
+
+// Size implements core.PubSub: total indexed subscriptions.
+func (s *ShardedEngine) Size() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Size()
+	}
+	return n
+}
+
+// Publish implements core.PubSub: expand once, match everywhere, union.
+func (s *ShardedEngine) Publish(ev message.Event) (core.MatchResult, error) {
+	if err := ev.Validate(); err != nil {
+		return core.MatchResult{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return core.MatchResult{}, fmt.Errorf("overlay: sharded engine closed")
+	}
+
+	var res core.MatchResult
+	s.events.Add(1)
+	if s.reg != nil {
+		s.reg.Counter("engine.sharded.publishes").Inc()
+	}
+
+	events := []message.Event{ev}
+	if s.Mode() == core.Semantic {
+		t0 := time.Now()
+		res.Expansion = s.Stage().ProcessEvent(ev)
+		res.SemanticTime = time.Since(t0)
+		events = res.Expansion.Events
+		s.semTime.Add(int64(res.SemanticTime))
+		s.derived.Add(uint64(len(events)))
+		s.rewrites.Add(uint64(res.Expansion.SynonymRewrites))
+		s.hierPairs.Add(uint64(res.Expansion.HierarchyPairs))
+		s.mapPairs.Add(uint64(res.Expansion.MappingPairs))
+		s.mapCalls.Add(uint64(res.Expansion.MappingCalls))
+		if res.Expansion.Truncated {
+			s.truncated.Add(1)
+		}
+	}
+
+	t1 := time.Now()
+	n := len(s.shards)
+	var reply chan shardReply
+	if n > 1 {
+		reply = make(chan shardReply, n-1)
+		for i := 1; i < n; i++ {
+			s.jobs[i] <- matchJob{events: events, reply: reply}
+		}
+	}
+	// Shard 0 runs in the publishing goroutine: it overlaps with the
+	// workers anyway and saves one handoff per publication.
+	ids0 := s.shards[0].MatchEvents(events)
+	s.shardMatches[0].Add(uint64(len(ids0)))
+	if s.reg != nil {
+		s.reg.Counter("engine.shard.0.matches").Add(uint64(len(ids0)))
+	}
+	if n == 1 {
+		res.Matches = ids0
+	} else {
+		// Shards partition the subscription set, so the per-shard
+		// results are disjoint sorted runs: concatenate and sort, no
+		// dedup map needed.
+		parts := make([][]message.SubID, 1, n)
+		parts[0] = ids0
+		total := len(ids0)
+		for i := 1; i < n; i++ {
+			r := <-reply
+			parts = append(parts, r.ids)
+			total += len(r.ids)
+		}
+		out := make([]message.SubID, 0, total)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		res.Matches = out
+	}
+	res.MatchTime = time.Since(t1)
+	return res, nil
+}
+
+// Stats implements core.PubSub: per-shard counters are summed and the
+// publication-level semantic counters (tracked here, since expansion
+// happens once) are layered on top. MatchTime is the sum of per-shard
+// CPU time, which exceeds wall time when shards overlap — by design.
+func (s *ShardedEngine) Stats() core.Stats {
+	var out core.Stats
+	for _, sh := range s.shards {
+		out = out.Merge(sh.Stats())
+	}
+	out.Events += s.events.Load()
+	out.DerivedEvents += s.derived.Load()
+	out.SynonymRewrites += s.rewrites.Load()
+	out.HierarchyPairs += s.hierPairs.Load()
+	out.MappingPairs += s.mapPairs.Load()
+	out.MappingCalls += s.mapCalls.Load()
+	out.Truncated += s.truncated.Load()
+	out.SemanticTime += time.Duration(s.semTime.Load())
+	return out
+}
+
+// ShardMatchCounts snapshots the per-shard match counters.
+func (s *ShardedEngine) ShardMatchCounts() []uint64 {
+	out := make([]uint64, len(s.shardMatches))
+	for i := range s.shardMatches {
+		out[i] = s.shardMatches[i].Load()
+	}
+	return out
+}

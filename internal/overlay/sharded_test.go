@@ -1,0 +1,199 @@
+package overlay
+
+import (
+	"slices"
+	"sync"
+	"testing"
+
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/metrics"
+	"stopss/internal/semantic"
+	"stopss/internal/workload"
+)
+
+// shardedFixture builds a single reference engine and an n-shard pool
+// over the same knowledge base, loaded with the same subscriptions.
+func shardedFixture(t testing.TB, shards, subs int, mode core.Mode) (*core.Engine, *ShardedEngine, []message.Event) {
+	t.Helper()
+	gen, err := workload.New(workload.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := gen.KB().Stage(semantic.FullConfig())
+	single := core.NewEngine(stage, core.WithMode(mode))
+	pool := NewSharded(shards, func(int) *core.Engine {
+		return core.NewEngine(stage, core.WithMode(mode))
+	})
+	t.Cleanup(pool.Close)
+	for _, s := range gen.Subscriptions(subs) {
+		if err := single.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return single, pool, gen.Events(64)
+}
+
+func TestShardedMatchesSingleEngine(t *testing.T) {
+	for _, mode := range []core.Mode{core.Syntactic, core.Semantic} {
+		t.Run(mode.String(), func(t *testing.T) {
+			single, pool, events := shardedFixture(t, 4, 400, mode)
+			if pool.Size() != single.Size() {
+				t.Fatalf("pool indexes %d subs, single %d", pool.Size(), single.Size())
+			}
+			for _, ev := range events {
+				want, err := single.Publish(ev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := pool.Publish(ev)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(got.Matches, want.Matches) {
+					t.Fatalf("event %v: sharded matches %v, single %v", ev, got.Matches, want.Matches)
+				}
+			}
+		})
+	}
+}
+
+func TestShardedDistributesSubscriptions(t *testing.T) {
+	_, pool, _ := shardedFixture(t, 4, 400, core.Syntactic)
+	for i, sh := range pool.shards {
+		if sh.Size() == 0 {
+			t.Errorf("shard %d is empty — hash placement is degenerate", i)
+		}
+	}
+}
+
+func TestShardedUnsubscribeAndLookup(t *testing.T) {
+	_, pool, _ := shardedFixture(t, 3, 50, core.Syntactic)
+	if _, ok := pool.Subscription(17); !ok {
+		t.Fatal("subscription 17 must be retrievable")
+	}
+	if !pool.Unsubscribe(17) {
+		t.Fatal("unsubscribe of a live subscription must report true")
+	}
+	if pool.Unsubscribe(17) {
+		t.Fatal("second unsubscribe must report false")
+	}
+	if _, ok := pool.Subscription(17); ok {
+		t.Fatal("removed subscription must not be retrievable")
+	}
+	if pool.Size() != 49 {
+		t.Fatalf("size = %d after one removal of 50, want 49", pool.Size())
+	}
+}
+
+func TestShardedSetModeReindexes(t *testing.T) {
+	single, pool, events := shardedFixture(t, 4, 200, core.Semantic)
+	if err := single.SetMode(core.Syntactic); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.SetMode(core.Syntactic); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Mode() != core.Syntactic {
+		t.Fatalf("mode = %v after switch", pool.Mode())
+	}
+	for _, ev := range events[:16] {
+		want, _ := single.Publish(ev)
+		got, err := pool.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(got.Matches, want.Matches) {
+			t.Fatalf("post-switch mismatch on %v: %v vs %v", ev, got.Matches, want.Matches)
+		}
+	}
+}
+
+func TestShardedConcurrentPublish(t *testing.T) {
+	single, pool, events := shardedFixture(t, 4, 300, core.Semantic)
+	want := make(map[int][]message.SubID, len(events))
+	for i, ev := range events {
+		r, err := single.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.Matches
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, len(events))
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(events); i += 8 {
+				got, err := pool.Publish(events[i])
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !slices.Equal(got.Matches, want[i]) {
+					errs <- "match divergence under concurrency"
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := pool.Stats()
+	if st.Events != uint64(len(events)) {
+		t.Fatalf("stats.Events = %d, want %d", st.Events, len(events))
+	}
+	var shardTotal uint64
+	for _, c := range pool.ShardMatchCounts() {
+		shardTotal += c
+	}
+	if shardTotal < st.Matches {
+		t.Fatalf("per-shard match counts %d < unioned matches %d", shardTotal, st.Matches)
+	}
+}
+
+func TestShardedRegistryCounters(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gen, err := workload.New(workload.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stage := gen.KB().Stage(semantic.FullConfig())
+	pool := NewSharded(2, func(int) *core.Engine {
+		return core.NewEngine(stage, core.WithMode(core.Syntactic))
+	}, WithRegistry(reg))
+	defer pool.Close()
+	for _, s := range gen.Subscriptions(100) {
+		if err := pool.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ev := range gen.Events(32) {
+		if _, err := pool.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reg.Counter("engine.sharded.publishes").Value(); got != 32 {
+		t.Fatalf("publishes counter = %d, want 32", got)
+	}
+	total := reg.Counter("engine.shard.0.matches").Value() + reg.Counter("engine.shard.1.matches").Value()
+	if total != pool.Stats().Matches {
+		t.Fatalf("registry shard matches %d != stats matches %d", total, pool.Stats().Matches)
+	}
+}
+
+func TestShardedClosedPublishFails(t *testing.T) {
+	pool := NewSharded(2, func(int) *core.Engine { return core.NewEngine(nil) })
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Publish(message.E("x", 1)); err == nil {
+		t.Fatal("publish after Close must fail")
+	}
+}

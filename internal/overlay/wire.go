@@ -1,0 +1,134 @@
+// Package overlay federates S-ToPSS brokers into a multi-node
+// publish/subscribe network: peer brokers connect over TCP and exchange
+// length-prefixed JSON frames that propagate subscriptions (with
+// covering-based pruning), advertisements, and publications.
+//
+// Routing model (the classic content-based federation scheme the
+// Toronto group's later systems use):
+//
+//   - Subscriptions flood away from the subscriber's broker, hop by
+//     hop, so every broker learns which of its links lead to
+//     interested parties. A subscription is NOT forwarded on a link
+//     when an already-forwarded one covers it (matching.Covers): the
+//     covering subscription routes a superset of the covered one's
+//     publications, so the covered entry adds no reachability.
+//     Removing a covering subscription re-advertises whatever it was
+//     suppressing (see coverTable).
+//   - Advertisements flood the same way and are recorded per origin;
+//     with Config.Quench enabled they additionally prune subscription
+//     forwarding (a subscription only travels toward links whose side
+//     has advertised an overlapping event space).
+//   - Publications travel only along links whose recorded remote
+//     subscriptions match, carry the hop list for loop prevention and
+//     a origin-sequence ID for duplicate suppression, and are matched
+//     semantically at every broker they visit.
+//
+// The federation assumes all brokers share one ontology: routing
+// decisions canonicalize remote subscriptions and expand publications
+// with the local semantic stage, which makes the forwarding predicate
+// equivalent to the destination engine's own matching.
+package overlay
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"stopss/internal/message"
+)
+
+// Frame types.
+const (
+	frameHello = "hello" // first frame on a link, carries the node name
+	frameSub   = "sub"   // subscription propagation
+	frameUnsub = "unsub" // subscription withdrawal
+	frameAdv   = "adv"   // advertisement propagation
+	frameUnadv = "unadv" // advertisement withdrawal
+	framePub   = "pub"   // publication forwarding
+)
+
+// Frame is one overlay protocol message. Payload fields are pointers or
+// omit-empty so each frame type serializes only what it carries; the
+// message-layer JSON codecs (internal/message/json.go) are reused for
+// subscriptions, predicates and events.
+type Frame struct {
+	Type string `json:"type"`
+	// Origin names the broker where the carried state was created;
+	// together with Sub.ID (or Client for advertisements) it forms the
+	// overlay-wide identity of the routed entry.
+	Origin string `json:"origin,omitempty"`
+	// Hops lists brokers the frame has visited, in order. A node never
+	// forwards a frame to a peer already in Hops and drops frames that
+	// have looped back to itself.
+	Hops []string `json:"hops,omitempty"`
+
+	Name string `json:"name,omitempty"` // hello: node name
+
+	Sub   *message.Subscription `json:"sub,omitempty"`    // sub
+	SubID message.SubID         `json:"sub_id,omitempty"` // unsub
+
+	Client string              `json:"client,omitempty"` // adv/unadv: publisher
+	Preds  []message.Predicate `json:"preds,omitempty"`  // adv
+
+	Event *message.Event `json:"event,omitempty"`  // pub
+	PubID string         `json:"pub_id,omitempty"` // pub: origin-scoped dedup key
+}
+
+// maxFrameSize bounds one frame on the wire; a subscription or expanded
+// event is a few hundred bytes, so 1 MiB is generous headroom.
+const maxFrameSize = 1 << 20
+
+// writeFrame encodes f as a 4-byte big-endian length prefix followed by
+// the JSON body. The caller serializes concurrent writers.
+func writeFrame(w io.Writer, f Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("overlay: encoding %s frame: %w", f.Type, err)
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("overlay: %s frame of %d bytes exceeds limit", f.Type, len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// readFrame decodes one length-prefixed frame.
+func readFrame(r *bufio.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrameSize {
+		return Frame{}, fmt.Errorf("overlay: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, err
+	}
+	var f Frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return Frame{}, fmt.Errorf("overlay: decoding frame: %w", err)
+	}
+	if f.Type == "" {
+		return Frame{}, fmt.Errorf("overlay: frame missing type")
+	}
+	return f, nil
+}
+
+// visited reports whether node name appears in the hop list.
+func visited(hops []string, name string) bool {
+	for _, h := range hops {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}

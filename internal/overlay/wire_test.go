@@ -1,0 +1,92 @@
+package overlay
+
+import (
+	"bufio"
+	"bytes"
+	"reflect"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	sub := message.NewSubscription(7, "acme",
+		message.Pred("x", message.OpGe, message.Int(10)),
+		message.Pred("city", message.OpEq, message.String("Toronto")))
+	ev := message.E("x", 42, "city", "Toronto")
+
+	frames := []Frame{
+		{Type: frameHello, Name: "broker-a"},
+		{Type: frameSub, Origin: "broker-c", Hops: []string{"broker-c", "broker-b"}, Sub: &sub},
+		{Type: frameUnsub, Origin: "broker-c", SubID: 7, Hops: []string{"broker-c"}},
+		{Type: frameAdv, Origin: "broker-a", Client: "pub-1",
+			Preds: []message.Predicate{message.Pred("x", message.OpGe, message.Int(0))},
+			Hops:  []string{"broker-a"}},
+		{Type: frameUnadv, Origin: "broker-a", Client: "pub-1", Hops: []string{"broker-a"}},
+		{Type: framePub, Origin: "broker-a", PubID: "broker-a/1", Event: &ev, Hops: []string{"broker-a"}},
+	}
+
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatalf("writing %s frame: %v", f.Type, err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range frames {
+		got, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("reading frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Origin != want.Origin ||
+			got.Name != want.Name || got.Client != want.Client ||
+			got.SubID != want.SubID || got.PubID != want.PubID ||
+			!reflect.DeepEqual(got.Hops, want.Hops) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		switch want.Type {
+		case frameSub:
+			if got.Sub == nil || got.Sub.ID != sub.ID || got.Sub.Subscriber != sub.Subscriber ||
+				len(got.Sub.Preds) != len(sub.Preds) {
+				t.Errorf("frame %d: subscription did not survive the round trip: %+v", i, got.Sub)
+			}
+			// A covered event must still satisfy the decoded form.
+			if !got.Sub.Matches(ev) {
+				t.Errorf("frame %d: decoded subscription no longer matches %v", i, ev)
+			}
+		case framePub:
+			if got.Event == nil || !got.Event.Equal(ev) {
+				t.Errorf("frame %d: event did not survive the round trip: %v", i, got.Event)
+			}
+		case frameAdv:
+			if len(got.Preds) != 1 || got.Preds[0].Attr != "x" {
+				t.Errorf("frame %d: advertisement predicates lost: %+v", i, got.Preds)
+			}
+		}
+	}
+	if _, err := readFrame(r); err == nil {
+		t.Error("expected EOF after the last frame")
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	// Length prefix claiming more than the cap.
+	r := bufio.NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 'x'}))
+	if _, err := readFrame(r); err == nil {
+		t.Error("oversized frame length must be rejected")
+	}
+	// Valid length, invalid JSON.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 2})
+	buf.WriteString("{]")
+	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Error("malformed JSON body must be rejected")
+	}
+	// Valid JSON, missing type.
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 2})
+	buf.WriteString("{}")
+	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Error("frame without type must be rejected")
+	}
+}
