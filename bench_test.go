@@ -28,6 +28,7 @@ import (
 	"stopss/internal/ontology"
 	"stopss/internal/overlay"
 	"stopss/internal/semantic"
+	"stopss/internal/sim"
 	"stopss/internal/sublang"
 	"stopss/internal/workload"
 )
@@ -315,6 +316,99 @@ func BenchmarkJobFinderEndToEnd(b *testing.B) {
 		if _, err := br.Publish(resumes[i%len(resumes)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Overlay routing over the in-process sim fabric ---
+
+// simBenchBroker is benchBroker over the simulation transport: no
+// sockets, so the measured cost is pure routing work (framing, cover
+// tables, dedup windows, fan-out decisions).
+func simBenchBroker(b *testing.B, net *sim.Network, name string) (*broker.Broker, *overlay.Node, *benchTransport) {
+	b.Helper()
+	tr := &benchTransport{ch: make(chan struct{}, 4096)}
+	ne, err := notify.NewEngine(notify.Config{Workers: 4, QueueSize: 8192}, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	br := broker.New(core.NewEngine(nil), ne)
+	node, err := overlay.NewNode(overlay.Config{Name: name, Listen: name, Transport: net.Host(name)}, br)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		node.Close()
+		ne.Close()
+	})
+	return br, node, tr
+}
+
+// BenchmarkOverlaySim measures end-to-end delivered-notification
+// throughput across broker chains of increasing depth over the
+// internal/sim fabric — the TCP-free counterpart of BenchmarkOverlay,
+// isolating per-hop routing cost from socket noise.
+func BenchmarkOverlaySim(b *testing.B) {
+	subPreds := []message.Predicate{message.Pred("x", message.OpGe, message.Int(0))}
+	ev := message.E("x", 42)
+
+	for _, hops := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("chain=%d", hops+1), func(b *testing.B) {
+			net := sim.NewNetwork()
+			brokers := make([]*broker.Broker, hops+1)
+			var tailTr *benchTransport
+			for i := 0; i <= hops; i++ {
+				name := fmt.Sprintf("s%d", i)
+				br, node, tr := simBenchBroker(b, net, name)
+				brokers[i] = br
+				tailTr = tr
+				if i > 0 {
+					if err := node.Dial(fmt.Sprintf("s%d", i-1)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			tail := brokers[hops]
+			if err := tail.Register(broker.Client{Name: "sub", Route: notify.Route{Transport: "bench", Addr: "x"}}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tail.Subscribe("sub", subPreds); err != nil {
+				b.Fatal(err)
+			}
+			head := brokers[0]
+			// The subscription floods hop by hop; wait for it to reach
+			// the chain head before timing.
+			for i := 0; i < 400 && head.Stats().Remote.RemoteSubs == 0; i++ {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if head.Stats().Remote.RemoteSubs == 0 {
+				b.Fatal("subscription did not propagate to the chain head")
+			}
+
+			b.ResetTimer()
+			inflight := make(chan struct{}, 512)
+			done := make(chan struct{})
+			go func() {
+				for i := 0; i < b.N; i++ {
+					<-tailTr.ch
+					<-inflight
+				}
+				close(done)
+			}()
+			for i := 0; i < b.N; i++ {
+				inflight <- struct{}{}
+				if _, err := head.Publish(ev); err != nil {
+					b.Fatal(err)
+				}
+			}
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				b.Fatal("notifications did not drain")
+			}
+		})
 	}
 }
 

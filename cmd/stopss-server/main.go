@@ -172,11 +172,12 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			nodeName = opts.Addr
 		}
 		node, err = overlay.NewNode(overlay.Config{
-			Name:     nodeName,
-			Listen:   overlayAddr,
-			Peers:    peers,
-			Registry: reg,
-			Logf:     log.Printf,
+			Name:      nodeName,
+			Listen:    overlayAddr,
+			Peers:     peers,
+			Transport: overlay.TCP(), // production: real sockets
+			Registry:  reg,
+			Logf:      log.Printf,
 		}, b)
 		if err != nil {
 			return err

@@ -4,8 +4,8 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
-	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"stopss/internal/matching"
@@ -46,7 +46,7 @@ const outqCap = 1024
 // goroutine fed by a bounded queue, so callers never block on the
 // network.
 type link struct {
-	conn net.Conn
+	conn Conn
 	bw   *bufio.Writer
 	br   *bufio.Reader
 
@@ -55,6 +55,13 @@ type link struct {
 	outq chan Frame
 	done chan struct{}
 	once sync.Once
+
+	// inflight counts frames accepted by send but not yet flushed onto
+	// the connection. It spans the outbound queue AND the writer's
+	// buffered batch, so a zero value means this link holds no
+	// unserialized outbound work — the property simulation harnesses
+	// poll (via Node.Pending) to detect quiescence without timers.
+	inflight atomic.Int64
 
 	// Per-link frame counters, bound by the Node at attach time so the
 	// hot paths skip registry lookups.
@@ -79,7 +86,7 @@ const handshakeTimeout = 5 * time.Second
 // newLink wraps an accepted or dialed connection and performs the hello
 // exchange: each side sends its node name and reads the peer's. The
 // writer goroutine is not yet running; the handshake writes directly.
-func newLink(conn net.Conn, localName string) (*link, error) {
+func newLink(conn Conn, localName string) (*link, error) {
 	l := &link{
 		conn:      conn,
 		bw:        bufio.NewWriter(conn),
@@ -128,6 +135,7 @@ func (l *link) writer(wg *sync.WaitGroup) {
 	for {
 		select {
 		case f := <-l.outq:
+			batch := int64(1)
 			if err := writeFrame(l.bw, f); err != nil {
 				l.close()
 				return
@@ -140,6 +148,7 @@ func (l *link) writer(wg *sync.WaitGroup) {
 						l.close()
 						return
 					}
+					batch++
 				default:
 					break drain
 				}
@@ -148,6 +157,10 @@ func (l *link) writer(wg *sync.WaitGroup) {
 				l.close()
 				return
 			}
+			// Only after the flush has the batch truly left this node;
+			// decrementing earlier would let Pending read zero while
+			// frames sit in the bufio buffer.
+			l.inflight.Add(-batch)
 		case <-l.done:
 			return
 		}
@@ -162,6 +175,9 @@ func (l *link) send(f Frame) error {
 		return errLinkClosed
 	default:
 	}
+	// Count the frame before enqueueing so there is no instant where it
+	// sits in the queue uncounted (quiescence detection relies on this).
+	l.inflight.Add(1)
 	select {
 	case l.outq <- f:
 		if l.sent != nil {
@@ -169,6 +185,7 @@ func (l *link) send(f Frame) error {
 		}
 		return nil
 	default:
+		l.inflight.Add(-1)
 		l.close()
 		return errLinkSlow
 	}

@@ -1,8 +1,9 @@
 package overlay
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,10 @@ type Config struct {
 	// Peers are addresses dialed at Start. A dial is retried briefly so
 	// a fleet can start in any order.
 	Peers []string
+	// Transport supplies connections; nil means TCP() — real sockets.
+	// Simulation harnesses (internal/sim) inject in-process transports
+	// here to run large topologies and fault scenarios deterministically.
+	Transport Transport
 	// Quench enables advertisement-based subscription pruning: a
 	// subscription is forwarded on a link only when the link has no
 	// recorded advertisements (mixed deployment) or one of them
@@ -43,11 +48,12 @@ type Config struct {
 // it to peers, and frames arriving from peers are applied back onto the
 // broker (DeliverRemote) or propagated onward.
 type Node struct {
-	cfg Config
-	b   *broker.Broker
-	reg *metrics.Registry
+	cfg       Config
+	b         *broker.Broker
+	reg       *metrics.Registry
+	transport Transport
 
-	ln net.Listener
+	ln Listener
 	wg sync.WaitGroup
 
 	mu     sync.Mutex
@@ -60,6 +66,12 @@ type Node struct {
 	seen  map[string]bool
 	seenQ []string
 
+	// epoch makes publication IDs unique across node incarnations: a
+	// broker that crashes and rejoins restarts pubSeq at zero, and
+	// without an epoch its fresh IDs would land in peers' dedup windows
+	// left over from the previous life, silently swallowing its
+	// publications (found by the internal/sim crash/rejoin scenario).
+	epoch  string
 	pubSeq atomic.Uint64
 
 	subsForwarded, subsPruned, subsQuenched, subsReissued *metrics.Counter
@@ -81,11 +93,17 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = TCP()
+	}
 	n := &Node{
-		cfg:  cfg,
-		b:    b,
-		reg:  reg,
-		seen: make(map[string]bool),
+		cfg:       cfg,
+		b:         b,
+		reg:       reg,
+		transport: tr,
+		epoch:     newEpoch(),
+		seen:      make(map[string]bool),
 
 		subsForwarded:    reg.Counter("overlay.subs_forwarded"),
 		subsPruned:       reg.Counter("overlay.subs_pruned"),
@@ -113,14 +131,14 @@ func (n *Node) Addr() string {
 	if n.ln == nil {
 		return ""
 	}
-	return n.ln.Addr().String()
+	return n.ln.Addr()
 }
 
 // Start opens the listener (when configured) and dials every configured
 // peer, synchronizing current broker state onto each link.
 func (n *Node) Start() error {
 	if n.cfg.Listen != "" {
-		ln, err := net.Listen("tcp", n.cfg.Listen)
+		ln, err := n.transport.Listen(n.cfg.Listen)
 		if err != nil {
 			return fmt.Errorf("overlay: listen %s: %w", n.cfg.Listen, err)
 		}
@@ -140,10 +158,10 @@ func (n *Node) Start() error {
 // Dial connects to a peer broker, retrying briefly so fleets can start
 // in any order.
 func (n *Node) Dial(addr string) error {
-	var conn net.Conn
+	var conn Conn
 	var err error
 	for attempt := 0; attempt < 20; attempt++ {
-		conn, err = net.DialTimeout("tcp", addr, handshakeTimeout)
+		conn, err = n.transport.Dial(addr, handshakeTimeout)
 		if err == nil {
 			break
 		}
@@ -155,7 +173,7 @@ func (n *Node) Dial(addr string) error {
 	return n.attach(conn)
 }
 
-func (n *Node) acceptLoop(ln net.Listener) {
+func (n *Node) acceptLoop(ln Listener) {
 	defer n.wg.Done()
 	for {
 		conn, err := ln.Accept()
@@ -165,7 +183,7 @@ func (n *Node) acceptLoop(ln net.Listener) {
 		// Handshake per connection in its own goroutine: one slow or
 		// silent dialer must not stall every other incoming peer for
 		// the handshake timeout.
-		go func(conn net.Conn) {
+		go func(conn Conn) {
 			if err := n.attach(conn); err != nil {
 				n.logf("overlay %s: %v", n.cfg.Name, err)
 			}
@@ -175,7 +193,7 @@ func (n *Node) acceptLoop(ln net.Listener) {
 
 // attach performs the hello exchange, registers the link, synchronizes
 // the node's current routing state onto it, and starts its read loop.
-func (n *Node) attach(conn net.Conn) error {
+func (n *Node) attach(conn Conn) error {
 	l, err := newLink(conn, n.cfg.Name)
 	if err != nil {
 		return err
@@ -297,6 +315,31 @@ func (n *Node) Close() error {
 	return nil
 }
 
+// Pending reports the number of outbound frames this node has accepted
+// for transmission but not yet fully serialized onto a connection
+// (queued on a link or sitting in a writer's flush batch). Simulation
+// harnesses combine it with transport-level idleness to detect overlay
+// quiescence without wall-clock waits; production code has no use for
+// it.
+func (n *Node) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	total := int64(0)
+	for _, l := range n.links {
+		total += l.inflight.Load()
+		// A closed link still registered here awaits its detach: its
+		// peer slot is not yet reusable, so quiescence must not be
+		// declared (a harness could otherwise re-dial and be rejected
+		// as a duplicate peer name).
+		select {
+		case <-l.done:
+			total++
+		default:
+		}
+	}
+	return int(total)
+}
+
 // Peers lists the names of currently connected peers.
 func (n *Node) Peers() []string {
 	n.mu.Lock()
@@ -329,7 +372,7 @@ func (n *Node) SubscriptionChanged(sub message.Subscription, added bool) {
 // PublicationAccepted implements broker.Forwarder for local
 // publications.
 func (n *Node) PublicationAccepted(ev message.Event) {
-	id := fmt.Sprintf("%s/%d", n.cfg.Name, n.pubSeq.Add(1))
+	id := fmt.Sprintf("%s#%s/%d", n.cfg.Name, n.epoch, n.pubSeq.Add(1))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.markSeen(id)
@@ -607,6 +650,21 @@ func (n *Node) markSeen(id string) {
 		delete(n.seen, old)
 	}
 }
+
+// newEpoch returns an 8-hex-char incarnation tag for publication IDs,
+// unique across node restarts (and across processes, so two brokers
+// accidentally sharing a name cannot cross-suppress publications).
+func newEpoch() string {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// No entropy source: fall back to a process-local counter,
+		// which still separates incarnations within one process.
+		return fmt.Sprintf("e%d", epochFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var epochFallback atomic.Uint64
 
 // appendHop returns hops + name in a fresh slice (frames alias their
 // hop lists; sharing backing arrays across links would corrupt paths).

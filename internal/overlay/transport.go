@@ -1,0 +1,88 @@
+package overlay
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// Conn is one bidirectional byte stream between two overlay nodes. It
+// is the minimal surface the overlay needs from a connection: framed
+// reads and writes, teardown, a deadline for the handshake, and an
+// endpoint description for log lines. *net.TCPConn satisfies it via
+// tcpConn; internal/sim provides an in-process implementation.
+type Conn interface {
+	io.Reader
+	io.Writer
+	Close() error
+	// SetDeadline bounds subsequent reads and writes; the zero time
+	// clears it. Transports without a meaningful clock may treat it as
+	// a no-op — the overlay uses deadlines only to bound the hello
+	// exchange against peers that connect and go silent.
+	SetDeadline(t time.Time) error
+	// RemoteAddr describes the peer endpoint for diagnostics.
+	RemoteAddr() string
+}
+
+// Listener accepts inbound overlay connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address peers can dial, resolved (a TCP
+	// listener on ":0" reports the assigned port).
+	Addr() string
+}
+
+// Transport creates overlay connections. Node is programmed entirely
+// against this interface: TCP() is the production implementation, and
+// test harnesses substitute deterministic in-process transports to run
+// large topologies and fault scenarios without sockets.
+type Transport interface {
+	// Listen binds addr for inbound links; the address format is
+	// transport-specific.
+	Listen(addr string) (Listener, error)
+	// Dial opens one connection to addr, giving up after timeout. A
+	// failed dial is retried by the caller (Node.Dial), so Dial itself
+	// must not retry.
+	Dial(addr string, timeout time.Duration) (Conn, error)
+}
+
+// TCP returns the production transport: real TCP sockets via the net
+// package. It is stateless; the zero value is usable and all callers
+// may share one.
+func TCP() Transport { return tcpTransport{} }
+
+type tcpTransport struct{}
+
+func (tcpTransport) Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{ln}, nil
+}
+
+func (tcpTransport) Dial(addr string, timeout time.Duration) (Conn, error) {
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return tcpConn{c}, nil
+}
+
+type tcpListener struct{ ln net.Listener }
+
+func (l tcpListener) Accept() (Conn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return tcpConn{c}, nil
+}
+
+func (l tcpListener) Close() error { return l.ln.Close() }
+func (l tcpListener) Addr() string { return l.ln.Addr().String() }
+
+type tcpConn struct{ net.Conn }
+
+func (c tcpConn) RemoteAddr() string { return c.Conn.RemoteAddr().String() }

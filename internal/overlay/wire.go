@@ -31,6 +31,7 @@ package overlay
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -80,6 +81,15 @@ type Frame struct {
 // event is a few hundred bytes, so 1 MiB is generous headroom.
 const maxFrameSize = 1 << 20
 
+// frameAllocChunk caps the buffer readFrame allocates up front. The
+// length prefix is attacker-controlled until the hello exchange has
+// vetted the peer, so memory beyond this chunk is committed only as
+// body bytes actually arrive.
+const frameAllocChunk = 64 << 10
+
+// errFrameTooLarge reports a length prefix outside (0, maxFrameSize].
+var errFrameTooLarge = fmt.Errorf("overlay: frame length out of range (max %d)", maxFrameSize)
+
 // writeFrame encodes f as a 4-byte big-endian length prefix followed by
 // the JSON body. The caller serializes concurrent writers.
 func writeFrame(w io.Writer, f Frame) error {
@@ -88,7 +98,7 @@ func writeFrame(w io.Writer, f Frame) error {
 		return fmt.Errorf("overlay: encoding %s frame: %w", f.Type, err)
 	}
 	if len(body) > maxFrameSize {
-		return fmt.Errorf("overlay: %s frame of %d bytes exceeds limit", f.Type, len(body))
+		return fmt.Errorf("overlay: %s frame of %d bytes: %w", f.Type, len(body), errFrameTooLarge)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
@@ -99,7 +109,11 @@ func writeFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// readFrame decodes one length-prefixed frame.
+// readFrame decodes one length-prefixed frame. A malformed length
+// prefix can neither allocate unbounded memory (lengths above
+// maxFrameSize are rejected before any body allocation) nor force a
+// large allocation backed by no data (the body buffer grows
+// incrementally as bytes arrive, starting at frameAllocChunk).
 func readFrame(r *bufio.Reader) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -107,14 +121,18 @@ func readFrame(r *bufio.Reader) (Frame, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrameSize {
-		return Frame{}, fmt.Errorf("overlay: frame length %d out of range", n)
+		return Frame{}, fmt.Errorf("overlay: frame length %d: %w", n, errFrameTooLarge)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	var body bytes.Buffer
+	body.Grow(int(min(n, frameAllocChunk)))
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		return Frame{}, err
 	}
 	var f Frame
-	if err := json.Unmarshal(body, &f); err != nil {
+	if err := json.Unmarshal(body.Bytes(), &f); err != nil {
 		return Frame{}, fmt.Errorf("overlay: decoding frame: %w", err)
 	}
 	if f.Type == "" {

@@ -1,0 +1,112 @@
+package overlay
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// frameBytes encodes one frame for seeding the corpus.
+func frameBytes(t *testing.F, f Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrame drives readFrame with arbitrary bytes. Three guarantees:
+// it never panics, it never allocates beyond the frame cap no matter
+// what the length prefix claims, and any frame it accepts survives an
+// encode→decode round trip unchanged (decode∘encode is the identity
+// on decoded frames).
+func FuzzFrame(f *testing.F) {
+	sub := message.NewSubscription(7, "acme",
+		message.Pred("x", message.OpGe, message.Int(10)),
+		message.Pred("city", message.OpEq, message.String("Toronto")))
+	ev := message.E("x", 42, "city", "Toronto")
+	f.Add(frameBytes(f, Frame{Type: frameHello, Name: "broker-a"}))
+	f.Add(frameBytes(f, Frame{Type: frameSub, Origin: "c", Hops: []string{"c", "b"}, Sub: &sub}))
+	f.Add(frameBytes(f, Frame{Type: frameUnsub, Origin: "c", SubID: 7, Hops: []string{"c"}}))
+	f.Add(frameBytes(f, Frame{Type: frameAdv, Origin: "a", Client: "p",
+		Preds: []message.Predicate{message.Between("x", message.Int(0), message.Int(9))}}))
+	f.Add(frameBytes(f, Frame{Type: framePub, Origin: "a", PubID: "a#0/1", Event: &ev, Hops: []string{"a"}}))
+	// Malformed length prefixes: zero, oversized, truncated body.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'})
+	f.Add([]byte{0, 0, 4, 0, '{', '}'})
+	f.Add(binary.BigEndian.AppendUint32(nil, maxFrameSize+1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			if len(data) >= 4 {
+				if n := binary.BigEndian.Uint32(data[:4]); n > maxFrameSize && !errors.Is(err, errFrameTooLarge) {
+					t.Fatalf("length %d rejected with %v, want errFrameTooLarge", n, err)
+				}
+			}
+			return // malformed input rejected: that is the contract
+		}
+		if fr.Type == "" {
+			t.Fatal("readFrame accepted a frame without a type")
+		}
+
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr); err != nil {
+			// JSON string escaping can expand a near-cap body past the
+			// cap on re-encode; only the size limit excuses a failure.
+			if errors.Is(err, errFrameTooLarge) {
+				return
+			}
+			t.Fatalf("re-encoding an accepted frame: %v", err)
+		}
+		fr2, err := readFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-decoding an accepted frame: %v", err)
+		}
+		// Compare via canonical JSON: the first decode may normalize
+		// arbitrary input, but a decoded frame must be a fixpoint.
+		b1, err := json.Marshal(fr)
+		if err != nil {
+			t.Fatalf("marshalling decoded frame: %v", err)
+		}
+		b2, err := json.Marshal(fr2)
+		if err != nil {
+			t.Fatalf("marshalling re-decoded frame: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not stable:\n first: %s\nsecond: %s", b1, b2)
+		}
+	})
+}
+
+// TestReadFrameBoundedAllocation pins the hardening FuzzFrame relies
+// on: a forged length prefix claiming the full 1 MiB backed by no data
+// must not allocate the claimed size up front.
+func TestReadFrameBoundedAllocation(t *testing.T) {
+	hdr := binary.BigEndian.AppendUint32(nil, maxFrameSize)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
+			t.Fatal("truncated 1MiB frame must not decode")
+		}
+	}
+	runtime.ReadMemStats(&after)
+	// Pre-hardening, each forged header committed the full claimed MiB
+	// (rounds × 1 MiB total); incremental allocation stays around the
+	// initial chunk per call. Half the unbounded cost is the dividing
+	// line, leaving headroom for race-detector and runtime noise.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > rounds*maxFrameSize/2 {
+		t.Fatalf("%d forged 1MiB headers allocated %d bytes; prefix-driven allocation is unbounded", rounds, grew)
+	}
+}

@@ -1,0 +1,410 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+	"stopss/internal/overlay"
+)
+
+// seqAttr carries the harness's per-publication sequence number inside
+// each event, which is how deliveries are matched back to publications.
+// Scenario subscriptions must not constrain it.
+const seqAttr = "sim_seq"
+
+// Broker is one simulated overlay participant: a real broker.Broker
+// and overlay.Node wired over the in-process fabric, with a recording
+// notification transport.
+type Broker struct {
+	Name    string
+	B       *broker.Broker
+	Node    *overlay.Node
+	NT      *notify.Engine
+	rec     *recorder
+	crashed bool
+}
+
+// Sub is one scenario subscription, tracked so invariants can be
+// checked against it later. Active is cleared by Cluster.Unsubscribe.
+type Sub struct {
+	BrokerIdx int
+	Client    string
+	ID        message.SubID
+	Preds     []message.Predicate
+	Active    bool
+}
+
+// Pub is one scenario publication together with the outcome expected
+// of it, frozen at publish time: the set of then-active subscriptions
+// that match the event AND whose broker was then reachable from the
+// origin.
+type Pub struct {
+	Seq      int
+	Origin   int
+	Event    message.Event
+	Expected map[*Sub]bool
+}
+
+// Cluster wires N brokers over one Network and drives scenarios:
+// topology construction, subscriptions, publications, fault injection,
+// and invariant verification.
+type Cluster struct {
+	tb      testing.TB
+	Net     *Network
+	Brokers []*Broker
+
+	edges map[[2]int]bool // configured topology
+	live  map[[2]int]bool // edges currently connected
+	subs  []*Sub
+	pubs  []*Pub
+	seq   int
+}
+
+// NewCluster builds n brokers (named b00, b01, …) with started overlay
+// nodes listening on the fabric, but no links; callers wire a topology
+// with Wire or Connect. Cleanup is registered on tb.
+func NewCluster(tb testing.TB, n int) *Cluster {
+	tb.Helper()
+	c := &Cluster{
+		tb:    tb,
+		Net:   NewNetwork(),
+		edges: make(map[[2]int]bool),
+		live:  make(map[[2]int]bool),
+	}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("b%02d", i)
+		rec := newRecorder()
+		nt, err := notify.NewEngine(notify.Config{Workers: 2, QueueSize: 1 << 16}, rec)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		b := &Broker{
+			Name: name,
+			B:    broker.New(core.NewEngine(nil), nt),
+			NT:   nt,
+			rec:  rec,
+		}
+		c.startNode(b)
+		c.Brokers = append(c.Brokers, b)
+	}
+	tb.Cleanup(func() {
+		for _, b := range c.Brokers {
+			if !b.crashed {
+				b.Node.Close()
+			}
+			b.NT.Close()
+		}
+	})
+	return c
+}
+
+// startNode creates and starts a fresh overlay node for b (initial
+// start and rejoin share this).
+func (c *Cluster) startNode(b *Broker) {
+	c.tb.Helper()
+	node, err := overlay.NewNode(overlay.Config{
+		Name:      b.Name,
+		Listen:    b.Name, // fabric addresses are just names
+		Transport: c.Net.Host(b.Name),
+	}, b.B)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		c.tb.Fatal(err)
+	}
+	b.Node = node
+	b.crashed = false
+}
+
+// Connect links brokers i and j (j dials i) and records the edge as
+// part of the configured topology.
+func (c *Cluster) Connect(i, j int) {
+	c.tb.Helper()
+	if err := c.Brokers[j].Node.Dial(c.Brokers[i].Name); err != nil {
+		c.tb.Fatalf("sim: connecting %d-%d: %v", i, j, err)
+	}
+	e := edge(i, j)
+	c.edges[e] = true
+	c.live[e] = true
+}
+
+// Wire connects every edge of a topology and settles the cluster.
+func (c *Cluster) Wire(edges [][2]int) {
+	c.tb.Helper()
+	for _, e := range edges {
+		c.Connect(e[0], e[1])
+	}
+	c.Settle()
+}
+
+// Subscribe registers a fresh client on broker i with a recording
+// route and subscribes it. The subscription is tracked for invariant
+// checking.
+func (c *Cluster) Subscribe(i int, preds ...message.Predicate) *Sub {
+	c.tb.Helper()
+	b := c.Brokers[i]
+	client := fmt.Sprintf("%s-c%d", b.Name, len(c.subs))
+	if err := b.B.Register(broker.Client{Name: client, Route: notify.Route{Transport: "sim", Addr: client}}); err != nil {
+		c.tb.Fatal(err)
+	}
+	id, err := b.B.Subscribe(client, preds)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	s := &Sub{BrokerIdx: i, Client: client, ID: id, Preds: preds, Active: true}
+	c.subs = append(c.subs, s)
+	return s
+}
+
+// Unsubscribe withdraws a tracked subscription; publications after this
+// point expect no delivery to it.
+func (c *Cluster) Unsubscribe(s *Sub) {
+	c.tb.Helper()
+	if err := c.Brokers[s.BrokerIdx].B.Unsubscribe(s.Client, s.ID); err != nil {
+		c.tb.Fatal(err)
+	}
+	s.Active = false
+}
+
+// Publish emits an event (attribute/value pairs as in message.E) from
+// broker i, stamping it with a sequence attribute and freezing the
+// expected delivery set: active matching subscriptions on brokers
+// reachable from i over live links.
+func (c *Cluster) Publish(i int, kv ...any) *Pub {
+	c.tb.Helper()
+	c.seq++
+	ev := message.E(append(append([]any{}, kv...), seqAttr, c.seq)...)
+	p := &Pub{Seq: c.seq, Origin: i, Event: ev, Expected: make(map[*Sub]bool)}
+	reach := c.reachable(i)
+	for _, s := range c.subs {
+		if s.Active && reach[s.BrokerIdx] && message.NewSubscription(s.ID, s.Client, s.Preds...).Matches(ev) {
+			p.Expected[s] = true
+		}
+	}
+	if _, err := c.Brokers[i].B.Publish(ev); err != nil {
+		c.tb.Fatal(err)
+	}
+	c.pubs = append(c.pubs, p)
+	return p
+}
+
+// Crash closes broker i's overlay node: every link drops, its listener
+// closes, and peers detach. The broker itself (subscriptions, clients)
+// survives, modelling a connectivity failure of one process.
+func (c *Cluster) Crash(i int) {
+	c.tb.Helper()
+	b := c.Brokers[i]
+	b.Node.Close()
+	b.crashed = true
+	for e := range c.live {
+		if e[0] == i || e[1] == i {
+			delete(c.live, e)
+		}
+	}
+	c.Settle()
+}
+
+// Rejoin restarts broker i's overlay node on the same broker state and
+// re-dials every configured edge whose far end is up and not
+// partitioned away.
+func (c *Cluster) Rejoin(i int) {
+	c.tb.Helper()
+	b := c.Brokers[i]
+	if !b.crashed {
+		c.tb.Fatalf("sim: broker %d is not crashed", i)
+	}
+	c.startNode(b)
+	for e := range c.edges {
+		if e[0] != i && e[1] != i {
+			continue
+		}
+		other := e[0] + e[1] - i
+		if c.Brokers[other].crashed || c.Net.cut(b.Name, c.Brokers[other].Name) {
+			continue
+		}
+		if err := b.Node.Dial(c.Brokers[other].Name); err != nil {
+			c.tb.Fatalf("sim: rejoin dial %d-%d: %v", i, other, err)
+		}
+		c.live[e] = true
+	}
+	c.Settle()
+}
+
+// Partition splits the cluster: the given brokers on one side,
+// everyone else on the other. Links crossing the cut are severed and
+// new dials across it fail until Heal.
+func (c *Cluster) Partition(group ...int) {
+	c.tb.Helper()
+	side := make(map[string]bool)
+	in := make(map[int]bool)
+	for _, i := range group {
+		in[i] = true
+		side[c.Brokers[i].Name] = true
+	}
+	c.Net.SetLinkFilter(func(a, b string) bool { return side[a] != side[b] })
+	for e := range c.live {
+		if in[e[0]] != in[e[1]] {
+			delete(c.live, e)
+		}
+	}
+	c.Settle()
+}
+
+// Heal lifts the partition and re-dials every configured edge that is
+// currently down between live brokers.
+func (c *Cluster) Heal() {
+	c.tb.Helper()
+	c.Net.SetLinkFilter(nil)
+	for e := range c.edges {
+		if c.live[e] || c.Brokers[e[0]].crashed || c.Brokers[e[1]].crashed {
+			continue
+		}
+		if err := c.Brokers[e[1]].Node.Dial(c.Brokers[e[0]].Name); err != nil {
+			c.tb.Fatalf("sim: heal dial %d-%d: %v", e[0], e[1], err)
+		}
+		c.live[e] = true
+	}
+	c.Settle()
+}
+
+// Settle blocks until the overlay is quiescent — no bytes on any
+// stream, every stream reader parked, no node holding unflushed frames
+// — stably across several consecutive observations, then drains every
+// notifier so delivery assertions see all notifications. It never
+// sleeps for effect; the deadline exists only to fail loudly instead
+// of hanging if the overlay livelocks.
+func (c *Cluster) Settle() {
+	c.tb.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	misses := 0
+	for quiet := 0; quiet < 3; {
+		if time.Now().After(deadline) {
+			c.tb.Fatal("sim: cluster did not quiesce within 30s")
+		}
+		if c.quiesced() {
+			quiet++
+		} else {
+			quiet = 0
+			if misses++; misses%256 == 0 {
+				time.Sleep(time.Millisecond) // be kind to the scheduler on long settles
+			}
+		}
+		runtime.Gosched()
+	}
+	for _, b := range c.Brokers {
+		if !b.NT.Drain(10 * time.Second) {
+			c.tb.Fatalf("sim: notifier of %s did not drain", b.Name)
+		}
+	}
+}
+
+func (c *Cluster) quiesced() bool {
+	if !c.Net.Quiet() {
+		return false
+	}
+	for _, b := range c.Brokers {
+		if !b.crashed && b.Node.Pending() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyExactlyOnce asserts the end-to-end routing invariant over the
+// whole scenario so far: every publication was delivered exactly once
+// to each subscription in its expected set, and never to any other.
+// Call after Settle.
+func (c *Cluster) VerifyExactlyOnce() {
+	c.tb.Helper()
+	for _, p := range c.pubs {
+		for _, s := range c.subs {
+			want := 0
+			if p.Expected[s] {
+				want = 1
+			}
+			got := c.Brokers[s.BrokerIdx].rec.count(s.Client, s.ID, p.Seq)
+			if got != want {
+				c.tb.Errorf("pub %d (from %s): subscriber %s/sub %d on %s delivered %d times, want %d",
+					p.Seq, c.Brokers[p.Origin].Name, s.Client, s.ID, c.Brokers[s.BrokerIdx].Name, got, want)
+			}
+		}
+	}
+}
+
+// reachable returns the set of broker indexes reachable from origin
+// over live links (always including origin: local delivery needs no
+// overlay).
+func (c *Cluster) reachable(origin int) map[int]bool {
+	adj := make(map[int][]int)
+	for e := range c.live {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	seen := map[int]bool{origin: true}
+	queue := []int{origin}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return seen
+}
+
+func edge(i, j int) [2]int {
+	if i > j {
+		i, j = j, i
+	}
+	return [2]int{i, j}
+}
+
+// recorder is the notification transport of simulated brokers: it
+// counts deliveries keyed by subscriber, subscription and publication
+// sequence.
+type recorder struct {
+	mu     sync.Mutex
+	counts map[deliveryKey]int
+}
+
+type deliveryKey struct {
+	subscriber string
+	id         message.SubID
+	seq        int
+}
+
+func newRecorder() *recorder {
+	return &recorder{counts: make(map[deliveryKey]int)}
+}
+
+func (r *recorder) Name() string { return "sim" }
+
+func (r *recorder) Send(_ string, n notify.Notification) error {
+	seq := -1
+	if v, ok := n.Event.Get(seqAttr); ok {
+		seq = int(v.IntVal())
+	}
+	r.mu.Lock()
+	r.counts[deliveryKey{n.Subscriber, n.SubID, seq}]++
+	r.mu.Unlock()
+	return nil
+}
+
+func (r *recorder) Close() error { return nil }
+
+func (r *recorder) count(subscriber string, id message.SubID, seq int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[deliveryKey{subscriber, id, seq}]
+}

@@ -1,0 +1,322 @@
+// Package sim is a deterministic multi-broker simulation harness for
+// the overlay (internal/overlay): an in-process, channel-based
+// implementation of overlay.Transport plus a cluster harness that
+// builds arbitrary topologies (line, ring, star, random mesh), injects
+// faults (link cut, partition, broker crash and rejoin, stalled links
+// that exercise the bounded write queue), and asserts end-to-end
+// routing invariants — above all that every matching subscriber
+// receives each publication exactly once.
+//
+// The harness is clock-free: instead of sleeping and hoping the
+// network has settled, Cluster.Settle detects quiescence structurally.
+// The fabric knows how many bytes are buffered on every stream and
+// whether each stream's reader is parked waiting for input; the
+// overlay contributes Node.Pending, which counts frames accepted for
+// transmission but not yet flushed. When no stream holds bytes, every
+// reader is parked and no node holds pending frames, nothing is in
+// flight anywhere — the overlay has converged and invariants can be
+// asserted. No assertion depends on a timer ever being "long enough".
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"stopss/internal/overlay"
+)
+
+// Network is an in-process transport fabric. Hosts obtained from it
+// exchange bytes through buffered in-memory pipes; the Network tracks
+// every stream so it can report global quiescence and inject faults.
+type Network struct {
+	mu        sync.Mutex
+	listeners map[string]*listener
+	pipes     []*pipe
+	// blocked, when set, cuts links between endpoint pairs for which it
+	// returns true (applied symmetrically). Dials between blocked pairs
+	// fail; SetLinkFilter also severs existing pipes.
+	blocked func(a, b string) bool
+}
+
+// NewNetwork creates an empty fabric.
+func NewNetwork() *Network {
+	return &Network{listeners: make(map[string]*listener)}
+}
+
+// Host returns a Transport whose dials originate from the named host.
+// Endpoint names label every stream, which is what lets partitions and
+// per-link faults target "the link between a and b".
+func (n *Network) Host(name string) overlay.Transport {
+	return host{net: n, name: name}
+}
+
+// SetLinkFilter installs (or clears, with nil) the partition predicate:
+// pairs for which it returns true (in either argument order) cannot
+// communicate. Existing streams between such pairs are severed
+// immediately, which the overlay observes as link failure.
+func (n *Network) SetLinkFilter(f func(a, b string) bool) {
+	n.mu.Lock()
+	n.blocked = f
+	pipes := append([]*pipe(nil), n.pipes...)
+	n.mu.Unlock()
+	if f == nil {
+		return
+	}
+	for _, p := range pipes {
+		if f(p.dialHost, p.acceptHost) || f(p.acceptHost, p.dialHost) {
+			p.close()
+		}
+	}
+}
+
+// Stall suspends (stalled=true) or resumes writes travelling from one
+// host to another on every current stream between them. A stalled
+// direction models a peer that stops draining its socket: the sender's
+// writer goroutine blocks, its bounded queue fills, and the overlay's
+// slow-peer protection must sacrifice the link.
+func (n *Network) Stall(from, to string, stalled bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.pipes {
+		for _, h := range [2]*half{p.d2a, p.a2d} {
+			if h.from == from && h.to == to {
+				h.mu.Lock()
+				h.stalled = stalled
+				h.cond.Broadcast()
+				h.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Quiet reports whether the fabric holds no work: every open stream is
+// empty AND has a reader parked on it. A stream whose reader is not
+// parked is either still handshaking or processing a frame, so the
+// fabric is not quiet. Callers combine Quiet with Node.Pending()==0
+// (and poll for stability) to detect overlay quiescence.
+func (n *Network) Quiet() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	quiet := true
+	live := n.pipes[:0] // prune dead pipes so polls stay O(live streams)
+	for _, p := range n.pipes {
+		dead := true
+		for _, h := range [2]*half{p.d2a, p.a2d} {
+			h.mu.Lock()
+			if !h.closed {
+				dead = false
+				if h.buf.Len() != 0 || h.readers == 0 {
+					quiet = false
+				}
+			}
+			h.mu.Unlock()
+		}
+		if !dead {
+			live = append(live, p)
+		}
+	}
+	n.pipes = live
+	return quiet
+}
+
+func (n *Network) cut(a, b string) bool {
+	if n.blocked == nil {
+		return false
+	}
+	return n.blocked(a, b) || n.blocked(b, a)
+}
+
+// host is one endpoint's view of the Network.
+type host struct {
+	net  *Network
+	name string
+}
+
+func (h host) Listen(addr string) (overlay.Listener, error) {
+	n := h.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.listeners[addr]; dup {
+		return nil, fmt.Errorf("sim: address %q already in use", addr)
+	}
+	l := &listener{
+		net:     n,
+		addr:    addr,
+		owner:   h.name,
+		backlog: make(chan *conn, 64),
+		closed:  make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+func (h host) Dial(addr string, _ time.Duration) (overlay.Conn, error) {
+	n := h.net
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("sim: no listener on %q", addr)
+	}
+	if n.cut(h.name, l.owner) {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("sim: link %s-%s is partitioned", h.name, l.owner)
+	}
+	p := newPipe(h.name, l.owner)
+	n.pipes = append(n.pipes, p)
+	n.mu.Unlock()
+	select {
+	case l.backlog <- p.acceptSide:
+		return p.dialSide, nil
+	case <-l.closed:
+		p.close()
+		return nil, fmt.Errorf("sim: listener %q closed", addr)
+	}
+}
+
+type listener struct {
+	net     *Network
+	addr    string
+	owner   string
+	backlog chan *conn
+	closed  chan struct{}
+	once    sync.Once
+}
+
+func (l *listener) Accept() (overlay.Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("sim: listener %q closed", l.addr)
+	}
+}
+
+func (l *listener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+		// Sever dials parked in the backlog so their handshake bytes
+		// cannot hold the fabric non-quiet forever.
+		for {
+			select {
+			case c := <-l.backlog:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+func (l *listener) Addr() string { return l.addr }
+
+// pipe is one bidirectional stream: two directed halves plus the two
+// conn endpoints handed to the overlay.
+type pipe struct {
+	dialHost, acceptHost string
+	d2a, a2d             *half // dialer→acceptor, acceptor→dialer
+	dialSide, acceptSide *conn
+}
+
+func newPipe(dialHost, acceptHost string) *pipe {
+	p := &pipe{
+		dialHost:   dialHost,
+		acceptHost: acceptHost,
+		d2a:        newHalf(dialHost, acceptHost),
+		a2d:        newHalf(acceptHost, dialHost),
+	}
+	p.dialSide = &conn{p: p, rd: p.a2d, wr: p.d2a, remote: acceptHost}
+	p.acceptSide = &conn{p: p, rd: p.d2a, wr: p.a2d, remote: dialHost}
+	return p
+}
+
+// close severs both directions; parked readers and writers wake with an
+// error, exactly like a TCP connection reset.
+func (p *pipe) close() {
+	p.d2a.close()
+	p.a2d.close()
+}
+
+// half is one direction of a pipe: a buffered byte stream with blocking
+// reads, optional write stalling, and the instrumentation Quiet needs.
+type half struct {
+	from, to string
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      bytes.Buffer
+	stalled  bool
+	closed   bool
+	// readers counts goroutines currently parked inside Read waiting
+	// for bytes. A zero count on an open, empty stream means its
+	// consumer is busy (handshaking or handling a frame) — not quiet.
+	readers int
+}
+
+func newHalf(from, to string) *half {
+	h := &half{from: from, to: to}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *half) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.stalled && !h.closed {
+		h.cond.Wait()
+	}
+	if h.closed {
+		return 0, fmt.Errorf("sim: write on severed link %s->%s", h.from, h.to)
+	}
+	n, _ := h.buf.Write(p) // bytes.Buffer.Write never fails
+	h.cond.Broadcast()
+	return n, nil
+}
+
+func (h *half) Read(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for h.buf.Len() == 0 && !h.closed {
+		h.readers++
+		h.cond.Wait()
+		h.readers--
+	}
+	if h.buf.Len() > 0 {
+		return h.buf.Read(p)
+	}
+	return 0, fmt.Errorf("sim: link %s->%s severed", h.from, h.to)
+}
+
+func (h *half) close() {
+	h.mu.Lock()
+	// Undelivered bytes are lost with the link (and must not keep the
+	// fabric looking busy).
+	h.buf.Reset()
+	h.closed = true
+	h.cond.Broadcast()
+	h.mu.Unlock()
+}
+
+// conn is one endpoint of a pipe, satisfying overlay.Conn.
+type conn struct {
+	p      *pipe
+	rd, wr *half
+	remote string
+}
+
+func (c *conn) Read(p []byte) (int, error)  { return c.rd.Read(p) }
+func (c *conn) Write(p []byte) (int, error) { return c.wr.Write(p) }
+func (c *conn) Close() error                { c.p.close(); return nil }
+func (c *conn) RemoteAddr() string          { return c.remote }
+
+// SetDeadline is a no-op: the simulation is clock-free, and the
+// overlay's only deadline bounds a handshake that in-process peers
+// always complete.
+func (c *conn) SetDeadline(time.Time) error { return nil }

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"stopss/internal/message"
+)
+
+func ge(attr string, v int) message.Predicate {
+	return message.Pred(attr, message.OpGe, message.Int(int64(v)))
+}
+
+// remote sums one RemoteStats field over all brokers.
+func (c *Cluster) remote(f func(b *Broker) uint64) uint64 {
+	var total uint64
+	for _, b := range c.Brokers {
+		if !b.crashed {
+			total += f(b)
+		}
+	}
+	return total
+}
+
+// TestLineCoveringReissue replays the covering scenario on the sim
+// fabric: on a 4-broker line, a broad subscription at b1 covers a
+// narrow one from b3 on the b1→b0 link; pruning must never suppress a
+// delivery, and withdrawing the coverer must reissue the covered
+// route.
+func TestLineCoveringReissue(t *testing.T) {
+	c := NewCluster(t, 4)
+	c.Wire(Line(4))
+
+	broad := c.Subscribe(1, ge("x", 0))
+	c.Subscribe(3, ge("x", 10))
+	c.Settle()
+
+	if got := c.Brokers[1].B.Stats().Remote.SubsPruned; got < 1 {
+		t.Fatalf("b01 pruned %d subscriptions, want >=1 (broad covers narrow toward b00)", got)
+	}
+
+	// Both publications enter at b0, behind the pruned link: covering
+	// must still route them to everyone entitled.
+	c.Publish(0, "x", 5)  // matches broad only
+	c.Publish(0, "x", 42) // matches both
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	// Withdrawing the coverer must reissue the narrow route to b0 …
+	c.Unsubscribe(broad)
+	c.Settle()
+	if got := c.Brokers[1].B.Stats().Remote.SubsReissued; got < 1 {
+		t.Fatalf("b01 reissued %d subscriptions, want >=1 after the coverer withdrew", got)
+	}
+	// … so post-withdrawal publications still reach the narrow
+	// subscriber (and nobody else).
+	c.Publish(0, "x", 99) // narrow only (broad is gone)
+	c.Publish(0, "x", 5)  // matches nothing now
+	c.Settle()
+	c.VerifyExactlyOnce()
+}
+
+// TestRingExactlyOnce: a cycle gives every publication two paths to
+// each subscriber; duplicate suppression must reduce that to exactly
+// one delivery.
+func TestRingExactlyOnce(t *testing.T) {
+	c := NewCluster(t, 5)
+	c.Wire(Ring(5))
+
+	c.Subscribe(0, ge("x", 0))
+	c.Subscribe(2, ge("x", 50))
+	c.Subscribe(3, message.Pred("y", message.OpEq, message.String("jobs")))
+	c.Settle()
+
+	for i := 0; i < 5; i++ {
+		c.Publish(i, "x", i*25)
+		c.Publish(i, "y", "jobs")
+	}
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	if got := c.remote(func(b *Broker) uint64 { return b.B.Stats().Remote.PubsDeduped }); got == 0 {
+		t.Fatal("no duplicate publications suppressed in a cyclic topology")
+	}
+}
+
+// TestStarFanout: hub-and-spoke with subscribers on every leaf; the
+// hub must fan each publication out only to matching leaves.
+func TestStarFanout(t *testing.T) {
+	c := NewCluster(t, 8)
+	c.Wire(Star(8))
+
+	for i := 1; i < 8; i++ {
+		c.Subscribe(i, ge("x", i*10))
+	}
+	c.Settle()
+
+	c.Publish(0, "x", 35)  // leaves 1..3
+	c.Publish(4, "x", 100) // everyone
+	c.Publish(7, "x", 0)   // no one
+	c.Settle()
+	c.VerifyExactlyOnce()
+}
+
+// TestCrashRejoinPublishes guards the publication-ID epoch: a node
+// that crashes and rejoins restarts its sequence numbers, and its
+// fresh publications must not be swallowed by dedup state peers retain
+// from its previous incarnation.
+func TestCrashRejoinPublishes(t *testing.T) {
+	c := NewCluster(t, 2)
+	c.Wire(Line(2))
+
+	c.Subscribe(1, ge("x", 0))
+	c.Settle()
+
+	for i := 0; i < 3; i++ {
+		c.Publish(0, "x", i)
+	}
+	c.Settle()
+
+	c.Crash(0)
+	c.Rejoin(0)
+
+	// Sequence numbers 1..3 are reused by the new incarnation; each
+	// must still be delivered.
+	for i := 0; i < 3; i++ {
+		c.Publish(0, "x", 100+i)
+	}
+	c.Settle()
+	c.VerifyExactlyOnce()
+}
+
+// TestSlowLinkShedsPeer stalls one direction of a link so the peer
+// stops draining: the sender's bounded write queue must fill and the
+// overlay must sacrifice the link rather than block, leaving the
+// sender fully functional for local work.
+func TestSlowLinkShedsPeer(t *testing.T) {
+	c := NewCluster(t, 2)
+	c.Wire(Line(2))
+
+	c.Subscribe(1, ge("x", 0))
+	c.Settle()
+
+	c.Net.Stall("b00", "b01", true)
+	// Each publication queues one frame toward the stalled peer. Total
+	// buffering between sender and stalled stream (bounded queue of
+	// 1024 + the writer's bufio batch) is far below 2000, so the queue
+	// MUST overflow within the loop and slow-peer protection MUST close
+	// the link — no timers involved.
+	for i := 0; i < 2000; i++ {
+		if _, err := c.Brokers[0].B.Publish(message.E("x", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The close is observed by the link's reader, which detaches it
+	// asynchronously; yield until the peer list reflects it.
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c.Brokers[0].Node.Peers()) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled link was never sacrificed; slow-peer protection is broken")
+		}
+		runtime.Gosched()
+	}
+	c.Net.Stall("b00", "b01", false)
+	c.Settle()
+
+	// The sender sheds the peer but keeps serving local subscribers.
+	c.Subscribe(0, ge("z", 0))
+	res, err := c.Brokers[0].B.Publish(message.E("z", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Notified != 1 {
+		t.Fatalf("local delivery after shedding the peer: notified %d, want 1", res.Notified)
+	}
+}
+
+// TestMeshFaultScenario is the acceptance scenario: a 16-broker random
+// mesh runs subscriptions with covering overlap, then survives a
+// partition, a heal, a subscription withdrawal, and a broker
+// crash/rejoin — asserting after every phase that each matching
+// subscriber received each publication exactly once.
+func TestMeshFaultScenario(t *testing.T) {
+	const n = 16
+	c := NewCluster(t, n)
+	c.Wire(Mesh(n, 8, 42))
+
+	// Nested x-thresholds force covering pruning; y-equality subs add
+	// disjoint interest; a between adds a bounded range.
+	broad := c.Subscribe(0, ge("x", 0))
+	for i := 2; i < n; i += 2 {
+		c.Subscribe(i, ge("x", i*6))
+	}
+	c.Subscribe(3, message.Pred("y", message.OpEq, message.String("jobs")))
+	c.Subscribe(9, message.Pred("y", message.OpEq, message.String("talks")))
+	c.Subscribe(5, message.Between("x", message.Int(20), message.Int(40)))
+	c.Settle()
+
+	if got := c.remote(func(b *Broker) uint64 { return b.B.Stats().Remote.SubsPruned }); got == 0 {
+		t.Fatal("no covering pruning in a mesh with nested subscriptions")
+	}
+
+	// Round 1: healthy mesh.
+	for i := 0; i < n; i += 3 {
+		c.Publish(i, "x", (i*17)%97)
+	}
+	c.Publish(1, "y", "jobs")
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	// Round 2: partition into two halves; deliveries stay within each
+	// side (Publish freezes per-publication reachability).
+	c.Partition(0, 1, 2, 3, 4, 5, 6, 7)
+	c.Publish(2, "x", 33)
+	c.Publish(12, "x", 80)
+	c.Publish(9, "y", "talks")
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	// Round 3: heal, withdraw the broadest subscription (uncovering
+	// everything it suppressed), publish again.
+	c.Heal()
+	c.Unsubscribe(broad)
+	c.Settle()
+	c.Publish(7, "x", 90)
+	c.Publish(0, "x", 25)
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	// Round 4: crash a broker holding a subscription; it becomes
+	// unreachable (its own local deliveries still work).
+	c.Crash(5)
+	c.Publish(0, "x", 30) // in 5's between-range, but 5 is down
+	c.Publish(5, "x", 30) // local-only delivery at the crashed broker
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	// Round 5: rejoin and publish both from and toward the rejoined
+	// broker.
+	c.Rejoin(5)
+	c.Publish(5, "x", 95)
+	c.Publish(10, "x", 22)
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	if got := c.remote(func(b *Broker) uint64 { return b.B.Stats().Remote.PubsDeduped }); got == 0 {
+		t.Fatal("no duplicates suppressed across a cyclic mesh scenario")
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import "math/rand"
+
+// Line returns the edges of a path b0—b1—…—b(n-1).
+func Line(n int) [][2]int {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i - 1, i})
+	}
+	return edges
+}
+
+// Ring returns a cycle over n brokers — the smallest topology with
+// redundant paths, exercising duplicate suppression.
+func Ring(n int) [][2]int {
+	edges := Line(n)
+	if n > 2 {
+		edges = append(edges, [2]int{0, n - 1})
+	}
+	return edges
+}
+
+// Star returns a hub-and-spoke topology with broker 0 as the hub.
+func Star(n int) [][2]int {
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{0, i})
+	}
+	return edges
+}
+
+// Mesh returns a connected random topology: a random spanning tree
+// (guaranteeing connectivity) plus extra random chords (creating
+// cycles). Deterministic for a given seed.
+func Mesh(n, extra int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	have := make(map[[2]int]bool)
+	var edges [][2]int
+	add := func(i, j int) {
+		e := edge(i, j)
+		if i != j && !have[e] {
+			have[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for k := 1; k < n; k++ {
+		add(perm[k], perm[rng.Intn(k)])
+	}
+	budget := 20 * extra // fixed up front: the bound must not shrink as chords land
+	for attempts := 0; extra > 0 && attempts < budget; attempts++ {
+		before := len(edges)
+		add(rng.Intn(n), rng.Intn(n))
+		if len(edges) > before {
+			extra--
+		}
+	}
+	return edges
+}
