@@ -3,11 +3,18 @@
 // reports a summary or the first error. With several inputs the compiled
 // ontologies are merged (multi-domain check).
 //
+// With -delta it instead diffs exactly two compiled ontologies and
+// emits the knowledge-delta log (one JSON delta per line) that evolves
+// the first into the second — the input format of the stopss-server
+// -kb-watch flag and POST /api/kb admin endpoint, which replicate the
+// deltas across the broker federation at runtime.
+//
 // Usage:
 //
 //	ontc jobs.odl
 //	ontc -normalize -prefix jobs.odl autos.odl
-//	ontc -builtin            # compile the embedded job-finder/autos domains
+//	ontc -builtin                  # compile the embedded job-finder/autos domains
+//	ontc -delta old.odl new.odl > update.jsonl
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"stopss/internal/knowledge"
 	"stopss/internal/ontology"
 	"stopss/internal/workload"
 )
@@ -24,6 +32,7 @@ func main() {
 	prefix := flag.Bool("prefix", false, "prefix rule names with their domain")
 	builtin := flag.Bool("builtin", false, "compile the embedded jobs and autos ontologies")
 	format := flag.Bool("fmt", false, "print each input reformatted in canonical ODL instead of compiling")
+	delta := flag.Bool("delta", false, "diff two ontologies (old new) and print a JSONL knowledge-delta log")
 	flag.Parse()
 
 	opts := ontology.Options{Normalize: *normalize, Prefix: *prefix}
@@ -59,6 +68,42 @@ func main() {
 			}
 			fmt.Print(ontology.Format(doc))
 		}
+		return
+	}
+
+	if *delta {
+		if len(inputs) != 2 {
+			fmt.Fprintln(os.Stderr, "ontc: -delta needs exactly two inputs: old.odl new.odl")
+			os.Exit(2)
+		}
+		var structs [2]knowledge.Structures
+		for i, in := range inputs {
+			ont, err := ontology.Load(in.src, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ontc: %s: %v\n", in.name, err)
+				os.Exit(1)
+			}
+			structs[i] = knowledge.Structures{
+				Synonyms: ont.Synonyms, Hierarchy: ont.Hierarchy, Mappings: ont.Mappings,
+			}
+		}
+		deltas, warnings, err := knowledge.Diff(structs[0], structs[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ontc: diff: %v\n", err)
+			os.Exit(1)
+		}
+		for _, w := range warnings {
+			fmt.Fprintf(os.Stderr, "ontc: warning: %s\n", w)
+		}
+		for _, d := range deltas {
+			line, err := knowledge.Encode(d)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ontc: encoding %s: %v\n", d, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", line)
+		}
+		fmt.Fprintf(os.Stderr, "ontc: %d deltas, %d warnings\n", len(deltas), len(warnings))
 		return
 	}
 

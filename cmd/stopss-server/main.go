@@ -13,10 +13,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -26,6 +28,7 @@ import (
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/metrics"
 	"stopss/internal/notify"
@@ -53,6 +56,7 @@ func main() {
 	nodeName := flag.String("node", "", "overlay node name (default: the -addr value)")
 	overlayAddr := flag.String("overlay", "", "overlay TCP listen address for peer brokers (empty: no listener)")
 	flag.Var(&peers, "peer", "overlay peer address to connect to (repeatable)")
+	kbWatch := flag.String("kb-watch", "", "JSONL knowledge-delta file (ontc -delta output) polled for appended deltas to inject at runtime")
 	flag.Parse()
 	opts := stackOptions{
 		Addr:     *addr,
@@ -61,7 +65,7 @@ func main() {
 		Mode:     *modeName,
 		Shards:   *shards,
 	}
-	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers); err != nil {
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch); err != nil {
 		log.Fatalf("stopss-server: %v", err)
 	}
 }
@@ -100,7 +104,12 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	stage := ont.Stage(semantic.FullConfig())
+	// The compiled ontology is the genesis of a runtime knowledge base;
+	// the shared semantic stage is built over the base's structures so
+	// delta updates (admin endpoint, -kb-watch, overlay replication)
+	// swap in coherently.
+	base := knowledge.NewBase(ont.Synonyms, ont.Hierarchy, ont.Mappings)
+	stage := base.Stage(semantic.FullConfig())
 
 	var engine core.PubSub
 	cleanup := func() {}
@@ -110,7 +119,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 		if _, err := matching.New(opts.Matcher); err != nil {
 			return nil, nil, nil, err
 		}
-		var shardOpts []overlay.ShardOption
+		shardOpts := []overlay.ShardOption{overlay.WithKnowledgeBase(base)}
 		if opts.Registry != nil {
 			shardOpts = append(shardOpts, overlay.WithRegistry(opts.Registry))
 		}
@@ -124,7 +133,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		engine = core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode))
+		engine = core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode), core.WithKnowledge(base))
 	}
 
 	notifier, err := notify.NewEngine(notify.Config{Workers: 8},
@@ -140,7 +149,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string) error {
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string) error {
 	reg := metrics.NewRegistry()
 	opts.Registry = reg
 	b, notifier, cleanup, err := buildStack(opts)
@@ -149,6 +158,11 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 	}
 	defer cleanup()
 	defer notifier.Close()
+	kbOriginName := nodeName
+	if kbOriginName == "" {
+		kbOriginName = opts.Addr
+	}
+	b.SetKnowledgeOrigin(knowledge.NewOrigin(kbOriginName))
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			restoreErr := b.Restore(f)
@@ -197,6 +211,10 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if kbWatch != "" {
+		go watchKBFile(ctx, kbWatch, b)
+		log.Printf("watching %s for knowledge deltas", kbWatch)
+	}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("listening on http://%s (matcher=%s mode=%s shards=%d)",
@@ -233,5 +251,83 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			return nil
 		}
 		return err
+	}
+}
+
+// watchKBFile polls a JSONL knowledge-delta file (ontc -delta output)
+// once per second and injects every newly appended complete line into
+// the broker; applied deltas replicate to the federation through the
+// overlay. Unstamped lines get the deterministic content+line stamp
+// (knowledge.FileStamp), so a restart, a truncated-and-rewritten file,
+// or the same file fed to several brokers replays to identical delta
+// IDs and duplicate suppression absorbs it.
+func watchKBFile(ctx context.Context, path string, b *broker.Broker) {
+	var offset int64
+	var lineNo uint64
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				log.Printf("kb-watch: %v", err)
+			}
+			continue
+		}
+		if fi, err := f.Stat(); err == nil && fi.Size() < offset {
+			offset, lineNo = 0, 0
+		}
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			f.Close()
+			continue
+		}
+		data, err := io.ReadAll(f)
+		f.Close()
+		if err != nil {
+			log.Printf("kb-watch: %v", err)
+			continue
+		}
+		// Only complete (newline-terminated) lines are consumed; a
+		// half-written tail stays pending for the next poll.
+		complete := bytes.LastIndexByte(data, '\n') + 1
+		if complete == 0 {
+			continue
+		}
+		// data[:complete] ends with '\n', so Split yields a trailing
+		// empty element; dropping it keeps line numbers — and therefore
+		// FileStamp identities — identical whether the file is read in
+		// one restart-replay batch or across many incremental polls.
+		parts := bytes.Split(data[:complete], []byte{'\n'})
+		for _, line := range parts[:len(parts)-1] {
+			lineNo++
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			d, err := knowledge.Decode(line)
+			if err != nil {
+				log.Printf("kb-watch: %v", err)
+				continue
+			}
+			if d, err = knowledge.FileStamp(lineNo, d); err != nil {
+				log.Printf("kb-watch: %v", err)
+				continue
+			}
+			rep, err := b.InjectKnowledge(d)
+			if err != nil {
+				log.Printf("kb-watch: applying %s: %v", d, err)
+				continue
+			}
+			if rep.Applied {
+				log.Printf("kb-watch: applied %s %s (reindexed %d subs, KB version %s)",
+					d.Op, rep.ID, rep.Reindexed, rep.Version.Digest)
+			}
+		}
+		offset += int64(complete)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/notify"
@@ -36,7 +37,9 @@ type Stats struct {
 	RemoteDelivered       uint64 // publications accepted from peer brokers
 	DropsNoRoute          uint64
 	RejectedNonConforming uint64
-	Engine                core.Stats
+	KBLocal               uint64 // knowledge deltas injected locally
+	KBRemote              uint64 // knowledge deltas applied from peer brokers
+	Engine                core.Stats  // includes KBDeltas/KBVersion (federation skew check)
 	Remote                RemoteStats // overlay routing counters; zero when standalone
 }
 
@@ -54,12 +57,15 @@ type Broker struct {
 
 	forwarder   Forwarder          // overlay hook; nil when standalone
 	remoteStats func() RemoteStats // overlay stats source; nil when standalone
+	kbOrigin    *knowledge.Origin  // stamps unstamped local deltas
 
 	published             uint64
 	notified              uint64
 	remoteDelivered       uint64
 	dropsNoRoute          uint64
 	rejectedNonConforming uint64
+	kbLocal               uint64
+	kbRemote              uint64
 }
 
 // New builds a broker over an engine and an optional notifier (nil means
@@ -258,6 +264,8 @@ func (b *Broker) Stats() Stats {
 		RemoteDelivered:       b.remoteDelivered,
 		DropsNoRoute:          b.dropsNoRoute,
 		RejectedNonConforming: b.rejectedNonConforming,
+		KBLocal:               b.kbLocal,
+		KBRemote:              b.kbRemote,
 	}
 	rs := b.remoteStats
 	b.mu.Unlock()

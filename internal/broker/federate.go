@@ -3,6 +3,8 @@ package broker
 import (
 	"sort"
 
+	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
 )
@@ -30,6 +32,15 @@ type Forwarder interface {
 	// AdvertisementChanged reports a local advertisement being recorded
 	// (added=true) or withdrawn.
 	AdvertisementChanged(adv matching.Advertisement, added bool)
+	// KnowledgeChanged reports a locally injected knowledge delta that
+	// was newly applied to the broker's knowledge base (duplicates are
+	// not reported; deterministically rejected deltas ARE — peers need
+	// them for version digests to converge). The report carries the
+	// engine-level outcome (Changed, Version) so the overlay can skip
+	// routing re-canonicalization for no-op deltas. Deltas arriving
+	// from peers via DeliverRemoteKnowledge are not reported: the
+	// overlay owns inter-broker propagation.
+	KnowledgeChanged(d knowledge.Delta, rep core.KnowledgeReport)
 }
 
 // SetForwarder installs (or clears, with nil) the overlay hook.
@@ -52,6 +63,9 @@ type RemoteStats struct {
 	PubsDeduped   uint64   // duplicate publications dropped
 	AdvertsSeen   uint64   // remote advertisements currently held
 	RemoteSubs    int      // remote subscriptions currently routed
+	KBForwarded   uint64   // knowledge deltas sent to peers
+	KBReceived    uint64   // knowledge deltas accepted from peers
+	KBDeduped     uint64   // duplicate knowledge deltas dropped
 	ShardMatches  []uint64 // per-shard match counts (sharded engine only)
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
 )
@@ -19,6 +20,7 @@ type recordingForwarder struct {
 	pubs    []message.Event
 	advs    []matching.Advertisement
 	advAdds []bool
+	kbs     []knowledge.Delta
 }
 
 func (f *recordingForwarder) SubscriptionChanged(sub message.Subscription, added bool) {
@@ -39,6 +41,12 @@ func (f *recordingForwarder) AdvertisementChanged(adv matching.Advertisement, ad
 	defer f.mu.Unlock()
 	f.advs = append(f.advs, adv)
 	f.advAdds = append(f.advAdds, added)
+}
+
+func (f *recordingForwarder) KnowledgeChanged(d knowledge.Delta, _ core.KnowledgeReport) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.kbs = append(f.kbs, d)
 }
 
 func fedBroker(t *testing.T) (*Broker, *recordingForwarder) {

@@ -1,0 +1,97 @@
+package broker
+
+import (
+	"stopss/internal/core"
+	"stopss/internal/knowledge"
+)
+
+// Knowledge-base integration: the broker is where ontology updates
+// enter the system (admin endpoint, -kb-watch file, ontc delta logs)
+// and where deltas arriving from peer brokers are applied. Mirroring
+// the publication paths, InjectKnowledge is the local entry point that
+// offers newly applied deltas to the overlay forwarder, while
+// DeliverRemoteKnowledge applies without re-offering — the overlay owns
+// inter-broker propagation and its loop prevention.
+
+// SetKnowledgeOrigin installs the identity used to stamp locally
+// injected deltas that arrive unstamped. Overlay deployments set it to
+// the node name; standalone brokers default to "local".
+func (b *Broker) SetKnowledgeOrigin(o *knowledge.Origin) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.kbOrigin = o
+}
+
+// knowledgeOrigin returns the stamping identity, creating the
+// standalone default on first use.
+func (b *Broker) knowledgeOrigin() *knowledge.Origin {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.kbOrigin == nil {
+		b.kbOrigin = knowledge.NewOrigin("local")
+	}
+	return b.kbOrigin
+}
+
+// InjectKnowledge applies a locally injected delta: unstamped deltas
+// are stamped with the broker's origin, the engine folds the delta in
+// (swapping the semantic stage and re-indexing affected subscriptions),
+// and a newly applied delta is offered to the overlay forwarder for
+// replication.
+func (b *Broker) InjectKnowledge(d knowledge.Delta) (core.KnowledgeReport, error) {
+	if !d.Stamped() {
+		d = b.knowledgeOrigin().Stamp(d)
+	}
+	rep, err := b.engine.ApplyKnowledge(d)
+	if err != nil {
+		return rep, err
+	}
+	b.mu.Lock()
+	if rep.Applied {
+		b.kbLocal++
+	}
+	f := b.forwarder
+	b.mu.Unlock()
+	if f != nil && rep.Applied {
+		f.KnowledgeChanged(d, rep)
+	}
+	return rep, nil
+}
+
+// DeliverRemoteKnowledge applies a delta forwarded by a peer broker. It
+// is NOT offered to the forwarder again; the overlay decides whether to
+// propagate further based on the report (only newly applied deltas
+// travel on).
+func (b *Broker) DeliverRemoteKnowledge(d knowledge.Delta) (core.KnowledgeReport, error) {
+	rep, err := b.engine.ApplyKnowledge(d)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Applied {
+		b.mu.Lock()
+		b.kbRemote++
+		b.mu.Unlock()
+	}
+	return rep, nil
+}
+
+// KnowledgeLog returns the broker's applied delta log in canonical
+// order (nil when no knowledge base is bound). The overlay replays it
+// onto freshly connected peer links; Snapshot persists it.
+func (b *Broker) KnowledgeLog() []knowledge.Delta {
+	kb := b.engine.Knowledge()
+	if kb == nil {
+		return nil
+	}
+	return kb.Log()
+}
+
+// KnowledgeVersion reports the engine's knowledge-base version (zero
+// Version when no base is bound).
+func (b *Broker) KnowledgeVersion() knowledge.Version {
+	kb := b.engine.Knowledge()
+	if kb == nil {
+		return knowledge.Version{}
+	}
+	return kb.Version()
+}

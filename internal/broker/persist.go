@@ -7,19 +7,28 @@ import (
 	"io"
 	"sort"
 
+	"stopss/internal/knowledge"
 	"stopss/internal/message"
 	"stopss/internal/notify"
 )
 
 // Snapshot / Restore persist the broker's durable state — clients,
-// routes and subscriptions — as a stream of JSON lines, so a restarted
-// event dispatcher resumes with the same subscription base. Transient
-// state (counters, in-flight notifications) is deliberately excluded.
+// routes, advertisements, the applied knowledge-delta log, and
+// subscriptions — as a stream of JSON lines, so a restarted event
+// dispatcher resumes with the same subscription base AND the same
+// knowledge-base version: on rejoin it replays only deltas it has not
+// seen instead of re-flooding (or re-receiving) the federation's whole
+// knowledge history from zero. Transient state (counters, in-flight
+// notifications) is deliberately excluded.
 //
-// Format: one header line, then one line per record:
+// Format: one header line, then one line per record. Knowledge deltas
+// precede subscriptions so restored subscriptions index under the
+// restored knowledge:
 //
 //	{"kind":"header","version":1,"next_id":42}
 //	{"kind":"client","client":{...}}
+//	{"kind":"kbdelta","kb":{...}}
+//	{"kind":"advertisement","adv":{...}}
 //	{"kind":"subscription","sub":{...}}
 
 const snapshotVersion = 1
@@ -30,12 +39,19 @@ type snapRecord struct {
 	NextID  message.SubID         `json:"next_id,omitempty"`
 	Client  *snapClient           `json:"client,omitempty"`
 	Sub     *message.Subscription `json:"sub,omitempty"`
+	Adv     *snapAdvert           `json:"adv,omitempty"`
+	KB      *knowledge.Delta      `json:"kb,omitempty"`
 }
 
 type snapClient struct {
 	Name      string `json:"name"`
 	Transport string `json:"transport,omitempty"`
 	Addr      string `json:"addr,omitempty"`
+}
+
+type snapAdvert struct {
+	Publisher string              `json:"publisher"`
+	Preds     []message.Predicate `json:"preds"`
 }
 
 // Snapshot writes the broker's durable state to w.
@@ -64,6 +80,18 @@ func (b *Broker) Snapshot(w io.Writer) error {
 			return fmt.Errorf("broker: writing client: %w", err)
 		}
 	}
+	for _, d := range b.KnowledgeLog() {
+		d := d
+		if err := enc.Encode(snapRecord{Kind: "kbdelta", KB: &d}); err != nil {
+			return fmt.Errorf("broker: writing knowledge delta %s: %w", d.ID(), err)
+		}
+	}
+	for _, a := range b.Advertisements() {
+		if err := enc.Encode(snapRecord{Kind: "advertisement",
+			Adv: &snapAdvert{Publisher: a.Publisher, Preds: a.Preds}}); err != nil {
+			return fmt.Errorf("broker: writing advertisement of %q: %w", a.Publisher, err)
+		}
+	}
 	for _, id := range ids {
 		sub, ok := b.engine.Subscription(id)
 		if !ok {
@@ -81,10 +109,10 @@ func (b *Broker) Snapshot(w io.Writer) error {
 // silently merging states.
 func (b *Broker) Restore(r io.Reader) error {
 	b.mu.Lock()
-	if len(b.clients) != 0 || len(b.subs) != 0 {
+	if len(b.clients) != 0 || len(b.subs) != 0 || len(b.adverts) != 0 {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: restore requires an empty broker (%d clients, %d subscriptions present)",
-			len(b.clients), len(b.subs))
+		return fmt.Errorf("broker: restore requires an empty broker (%d clients, %d subscriptions, %d advertisements present)",
+			len(b.clients), len(b.subs), len(b.adverts))
 	}
 	b.mu.Unlock()
 
@@ -123,6 +151,29 @@ func (b *Broker) Restore(r io.Reader) error {
 				c.Route = notify.Route{Transport: rec.Client.Transport, Addr: rec.Client.Addr}
 			}
 			if err := b.Register(c); err != nil {
+				return fmt.Errorf("broker: snapshot line %d: %w", line, err)
+			}
+		case "kbdelta":
+			if !sawHeader {
+				return fmt.Errorf("broker: snapshot line %d: record before header", line)
+			}
+			if rec.KB == nil {
+				return fmt.Errorf("broker: snapshot line %d: kbdelta record without payload", line)
+			}
+			// Applied directly on the engine: the delta keeps its original
+			// stamp and must not be re-offered to a forwarder here — the
+			// overlay replays the restored log itself when links come up.
+			if _, err := b.engine.ApplyKnowledge(*rec.KB); err != nil {
+				return fmt.Errorf("broker: snapshot line %d: %w", line, err)
+			}
+		case "advertisement":
+			if !sawHeader {
+				return fmt.Errorf("broker: snapshot line %d: record before header", line)
+			}
+			if rec.Adv == nil {
+				return fmt.Errorf("broker: snapshot line %d: advertisement record without payload", line)
+			}
+			if err := b.Advertise(rec.Adv.Publisher, rec.Adv.Preds); err != nil {
 				return fmt.Errorf("broker: snapshot line %d: %w", line, err)
 			}
 		case "subscription":

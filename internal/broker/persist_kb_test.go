@@ -1,0 +1,127 @@
+package broker
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"stopss/internal/core"
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/sublang"
+)
+
+// kbBroker builds a broker over the jobs ontology with a bound
+// knowledge base, so snapshots carry a KB log.
+func kbBroker(t testing.TB) *Broker {
+	t.Helper()
+	ont, err := ontology.Load(jobsODL, ontology.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := knowledge.NewBase(ont.Synonyms, ont.Hierarchy, ont.Mappings)
+	return New(core.NewEngine(base.Stage(semantic.FullConfig()), core.WithKnowledge(base)), nil)
+}
+
+// TestSnapshotRestoreAdvertsRoutesAndKB round-trips the full durable
+// state: clients with routes, advertisements, the applied knowledge
+// log, and subscriptions. The restored broker must hold the same KB
+// version (so a rejoining broker resumes at the right version instead
+// of re-receiving the federation's history) and match identically.
+func TestSnapshotRestoreAdvertsRoutesAndKB(t *testing.T) {
+	b := kbBroker(t)
+	if err := b.Register(Client{Name: "acme"}); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := sublang.ParseSubscription("(position = dev)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subID, err := b.Subscribe("acme", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	advPreds := []message.Predicate{message.Exists("position")}
+	if err := b.Advertise("acme", advPreds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two applied deltas (one affecting the stored subscription) and
+	// one deterministically rejected delta — the rejection must
+	// round-trip too, or version digests diverge on rejoin.
+	for _, d := range []knowledge.Delta{
+		{Op: knowledge.OpAddSynonym, Root: "position", Terms: []string{"job"}},
+		{Op: knowledge.OpAddIsA, Child: "sedan", Parent: "car"},
+		{Op: knowledge.OpAddIsA, Child: "car", Parent: "sedan"}, // cycle: rejected
+	} {
+		if _, err := b.InjectKnowledge(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantVersion := b.KnowledgeVersion()
+	if wantVersion.Deltas != 3 || wantVersion.Rejected != 1 {
+		t.Fatalf("pre-snapshot version: %+v", wantVersion)
+	}
+
+	var buf bytes.Buffer
+	if err := b.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := kbBroker(t)
+	if err := r2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	gotVersion := r2.KnowledgeVersion()
+	if gotVersion.Digest != wantVersion.Digest || gotVersion.Deltas != wantVersion.Deltas ||
+		gotVersion.Rejected != wantVersion.Rejected {
+		t.Fatalf("restored KB version %+v, want %+v", gotVersion, wantVersion)
+	}
+
+	// Advertisement restored: a non-conforming publication is rejected.
+	if _, err := r2.PublishFrom("acme", message.E("salary", 10)); err == nil {
+		t.Fatal("restored advertisement not enforced")
+	}
+	adv, ok := r2.AdvertisementOf("acme")
+	if !ok || !reflect.DeepEqual(adv.Preds, advPreds) {
+		t.Fatalf("restored advertisement: %+v, %v", adv, ok)
+	}
+
+	// The subscription matches through the restored synonym delta, and
+	// through the restored hierarchy edge + genesis knowledge combined.
+	res, err := r2.Publish(message.E("job", "dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0] != subID {
+		t.Fatalf("restored synonym match: %v", res.Matches)
+	}
+
+	// Replaying the same snapshot's deltas again (as a peer sync would)
+	// is a no-op: duplicates.
+	rep, err := r2.InjectKnowledge(b.KnowledgeLog()[0])
+	if err != nil || !rep.Duplicate {
+		t.Fatalf("replayed delta: %+v, %v", rep, err)
+	}
+}
+
+// TestRestoreRejectsKBIntoUnboundEngine: snapshots carrying kbdelta
+// records must not silently drop them when the target engine has no
+// knowledge base.
+func TestRestoreRejectsKBIntoUnboundEngine(t *testing.T) {
+	b := kbBroker(t)
+	if _, err := b.InjectKnowledge(knowledge.Delta{Op: knowledge.OpAddConcept, Term: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	plain := New(jobsEngine(t), nil)
+	if err := plain.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore with kbdelta records into an unbound engine succeeded")
+	}
+}

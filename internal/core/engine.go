@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/semantic"
@@ -70,6 +71,14 @@ type Stats struct {
 	Truncated       uint64        // publications whose expansion hit the budget
 	SemanticTime    time.Duration // cumulative time in the semantic stage
 	MatchTime       time.Duration // cumulative time in the matching algorithm
+
+	// Knowledge-base observability (zero when no base is bound): the
+	// applied-delta count and digest identify this engine's KB version,
+	// so operators can spot federation knowledge skew at a glance.
+	KBDeltas    uint64 // deltas in the applied log (incl. rejected)
+	KBRejected  uint64 // deltas rejected deterministically
+	KBReindexed uint64 // subscriptions re-indexed by knowledge updates
+	KBVersion   string // order-sensitive digest of the applied log
 }
 
 // PubSub is the engine surface the broker (and everything above it)
@@ -89,6 +98,14 @@ type PubSub interface {
 	Size() int
 	Stage() *semantic.Stage
 	MatcherName() string
+
+	// ApplyKnowledge folds one knowledge delta into the bound base,
+	// swaps the semantic stage to the fresh snapshot, and re-indexes
+	// affected subscriptions — all excluded against in-flight
+	// publications, like SetMode. Errors when no base is bound.
+	ApplyKnowledge(d knowledge.Delta) (KnowledgeReport, error)
+	// Knowledge exposes the bound knowledge base (nil when none).
+	Knowledge() *knowledge.Base
 }
 
 // Engine is the S-ToPSS box of Figure 1.
@@ -102,6 +119,7 @@ type Engine struct {
 	// user's own terminology.
 	originals map[message.SubID]message.Subscription
 	stats     Stats
+	kb        *knowledge.Base // optional; set with WithKnowledge
 }
 
 // Option configures an Engine.
@@ -116,6 +134,13 @@ func WithMatcher(m matching.Matcher) Option {
 // WithMode selects the initial mode (default: Semantic).
 func WithMode(m Mode) Option {
 	return func(e *Engine) { e.mode = m }
+}
+
+// WithKnowledge binds a runtime knowledge base. The engine's stage must
+// have been built over the base's structures (knowledge.Base.Stage does
+// that), so Apply outcomes swap in coherently.
+func WithKnowledge(b *knowledge.Base) Option {
+	return func(e *Engine) { e.kb = b }
 }
 
 // NewEngine builds an engine over the given semantic stage. A nil stage
@@ -351,15 +376,31 @@ func (s Stats) Merge(o Stats) Stats {
 	s.Truncated += o.Truncated
 	s.SemanticTime += o.SemanticTime
 	s.MatchTime += o.MatchTime
+	s.KBReindexed += o.KBReindexed
+	// KB version fields are per-base, not additive: a sharded pool's
+	// shards share one base bound at the pool level, so at most one
+	// side of a merge carries them.
+	if s.KBVersion == "" {
+		s.KBVersion = o.KBVersion
+		s.KBDeltas += o.KBDeltas
+		s.KBRejected += o.KBRejected
+	}
 	return s
 }
 
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
 	s := e.stats
 	s.Subscriptions = e.matcher.Size()
+	kb := e.kb
+	e.mu.RUnlock()
+	if kb != nil {
+		v := kb.Version()
+		s.KBDeltas = uint64(v.Deltas)
+		s.KBRejected = uint64(v.Rejected)
+		s.KBVersion = v.Digest
+	}
 	return s
 }
 

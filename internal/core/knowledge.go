@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+)
+
+// KnowledgeReport is the engine-level outcome of applying one knowledge
+// delta: the base-level outcome plus what re-indexing it forced.
+type KnowledgeReport struct {
+	ID          string // the delta's stamped identity (origin#epoch/seq)
+	Applied     bool   // delta newly appended to the log
+	Duplicate   bool   // delta already known; nothing changed
+	Rejected    bool   // delta logged but its operation failed deterministically
+	Rebuilt     bool   // out-of-order arrival re-folded the base from genesis
+	Changed     bool   // the semantic structures changed
+	FullReindex bool   // re-indexing fell back to the full subscription set
+	Reindexed   int    // subscriptions re-indexed
+	Version     knowledge.Version
+}
+
+// KBFullReindexTerms is the incremental re-index threshold: a delta
+// touching more distinct terms than this re-indexes the whole
+// subscription set instead of scanning per-subscription. Beyond this
+// point the per-term bookkeeping costs more than it saves.
+const KBFullReindexTerms = 128
+
+// Knowledge implements PubSub.
+func (e *Engine) Knowledge() *knowledge.Base { return e.kb }
+
+// ApplyKnowledge implements PubSub: fold the delta into the base, swap
+// the stage snapshot, and re-index affected subscriptions, all under
+// the engine lock so no publication ever matches against a
+// half-updated (new stage, old index) pairing.
+func (e *Engine) ApplyKnowledge(d knowledge.Delta) (KnowledgeReport, error) {
+	if e.kb == nil {
+		return KnowledgeReport{}, fmt.Errorf("core: no knowledge base bound to this engine")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	out, err := e.kb.Apply(d)
+	if err != nil {
+		return KnowledgeReport{}, err
+	}
+	rep := KnowledgeReport{
+		ID:        d.ID(),
+		Applied:   out.Applied,
+		Duplicate: out.Duplicate,
+		Rejected:  out.Rejected,
+		Rebuilt:   out.Rebuilt,
+		Changed:   out.Changed,
+		Version:   e.kb.Version(),
+	}
+	if !out.Changed {
+		return rep, nil
+	}
+	e.stage.Replace(out.Synonyms, out.Hierarchy, out.Mappings)
+	rep.Reindexed, rep.FullReindex, err = e.reindexKnowledgeLocked(out.Affected, out.Rebuilt)
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// ReindexKnowledge re-indexes the subscriptions a knowledge update
+// affected, under the engine lock. The sharded pool calls this per
+// shard after applying the delta once and swapping the shared stage;
+// single-engine deployments go through ApplyKnowledge instead.
+func (e *Engine) ReindexKnowledge(affected []string, full bool) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n, _, err := e.reindexKnowledgeLocked(affected, full)
+	return n, err
+}
+
+// reindexKnowledgeLocked re-indexes subscriptions whose original form
+// mentions an affected term — the only subscriptions whose canonical
+// (indexed) form a knowledge delta can change, since subscriptions pass
+// only the synonym stage and a known term's root never changes. Past
+// kbFullReindexTerms distinct terms (or after a genesis rebuild) it
+// falls back to re-indexing everything. Callers hold e.mu.
+func (e *Engine) reindexKnowledgeLocked(affected []string, full bool) (int, bool, error) {
+	if e.mode != Semantic {
+		// Syntactic mode indexes subscriptions verbatim; nothing stored
+		// depends on the knowledge base. A later SetMode re-canonicalizes
+		// from originals under the then-current stage anyway.
+		return 0, full, nil
+	}
+	if !full && len(affected) > KBFullReindexTerms {
+		full = true
+	}
+	var ids []message.SubID
+	if full {
+		ids = make([]message.SubID, 0, len(e.originals))
+		for id := range e.originals {
+			ids = append(ids, id)
+		}
+	} else {
+		if len(affected) == 0 {
+			return 0, false, nil // hierarchy/mapping delta: index untouched
+		}
+		set := make(map[string]bool, len(affected))
+		for _, t := range affected {
+			set[t] = true
+		}
+		for id, s := range e.originals {
+			if subscriptionTouches(s, set) {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !e.matcher.Remove(id) {
+			return 0, full, fmt.Errorf("core: subscription %d lost during knowledge re-index", id)
+		}
+	}
+	for _, id := range ids {
+		if err := e.matcher.Add(e.indexedForm(e.originals[id])); err != nil {
+			return 0, full, fmt.Errorf("core: re-indexing subscription %d after knowledge update: %w", id, err)
+		}
+	}
+	e.stats.KBReindexed += uint64(len(ids))
+	return len(ids), full, nil
+}
+
+// subscriptionTouches reports whether any predicate attribute (or
+// string operand) of the subscription's ORIGINAL form is an affected
+// term. Raw terms suffice: only previously-unknown terms can acquire a
+// new canonical form (semantic.Synonyms.Known), and a previously
+// unknown term appears in the indexed form exactly as written.
+func subscriptionTouches(s message.Subscription, affected map[string]bool) bool {
+	for _, p := range s.Preds {
+		if affected[p.Attr] {
+			return true
+		}
+		if p.Val.Kind() == message.KindString && affected[p.Val.Str()] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// BenchmarkKnowledgeApply measures what a live ontology update costs at
+// scale, per stored-subscription count:
+//
+//   - incremental: ApplyKnowledge of a synonym delta whose member term
+//     no stored subscription mentions — the common case. Cost is the
+//     copy-on-write clone of the knowledge structures plus one linear
+//     touch-scan over originals; the matcher is untouched.
+//   - touched: ApplyKnowledge of a synonym delta that re-indexes a
+//     small fixed number of subscriptions (10) — clone + scan + a
+//     handful of matcher remove/add pairs.
+//   - full: the fallback the incremental path avoids — re-indexing
+//     every stored subscription (what a naive implementation, or a
+//     genesis rebuild after out-of-order delivery, pays).
+//
+// Results are recorded in EXPERIMENTS.md (T8).
+func BenchmarkKnowledgeApply(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			base := knowledge.NewBase(nil, nil, nil)
+			e := NewEngine(base.Stage(semantic.FullConfig()), WithKnowledge(base))
+			// Subscriptions over a bounded attribute universe, plus ten
+			// "hot" subscriptions per touched-term generation.
+			for i := 0; i < n; i++ {
+				s := message.NewSubscription(message.SubID(i+1), "c",
+					message.Pred(fmt.Sprintf("attr%d", i%1024), message.OpEq,
+						message.String(fmt.Sprintf("hot%d", i/10))))
+				if err := e.Subscribe(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			o := knowledge.NewOrigin("bench")
+
+			b.Run("incremental", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d := o.Stamp(knowledge.Delta{Op: knowledge.OpAddSynonym,
+						Root: "bench-root", Terms: []string{fmt.Sprintf("fresh-%d", i)}})
+					rep, err := e.ApplyKnowledge(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Reindexed != 0 {
+						b.Fatalf("incremental re-indexed %d", rep.Reindexed)
+					}
+				}
+			})
+			b.Run("touched", func(b *testing.B) {
+				b.ReportAllocs()
+				reindexed := 0
+				for i := 0; i < b.N; i++ {
+					// Each hot<g> value is mentioned by exactly 10
+					// subscriptions; every generation touches a fresh one.
+					d := o.Stamp(knowledge.Delta{Op: knowledge.OpAddSynonym,
+						Root: "hot-root", Terms: []string{fmt.Sprintf("hot%d", i%(n/10))}})
+					rep, err := e.ApplyKnowledge(d)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reindexed += rep.Reindexed
+				}
+				b.ReportMetric(float64(reindexed)/float64(b.N), "subs-reindexed/op")
+			})
+			b.Run("full", func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.ReindexKnowledge(nil, true); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,384 @@
+package knowledge
+
+import (
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"stopss/internal/semantic"
+)
+
+// Origin mints delta identities for one broker incarnation: a fixed
+// (name, epoch) pair and a monotonically increasing sequence. A broker
+// that restarts creates a fresh Origin, so its new deltas can never be
+// confused with (or suppressed by) those of its previous life — the
+// same scheme overlay publication IDs use.
+type Origin struct {
+	name  string
+	epoch string
+	seq   atomic.Uint64
+}
+
+// NewOrigin creates an origin for the given broker name with a fresh
+// random epoch.
+func NewOrigin(name string) *Origin {
+	return &Origin{name: name, epoch: newEpoch()}
+}
+
+// Name reports the origin's broker name.
+func (o *Origin) Name() string { return o.name }
+
+// Stamp fills the delta's identity with this origin's name, epoch and
+// next sequence number. Already-stamped deltas are returned unchanged.
+func (o *Origin) Stamp(d Delta) Delta {
+	if d.Stamped() {
+		return d
+	}
+	d.Origin = o.name
+	d.Epoch = o.epoch
+	d.Seq = o.seq.Add(1)
+	return d
+}
+
+// newEpoch returns an 8-hex-char incarnation tag (shared scheme with
+// overlay publication epochs).
+func newEpoch() string {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		return fmt.Sprintf("e%d", epochFallback.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+var epochFallback atomic.Uint64
+
+// Version identifies the state of a Base. Two bases with equal Digests
+// hold identical delta logs and therefore identical semantic state —
+// the convergence check of the federation.
+type Version struct {
+	// Deltas counts every delta in the log, including rejected ones.
+	Deltas int `json:"deltas"`
+	// Rejected counts deltas whose operation failed deterministically
+	// (synonym conflict, hierarchy cycle, duplicate mapping name, …).
+	// They stay in the log — peers must still receive them for digests
+	// to converge — but contribute nothing to the semantic state.
+	Rejected int `json:"rejected"`
+	// Rebuilds counts out-of-order arrivals that forced a full fold
+	// from genesis (an efficiency, not a correctness, signal).
+	Rebuilds uint64 `json:"rebuilds"`
+	// Digest is an order-sensitive FNV-64a hash over the canonical log.
+	Digest string `json:"digest"`
+	// Origins maps "origin#epoch" to the highest sequence applied from
+	// that incarnation — the per-origin watermark operators read to
+	// locate federation knowledge skew.
+	Origins map[string]uint64 `json:"origins,omitempty"`
+}
+
+// Outcome reports what one Apply did.
+type Outcome struct {
+	// Applied: the delta was new and is now part of the log (even if
+	// its operation was rejected). Replication forwards exactly the
+	// applied deltas.
+	Applied bool
+	// Duplicate: the delta was already in the log; nothing changed.
+	Duplicate bool
+	// Rejected: the delta is in the log but its operation failed
+	// deterministically; the semantic state did not change.
+	Rejected bool
+	// RejectReason carries the rejection error text (diagnostics only).
+	RejectReason string
+	// Rebuilt: the delta arrived out of canonical order and the state
+	// was re-folded from genesis. Affected is meaningless in this case;
+	// callers must re-index fully.
+	Rebuilt bool
+	// Changed: the semantic structures differ from before the call;
+	// Synonyms/Hierarchy/Mappings hold the fresh snapshot to install.
+	Changed bool
+	// Affected lists terms whose canonical form changed — the
+	// previously-unknown member terms of a synonym delta. Only
+	// subscriptions mentioning one of these need re-indexing
+	// (hierarchy and mapping deltas never change indexed subscription
+	// forms, so for them Affected is empty). Valid only when Changed
+	// and not Rebuilt.
+	Affected []string
+
+	Synonyms  *semantic.Synonyms
+	Hierarchy *semantic.Hierarchy
+	Mappings  *semantic.Mappings
+}
+
+// Base is one broker's replicated knowledge base: an append-only log of
+// deltas over a fixed genesis (the ontology every broker was started
+// with), folded into semantic structures in one canonical order.
+//
+// Convergence argument: (1) delta IDs are unique and deltas immutable,
+// so the log is a grow-only set; (2) the fold order (knowledge.less) is
+// a total order independent of arrival order; (3) each operation either
+// applies or is rejected deterministically as a function of the folded
+// prefix alone. Hence two bases with the same genesis and the same
+// delta set hold identical structures and equal digests, no matter how
+// replication interleaved. Out-of-order arrivals re-fold from genesis;
+// in-order arrivals (the overwhelmingly common case — one origin
+// feeding sequential updates) take an incremental clone-and-apply path.
+//
+// A Base never mutates structures it has handed out: Apply clones the
+// current snapshot, mutates the clone, and publishes it. Engines swap
+// the fresh snapshot into their semantic.Stage (see Stage.Replace).
+type Base struct {
+	mu sync.Mutex
+
+	genSyn  *semantic.Synonyms
+	genHier *semantic.Hierarchy
+	genMaps *semantic.Mappings
+
+	syn  *semantic.Synonyms
+	hier *semantic.Hierarchy
+	maps *semantic.Mappings
+
+	log    []Delta  // canonical order
+	encLog [][]byte // cached encodings, parallel to log
+	// digest is the rolling order-sensitive FNV-64a over encLog,
+	// maintained incrementally on in-order appends (the common case)
+	// and recomputed from the cached encodings on a refold — Version()
+	// never re-marshals the log.
+	digest   uint64
+	origins  map[string]uint64 // "origin#epoch" → max seq
+	applied  map[string]bool
+	rejected map[string]string // delta ID → reason
+	rebuilds uint64
+}
+
+// NewBase builds a knowledge base over the given genesis structures
+// (nil arguments mean empty). The structures are also the initial
+// current state, so build the engine's semantic.Stage over the same
+// pointers (Base.Stage does exactly that) — they are never mutated,
+// only replaced.
+func NewBase(syn *semantic.Synonyms, hier *semantic.Hierarchy, maps *semantic.Mappings) *Base {
+	if syn == nil {
+		syn = semantic.NewSynonyms()
+	}
+	if hier == nil {
+		hier = semantic.NewHierarchy()
+	}
+	if maps == nil {
+		maps = semantic.NewMappings()
+	}
+	return &Base{
+		genSyn: syn, genHier: hier, genMaps: maps,
+		syn: syn, hier: hier, maps: maps,
+		digest:   fnvOffset,
+		origins:  make(map[string]uint64),
+		applied:  make(map[string]bool),
+		rejected: make(map[string]string),
+	}
+}
+
+// Streaming FNV-64a, kept as a plain uint64 so the digest can be
+// carried incrementally across appends.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvAbsorb(h uint64, data []byte) uint64 {
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	h ^= '\n'
+	h *= fnvPrime
+	return h
+}
+
+// Stage builds a semantic stage over the base's current structures;
+// the stage stays coherent with the base as long as every Apply outcome
+// is installed via Stage.Replace (core.Engine.ApplyKnowledge does).
+func (b *Base) Stage(cfg semantic.Config) *semantic.Stage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return semantic.NewStage(b.syn, b.hier, b.maps, cfg)
+}
+
+// Apply folds one delta into the base. The returned error reports
+// malformed input (unstamped or invalid payload); operation-level
+// failures are NOT errors — they are deterministic rejections recorded
+// in the log (see Outcome.Rejected).
+func (b *Base) Apply(d Delta) (Outcome, error) {
+	if !d.Stamped() {
+		return Outcome{}, fmt.Errorf("knowledge: applying unstamped delta %s", d)
+	}
+	if err := d.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	enc, err := Encode(d)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if len(enc) > MaxDeltaBytes {
+		// Oversized deltas are refused as malformed input, never
+		// logged: a logged delta must be guaranteed to fit an overlay
+		// frame, or it would apply locally yet be unreplicable —
+		// permanent divergence plus a link flap on every sync replay.
+		return Outcome{}, fmt.Errorf("knowledge: delta %s encodes to %d bytes (max %d)", d.ID(), len(enc), MaxDeltaBytes)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+
+	id := d.ID()
+	if b.applied[id] {
+		return Outcome{Duplicate: true}, nil
+	}
+	b.applied[id] = true
+	key := d.Origin + "#" + d.Epoch
+	if d.Seq > b.origins[key] {
+		b.origins[key] = d.Seq
+	}
+
+	var out Outcome
+	out.Applied = true
+	if n := len(b.log); n == 0 || less(b.log[n-1], d) {
+		// In order: incremental clone-and-apply, digest carried forward.
+		b.log = append(b.log, d)
+		b.encLog = append(b.encLog, enc)
+		b.digest = fnvAbsorb(b.digest, enc)
+		syn, hier, maps := b.syn.Clone(), b.hier.Clone(), b.maps.Clone()
+		affected, err := applyOp(d, syn, hier, maps)
+		if err != nil {
+			b.rejected[id] = err.Error()
+			out.Rejected = true
+			out.RejectReason = err.Error()
+			return out, nil
+		}
+		b.syn, b.hier, b.maps = syn, hier, maps
+		out.Changed = true
+		out.Affected = affected
+	} else {
+		// Out of order: insert at the canonical position, re-fold the
+		// state from genesis, and recompute the digest from the cached
+		// encodings.
+		i := sort.Search(len(b.log), func(i int) bool { return less(d, b.log[i]) })
+		b.log = append(b.log, Delta{})
+		copy(b.log[i+1:], b.log[i:])
+		b.log[i] = d
+		b.encLog = append(b.encLog, nil)
+		copy(b.encLog[i+1:], b.encLog[i:])
+		b.encLog[i] = enc
+		b.digest = fnvOffset
+		for _, e := range b.encLog {
+			b.digest = fnvAbsorb(b.digest, e)
+		}
+		b.refold()
+		b.rebuilds++
+		out.Rebuilt = true
+		out.Changed = true
+		out.Rejected = b.rejected[id] != ""
+		out.RejectReason = b.rejected[id]
+	}
+	out.Synonyms, out.Hierarchy, out.Mappings = b.syn, b.hier, b.maps
+	return out, nil
+}
+
+// refold recomputes the current structures from genesis over the whole
+// canonical log, re-deriving the rejection set. Callers hold b.mu.
+func (b *Base) refold() {
+	syn, hier, maps := b.genSyn.Clone(), b.genHier.Clone(), b.genMaps.Clone()
+	b.rejected = make(map[string]string)
+	for _, d := range b.log {
+		if _, err := applyOp(d, syn, hier, maps); err != nil {
+			b.rejected[d.ID()] = err.Error()
+		}
+	}
+	b.syn, b.hier, b.maps = syn, hier, maps
+}
+
+// applyOp applies one operation to the given (private, mutable)
+// structures. It is atomic: it either fully applies or — after
+// pre-validation against the current state — fails without mutating
+// anything, so a rejected delta leaves no partial edits behind and the
+// fold is deterministic.
+func applyOp(d Delta, syn *semantic.Synonyms, hier *semantic.Hierarchy, maps *semantic.Mappings) ([]string, error) {
+	switch d.Op {
+	case OpAddSynonym:
+		if syn.Known(d.Root) && !syn.IsRoot(d.Root) {
+			root, _ := syn.Canonical(d.Root)
+			return nil, fmt.Errorf("%q is already a synonym of %q and cannot become a root", d.Root, root)
+		}
+		var affected []string
+		for _, t := range d.Terms {
+			if t == d.Root {
+				continue
+			}
+			if syn.Known(t) {
+				if r, _ := syn.Canonical(t); r != d.Root {
+					return nil, fmt.Errorf("%q already maps to root %q, cannot remap to %q", t, r, d.Root)
+				}
+				continue // already in this group; no-op
+			}
+			affected = append(affected, t)
+		}
+		if err := syn.AddGroup(d.Root, d.Terms...); err != nil {
+			return nil, err // unreachable after pre-validation; kept as a guard
+		}
+		return affected, nil
+
+	case OpAddConcept:
+		return nil, hier.AddConcept(d.Term)
+
+	case OpAddIsA:
+		if hier.IsA(d.Parent, d.Child) {
+			return nil, fmt.Errorf("is-a edge %q → %q would create a cycle", d.Child, d.Parent)
+		}
+		return nil, hier.AddIsA(d.Child, d.Parent)
+
+	case OpAddMapping:
+		if maps.Has(d.Map.Name) {
+			return nil, fmt.Errorf("mapping function %q already registered", d.Map.Name)
+		}
+		return nil, maps.Add(d.Map.Func())
+
+	case OpRetire:
+		if !maps.Remove(d.Name) {
+			return nil, fmt.Errorf("mapping function %q is not registered", d.Name)
+		}
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown op %q", d.Op)
+}
+
+// Version snapshots the base's identity. O(origins), no marshalling:
+// the digest is maintained incrementally by Apply.
+func (b *Base) Version() Version {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	v := Version{
+		Deltas:   len(b.log),
+		Rejected: len(b.rejected),
+		Rebuilds: b.rebuilds,
+		Digest:   fmt.Sprintf("%016x", b.digest),
+		Origins:  make(map[string]uint64, len(b.origins)),
+	}
+	for k, seq := range b.origins {
+		v.Origins[k] = seq
+	}
+	return v
+}
+
+// Log returns the applied delta log in canonical order (a copy). The
+// broker persists it in snapshots and replays it onto freshly
+// connected overlay links, so a restarted or healed peer catches up by
+// ordinary duplicate-suppressed flooding.
+func (b *Base) Log() []Delta {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Delta(nil), b.log...)
+}
+
+// Len reports the log length.
+func (b *Base) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.log)
+}

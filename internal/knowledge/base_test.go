@@ -1,0 +1,183 @@
+package knowledge
+
+import (
+	"math/rand"
+	"testing"
+
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+func stamp(origin, epoch string, seq uint64, d Delta) Delta {
+	d.Origin, d.Epoch, d.Seq = origin, epoch, seq
+	return d
+}
+
+func testDeltas() []Delta {
+	return []Delta{
+		stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job", "post"}}),
+		stamp("a", "e1", 2, Delta{Op: OpAddIsA, Child: "sedan", Parent: "car"}),
+		stamp("a", "e1", 3, Delta{Op: OpAddConcept, Term: "vehicle"}),
+		stamp("b", "e9", 1, Delta{Op: OpAddSynonym, Root: "salary", Terms: []string{"pay"}}),
+		stamp("b", "e9", 2, Delta{Op: OpAddIsA, Child: "car", Parent: "vehicle"}),
+		stamp("b", "e9", 3, Delta{Op: OpAddMapping, Map: &MapDecl{
+			Name: "m1", Attr: "position", Match: message.String("mainframe developer"),
+			Derived: []DerivedPair{{Attr: "skill", Val: message.String("COBOL")}},
+		}}),
+		stamp("b", "e9", 4, Delta{Op: OpRetire, Name: "m1"}),
+		// Deterministically rejected: cycle with a→e1/2 + b→e9/2.
+		stamp("c", "e5", 1, Delta{Op: OpAddIsA, Child: "vehicle", Parent: "sedan"}),
+	}
+}
+
+func applyAll(t *testing.T, b *Base, ds []Delta) {
+	t.Helper()
+	for _, d := range ds {
+		if _, err := b.Apply(d); err != nil {
+			t.Fatalf("apply %s: %v", d, err)
+		}
+	}
+}
+
+// TestConvergenceUnderPermutation: every arrival order yields the same
+// digest and the same semantic state.
+func TestConvergenceUnderPermutation(t *testing.T) {
+	ref := NewBase(nil, nil, nil)
+	applyAll(t, ref, testDeltas())
+	want := ref.Version()
+	if want.Rejected != 1 {
+		t.Fatalf("reference rejected = %d, want 1", want.Rejected)
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		ds := testDeltas()
+		rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+		b := NewBase(nil, nil, nil)
+		applyAll(t, b, ds)
+		got := b.Version()
+		if got.Digest != want.Digest || got.Deltas != want.Deltas || got.Rejected != want.Rejected {
+			t.Fatalf("trial %d: version %+v, want %+v (order %v)", trial, got, want, ds)
+		}
+		// Semantic state identical, not just digests.
+		st := b.Stage(semantic.FullConfig())
+		res := st.ProcessEvent(message.E("job", "dev", "sedan", "x"))
+		root := res.Events[0]
+		if !root.Has("position") {
+			t.Fatalf("trial %d: synonym not applied: %v", trial, root)
+		}
+		foundVehicle := false
+		for _, ev := range res.Events {
+			if ev.Has("vehicle") {
+				foundVehicle = true
+			}
+		}
+		if !foundVehicle {
+			t.Fatalf("trial %d: transitive hierarchy not applied", trial)
+		}
+		if st.Mappings().Has("m1") {
+			t.Fatalf("trial %d: retired mapping still registered", trial)
+		}
+	}
+}
+
+func TestDuplicateAndWatermarks(t *testing.T) {
+	b := NewBase(nil, nil, nil)
+	d := testDeltas()[0]
+	out, err := b.Apply(d)
+	if err != nil || !out.Applied || !out.Changed {
+		t.Fatalf("first apply: %+v, %v", out, err)
+	}
+	if got := out.Affected; len(got) != 2 || got[0] != "job" || got[1] != "post" {
+		t.Fatalf("affected = %v, want [job post]", got)
+	}
+	out, err = b.Apply(d)
+	if err != nil || !out.Duplicate || out.Applied {
+		t.Fatalf("duplicate apply: %+v, %v", out, err)
+	}
+	v := b.Version()
+	if v.Deltas != 1 || v.Origins["a#e1"] != 1 {
+		t.Fatalf("version after dup: %+v", v)
+	}
+}
+
+func TestRejectionIsRecordedButInert(t *testing.T) {
+	b := NewBase(nil, nil, nil)
+	applyAll(t, b, []Delta{
+		stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job"}}),
+	})
+	// "job" is already a member of "position"; re-rooting must reject.
+	out, err := b.Apply(stamp("a", "e1", 2, Delta{Op: OpAddSynonym, Root: "job", Terms: []string{"gig"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Applied || !out.Rejected || out.Changed {
+		t.Fatalf("conflicting synonym: %+v", out)
+	}
+	v := b.Version()
+	if v.Deltas != 2 || v.Rejected != 1 {
+		t.Fatalf("version: %+v", v)
+	}
+	// The rejected delta left no partial state behind.
+	if b.syn.Known("gig") {
+		t.Fatal("rejected delta partially applied")
+	}
+}
+
+func TestGenesisIsNeverMutated(t *testing.T) {
+	syn := semantic.NewSynonyms()
+	if err := syn.AddGroup("position", "job"); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBase(syn, nil, nil)
+	st := b.Stage(semantic.FullConfig())
+	applyAll(t, b, []Delta{
+		stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "salary", Terms: []string{"pay"}}),
+		// Out of order arrival forces a genesis refold.
+		stamp("a", "e0", 7, Delta{Op: OpAddConcept, Term: "car"}),
+	})
+	if syn.Known("pay") {
+		t.Fatal("genesis synonyms were mutated")
+	}
+	// The stage built before the updates still serves the old snapshot
+	// (engines install new snapshots explicitly via Replace).
+	if got, _ := st.Synonyms().Canonical("pay"); got != "pay" {
+		t.Fatalf("old stage snapshot changed: pay → %q", got)
+	}
+	if v := b.Version(); v.Rebuilds != 1 || v.Deltas != 2 {
+		t.Fatalf("version: %+v", v)
+	}
+	// Genesis knowledge is still part of the current state.
+	b.mu.Lock()
+	cur := b.syn
+	b.mu.Unlock()
+	if got, _ := cur.Canonical("job"); got != "position" {
+		t.Fatalf("genesis group lost after refold: job → %q", got)
+	}
+}
+
+func TestOriginStamping(t *testing.T) {
+	o := NewOrigin("b1")
+	d1 := o.Stamp(Delta{Op: OpAddConcept, Term: "x"})
+	d2 := o.Stamp(Delta{Op: OpAddConcept, Term: "y"})
+	if !d1.Stamped() || !d2.Stamped() {
+		t.Fatalf("stamp failed: %v %v", d1, d2)
+	}
+	if d1.Seq != 1 || d2.Seq != 2 || d1.Epoch != d2.Epoch || d1.Origin != "b1" {
+		t.Fatalf("stamps: %v %v", d1, d2)
+	}
+	if again := o.Stamp(d1); again.Seq != 1 {
+		t.Fatalf("re-stamping changed identity: %v", again)
+	}
+	o2 := NewOrigin("b1")
+	if o2.Stamp(Delta{Op: OpAddConcept, Term: "z"}).Epoch == d1.Epoch {
+		t.Fatal("two incarnations share an epoch")
+	}
+}
+
+func TestApplyUnstampedFails(t *testing.T) {
+	b := NewBase(nil, nil, nil)
+	if _, err := b.Apply(Delta{Op: OpAddConcept, Term: "x"}); err == nil {
+		t.Fatal("unstamped delta applied")
+	}
+}

@@ -1,0 +1,255 @@
+// Package knowledge turns the static semantic knowledge of S-ToPSS —
+// synonym tables, concept hierarchies, mapping functions — into a
+// replicated, versioned knowledge base that a broker federation can
+// evolve at runtime.
+//
+// The unit of change is a Delta: one append-only operation (AddSynonym,
+// AddConcept, AddIsA, AddMapping, Retire) stamped with the identity of
+// the broker that created it (origin name, incarnation epoch, per-epoch
+// sequence). Deltas flood the overlay like publications do — hop lists
+// for loop prevention, origin-scoped IDs for duplicate suppression —
+// and every broker folds them into its Base in one canonical order, so
+// brokers that have seen the same delta set hold byte-identical
+// semantic state regardless of arrival order (see Base).
+//
+// The semantic structures themselves stay copy-on-write: a Base never
+// mutates a published *semantic.Synonyms/Hierarchy/Mappings; it clones,
+// applies, and hands the fresh snapshot to the engine, which swaps it
+// into the shared semantic.Stage atomically and incrementally re-indexes
+// only the subscriptions the delta affected.
+package knowledge
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// Op enumerates the knowledge-base operations.
+type Op string
+
+// The delta operations. All are append-only except OpRetire, which
+// unregisters a mapping function by name (mapping functions are the
+// only structure that can be removed without changing the canonical
+// form of already-indexed subscriptions; retiring synonyms or is-a
+// edges would, and is rejected at validation).
+const (
+	OpAddSynonym Op = "add_synonym" // Root + Terms join one synonym group
+	OpAddConcept Op = "add_concept" // Term registered in the hierarchy
+	OpAddIsA     Op = "add_isa"    // Child is-a Parent edge
+	OpAddMapping Op = "add_mapping" // Map declares a pair-map function
+	OpRetire     Op = "retire"     // Name unregisters a mapping function
+)
+
+// MapDecl is the serializable form of a declarative pair-map mapping
+// function (semantic.PairMap): when the trigger pair (Attr, Match)
+// appears in an event, the Derived pairs are added.
+type MapDecl struct {
+	Name    string        `json:"name"`
+	Attr    string        `json:"attr"`
+	Match   message.Value `json:"match"`
+	Derived []DerivedPair `json:"derived"`
+}
+
+// DerivedPair is one derived attribute/value pair of a MapDecl.
+type DerivedPair struct {
+	Attr string        `json:"attr"`
+	Val  message.Value `json:"val"`
+}
+
+// Func lowers the declaration into the runtime mapping function.
+func (m MapDecl) Func() semantic.MappingFunc {
+	derived := make([]message.Pair, len(m.Derived))
+	for i, d := range m.Derived {
+		derived[i] = message.Pair{Attr: d.Attr, Val: d.Val}
+	}
+	return semantic.PairMap{MapName: m.Name, Attr: m.Attr, Match: m.Match, Derived: derived}
+}
+
+// Delta is one versioned knowledge-base operation. Origin, Epoch and
+// Seq form its overlay-wide identity; a Delta without them is
+// "unstamped" (as emitted by `ontc -delta`) and must be stamped by an
+// Origin before it enters a Base.
+type Delta struct {
+	Origin string `json:"origin"`
+	Epoch  string `json:"epoch"`
+	Seq    uint64 `json:"seq"`
+	Op     Op     `json:"op"`
+
+	Root   string   `json:"root,omitempty"`   // add_synonym: canonical term
+	Terms  []string `json:"terms,omitempty"`  // add_synonym: member terms
+	Term   string   `json:"term,omitempty"`   // add_concept
+	Child  string   `json:"child,omitempty"`  // add_isa
+	Parent string   `json:"parent,omitempty"` // add_isa
+	Map    *MapDecl `json:"map,omitempty"`    // add_mapping
+	Name   string   `json:"name,omitempty"`   // retire: mapping function name
+}
+
+// ID returns the overlay-wide identity, mirroring the publication ID
+// scheme (origin#epoch/seq) so the overlay's duplicate-suppression
+// machinery applies unchanged.
+func (d Delta) ID() string {
+	return fmt.Sprintf("%s#%s/%d", d.Origin, d.Epoch, d.Seq)
+}
+
+// Stamped reports whether the delta carries a full origin identity.
+func (d Delta) Stamped() bool {
+	return d.Origin != "" && d.Epoch != "" && d.Seq != 0
+}
+
+// Validate checks the operation payload (not the stamp; use Stamped).
+func (d Delta) Validate() error {
+	switch d.Op {
+	case OpAddSynonym:
+		if d.Root == "" {
+			return fmt.Errorf("knowledge: %s needs a root term", d.Op)
+		}
+		for _, t := range d.Terms {
+			if t == "" {
+				return fmt.Errorf("knowledge: %s %q has an empty member term", d.Op, d.Root)
+			}
+		}
+	case OpAddConcept:
+		if d.Term == "" {
+			return fmt.Errorf("knowledge: %s needs a term", d.Op)
+		}
+	case OpAddIsA:
+		if d.Child == "" || d.Parent == "" {
+			return fmt.Errorf("knowledge: %s needs child and parent", d.Op)
+		}
+		if d.Child == d.Parent {
+			return fmt.Errorf("knowledge: %s: %q cannot specialize itself", d.Op, d.Child)
+		}
+	case OpAddMapping:
+		if d.Map == nil {
+			return fmt.Errorf("knowledge: %s needs a map declaration", d.Op)
+		}
+		if d.Map.Name == "" {
+			return fmt.Errorf("knowledge: %s needs a map name", d.Op)
+		}
+		if d.Map.Attr == "" {
+			return fmt.Errorf("knowledge: %s %q needs a trigger attribute", d.Op, d.Map.Name)
+		}
+		if len(d.Map.Derived) == 0 {
+			return fmt.Errorf("knowledge: %s %q derives nothing", d.Op, d.Map.Name)
+		}
+		for _, p := range d.Map.Derived {
+			if p.Attr == "" {
+				return fmt.Errorf("knowledge: %s %q derives a pair with an empty attribute", d.Op, d.Map.Name)
+			}
+		}
+	case OpRetire:
+		if d.Name == "" {
+			return fmt.Errorf("knowledge: %s needs a mapping function name", d.Op)
+		}
+	default:
+		return fmt.Errorf("knowledge: unknown op %q", d.Op)
+	}
+	return nil
+}
+
+// MaxDeltaBytes bounds one encoded delta. It is far below the overlay
+// frame limit (1 MiB), leaving room for the frame envelope (origin,
+// hop list), so every delta a Base accepts is guaranteed replicable —
+// an applied-but-unsendable delta would diverge the federation
+// permanently and flap every link that tries to sync it.
+const MaxDeltaBytes = 128 << 10
+
+// Encode serializes the delta as one JSON object (the wire and log
+// format — one delta per line in delta-log files and snapshots).
+func Encode(d Delta) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(d)
+}
+
+// Decode parses one encoded delta and validates its payload. The stamp
+// may be absent (unstamped deltas are legal in delta-log files; the
+// injecting broker stamps them).
+func Decode(data []byte) (Delta, error) {
+	if len(data) > MaxDeltaBytes {
+		return Delta{}, fmt.Errorf("knowledge: delta of %d bytes exceeds the %d-byte limit", len(data), MaxDeltaBytes)
+	}
+	var d Delta
+	if err := json.Unmarshal(data, &d); err != nil {
+		return Delta{}, fmt.Errorf("knowledge: decoding delta: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return Delta{}, err
+	}
+	return d, nil
+}
+
+// FileStamp deterministically stamps an unstamped delta for replayable
+// injection from a delta-log file or admin request: the origin is the
+// fixed name "odl", the epoch a content hash of the operation payload,
+// and the sequence the (1-based) line number. Re-reading the same file
+// after a restart or truncation — or injecting the same file at
+// several brokers — therefore reproduces identical delta IDs, and
+// duplicate suppression absorbs the replay instead of appending the
+// whole log again under fresh identities. Already-stamped deltas pass
+// through unchanged.
+//
+// Because the epoch is a content hash, a multi-line file's canonical
+// order generally differs from its line order, so applying it counts a
+// few refolds (Version.Rebuilds) — expected, and harmless beyond the
+// refold cost: convergence never depends on arrival order.
+func FileStamp(line uint64, d Delta) (Delta, error) {
+	if d.Stamped() {
+		return d, nil
+	}
+	if line == 0 {
+		return Delta{}, fmt.Errorf("knowledge: FileStamp needs a 1-based line number")
+	}
+	enc, err := Encode(d)
+	if err != nil {
+		return Delta{}, err
+	}
+	h := uint64(fnvOffset)
+	for _, b := range enc {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	d.Origin = "odl"
+	d.Epoch = fmt.Sprintf("f%016x", h)
+	d.Seq = line
+	return d, nil
+}
+
+// less orders deltas canonically: by origin name, then epoch, then
+// sequence. The order is arbitrary but identical on every broker, which
+// is all convergence needs — every Base folds its log in this order
+// (see Base.Apply), so equal delta sets produce equal semantic state.
+func less(a, b Delta) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	if a.Epoch != b.Epoch {
+		return a.Epoch < b.Epoch
+	}
+	return a.Seq < b.Seq
+}
+
+// String summarizes the delta for logs and diagnostics.
+func (d Delta) String() string {
+	switch d.Op {
+	case OpAddSynonym:
+		return fmt.Sprintf("%s[%s: %s←%v]", d.Op, d.ID(), d.Root, d.Terms)
+	case OpAddConcept:
+		return fmt.Sprintf("%s[%s: %s]", d.Op, d.ID(), d.Term)
+	case OpAddIsA:
+		return fmt.Sprintf("%s[%s: %s is-a %s]", d.Op, d.ID(), d.Child, d.Parent)
+	case OpAddMapping:
+		name := "?"
+		if d.Map != nil {
+			name = d.Map.Name
+		}
+		return fmt.Sprintf("%s[%s: %s]", d.Op, d.ID(), name)
+	case OpRetire:
+		return fmt.Sprintf("%s[%s: %s]", d.Op, d.ID(), d.Name)
+	}
+	return fmt.Sprintf("%s[%s]", d.Op, d.ID())
+}

@@ -1,0 +1,176 @@
+package knowledge
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func TestDeltaRoundTrip(t *testing.T) {
+	for _, d := range testDeltas() {
+		enc, err := Encode(d)
+		if err != nil {
+			t.Fatalf("encode %s: %v", d, err)
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("decode %s: %v", d, err)
+		}
+		enc2, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode %s: %v", d, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("round trip not stable:\n  %s\n  %s", enc, enc2)
+		}
+		if got.ID() != d.ID() {
+			t.Fatalf("ID changed: %s → %s", d.ID(), got.ID())
+		}
+	}
+}
+
+func TestDeltaValidate(t *testing.T) {
+	bad := []Delta{
+		{Op: "frobnicate"},
+		{Op: OpAddSynonym},
+		{Op: OpAddSynonym, Root: "r", Terms: []string{""}},
+		{Op: OpAddConcept},
+		{Op: OpAddIsA, Child: "x"},
+		{Op: OpAddIsA, Child: "x", Parent: "x"},
+		{Op: OpAddMapping},
+		{Op: OpAddMapping, Map: &MapDecl{Name: "m"}},
+		{Op: OpAddMapping, Map: &MapDecl{Name: "m", Attr: "a"}},
+		{Op: OpAddMapping, Map: &MapDecl{Name: "m", Attr: "a",
+			Derived: []DerivedPair{{Attr: "", Val: message.String("v")}}}},
+		{Op: OpRetire},
+	}
+	for _, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("delta %+v validated", d)
+		}
+	}
+}
+
+func TestMapDeclFunc(t *testing.T) {
+	decl := MapDecl{
+		Name: "m", Attr: "position", Match: message.String("mainframe developer"),
+		Derived: []DerivedPair{
+			{Attr: "skill", Val: message.String("COBOL")},
+			{Attr: "era", Val: message.String("1960-1980")},
+		},
+	}
+	f := decl.Func()
+	if f.Name() != "m" {
+		t.Fatalf("name %q", f.Name())
+	}
+	pairs := f.Apply(message.E("position", "mainframe developer"))
+	if len(pairs) != 2 || pairs[0].Attr != "skill" || pairs[1].Attr != "era" {
+		t.Fatalf("apply: %v", pairs)
+	}
+	if got := f.Apply(message.E("position", "web developer")); got != nil {
+		t.Fatalf("non-matching apply: %v", got)
+	}
+}
+
+func TestFileStampIdempotent(t *testing.T) {
+	d := Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job"}}
+	s1, err := FileStamp(3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FileStamp(3, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.ID() != s2.ID() {
+		t.Fatalf("same content+line stamped differently: %s vs %s", s1.ID(), s2.ID())
+	}
+	if !s1.Stamped() || s1.Seq != 3 || s1.Origin != "odl" {
+		t.Fatalf("stamp: %+v", s1)
+	}
+	// Different line or content → different identity.
+	if s3, _ := FileStamp(4, d); s3.ID() == s1.ID() {
+		t.Fatal("different line, same ID")
+	}
+	other := d
+	other.Terms = []string{"gig"}
+	if s4, _ := FileStamp(3, other); s4.ID() == s1.ID() {
+		t.Fatal("different content, same ID")
+	}
+	// Replaying the stamped delta into a base is a duplicate, not a
+	// fresh append — the property the kb-watch restart path relies on.
+	b := NewBase(nil, nil, nil)
+	if out, err := b.Apply(s1); err != nil || !out.Applied {
+		t.Fatalf("first apply: %+v, %v", out, err)
+	}
+	if out, err := b.Apply(s2); err != nil || !out.Duplicate {
+		t.Fatalf("replay: %+v, %v", out, err)
+	}
+	// Pre-stamped deltas pass through untouched.
+	pre := stamp("b1", "e1", 9, d)
+	if got, err := FileStamp(1, pre); err != nil || got.ID() != pre.ID() {
+		t.Fatalf("pre-stamped delta restamped: %v, %v", got, err)
+	}
+	if _, err := FileStamp(0, d); err == nil {
+		t.Fatal("line 0 accepted (Stamped() would be false)")
+	}
+}
+
+func TestOversizedDeltaRefused(t *testing.T) {
+	terms := make([]string, 0, MaxDeltaBytes/8)
+	for i := 0; len(terms) < cap(terms); i++ {
+		terms = append(terms, fmt.Sprintf("term%06d", i))
+	}
+	d := stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "r", Terms: terms})
+	b := NewBase(nil, nil, nil)
+	if _, err := b.Apply(d); err == nil {
+		t.Fatal("oversized delta applied")
+	}
+	if b.Len() != 0 {
+		t.Fatal("oversized delta logged")
+	}
+	enc, _ := json.Marshal(d)
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("oversized delta decoded")
+	}
+}
+
+// FuzzKBDelta fuzzes the delta codec: any input that decodes must
+// re-encode and decode to the same delta (stable round trip), and the
+// codec must never panic.
+func FuzzKBDelta(f *testing.F) {
+	for _, d := range testDeltas() {
+		enc, err := Encode(d)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"op":"add_synonym","root":"r","terms":["a","b"]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(d)
+		if err != nil {
+			t.Fatalf("decoded delta %s does not re-encode: %v", d, err)
+		}
+		d2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded delta does not decode: %v\n%s", err, enc)
+		}
+		enc2, err := Encode(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("unstable round trip:\n  %s\n  %s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package knowledge
+
+import (
+	"fmt"
+
+	"stopss/internal/semantic"
+)
+
+// Structures bundles the three compiled semantic knowledge structures
+// of one ontology — the shape ontology.Ontology compiles to, accepted
+// here directly so the knowledge package needs no compiler dependency.
+type Structures struct {
+	Synonyms  *semantic.Synonyms
+	Hierarchy *semantic.Hierarchy
+	Mappings  *semantic.Mappings
+}
+
+// Diff computes the delta log that evolves the compiled ontology old
+// into new: the operations a running federation must apply so brokers
+// started from old match brokers started from new. The returned deltas
+// are unstamped (the injecting broker stamps them).
+//
+// Changes the delta language cannot express are returned as warnings
+// rather than silently dropped: removing synonyms, concepts or is-a
+// edges (the KB is append-only for those), and mapping functions
+// compiled from computed `rule` declarations (only declarative `map`
+// pair-maps serialize). An incompatible change — a term re-rooted to a
+// different synonym group — is an error, because no delta sequence can
+// reproduce it.
+func Diff(old, new Structures) ([]Delta, []string, error) {
+	var deltas []Delta
+	var warnings []string
+
+	// Synonyms: new groups and new members of existing groups.
+	for _, root := range new.Synonyms.RootTerms() {
+		if old.Synonyms.Known(root) && !old.Synonyms.IsRoot(root) {
+			oldRoot, _ := old.Synonyms.Canonical(root)
+			return nil, nil, fmt.Errorf("knowledge: term %q is a member of group %q in the old ontology but a root in the new one", root, oldRoot)
+		}
+		group := new.Synonyms.GroupOf(root) // root first, then members
+		var fresh []string
+		for _, t := range group[1:] {
+			if old.Synonyms.Known(t) {
+				if r, _ := old.Synonyms.Canonical(t); r != root {
+					return nil, nil, fmt.Errorf("knowledge: term %q moves from group %q to %q; re-rooting is not expressible as a delta", t, r, root)
+				}
+				continue
+			}
+			fresh = append(fresh, t)
+		}
+		if len(fresh) > 0 || !old.Synonyms.Known(root) {
+			deltas = append(deltas, Delta{Op: OpAddSynonym, Root: root, Terms: fresh})
+		}
+	}
+	for _, root := range old.Synonyms.RootTerms() {
+		if !new.Synonyms.Known(root) {
+			warnings = append(warnings, fmt.Sprintf("synonym group %q removed; removal is not expressible as a delta", root))
+			continue
+		}
+		for _, t := range old.Synonyms.GroupOf(root)[1:] {
+			if !new.Synonyms.Known(t) {
+				warnings = append(warnings, fmt.Sprintf("synonym %q (group %q) removed; removal is not expressible as a delta", t, root))
+			}
+		}
+	}
+
+	// Hierarchy: new concepts, then new is-a edges.
+	for _, c := range new.Hierarchy.Concepts() {
+		if !old.Hierarchy.Has(c) {
+			deltas = append(deltas, Delta{Op: OpAddConcept, Term: c})
+		}
+	}
+	for _, c := range new.Hierarchy.Concepts() {
+		oldParents := make(map[string]bool)
+		for _, p := range old.Hierarchy.Parents(c) {
+			oldParents[p] = true
+		}
+		for _, p := range new.Hierarchy.Parents(c) {
+			if !oldParents[p] {
+				deltas = append(deltas, Delta{Op: OpAddIsA, Child: c, Parent: p})
+			}
+		}
+	}
+	for _, c := range old.Hierarchy.Concepts() {
+		if !new.Hierarchy.Has(c) {
+			warnings = append(warnings, fmt.Sprintf("concept %q removed; removal is not expressible as a delta", c))
+			continue
+		}
+		newParents := make(map[string]bool)
+		for _, p := range new.Hierarchy.Parents(c) {
+			newParents[p] = true
+		}
+		for _, p := range old.Hierarchy.Parents(c) {
+			if !newParents[p] {
+				warnings = append(warnings, fmt.Sprintf("is-a edge %q → %q removed; removal is not expressible as a delta", c, p))
+			}
+		}
+	}
+
+	// Mappings: removed and content-changed functions retire first (the
+	// deltas are folded in emission order when stamped by one origin, so
+	// a changed map's re-add lands after its retire); then additions.
+	// Only declarative pair-maps serialize; computed rules warn.
+	var adds []Delta
+	for _, name := range new.Mappings.Names() {
+		f, _ := new.Mappings.Func(name)
+		pm, ok := f.(semantic.PairMap)
+		if oldF, had := old.Mappings.Func(name); had {
+			oldPM, oldOK := oldF.(semantic.PairMap)
+			if !ok || !oldOK {
+				if !mappingRulesAssumedEqual(oldOK, ok) {
+					warnings = append(warnings, fmt.Sprintf("mapping %q changed kind; computed rules do not serialize as deltas", name))
+				}
+				continue
+			}
+			if pairMapEqual(oldPM, pm) {
+				continue
+			}
+			deltas = append(deltas, Delta{Op: OpRetire, Name: name})
+		} else if !ok {
+			warnings = append(warnings, fmt.Sprintf("mapping %q is a computed rule; only declarative pair-maps serialize as deltas", name))
+			continue
+		}
+		adds = append(adds, Delta{Op: OpAddMapping, Map: pairMapDecl(pm)})
+	}
+	for _, name := range old.Mappings.Names() {
+		if !new.Mappings.Has(name) {
+			deltas = append(deltas, Delta{Op: OpRetire, Name: name})
+		}
+	}
+	deltas = append(deltas, adds...)
+
+	return deltas, warnings, nil
+}
+
+// mappingRulesAssumedEqual: two computed rules with the same name are
+// assumed unchanged (rule bodies are not comparable once compiled); a
+// kind flip (rule ↔ pair-map) is reported.
+func mappingRulesAssumedEqual(oldIsPairMap, newIsPairMap bool) bool {
+	return oldIsPairMap == newIsPairMap
+}
+
+func pairMapDecl(pm semantic.PairMap) *MapDecl {
+	decl := &MapDecl{Name: pm.MapName, Attr: pm.Attr, Match: pm.Match}
+	for _, p := range pm.Derived {
+		decl.Derived = append(decl.Derived, DerivedPair{Attr: p.Attr, Val: p.Val})
+	}
+	return decl
+}
+
+func pairMapEqual(a, b semantic.PairMap) bool {
+	if a.Attr != b.Attr || !a.Match.Equal(b.Match) || len(a.Derived) != len(b.Derived) {
+		return false
+	}
+	for i := range a.Derived {
+		if a.Derived[i].Attr != b.Derived[i].Attr || !a.Derived[i].Val.Equal(b.Derived[i].Val) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package knowledge
+
+import (
+	"strings"
+	"testing"
+
+	"stopss/internal/message"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+)
+
+const oldODL = `
+domain jobs
+synonyms {
+    position: job
+}
+concepts {
+    degree { PhD }
+}
+mappings {
+    map position "mainframe developer" -> era "1960-1980"
+}
+`
+
+const newODL = `
+domain jobs
+synonyms {
+    position: job, post
+    salary: pay
+}
+concepts {
+    degree { PhD "graduate degree" { MSc } }
+}
+mappings {
+    map position "web developer" -> skill "JavaScript"
+}
+`
+
+func loadStructs(t *testing.T, src string) Structures {
+	t.Helper()
+	ont, err := ontology.Load(src, ontology.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Structures{Synonyms: ont.Synonyms, Hierarchy: ont.Hierarchy, Mappings: ont.Mappings}
+}
+
+func TestDiffEmitsEvolution(t *testing.T) {
+	old, neu := loadStructs(t, oldODL), loadStructs(t, newODL)
+	deltas, warnings, err := Diff(old, neu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old pair-map disappears → one retire warning-free delta; the
+	// dropped nothing else, so warnings should be empty.
+	for _, w := range warnings {
+		t.Errorf("unexpected warning: %s", w)
+	}
+
+	// Applying the diff on top of the OLD ontology must reproduce the
+	// new one's behaviour.
+	base := NewBase(old.Synonyms, old.Hierarchy, old.Mappings)
+	o := NewOrigin("diff")
+	for _, d := range deltas {
+		out, err := base.Apply(o.Stamp(d))
+		if err != nil {
+			t.Fatalf("applying %s: %v", d, err)
+		}
+		if out.Rejected {
+			t.Fatalf("diff delta rejected: %s (%s)", d, out.RejectReason)
+		}
+	}
+	st := base.Stage(semantic.FullConfig())
+
+	// New synonym members.
+	res := st.ProcessEvent(message.E("post", "x", "pay", "y"))
+	root := res.Events[0]
+	if !root.Has("position") || !root.Has("salary") {
+		t.Fatalf("new synonyms not applied: %v", root)
+	}
+	// New hierarchy path: MSc is-a "graduate degree" is-a degree.
+	if !st.Hierarchy().IsA("MSc", "degree") {
+		t.Fatal("new hierarchy edges not applied")
+	}
+	// Old hierarchy preserved.
+	if !st.Hierarchy().IsA("PhD", "degree") {
+		t.Fatal("genesis hierarchy lost")
+	}
+	// Mapping swap (same auto-generated name, new content): the old
+	// behaviour is retired, the new one live.
+	if st.Mappings().Len() != 1 {
+		t.Fatalf("mappings after diff: %v", st.Mappings().Names())
+	}
+	for _, ev := range st.ProcessEvent(message.E("position", "mainframe developer")).Events {
+		if ev.Has("era") {
+			t.Fatal("retired mapping content still fires")
+		}
+	}
+	pairs := st.ProcessEvent(message.E("position", "web developer"))
+	foundSkill := false
+	for _, ev := range pairs.Events {
+		if v, ok := ev.Get("skill"); ok && v.Str() == "JavaScript" {
+			foundSkill = true
+		}
+	}
+	if !foundSkill {
+		t.Fatal("new mapping not applied")
+	}
+}
+
+func TestDiffWarnsOnRemovals(t *testing.T) {
+	old, neu := loadStructs(t, newODL), loadStructs(t, oldODL) // reversed
+	_, warnings, err := Diff(old, neu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(warnings, "\n")
+	for _, want := range []string{"salary", "MSc", "removed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("warnings missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestDiffRejectsRerooting(t *testing.T) {
+	old := loadStructs(t, "domain d\nsynonyms {\n    a: b\n}\n")
+	neu := loadStructs(t, "domain d\nsynonyms {\n    c: b\n}\n")
+	if _, _, err := Diff(old, neu); err == nil {
+		t.Fatal("re-rooted term diffed without error")
+	}
+}

@@ -123,3 +123,49 @@ func (t *coverTable) remove(id routeID) (wasForwarded bool, reissue []routeSend)
 func (t *coverTable) size() (int, int) {
 	return len(t.forwarded), len(t.suppressed)
 }
+
+// recanonicalize recomputes every entry's canonical form (a knowledge
+// delta may have changed how raw subscriptions canonicalize) and
+// repairs the covering invariant: suppressed entries no longer covered
+// by any forwarded entry are promoted and returned so the caller can
+// forward them now — without this, a subscription quenched under the
+// old knowledge could remain unknown to a peer that now needs it.
+// Previously forwarded entries stay forwarded even if the new
+// knowledge would cover them: the peer holding extra routing state is
+// harmless (a superset routes a superset).
+func (t *coverTable) recanonicalize(canon func(message.Subscription) message.Subscription) []routeSend {
+	for id, e := range t.forwarded {
+		e.canon = canon(e.raw)
+		t.forwarded[id] = e
+	}
+	ids := make([]routeID, 0, len(t.suppressed))
+	for sid := range t.suppressed {
+		ids = append(ids, sid)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Origin != ids[j].Origin {
+			return ids[i].Origin < ids[j].Origin
+		}
+		return ids[i].ID < ids[j].ID
+	})
+	var promote []routeSend
+	for _, sid := range ids {
+		e := t.suppressed[sid]
+		e.canon = canon(e.raw)
+		covered := false
+		for _, f := range t.forwarded {
+			if matching.Covers(f.canon, e.canon) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			t.suppressed[sid] = e
+			continue
+		}
+		delete(t.suppressed, sid)
+		t.forwarded[sid] = e
+		promote = append(promote, routeSend{id: sid, e: e})
+	}
+	return promote
+}

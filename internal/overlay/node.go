@@ -10,6 +10,7 @@ import (
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/metrics"
@@ -77,6 +78,8 @@ type Node struct {
 	subsForwarded, subsPruned, subsQuenched, subsReissued *metrics.Counter
 	pubsForwarded, pubsReceived, pubsDeduped              *metrics.Counter
 	advertsForwarded                                      *metrics.Counter
+	kbForwarded, kbReceived, kbDeduped                    *metrics.Counter
+	kbDeltas                                              *metrics.Gauge
 }
 
 // seenCap bounds the duplicate-suppression window.
@@ -113,6 +116,10 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 		pubsReceived:     reg.Counter("overlay.pubs_received"),
 		pubsDeduped:      reg.Counter("overlay.pubs_deduped"),
 		advertsForwarded: reg.Counter("overlay.adverts_forwarded"),
+		kbForwarded:      reg.Counter("overlay.kb_forwarded"),
+		kbReceived:       reg.Counter("overlay.kb_received"),
+		kbDeduped:        reg.Counter("overlay.kb_deduped"),
+		kbDeltas:         reg.Gauge("overlay.kb_deltas"),
 	}
 	b.SetForwarder(n)
 	b.SetRemoteStatsSource(n.remoteStats)
@@ -226,10 +233,19 @@ func (n *Node) attach(conn Conn) error {
 	return nil
 }
 
-// syncLink pushes every known subscription and advertisement to a fresh
-// link: local broker state plus entries learned from other links.
-// Callers hold n.mu.
+// syncLink pushes every known subscription, advertisement and applied
+// knowledge delta to a fresh link: local broker state plus entries
+// learned from other links. The knowledge-log replay is what lets a
+// healed partition or a restarted broker catch up — receivers fold the
+// deltas through ordinary duplicate-suppressed application, so replay
+// is idempotent. Callers hold n.mu.
 func (n *Node) syncLink(l *link) {
+	for _, d := range n.b.KnowledgeLog() {
+		d := d
+		if l.send(Frame{Type: frameKB, Origin: d.Origin, KB: &d, Hops: []string{n.cfg.Name}}) == nil {
+			n.kbForwarded.Inc()
+		}
+	}
 	for _, sub := range n.b.Subscriptions() {
 		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
 		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
@@ -379,6 +395,22 @@ func (n *Node) PublicationAccepted(ev message.Event) {
 	n.routePub(ev, id, []string{n.cfg.Name}, nil)
 }
 
+// KnowledgeChanged implements broker.Forwarder for locally injected
+// knowledge deltas: the delta (already applied to the local base) is
+// flooded to every peer, and — when it actually changed the semantic
+// structures — the node's routing state is re-canonicalized under the
+// new knowledge.
+func (n *Node) KnowledgeChanged(d knowledge.Delta, rep core.KnowledgeReport) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.markSeen("kb|" + d.ID())
+	n.routeKB(d, []string{n.cfg.Name}, nil)
+	if rep.Changed {
+		n.reindexRouting()
+	}
+	n.kbDeltas.Set(int64(rep.Version.Deltas))
+}
+
 // AdvertisementChanged implements broker.Forwarder for local
 // advertisements.
 func (n *Node) AdvertisementChanged(adv matching.Advertisement, added bool) {
@@ -466,6 +498,42 @@ func (n *Node) handleFrame(l *link, f Frame) {
 				other.send(Frame{Type: frameUnadv, Origin: aid.Origin, Client: aid.Client, Hops: hops})
 			}
 		}
+		n.mu.Unlock()
+
+	case frameKB:
+		if f.KB == nil || visited(f.Hops, n.cfg.Name) {
+			return
+		}
+		id := "kb|" + f.KB.ID()
+		n.mu.Lock()
+		if n.seen[id] {
+			n.kbDeduped.Inc()
+			n.mu.Unlock()
+			return
+		}
+		n.markSeen(id)
+		n.mu.Unlock()
+
+		// Application runs outside n.mu: it takes engine and base locks
+		// and must not nest under routing state.
+		rep, err := n.b.DeliverRemoteKnowledge(*f.KB)
+		n.kbReceived.Inc()
+		if err != nil {
+			n.logf("overlay %s: remote knowledge delta rejected: %v", n.cfg.Name, err)
+			return
+		}
+		if !rep.Applied {
+			// The base had it already (seen-window eviction or snapshot
+			// restore); whoever applied it first propagated it.
+			n.kbDeduped.Inc()
+			return
+		}
+		n.mu.Lock()
+		n.routeKB(*f.KB, appendHop(f.Hops, n.cfg.Name), l)
+		if rep.Changed {
+			n.reindexRouting()
+		}
+		n.kbDeltas.Set(int64(rep.Version.Deltas))
 		n.mu.Unlock()
 
 	case framePub:
@@ -591,6 +659,48 @@ func (n *Node) routePub(ev message.Event, pubID string, hops []string, from *lin
 	}
 }
 
+// routeKB floods a knowledge delta to every link except the arrival
+// link and peers already on the hop list. Unlike publications, deltas
+// are not interest-filtered: every broker needs every delta, or
+// matching diverges.
+func (n *Node) routeKB(d knowledge.Delta, hops []string, from *link) {
+	for _, l := range n.links {
+		if l == from || visited(hops, l.peer) {
+			continue
+		}
+		dd := d
+		if err := l.send(Frame{Type: frameKB, Origin: d.Origin, KB: &dd, Hops: hops}); err != nil {
+			continue
+		}
+		n.kbForwarded.Inc()
+	}
+}
+
+// reindexRouting re-canonicalizes the node's routing state after the
+// knowledge base changed: recorded remote interests (the publication
+// forwarding predicate) and per-link cover tables are recomputed under
+// the new stage, and suppressed subscriptions that the new knowledge
+// uncovers are forwarded now. Without this, a subscription recorded
+// under old knowledge could silently stop routing publications phrased
+// in the new terms.
+func (n *Node) reindexRouting() {
+	for _, l := range n.links {
+		for rid, e := range l.interests {
+			e.canon = n.canonicalize(e.raw)
+			l.interests[rid] = e
+		}
+	}
+	for _, l := range n.links {
+		for _, rs := range l.out.recanonicalize(n.canonicalize) {
+			raw := rs.e.raw.Clone()
+			if err := l.send(Frame{Type: frameSub, Origin: rs.id.Origin, Sub: &raw, Hops: rs.e.hops}); err != nil {
+				continue
+			}
+			n.subsReissued.Inc()
+		}
+	}
+}
+
 // interestsMatch reports whether any interest on the link matches any
 // derived event.
 func interestsMatch(l *link, events []message.Event) bool {
@@ -701,6 +811,9 @@ func (n *Node) remoteStats() broker.RemoteStats {
 		PubsForwarded: n.pubsForwarded.Value(),
 		PubsReceived:  n.pubsReceived.Value(),
 		PubsDeduped:   n.pubsDeduped.Value(),
+		KBForwarded:   n.kbForwarded.Value(),
+		KBReceived:    n.kbReceived.Value(),
+		KBDeduped:     n.kbDeduped.Value(),
 	}
 	if se, ok := n.b.Engine().(*ShardedEngine); ok {
 		rs.ShardMatches = se.ShardMatchCounts()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/message"
 	"stopss/internal/metrics"
 	"stopss/internal/semantic"
@@ -25,15 +26,21 @@ import (
 // makes publication throughput scale with cores, which is the point:
 // each shard holds 1/N of the index and the N matches overlap in time.
 //
-// All shards share one semantic stage (read-only after construction)
-// and are kept in the same mode; SetMode re-indexes every shard.
+// All shards share one semantic stage and are kept in the same mode;
+// SetMode re-indexes every shard. The stage is mutable at runtime
+// through ApplyKnowledge (it is swapped copy-on-write, so in-flight
+// expansions stay coherent); a knowledge base bound with
+// WithKnowledgeBase is applied once at the pool level and re-indexed
+// per shard under the same exclusion SetMode uses.
 type ShardedEngine struct {
 	shards []*core.Engine
 	jobs   []chan matchJob
 	wg     sync.WaitGroup
 
-	mu     sync.RWMutex // excludes SetMode against in-flight publishes
+	mu     sync.RWMutex // excludes SetMode/ApplyKnowledge against in-flight publishes
 	closed bool
+
+	kb *knowledge.Base // optional; bound at the pool level
 
 	// Publication-level statistics (the semantic half lives here, not
 	// in the shards, because expansion happens once at this level).
@@ -69,6 +76,14 @@ type ShardOption func(*ShardedEngine)
 // "engine.sharded.publishes".
 func WithRegistry(reg *metrics.Registry) ShardOption {
 	return func(s *ShardedEngine) { s.reg = reg }
+}
+
+// WithKnowledgeBase binds a runtime knowledge base to the pool. The
+// shared semantic stage the shard factory uses must have been built
+// over the base's structures (knowledge.Base.Stage); individual shards
+// must NOT bind the base themselves — the pool applies each delta once.
+func WithKnowledgeBase(b *knowledge.Base) ShardOption {
+	return func(s *ShardedEngine) { s.kb = b }
 }
 
 // NewSharded builds an engine pool of n shards, constructing each with
@@ -188,6 +203,55 @@ func (s *ShardedEngine) SetMode(m core.Mode) error {
 // Stage implements core.PubSub (the stage is shared by every shard).
 func (s *ShardedEngine) Stage() *semantic.Stage { return s.shards[0].Stage() }
 
+// Knowledge implements core.PubSub.
+func (s *ShardedEngine) Knowledge() *knowledge.Base { return s.kb }
+
+// ApplyKnowledge implements core.PubSub: the delta is folded into the
+// pool-level base ONCE, the shared stage is swapped to the fresh
+// snapshot, and every shard re-indexes its partition of the
+// subscription set. In-flight publications are excluded for the whole
+// sequence (the SetMode exclusion), so no event is ever expanded by the
+// new knowledge but matched against an old index, or vice versa.
+func (s *ShardedEngine) ApplyKnowledge(d knowledge.Delta) (core.KnowledgeReport, error) {
+	if s.kb == nil {
+		return core.KnowledgeReport{}, fmt.Errorf("overlay: no knowledge base bound to this pool")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	out, err := s.kb.Apply(d)
+	if err != nil {
+		return core.KnowledgeReport{}, err
+	}
+	rep := core.KnowledgeReport{
+		ID:        d.ID(),
+		Applied:   out.Applied,
+		Duplicate: out.Duplicate,
+		Rejected:  out.Rejected,
+		Rebuilt:   out.Rebuilt,
+		Changed:   out.Changed,
+		Version:   s.kb.Version(),
+	}
+	if !out.Changed {
+		return rep, nil
+	}
+	s.Stage().Replace(out.Synonyms, out.Hierarchy, out.Mappings)
+	for i, sh := range s.shards {
+		n, err := sh.ReindexKnowledge(out.Affected, out.Rebuilt)
+		if err != nil {
+			return rep, fmt.Errorf("overlay: shard %d: %w", i, err)
+		}
+		rep.Reindexed += n
+	}
+	rep.FullReindex = out.Rebuilt || len(out.Affected) > core.KBFullReindexTerms
+	if s.reg != nil {
+		s.reg.Counter("engine.kb.applied").Inc()
+		s.reg.Gauge("engine.kb.deltas").Set(int64(rep.Version.Deltas))
+		s.reg.Counter("engine.kb.reindexed").Add(uint64(rep.Reindexed))
+	}
+	return rep, nil
+}
+
 // MatcherName implements core.PubSub.
 func (s *ShardedEngine) MatcherName() string {
 	return fmt.Sprintf("%s×%d", s.shards[0].MatcherName(), len(s.shards))
@@ -294,6 +358,12 @@ func (s *ShardedEngine) Stats() core.Stats {
 	out.MappingCalls += s.mapCalls.Load()
 	out.Truncated += s.truncated.Load()
 	out.SemanticTime += time.Duration(s.semTime.Load())
+	if s.kb != nil {
+		v := s.kb.Version()
+		out.KBDeltas = uint64(v.Deltas)
+		out.KBRejected = uint64(v.Rejected)
+		out.KBVersion = v.Digest
+	}
 	return out
 }
 

@@ -1,0 +1,129 @@
+package overlay
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"stopss/internal/core"
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+func newKBPool(t testing.TB, shards int) (*ShardedEngine, *knowledge.Base) {
+	t.Helper()
+	base := knowledge.NewBase(nil, nil, nil)
+	stage := base.Stage(semantic.FullConfig())
+	pool := NewSharded(shards, func(int) *core.Engine {
+		return core.NewEngine(stage)
+	}, WithKnowledgeBase(base))
+	t.Cleanup(pool.Close)
+	return pool, base
+}
+
+func TestShardedApplyKnowledge(t *testing.T) {
+	pool, _ := newKBPool(t, 4)
+
+	// Enough subscriptions to land on several shards; every one of them
+	// mentions "job", so all must be re-indexed by the synonym delta.
+	const n = 32
+	for i := 1; i <= n; i++ {
+		s := message.NewSubscription(message.SubID(i), fmt.Sprintf("c%d", i),
+			message.Pred("job", message.OpEq, message.String("dev")))
+		if err := pool.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := pool.Publish(message.E("position", "dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatalf("pre-delta matches: %v", res.Matches)
+	}
+
+	rep, err := pool.ApplyKnowledge(knowledge.Delta{
+		Origin: "t", Epoch: "e1", Seq: 1,
+		Op: knowledge.OpAddSynonym, Root: "position", Terms: []string{"job"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Applied || rep.Reindexed != n {
+		t.Fatalf("report: %+v, want %d re-indexed", rep, n)
+	}
+
+	res, err = pool.Publish(message.E("position", "dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != n {
+		t.Fatalf("post-delta matches: %d, want %d", len(res.Matches), n)
+	}
+
+	st := pool.Stats()
+	if st.KBDeltas != 1 || st.KBReindexed != uint64(n) || st.KBVersion == "" {
+		t.Fatalf("stats: KBDeltas=%d KBReindexed=%d KBVersion=%q", st.KBDeltas, st.KBReindexed, st.KBVersion)
+	}
+}
+
+// TestShardedApplyKnowledgeConcurrentPublish hammers publishes while
+// deltas land; run with -race. Matching must be all-or-nothing per
+// publication: an event published in terms of synonyms applied so far
+// always matches (exclusion means no event observes new stage + old
+// index or vice versa).
+func TestShardedApplyKnowledgeConcurrentPublish(t *testing.T) {
+	pool, _ := newKBPool(t, 4)
+	if err := pool.Subscribe(message.NewSubscription(1, "c1",
+		message.Pred("position", message.OpEq, message.String("dev")))); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The canonical form always matches, delta or not.
+				res, err := pool.Publish(message.E("position", "dev"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Matches) != 1 {
+					t.Errorf("canonical publish matched %v", res.Matches)
+					return
+				}
+			}
+		}()
+	}
+	for i := 1; i <= 50; i++ {
+		if _, err := pool.ApplyKnowledge(knowledge.Delta{
+			Origin: "t", Epoch: "e1", Seq: uint64(i),
+			Op: knowledge.OpAddSynonym, Root: "position", Terms: []string{fmt.Sprintf("syn%d", i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Every synonym added mid-storm now routes to the subscription.
+	for i := 1; i <= 50; i++ {
+		res, err := pool.Publish(message.E(fmt.Sprintf("syn%d", i), "dev"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 1 {
+			t.Fatalf("syn%d matched %v", i, res.Matches)
+		}
+	}
+}

@@ -23,10 +23,17 @@
 //     a origin-sequence ID for duplicate suppression, and are matched
 //     semantically at every broker they visit.
 //
-// The federation assumes all brokers share one ontology: routing
-// decisions canonicalize remote subscriptions and expand publications
-// with the local semantic stage, which makes the forwarding predicate
-// equivalent to the destination engine's own matching.
+// Brokers must agree on the semantic knowledge for routing to be
+// faithful: decisions canonicalize remote subscriptions and expand
+// publications with the local semantic stage, which makes the
+// forwarding predicate equivalent to the destination engine's own
+// matching. The federation starts from one shared genesis ontology and
+// evolves it at runtime through replicated knowledge deltas (kb
+// frames, internal/knowledge): deltas flood like publications —
+// hop-list loop prevention, origin-scoped dedup — are folded into
+// every broker's versioned knowledge base in one canonical order, and
+// each application re-canonicalizes the node's routing state so stale
+// canonical forms cannot strand publications.
 package overlay
 
 import (
@@ -37,6 +44,7 @@ import (
 	"fmt"
 	"io"
 
+	"stopss/internal/knowledge"
 	"stopss/internal/message"
 )
 
@@ -48,6 +56,7 @@ const (
 	frameAdv   = "adv"   // advertisement propagation
 	frameUnadv = "unadv" // advertisement withdrawal
 	framePub   = "pub"   // publication forwarding
+	frameKB    = "kb"    // knowledge-delta replication
 )
 
 // Frame is one overlay protocol message. Payload fields are pointers or
@@ -75,6 +84,11 @@ type Frame struct {
 
 	Event *message.Event `json:"event,omitempty"`  // pub
 	PubID string         `json:"pub_id,omitempty"` // pub: origin-scoped dedup key
+
+	// KB carries one knowledge delta (kb frames). The delta's own
+	// origin#epoch/seq identity is the dedup key, reusing the
+	// publication suppression machinery with a "kb|" prefix.
+	KB *knowledge.Delta `json:"kb,omitempty"`
 }
 
 // maxFrameSize bounds one frame on the wire; a subscription or expanded

@@ -202,6 +202,37 @@ func (h *Hierarchy) Depth(term string) (int, bool) {
 	return walk(term), true
 }
 
+// Concepts returns every known concept, sorted (full enumeration for
+// the ontology diff in internal/knowledge).
+func (h *Hierarchy) Concepts() []string {
+	out := make([]string, 0, len(h.nodes))
+	for n := range h.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy sharing no mutable state with the original
+// (copy-on-write support for the runtime knowledge base).
+func (h *Hierarchy) Clone() *Hierarchy {
+	c := &Hierarchy{
+		parents:  make(map[string][]string, len(h.parents)),
+		children: make(map[string][]string, len(h.children)),
+		nodes:    make(map[string]bool, len(h.nodes)),
+	}
+	for n, ps := range h.parents {
+		c.parents[n] = append([]string(nil), ps...)
+	}
+	for n, cs := range h.children {
+		c.children[n] = append([]string(nil), cs...)
+	}
+	for n := range h.nodes {
+		c.nodes[n] = true
+	}
+	return c
+}
+
 // Roots returns concepts with no parents, sorted.
 func (h *Hierarchy) Roots() []string {
 	var out []string

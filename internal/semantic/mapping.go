@@ -31,7 +31,7 @@ type MappingFunc interface {
 // have many mapping functions for each attribute").
 type Mappings struct {
 	byTrigger map[string][]MappingFunc
-	names     map[string]bool
+	names     map[string]MappingFunc
 	count     int
 }
 
@@ -39,7 +39,7 @@ type Mappings struct {
 func NewMappings() *Mappings {
 	return &Mappings{
 		byTrigger: make(map[string][]MappingFunc),
-		names:     make(map[string]bool),
+		names:     make(map[string]MappingFunc),
 	}
 }
 
@@ -49,7 +49,7 @@ func (m *Mappings) Add(f MappingFunc) error {
 	if f.Name() == "" {
 		return fmt.Errorf("semantic: mapping function needs a name")
 	}
-	if m.names[f.Name()] {
+	if _, dup := m.names[f.Name()]; dup {
 		return fmt.Errorf("semantic: mapping function %q already registered", f.Name())
 	}
 	trigs := f.Triggers()
@@ -61,7 +61,7 @@ func (m *Mappings) Add(f MappingFunc) error {
 			return fmt.Errorf("semantic: mapping function %q has an empty trigger", f.Name())
 		}
 	}
-	m.names[f.Name()] = true
+	m.names[f.Name()] = f
 	m.count++
 	seen := make(map[string]bool, len(trigs))
 	for _, t := range trigs {
@@ -76,6 +76,61 @@ func (m *Mappings) Add(f MappingFunc) error {
 
 // Len reports the number of registered functions.
 func (m *Mappings) Len() int { return m.count }
+
+// Func returns the registered function with the given name.
+func (m *Mappings) Func(name string) (MappingFunc, bool) {
+	f, ok := m.names[name]
+	return f, ok
+}
+
+// Has reports whether a function with the given name is registered.
+func (m *Mappings) Has(name string) bool {
+	_, ok := m.names[name]
+	return ok
+}
+
+// Remove unregisters a function by name (the Retire operation of the
+// runtime knowledge base), reporting whether it existed.
+func (m *Mappings) Remove(name string) bool {
+	if _, ok := m.names[name]; !ok {
+		return false
+	}
+	delete(m.names, name)
+	m.count--
+	for trig, fns := range m.byTrigger {
+		kept := fns[:0]
+		for _, f := range fns {
+			if f.Name() != name {
+				kept = append(kept, f)
+			}
+		}
+		if len(kept) == 0 {
+			delete(m.byTrigger, trig)
+		} else {
+			m.byTrigger[trig] = kept
+		}
+	}
+	return true
+}
+
+// Clone returns a copy sharing no mutable registry state with the
+// original (the MappingFunc values themselves, being immutable by
+// contract, are shared). Copy-on-write support for the runtime
+// knowledge base.
+func (m *Mappings) Clone() *Mappings {
+	c := &Mappings{
+		byTrigger: make(map[string][]MappingFunc, len(m.byTrigger)),
+		names:     make(map[string]MappingFunc, len(m.names)),
+		count:     m.count,
+	}
+	for t, fns := range m.byTrigger {
+		c.byTrigger[t] = append([]MappingFunc(nil), fns...)
+	}
+	for n, f := range m.names {
+		c.names[n] = f
+	}
+	return c
+}
 
 // Applicable returns the functions triggered by any attribute of the
 // event, each at most once, in registration order per trigger. Lookup is

@@ -2,6 +2,8 @@ package semantic
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"stopss/internal/message"
 )
@@ -60,7 +62,24 @@ func SyntacticConfig() Config { return Config{} }
 // Stage is the semantic stage of Figure 1: synonym rewrite first, then a
 // fixpoint of concept-hierarchy and mapping-function expansion, feeding
 // the matching algorithm a set of events derived from the original one.
+//
+// A Stage is safe for concurrent use, and — unlike the original
+// read-only design — safely mutable at runtime: all state (the three
+// knowledge structures plus the configuration) lives behind one
+// atomically swapped snapshot. Readers (ProcessEvent,
+// ProcessSubscription) load the snapshot once and therefore never
+// observe a half-applied knowledge update or configuration change;
+// writers (SetConfig, Replace) install a fresh snapshot under a writer
+// lock. The structures inside a snapshot are treated as immutable:
+// knowledge updates clone-and-swap (internal/knowledge), they never
+// mutate in place.
 type Stage struct {
+	wmu  sync.Mutex // serializes writers; readers only load snap
+	snap atomic.Pointer[stageSnap]
+}
+
+// stageSnap is one immutable view of the stage.
+type stageSnap struct {
 	syn  *Synonyms
 	hier *Hierarchy
 	maps *Mappings
@@ -80,24 +99,59 @@ func NewStage(syn *Synonyms, hier *Hierarchy, maps *Mappings, cfg Config) *Stage
 	if maps == nil {
 		maps = NewMappings()
 	}
-	return &Stage{syn: syn, hier: hier, maps: maps, cfg: cfg}
+	st := &Stage{}
+	st.snap.Store(&stageSnap{syn: syn, hier: hier, maps: maps, cfg: cfg})
+	return st
 }
 
-// Synonyms exposes the stage's synonym table (for inspection and stats).
-func (st *Stage) Synonyms() *Synonyms { return st.syn }
+// load returns the current snapshot (never nil).
+func (st *Stage) load() *stageSnap { return st.snap.Load() }
 
-// Hierarchy exposes the stage's concept hierarchy.
-func (st *Stage) Hierarchy() *Hierarchy { return st.hier }
+// Synonyms exposes the stage's current synonym table (for inspection and
+// stats). Callers must treat it as read-only.
+func (st *Stage) Synonyms() *Synonyms { return st.load().syn }
 
-// Mappings exposes the stage's mapping-function registry.
-func (st *Stage) Mappings() *Mappings { return st.maps }
+// Hierarchy exposes the stage's current concept hierarchy (read-only).
+func (st *Stage) Hierarchy() *Hierarchy { return st.load().hier }
+
+// Mappings exposes the stage's current mapping-function registry
+// (read-only).
+func (st *Stage) Mappings() *Mappings { return st.load().maps }
 
 // Config returns the stage configuration.
-func (st *Stage) Config() Config { return st.cfg }
+func (st *Stage) Config() Config { return st.load().cfg }
 
 // SetConfig replaces the configuration (used by the web app's mode
-// switch and the loss-tolerance endpoint).
-func (st *Stage) SetConfig(cfg Config) { st.cfg = cfg }
+// switch and the loss-tolerance endpoint). The swap is atomic: an
+// in-flight ProcessEvent finishes under the configuration it started
+// with.
+func (st *Stage) SetConfig(cfg Config) {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	cur := st.load()
+	st.snap.Store(&stageSnap{syn: cur.syn, hier: cur.hier, maps: cur.maps, cfg: cfg})
+}
+
+// Replace atomically installs new knowledge structures, keeping the
+// current configuration. Nil arguments keep the corresponding current
+// structure. The knowledge base (internal/knowledge) uses this to apply
+// delta updates copy-on-write: in-flight ProcessEvent calls keep the
+// snapshot they loaded and never see a half-applied delta.
+func (st *Stage) Replace(syn *Synonyms, hier *Hierarchy, maps *Mappings) {
+	st.wmu.Lock()
+	defer st.wmu.Unlock()
+	cur := st.load()
+	if syn == nil {
+		syn = cur.syn
+	}
+	if hier == nil {
+		hier = cur.hier
+	}
+	if maps == nil {
+		maps = cur.maps
+	}
+	st.snap.Store(&stageSnap{syn: syn, hier: hier, maps: maps, cfg: cur.cfg})
+}
 
 // Result reports what the semantic stage did to one publication.
 type Result struct {
@@ -119,23 +173,27 @@ type Result struct {
 
 // ProcessEvent runs the full Figure 1 pipeline on a publication.
 func (st *Stage) ProcessEvent(e message.Event) Result {
+	return st.load().processEvent(e)
+}
+
+func (sn *stageSnap) processEvent(e message.Event) Result {
 	var res Result
 
 	root := e.Clone()
-	if st.cfg.Synonyms {
-		root, res.SynonymRewrites = st.rewriteEvent(root)
+	if sn.cfg.Synonyms {
+		root, res.SynonymRewrites = sn.rewriteEvent(root)
 	}
 	res.Events = []message.Event{root}
 
-	if !st.cfg.Hierarchy && !st.cfg.Mappings {
+	if !sn.cfg.Hierarchy && !sn.cfg.Mappings {
 		return res
 	}
 
-	maxRounds := st.cfg.MaxRounds
+	maxRounds := sn.cfg.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = DefaultMaxRounds
 	}
-	maxEvents := st.cfg.MaxEvents
+	maxEvents := sn.cfg.MaxEvents
 	if maxEvents <= 0 {
 		maxEvents = DefaultMaxEvents
 	}
@@ -170,16 +228,16 @@ func (st *Stage) ProcessEvent(e message.Event) Result {
 	for round := 0; round < maxRounds && len(frontier) > 0; round++ {
 		var next []derived
 		for _, d := range frontier {
-			if st.cfg.Hierarchy && !d.fromCH {
-				if gen, added := st.generalize(d.ev); added > 0 {
+			if sn.cfg.Hierarchy && !d.fromCH {
+				if gen, added := sn.generalize(d.ev); added > 0 {
 					res.HierarchyPairs += added
 					if admit(gen) {
 						next = append(next, derived{ev: gen, fromCH: true})
 					}
 				}
 			}
-			if st.cfg.Mappings {
-				for _, f := range st.maps.Applicable(d.ev) {
+			if sn.cfg.Mappings {
+				for _, f := range sn.maps.Applicable(d.ev) {
 					res.MappingCalls++
 					pairs := f.Apply(d.ev)
 					if len(pairs) == 0 {
@@ -212,17 +270,17 @@ func (st *Stage) ProcessEvent(e message.Event) Result {
 
 // rewriteEvent maps attributes (and optionally string values) to their
 // synonym roots, returning the rewritten event and the rewrite count.
-func (st *Stage) rewriteEvent(e message.Event) (message.Event, int) {
+func (sn *stageSnap) rewriteEvent(e message.Event) (message.Event, int) {
 	out := message.Event{}
 	rewrites := 0
 	for _, p := range e.Pairs() {
-		attr, changed := st.syn.Canonical(p.Attr)
+		attr, changed := sn.syn.Canonical(p.Attr)
 		if changed {
 			rewrites++
 		}
 		val := p.Val
-		if st.cfg.SynonymValues && val.Kind() == message.KindString {
-			if s, ch := st.syn.Canonical(val.Str()); ch {
+		if sn.cfg.SynonymValues && val.Kind() == message.KindString {
+			if s, ch := sn.syn.Canonical(val.Str()); ch {
 				val = message.String(s)
 				rewrites++
 			}
@@ -237,18 +295,18 @@ func (st *Stage) rewriteEvent(e message.Event) (message.Event, int) {
 // known concept, pairs with ancestor attributes are added; for each
 // string value that is a known concept, pairs with ancestor values are
 // added. Rule R2 holds because nothing is ever specialized.
-func (st *Stage) generalize(e message.Event) (message.Event, int) {
+func (sn *stageSnap) generalize(e message.Event) (message.Event, int) {
 	out := e.Clone()
 	added := 0
-	levels := st.cfg.MaxGeneralization
+	levels := sn.cfg.MaxGeneralization
 	for _, p := range e.Pairs() {
-		for _, anc := range st.hier.Ancestors(p.Attr, levels) {
+		for _, anc := range sn.hier.Ancestors(p.Attr, levels) {
 			if out.AddUnique(anc, p.Val) {
 				added++
 			}
 		}
 		if p.Val.Kind() == message.KindString {
-			for _, anc := range st.hier.Ancestors(p.Val.Str(), levels) {
+			for _, anc := range sn.hier.Ancestors(p.Val.Str(), levels) {
 				if out.AddUnique(p.Attr, message.String(anc)) {
 					added++
 				}
@@ -264,19 +322,20 @@ func (st *Stage) generalize(e message.Event) (message.Event, int) {
 // subscriptions — generalizing a subscription would violate rule R2.
 // The second result counts rewrites.
 func (st *Stage) ProcessSubscription(s message.Subscription) (message.Subscription, int) {
-	if !st.cfg.Synonyms {
+	sn := st.load()
+	if !sn.cfg.Synonyms {
 		return s.Clone(), 0
 	}
 	out := s.Clone()
 	rewrites := 0
 	for i, p := range out.Preds {
-		attr, changed := st.syn.Canonical(p.Attr)
+		attr, changed := sn.syn.Canonical(p.Attr)
 		if changed {
 			rewrites++
 			out.Preds[i].Attr = attr
 		}
-		if st.cfg.SynonymValues && p.Val.Kind() == message.KindString {
-			if v, ch := st.syn.Canonical(p.Val.Str()); ch {
+		if sn.cfg.SynonymValues && p.Val.Kind() == message.KindString {
+			if v, ch := sn.syn.Canonical(p.Val.Str()); ch {
 				rewrites++
 				out.Preds[i].Val = message.String(v)
 			}
@@ -287,6 +346,7 @@ func (st *Stage) ProcessSubscription(s message.Subscription) (message.Subscripti
 
 // String summarizes the stage for diagnostics.
 func (st *Stage) String() string {
+	sn := st.load()
 	return fmt.Sprintf("stage{syn: %d terms, hier: %d concepts, maps: %d funcs, cfg: %+v}",
-		st.syn.Len(), st.hier.Len(), st.maps.Len(), st.cfg)
+		sn.syn.Len(), sn.hier.Len(), sn.maps.Len(), sn.cfg)
 }

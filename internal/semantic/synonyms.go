@@ -75,6 +75,47 @@ func (s *Synonyms) Canonical(t string) (string, bool) {
 // IsRoot reports whether t is a registered root term.
 func (s *Synonyms) IsRoot(t string) bool { return s.root[t] == t }
 
+// Known reports whether t is registered at all (as a root or a member).
+// A known term's canonical form never changes afterwards: AddGroup
+// rejects remapping, which is what makes incremental re-indexing after
+// a knowledge delta sound (only previously-unknown terms can acquire a
+// new canonical form).
+func (s *Synonyms) Known(t string) bool {
+	_, ok := s.root[t]
+	return ok
+}
+
+// RootTerms returns every registered root term, sorted. Together with
+// GroupOf it allows full enumeration of the table (the ontology diff in
+// internal/knowledge needs this).
+func (s *Synonyms) RootTerms() []string {
+	out := make([]string, 0, len(s.root))
+	for term, r := range s.root {
+		if term == r {
+			out = append(out, term)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy. The copy shares no mutable state with the
+// original, so one can evolve while snapshots of the other stay frozen
+// (the copy-on-write discipline of the runtime knowledge base).
+func (s *Synonyms) Clone() *Synonyms {
+	c := &Synonyms{
+		root:   make(map[string]string, len(s.root)),
+		groups: make(map[string][]string, len(s.groups)),
+	}
+	for t, r := range s.root {
+		c.root[t] = r
+	}
+	for r, members := range s.groups {
+		c.groups[r] = append([]string(nil), members...)
+	}
+	return c
+}
+
 // GroupOf returns the full synonym group of t (root first, then members
 // in sorted order), or nil when t is unknown.
 func (s *Synonyms) GroupOf(t string) []string {

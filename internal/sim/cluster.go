@@ -3,15 +3,18 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/message"
 	"stopss/internal/notify"
 	"stopss/internal/overlay"
+	"stopss/internal/semantic"
 )
 
 // seqAttr carries the harness's per-publication sequence number inside
@@ -27,6 +30,7 @@ type Broker struct {
 	B       *broker.Broker
 	Node    *overlay.Node
 	NT      *notify.Engine
+	KB      *knowledge.Base
 	rec     *recorder
 	crashed bool
 }
@@ -85,11 +89,14 @@ func NewCluster(tb testing.TB, n int) *Cluster {
 		if err != nil {
 			tb.Fatal(err)
 		}
+		base := knowledge.NewBase(nil, nil, nil)
 		b := &Broker{
 			Name: name,
-			B:    broker.New(core.NewEngine(nil), nt),
-			NT:   nt,
-			rec:  rec,
+			B: broker.New(core.NewEngine(base.Stage(semantic.FullConfig()),
+				core.WithKnowledge(base)), nt),
+			NT:  nt,
+			KB:  base,
+			rec: rec,
 		}
 		c.startNode(b)
 		c.Brokers = append(c.Brokers, b)
@@ -122,6 +129,10 @@ func (c *Cluster) startNode(b *Broker) {
 	}
 	b.Node = node
 	b.crashed = false
+	// Fresh stamping identity per incarnation, mirroring publication
+	// epochs: a rejoined broker's new deltas can never collide with its
+	// previous life's.
+	b.B.SetKnowledgeOrigin(knowledge.NewOrigin(b.Name))
 }
 
 // Connect links brokers i and j (j dials i) and records the edge as
@@ -194,6 +205,110 @@ func (c *Cluster) Publish(i int, kv ...any) *Pub {
 	}
 	c.pubs = append(c.pubs, p)
 	return p
+}
+
+// PublishExpect emits an event from broker i with an explicitly frozen
+// expected delivery set, for scenarios whose matching depends on
+// semantic knowledge the harness's syntactic predicate check cannot
+// model (synonym rewrites, hierarchy generalization). The caller names
+// exactly the subscriptions that must be delivered once; every other
+// tracked subscription must receive nothing.
+func (c *Cluster) PublishExpect(i int, expected []*Sub, kv ...any) *Pub {
+	c.tb.Helper()
+	c.seq++
+	ev := message.E(append(append([]any{}, kv...), seqAttr, c.seq)...)
+	p := &Pub{Seq: c.seq, Origin: i, Event: ev, Expected: make(map[*Sub]bool)}
+	for _, s := range expected {
+		p.Expected[s] = true
+	}
+	if _, err := c.Brokers[i].B.Publish(ev); err != nil {
+		c.tb.Fatal(err)
+	}
+	c.pubs = append(c.pubs, p)
+	return p
+}
+
+// InjectKB stamps (if needed) and applies a knowledge delta at broker
+// i; the overlay floods it from there. Call Settle before asserting
+// convergence.
+func (c *Cluster) InjectKB(i int, d knowledge.Delta) core.KnowledgeReport {
+	c.tb.Helper()
+	rep, err := c.Brokers[i].B.InjectKnowledge(d)
+	if err != nil {
+		c.tb.Fatalf("sim: injecting delta at broker %d: %v", i, err)
+	}
+	return rep
+}
+
+// KBVersions snapshots every live broker's knowledge version, indexed
+// like Brokers (crashed brokers report their last state too — the base
+// survives node crashes).
+func (c *Cluster) KBVersions() []knowledge.Version {
+	out := make([]knowledge.Version, len(c.Brokers))
+	for i, b := range c.Brokers {
+		out[i] = b.KB.Version()
+	}
+	return out
+}
+
+// VerifyKBConverged asserts that every non-crashed broker holds the
+// same knowledge version (same delta log, digest-equal) AND that each
+// probe event expands to byte-identical derived event sets on every
+// broker — the end-to-end "matching cannot diverge" check. Call after
+// Settle.
+func (c *Cluster) VerifyKBConverged(probes ...message.Event) {
+	c.tb.Helper()
+	ref := -1
+	for i, b := range c.Brokers {
+		if b.crashed {
+			continue
+		}
+		if ref == -1 {
+			ref = i
+			continue
+		}
+		want, got := c.Brokers[ref].KB.Version(), b.KB.Version()
+		if got.Digest != want.Digest || got.Deltas != want.Deltas || got.Rejected != want.Rejected {
+			c.tb.Errorf("sim: KB diverged: %s has %+v, %s has %+v",
+				c.Brokers[ref].Name, want, b.Name, got)
+		}
+	}
+	if ref == -1 {
+		return
+	}
+	for _, probe := range probes {
+		want := expansionSignatures(c.Brokers[ref].B, probe)
+		for i, b := range c.Brokers {
+			if b.crashed || i == ref {
+				continue
+			}
+			got := expansionSignatures(b.B, probe)
+			if len(got) != len(want) {
+				c.tb.Errorf("sim: probe %v expands to %d events on %s but %d on %s",
+					probe, len(want), c.Brokers[ref].Name, len(got), b.Name)
+				continue
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					c.tb.Errorf("sim: probe %v expansion differs between %s and %s:\n  %s\n  %s",
+						probe, c.Brokers[ref].Name, b.Name, want[j], got[j])
+					break
+				}
+			}
+		}
+	}
+}
+
+// expansionSignatures runs one event through a broker's semantic stage
+// and returns the sorted signatures of the derived event set.
+func expansionSignatures(b *broker.Broker, ev message.Event) []string {
+	res := b.Engine().Stage().ProcessEvent(ev)
+	sigs := make([]string, len(res.Events))
+	for i, e := range res.Events {
+		sigs[i] = e.Signature()
+	}
+	sort.Strings(sigs)
+	return sigs
 }
 
 // Crash closes broker i's overlay node: every link drops, its listener

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+)
+
+func eq(attr, val string) message.Predicate {
+	return message.Pred(attr, message.OpEq, message.String(val))
+}
+
+func synDelta(root string, terms ...string) knowledge.Delta {
+	return knowledge.Delta{Op: knowledge.OpAddSynonym, Root: root, Terms: terms}
+}
+
+// TestKBConvergenceAfterPartition is the acceptance scenario of the
+// knowledge subsystem: a 4-broker line is partitioned, the two sides
+// receive disjoint ontology updates, and after healing every broker
+// must hold the identical KB version and expand probe events to
+// byte-identical derived sets; a probe workload phrased in the new
+// terms must then be delivered exactly once, including to
+// subscriptions that were created — and replicated — BEFORE the
+// knowledge existed (exercising live re-indexing of engines and
+// re-canonicalization of overlay routing state on every broker).
+func TestKBConvergenceAfterPartition(t *testing.T) {
+	c := NewCluster(t, 4)
+	c.Wire(Line(4))
+
+	// Subscriptions predate all knowledge. subPos (on b0) is written in
+	// the future canonical term; subPay (on b2) is written in a term
+	// that a later delta turns into a synonym member, so its indexed
+	// and routed forms must change underneath it.
+	subPos := c.Subscribe(0, eq("position", "dev"))
+	subPay := c.Subscribe(2, eq("pay", "high"))
+	c.Settle()
+
+	// Partition {b0,b1} | {b2,b3} and evolve the sides divergently.
+	c.Partition(0, 1)
+	repA := c.InjectKB(0, synDelta("position", "job"))
+	if !repA.Applied || repA.Rejected {
+		t.Fatalf("side A delta: %+v", repA)
+	}
+	c.InjectKB(0, knowledge.Delta{Op: knowledge.OpAddMapping, Map: &knowledge.MapDecl{
+		Name: "mainframe", Attr: "position", Match: message.String("mainframe developer"),
+		Derived: []knowledge.DerivedPair{{Attr: "skill", Val: message.String("COBOL")}},
+	}})
+	c.InjectKB(3, synDelta("salary", "pay"))
+	c.InjectKB(3, knowledge.Delta{Op: knowledge.OpAddIsA, Child: "sedan", Parent: "car"})
+	c.Settle()
+
+	// Sides agree internally but differ across the cut.
+	v := c.KBVersions()
+	if v[0].Digest != v[1].Digest || v[2].Digest != v[3].Digest {
+		t.Fatalf("intra-side divergence: %+v", v)
+	}
+	if v[1].Digest == v[2].Digest {
+		t.Fatalf("sides did not diverge across the partition: %+v", v)
+	}
+
+	// Heal: link sync replays each side's log across the cut; dedup
+	// absorbs the echoes.
+	c.Heal()
+	c.VerifyKBConverged(
+		message.E("job", "dev"),
+		message.E("pay", "high"),
+		message.E("position", "mainframe developer"),
+		message.E("sedan", "s1"),
+	)
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Probe workload in post-convergence terms, published from brokers
+	// that learned those terms on the OTHER side of the healed cut.
+	// A "job" event from side B reaches the position subscription on
+	// side A; a "salary" event from side A reaches the subscription
+	// written as "pay" on side B (re-indexed to its new canonical form
+	// on every broker, and re-canonicalized in every routing table).
+	c.PublishExpect(3, []*Sub{subPos}, "job", "dev")
+	c.PublishExpect(0, []*Sub{subPay}, "salary", "high")
+	c.Settle()
+	c.VerifyExactlyOnce()
+}
+
+// TestKBRejoinFromSnapshotEquivalent: a broker whose overlay node
+// crashes keeps its knowledge base (like a broker restarting from a
+// snapshot); on rejoin, link sync replays both logs and the rejoined
+// broker converges without duplicating deltas it already holds.
+func TestKBCrashRejoinConvergence(t *testing.T) {
+	c := NewCluster(t, 3)
+	c.Wire(Line(3))
+
+	sub := c.Subscribe(2, eq("position", "dev"))
+	c.Settle()
+
+	c.InjectKB(0, synDelta("position", "job"))
+	c.Settle()
+	c.VerifyKBConverged(message.E("job", "dev"))
+
+	c.Crash(1)
+	// New knowledge floods while b1 is down; b0 and b2 are partitioned
+	// by b1's absence (line topology), so only b0 learns it.
+	c.InjectKB(0, synDelta("salary", "pay"))
+	c.Settle()
+	if c.Brokers[1].KB.Version().Deltas != 1 {
+		t.Fatalf("crashed broker's base changed: %+v", c.Brokers[1].KB.Version())
+	}
+
+	c.Rejoin(1)
+	c.VerifyKBConverged(message.E("job", "dev"), message.E("pay", "x"))
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := c.Brokers[0].KB.Version().Deltas; got != 2 {
+		t.Fatalf("b0 deltas = %d, want 2", got)
+	}
+
+	// End to end: a publication in synonym terms from b0 still reaches
+	// the subscription on b2 through the rejoined middle broker.
+	c.PublishExpect(0, []*Sub{sub}, "job", "dev")
+	c.Settle()
+	c.VerifyExactlyOnce()
+}
+
+// TestKBConcurrentInjection: deltas injected concurrently at every
+// broker (distinct origins) converge regardless of flood interleaving.
+func TestKBConcurrentInjection(t *testing.T) {
+	c := NewCluster(t, 4)
+	c.Wire(Mesh(4, 2, 99))
+
+	roots := []string{"alpha", "beta", "gamma", "delta"}
+	for i := range c.Brokers {
+		c.InjectKB(i, synDelta(roots[i], roots[i]+"1", roots[i]+"2"))
+	}
+	c.Settle()
+	c.VerifyKBConverged(
+		message.E("alpha1", "x"),
+		message.E("beta2", "y"),
+		message.E("gamma1", "z"),
+		message.E("delta2", "w"),
+	)
+	want := c.Brokers[0].KB.Version()
+	if want.Deltas != 4 {
+		t.Fatalf("deltas = %d, want 4", want.Deltas)
+	}
+}

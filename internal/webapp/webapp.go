@@ -13,16 +13,21 @@
 //	GET  /api/mode        → {"mode":"semantic"}
 //	POST /api/mode        {"mode":"syntactic"}
 //	GET  /api/stats       → broker and engine counters
+//	GET  /api/kb          → knowledge-base version (delta count + digest)
+//	POST /api/kb          JSONL knowledge deltas (ontc -delta output)
 //	GET  /                → demo page
 package webapp
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/message"
 	"stopss/internal/notify"
 	"stopss/internal/sublang"
@@ -51,6 +56,8 @@ func NewServer(b *broker.Broker) *Server {
 	s.mux.HandleFunc("GET /api/clients", s.handleClients)
 	s.mux.HandleFunc("GET /api/subscriptions", s.handleSubscriptions)
 	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
+	s.mux.HandleFunc("GET /api/kb", s.handleKBStatus)
+	s.mux.HandleFunc("POST /api/kb", s.handleKBApply)
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	return s
 }
@@ -368,6 +375,87 @@ func (s *Server) handleSubscriptions(w http.ResponseWriter, r *http.Request) {
 		out = []subscriptionInfo{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"client": client, "subscriptions": out})
+}
+
+// handleKBStatus reports the broker's knowledge-base version: the
+// applied-delta count, rejection count and digest operators compare
+// across brokers to find federation knowledge skew.
+func (s *Server) handleKBStatus(w http.ResponseWriter, r *http.Request) {
+	if s.broker.Engine().Knowledge() == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("webapp: no knowledge base bound to this broker"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"version": s.broker.KnowledgeVersion(),
+	})
+}
+
+// kbApplyResult is one line's outcome in the POST /api/kb response.
+type kbApplyResult struct {
+	ID        string `json:"id"`
+	Applied   bool   `json:"applied"`
+	Duplicate bool   `json:"duplicate,omitempty"`
+	Rejected  bool   `json:"rejected,omitempty"`
+	Reindexed int    `json:"reindexed,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// handleKBApply injects knowledge deltas at runtime: the body is one
+// JSON delta per line (the `ontc -delta` output). Unstamped deltas get
+// the deterministic content+line stamp (knowledge.FileStamp), so
+// re-POSTing the same update log — to this broker or any other — is
+// idempotent; applied deltas replicate to the federation through the
+// overlay. Per-line outcomes are reported, and any malformed line
+// fails the request after the preceding lines have been applied
+// (application is per-delta, not transactional).
+func (s *Server) handleKBApply(w http.ResponseWriter, r *http.Request) {
+	if s.broker.Engine().Knowledge() == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("webapp: no knowledge base bound to this broker"))
+		return
+	}
+	sc := bufio.NewScanner(http.MaxBytesReader(w, r.Body, 8<<20))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var results []kbApplyResult
+	status := http.StatusOK
+	var lineNo uint64
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		d, err := knowledge.Decode(line)
+		if err == nil {
+			d, err = knowledge.FileStamp(lineNo, d)
+		}
+		if err != nil {
+			results = append(results, kbApplyResult{Error: err.Error()})
+			status = http.StatusBadRequest
+			break
+		}
+		rep, err := s.broker.InjectKnowledge(d)
+		if err != nil {
+			results = append(results, kbApplyResult{ID: d.ID(), Error: err.Error()})
+			status = http.StatusBadRequest
+			break
+		}
+		results = append(results, kbApplyResult{
+			ID:        rep.ID,
+			Applied:   rep.Applied,
+			Duplicate: rep.Duplicate,
+			Rejected:  rep.Rejected,
+			Reindexed: rep.Reindexed,
+		})
+	}
+	if err := sc.Err(); err != nil && status == http.StatusOK {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, status, map[string]any{
+		"results": results,
+		"version": s.broker.KnowledgeVersion(),
+	})
 }
 
 // handleSnapshot streams the broker's durable state (clients, routes,
