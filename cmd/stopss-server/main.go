@@ -18,7 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
+	"hash/fnv"
 	"log"
 	"net/http"
 	"os"
@@ -258,12 +258,18 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 // once per second and injects every newly appended complete line into
 // the broker; applied deltas replicate to the federation through the
 // overlay. Unstamped lines get the deterministic content+line stamp
-// (knowledge.FileStamp), so a restart, a truncated-and-rewritten file,
-// or the same file fed to several brokers replays to identical delta
-// IDs and duplicate suppression absorbs it.
+// (knowledge.FileStamp), so a restart, a regenerated file, or the same
+// file fed to several brokers replays to identical delta IDs and
+// duplicate suppression absorbs it.
+//
+// A rewrite is detected by hashing the consumed prefix, not just by a
+// size drop: a regenerated log of equal or larger size must replay
+// from line 1, or its earlier lines would be skipped entirely and the
+// tail would be stamped with continuation line numbers no fresh reader
+// ever mints. Delta logs are small, so re-reading the file whole each
+// poll is the cheap price of that check.
 func watchKBFile(ctx context.Context, path string, b *broker.Broker) {
-	var offset int64
-	var lineNo uint64
+	w := newKBWatcher(path, b)
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
 	for {
@@ -272,62 +278,83 @@ func watchKBFile(ctx context.Context, path string, b *broker.Broker) {
 			return
 		case <-tick.C:
 		}
-		f, err := os.Open(path)
-		if err != nil {
-			if !os.IsNotExist(err) {
-				log.Printf("kb-watch: %v", err)
-			}
+		w.poll()
+	}
+}
+
+// kbWatcher carries one watched file's consumption state between polls.
+type kbWatcher struct {
+	path   string
+	b      *broker.Broker
+	offset int64  // bytes consumed so far
+	lineNo uint64 // complete lines consumed so far
+	prefix uint64 // FNV-64a of the consumed bytes
+}
+
+func newKBWatcher(path string, b *broker.Broker) *kbWatcher {
+	return &kbWatcher{path: path, b: b, prefix: kbFileSum(nil)}
+}
+
+func kbFileSum(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// poll reads the watched file once and injects its newly appended
+// complete lines.
+func (w *kbWatcher) poll() {
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("kb-watch: %v", err)
+		}
+		return
+	}
+	if int64(len(data)) < w.offset || kbFileSum(data[:w.offset]) != w.prefix {
+		// Shrunk, or the consumed prefix changed: the file was
+		// regenerated, not appended to. Replay from the start —
+		// unchanged lines re-stamp to their old IDs and dedup.
+		log.Printf("kb-watch: %s rewritten; replaying from line 1", w.path)
+		w.offset, w.lineNo, w.prefix = 0, 0, kbFileSum(nil)
+	}
+	// Only complete (newline-terminated) lines are consumed; a
+	// half-written tail stays pending for the next poll.
+	tail := data[w.offset:]
+	complete := bytes.LastIndexByte(tail, '\n') + 1
+	if complete == 0 {
+		return
+	}
+	// tail[:complete] ends with '\n', so Split yields a trailing
+	// empty element; dropping it keeps line numbers — and therefore
+	// FileStamp identities — identical whether the file is read in
+	// one restart-replay batch or across many incremental polls.
+	parts := bytes.Split(tail[:complete], []byte{'\n'})
+	for _, line := range parts[:len(parts)-1] {
+		w.lineNo++
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
 			continue
 		}
-		if fi, err := f.Stat(); err == nil && fi.Size() < offset {
-			offset, lineNo = 0, 0
-		}
-		if _, err := f.Seek(offset, io.SeekStart); err != nil {
-			f.Close()
-			continue
-		}
-		data, err := io.ReadAll(f)
-		f.Close()
+		d, err := knowledge.Decode(line)
 		if err != nil {
 			log.Printf("kb-watch: %v", err)
 			continue
 		}
-		// Only complete (newline-terminated) lines are consumed; a
-		// half-written tail stays pending for the next poll.
-		complete := bytes.LastIndexByte(data, '\n') + 1
-		if complete == 0 {
+		if d, err = knowledge.FileStamp(w.lineNo, d); err != nil {
+			log.Printf("kb-watch: %v", err)
 			continue
 		}
-		// data[:complete] ends with '\n', so Split yields a trailing
-		// empty element; dropping it keeps line numbers — and therefore
-		// FileStamp identities — identical whether the file is read in
-		// one restart-replay batch or across many incremental polls.
-		parts := bytes.Split(data[:complete], []byte{'\n'})
-		for _, line := range parts[:len(parts)-1] {
-			lineNo++
-			line = bytes.TrimSpace(line)
-			if len(line) == 0 {
-				continue
-			}
-			d, err := knowledge.Decode(line)
-			if err != nil {
-				log.Printf("kb-watch: %v", err)
-				continue
-			}
-			if d, err = knowledge.FileStamp(lineNo, d); err != nil {
-				log.Printf("kb-watch: %v", err)
-				continue
-			}
-			rep, err := b.InjectKnowledge(d)
-			if err != nil {
-				log.Printf("kb-watch: applying %s: %v", d, err)
-				continue
-			}
-			if rep.Applied {
-				log.Printf("kb-watch: applied %s %s (reindexed %d subs, KB version %s)",
-					d.Op, rep.ID, rep.Reindexed, rep.Version.Digest)
-			}
+		rep, err := w.b.InjectKnowledge(d)
+		if err != nil {
+			log.Printf("kb-watch: applying %s: %v", d, err)
+			continue
 		}
-		offset += int64(complete)
+		if rep.Applied {
+			log.Printf("kb-watch: applied %s %s (reindexed %d subs, KB version %s)",
+				d.Op, rep.ID, rep.Reindexed, rep.Version.Digest)
+		}
 	}
+	w.offset += int64(complete)
+	w.prefix = kbFileSum(data[:w.offset])
 }

@@ -94,6 +94,67 @@ func TestServerStackEndToEnd(t *testing.T) {
 	}
 }
 
+// TestKBWatcherDetectsRewrite: the watcher consumes appended lines
+// incrementally, replays idempotently from a fresh start, and detects
+// a regenerated file of EQUAL size — a stale-offset read would skip
+// the new file's earlier lines entirely and stamp its tail with
+// continuation line numbers no fresh reader of the same file mints.
+func TestKBWatcherDetectsRewrite(t *testing.T) {
+	b, notifier, cleanup, err := buildStack(stackOptions{Addr: "127.0.0.1:0", Matcher: "counting", Mode: "semantic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	defer notifier.Close()
+
+	path := filepath.Join(t.TempDir(), "update.jsonl")
+	write := func(content string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deltas := func() int { return b.KnowledgeVersion().Deltas }
+
+	l1 := `{"op":"add_synonym","root":"flurble","terms":["blorp"]}` + "\n"
+	l2 := `{"op":"add_concept","term":"zeppelin"}` + "\n"
+
+	w := newKBWatcher(path, b)
+	write(l1)
+	w.poll()
+	if got := deltas(); got != 1 {
+		t.Fatalf("after first line: %d deltas, want 1", got)
+	}
+
+	// Append-only growth consumes only the new line.
+	write(l1 + l2)
+	w.poll()
+	if got := deltas(); got != 2 {
+		t.Fatalf("after append: %d deltas, want 2", got)
+	}
+
+	// A fresh watcher over the same file (broker restart) replays to
+	// identical stamps: pure duplicates.
+	newKBWatcher(path, b).poll()
+	if got := deltas(); got != 2 {
+		t.Fatalf("restart replay re-injected: %d deltas, want 2", got)
+	}
+
+	// Regenerate the file at the SAME byte size with a changed first
+	// line. The old size-only check read from the stale offset and
+	// missed it; the prefix hash must trigger a full replay that
+	// injects the changed line (and dedups the unchanged one).
+	l1b := `{"op":"add_synonym","root":"flurble","terms":["blarp"]}` + "\n"
+	if len(l1b) != len(l1) {
+		t.Fatalf("test invariant: rewritten line must keep the file size (%d vs %d)", len(l1b), len(l1))
+	}
+	write(l1b + l2)
+	w.poll()
+	if got := deltas(); got != 3 {
+		t.Fatalf("equal-size rewrite: %d deltas, want 3 (changed line skipped?)", got)
+	}
+}
+
 func TestBuildStackRejectsBadFlags(t *testing.T) {
 	if _, _, _, err := buildStack(stackOptions{Addr: "x", Matcher: "quantum", Mode: "semantic"}); err == nil {
 		t.Error("unknown matcher must fail")

@@ -37,8 +37,8 @@ type Stats struct {
 	RemoteDelivered       uint64 // publications accepted from peer brokers
 	DropsNoRoute          uint64
 	RejectedNonConforming uint64
-	KBLocal               uint64 // knowledge deltas injected locally
-	KBRemote              uint64 // knowledge deltas applied from peer brokers
+	KBLocal               uint64      // knowledge deltas injected locally
+	KBRemote              uint64      // knowledge deltas applied from peer brokers
 	Engine                core.Stats  // includes KBDeltas/KBVersion (federation skew check)
 	Remote                RemoteStats // overlay routing counters; zero when standalone
 }

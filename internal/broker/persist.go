@@ -104,15 +104,23 @@ func (b *Broker) Snapshot(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Restore loads a snapshot into an EMPTY broker (one with no clients or
-// subscriptions). Restoring into a non-empty broker is rejected to avoid
-// silently merging states.
+// Restore loads a snapshot into an EMPTY broker (one with no clients,
+// subscriptions, advertisements or applied knowledge deltas).
+// Restoring into a non-empty broker is rejected to avoid silently
+// merging states — for the knowledge log in particular, folding a
+// snapshot's deltas over an already-evolved base would produce a
+// digest matching neither history, a divergence no later check could
+// explain.
 func (b *Broker) Restore(r io.Reader) error {
 	b.mu.Lock()
-	if len(b.clients) != 0 || len(b.subs) != 0 || len(b.adverts) != 0 {
+	kbDeltas := 0
+	if kb := b.engine.Knowledge(); kb != nil {
+		kbDeltas = kb.Len()
+	}
+	if len(b.clients) != 0 || len(b.subs) != 0 || len(b.adverts) != 0 || kbDeltas != 0 {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: restore requires an empty broker (%d clients, %d subscriptions, %d advertisements present)",
-			len(b.clients), len(b.subs), len(b.adverts))
+		return fmt.Errorf("broker: restore requires an empty broker (%d clients, %d subscriptions, %d advertisements, %d knowledge deltas present)",
+			len(b.clients), len(b.subs), len(b.adverts), kbDeltas)
 	}
 	b.mu.Unlock()
 

@@ -108,6 +108,29 @@ func TestSnapshotRestoreAdvertsRoutesAndKB(t *testing.T) {
 	}
 }
 
+// TestRestoreRejectsNonEmptyKB: the empty-broker guard must cover the
+// knowledge log too — folding a snapshot's deltas over an
+// already-evolved base would silently merge the two KB histories into
+// a digest matching neither.
+func TestRestoreRejectsNonEmptyKB(t *testing.T) {
+	b := kbBroker(t)
+	if _, err := b.InjectKnowledge(knowledge.Delta{Op: knowledge.OpAddConcept, Term: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	target := kbBroker(t) // no clients/subs/adverts, but one applied delta
+	if _, err := target.InjectKnowledge(knowledge.Delta{Op: knowledge.OpAddConcept, Term: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("restore into a broker with applied knowledge deltas succeeded")
+	}
+}
+
 // TestRestoreRejectsKBIntoUnboundEngine: snapshots carrying kbdelta
 // records must not silently drop them when the target engine has no
 // knowledge base.

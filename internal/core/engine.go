@@ -184,24 +184,53 @@ func (e *Engine) SetMode(m Mode) error {
 	if m == e.mode {
 		return nil
 	}
-	e.mode = m
+	old := e.mode
+	e.mode = m // indexedForm derives the staged forms under the new mode
 	// Re-index all subscriptions from their original forms.
 	ids := make([]message.SubID, 0, len(e.originals))
 	for id := range e.originals {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if !e.matcher.Remove(id) {
-			return fmt.Errorf("core: subscription %d lost during mode switch", id)
-		}
+	if err := e.reindexIDsLocked(ids); err != nil {
+		// Staged validation failed before the matcher was touched:
+		// revert the mode so engine and matcher stay consistent.
+		e.mode = old
+		return err
 	}
-	for _, id := range ids {
-		if err := e.matcher.Add(e.indexedForm(e.originals[id])); err != nil {
+	return nil
+}
+
+// reindexIDsLocked re-derives and re-installs the indexed forms of the
+// given subscriptions under the current mode and stage. Every new form
+// is staged and validated BEFORE the first removal — validation is the
+// only content-dependent failure of matcher.Add — so a failed re-index
+// leaves the matcher exactly as it was, consistent with e.originals.
+// Callers hold e.mu.
+func (e *Engine) reindexIDsLocked(ids []message.SubID) error {
+	forms := make([]message.Subscription, len(ids))
+	for i, id := range ids {
+		forms[i] = e.indexedForm(e.originals[id])
+		if err := forms[i].Validate(); err != nil {
 			return fmt.Errorf("core: re-indexing subscription %d: %w", id, err)
 		}
 	}
-	return nil
+	for _, id := range ids {
+		if !e.matcher.Remove(id) {
+			return fmt.Errorf("core: subscription %d lost during re-index", id)
+		}
+	}
+	var firstErr error
+	for i, id := range ids {
+		// Add cannot fail here (the form validated and its ID was just
+		// removed), but if it ever does, keep re-inserting the rest so
+		// the matcher misses at most the one refused subscription, and
+		// report it instead of dropping entries silently.
+		if err := e.matcher.Add(forms[i]); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: re-indexing subscription %d: %w", id, err)
+		}
+	}
+	return firstErr
 }
 
 // indexedForm computes the form of a subscription as stored in the

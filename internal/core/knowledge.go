@@ -114,15 +114,11 @@ func (e *Engine) reindexKnowledgeLocked(affected []string, full bool) (int, bool
 		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		if !e.matcher.Remove(id) {
-			return 0, full, fmt.Errorf("core: subscription %d lost during knowledge re-index", id)
-		}
-	}
-	for _, id := range ids {
-		if err := e.matcher.Add(e.indexedForm(e.originals[id])); err != nil {
-			return 0, full, fmt.Errorf("core: re-indexing subscription %d after knowledge update: %w", id, err)
-		}
+	// Staged re-index (new forms validated before any removal), so a
+	// failure cannot leave the matcher missing subscriptions that
+	// e.originals still lists.
+	if err := e.reindexIDsLocked(ids); err != nil {
+		return 0, full, err
 	}
 	e.stats.KBReindexed += uint64(len(ids))
 	return len(ids), full, nil

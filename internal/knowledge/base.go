@@ -62,7 +62,7 @@ type Version struct {
 	// Deltas counts every delta in the log, including rejected ones.
 	Deltas int `json:"deltas"`
 	// Rejected counts deltas whose operation failed deterministically
-	// (synonym conflict, hierarchy cycle, duplicate mapping name, …).
+	// (synonym conflict, hierarchy cycle, retiring an unknown mapping).
 	// They stay in the log — peers must still receive them for digests
 	// to converge — but contribute nothing to the semantic state.
 	Rejected int `json:"rejected"`
@@ -183,11 +183,20 @@ const (
 	fnvPrime  = 1099511628211
 )
 
-func fnvAbsorb(h uint64, data []byte) uint64 {
+// fnvSum folds data into a running FNV-64a state.
+func fnvSum(h uint64, data []byte) uint64 {
 	for _, b := range data {
 		h ^= uint64(b)
 		h *= fnvPrime
 	}
+	return h
+}
+
+// fnvAbsorb folds one log record into the rolling digest: the record
+// bytes plus a '\n' separator, making the digest length-prefixed-free
+// yet record-boundary-sensitive.
+func fnvAbsorb(h uint64, data []byte) uint64 {
+	h = fnvSum(h, data)
 	h ^= '\n'
 	h *= fnvPrime
 	return h
@@ -334,10 +343,22 @@ func applyOp(d Delta, syn *semantic.Synonyms, hier *semantic.Hierarchy, maps *se
 		return nil, hier.AddIsA(d.Child, d.Parent)
 
 	case OpAddMapping:
-		if maps.Has(d.Map.Name) {
-			return nil, fmt.Errorf("mapping function %q already registered", d.Map.Name)
+		// Replace semantics: an equal-name mapping (genesis or earlier
+		// delta) is superseded, never a rejection. This keeps a changed
+		// mapping a single self-contained delta — a retire/add pair
+		// would depend on fold order, which for content-hash-stamped
+		// logs (FileStamp) is a hash order, not emission order, and the
+		// add could fold first, reject, and leave the retire to delete
+		// the mapping outright.
+		replaced := maps.Remove(d.Map.Name)
+		if err := maps.Add(d.Map.Func()); err != nil {
+			// Unreachable: Validate guarantees a name, a trigger
+			// attribute and derived pairs, and Remove cleared the only
+			// other failure (a duplicate name). Guarded so an impossible
+			// failure cannot silently half-apply.
+			return nil, fmt.Errorf("replacing mapping %q (previous %v): %v", d.Map.Name, replaced, err)
 		}
-		return nil, maps.Add(d.Map.Func())
+		return nil, nil
 
 	case OpRetire:
 		if !maps.Remove(d.Name) {

@@ -81,6 +81,67 @@ func TestConvergenceUnderPermutation(t *testing.T) {
 	}
 }
 
+// TestAddMappingReplaces: add_mapping supersedes an equal-name
+// function — from genesis or an earlier delta — in every arrival
+// order. Replace semantics keep a changed mapping one self-contained
+// delta; the retire/add pair it replaces could fold reversed under
+// content-hash stamping (FileStamp), rejecting the add and then
+// retiring the mapping outright.
+func TestAddMappingReplaces(t *testing.T) {
+	decl := func(attr string, val string) *MapDecl {
+		return &MapDecl{
+			Name: "m", Attr: "position", Match: message.String("mainframe developer"),
+			Derived: []DerivedPair{{Attr: attr, Val: message.String(val)}},
+		}
+	}
+	fires := func(t *testing.T, b *Base, attr string) bool {
+		t.Helper()
+		st := b.Stage(semantic.FullConfig())
+		for _, ev := range st.ProcessEvent(message.E("position", "mainframe developer")).Events {
+			if ev.Has(attr) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Genesis function replaced by a delta.
+	maps := semantic.NewMappings()
+	if err := maps.Add(decl("era", "1960-1980").Func()); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBase(nil, nil, maps)
+	out, err := b.Apply(stamp("a", "e1", 1, Delta{Op: OpAddMapping, Map: decl("skill", "COBOL")}))
+	if err != nil || out.Rejected || !out.Changed {
+		t.Fatalf("replacing genesis mapping: %+v, %v", out, err)
+	}
+	if !fires(t, b, "skill") || fires(t, b, "era") {
+		t.Fatal("genesis mapping not replaced")
+	}
+
+	// Earlier-delta function replaced, in both arrival orders (origin
+	// "a" folds canonically before "b", so "b"'s version must win
+	// regardless of which arrives first).
+	d1 := stamp("a", "e1", 1, Delta{Op: OpAddMapping, Map: decl("era", "1960-1980")})
+	d2 := stamp("b", "e1", 1, Delta{Op: OpAddMapping, Map: decl("skill", "COBOL")})
+	var digests []string
+	for _, order := range [][]Delta{{d1, d2}, {d2, d1}} {
+		b := NewBase(nil, nil, nil)
+		applyAll(t, b, order)
+		v := b.Version()
+		if v.Rejected != 0 {
+			t.Fatalf("order %v: %d rejections, want 0", order, v.Rejected)
+		}
+		if !fires(t, b, "skill") || fires(t, b, "era") {
+			t.Fatalf("order %v: canonical-last mapping version not live", order)
+		}
+		digests = append(digests, v.Digest)
+	}
+	if digests[0] != digests[1] {
+		t.Fatalf("digests diverged across arrival orders: %v", digests)
+	}
+}
+
 func TestDuplicateAndWatermarks(t *testing.T) {
 	b := NewBase(nil, nil, nil)
 	d := testDeltas()[0]

@@ -38,9 +38,9 @@ type Op string
 const (
 	OpAddSynonym Op = "add_synonym" // Root + Terms join one synonym group
 	OpAddConcept Op = "add_concept" // Term registered in the hierarchy
-	OpAddIsA     Op = "add_isa"    // Child is-a Parent edge
-	OpAddMapping Op = "add_mapping" // Map declares a pair-map function
-	OpRetire     Op = "retire"     // Name unregisters a mapping function
+	OpAddIsA     Op = "add_isa"     // Child is-a Parent edge
+	OpAddMapping Op = "add_mapping" // Map declares (or replaces) a pair-map function
+	OpRetire     Op = "retire"      // Name unregisters a mapping function
 )
 
 // MapDecl is the serializable form of a declarative pair-map mapping
@@ -194,9 +194,16 @@ func Decode(data []byte) (Delta, error) {
 // through unchanged.
 //
 // Because the epoch is a content hash, a multi-line file's canonical
-// order generally differs from its line order, so applying it counts a
-// few refolds (Version.Rebuilds) — expected, and harmless beyond the
-// refold cost: convergence never depends on arrival order.
+// fold order generally differs from its line order, so applying it
+// counts a few refolds (Version.Rebuilds) — expected, and harmless
+// beyond the refold cost: convergence never depends on arrival order,
+// and the delta language is fold-order-independent (add_isa registers
+// its concepts implicitly; add_mapping replaces an equal-name
+// function, so a changed mapping never needs an order-sensitive
+// retire/add pair). The one residual sensitivity: two deltas touching
+// the SAME mapping name in one log (two add_mappings, or a retire
+// plus an add) fold in hash order, deterministically but arbitrarily —
+// put only the final state of a mapping in a log, as Diff does.
 func FileStamp(line uint64, d Delta) (Delta, error) {
 	if d.Stamped() {
 		return d, nil
@@ -208,11 +215,7 @@ func FileStamp(line uint64, d Delta) (Delta, error) {
 	if err != nil {
 		return Delta{}, err
 	}
-	h := uint64(fnvOffset)
-	for _, b := range enc {
-		h ^= uint64(b)
-		h *= fnvPrime
-	}
+	h := fnvSum(fnvOffset, enc)
 	d.Origin = "odl"
 	d.Epoch = fmt.Sprintf("f%016x", h)
 	d.Seq = line

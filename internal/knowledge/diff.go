@@ -97,11 +97,13 @@ func Diff(old, new Structures) ([]Delta, []string, error) {
 		}
 	}
 
-	// Mappings: removed and content-changed functions retire first (the
-	// deltas are folded in emission order when stamped by one origin, so
-	// a changed map's re-add lands after its retire); then additions.
-	// Only declarative pair-maps serialize; computed rules warn.
-	var adds []Delta
+	// Mappings: a new or content-changed function is one add_mapping
+	// delta — add_mapping replaces an equal-name function when folded,
+	// so a change needs no retire/add pair whose outcome would depend
+	// on fold order (content-hash stamping folds a log in hash order,
+	// not emission order). Retire is emitted only for removed
+	// functions. Only declarative pair-maps serialize; computed rules
+	// warn.
 	for _, name := range new.Mappings.Names() {
 		f, _ := new.Mappings.Func(name)
 		pm, ok := f.(semantic.PairMap)
@@ -116,19 +118,17 @@ func Diff(old, new Structures) ([]Delta, []string, error) {
 			if pairMapEqual(oldPM, pm) {
 				continue
 			}
-			deltas = append(deltas, Delta{Op: OpRetire, Name: name})
 		} else if !ok {
 			warnings = append(warnings, fmt.Sprintf("mapping %q is a computed rule; only declarative pair-maps serialize as deltas", name))
 			continue
 		}
-		adds = append(adds, Delta{Op: OpAddMapping, Map: pairMapDecl(pm)})
+		deltas = append(deltas, Delta{Op: OpAddMapping, Map: pairMapDecl(pm)})
 	}
 	for _, name := range old.Mappings.Names() {
 		if !new.Mappings.Has(name) {
 			deltas = append(deltas, Delta{Op: OpRetire, Name: name})
 		}
 	}
-	deltas = append(deltas, adds...)
 
 	return deltas, warnings, nil
 }

@@ -1,6 +1,7 @@
 package knowledge
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -51,8 +52,9 @@ func TestDiffEmitsEvolution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The old pair-map disappears → one retire warning-free delta; the
-	// dropped nothing else, so warnings should be empty.
+	// The pair-map changes content under the same auto-generated name
+	// → one replacing add_mapping delta; nothing else was dropped, so
+	// warnings should be empty.
 	for _, w := range warnings {
 		t.Errorf("unexpected warning: %s", w)
 	}
@@ -87,13 +89,13 @@ func TestDiffEmitsEvolution(t *testing.T) {
 		t.Fatal("genesis hierarchy lost")
 	}
 	// Mapping swap (same auto-generated name, new content): the old
-	// behaviour is retired, the new one live.
+	// behaviour is replaced, the new one live.
 	if st.Mappings().Len() != 1 {
 		t.Fatalf("mappings after diff: %v", st.Mappings().Names())
 	}
 	for _, ev := range st.ProcessEvent(message.E("position", "mainframe developer")).Events {
 		if ev.Has("era") {
-			t.Fatal("retired mapping content still fires")
+			t.Fatal("superseded mapping content still fires")
 		}
 	}
 	pairs := st.ProcessEvent(message.E("position", "web developer"))
@@ -105,6 +107,89 @@ func TestDiffEmitsEvolution(t *testing.T) {
 	}
 	if !foundSkill {
 		t.Fatal("new mapping not applied")
+	}
+}
+
+// TestDiffFileStampFoldOrderSafe reproduces the documented injection
+// paths (stopss-server -kb-watch, POST /api/kb): every line of the
+// emitted log is stamped with a per-line content-hash epoch, so the
+// canonical fold order is a hash order, not the emission order. A
+// content-changed mapping must therefore be a single self-contained
+// delta — the old retire-then-add pair could fold add-first, be
+// rejected as already registered, and then be deleted by the retire,
+// losing the update federation-wide.
+func TestDiffFileStampFoldOrderSafe(t *testing.T) {
+	old, neu := loadStructs(t, oldODL), loadStructs(t, newODL)
+	deltas, _, err := Diff(old, neu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The changed mapping (same auto-generated name, new content) must
+	// be exactly one delta, and nothing may retire it.
+	mapDeltas := 0
+	for _, d := range deltas {
+		switch d.Op {
+		case OpAddMapping:
+			mapDeltas++
+		case OpRetire:
+			t.Fatalf("changed mapping emitted an order-sensitive retire: %s", d)
+		}
+	}
+	if mapDeltas != 1 {
+		t.Fatalf("changed mapping emitted %d add_mapping deltas, want 1", mapDeltas)
+	}
+
+	stamped := make([]Delta, len(deltas))
+	for i, d := range deltas {
+		if stamped[i], err = FileStamp(uint64(i+1), d); err != nil {
+			t.Fatalf("stamping line %d: %v", i+1, err)
+		}
+	}
+
+	// Every arrival order — including the canonical (sorted-by-epoch)
+	// fold order itself — must converge on the new ontology's mapping
+	// behaviour with no rejections.
+	rng := rand.New(rand.NewSource(7))
+	var wantDigest string
+	for trial := 0; trial < 20; trial++ {
+		ds := append([]Delta(nil), stamped...)
+		if trial > 0 {
+			rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+		}
+		b := NewBase(old.Synonyms, old.Hierarchy, old.Mappings)
+		for _, d := range ds {
+			out, err := b.Apply(d)
+			if err != nil {
+				t.Fatalf("trial %d: applying %s: %v", trial, d, err)
+			}
+			if out.Rejected {
+				t.Fatalf("trial %d: delta rejected: %s (%s)", trial, d, out.RejectReason)
+			}
+		}
+		v := b.Version()
+		if trial == 0 {
+			wantDigest = v.Digest
+		} else if v.Digest != wantDigest {
+			t.Fatalf("trial %d: digest %s, want %s", trial, v.Digest, wantDigest)
+		}
+		st := b.Stage(semantic.FullConfig())
+		if st.Mappings().Len() != 1 {
+			t.Fatalf("trial %d: mappings after fold: %v", trial, st.Mappings().Names())
+		}
+		for _, ev := range st.ProcessEvent(message.E("position", "mainframe developer")).Events {
+			if ev.Has("era") {
+				t.Fatalf("trial %d: superseded mapping content still fires", trial)
+			}
+		}
+		found := false
+		for _, ev := range st.ProcessEvent(message.E("position", "web developer")).Events {
+			if v, ok := ev.Get("skill"); ok && v.Str() == "JavaScript" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: updated mapping lost in fold order %v", trial, ds)
+		}
 	}
 }
 

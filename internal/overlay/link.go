@@ -22,10 +22,14 @@ type advID struct {
 // advEntry is one routed advertisement together with the broker path it
 // travelled (origin first, this node excluded) — preserved so state
 // sync onto new links replays the real path and loop prevention keeps
-// working for advertisements.
+// working for advertisements. canon is the advertisement under the
+// local canonicalization (quench overlap must compare canonical forms
+// on BOTH sides, like the broker-level check does); it is recomputed
+// after every knowledge change.
 type advEntry struct {
-	adv  matching.Advertisement
-	hops []string
+	adv   matching.Advertisement
+	canon matching.Advertisement
+	hops  []string
 }
 
 // Errors returned by link.send.

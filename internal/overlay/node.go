@@ -405,10 +405,21 @@ func (n *Node) KnowledgeChanged(d knowledge.Delta, rep core.KnowledgeReport) {
 	defer n.mu.Unlock()
 	n.markSeen("kb|" + d.ID())
 	n.routeKB(d, []string{n.cfg.Name}, nil)
-	if rep.Changed {
+	if affectsCanonical(d, rep) {
 		n.reindexRouting()
 	}
 	n.kbDeltas.Set(int64(rep.Version.Deltas))
+}
+
+// affectsCanonical reports whether an applied delta could have changed
+// canonical (routing) forms: subscriptions and advertisements pass only
+// the synonym stage, so concept/is-a/mapping deltas never alter them —
+// unless the arrival forced a genesis refold, which may have flipped
+// the outcome of an earlier synonym delta. Gating reindexRouting on
+// this avoids an O(links × subscriptions) requench sweep per
+// non-synonym delta.
+func affectsCanonical(d knowledge.Delta, rep core.KnowledgeReport) bool {
+	return rep.Changed && (d.Op == knowledge.OpAddSynonym || rep.Rebuilt)
 }
 
 // AdvertisementChanged implements broker.Forwarder for local
@@ -466,7 +477,7 @@ func (n *Node) handleFrame(l *link, f Frame) {
 		adv := matching.NewAdvertisement(f.Client, f.Preds...)
 		n.mu.Lock()
 		if _, known := l.adverts[aid]; !known {
-			l.adverts[aid] = advEntry{adv: adv, hops: f.Hops}
+			l.adverts[aid] = advEntry{adv: adv, canon: n.canonicalizeAdv(adv), hops: f.Hops}
 			hops := appendHop(f.Hops, n.cfg.Name)
 			for _, other := range n.links {
 				if other == l || visited(hops, other.peer) {
@@ -519,7 +530,16 @@ func (n *Node) handleFrame(l *link, f Frame) {
 		rep, err := n.b.DeliverRemoteKnowledge(*f.KB)
 		n.kbReceived.Inc()
 		if err != nil {
+			// Forward anyway: a broker that cannot apply the delta
+			// (no knowledge base bound) must not sever the flood for
+			// the federation behind it — every broker needs every
+			// delta, or digests diverge permanently. Hop lists and the
+			// seen window still bound the traffic; only the
+			// newly-applied backstop is unavailable here.
 			n.logf("overlay %s: remote knowledge delta rejected: %v", n.cfg.Name, err)
+			n.mu.Lock()
+			n.routeKB(*f.KB, appendHop(f.Hops, n.cfg.Name), l)
+			n.mu.Unlock()
 			return
 		}
 		if !rep.Applied {
@@ -530,7 +550,7 @@ func (n *Node) handleFrame(l *link, f Frame) {
 		}
 		n.mu.Lock()
 		n.routeKB(*f.KB, appendHop(f.Hops, n.cfg.Name), l)
-		if rep.Changed {
+		if affectsCanonical(*f.KB, rep) {
 			n.reindexRouting()
 		}
 		n.kbDeltas.Set(int64(rep.Version.Deltas))
@@ -569,7 +589,11 @@ func (n *Node) offerSub(l *link, rid routeID, e routeEntry) {
 	if n.cfg.Quench && len(l.adverts) > 0 {
 		overlapping := false
 		for _, ae := range l.adverts {
-			if matching.Overlaps(ae.adv, e.canon) {
+			// Canonical forms on both sides: an advertisement phrased
+			// in a synonym term must still overlap a subscription
+			// phrased in the root term (mirrors the broker-level
+			// check in Broker.OverlappingSubscriptions).
+			if matching.Overlaps(ae.canon, e.canon) {
 				overlapping = true
 				break
 			}
@@ -679,15 +703,21 @@ func (n *Node) routeKB(d knowledge.Delta, hops []string, from *link) {
 // reindexRouting re-canonicalizes the node's routing state after the
 // knowledge base changed: recorded remote interests (the publication
 // forwarding predicate) and per-link cover tables are recomputed under
-// the new stage, and suppressed subscriptions that the new knowledge
-// uncovers are forwarded now. Without this, a subscription recorded
-// under old knowledge could silently stop routing publications phrased
-// in the new terms.
+// the new stage, suppressed subscriptions that the new knowledge
+// uncovers are forwarded now, and — with quenching on — every link is
+// re-offered the subscriptions its advertised space may newly overlap.
+// Without this, a subscription recorded under old knowledge could
+// silently stop routing publications phrased in the new terms, or
+// stay quenched forever after the knowledge made it routable.
 func (n *Node) reindexRouting() {
 	for _, l := range n.links {
 		for rid, e := range l.interests {
 			e.canon = n.canonicalize(e.raw)
 			l.interests[rid] = e
+		}
+		for aid, ae := range l.adverts {
+			ae.canon = n.canonicalizeAdv(ae.adv)
+			l.adverts[aid] = ae
 		}
 	}
 	for _, l := range n.links {
@@ -697,6 +727,17 @@ func (n *Node) reindexRouting() {
 				continue
 			}
 			n.subsReissued.Inc()
+		}
+	}
+	if n.cfg.Quench {
+		// New canonical forms can overlap a link's advertised space
+		// that quenching previously saw as disjoint. A quenched
+		// subscription is recorded in neither the cover table nor the
+		// suppressed set, so nothing above re-offers it — without this
+		// pass it would stay unrouted until the client resubscribed.
+		// The cover tables drop everything already sent.
+		for _, l := range n.links {
+			n.requench(l)
 		}
 	}
 }
@@ -723,6 +764,14 @@ func (n *Node) canonicalize(sub message.Subscription) message.Subscription {
 	}
 	canon, _ := eng.Stage().ProcessSubscription(sub)
 	return canon
+}
+
+// canonicalizeAdv maps an advertisement's predicates into the local
+// canonical form, so quench overlap honours synonym equivalence on the
+// advertisement side too.
+func (n *Node) canonicalizeAdv(adv matching.Advertisement) matching.Advertisement {
+	canon := n.canonicalize(message.Subscription{ID: 1, Subscriber: adv.Publisher, Preds: adv.Preds})
+	return matching.NewAdvertisement(adv.Publisher, canon.Preds...)
 }
 
 // expandForRouting derives the event set the local engine would match,

@@ -232,6 +232,15 @@ func (s *ShardedEngine) ApplyKnowledge(d knowledge.Delta) (core.KnowledgeReport,
 		Changed:   out.Changed,
 		Version:   s.kb.Version(),
 	}
+	// The delta count and applied counter track every newly logged
+	// delta — including rejected ones, which still advance the version
+	// — before the structure-change early return, so the gauge agrees
+	// with Version.Deltas and the node-level overlay.kb_deltas gauge
+	// operators compare across brokers.
+	if s.reg != nil && out.Applied {
+		s.reg.Counter("engine.kb.applied").Inc()
+		s.reg.Gauge("engine.kb.deltas").Set(int64(rep.Version.Deltas))
+	}
 	if !out.Changed {
 		return rep, nil
 	}
@@ -245,8 +254,6 @@ func (s *ShardedEngine) ApplyKnowledge(d knowledge.Delta) (core.KnowledgeReport,
 	}
 	rep.FullReindex = out.Rebuilt || len(out.Affected) > core.KBFullReindexTerms
 	if s.reg != nil {
-		s.reg.Counter("engine.kb.applied").Inc()
-		s.reg.Gauge("engine.kb.deltas").Set(int64(rep.Version.Deltas))
 		s.reg.Counter("engine.kb.reindexed").Add(uint64(rep.Reindexed))
 	}
 	return rep, nil

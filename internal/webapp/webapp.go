@@ -406,9 +406,22 @@ type kbApplyResult struct {
 // the deterministic content+line stamp (knowledge.FileStamp), so
 // re-POSTing the same update log — to this broker or any other — is
 // idempotent; applied deltas replicate to the federation through the
-// overlay. Per-line outcomes are reported, and any malformed line
-// fails the request after the preceding lines have been applied
-// (application is per-delta, not transactional).
+// overlay.
+//
+// The stamp is positional (content + line number), so idempotence
+// holds for byte-identical replays only: a delta that reappears at a
+// shifted line — a regenerated diff, or logs concatenated into one
+// body — gets a fresh identity and re-enters the replicated
+// append-only log. That is harmless to convergence (the re-applied
+// operation is a no-op or a deterministic rejection, and it floods
+// like any delta), but it permanently grows every broker's log and
+// changes the federation digest. Treat each update log as an
+// immutable artifact: POST it verbatim, and ship new changes as a new
+// log rather than editing or concatenating old ones.
+//
+// Per-line outcomes are reported, and any malformed line fails the
+// request after the preceding lines have been applied (application is
+// per-delta, not transactional).
 func (s *Server) handleKBApply(w http.ResponseWriter, r *http.Request) {
 	if s.broker.Engine().Knowledge() == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("webapp: no knowledge base bound to this broker"))
