@@ -22,6 +22,7 @@ import (
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/notify"
@@ -410,6 +411,103 @@ func BenchmarkOverlaySim(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- T9: multi-origin knowledge convergence (EXPERIMENTS.md) ---
+
+// kbBenchEngine builds an engine over a fresh knowledge base with n
+// stored subscriptions (bounded attribute universe, distinct string
+// values — none mention the benchmark's delta terms).
+func kbBenchEngine(b *testing.B, n int) *core.Engine {
+	b.Helper()
+	base := knowledge.NewBase(nil, nil, nil)
+	e := core.NewEngine(base.Stage(semantic.FullConfig()), core.WithKnowledge(base))
+	for i := 0; i < n; i++ {
+		s := message.NewSubscription(message.SubID(i+1), "c",
+			message.Pred(fmt.Sprintf("attr%d", i%1024), message.OpEq,
+				message.String(fmt.Sprintf("val%d", i))))
+		if err := e.Subscribe(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// BenchmarkKnowledgeApply gates the single-origin adaptation hot path
+// in CI: one in-order synonym delta folded, staged and touch-scanned
+// against 10k stored subscriptions (the engine-level counterpart of
+// the per-size study in internal/core's benchmark of the same name).
+func BenchmarkKnowledgeApply(b *testing.B) {
+	e := kbBenchEngine(b, 10_000)
+	o := knowledge.NewOrigin("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := o.Stamp(knowledge.Delta{Op: knowledge.OpAddSynonym,
+			Root: "bench-root", Terms: []string{fmt.Sprintf("fresh-%d", i)}})
+		rep, err := e.ApplyKnowledge(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Reindexed != 0 || rep.FullReindex {
+			b.Fatalf("unexpected re-index: %+v", rep)
+		}
+	}
+}
+
+// BenchmarkKnowledgeMultiOrigin measures the cost of CONCURRENT
+// multi-origin knowledge evolution at 10k stored subscriptions
+// (EXPERIMENTS T9). Each op injects one delta from each of two origins
+// in an arrival order that makes the second delta out of merge order —
+// the pattern a federation sees whenever two brokers evolve the
+// ontology at once:
+//
+//   - tailmerge: the shipping path. The out-of-order arrival refolds a
+//     checkpointed suffix, diffs the canonical maps, and re-indexes
+//     nothing (the terms are fresh); cost stays near the in-order path.
+//   - refold-from-genesis: what the pre-tail-merge implementation paid
+//     per cross-origin delta — Rebuilt=true forced every stored
+//     subscription through the matcher again. Reproduced here as an
+//     explicit full re-index per arrival; the measured ratio is a
+//     LOWER bound on the old cost, which refolded the whole log on top.
+func BenchmarkKnowledgeMultiOrigin(b *testing.B) {
+	run := func(b *testing.B, fullPerArrival bool) {
+		e := kbBenchEngine(b, 10_000)
+		oa, ob := knowledge.NewOrigin("a"), knowledge.NewOrigin("b")
+		b.ReportAllocs()
+		b.ResetTimer()
+		refolds := 0
+		for i := 0; i < b.N; i++ {
+			// Origin "b" first, then origin "a" with the same sequence
+			// number: "a" sorts before the tail — out of merge order.
+			db := ob.Stamp(knowledge.Delta{Op: knowledge.OpAddSynonym,
+				Root: "rb", Terms: []string{fmt.Sprintf("tb-%d", i)}})
+			da := oa.Stamp(knowledge.Delta{Op: knowledge.OpAddSynonym,
+				Root: "ra", Terms: []string{fmt.Sprintf("ta-%d", i)}})
+			for _, d := range []knowledge.Delta{db, da} {
+				rep, err := e.ApplyKnowledge(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Refolded {
+					refolds++
+				}
+				if fullPerArrival {
+					if _, err := e.ReindexKnowledge(nil, true); err != nil {
+						b.Fatal(err)
+					}
+				} else if rep.Reindexed != 0 || rep.FullReindex {
+					b.Fatalf("tail merge re-indexed: %+v", rep)
+				}
+			}
+		}
+		if refolds == 0 && b.N > 0 {
+			b.Fatal("arrival pattern produced no out-of-order deltas")
+		}
+		b.ReportMetric(float64(refolds)/float64(b.N), "refolds/op")
+	}
+	b.Run("subs=10000/tailmerge", func(b *testing.B) { run(b, false) })
+	b.Run("subs=10000/refold-from-genesis", func(b *testing.B) { run(b, true) })
 }
 
 // --- supporting micro-benchmarks ---

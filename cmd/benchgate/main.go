@@ -1,0 +1,201 @@
+// Command benchgate turns `go test -bench` output into a benchmark
+// regression gate for CI. It reads benchmark results on stdin — either
+// the `go test -json` event stream or plain text output — aggregates
+// the best (minimum) ns/op per benchmark across repeated runs
+// (`-count 3` in CI, so scheduler noise inflates at most the losers),
+// and:
+//
+//	benchgate -update            writes the results to the baseline file
+//	benchgate                    writes -out and fails (exit 1) when any
+//	                             benchmark regressed more than -max-regress
+//	                             against the checked-in baseline
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix, so baselines survive core-count changes (absolute timings do
+// not survive hardware changes — refresh the baseline when the runner
+// class moves; see README "Refreshing the benchmark baseline").
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the on-disk format of BENCH_baseline.json / BENCH_ci.json.
+type Baseline struct {
+	// NsPerOp maps normalized benchmark name to best-of-N ns/op.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// testEvent is the subset of the `go test -json` event schema we need.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches one benchmark result line, capturing the name
+// (GOMAXPROCS suffix split off) and the ns/op figure.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file")
+	outPath := flag.String("out", "BENCH_ci.json", "where to write this run's parsed results")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	update := flag.Bool("update", false, "write the parsed results to -baseline and exit")
+	flag.Parse()
+
+	got, err := parse(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got.NsPerOp) == 0 {
+		fatal(fmt.Errorf("no benchmark results on stdin (run go test -bench ... and pipe the output)"))
+	}
+
+	if *update {
+		if err := write(*baselinePath, got); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(got.NsPerOp), *baselinePath)
+		return
+	}
+
+	if err := write(*outPath, got); err != nil {
+		fatal(err)
+	}
+	base, err := read(*baselinePath)
+	if err != nil {
+		fatal(fmt.Errorf("%v (seed it with: go test -run xxx -bench ... . | go run ./cmd/benchgate -update)", err))
+	}
+	regressions := compare(os.Stdout, base, got, *maxRegress)
+	if len(regressions) > 0 {
+		fmt.Printf("benchgate: FAIL — %d benchmark(s) regressed more than %.0f%%\n",
+			len(regressions), *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: OK — %d benchmarks within %.0f%% of baseline\n",
+		len(got.NsPerOp), *maxRegress*100)
+}
+
+// parse consumes benchmark output — `go test -json` events or plain
+// text — and returns the best ns/op per normalized benchmark name.
+//
+// JSON events are NOT scanned line-by-line: `go test` prints a
+// benchmark's name before running it and the timing after, so
+// test2json delivers the two halves as separate Output events. The
+// output text is reassembled first and split on real newlines.
+func parse(r io.Reader) (Baseline, error) {
+	out := Baseline{NsPerOp: make(map[string]float64)}
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) > 0 && line[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal(line, &ev); err == nil {
+				if ev.Action == "output" {
+					text.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		text.Write(line)
+		text.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	for _, line := range strings.Split(text.String(), "\n") {
+		record(out.NsPerOp, line)
+	}
+	return out, nil
+}
+
+// record folds one output line into the result map, keeping the
+// minimum ns/op seen for each benchmark.
+func record(acc map[string]float64, line string) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return
+	}
+	ns, err := strconv.ParseFloat(m[3], 64)
+	if err != nil {
+		return
+	}
+	if cur, ok := acc[m[1]]; !ok || ns < cur {
+		acc[m[1]] = ns
+	}
+}
+
+// compare prints a per-benchmark verdict and returns the names that
+// regressed beyond the tolerance. Benchmarks missing on either side
+// are reported but never fail the gate: a renamed or newly added
+// benchmark needs a baseline refresh, not a red main.
+func compare(w io.Writer, base, got Baseline, maxRegress float64) []string {
+	names := make([]string, 0, len(got.NsPerOp))
+	for name := range got.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	for _, name := range names {
+		cur := got.NsPerOp[name]
+		ref, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Fprintf(w, "  NEW    %-60s %12.0f ns/op (not in baseline; refresh it)\n", name, cur)
+			continue
+		}
+		delta := (cur - ref) / ref
+		verdict := "ok"
+		if delta > maxRegress {
+			verdict = "REGRESS"
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintf(w, "  %-6s %-60s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			verdict, name, cur, ref, delta*100)
+	}
+	for name := range base.NsPerOp {
+		if _, ok := got.NsPerOp[name]; !ok {
+			fmt.Fprintf(w, "  GONE   %-60s (in baseline but not in this run)\n", name)
+		}
+	}
+	return regressions
+}
+
+func read(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if b.NsPerOp == nil {
+		b.NsPerOp = make(map[string]float64)
+	}
+	return b, nil
+}
+
+func write(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}

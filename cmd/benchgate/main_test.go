@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// jsonStream mimics real test2json output, including the split that
+// matters: a benchmark's name is printed BEFORE it runs and its timing
+// after, arriving as two separate Output events.
+const jsonStream = `{"Action":"run","Test":"BenchmarkShard"}
+{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Output":"BenchmarkShard/shards=2/subs=20000-8 \t"}
+{"Action":"output","Output":"      50\t    104060 ns/op\n"}
+{"Action":"output","Output":"BenchmarkShard/shards=2/subs=20000-8 \t      50\t     99800 ns/op\n"}
+{"Action":"output","Output":"BenchmarkKnowledgeMultiOrigin/subs=10000/tailmerge-8 \t50\t2101277 ns/op\t1.000 refolds/op\n"}
+{"Action":"output","Output":"not a bench line\n"}
+`
+
+func TestParseJSONStream(t *testing.T) {
+	got, err := parse(strings.NewReader(jsonStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NsPerOp) != 2 {
+		t.Fatalf("parsed %d benchmarks: %v", len(got.NsPerOp), got.NsPerOp)
+	}
+	// GOMAXPROCS suffix stripped, minimum of repeated runs kept.
+	if ns := got.NsPerOp["BenchmarkShard/shards=2/subs=20000"]; ns != 99800 {
+		t.Fatalf("Shard ns/op = %v, want 99800 (min of repeats)", ns)
+	}
+	if ns := got.NsPerOp["BenchmarkKnowledgeMultiOrigin/subs=10000/tailmerge"]; ns != 2101277 {
+		t.Fatalf("MultiOrigin ns/op = %v", ns)
+	}
+}
+
+func TestParsePlainText(t *testing.T) {
+	got, err := parse(strings.NewReader("BenchmarkX-4   100   5000 ns/op   12 B/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns := got.NsPerOp["BenchmarkX"]; ns != 5000 {
+		t.Fatalf("plain text parse: %v", got.NsPerOp)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := Baseline{NsPerOp: map[string]float64{
+		"BenchmarkA":    1000,
+		"BenchmarkB":    1000,
+		"BenchmarkGone": 1,
+	}}
+	got := Baseline{NsPerOp: map[string]float64{
+		"BenchmarkA":   1240, // +24% — within a 25% gate
+		"BenchmarkB":   1260, // +26% — regression
+		"BenchmarkNew": 42,   // not in baseline — informational only
+	}}
+	var sb strings.Builder
+	regressed := compare(&sb, base, got, 0.25)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressions = %v, want [BenchmarkB]\n%s", regressed, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESS", "NEW", "GONE", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -57,7 +57,11 @@ func main() {
 	overlayAddr := flag.String("overlay", "", "overlay TCP listen address for peer brokers (empty: no listener)")
 	flag.Var(&peers, "peer", "overlay peer address to connect to (repeatable)")
 	kbWatch := flag.String("kb-watch", "", "JSONL knowledge-delta file (ontc -delta output) polled for appended deltas to inject at runtime")
+	kbWatchInterval := flag.Duration("kb-watch-interval", time.Second, "poll interval for -kb-watch (must be > 0; sub-second values pick up appends nearly live)")
 	flag.Parse()
+	if *kbWatchInterval <= 0 {
+		log.Fatalf("stopss-server: -kb-watch-interval must be positive, got %v", *kbWatchInterval)
+	}
 	opts := stackOptions{
 		Addr:     *addr,
 		Ontology: *ontPath,
@@ -65,7 +69,7 @@ func main() {
 		Mode:     *modeName,
 		Shards:   *shards,
 	}
-	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch); err != nil {
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch, *kbWatchInterval); err != nil {
 		log.Fatalf("stopss-server: %v", err)
 	}
 }
@@ -149,7 +153,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string) error {
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string, kbWatchInterval time.Duration) error {
 	reg := metrics.NewRegistry()
 	opts.Registry = reg
 	b, notifier, cleanup, err := buildStack(opts)
@@ -212,8 +216,8 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if kbWatch != "" {
-		go watchKBFile(ctx, kbWatch, b)
-		log.Printf("watching %s for knowledge deltas", kbWatch)
+		go watchKBFile(ctx, kbWatch, kbWatchInterval, b)
+		log.Printf("watching %s for knowledge deltas every %v", kbWatch, kbWatchInterval)
 	}
 	errCh := make(chan error, 1)
 	go func() {
@@ -255,7 +259,7 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 }
 
 // watchKBFile polls a JSONL knowledge-delta file (ontc -delta output)
-// once per second and injects every newly appended complete line into
+// every interval and injects every newly appended complete line into
 // the broker; applied deltas replicate to the federation through the
 // overlay. Unstamped lines get the deterministic content+line stamp
 // (knowledge.FileStamp), so a restart, a regenerated file, or the same
@@ -268,9 +272,9 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 // tail would be stamped with continuation line numbers no fresh reader
 // ever mints. Delta logs are small, so re-reading the file whole each
 // poll is the cheap price of that check.
-func watchKBFile(ctx context.Context, path string, b *broker.Broker) {
+func watchKBFile(ctx context.Context, path string, interval time.Duration, b *broker.Broker) {
 	w := newKBWatcher(path, b)
-	tick := time.NewTicker(time.Second)
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
 		select {

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"stopss/internal/sublang"
 	"stopss/internal/webapp"
@@ -218,5 +220,63 @@ func TestServerStackSharded(t *testing.T) {
 	}
 	if got := b.Engine().MatcherName(); got != "counting×8" {
 		t.Fatalf("matcher name = %q", got)
+	}
+}
+
+// TestKBWatchIntervalPromptPickup drives the ticker loop itself (not
+// just poll) and proves the interval flag controls the poll cadence
+// from both sides: a 20ms watcher picks an appended delta up, while an
+// hour-long watcher provably cannot have fired yet — without asserting
+// tight wall-clock latencies that flake on loaded CI runners.
+func TestKBWatchIntervalPromptPickup(t *testing.T) {
+	b, notifier, cleanup, err := buildStack(stackOptions{Addr: "127.0.0.1:0", Matcher: "counting", Mode: "semantic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	defer notifier.Close()
+
+	dir := t.TempDir()
+	fast := filepath.Join(dir, "fast.jsonl")
+	slow := filepath.Join(dir, "slow.jsonl")
+	for _, p := range []string{fast, slow} {
+		if err := os.WriteFile(p, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{}, 2)
+	go func() { watchKBFile(ctx, fast, 20*time.Millisecond, b); done <- struct{}{} }()
+	go func() { watchKBFile(ctx, slow, time.Hour, b); done <- struct{}{} }()
+
+	if err := os.WriteFile(slow,
+		[]byte(`{"op":"add_concept","term":"never-seen"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fast,
+		[]byte(`{"op":"add_synonym","root":"flurble","terms":["quux"]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for b.KnowledgeVersion().Deltas == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("appended delta never picked up by the 20ms watcher")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The hour watcher's first tick is an hour away: the fast watcher's
+	// pickup happening first proves the flag sets the cadence (the old
+	// hardcoded 1s ticker would have injected the slow file's delta too).
+	if got := b.KnowledgeVersion().Deltas; got != 1 {
+		t.Fatalf("%d deltas applied, want 1 (the 1h watcher must not have polled)", got)
+	}
+	cancel()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("watcher did not stop on context cancel")
+		}
 	}
 }

@@ -78,7 +78,13 @@ type Stats struct {
 	KBDeltas    uint64 // deltas in the applied log (incl. rejected)
 	KBRejected  uint64 // deltas rejected deterministically
 	KBReindexed uint64 // subscriptions re-indexed by knowledge updates
-	KBVersion   string // order-sensitive digest of the applied log
+	// KBFullReindexes counts knowledge re-indexes that fell back to the
+	// full subscription set (affected-term set past KBFullReindexTerms,
+	// or an explicit full request). With bounded multi-origin
+	// convergence this should stay 0 in steady state — the sim asserts
+	// exactly that — so a non-zero rate is a cost regression signal.
+	KBFullReindexes uint64
+	KBVersion       string // order-sensitive digest of the applied log
 }
 
 // PubSub is the engine surface the broker (and everything above it)
@@ -406,6 +412,7 @@ func (s Stats) Merge(o Stats) Stats {
 	s.SemanticTime += o.SemanticTime
 	s.MatchTime += o.MatchTime
 	s.KBReindexed += o.KBReindexed
+	s.KBFullReindexes += o.KBFullReindexes
 	// KB version fields are per-base, not additive: a sharded pool's
 	// shards share one base bound at the pool level, so at most one
 	// side of a merge carries them.

@@ -11,14 +11,15 @@ import (
 // KnowledgeReport is the engine-level outcome of applying one knowledge
 // delta: the base-level outcome plus what re-indexing it forced.
 type KnowledgeReport struct {
-	ID          string // the delta's stamped identity (origin#epoch/seq)
-	Applied     bool   // delta newly appended to the log
-	Duplicate   bool   // delta already known; nothing changed
-	Rejected    bool   // delta logged but its operation failed deterministically
-	Rebuilt     bool   // out-of-order arrival re-folded the base from genesis
-	Changed     bool   // the semantic structures changed
-	FullReindex bool   // re-indexing fell back to the full subscription set
-	Reindexed   int    // subscriptions re-indexed
+	ID          string   // the delta's stamped identity (origin#epoch/seq)
+	Applied     bool     // delta newly appended to the log
+	Duplicate   bool     // delta already known; nothing changed
+	Rejected    bool     // delta logged but its operation failed deterministically
+	Refolded    bool     // out-of-merge-order arrival re-folded a log suffix
+	Changed     bool     // the semantic structures changed
+	FullReindex bool     // re-indexing fell back to the full subscription set
+	Reindexed   int      // subscriptions re-indexed
+	Affected    []string // terms whose canonical form changed (drives re-indexing)
 	Version     knowledge.Version
 }
 
@@ -34,7 +35,10 @@ func (e *Engine) Knowledge() *knowledge.Base { return e.kb }
 // ApplyKnowledge implements PubSub: fold the delta into the base, swap
 // the stage snapshot, and re-index affected subscriptions, all under
 // the engine lock so no publication ever matches against a
-// half-updated (new stage, old index) pairing.
+// half-updated (new stage, old index) pairing. The base reports the
+// exact changed-term set even when the arrival re-folded a log suffix,
+// so the re-index is incremental on every path — a full re-index only
+// ever happens past the KBFullReindexTerms threshold.
 func (e *Engine) ApplyKnowledge(d knowledge.Delta) (KnowledgeReport, error) {
 	if e.kb == nil {
 		return KnowledgeReport{}, fmt.Errorf("core: no knowledge base bound to this engine")
@@ -51,15 +55,16 @@ func (e *Engine) ApplyKnowledge(d knowledge.Delta) (KnowledgeReport, error) {
 		Applied:   out.Applied,
 		Duplicate: out.Duplicate,
 		Rejected:  out.Rejected,
-		Rebuilt:   out.Rebuilt,
+		Refolded:  out.Refolded,
 		Changed:   out.Changed,
+		Affected:  out.Affected,
 		Version:   e.kb.Version(),
 	}
 	if !out.Changed {
 		return rep, nil
 	}
 	e.stage.Replace(out.Synonyms, out.Hierarchy, out.Mappings)
-	rep.Reindexed, rep.FullReindex, err = e.reindexKnowledgeLocked(out.Affected, out.Rebuilt)
+	rep.Reindexed, rep.FullReindex, err = e.reindexKnowledgeLocked(out.Affected, false)
 	if err != nil {
 		return rep, err
 	}
@@ -80,8 +85,8 @@ func (e *Engine) ReindexKnowledge(affected []string, full bool) (int, error) {
 // reindexKnowledgeLocked re-indexes subscriptions whose original form
 // mentions an affected term — the only subscriptions whose canonical
 // (indexed) form a knowledge delta can change, since subscriptions pass
-// only the synonym stage and a known term's root never changes. Past
-// kbFullReindexTerms distinct terms (or after a genesis rebuild) it
+// only the synonym stage and the base reports exactly the terms whose
+// canonical form changed. Past KBFullReindexTerms distinct terms it
 // falls back to re-indexing everything. Callers hold e.mu.
 func (e *Engine) reindexKnowledgeLocked(affected []string, full bool) (int, bool, error) {
 	if e.mode != Semantic {
@@ -95,6 +100,7 @@ func (e *Engine) reindexKnowledgeLocked(affected []string, full bool) (int, bool
 	}
 	var ids []message.SubID
 	if full {
+		e.stats.KBFullReindexes++
 		ids = make([]message.SubID, 0, len(e.originals))
 		for id := range e.originals {
 			ids = append(ids, id)
@@ -108,7 +114,7 @@ func (e *Engine) reindexKnowledgeLocked(affected []string, full bool) (int, bool
 			set[t] = true
 		}
 		for id, s := range e.originals {
-			if subscriptionTouches(s, set) {
+			if s.TouchesTerms(set) {
 				ids = append(ids, id)
 			}
 		}
@@ -122,21 +128,4 @@ func (e *Engine) reindexKnowledgeLocked(affected []string, full bool) (int, bool
 	}
 	e.stats.KBReindexed += uint64(len(ids))
 	return len(ids), full, nil
-}
-
-// subscriptionTouches reports whether any predicate attribute (or
-// string operand) of the subscription's ORIGINAL form is an affected
-// term. Raw terms suffice: only previously-unknown terms can acquire a
-// new canonical form (semantic.Synonyms.Known), and a previously
-// unknown term appears in the indexed form exactly as written.
-func subscriptionTouches(s message.Subscription, affected map[string]bool) bool {
-	for _, p := range s.Preds {
-		if affected[p.Attr] {
-			return true
-		}
-		if p.Val.Kind() == message.KindString && affected[p.Val.Str()] {
-			return true
-		}
-	}
-	return false
 }

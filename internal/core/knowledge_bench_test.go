@@ -20,8 +20,10 @@ import (
 //     small fixed number of subscriptions (10) — clone + scan + a
 //     handful of matcher remove/add pairs.
 //   - full: the fallback the incremental path avoids — re-indexing
-//     every stored subscription (what a naive implementation, or a
-//     genesis rebuild after out-of-order delivery, pays).
+//     every stored subscription (what a naive implementation pays, and
+//     what out-of-order delivery used to force before refolds reported
+//     the changed-term diff; see BenchmarkKnowledgeMultiOrigin at the
+//     repo root for the multi-origin study, EXPERIMENTS T9).
 //
 // Results are recorded in EXPERIMENTS.md (T8).
 func BenchmarkKnowledgeApply(b *testing.B) {

@@ -66,9 +66,15 @@ type Version struct {
 	// They stay in the log — peers must still receive them for digests
 	// to converge — but contribute nothing to the semantic state.
 	Rejected int `json:"rejected"`
-	// Rebuilds counts out-of-order arrivals that forced a full fold
-	// from genesis (an efficiency, not a correctness, signal).
+	// Rebuilds counts arrivals out of merge order, each of which
+	// re-folded a bounded log suffix (an efficiency, not a correctness,
+	// signal — in-order arrivals never refold).
 	Rebuilds uint64 `json:"rebuilds"`
+	// Refolded is the cumulative number of delta fold operations those
+	// suffix refolds re-executed. Divided by Rebuilds it is the mean
+	// refold depth; checkpoints bound it near the out-of-order window,
+	// not the log length.
+	Refolded uint64 `json:"refolded,omitempty"`
 	// Digest is an order-sensitive FNV-64a hash over the canonical log.
 	Digest string `json:"digest"`
 	// Origins maps "origin#epoch" to the highest sequence applied from
@@ -90,19 +96,20 @@ type Outcome struct {
 	Rejected bool
 	// RejectReason carries the rejection error text (diagnostics only).
 	RejectReason string
-	// Rebuilt: the delta arrived out of canonical order and the state
-	// was re-folded from genesis. Affected is meaningless in this case;
-	// callers must re-index fully.
-	Rebuilt bool
+	// Refolded: the delta arrived out of merge order and a log suffix
+	// was re-folded from the nearest checkpoint. Affected is still
+	// exact — refolds diff the old and new canonical maps — so callers
+	// never need a full re-index; the flag is an efficiency signal.
+	Refolded bool
 	// Changed: the semantic structures differ from before the call;
 	// Synonyms/Hierarchy/Mappings hold the fresh snapshot to install.
 	Changed bool
-	// Affected lists terms whose canonical form changed — the
-	// previously-unknown member terms of a synonym delta. Only
-	// subscriptions mentioning one of these need re-indexing
+	// Affected lists the terms whose canonical form changed, sorted —
+	// on the incremental path the previously-unknown member terms of a
+	// synonym delta, on the refold path the old-state/new-state synonym
+	// diff. Only subscriptions mentioning one of these need re-indexing
 	// (hierarchy and mapping deltas never change indexed subscription
-	// forms, so for them Affected is empty). Valid only when Changed
-	// and not Rebuilt.
+	// forms, so for them Affected is empty). Valid whenever Changed.
 	Affected []string
 
 	Synonyms  *semantic.Synonyms
@@ -110,19 +117,60 @@ type Outcome struct {
 	Mappings  *semantic.Mappings
 }
 
+// kbCheckpointEvery is the fold-checkpoint spacing: the state after
+// every kbCheckpointEvery-th delta of the canonical log is pinned, so
+// an out-of-merge-order arrival refolds at most its out-of-order
+// window plus one checkpoint interval — never the whole log. In-order
+// checkpoints are free (the copy-on-write discipline freezes published
+// snapshots), refold-path checkpoints cost one clone each.
+const kbCheckpointEvery = 32
+
+// kbMaxCheckpoints bounds how many checkpoints a base retains (the
+// most recent ones). Refolds only ever resume near the out-of-order
+// window — within a few sequence numbers of the merge frontier — so
+// old checkpoints are dead weight: without a cap a long-lived broker
+// would hold a full state snapshot per kbCheckpointEvery deltas
+// forever, O(log × state) memory. The retained window covers
+// kbMaxCheckpoints × kbCheckpointEvery ≈ 256 deltas of skew; an
+// arrival older than that (an origin hundreds of sequence numbers
+// behind the frontier — partition-heal territory, where link sync
+// replays in canonical order anyway) falls back to a genesis refold,
+// which is a cost, not a correctness, event.
+const kbMaxCheckpoints = 8
+
+// checkpoint pins the folded state and rolling digest after the first
+// idx deltas of the canonical log (the genesis state is the implicit
+// checkpoint at idx 0). Checkpoint structures are frozen: they are
+// either published snapshots (never mutated again by the copy-on-write
+// discipline) or private clones taken mid-refold.
+type checkpoint struct {
+	idx    int
+	syn    *semantic.Synonyms
+	hier   *semantic.Hierarchy
+	maps   *semantic.Mappings
+	digest uint64
+}
+
 // Base is one broker's replicated knowledge base: an append-only log of
 // deltas over a fixed genesis (the ontology every broker was started
 // with), folded into semantic structures in one canonical order.
 //
+// The canonical order (knowledge.less) is sequence-major: it is the
+// deterministic merge of per-origin in-order tails — each origin's
+// deltas appear in epoch/seq order, interleaved round-robin by
+// sequence number. Origins injecting concurrently therefore land near
+// the merge tail, so the overwhelmingly common arrivals (in order
+// within their origin, and within one out-of-order window of the other
+// origins' watermarks) take the incremental clone-and-apply path or
+// refold only a short suffix from the nearest checkpoint.
+//
 // Convergence argument: (1) delta IDs are unique and deltas immutable,
-// so the log is a grow-only set; (2) the fold order (knowledge.less) is
-// a total order independent of arrival order; (3) each operation either
-// applies or is rejected deterministically as a function of the folded
-// prefix alone. Hence two bases with the same genesis and the same
-// delta set hold identical structures and equal digests, no matter how
-// replication interleaved. Out-of-order arrivals re-fold from genesis;
-// in-order arrivals (the overwhelmingly common case — one origin
-// feeding sequential updates) take an incremental clone-and-apply path.
+// so the log is a grow-only set; (2) the merge order is a total order
+// independent of arrival order; (3) each operation either applies or
+// is rejected deterministically as a function of the folded prefix
+// alone. Hence two bases with the same genesis and the same delta set
+// hold identical structures and equal digests, no matter how
+// replication interleaved.
 //
 // A Base never mutates structures it has handed out: Apply clones the
 // current snapshot, mutates the clone, and publishes it. Engines swap
@@ -138,17 +186,24 @@ type Base struct {
 	hier *semantic.Hierarchy
 	maps *semantic.Mappings
 
-	log    []Delta  // canonical order
+	log    []Delta  // canonical (merge) order
 	encLog [][]byte // cached encodings, parallel to log
+	// cps holds the sparse fold checkpoints in ascending idx order
+	// (idx > 0; genesis is the implicit checkpoint at 0), capped at
+	// the kbMaxCheckpoints most recent. An insertion at position i
+	// invalidates every checkpoint past i and refolds from the last
+	// one at or before it (genesis when none remains that old).
+	cps []checkpoint
 	// digest is the rolling order-sensitive FNV-64a over encLog,
 	// maintained incrementally on in-order appends (the common case)
-	// and recomputed from the cached encodings on a refold — Version()
-	// never re-marshals the log.
+	// and recomputed from the nearest checkpoint on a refold —
+	// Version() never re-marshals the log.
 	digest   uint64
 	origins  map[string]uint64 // "origin#epoch" → max seq
 	applied  map[string]bool
 	rejected map[string]string // delta ID → reason
 	rebuilds uint64
+	refolded uint64
 }
 
 // NewBase builds a knowledge base over the given genesis structures
@@ -249,7 +304,9 @@ func (b *Base) Apply(d Delta) (Outcome, error) {
 	var out Outcome
 	out.Applied = true
 	if n := len(b.log); n == 0 || less(b.log[n-1], d) {
-		// In order: incremental clone-and-apply, digest carried forward.
+		// In merge order: incremental clone-and-apply, digest carried
+		// forward, checkpoint pinned for free at the spacing boundary
+		// (the published snapshot is frozen by copy-on-write).
 		b.log = append(b.log, d)
 		b.encLog = append(b.encLog, enc)
 		b.digest = fnvAbsorb(b.digest, enc)
@@ -259,15 +316,23 @@ func (b *Base) Apply(d Delta) (Outcome, error) {
 			b.rejected[id] = err.Error()
 			out.Rejected = true
 			out.RejectReason = err.Error()
-			return out, nil
+		} else {
+			b.syn, b.hier, b.maps = syn, hier, maps
+			out.Changed = true
+			sort.Strings(affected)
+			out.Affected = affected
 		}
-		b.syn, b.hier, b.maps = syn, hier, maps
-		out.Changed = true
-		out.Affected = affected
+		if len(b.log)%kbCheckpointEvery == 0 {
+			b.pinCheckpoint(checkpoint{
+				idx: len(b.log), syn: b.syn, hier: b.hier, maps: b.maps, digest: b.digest,
+			})
+		}
 	} else {
-		// Out of order: insert at the canonical position, re-fold the
-		// state from genesis, and recompute the digest from the cached
-		// encodings.
+		// Out of merge order: insert at the canonical position and
+		// refold the suffix from the nearest checkpoint at or before
+		// it. The old and new synonym maps are then diffed, so the
+		// outcome still carries the exact changed-term set and callers
+		// re-index incrementally, exactly as on the in-order path.
 		i := sort.Search(len(b.log), func(i int) bool { return less(d, b.log[i]) })
 		b.log = append(b.log, Delta{})
 		copy(b.log[i+1:], b.log[i:])
@@ -275,32 +340,86 @@ func (b *Base) Apply(d Delta) (Outcome, error) {
 		b.encLog = append(b.encLog, nil)
 		copy(b.encLog[i+1:], b.encLog[i:])
 		b.encLog[i] = enc
-		b.digest = fnvOffset
-		for _, e := range b.encLog {
-			b.digest = fnvAbsorb(b.digest, e)
-		}
-		b.refold()
+
+		oldSyn := b.syn
+		flipped := b.refoldFrom(i)
 		b.rebuilds++
-		out.Rebuilt = true
-		out.Changed = true
-		out.Rejected = b.rejected[id] != ""
+		out.Refolded = true
 		out.RejectReason = b.rejected[id]
+		out.Rejected = out.RejectReason != ""
+		// A rejected insertion that flipped no other delta's outcome
+		// left the effective operation sequence — and so the state —
+		// exactly as it was.
+		out.Changed = !out.Rejected || flipped
+		if out.Changed {
+			out.Affected = oldSyn.DiffTerms(b.syn)
+		}
 	}
 	out.Synonyms, out.Hierarchy, out.Mappings = b.syn, b.hier, b.maps
 	return out, nil
 }
 
-// refold recomputes the current structures from genesis over the whole
-// canonical log, re-deriving the rejection set. Callers hold b.mu.
-func (b *Base) refold() {
-	syn, hier, maps := b.genSyn.Clone(), b.genHier.Clone(), b.genMaps.Clone()
-	b.rejected = make(map[string]string)
-	for _, d := range b.log {
+// refoldFrom re-derives the current structures over log[from:] starting
+// at the last checkpoint at or before from, re-deriving the rejection
+// set of the refolded suffix and re-pinning checkpoints along the way.
+// It reports whether any previously logged delta's rejection status
+// flipped. Callers hold b.mu and have already inserted the new delta.
+func (b *Base) refoldFrom(from int) (flipped bool) {
+	// Locate the checkpoint to resume from and drop the now-stale ones
+	// past the insertion point (their indices shifted and their states
+	// no longer reflect the new prefix).
+	start, digest := 0, uint64(fnvOffset)
+	syn, hier, maps := b.genSyn, b.genHier, b.genMaps
+	k := sort.Search(len(b.cps), func(k int) bool { return b.cps[k].idx > from })
+	if k > 0 {
+		cp := b.cps[k-1]
+		start, digest = cp.idx, cp.digest
+		syn, hier, maps = cp.syn, cp.hier, cp.maps
+	}
+	b.cps = b.cps[:k]
+
+	// Fold the suffix on private clones; published snapshots and
+	// checkpoint states stay frozen.
+	syn, hier, maps = syn.Clone(), hier.Clone(), maps.Clone()
+	for j := start; j < len(b.log); j++ {
+		d := b.log[j]
+		id := d.ID()
+		was, hadReason := b.rejected[id]
+		delete(b.rejected, id)
 		if _, err := applyOp(d, syn, hier, maps); err != nil {
-			b.rejected[d.ID()] = err.Error()
+			b.rejected[id] = err.Error()
+			if !hadReason {
+				flipped = flipped || j != from // the inserted delta has no prior status
+			}
+		} else if hadReason && was != "" {
+			flipped = true
+		}
+		digest = fnvAbsorb(digest, b.encLog[j])
+		if n := j + 1; n%kbCheckpointEvery == 0 && n < len(b.log) {
+			b.pinCheckpoint(checkpoint{
+				idx: n, syn: syn.Clone(), hier: hier.Clone(), maps: maps.Clone(), digest: digest,
+			})
 		}
 	}
+	b.refolded += uint64(len(b.log) - start)
 	b.syn, b.hier, b.maps = syn, hier, maps
+	b.digest = digest
+	return flipped
+}
+
+// pinCheckpoint appends a checkpoint and evicts the oldest past the
+// retention cap, keeping memory bounded at kbMaxCheckpoints snapshots
+// regardless of log length. Callers hold b.mu and append in ascending
+// idx order.
+func (b *Base) pinCheckpoint(cp checkpoint) {
+	b.cps = append(b.cps, cp)
+	if len(b.cps) > kbMaxCheckpoints {
+		n := copy(b.cps, b.cps[len(b.cps)-kbMaxCheckpoints:])
+		for i := n; i < len(b.cps); i++ {
+			b.cps[i] = checkpoint{} // release the evicted snapshots
+		}
+		b.cps = b.cps[:n]
+	}
 }
 
 // applyOp applies one operation to the given (private, mutable)
@@ -346,10 +465,10 @@ func applyOp(d Delta, syn *semantic.Synonyms, hier *semantic.Hierarchy, maps *se
 		// Replace semantics: an equal-name mapping (genesis or earlier
 		// delta) is superseded, never a rejection. This keeps a changed
 		// mapping a single self-contained delta — a retire/add pair
-		// would depend on fold order, which for content-hash-stamped
-		// logs (FileStamp) is a hash order, not emission order, and the
-		// add could fold first, reject, and leave the retire to delete
-		// the mapping outright.
+		// would depend on fold order, which across delta-log files
+		// (FileStamp) is not the emission order, and the add could fold
+		// first, reject, and leave the retire to delete the mapping
+		// outright.
 		replaced := maps.Remove(d.Map.Name)
 		if err := maps.Add(d.Map.Func()); err != nil {
 			// Unreachable: Validate guarantees a name, a trigger
@@ -378,6 +497,7 @@ func (b *Base) Version() Version {
 		Deltas:   len(b.log),
 		Rejected: len(b.rejected),
 		Rebuilds: b.rebuilds,
+		Refolded: b.refolded,
 		Digest:   fmt.Sprintf("%016x", b.digest),
 		Origins:  make(map[string]uint64, len(b.origins)),
 	}
@@ -390,7 +510,8 @@ func (b *Base) Version() Version {
 // Log returns the applied delta log in canonical order (a copy). The
 // broker persists it in snapshots and replays it onto freshly
 // connected overlay links, so a restarted or healed peer catches up by
-// ordinary duplicate-suppressed flooding.
+// ordinary duplicate-suppressed flooding — and because the replay
+// order IS the merge order, a catch-up folds as pure in-order appends.
 func (b *Base) Log() []Delta {
 	b.mu.Lock()
 	defer b.mu.Unlock()

@@ -25,8 +25,11 @@ func testDeltas() []Delta {
 			Derived: []DerivedPair{{Attr: "skill", Val: message.String("COBOL")}},
 		}}),
 		stamp("b", "e9", 4, Delta{Op: OpRetire, Name: "m1"}),
-		// Deterministically rejected: cycle with a→e1/2 + b→e9/2.
-		stamp("c", "e5", 1, Delta{Op: OpAddIsA, Child: "vehicle", Parent: "sedan"}),
+		// Deterministically rejected: cycle with a→e1/2 + b→e9/2. Seq 5
+		// places it after both edges in the sequence-major merge order,
+		// so every arrival order folds the forward edges first and
+		// rejects this one.
+		stamp("c", "e5", 5, Delta{Op: OpAddIsA, Child: "vehicle", Parent: "sedan"}),
 	}
 }
 
@@ -193,9 +196,9 @@ func TestGenesisIsNeverMutated(t *testing.T) {
 	b := NewBase(syn, nil, nil)
 	st := b.Stage(semantic.FullConfig())
 	applyAll(t, b, []Delta{
-		stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "salary", Terms: []string{"pay"}}),
-		// Out of order arrival forces a genesis refold.
-		stamp("a", "e0", 7, Delta{Op: OpAddConcept, Term: "car"}),
+		stamp("a", "e1", 2, Delta{Op: OpAddSynonym, Root: "salary", Terms: []string{"pay"}}),
+		// Lower sequence number: out of merge order, forces a refold.
+		stamp("a", "e0", 1, Delta{Op: OpAddConcept, Term: "car"}),
 	})
 	if syn.Known("pay") {
 		t.Fatal("genesis synonyms were mutated")

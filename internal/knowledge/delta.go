@@ -193,17 +193,18 @@ func Decode(data []byte) (Delta, error) {
 // whole log again under fresh identities. Already-stamped deltas pass
 // through unchanged.
 //
-// Because the epoch is a content hash, a multi-line file's canonical
-// fold order generally differs from its line order, so applying it
-// counts a few refolds (Version.Rebuilds) — expected, and harmless
-// beyond the refold cost: convergence never depends on arrival order,
-// and the delta language is fold-order-independent (add_isa registers
-// its concepts implicitly; add_mapping replaces an equal-name
-// function, so a changed mapping never needs an order-sensitive
-// retire/add pair). The one residual sensitivity: two deltas touching
-// the SAME mapping name in one log (two add_mappings, or a retire
-// plus an add) fold in hash order, deterministically but arbitrarily —
-// put only the final state of a mapping in a log, as Diff does.
+// The canonical merge order is sequence-major (see less), so a single
+// file's lines fold in LINE order — reading a delta log top to bottom
+// is a run of pure in-order appends, no refolds. Across files (or
+// against live broker origins) lines with equal numbers interleave in
+// hash order, deterministically but arbitrarily; convergence never
+// depends on it, and the delta language is fold-order-independent
+// (add_isa registers its concepts implicitly; add_mapping replaces an
+// equal-name function, so a changed mapping never needs an
+// order-sensitive retire/add pair). The one residual sensitivity: two
+// deltas touching the SAME mapping name on the SAME line number of
+// different logs fold in hash order — put only the final state of a
+// mapping in a log, as Diff does.
 func FileStamp(line uint64, d Delta) (Delta, error) {
 	if d.Stamped() {
 		return d, nil
@@ -222,18 +223,26 @@ func FileStamp(line uint64, d Delta) (Delta, error) {
 	return d, nil
 }
 
-// less orders deltas canonically: by origin name, then epoch, then
-// sequence. The order is arbitrary but identical on every broker, which
-// is all convergence needs — every Base folds its log in this order
-// (see Base.Apply), so equal delta sets produce equal semantic state.
+// less orders deltas canonically: by sequence number first, then origin
+// name, then epoch. Any total order identical on every broker would do
+// for convergence — every Base folds its log in this order (see
+// Base.Apply), so equal delta sets produce equal semantic state — but
+// sequence-major ordering is what keeps multi-origin convergence
+// incremental: it is the deterministic round-robin merge of per-origin
+// in-order tails, so origins injecting concurrently land near the
+// merge tail and an arrival is out of order only by the skew between
+// origin watermarks, never by the origins' name order. (Origin-major
+// ordering would put every delta of the alphabetically-first origin
+// before the entire log tail, forcing a near-full refold per
+// cross-origin delta.)
 func less(a, b Delta) bool {
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
 	if a.Origin != b.Origin {
 		return a.Origin < b.Origin
 	}
-	if a.Epoch != b.Epoch {
-		return a.Epoch < b.Epoch
-	}
-	return a.Seq < b.Seq
+	return a.Epoch < b.Epoch
 }
 
 // String summarizes the delta for logs and diagnostics.

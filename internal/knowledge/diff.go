@@ -100,10 +100,11 @@ func Diff(old, new Structures) ([]Delta, []string, error) {
 	// Mappings: a new or content-changed function is one add_mapping
 	// delta — add_mapping replaces an equal-name function when folded,
 	// so a change needs no retire/add pair whose outcome would depend
-	// on fold order (content-hash stamping folds a log in hash order,
-	// not emission order). Retire is emitted only for removed
-	// functions. Only declarative pair-maps serialize; computed rules
-	// warn.
+	// on fold order (one file's lines fold in line order under the
+	// sequence-major merge, but deltas from different logs or live
+	// origins interleave by sequence number, not emission time). Retire
+	// is emitted only for removed functions. Only declarative pair-maps
+	// serialize; computed rules warn.
 	for _, name := range new.Mappings.Names() {
 		f, _ := new.Mappings.Func(name)
 		pm, ok := f.(semantic.PairMap)

@@ -112,12 +112,14 @@ func TestDiffEmitsEvolution(t *testing.T) {
 
 // TestDiffFileStampFoldOrderSafe reproduces the documented injection
 // paths (stopss-server -kb-watch, POST /api/kb): every line of the
-// emitted log is stamped with a per-line content-hash epoch, so the
-// canonical fold order is a hash order, not the emission order. A
-// content-changed mapping must therefore be a single self-contained
-// delta — the old retire-then-add pair could fold add-first, be
-// rejected as already registered, and then be deleted by the retire,
-// losing the update federation-wide.
+// emitted log is stamped with a per-line content-hash epoch. One file
+// now folds in line order under the sequence-major merge, but deltas
+// from several logs (or logs mixed with live origins) still interleave
+// by sequence number, so a content-changed mapping must remain a
+// single self-contained delta — a retire-then-add pair could fold
+// add-first, be rejected as already registered, and then be deleted by
+// the retire, losing the update federation-wide. The shuffled arrival
+// orders below also exercise the suffix-refold path end to end.
 func TestDiffFileStampFoldOrderSafe(t *testing.T) {
 	old, neu := loadStructs(t, oldODL), loadStructs(t, newODL)
 	deltas, _, err := Diff(old, neu)
@@ -146,7 +148,7 @@ func TestDiffFileStampFoldOrderSafe(t *testing.T) {
 		}
 	}
 
-	// Every arrival order — including the canonical (sorted-by-epoch)
+	// Every arrival order — including the canonical (sorted) merge
 	// fold order itself — must converge on the new ontology's mapping
 	// behaviour with no rejections.
 	rng := rand.New(rand.NewSource(7))

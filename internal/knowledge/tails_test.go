@@ -1,0 +1,307 @@
+package knowledge
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// multiOriginDeltas builds per-origin in-order delta streams with
+// cross-origin interactions: synonyms (including a deterministic
+// conflict), hierarchy edges and a mapping lifecycle, so refolds
+// exercise rejection re-derivation, not just clean appends.
+func multiOriginDeltas() [][]Delta {
+	streamA := []Delta{
+		stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job"}}),
+		stamp("a", "e1", 2, Delta{Op: OpAddIsA, Child: "sedan", Parent: "car"}),
+		stamp("a", "e1", 3, Delta{Op: OpAddSynonym, Root: "salary", Terms: []string{"pay", "wage"}}),
+		stamp("a", "e1", 4, Delta{Op: OpAddConcept, Term: "vehicle"}),
+	}
+	streamB := []Delta{
+		stamp("b", "e9", 1, Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"post"}}),
+		// Conflicts with a#e1/1 ("job" already rooted at "position"):
+		// rejected wherever it folds after it, which the sequence-major
+		// merge makes deterministic (seq 2 of b folds after seq 1 of a).
+		stamp("b", "e9", 2, Delta{Op: OpAddSynonym, Root: "gig", Terms: []string{"job"}}),
+		stamp("b", "e9", 3, Delta{Op: OpAddIsA, Child: "car", Parent: "vehicle"}),
+		stamp("b", "e9", 4, Delta{Op: OpAddMapping, Map: &MapDecl{
+			Name: "m1", Attr: "position", Match: message.String("mainframe developer"),
+			Derived: []DerivedPair{{Attr: "skill", Val: message.String("COBOL")}},
+		}}),
+	}
+	streamC := []Delta{
+		stamp("c", "e5", 1, Delta{Op: OpAddConcept, Term: "degree"}),
+		stamp("c", "e5", 2, Delta{Op: OpAddIsA, Child: "PhD", Parent: "degree"}),
+		stamp("c", "e5", 4, Delta{Op: OpAddSynonym, Root: "school", Terms: []string{"university"}}),
+		// Seq 5 merges after b#e9/4's add_mapping, so the retire folds
+		// over a registered function in every arrival order.
+		stamp("c", "e5", 5, Delta{Op: OpRetire, Name: "m1"}),
+	}
+	return [][]Delta{streamA, streamB, streamC}
+}
+
+// stateProbe summarizes the semantic state for cross-arrival-order
+// comparison: canonical forms, hierarchy reachability, live mappings.
+func stateProbe(t *testing.T, b *Base) string {
+	t.Helper()
+	st := b.Stage(semantic.FullConfig())
+	probe := ""
+	for _, term := range []string{"job", "post", "pay", "wage", "gig", "university"} {
+		c, _ := st.Synonyms().Canonical(term)
+		probe += term + "→" + c + ";"
+	}
+	probe += fmt.Sprintf("sedan-is-vehicle=%v;", st.Hierarchy().IsA("sedan", "vehicle"))
+	probe += fmt.Sprintf("m1=%v", st.Mappings().Has("m1"))
+	return probe
+}
+
+// applyCounting applies deltas in the given arrival order, returning
+// how many arrivals were out of merge order (sorted before the then
+// current log tail) — the number of refolds the base is allowed.
+func applyCounting(t *testing.T, b *Base, ds []Delta) (outOfOrder uint64) {
+	t.Helper()
+	var tail Delta
+	for i, d := range ds {
+		if i > 0 && less(d, tail) {
+			outOfOrder++
+		}
+		if i == 0 || less(tail, d) {
+			tail = d
+		}
+		if _, err := b.Apply(d); err != nil {
+			t.Fatalf("apply %s: %v", d, err)
+		}
+	}
+	return outOfOrder
+}
+
+// TestMultiOriginArrivalOrderProperty is the bounded-convergence
+// property of the tail merge: for every interleaving of per-origin
+// in-order streams — and for fully shuffled arrival orders too — the
+// digest and semantic state are identical, and the refold count equals
+// EXACTLY the number of out-of-merge-order arrivals. In-order arrivals
+// never refold; each out-of-order arrival refolds once.
+func TestMultiOriginArrivalOrderProperty(t *testing.T) {
+	streams := multiOriginDeltas()
+	var canonical []Delta
+	for _, s := range streams {
+		canonical = append(canonical, s...)
+	}
+	// Reference: canonical (merge-order) arrival — zero refolds.
+	ref := NewBase(nil, nil, nil)
+	if ooo := applyCounting(t, ref, sortedCopy(canonical)); ooo != 0 {
+		t.Fatalf("canonical order counted %d out-of-order arrivals", ooo)
+	}
+	want := ref.Version()
+	if want.Rebuilds != 0 {
+		t.Fatalf("canonical-order arrival refolded: %+v", want)
+	}
+	if want.Rejected != 1 {
+		t.Fatalf("reference rejected = %d, want 1 (the b#e9/2 conflict)", want.Rejected)
+	}
+	wantProbe := stateProbe(t, ref)
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		var ds []Delta
+		if trial%2 == 0 {
+			// Realistic replication: each origin's stream arrives in
+			// order, streams interleave randomly.
+			ds = interleave(rng, streams)
+		} else {
+			// Adversarial: fully shuffled, per-origin order violated.
+			ds = append([]Delta(nil), canonical...)
+			rng.Shuffle(len(ds), func(i, j int) { ds[i], ds[j] = ds[j], ds[i] })
+		}
+		b := NewBase(nil, nil, nil)
+		ooo := applyCounting(t, b, ds)
+		got := b.Version()
+		if got.Digest != want.Digest || got.Deltas != want.Deltas || got.Rejected != want.Rejected {
+			t.Fatalf("trial %d: version %+v, want %+v (order %v)", trial, got, want, ds)
+		}
+		if got.Rebuilds != ooo {
+			t.Fatalf("trial %d: %d refolds for %d out-of-order arrivals (order %v)",
+				trial, got.Rebuilds, ooo, ds)
+		}
+		if probe := stateProbe(t, b); probe != wantProbe {
+			t.Fatalf("trial %d: state diverged:\n  %s\n  %s", trial, probe, wantProbe)
+		}
+	}
+}
+
+func sortedCopy(ds []Delta) []Delta {
+	out := append([]Delta(nil), ds...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// interleave merges the streams in random order while preserving each
+// stream's internal order (the arrival pattern overlay flooding
+// actually produces).
+func interleave(rng *rand.Rand, streams [][]Delta) []Delta {
+	idx := make([]int, len(streams))
+	var out []Delta
+	for {
+		live := make([]int, 0, len(streams))
+		for s := range streams {
+			if idx[s] < len(streams[s]) {
+				live = append(live, s)
+			}
+		}
+		if len(live) == 0 {
+			return out
+		}
+		s := live[rng.Intn(len(live))]
+		out = append(out, streams[s][idx[s]])
+		idx[s]++
+	}
+}
+
+// TestRefoldBoundedByCheckpoints: an out-of-order arrival into a long
+// log refolds only from the nearest checkpoint, not from genesis — the
+// work is bounded by the out-of-order window plus one checkpoint
+// interval, independent of log length.
+func TestRefoldBoundedByCheckpoints(t *testing.T) {
+	b := NewBase(nil, nil, nil)
+	const n = 200
+	for i := 1; i <= n; i++ {
+		d := stamp("b", "e1", uint64(i), Delta{Op: OpAddConcept, Term: fmt.Sprintf("c%d", i)})
+		if out, err := b.Apply(d); err != nil || out.Refolded {
+			t.Fatalf("in-order apply %d: %+v, %v", i, out, err)
+		}
+	}
+	// Origin "a" is 5 sequence numbers behind the tail: the insertion
+	// point is near the end, and the refold must start at the last
+	// checkpoint before it.
+	late := stamp("a", "e1", uint64(n-5), Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job"}})
+	out, err := b.Apply(late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Refolded || !out.Changed || out.Rejected {
+		t.Fatalf("late arrival: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Affected, []string{"job"}) {
+		t.Fatalf("affected = %v, want [job]", out.Affected)
+	}
+	v := b.Version()
+	if v.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", v.Rebuilds)
+	}
+	if max := uint64(kbCheckpointEvery + 8); v.Refolded > max {
+		t.Fatalf("refolded %d deltas, want ≤ %d (checkpointed suffix, not genesis)", v.Refolded, max)
+	}
+
+	// The checkpoint-resumed fold must agree exactly with a clean fold
+	// of the same set in canonical order.
+	ref := NewBase(nil, nil, nil)
+	applyAll(t, ref, sortedCopy(b.Log()))
+	if rv := ref.Version(); rv.Digest != v.Digest || rv.Rejected != v.Rejected {
+		t.Fatalf("checkpoint fold diverged from clean fold: %+v vs %+v", v, rv)
+	}
+	if got, want := stateProbe(t, b), stateProbe(t, ref); got != want {
+		t.Fatalf("state diverged:\n  %s\n  %s", got, want)
+	}
+}
+
+// TestRefoldOutcomeDiff pins the Outcome semantics of the refold path:
+// the changed-term set is the old/new canonical diff (including terms
+// re-rooted by a flipped earlier delta), a rejected insertion that
+// flips nothing reports Changed=false, and an insertion that flips an
+// earlier delta's outcome reports every re-rooted term.
+func TestRefoldOutcomeDiff(t *testing.T) {
+	// Rejected out-of-order insertion, no flips: state identical.
+	b := NewBase(nil, nil, nil)
+	applyAll(t, b, []Delta{
+		stamp("b", "e1", 1, Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job"}}),
+		stamp("b", "e1", 2, Delta{Op: OpAddConcept, Term: "car"}),
+	})
+	// Origin "z" sorts after "b" at sequence 1, so the insertion folds
+	// AFTER the position/job group exists and rejects deterministically
+	// (inserting as origin "a" would fold first, apply, and flip the
+	// other delta instead — the second half of this test).
+	out, err := b.Apply(stamp("z", "e1", 1, Delta{Op: OpAddSynonym, Root: "job", Terms: []string{"gig"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Refolded || !out.Rejected || out.Changed || len(out.Affected) != 0 {
+		t.Fatalf("rejected refold: %+v", out)
+	}
+
+	// Flip: origin c rooted "w" under "q"; an earlier-merging delta
+	// from origin a re-roots "w" first, so c's delta now rejects. The
+	// diff must list both the directly added term and the re-rooted one.
+	b2 := NewBase(nil, nil, nil)
+	applyAll(t, b2, []Delta{
+		stamp("c", "e1", 50, Delta{Op: OpAddSynonym, Root: "q", Terms: []string{"w"}}),
+	})
+	out, err = b2.Apply(stamp("a", "e1", 45, Delta{Op: OpAddSynonym, Root: "w", Terms: []string{"v"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Refolded || out.Rejected || !out.Changed {
+		t.Fatalf("flipping refold: %+v", out)
+	}
+	if !reflect.DeepEqual(out.Affected, []string{"v", "w"}) {
+		t.Fatalf("affected = %v, want [v w]", out.Affected)
+	}
+	if v := b2.Version(); v.Rejected != 1 {
+		t.Fatalf("flipped delta not rejected: %+v", v)
+	}
+}
+
+// TestCheckpointRetentionBounded: checkpoint memory is capped at
+// kbMaxCheckpoints snapshots no matter how long the log grows, and an
+// arrival older than the retained window still converges — it just
+// pays a genesis refold (cost, not correctness).
+func TestCheckpointRetentionBounded(t *testing.T) {
+	b := NewBase(nil, nil, nil)
+	const n = 40 * kbCheckpointEvery // would pin 40 checkpoints uncapped
+	for i := 1; i <= n; i++ {
+		d := stamp("b", "e1", uint64(i), Delta{Op: OpAddConcept, Term: fmt.Sprintf("c%d", i)})
+		if _, err := b.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.mu.Lock()
+	pinned := len(b.cps)
+	oldest := 0
+	if pinned > 0 {
+		oldest = b.cps[0].idx
+	}
+	b.mu.Unlock()
+	if pinned > kbMaxCheckpoints {
+		t.Fatalf("%d checkpoints retained, cap is %d", pinned, kbMaxCheckpoints)
+	}
+	if oldest <= n-kbMaxCheckpoints*kbCheckpointEvery-kbCheckpointEvery {
+		t.Fatalf("oldest retained checkpoint at %d; eviction should keep only the newest window", oldest)
+	}
+
+	// Far older than any retained checkpoint: genesis refold, exact
+	// convergence with a clean canonical fold.
+	deep := stamp("a", "e1", 1, Delta{Op: OpAddSynonym, Root: "position", Terms: []string{"job"}})
+	out, err := b.Apply(deep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Refolded || !out.Changed || !reflect.DeepEqual(out.Affected, []string{"job"}) {
+		t.Fatalf("deep arrival: %+v", out)
+	}
+	v := b.Version()
+	if v.Refolded < uint64(n) {
+		t.Fatalf("deep arrival refolded %d deltas, expected a genesis refold of ≥%d", v.Refolded, n)
+	}
+	ref := NewBase(nil, nil, nil)
+	applyAll(t, ref, sortedCopy(b.Log()))
+	if rv := ref.Version(); rv.Digest != v.Digest {
+		t.Fatalf("deep refold diverged: %s vs %s", v.Digest, rv.Digest)
+	}
+}

@@ -65,6 +65,26 @@ func (s Subscription) Attrs() []string {
 	return out
 }
 
+// TouchesTerms reports whether any predicate attribute (or string
+// operand) of the subscription is one of the given terms. Engines and
+// overlay routing use it against a changed-canonical-term set to
+// re-index or re-canonicalize only the subscriptions a knowledge
+// update could have altered: raw terms suffice, because a term whose
+// canonical form changed appears in forms derived from the OLD
+// knowledge exactly as written or under its old root — either way the
+// original mentions it.
+func (s Subscription) TouchesTerms(terms map[string]bool) bool {
+	for _, p := range s.Preds {
+		if terms[p.Attr] {
+			return true
+		}
+		if p.Val.Kind() == KindString && terms[p.Val.Str()] {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the subscription in the paper's syntax, predicates
 // joined by the conjunction sign.
 func (s Subscription) String() string {

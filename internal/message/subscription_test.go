@@ -192,3 +192,25 @@ func TestQuickMatchesAgainstBruteForce(t *testing.T) {
 		}
 	}
 }
+
+func TestTouchesTerms(t *testing.T) {
+	s := NewSubscription(1, "c",
+		Pred("position", OpEq, String("developer")),
+		Pred("experience", OpGe, Int(4)))
+	cases := []struct {
+		terms map[string]bool
+		want  bool
+	}{
+		{map[string]bool{"position": true}, true},   // attribute hit
+		{map[string]bool{"developer": true}, true},  // string operand hit
+		{map[string]bool{"experience": true}, true}, // attr of non-string pred
+		{map[string]bool{"4": true}, false},         // non-string operands never match
+		{map[string]bool{"salary": true}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := s.TouchesTerms(c.terms); got != c.want {
+			t.Errorf("TouchesTerms(%v) = %v, want %v", c.terms, got, c.want)
+		}
+	}
+}

@@ -124,7 +124,7 @@ func (t *coverTable) size() (int, int) {
 	return len(t.forwarded), len(t.suppressed)
 }
 
-// recanonicalize recomputes every entry's canonical form (a knowledge
+// recanonicalize recomputes entries' canonical forms (a knowledge
 // delta may have changed how raw subscriptions canonicalize) and
 // repairs the covering invariant: suppressed entries no longer covered
 // by any forwarded entry are promoted and returned so the caller can
@@ -133,8 +133,17 @@ func (t *coverTable) size() (int, int) {
 // Previously forwarded entries stay forwarded even if the new
 // knowledge would cover them: the peer holding extra routing state is
 // harmless (a superset routes a superset).
-func (t *coverTable) recanonicalize(canon func(message.Subscription) message.Subscription) []routeSend {
+//
+// touches (nil = every entry) limits the canonical recomputation to
+// entries whose raw form the knowledge change could have altered; the
+// coverage re-check still runs over ALL suppressed entries, because an
+// untouched suppressed entry can lose its cover when the entry
+// covering it was re-canonicalized.
+func (t *coverTable) recanonicalize(canon func(message.Subscription) message.Subscription, touches func(message.Subscription) bool) []routeSend {
 	for id, e := range t.forwarded {
+		if touches != nil && !touches(e.raw) {
+			continue
+		}
 		e.canon = canon(e.raw)
 		t.forwarded[id] = e
 	}
@@ -151,7 +160,9 @@ func (t *coverTable) recanonicalize(canon func(message.Subscription) message.Sub
 	var promote []routeSend
 	for _, sid := range ids {
 		e := t.suppressed[sid]
-		e.canon = canon(e.raw)
+		if touches == nil || touches(e.raw) {
+			e.canon = canon(e.raw)
+		}
 		covered := false
 		for _, f := range t.forwarded {
 			if matching.Covers(f.canon, e.canon) {

@@ -282,7 +282,14 @@ func TestCoverTableRecanonicalize(t *testing.T) {
 		}
 		return out
 	}
-	promoted := tbl.recanonicalize(recanon)
+	// The touches filter limits recanonicalization to entries mentioning
+	// a changed term; sub 2's raw form constrains "x", so a filter on
+	// {"x"} must still reach it (all three entries mention "x" here —
+	// the filtered sweep behaves identically to the full one).
+	touchesX := func(s message.Subscription) bool {
+		return s.TouchesTerms(map[string]bool{"x": true})
+	}
+	promoted := tbl.recanonicalize(recanon, touchesX)
 	if len(promoted) != 1 || promoted[0].id.ID != 2 {
 		t.Fatalf("promoted %v, want exactly sub 2", promoted)
 	}
@@ -290,8 +297,9 @@ func TestCoverTableRecanonicalize(t *testing.T) {
 	if fwd != 2 || sup != 1 {
 		t.Fatalf("table after recanonicalize: %d forwarded, %d suppressed", fwd, sup)
 	}
-	// Idempotent: a second pass with the same canon promotes nothing.
-	if again := tbl.recanonicalize(recanon); len(again) != 0 {
+	// Idempotent: a second pass with the same canon promotes nothing
+	// (nil filter = recanonicalize everything).
+	if again := tbl.recanonicalize(recanon, nil); len(again) != 0 {
 		t.Fatalf("second pass promoted %v", again)
 	}
 	// The promoted entry now blocks removal-reissue bookkeeping like

@@ -405,21 +405,29 @@ func (n *Node) KnowledgeChanged(d knowledge.Delta, rep core.KnowledgeReport) {
 	defer n.mu.Unlock()
 	n.markSeen("kb|" + d.ID())
 	n.routeKB(d, []string{n.cfg.Name}, nil)
-	if affectsCanonical(d, rep) {
-		n.reindexRouting()
+	if set := affectedTerms(rep); set != nil {
+		n.reindexRouting(set)
 	}
 	n.kbDeltas.Set(int64(rep.Version.Deltas))
 }
 
-// affectsCanonical reports whether an applied delta could have changed
-// canonical (routing) forms: subscriptions and advertisements pass only
-// the synonym stage, so concept/is-a/mapping deltas never alter them —
-// unless the arrival forced a genesis refold, which may have flipped
-// the outcome of an earlier synonym delta. Gating reindexRouting on
-// this avoids an O(links × subscriptions) requench sweep per
-// non-synonym delta.
-func affectsCanonical(d knowledge.Delta, rep core.KnowledgeReport) bool {
-	return rep.Changed && (d.Op == knowledge.OpAddSynonym || rep.Rebuilt)
+// affectedTerms returns the changed-canonical-term set of an applied
+// delta, or nil when routing state cannot have changed: subscriptions
+// and advertisements pass only the synonym stage, and the base reports
+// exactly the terms whose canonical form changed — even across a
+// suffix refold, where the old and new synonym tables are diffed. So
+// concept/is-a/mapping deltas (empty set) never trigger the
+// O(links × subscriptions) requench sweep, and synonym deltas
+// re-canonicalize only entries mentioning one of the changed terms.
+func affectedTerms(rep core.KnowledgeReport) map[string]bool {
+	if !rep.Changed || len(rep.Affected) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(rep.Affected))
+	for _, t := range rep.Affected {
+		set[t] = true
+	}
+	return set
 }
 
 // AdvertisementChanged implements broker.Forwarder for local
@@ -550,8 +558,8 @@ func (n *Node) handleFrame(l *link, f Frame) {
 		}
 		n.mu.Lock()
 		n.routeKB(*f.KB, appendHop(f.Hops, n.cfg.Name), l)
-		if affectsCanonical(*f.KB, rep) {
-			n.reindexRouting()
+		if set := affectedTerms(rep); set != nil {
+			n.reindexRouting(set)
 		}
 		n.kbDeltas.Set(int64(rep.Version.Deltas))
 		n.mu.Unlock()
@@ -701,27 +709,40 @@ func (n *Node) routeKB(d knowledge.Delta, hops []string, from *link) {
 }
 
 // reindexRouting re-canonicalizes the node's routing state after the
-// knowledge base changed: recorded remote interests (the publication
-// forwarding predicate) and per-link cover tables are recomputed under
-// the new stage, suppressed subscriptions that the new knowledge
-// uncovers are forwarded now, and — with quenching on — every link is
-// re-offered the subscriptions its advertised space may newly overlap.
-// Without this, a subscription recorded under old knowledge could
-// silently stop routing publications phrased in the new terms, or
-// stay quenched forever after the knowledge made it routable.
-func (n *Node) reindexRouting() {
+// knowledge base changed the canonical form of the given terms:
+// recorded remote interests (the publication forwarding predicate) and
+// per-link cover tables are recomputed under the new stage, suppressed
+// subscriptions that the new knowledge uncovers are forwarded now, and
+// — with quenching on — every link is re-offered the subscriptions its
+// advertised space may newly overlap. Without this, a subscription
+// recorded under old knowledge could silently stop routing
+// publications phrased in the new terms, or stay quenched forever
+// after the knowledge made it routable.
+//
+// Only entries whose RAW form mentions an affected term are
+// re-canonicalized (the semantic-stage pass per entry is the expensive
+// part of the sweep); everything else keeps its cached canonical form,
+// which by the changed-term diff is still exact.
+func (n *Node) reindexRouting(affected map[string]bool) {
+	touches := func(s message.Subscription) bool { return s.TouchesTerms(affected) }
 	for _, l := range n.links {
 		for rid, e := range l.interests {
+			if !touches(e.raw) {
+				continue
+			}
 			e.canon = n.canonicalize(e.raw)
 			l.interests[rid] = e
 		}
 		for aid, ae := range l.adverts {
+			if !touches(message.Subscription{Subscriber: ae.adv.Publisher, Preds: ae.adv.Preds}) {
+				continue
+			}
 			ae.canon = n.canonicalizeAdv(ae.adv)
 			l.adverts[aid] = ae
 		}
 	}
 	for _, l := range n.links {
-		for _, rs := range l.out.recanonicalize(n.canonicalize) {
+		for _, rs := range l.out.recanonicalize(n.canonicalize, touches) {
 			raw := rs.e.raw.Clone()
 			if err := l.send(Frame{Type: frameSub, Origin: rs.id.Origin, Sub: &raw, Hops: rs.e.hops}); err != nil {
 				continue

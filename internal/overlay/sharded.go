@@ -228,8 +228,9 @@ func (s *ShardedEngine) ApplyKnowledge(d knowledge.Delta) (core.KnowledgeReport,
 		Applied:   out.Applied,
 		Duplicate: out.Duplicate,
 		Rejected:  out.Rejected,
-		Rebuilt:   out.Rebuilt,
+		Refolded:  out.Refolded,
 		Changed:   out.Changed,
+		Affected:  out.Affected,
 		Version:   s.kb.Version(),
 	}
 	// The delta count and applied counter track every newly logged
@@ -245,14 +246,17 @@ func (s *ShardedEngine) ApplyKnowledge(d knowledge.Delta) (core.KnowledgeReport,
 		return rep, nil
 	}
 	s.Stage().Replace(out.Synonyms, out.Hierarchy, out.Mappings)
+	// The base reports the exact changed-term set even across a suffix
+	// refold, so every shard re-indexes incrementally; only a delta past
+	// the KBFullReindexTerms threshold widens to the full partition.
 	for i, sh := range s.shards {
-		n, err := sh.ReindexKnowledge(out.Affected, out.Rebuilt)
+		n, err := sh.ReindexKnowledge(out.Affected, false)
 		if err != nil {
 			return rep, fmt.Errorf("overlay: shard %d: %w", i, err)
 		}
 		rep.Reindexed += n
 	}
-	rep.FullReindex = out.Rebuilt || len(out.Affected) > core.KBFullReindexTerms
+	rep.FullReindex = len(out.Affected) > core.KBFullReindexTerms
 	if s.reg != nil {
 		s.reg.Counter("engine.kb.reindexed").Add(uint64(rep.Reindexed))
 	}

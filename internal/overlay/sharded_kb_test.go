@@ -127,3 +127,59 @@ func TestShardedApplyKnowledgeConcurrentPublish(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedApplyKnowledgeOutOfOrder: an out-of-merge-order delta
+// refolds the pool-level base but still re-indexes incrementally —
+// the refold's changed-term diff reaches every shard, and only the
+// subscriptions mentioning a changed term pass through the matcher.
+func TestShardedApplyKnowledgeOutOfOrder(t *testing.T) {
+	pool, _ := newKBPool(t, 4)
+	const n = 16
+	for i := 1; i <= n; i++ {
+		attr := "job"
+		if i%2 == 0 {
+			attr = "untouched"
+		}
+		s := message.NewSubscription(message.SubID(i), fmt.Sprintf("c%d", i),
+			message.Pred(attr, message.OpEq, message.String("dev")))
+		if err := pool.Subscribe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// In-order delta from origin "b", then origin "a" at the same
+	// sequence number: "a" sorts before the tail and forces a refold.
+	if _, err := pool.ApplyKnowledge(knowledge.Delta{
+		Origin: "b", Epoch: "e1", Seq: 1,
+		Op: knowledge.OpAddSynonym, Root: "salary", Terms: []string{"pay"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pool.ApplyKnowledge(knowledge.Delta{
+		Origin: "a", Epoch: "e1", Seq: 1,
+		Op: knowledge.OpAddSynonym, Root: "position", Terms: []string{"job"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Refolded || rep.FullReindex {
+		t.Fatalf("out-of-order report: %+v", rep)
+	}
+	if rep.Reindexed != n/2 {
+		t.Fatalf("re-indexed %d, want the %d subscriptions mentioning %q", rep.Reindexed, n/2, "job")
+	}
+	if len(rep.Affected) != 1 || rep.Affected[0] != "job" {
+		t.Fatalf("affected = %v, want [job]", rep.Affected)
+	}
+
+	res, err := pool.Publish(message.E("position", "dev"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != n/2 {
+		t.Fatalf("post-refold matches: %d, want %d", len(res.Matches), n/2)
+	}
+	if st := pool.Stats(); st.KBFullReindexes != 0 {
+		t.Fatalf("full re-indexes: %d", st.KBFullReindexes)
+	}
+}

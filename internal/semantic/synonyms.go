@@ -116,6 +116,37 @@ func (s *Synonyms) Clone() *Synonyms {
 	return c
 }
 
+// DiffTerms returns, sorted, every term whose canonical form differs
+// between s and o. Terms unknown to both tables canonicalize to
+// themselves on each side, so only registered terms need comparing;
+// a root term registered on one side only is NOT a difference (its
+// canonical form is itself either way). The runtime knowledge base
+// diffs the pre- and post-refold tables with this to re-index exactly
+// the subscriptions a log reorganization actually touched.
+func (s *Synonyms) DiffTerms(o *Synonyms) []string {
+	seen := make(map[string]bool, len(s.root)+len(o.root))
+	var out []string
+	check := func(t string) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		a, _ := s.Canonical(t)
+		b, _ := o.Canonical(t)
+		if a != b {
+			out = append(out, t)
+		}
+	}
+	for t := range s.root {
+		check(t)
+	}
+	for t := range o.root {
+		check(t)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // GroupOf returns the full synonym group of t (root first, then members
 // in sorted order), or nil when t is unknown.
 func (s *Synonyms) GroupOf(t string) []string {

@@ -194,3 +194,41 @@ func TestSynonymsString(t *testing.T) {
 		t.Errorf("String() = %q", s.String())
 	}
 }
+
+func TestDiffTerms(t *testing.T) {
+	old := NewSynonyms()
+	if err := old.AddGroup("position", "job"); err != nil {
+		t.Fatal(err)
+	}
+	if err := old.AddGroup("lonely"); err != nil { // memberless root
+		t.Fatal(err)
+	}
+	neu := old.Clone()
+	if err := neu.AddGroup("position", "post"); err != nil { // new member
+		t.Fatal(err)
+	}
+	if err := neu.AddGroup("salary", "pay"); err != nil { // new group
+		t.Fatal(err)
+	}
+
+	got := old.DiffTerms(neu)
+	// "post" and "pay" acquired roots; "salary" is a NEW root but its
+	// canonical form is itself on both sides, like "lonely" and
+	// "position" — roots never diff.
+	want := []string{"pay", "post"}
+	if len(got) != len(want) {
+		t.Fatalf("DiffTerms = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DiffTerms = %v, want %v", got, want)
+		}
+	}
+	// Symmetric, and empty on identical tables.
+	if rev := neu.DiffTerms(old); len(rev) != len(want) {
+		t.Fatalf("reverse DiffTerms = %v", rev)
+	}
+	if same := neu.DiffTerms(neu.Clone()); len(same) != 0 {
+		t.Fatalf("self DiffTerms = %v", same)
+	}
+}

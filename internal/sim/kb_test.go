@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"stopss/internal/knowledge"
@@ -145,4 +146,128 @@ func TestKBConcurrentInjection(t *testing.T) {
 	if want.Deltas != 4 {
 		t.Fatalf("deltas = %d, want 4", want.Deltas)
 	}
+}
+
+// TestKBTwoOriginConcurrentNoFullReindex is the acceptance scenario of
+// the bounded multi-origin convergence path: two brokers inject
+// interleaved delta streams with no settling in between, so nearly
+// every remote arrival is out of merge order. Convergence must be
+// digest-equal with ZERO full matcher re-indexes anywhere — refolds
+// report the exact changed-term set, so each engine re-indexes exactly
+// the one local subscription a delta touches.
+func TestKBTwoOriginConcurrentNoFullReindex(t *testing.T) {
+	c := NewCluster(t, 2)
+	c.Wire(Line(2))
+
+	// Each broker's subscription is phrased in a term the OTHER broker
+	// later roots — its re-index is triggered by a remote delta.
+	sub0 := c.Subscribe(0, eq("t1", "v"))
+	sub1 := c.Subscribe(1, eq("t0", "v"))
+	c.Settle()
+
+	const rounds = 8
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 2; i++ {
+			term := fmt.Sprintf("t%dr%d", i, r)
+			if r == 2 {
+				term = fmt.Sprintf("t%d", i) // the round that touches the subs
+			}
+			rep := c.InjectKB(i, synDelta(fmt.Sprintf("root%d", i), term))
+			if !rep.Applied || rep.Rejected || rep.FullReindex {
+				t.Fatalf("inject r%d at %d: %+v", r, i, rep)
+			}
+		}
+	}
+	c.Settle()
+	c.VerifyKBConverged(
+		message.E("t0", "x"),
+		message.E("t1", "y"),
+		message.E("t0r7", "z"),
+	)
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, b := range c.Brokers {
+		v := b.KB.Version()
+		if v.Deltas != 2*rounds {
+			t.Fatalf("broker %d holds %d deltas, want %d", i, v.Deltas, 2*rounds)
+		}
+		st := b.B.Engine().Stats()
+		if st.KBFullReindexes != 0 {
+			t.Errorf("broker %d fell back to %d full re-indexes", i, st.KBFullReindexes)
+		}
+		// Exactly one delta roots the term the local subscription
+		// mentions; every other delta (and every refold) must leave the
+		// matcher untouched.
+		if st.KBReindexed != 1 {
+			t.Errorf("broker %d re-indexed %d subscriptions, want 1", i, st.KBReindexed)
+		}
+	}
+
+	// Publications phrased in one origin's synonym members reach the
+	// subscription indexed under the other origin's knowledge.
+	c.PublishExpect(0, []*Sub{sub1}, "t0r5", "v")
+	c.PublishExpect(1, []*Sub{sub0}, "t1r3", "v")
+	c.Settle()
+	c.VerifyExactlyOnce()
+}
+
+// TestKBMultiOriginConcurrentBounded scales the scenario to four
+// origins on a mesh: interleaved injection from every broker, no
+// settling, convergence digest-equal, re-index count bounded by the
+// subscriptions actually touched (one per broker), and zero full
+// re-indexes federation-wide.
+func TestKBMultiOriginConcurrentBounded(t *testing.T) {
+	c := NewCluster(t, 4)
+	c.Wire(Mesh(4, 2, 99))
+
+	subs := make([]*Sub, 4)
+	for i := range c.Brokers {
+		subs[i] = c.Subscribe(i, eq(fmt.Sprintf("t%d", (i+1)%4), "v"))
+	}
+	c.Settle()
+
+	const rounds = 5
+	for r := 0; r < rounds; r++ {
+		for i := range c.Brokers {
+			term := fmt.Sprintf("t%dr%d", i, r)
+			if r == 2 {
+				term = fmt.Sprintf("t%d", i)
+			}
+			c.InjectKB(i, synDelta(fmt.Sprintf("root%d", i), term))
+		}
+	}
+	c.Settle()
+	c.VerifyKBConverged(
+		message.E("t0", "a"),
+		message.E("t1r0", "b"),
+		message.E("t2r4", "c"),
+		message.E("t3", "d"),
+	)
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, b := range c.Brokers {
+		if v := b.KB.Version(); v.Deltas != 4*rounds {
+			t.Fatalf("broker %d holds %d deltas, want %d", i, v.Deltas, 4*rounds)
+		}
+		st := b.B.Engine().Stats()
+		if st.KBFullReindexes != 0 {
+			t.Errorf("broker %d fell back to %d full re-indexes", i, st.KBFullReindexes)
+		}
+		if st.KBReindexed != 1 {
+			t.Errorf("broker %d re-indexed %d subscriptions, want 1", i, st.KBReindexed)
+		}
+	}
+
+	// Cross-mesh probes: each subscription hears a synonym of its term
+	// published from the broker two hops around the ring.
+	for i := range c.Brokers {
+		j := (i + 1) % 4
+		c.PublishExpect((i+2)%4, []*Sub{subs[i]}, fmt.Sprintf("t%dr4", j), "v")
+	}
+	c.Settle()
+	c.VerifyExactlyOnce()
 }
