@@ -8,6 +8,8 @@ package stopss
 //	T5  BenchmarkSynonyms      — hash vs linear synonym resolution
 //	T6  BenchmarkFixpoint      — mapping-chain expansion cost
 //	T8  BenchmarkNotify        — per-transport delivery latency
+//	T10 BenchmarkJournalAppend / BenchmarkDurablePublish — durable
+//	    journal cost on the publish hot path (+ group-commit batching)
 //	F1  BenchmarkFigure1       — the paper's §1 golden publication
 //	F2  BenchmarkJobFinder     — broker end to end on the demo scenario
 //
@@ -22,6 +24,7 @@ import (
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/journal"
 	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
@@ -431,6 +434,145 @@ func kbBenchEngine(b *testing.B, n int) *core.Engine {
 		}
 	}
 	return e
+}
+
+// --- T10: durable publication journal ---
+
+// BenchmarkJournalAppend gates the journal's buffered append path in
+// CI: encode, CRC, frame, segment-roll checks — everything the durable
+// publish path pays per publication EXCEPT the fsync (group commit is
+// measured separately; its cost is dominated by the device, not the
+// code).
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := journal.Open(journal.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	ev := message.E("school", "Toronto", "degree", "PhD", "graduation year", 1990)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := j.Append(ev, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJournalGroupCommit measures the fsync'd append under
+// concurrency: parallel appenders share commits, so per-append cost
+// falls as batching kicks in. The commits/appends ratio is reported as
+// a metric. Not part of the CI gate — fsync latency is a property of
+// the runner's disk, not of this code.
+func BenchmarkJournalGroupCommit(b *testing.B) {
+	j, err := journal.Open(journal.Config{Dir: b.TempDir(), Fsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	ev := message.E("school", "Toronto", "degree", "PhD")
+	// Force real appender concurrency even on a 1-vCPU runner: the
+	// fsync blocks in a syscall, so other appenders run and pile onto
+	// the same commit.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := j.Append(ev, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := j.Stats()
+	if st.Appends > 0 {
+		b.ReportMetric(float64(st.GroupCommits)/float64(st.Appends), "commits/append")
+	}
+}
+
+// BenchmarkJournalReplay measures catch-up scan throughput: one pass
+// over a 10k-record journal (decode + CRC per record). Not gated —
+// replay is an off-hot-path recovery operation; the number feeds
+// EXPERIMENTS T10.
+func BenchmarkJournalReplay(b *testing.B) {
+	j, err := journal.Open(journal.Config{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	j.SetCursor("pin", 0) // hold history across rolls
+	ev := message.E("school", "Toronto", "degree", "PhD", "graduation year", 1990)
+	const records = 10_000
+	for i := 0; i < records; i++ {
+		if _, err := j.Append(ev, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := j.Scan(1, func(journal.Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("scanned %d of %d", n, records)
+		}
+	}
+	b.ReportMetric(float64(records)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+// BenchmarkDurablePublish gates the durable publish hot path against
+// its fire-and-forget twin: one broker, one matching subscription, one
+// in-memory transport; each iteration publishes and waits for the
+// delivery. The durable variant adds the journal append (buffered
+// mode), pending-window registration and the cursor-advancing ack.
+func BenchmarkDurablePublish(b *testing.B) {
+	for _, durable := range []bool{false, true} {
+		name := "fire-and-forget"
+		if durable {
+			name = "durable"
+		}
+		b.Run(name, func(b *testing.B) {
+			tr := &benchTransport{ch: make(chan struct{}, 8192)}
+			ne, err := notify.NewEngine(notify.Config{Workers: 4, QueueSize: 8192}, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ne.Close()
+			br := broker.New(core.NewEngine(nil), ne)
+			if durable {
+				j, err := journal.Open(journal.Config{Dir: b.TempDir()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer j.Close()
+				br.AttachJournal(j)
+			}
+			if err := br.Register(broker.Client{Name: "sub",
+				Route: notify.Route{Transport: "bench", Addr: "x"}}); err != nil {
+				b.Fatal(err)
+			}
+			preds := []message.Predicate{message.Pred("x", message.OpGe, message.Int(0))}
+			if durable {
+				if _, err := br.SubscribeDurable("sub", preds); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := br.Subscribe("sub", preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ev := message.E("x", 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := br.Publish(ev); err != nil {
+					b.Fatal(err)
+				}
+				<-tr.ch
+			}
+		})
+	}
 }
 
 // BenchmarkKnowledgeApply gates the single-origin adaptation hot path

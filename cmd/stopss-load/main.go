@@ -2,17 +2,27 @@
 // setup (paper §4): it simulates many concurrent companies and
 // candidates driving a running stopss-server over HTTP.
 //
+// With -durable-frac > 0 a fraction of the companies subscribe
+// DURABLY (requires -journal-dir on the server) and receive their
+// notifications on a local TCP endpoint that the generator
+// periodically kills and revives (-churn-interval), issuing
+// /api/resume on every revival — exercising park, catch-up replay and
+// at-least-once delivery under subscriber churn.
+//
 // Usage:
 //
 //	stopss-load -url http://127.0.0.1:8080 -companies 50 -resumes 500
+//	stopss-load -durable-frac 0.3 -churn-interval 300ms
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -23,14 +33,111 @@ import (
 	"stopss/internal/workload"
 )
 
+// churnEndpoint is the durable subscribers' notification sink: a TCP
+// listener on a fixed local port that can be killed and revived to
+// simulate a flapping subscriber. Received notification lines are
+// counted and discarded.
+type churnEndpoint struct {
+	addr string
+	n    atomic.Int64
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+func newChurnEndpoint() (*churnEndpoint, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("churn endpoint: %w", err)
+	}
+	ep := &churnEndpoint{addr: ln.Addr().String(), conns: make(map[net.Conn]struct{})}
+	ep.mu.Lock()
+	ep.ln = ln
+	ep.mu.Unlock()
+	ep.wg.Add(1)
+	go ep.accept(ln)
+	return ep, nil
+}
+
+// start revives the listener on the SAME port (no-op when alive).
+func (e *churnEndpoint) start() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", e.addr)
+	if err != nil {
+		return fmt.Errorf("churn endpoint relisten: %w", err)
+	}
+	e.ln = ln
+	e.wg.Add(1)
+	go e.accept(ln)
+	return nil
+}
+
+// stop kills the listener AND every accepted connection — the
+// server's cached conns break on their next write, so deliveries fail
+// and park.
+func (e *churnEndpoint) stop() {
+	e.mu.Lock()
+	if e.ln != nil {
+		e.ln.Close()
+		e.ln = nil
+	}
+	for c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+}
+
+func (e *churnEndpoint) close() { e.stop(); e.wg.Wait() }
+
+func (e *churnEndpoint) received() int64 { return e.n.Load() }
+
+func (e *churnEndpoint) accept(ln net.Listener) {
+	defer e.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener killed
+		}
+		e.mu.Lock()
+		e.conns[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			defer func() {
+				conn.Close()
+				e.mu.Lock()
+				delete(e.conns, conn)
+				e.mu.Unlock()
+			}()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+			for sc.Scan() {
+				e.n.Add(1)
+			}
+		}()
+	}
+}
+
 func main() {
 	url := flag.String("url", "http://127.0.0.1:8080", "stopss-server base URL")
 	companies := flag.Int("companies", 50, "number of subscribing companies")
 	resumes := flag.Int("resumes", 500, "number of candidate resumes to publish")
 	concurrency := flag.Int("concurrency", 8, "concurrent publishers")
 	seed := flag.Int64("seed", 2003, "workload seed")
+	durableFrac := flag.Float64("durable-frac", 0, "fraction of companies subscribing durably with a churning local TCP endpoint (0..1; needs -journal-dir on the server)")
+	churnInterval := flag.Duration("churn-interval", 300*time.Millisecond, "durable endpoint disconnect/reconnect period")
 	flag.Parse()
-	if err := run(*url, *companies, *resumes, *concurrency, *seed); err != nil {
+	if *durableFrac < 0 || *durableFrac > 1 {
+		log.Fatalf("stopss-load: -durable-frac must be in [0,1], got %v", *durableFrac)
+	}
+	if err := run(*url, *companies, *resumes, *concurrency, *seed, *durableFrac, *churnInterval); err != nil {
 		log.Fatalf("stopss-load: %v", err)
 	}
 }
@@ -55,22 +162,74 @@ func post(url string, body any) (map[string]any, error) {
 	return out, nil
 }
 
-func run(url string, companies, resumes, concurrency int, seed int64) error {
+func run(url string, companies, resumes, concurrency int, seed int64, durableFrac float64, churnInterval time.Duration) error {
 	jf := workload.NewJobFinder(seed)
 
-	// Register companies and their subscriptions.
-	for _, s := range jf.Recruiters(companies) {
-		if _, err := post(url+"/api/register", map[string]string{"name": s.Subscriber}); err != nil {
+	// Durable subscribers get a real, churnable TCP endpoint.
+	var ep *churnEndpoint
+	var durableNames []string
+	nDurable := int(durableFrac * float64(companies))
+	if nDurable > 0 {
+		var err error
+		if ep, err = newChurnEndpoint(); err != nil {
+			return err
+		}
+		defer ep.close()
+	}
+
+	// Register companies and their subscriptions; the first nDurable
+	// subscribe durably, routed to the churn endpoint.
+	for i, s := range jf.Recruiters(companies) {
+		durable := i < nDurable
+		reg := map[string]any{"name": s.Subscriber}
+		if durable {
+			reg["transport"], reg["addr"] = "tcp", ep.addr
+		}
+		if _, err := post(url+"/api/register", reg); err != nil {
 			return fmt.Errorf("register %s: %w", s.Subscriber, err)
 		}
-		if _, err := post(url+"/api/subscribe", map[string]string{
+		if _, err := post(url+"/api/subscribe", map[string]any{
 			"client":       s.Subscriber,
 			"subscription": sublang.FormatSubscription(s.Preds),
+			"durable":      durable,
 		}); err != nil {
 			return fmt.Errorf("subscribe %s: %w", s.Subscriber, err)
 		}
+		if durable {
+			durableNames = append(durableNames, s.Subscriber)
+		}
 	}
-	log.Printf("registered %d companies", companies)
+	log.Printf("registered %d companies (%d durable)", companies, nDurable)
+
+	// Churn loop: kill the endpoint (deliveries park server-side),
+	// revive it, resume every durable subscription from its cursor.
+	churnDone := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if nDurable > 0 && churnInterval > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			tick := time.NewTicker(churnInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-churnDone:
+					return
+				case <-tick.C:
+				}
+				ep.stop()
+				select {
+				case <-churnDone:
+				case <-time.After(churnInterval):
+				}
+				if err := ep.start(); err != nil {
+					log.Printf("churn: relisten: %v", err)
+					return
+				}
+				resumeAll(url, durableNames)
+			}
+		}()
+	}
 
 	// Publish resumes concurrently.
 	events := jf.Resumes(resumes)
@@ -98,6 +257,25 @@ func run(url string, companies, resumes, concurrency int, seed int64) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
+	if nDurable > 0 {
+		close(churnDone)
+		churnWG.Wait()
+		// Final revival, then resume until quiescent: three consecutive
+		// rounds replaying nothing means no parked notifications remain
+		// (in-flight ones either ack or park into a later round; the
+		// spacing outlasts the server's retry backoff).
+		if err := ep.start(); err == nil {
+			quiet := 0
+			for tries := 0; tries < 100 && quiet < 3; tries++ {
+				if resumeAll(url, durableNames) == 0 {
+					quiet++
+				} else {
+					quiet = 0
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+	}
 
 	fmt.Println(strings.Repeat("-", 60))
 	fmt.Printf("published:  %d resumes in %v (%.0f/sec)\n",
@@ -118,5 +296,52 @@ func run(url string, companies, resumes, concurrency int, seed int64) error {
 	}
 	fmt.Printf("server:     %v clients, %v subscriptions, %v published, %v notified\n",
 		stats["Clients"], stats["Subscriptions"], stats["Published"], stats["Notified"])
+	if nDurable > 0 {
+		fmt.Printf("durable:    %v subs, %v acked, %v parked, %v replayed; endpoint received %d\n",
+			stats["Durable"], stats["Acked"], stats["Parked"], stats["Replayed"], ep.received())
+		if resp, err := http.Get(url + "/api/journal"); err == nil {
+			var jb map[string]any
+			if json.NewDecoder(resp.Body).Decode(&jb) == nil {
+				fmt.Printf("journal:    %v\n", jb["stats"])
+			}
+			resp.Body.Close()
+		}
+	}
 	return nil
+}
+
+// resumeAll issues replay-from-cursor for every durable subscription
+// of the named clients (id lookup via /api/subscriptions) and returns
+// the total number of notifications the server re-dispatched.
+func resumeAll(url string, clients []string) int {
+	total := 0
+	for _, c := range clients {
+		resp, err := http.Get(url + "/api/subscriptions?client=" + c)
+		if err != nil {
+			log.Printf("churn: listing subs of %s: %v", c, err)
+			continue
+		}
+		var body struct {
+			Subscriptions []struct {
+				ID float64 `json:"id"`
+			} `json:"subscriptions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			log.Printf("churn: decoding subs of %s: %v", c, err)
+			continue
+		}
+		for _, s := range body.Subscriptions {
+			out, err := post(url+"/api/resume", map[string]any{"client": c, "id": s.ID})
+			if err != nil {
+				log.Printf("churn: resume %s/%v: %v", c, s.ID, err)
+				continue
+			}
+			if n, ok := out["replayed"].(float64); ok {
+				total += int(n)
+			}
+		}
+	}
+	return total
 }

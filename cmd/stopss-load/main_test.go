@@ -3,9 +3,12 @@ package main
 import (
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/journal"
+	"stopss/internal/notify"
 	"stopss/internal/ontology"
 	"stopss/internal/semantic"
 	"stopss/internal/webapp"
@@ -24,7 +27,7 @@ func TestLoadDriverEndToEnd(t *testing.T) {
 	ts := httptest.NewServer(webapp.NewServer(b))
 	defer ts.Close()
 
-	if err := run(ts.URL, 20, 100, 4, 2003); err != nil {
+	if err := run(ts.URL, 20, 100, 4, 2003, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	st := b.Stats()
@@ -42,8 +45,62 @@ func TestLoadDriverEndToEnd(t *testing.T) {
 	}
 }
 
+// TestLoadDriverDurableChurn drives the durable-subscriber churn mode
+// against an in-process server with a journal and a real TCP notify
+// transport: half the companies subscribe durably, the local endpoint
+// flaps every 50ms, and the driver's final resume loop must leave no
+// parked notifications behind.
+func TestLoadDriverDurableChurn(t *testing.T) {
+	ont, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := notify.NewEngine(notify.Config{Workers: 4, MaxRetries: 1, Backoff: time.Millisecond},
+		notify.NewTCPTransport(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ne.Close()
+	j, err := journal.Open(journal.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	b := broker.New(core.NewEngine(ont.Stage(semantic.FullConfig())), ne)
+	b.AttachJournal(j)
+	ts := httptest.NewServer(webapp.NewServer(b))
+	defer ts.Close()
+
+	if err := run(ts.URL, 10, 120, 4, 2003, 0.5, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Durable != 5 {
+		t.Fatalf("durable subs = %d, want 5 (frac 0.5 of 10)", st.Durable)
+	}
+	if st.Journal.Appends == 0 {
+		t.Fatal("nothing journaled under load")
+	}
+	if st.Acked == 0 {
+		t.Fatal("no durable delivery ever acknowledged")
+	}
+	if st.Notify.DeadLetters != 0 {
+		t.Fatalf("durable failures dead-lettered instead of parking: %d", st.Notify.DeadLetters)
+	}
+	// run()'s final resume loop exits only after two quiescent rounds;
+	// one more resume pass must therefore replay nothing.
+	for _, s := range b.Subscriptions() {
+		if !b.Durable(s.ID) {
+			continue
+		}
+		if n, err := b.ResumeDurable(s.Subscriber, s.ID); err != nil || n != 0 {
+			t.Errorf("sub %d still owed %d notifications after churn settled (err %v)", s.ID, n, err)
+		}
+	}
+}
+
 func TestLoadDriverBadURL(t *testing.T) {
-	if err := run("http://127.0.0.1:1", 1, 1, 1, 1); err == nil {
+	if err := run("http://127.0.0.1:1", 1, 1, 1, 1, 0, 0); err == nil {
 		t.Error("unreachable server must error")
 	}
 }

@@ -28,6 +28,7 @@ import (
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/journal"
 	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/metrics"
@@ -58,9 +59,16 @@ func main() {
 	flag.Var(&peers, "peer", "overlay peer address to connect to (repeatable)")
 	kbWatch := flag.String("kb-watch", "", "JSONL knowledge-delta file (ontc -delta output) polled for appended deltas to inject at runtime")
 	kbWatchInterval := flag.Duration("kb-watch-interval", time.Second, "poll interval for -kb-watch (must be > 0; sub-second values pick up appends nearly live)")
+	journalDir := flag.String("journal-dir", "", "publication-journal directory: enables durable subscriptions with at-least-once catch-up delivery")
+	journalSegBytes := flag.Int64("journal-segment-bytes", 8<<20, "journal segment roll threshold in bytes (must be > 0)")
+	journalRetention := flag.Int64("journal-retention", 0, "cap on sealed journal bytes; oldest segments are dropped past it even if unacked (0 = unlimited)")
+	journalFsync := flag.Bool("journal-fsync", true, "group-committed fsync per publication batch (disable to trade crash durability for latency)")
 	flag.Parse()
 	if *kbWatchInterval <= 0 {
 		log.Fatalf("stopss-server: -kb-watch-interval must be positive, got %v", *kbWatchInterval)
+	}
+	if *journalSegBytes <= 0 {
+		log.Fatalf("stopss-server: -journal-segment-bytes must be positive, got %d", *journalSegBytes)
 	}
 	opts := stackOptions{
 		Addr:     *addr,
@@ -69,7 +77,13 @@ func main() {
 		Mode:     *modeName,
 		Shards:   *shards,
 	}
-	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch, *kbWatchInterval); err != nil {
+	jcfg := journal.Config{
+		Dir:            *journalDir,
+		SegmentBytes:   *journalSegBytes,
+		RetentionBytes: *journalRetention,
+		Fsync:          *journalFsync,
+	}
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch, *kbWatchInterval, jcfg); err != nil {
 		log.Fatalf("stopss-server: %v", err)
 	}
 }
@@ -153,7 +167,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string, kbWatchInterval time.Duration) error {
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config) error {
 	reg := metrics.NewRegistry()
 	opts.Registry = reg
 	b, notifier, cleanup, err := buildStack(opts)
@@ -167,6 +181,19 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 		kbOriginName = opts.Addr
 	}
 	b.SetKnowledgeOrigin(knowledge.NewOrigin(kbOriginName))
+	// The journal attaches BEFORE the snapshot restore so restored
+	// durable cursors merge with the journal's own persisted ones.
+	if jcfg.Dir != "" {
+		jnl, err := journal.Open(jcfg)
+		if err != nil {
+			return err
+		}
+		defer jnl.Close()
+		b.AttachJournal(jnl)
+		st := jnl.Stats()
+		log.Printf("journal %s: %d segments, next seq %d (fsync=%v, segment=%dB, retention=%dB)",
+			jcfg.Dir, st.Segments, st.NextSeq, jcfg.Fsync, jcfg.SegmentBytes, jcfg.RetentionBytes)
+	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
 			restoreErr := b.Restore(f)
@@ -175,10 +202,19 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 				return fmt.Errorf("restoring %s: %w", snapshot, restoreErr)
 			}
 			st := b.Stats()
-			log.Printf("restored %d clients, %d subscriptions from %s",
-				st.Clients, st.Subscriptions, snapshot)
+			log.Printf("restored %d clients, %d subscriptions (%d durable) from %s",
+				st.Clients, st.Subscriptions, st.Durable, snapshot)
 		} else if !os.IsNotExist(err) {
 			return err
+		}
+	}
+	// Catch-up replay: re-dispatch everything the previous incarnation
+	// journaled but never saw acknowledged.
+	if jcfg.Dir != "" {
+		if n, err := b.CatchUp(); err != nil {
+			log.Printf("journal catch-up: %v", err)
+		} else if n > 0 {
+			log.Printf("journal catch-up: re-dispatched %d notifications", n)
 		}
 	}
 

@@ -8,9 +8,13 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"stopss/internal/broker"
+	"stopss/internal/journal"
+	"stopss/internal/notify"
 	"stopss/internal/sublang"
 	"stopss/internal/webapp"
 )
@@ -278,5 +282,108 @@ func TestKBWatchIntervalPromptPickup(t *testing.T) {
 		case <-time.After(2 * time.Second):
 			t.Fatal("watcher did not stop on context cancel")
 		}
+	}
+}
+
+// TestServerJournalRestart exercises the run() journal wiring order —
+// open journal, attach, restore snapshot, catch up — across two stack
+// incarnations sharing one journal directory.
+func TestServerJournalRestart(t *testing.T) {
+	dir := t.TempDir()
+	jnl, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, notifier, cleanup, err := buildStack(stackOptions{Addr: "127.0.0.1:0", Matcher: "counting", Mode: "semantic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	defer notifier.Close()
+	b.AttachJournal(jnl)
+
+	var got atomic.Int64
+	sink, err := notify.NewTCPSink("127.0.0.1:0", func(notify.Notification) { got.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if err := b.Register(broker.Client{Name: "acme",
+		Route: notify.Route{Transport: "tcp", Addr: sink.Addr()}}); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := sublang.ParseSubscription("(university = Toronto)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := b.SubscribeDurable("acme", preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sublang.ParseEvent("(school, Toronto)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish(ev); err != nil {
+		t.Fatal(err)
+	}
+	if !notifier.Drain(5 * time.Second) {
+		t.Fatal("notifier did not drain")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cur, _ := b.DurableCursor(id); cur >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("durable cursor never advanced")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	snapPath := filepath.Join(t.TempDir(), "state.jsonl")
+	f, err := os.Create(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second incarnation: same journal dir, snapshot restored AFTER the
+	// journal attaches (run()'s order), then catch-up.
+	jnl2, err := journal.Open(journal.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	b2, notifier2, cleanup2, err := buildStack(stackOptions{Addr: "127.0.0.1:0", Matcher: "counting", Mode: "semantic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup2()
+	defer notifier2.Close()
+	b2.AttachJournal(jnl2)
+	f2, err := os.Open(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := b2.Restore(f2); err != nil {
+		t.Fatal(err)
+	}
+	if cur, ok := b2.DurableCursor(id); !ok || cur != 1 {
+		t.Fatalf("restored durable cursor = %d,%v want 1", cur, ok)
+	}
+	// Everything was acknowledged before the restart: nothing replays.
+	if n, err := b2.CatchUp(); err != nil || n != 0 {
+		t.Fatalf("catch-up = %d,%v want 0 redispatches", n, err)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("sink saw %d deliveries, want exactly 1", got.Load())
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"stopss/internal/core"
+	"stopss/internal/journal"
 	"stopss/internal/knowledge"
 	"stopss/internal/matching"
 	"stopss/internal/message"
@@ -32,15 +33,22 @@ type Client struct {
 type Stats struct {
 	Clients               int
 	Subscriptions         int
+	Durable               int // durable subscriptions (journal-backed)
 	Published             uint64
 	Notified              uint64
 	RemoteDelivered       uint64 // publications accepted from peer brokers
 	DropsNoRoute          uint64
 	RejectedNonConforming uint64
-	KBLocal               uint64      // knowledge deltas injected locally
-	KBRemote              uint64      // knowledge deltas applied from peer brokers
-	Engine                core.Stats  // includes KBDeltas/KBVersion (federation skew check)
-	Remote                RemoteStats // overlay routing counters; zero when standalone
+	Acked                 uint64 // durable deliveries acknowledged
+	Parked                uint64 // durable deliveries parked for replay
+	Replayed              uint64 // notifications re-dispatched by catch-up replay
+	KBLocal               uint64 // knowledge deltas injected locally
+	KBRemote              uint64 // knowledge deltas applied from peer brokers
+	JournalEnabled        bool
+	Journal               journal.Stats // zero when no journal attached
+	Notify                notify.Stats  // dead-letter/park counters; zero without a notifier
+	Engine                core.Stats    // includes KBDeltas/KBVersion (federation skew check)
+	Remote                RemoteStats   // overlay routing counters; zero when standalone
 }
 
 // Broker is the event dispatcher.
@@ -55,6 +63,9 @@ type Broker struct {
 
 	adverts map[string]matching.Advertisement
 
+	journal *journal.Journal                // durable publication log; nil when not attached
+	durable map[message.SubID]*durableState // delivery windows of durable subscriptions
+
 	forwarder   Forwarder          // overlay hook; nil when standalone
 	remoteStats func() RemoteStats // overlay stats source; nil when standalone
 	kbOrigin    *knowledge.Origin  // stamps unstamped local deltas
@@ -64,6 +75,9 @@ type Broker struct {
 	remoteDelivered       uint64
 	dropsNoRoute          uint64
 	rejectedNonConforming uint64
+	acked                 uint64
+	parked                uint64
+	replayed              uint64
 	kbLocal               uint64
 	kbRemote              uint64
 }
@@ -76,6 +90,7 @@ func New(engine core.PubSub, notifier *notify.Engine) *Broker {
 		notifier: notifier,
 		clients:  make(map[string]Client),
 		subs:     make(map[message.SubID]string),
+		durable:  make(map[message.SubID]*durableState),
 	}
 }
 
@@ -153,6 +168,7 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 	delete(b.subs, id)
 	f := b.forwarder
 	b.mu.Unlock()
+	b.dropDurable(id)
 	sub, had := b.engine.Subscription(id)
 	b.engine.Unsubscribe(id)
 	if f != nil && had {
@@ -180,6 +196,13 @@ type PublishResult struct {
 	Matches  []message.SubID
 	Notified int // notifications successfully enqueued
 	Dropped  int // matches without a routable subscriber
+	// Parked counts durable matches that could not be dispatched now
+	// (no route, full queue): the journal retains them and catch-up
+	// replay will redeliver — parked, not lost.
+	Parked int
+	// JournalSeq is the publication's journal sequence number (0 when
+	// no journal is attached).
+	JournalSeq uint64
 }
 
 // Publish runs the publication through the engine and dispatches one
@@ -203,6 +226,32 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 		return PublishResult{}, err
 	}
 	out := PublishResult{Matches: res.Matches}
+
+	// Journal append BEFORE notification fan-out: once the record is
+	// in the log, a crash anywhere downstream cannot lose a durable
+	// delivery — the cursor stays behind and replay redelivers. The
+	// durable matches are registered as pending atomically with
+	// sequence assignment (AppendFunc) so a concurrent ack of a later
+	// seq can never advance a cursor over this one.
+	b.mu.Lock()
+	j := b.journal
+	b.mu.Unlock()
+	var durableIDs map[message.SubID]bool
+	if j != nil {
+		ids := b.durableMatches(res.Matches)
+		out.JournalSeq, err = j.AppendFunc(ev, remote, func(seq uint64) {
+			b.registerPending(ids, seq)
+		})
+		if err != nil {
+			return PublishResult{}, fmt.Errorf("broker: journaling publication: %w", err)
+		}
+		if len(ids) > 0 {
+			durableIDs = make(map[message.SubID]bool, len(ids))
+			for _, id := range ids {
+				durableIDs[id] = true
+			}
+		}
+	}
 
 	b.mu.Lock()
 	if remote {
@@ -231,7 +280,17 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 			Event:      ev,
 			Mode:       mode,
 		}
+		if durableIDs[id] {
+			n.JournalSeq = out.JournalSeq
+		}
 		if _, routed := b.notifier.RouteOf(sub.Subscriber); !routed {
+			if durableIDs[id] {
+				// No endpoint right now: the journal keeps the event;
+				// replay on reconnect redelivers it.
+				b.parkDurable(id, out.JournalSeq)
+				out.Parked++
+				continue
+			}
 			out.Dropped++
 			b.mu.Lock()
 			b.dropsNoRoute++
@@ -239,6 +298,11 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 			continue
 		}
 		if err := b.notifier.Dispatch(n); err != nil {
+			if durableIDs[id] {
+				b.parkDurable(id, out.JournalSeq)
+				out.Parked++
+				continue
+			}
 			out.Dropped++
 			b.mu.Lock()
 			b.dropsNoRoute++
@@ -259,16 +323,28 @@ func (b *Broker) Stats() Stats {
 	s := Stats{
 		Clients:               len(b.clients),
 		Subscriptions:         len(b.subs),
+		Durable:               len(b.durable),
 		Published:             b.published,
 		Notified:              b.notified,
 		RemoteDelivered:       b.remoteDelivered,
 		DropsNoRoute:          b.dropsNoRoute,
 		RejectedNonConforming: b.rejectedNonConforming,
+		Acked:                 b.acked,
+		Parked:                b.parked,
+		Replayed:              b.replayed,
 		KBLocal:               b.kbLocal,
 		KBRemote:              b.kbRemote,
 	}
 	rs := b.remoteStats
+	j := b.journal
 	b.mu.Unlock()
+	if j != nil {
+		s.JournalEnabled = true
+		s.Journal = j.Stats()
+	}
+	if b.notifier != nil {
+		s.Notify = b.notifier.Stats()
+	}
 	s.Engine = b.engine.Stats()
 	if rs != nil {
 		s.Remote = rs()

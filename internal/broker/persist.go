@@ -30,6 +30,12 @@ import (
 //	{"kind":"kbdelta","kb":{...}}
 //	{"kind":"advertisement","adv":{...}}
 //	{"kind":"subscription","sub":{...}}
+//	{"kind":"subscription","sub":{...},"durable":true,"cursor":17}
+//
+// Durable subscriptions carry their journal cursor: on Restore (with
+// the journal attached first) the cursor merges with the journal's own
+// persisted one — max wins, both only ever lag the acked truth — so a
+// restarted broker resumes at-least-once delivery where it left off.
 
 const snapshotVersion = 1
 
@@ -39,6 +45,8 @@ type snapRecord struct {
 	NextID  message.SubID         `json:"next_id,omitempty"`
 	Client  *snapClient           `json:"client,omitempty"`
 	Sub     *message.Subscription `json:"sub,omitempty"`
+	Durable bool                  `json:"durable,omitempty"`
+	Cursor  uint64                `json:"cursor,omitempty"`
 	Adv     *snapAdvert           `json:"adv,omitempty"`
 	KB      *knowledge.Delta      `json:"kb,omitempty"`
 }
@@ -97,7 +105,14 @@ func (b *Broker) Snapshot(w io.Writer) error {
 		if !ok {
 			continue // raced with unsubscribe
 		}
-		if err := enc.Encode(snapRecord{Kind: "subscription", Sub: &sub}); err != nil {
+		rec := snapRecord{Kind: "subscription", Sub: &sub}
+		b.mu.Lock()
+		if st, durable := b.durable[id]; durable {
+			rec.Durable = true
+			rec.Cursor = st.cursor
+		}
+		b.mu.Unlock()
+		if err := enc.Encode(rec); err != nil {
 			return fmt.Errorf("broker: writing subscription %d: %w", id, err)
 		}
 	}
@@ -198,6 +213,9 @@ func (b *Broker) Restore(r io.Reader) error {
 			b.mu.Lock()
 			b.subs[s.ID] = s.Subscriber
 			b.mu.Unlock()
+			if rec.Durable {
+				b.restoreDurable(s.ID, rec.Cursor)
+			}
 			if s.ID > maxID {
 				maxID = s.ID
 			}

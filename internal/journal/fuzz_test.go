@@ -1,0 +1,57 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// FuzzJournalRecord mirrors the overlay's FuzzFrame: arbitrary bytes
+// must never panic the decoder, and any frame the decoder accepts must
+// re-encode to a byte-identical frame (the CRC and length prefix are
+// canonical, so a valid decode pins the exact encoding).
+func FuzzJournalRecord(f *testing.F) {
+	seed := []Record{
+		{Seq: 1, Event: message.E("school", "Toronto", "degree", "PhD")},
+		{Seq: 42, Remote: true, Event: message.E("salary", 90000, "remote", true, "gpa", 3.9)},
+		{Seq: 1 << 60, Event: message.E("a", "b")},
+	}
+	for _, r := range seed {
+		b, err := EncodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			return
+		}
+		if n < frameHeader || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		re, err := EncodeRecord(rec)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded record failed: %v", err)
+		}
+		rec2, n2, err := DecodeRecord(re)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded record failed: %v", err)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(re))
+		}
+		if rec2.Seq != rec.Seq || rec2.Remote != rec.Remote || !rec2.Event.Equal(rec.Event) {
+			t.Fatalf("round trip changed the record: %+v vs %+v", rec, rec2)
+		}
+		re2, err := EncodeRecord(rec2)
+		if err != nil || !bytes.Equal(re, re2) {
+			t.Fatalf("encoding is not canonical: %x vs %x (err %v)", re, re2, err)
+		}
+	})
+}

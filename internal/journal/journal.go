@@ -1,0 +1,660 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"stopss/internal/message"
+)
+
+// Config tunes a journal.
+type Config struct {
+	Dir           string        // journal directory (required)
+	SegmentBytes  int64         // roll threshold (default 8 MiB)
+	MaxSegmentAge time.Duration // roll the active segment after this age (0 = size-only)
+	// RetentionBytes caps the total size of sealed segments: when the
+	// cap is exceeded the oldest sealed segment is dropped even if a
+	// cursor has not passed it, and the records above that cursor are
+	// counted in Stats.RetentionLostRecords — the retention vs. replay
+	// contract (DESIGN.md §9). 0 means unlimited.
+	RetentionBytes int64
+	// Fsync makes Append wait until its record is flushed AND synced to
+	// stable storage. Concurrent appenders share one fsync (group
+	// commit), so the cost amortizes under load. With Fsync off,
+	// records are buffered and reach the file on roll, Scan, cursor
+	// sync or Close — cheaper, but a process crash can lose the tail.
+	Fsync bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 8 << 20
+	}
+	return c
+}
+
+// Stats snapshots journal state and activity.
+type Stats struct {
+	Segments                 int    // segment files on disk (incl. active)
+	Bytes                    int64  // total bytes on disk (excl. cursors file)
+	FirstSeq                 uint64 // oldest retained record (0 when empty)
+	NextSeq                  uint64 // next sequence number to be assigned
+	Appends                  uint64
+	GroupCommits             uint64 // fsync batches (Fsync mode only)
+	Cursors                  int    // durable cursors tracked
+	CompactedSegments        uint64 // sealed segments removed because every cursor passed them
+	RetentionDroppedSegments uint64 // sealed segments dropped by the retention cap
+	RetentionLostRecords     uint64 // records above a cursor lost to the retention cap
+	Replayed                 uint64 // records handed out by Scan
+}
+
+type segInfo struct {
+	path  string
+	first uint64
+	last  uint64
+	bytes int64
+}
+
+// Journal is a segmented, append-only publication log with durable
+// per-subscription cursors. Safe for concurrent use.
+type Journal struct {
+	cfg Config
+
+	mu sync.Mutex
+	// syncMu pins the active file across an fsync running outside
+	// j.mu. Lock order is strictly mu→syncMu; anything closing the
+	// active file (roll, Close) takes it under mu, so an in-flight
+	// sync always completes on an open descriptor.
+	syncMu                 sync.Mutex
+	cond                   *sync.Cond
+	sealed                 []segInfo
+	active                 *os.File
+	activeInfo             segInfo
+	activeBorn             time.Time
+	buf                    []byte // pending bytes not yet written to the active file
+	nextSeq                uint64
+	flushedSeq             uint64 // highest seq durable on disk (Fsync mode)
+	flushErr               error
+	closed                 bool
+	cursors                map[string]uint64
+	cursorsDirty           bool
+	commitsSinceCursorSave int
+	stats                  Stats
+
+	flushReq chan struct{}
+}
+
+const (
+	segPrefix   = "journal-"
+	segSuffix   = ".seg"
+	cursorsFile = "cursors.json"
+	// cursorSaveEvery throttles cursors.json rewrites on the commit
+	// path; SyncCursors and Close always persist immediately.
+	cursorSaveEvery = 16
+)
+
+// Open creates or recovers a journal in cfg.Dir. Existing segments are
+// validated (a torn tail write on the newest segment is truncated
+// away); appends resume after the highest recovered sequence number.
+func Open(cfg Config) (*Journal, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("journal: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: creating %s: %w", cfg.Dir, err)
+	}
+	j := &Journal{
+		cfg:      cfg,
+		nextSeq:  1,
+		cursors:  make(map[string]uint64),
+		flushReq: make(chan struct{}, 1),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	if err := j.recover(); err != nil {
+		return nil, err
+	}
+	if err := j.loadCursors(); err != nil {
+		return nil, err
+	}
+	go j.flusher()
+	return j, nil
+}
+
+// recover scans existing segments, truncating a torn tail on the
+// newest one. All recovered segments are sealed; the next append lazily
+// starts a fresh active segment.
+func (j *Journal) recover() error {
+	entries, err := os.ReadDir(j.cfg.Dir)
+	if err != nil {
+		return fmt.Errorf("journal: reading %s: %w", j.cfg.Dir, err)
+	}
+	type cand struct {
+		path  string
+		first uint64
+	}
+	var cands []cand
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		seqStr := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		first, err := strconv.ParseUint(seqStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("journal: segment %s has an unparsable sequence: %w", name, err)
+		}
+		cands = append(cands, cand{path: filepath.Join(j.cfg.Dir, name), first: first})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].first < cands[b].first })
+	for i, c := range cands {
+		info, err := scanSegment(c.path, i == len(cands)-1)
+		if err != nil {
+			return err
+		}
+		if info.first == 0 {
+			// Empty segment (crash before the first record flushed):
+			// drop the file rather than tracking a hole.
+			if err := os.Remove(c.path); err != nil {
+				return fmt.Errorf("journal: removing empty segment %s: %w", c.path, err)
+			}
+			continue
+		}
+		j.sealed = append(j.sealed, info)
+		if info.last >= j.nextSeq {
+			j.nextSeq = info.last + 1
+		}
+	}
+	j.flushedSeq = j.nextSeq - 1
+	return nil
+}
+
+// scanSegment validates one segment file and returns its record range.
+// When truncateTorn is set (newest segment only — a crash can only
+// tear the file being written), a trailing partial or corrupt record
+// is truncated away; anywhere else it is an error.
+func scanSegment(path string, truncateTorn bool) (segInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segInfo{}, fmt.Errorf("journal: reading segment: %w", err)
+	}
+	info := segInfo{path: path}
+	off := 0
+	for off < len(data) {
+		rec, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			if !truncateTorn {
+				return segInfo{}, fmt.Errorf("journal: segment %s corrupt at byte %d: %w", path, off, err)
+			}
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return segInfo{}, fmt.Errorf("journal: truncating torn tail of %s: %w", path, terr)
+			}
+			break
+		}
+		if info.first == 0 {
+			info.first = rec.Seq
+		}
+		info.last = rec.Seq
+		off += n
+	}
+	info.bytes = int64(off)
+	return info, nil
+}
+
+// Append journals one publication and returns its sequence number. In
+// Fsync mode the call blocks until the record is on stable storage,
+// sharing the fsync with concurrent appenders (group commit).
+func (j *Journal) Append(ev message.Event, remote bool) (uint64, error) {
+	return j.AppendFunc(ev, remote, nil)
+}
+
+// AppendFunc is Append with a sequence-assignment callback: onSeq (if
+// non-nil) runs under the journal lock immediately after the record is
+// assigned its sequence number and buffered, BEFORE the group-commit
+// wait. Callers use it to register delivery bookkeeping atomically
+// with sequence assignment — two concurrent appends invoke their
+// callbacks in sequence order, so no observer can see seq N committed
+// while seq N-1 exists but is untracked. The callback must not call
+// back into the journal.
+func (j *Journal) AppendFunc(ev message.Event, remote bool, onSeq func(uint64)) (uint64, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, fmt.Errorf("journal: closed")
+	}
+	seq := j.nextSeq
+	frame, err := EncodeRecord(Record{Seq: seq, Remote: remote, Event: ev})
+	if err != nil {
+		j.mu.Unlock()
+		return 0, err
+	}
+	if err := j.rollIfNeededLocked(int64(len(frame))); err != nil {
+		j.mu.Unlock()
+		return 0, err
+	}
+	j.nextSeq++
+	if j.activeInfo.first == 0 {
+		j.activeInfo.first = seq
+	}
+	j.activeInfo.last = seq
+	j.activeInfo.bytes += int64(len(frame))
+	j.buf = append(j.buf, frame...)
+	j.stats.Appends++
+	if onSeq != nil {
+		onSeq(seq)
+	}
+	if !j.cfg.Fsync {
+		j.mu.Unlock()
+		return seq, nil
+	}
+	// Group commit: ask the flusher for a commit and wait until our
+	// record is covered by one. Everyone who appended before the fsync
+	// ran rides the same sync.
+	select {
+	case j.flushReq <- struct{}{}:
+	default: // a commit request is already pending
+	}
+	for j.flushedSeq < seq && j.flushErr == nil && !j.closed {
+		j.cond.Wait()
+	}
+	err = j.flushErr
+	if err == nil && j.flushedSeq < seq {
+		err = fmt.Errorf("journal: closed before record %d committed", seq)
+	}
+	j.mu.Unlock()
+	return seq, err
+}
+
+// flusher runs commits on request. The fsync itself happens OUTSIDE
+// j.mu (guarded by syncMu, acquired in mu→syncMu order everywhere):
+// while the device syncs one batch, concurrent appenders keep
+// buffering the next one — that overlap is what makes group commit
+// actually batch instead of degenerating to one fsync per append.
+func (j *Journal) flusher() {
+	for range j.flushReq {
+		j.mu.Lock()
+		if j.closed {
+			j.mu.Unlock()
+			return
+		}
+		err := j.writeLocked()
+		target := j.nextSeq - 1
+		f := j.active
+		path := j.activeInfo.path
+		j.syncMu.Lock() // under mu: pins f open until the sync is done
+		j.mu.Unlock()
+		if err == nil && f != nil {
+			if serr := f.Sync(); serr != nil {
+				err = fmt.Errorf("journal: syncing %s: %w", path, serr)
+			}
+		}
+		j.syncMu.Unlock()
+		j.mu.Lock()
+		if err != nil && j.flushErr == nil {
+			j.flushErr = err
+		}
+		if err == nil && target > j.flushedSeq {
+			j.flushedSeq = target
+		}
+		// Cursor persistence is throttled: rewriting cursors.json is
+		// O(cursors) and would otherwise ride along with nearly every
+		// commit under steady ack traffic. A lagging cursor only
+		// causes redelivery, never loss, so once every
+		// cursorSaveEvery commits (plus SyncCursors/Close) is enough.
+		j.commitsSinceCursorSave++
+		if j.cursorsDirty && j.commitsSinceCursorSave >= cursorSaveEvery {
+			if cerr := j.saveCursorsLocked(); cerr != nil && j.flushErr == nil {
+				j.flushErr = cerr
+			}
+		}
+		j.stats.GroupCommits++
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}
+}
+
+// writeLocked moves pending buffered bytes into the active segment
+// file (creating it lazily). Cursor durability piggybacks on commits
+// elsewhere, which is safe because a cursor that lags only causes
+// redelivery, never loss.
+func (j *Journal) writeLocked() error {
+	if len(j.buf) == 0 {
+		return nil
+	}
+	if j.active == nil {
+		if err := j.openActiveLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := j.active.Write(j.buf); err != nil {
+		return fmt.Errorf("journal: writing %s: %w", j.activeInfo.path, err)
+	}
+	j.buf = j.buf[:0]
+	return nil
+}
+
+func (j *Journal) openActiveLocked() error {
+	path := filepath.Join(j.cfg.Dir, fmt.Sprintf("%s%020d%s", segPrefix, j.activeInfo.first, segSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: opening segment: %w", err)
+	}
+	j.active = f
+	j.activeInfo.path = path
+	j.activeBorn = time.Now()
+	return nil
+}
+
+// rollIfNeededLocked seals the active segment when the incoming frame
+// would push it past the size threshold, or when it is older than
+// MaxSegmentAge, then runs compaction and retention.
+func (j *Journal) rollIfNeededLocked(incoming int64) error {
+	if j.activeInfo.bytes == 0 {
+		return nil
+	}
+	overSize := j.activeInfo.bytes+incoming > j.cfg.SegmentBytes
+	overAge := j.cfg.MaxSegmentAge > 0 && j.active != nil && time.Since(j.activeBorn) > j.cfg.MaxSegmentAge
+	if !overSize && !overAge {
+		return nil
+	}
+	if err := j.writeLocked(); err != nil {
+		return err
+	}
+	if j.active != nil {
+		j.syncMu.Lock() // wait out any in-flight fsync before closing
+		var err error
+		if j.cfg.Fsync {
+			err = j.active.Sync()
+		}
+		if cerr := j.active.Close(); err == nil {
+			err = cerr
+		}
+		j.syncMu.Unlock()
+		if err != nil {
+			return fmt.Errorf("journal: sealing segment: %w", err)
+		}
+		j.active = nil
+	}
+	if j.activeInfo.first != 0 {
+		j.sealed = append(j.sealed, j.activeInfo)
+	}
+	j.activeInfo = segInfo{}
+	j.compactLocked()
+	return nil
+}
+
+// ackFloor is the sequence number every cursor has passed. With no
+// cursors nothing will ever be replayed, so the whole history up to
+// the head is reclaimable.
+func (j *Journal) ackFloorLocked() uint64 {
+	floor := j.nextSeq - 1
+	for _, c := range j.cursors {
+		if c < floor {
+			floor = c
+		}
+	}
+	return floor
+}
+
+// compactLocked removes sealed segments that (a) every cursor has
+// fully acknowledged, then (b) enforces the retention byte cap,
+// dropping the oldest sealed segments and counting any records a
+// cursor still needed as lost.
+func (j *Journal) compactLocked() {
+	floor := j.ackFloorLocked()
+	for len(j.sealed) > 0 && j.sealed[0].last <= floor {
+		if os.Remove(j.sealed[0].path) == nil {
+			j.stats.CompactedSegments++
+		}
+		j.sealed = j.sealed[1:]
+	}
+	if j.cfg.RetentionBytes <= 0 {
+		return
+	}
+	total := int64(0)
+	for _, s := range j.sealed {
+		total += s.bytes
+	}
+	for len(j.sealed) > 1 && total > j.cfg.RetentionBytes {
+		s := j.sealed[0]
+		if os.Remove(s.path) == nil {
+			j.stats.RetentionDroppedSegments++
+			if s.last > floor {
+				lostFrom := s.first
+				if floor+1 > lostFrom {
+					lostFrom = floor + 1
+				}
+				j.stats.RetentionLostRecords += s.last - lostFrom + 1
+			}
+		}
+		total -= s.bytes
+		j.sealed = j.sealed[1:]
+	}
+}
+
+// Scan replays every retained record with seq >= from, in order,
+// through fn. Records appended after Scan starts are not guaranteed to
+// be seen. A non-nil error from fn aborts the scan.
+func (j *Journal) Scan(from uint64, fn func(Record) error) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: closed")
+	}
+	if err := j.writeLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	paths := make([]segInfo, 0, len(j.sealed)+1)
+	for _, s := range j.sealed {
+		if s.last >= from {
+			paths = append(paths, s)
+		}
+	}
+	if j.activeInfo.first != 0 && j.activeInfo.last >= from {
+		paths = append(paths, j.activeInfo)
+	}
+	j.mu.Unlock()
+
+	for _, s := range paths {
+		data, err := os.ReadFile(s.path)
+		if os.IsNotExist(err) {
+			// A concurrent roll compacted (or retention-dropped) this
+			// segment after we snapshotted the list: its records are
+			// either below every cursor or counted as retention loss —
+			// skip it rather than aborting the whole replay.
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("journal: reading segment: %w", err)
+		}
+		if int64(len(data)) > s.bytes {
+			data = data[:s.bytes] // ignore bytes appended since the snapshot
+		}
+		off := 0
+		for off < len(data) {
+			rec, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				return fmt.Errorf("journal: segment %s corrupt at byte %d: %w", s.path, off, err)
+			}
+			off += n
+			if rec.Seq < from {
+				continue
+			}
+			j.mu.Lock()
+			j.stats.Replayed++
+			j.mu.Unlock()
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NextSeq returns the sequence number the next append will receive.
+func (j *Journal) NextSeq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextSeq
+}
+
+// SetCursor advances the named durable cursor to seq (monotonic: a
+// lower value is ignored). The cursor means "everything up to and
+// including seq is handled"; replay starts at seq+1.
+func (j *Journal) SetCursor(key string, seq uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cur, ok := j.cursors[key]; ok && cur >= seq {
+		return
+	}
+	j.cursors[key] = seq
+	j.cursorsDirty = true
+}
+
+// Cursor returns the named cursor and whether it exists.
+func (j *Journal) Cursor(key string) (uint64, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c, ok := j.cursors[key]
+	return c, ok
+}
+
+// Cursors returns a copy of every durable cursor.
+func (j *Journal) Cursors() map[string]uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]uint64, len(j.cursors))
+	for k, v := range j.cursors {
+		out[k] = v
+	}
+	return out
+}
+
+// DeleteCursor removes a durable cursor (its history becomes
+// reclaimable by compaction).
+func (j *Journal) DeleteCursor(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.cursors[key]; ok {
+		delete(j.cursors, key)
+		j.cursorsDirty = true
+	}
+}
+
+// SyncCursors persists the cursor table now (also happens on every
+// commit and on Close).
+func (j *Journal) SyncCursors() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.cursorsDirty {
+		return nil
+	}
+	return j.saveCursorsLocked()
+}
+
+type cursorsOnDisk struct {
+	Cursors map[string]uint64 `json:"cursors"`
+}
+
+// saveCursorsLocked atomically rewrites cursors.json.
+func (j *Journal) saveCursorsLocked() error {
+	data, err := json.Marshal(cursorsOnDisk{Cursors: j.cursors})
+	if err != nil {
+		return fmt.Errorf("journal: encoding cursors: %w", err)
+	}
+	tmp := filepath.Join(j.cfg.Dir, cursorsFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("journal: writing cursors: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.cfg.Dir, cursorsFile)); err != nil {
+		return fmt.Errorf("journal: installing cursors: %w", err)
+	}
+	j.cursorsDirty = false
+	j.commitsSinceCursorSave = 0
+	return nil
+}
+
+func (j *Journal) loadCursors() error {
+	data, err := os.ReadFile(filepath.Join(j.cfg.Dir, cursorsFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: reading cursors: %w", err)
+	}
+	var d cursorsOnDisk
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("journal: decoding cursors: %w", err)
+	}
+	if d.Cursors != nil {
+		j.cursors = d.Cursors
+	}
+	return nil
+}
+
+// Stats snapshots journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := j.stats
+	s.NextSeq = j.nextSeq
+	s.Cursors = len(j.cursors)
+	s.Segments = len(j.sealed)
+	s.Bytes = int64(len(j.buf))
+	for _, seg := range j.sealed {
+		s.Bytes += seg.bytes
+	}
+	if j.activeInfo.first != 0 {
+		s.Segments++
+		s.Bytes += j.activeInfo.bytes - int64(len(j.buf)) // buf already counted
+	}
+	if len(j.sealed) > 0 {
+		s.FirstSeq = j.sealed[0].first
+	} else if j.activeInfo.first != 0 {
+		s.FirstSeq = j.activeInfo.first
+	}
+	return s
+}
+
+// Close flushes and syncs pending records and cursors, then releases
+// the journal. Further operations fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return fmt.Errorf("journal: closed")
+	}
+	err := j.writeLocked()
+	if err == nil {
+		j.flushedSeq = j.nextSeq - 1
+	}
+	if j.cursorsDirty {
+		if cerr := j.saveCursorsLocked(); err == nil {
+			err = cerr
+		}
+	}
+	if j.active != nil {
+		j.syncMu.Lock() // wait out any in-flight fsync
+		if serr := j.active.Sync(); err == nil && serr != nil {
+			err = serr
+		}
+		if cerr := j.active.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		j.syncMu.Unlock()
+		j.active = nil
+	}
+	j.closed = true
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	close(j.flushReq)
+	return err
+}

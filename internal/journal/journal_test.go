@@ -1,0 +1,383 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"stopss/internal/message"
+)
+
+func openT(t *testing.T, cfg Config) *Journal {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	j, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = j.Close() })
+	return j
+}
+
+func ev(i int) message.Event {
+	return message.E("school", "Toronto", "seq", i)
+}
+
+func appendN(t *testing.T, j *Journal, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		seq, err := j.Append(ev(i), i%3 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq == 0 {
+			t.Fatalf("append %d returned seq 0", i)
+		}
+	}
+}
+
+func collect(t *testing.T, j *Journal, from uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := j.Scan(from, func(r Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	j := openT(t, Config{})
+	appendN(t, j, 10)
+	recs := collect(t, j, 1)
+	if len(recs) != 10 {
+		t.Fatalf("scanned %d records, want 10", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if v, ok := r.Event.Get("seq"); !ok || v.IntVal() != int64(i+1) {
+			t.Fatalf("record %d event payload mangled: %v", i, r.Event)
+		}
+		if r.Remote != ((i+1)%3 == 0) {
+			t.Fatalf("record %d remote flag lost", i)
+		}
+	}
+	// Scan from the middle.
+	if got := len(collect(t, j, 7)); got != 4 {
+		t.Fatalf("scan from 7 returned %d records, want 4", got)
+	}
+}
+
+func TestReopenResumesSequence(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 5)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, Config{Dir: dir})
+	if got := j2.NextSeq(); got != 6 {
+		t.Fatalf("reopened NextSeq = %d, want 6", got)
+	}
+	appendN(t, j2, 3)
+	recs := collect(t, j2, 1)
+	if len(recs) != 8 {
+		t.Fatalf("after reopen: %d records, want 8", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d after reopen", i, r.Seq)
+		}
+	}
+}
+
+func TestReopenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 4)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the last record: chop a few bytes off the segment tail,
+	// simulating a crash mid-write.
+	segs, err := filepath.Glob(filepath.Join(dir, segPrefix+"*"+segSuffix))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments found: %v", err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, Config{Dir: dir})
+	recs := collect(t, j2, 1)
+	if len(recs) != 3 {
+		t.Fatalf("after torn tail: %d records, want 3", len(recs))
+	}
+	// The torn record's sequence number is reused by the next append.
+	if got := j2.NextSeq(); got != 4 {
+		t.Fatalf("NextSeq after torn tail = %d, want 4", got)
+	}
+}
+
+func TestSegmentRollAndStats(t *testing.T) {
+	j := openT(t, Config{SegmentBytes: 256})
+	j.SetCursor("pin", 0) // hold history: with no cursors rolls self-compact
+	appendN(t, j, 30)
+	st := j.Stats()
+	if st.Segments < 2 {
+		t.Fatalf("expected multiple segments, got %d", st.Segments)
+	}
+	if st.Appends != 30 || st.NextSeq != 31 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(collect(t, j, 1)); got != 30 {
+		t.Fatalf("scan across segments returned %d records", got)
+	}
+}
+
+func TestNoCursorsSelfCompactsOnRoll(t *testing.T) {
+	// Without durable cursors nothing is ever replayed, so sealed
+	// segments are reclaimed as they roll: the journal stays bounded
+	// in deployments with no durable subscribers.
+	j := openT(t, Config{SegmentBytes: 256})
+	appendN(t, j, 30)
+	st := j.Stats()
+	if st.Segments != 1 {
+		t.Fatalf("expected only the active segment to remain, got %d", st.Segments)
+	}
+	if st.CompactedSegments == 0 {
+		t.Fatalf("no compaction recorded: %+v", st)
+	}
+}
+
+func TestAgeBasedRoll(t *testing.T) {
+	j := openT(t, Config{MaxSegmentAge: time.Millisecond})
+	j.SetCursor("pin", 0)
+	appendN(t, j, 1)
+	if err := j.Scan(1, func(Record) error { return nil }); err != nil {
+		t.Fatal(err) // force the active file into existence
+	}
+	time.Sleep(5 * time.Millisecond)
+	appendN(t, j, 1)
+	appendN(t, j, 1)
+	if st := j.Stats(); st.Segments < 2 {
+		t.Fatalf("expected an age-based roll, got %d segments", st.Segments)
+	}
+}
+
+func TestCompactionReclaimsAckedSegments(t *testing.T) {
+	j := openT(t, Config{SegmentBytes: 256})
+	j.SetCursor("sub-1", 0)
+	appendN(t, j, 10)
+	before := j.Stats()
+	if before.Segments < 2 {
+		t.Fatalf("need multiple segments, got %d", before.Segments)
+	}
+	// Cursor passes everything: the next roll reclaims sealed history.
+	j.SetCursor("sub-1", 10)
+	appendN(t, j, 20)
+	st := j.Stats()
+	if st.CompactedSegments == 0 {
+		t.Fatalf("expected compaction, stats = %+v", st)
+	}
+	// Records above the cursor are still replayable.
+	recs := collect(t, j, 11)
+	if len(recs) != 20 {
+		t.Fatalf("post-compaction scan returned %d records, want 20", len(recs))
+	}
+}
+
+func TestCompactionHoldsBelowUnackedCursor(t *testing.T) {
+	// A lagging cursor pins everything above it: the fully-acked
+	// prefix may compact, but no record past the cursor is lost.
+	j := openT(t, Config{SegmentBytes: 256})
+	j.SetCursor("slow", 2)
+	appendN(t, j, 40)
+	st := j.Stats()
+	if st.RetentionLostRecords != 0 {
+		t.Fatalf("records lost without a retention cap: %+v", st)
+	}
+	if st.FirstSeq > 3 {
+		t.Fatalf("compaction ran past the unacked cursor: FirstSeq=%d", st.FirstSeq)
+	}
+	if got := len(collect(t, j, 3)); got != 38 {
+		t.Fatalf("scan from unacked cursor returned %d records, want 38", got)
+	}
+}
+
+func TestRetentionCapDropsOldestAndCountsLoss(t *testing.T) {
+	j := openT(t, Config{SegmentBytes: 256, RetentionBytes: 512})
+	j.SetCursor("slow", 0) // never acks: every drop is a loss
+	appendN(t, j, 60)
+	st := j.Stats()
+	if st.RetentionDroppedSegments == 0 {
+		t.Fatalf("retention cap never engaged: %+v", st)
+	}
+	if st.RetentionLostRecords == 0 {
+		t.Fatalf("lost records not counted: %+v", st)
+	}
+	if st.FirstSeq <= 1 {
+		t.Fatalf("FirstSeq did not advance: %+v", st)
+	}
+	// Replay degrades gracefully: it starts at the first retained record.
+	recs := collect(t, j, 1)
+	if len(recs) == 0 || recs[0].Seq != st.FirstSeq {
+		t.Fatalf("replay after retention starts at %d, want %d", recs[0].Seq, st.FirstSeq)
+	}
+}
+
+func TestCursorsPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 5)
+	j.SetCursor("sub-7", 3)
+	j.SetCursor("sub-9", 5)
+	j.SetCursor("sub-7", 2) // monotonic: must not regress
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, Config{Dir: dir})
+	if c, ok := j2.Cursor("sub-7"); !ok || c != 3 {
+		t.Fatalf("sub-7 cursor = %d,%v want 3", c, ok)
+	}
+	if c, ok := j2.Cursor("sub-9"); !ok || c != 5 {
+		t.Fatalf("sub-9 cursor = %d,%v want 5", c, ok)
+	}
+	j2.DeleteCursor("sub-9")
+	if err := j2.SyncCursors(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j2.Cursor("sub-9"); ok {
+		t.Fatal("deleted cursor still present")
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	j := openT(t, Config{Fsync: true})
+	const (
+		workers = 8
+		each    = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := j.Append(ev(w*1000+i), false); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Appends != workers*each {
+		t.Fatalf("appends = %d, want %d", st.Appends, workers*each)
+	}
+	// The whole point of group commit: fewer fsync batches than
+	// appends under concurrency. With 8 workers racing and the fsync
+	// running outside the append lock, at least one batch must cover
+	// several appends; equality would mean one fsync per append.
+	if st.GroupCommits == 0 || st.GroupCommits >= st.Appends {
+		t.Fatalf("group commits = %d for %d appends: batching never engaged", st.GroupCommits, st.Appends)
+	}
+	recs := collect(t, j, 1)
+	if len(recs) != workers*each {
+		t.Fatalf("scanned %d records, want %d", len(recs), workers*each)
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d: appends interleaved out of order", i, r.Seq)
+		}
+	}
+}
+
+func TestFsyncSurvivesReopenWithoutClose(t *testing.T) {
+	// Fsync mode guarantees appended records are on disk even when the
+	// process dies without Close: reopen without closing and recover.
+	dir := t.TempDir()
+	j, err := Open(Config{Dir: dir, Fsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, 7)
+	// No Close: simulate a crash. (The file handle leaks for the test's
+	// duration, which is fine.)
+	j2 := openT(t, Config{Dir: dir})
+	if got := len(collect(t, j2, 1)); got != 7 {
+		t.Fatalf("fsynced records lost: %d of 7 recovered", got)
+	}
+	_ = j.Close()
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	j, err := Open(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Append(ev(1), false); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := j.Scan(1, func(Record) error { return nil }); err == nil {
+		t.Fatal("scan after close succeeded")
+	}
+}
+
+func TestScanAbortsOnCallbackError(t *testing.T) {
+	j := openT(t, Config{})
+	appendN(t, j, 5)
+	boom := fmt.Errorf("boom")
+	n := 0
+	err := j.Scan(1, func(Record) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom || n != 3 {
+		t.Fatalf("scan err=%v after %d records, want boom after 3", err, n)
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open with empty dir succeeded")
+	}
+}

@@ -1,0 +1,84 @@
+// Package journal implements the durable publication journal of the
+// broker (DESIGN.md §9): a segmented, append-only log of every
+// publication a broker accepts — local or federation-routed — plus
+// per-subscription cursors that advance only on delivery
+// acknowledgement. Together they give durable subscriptions
+// at-least-once delivery: after a broker crash/restart or a subscriber
+// reconnect, everything past the cursor is replayed.
+//
+// On disk a journal is a directory of segment files
+// (journal-<firstseq>.seg) holding length-prefixed, CRC-checked
+// records, a cursors.json file with the acked watermarks, and nothing
+// else. Segments roll by size or age and are compacted away once every
+// cursor has passed them (or forcibly, under a retention byte cap —
+// see the retention vs. replay contract in DESIGN.md §9).
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"stopss/internal/message"
+)
+
+// Record is one journaled publication.
+type Record struct {
+	Seq    uint64        `json:"seq"`              // journal-assigned, monotonic from 1
+	Remote bool          `json:"remote,omitempty"` // arrived via the federation overlay
+	Event  message.Event `json:"event"`            // reuses the message wire codecs
+}
+
+// Frame layout: 4-byte big-endian payload length, 4-byte big-endian
+// CRC-32 (IEEE) of the payload, then the JSON payload. The CRC is what
+// lets reopen detect a torn tail write and truncate it instead of
+// replaying garbage.
+const frameHeader = 8
+
+// maxRecordSize bounds a single record's payload so a corrupt length
+// prefix cannot drive a giant allocation (mirrors the overlay's
+// readFrame hardening).
+const maxRecordSize = 8 << 20
+
+// EncodeRecord renders a record as one framed journal entry.
+func EncodeRecord(r Record) ([]byte, error) {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encoding record %d: %w", r.Seq, err)
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("journal: record %d payload %d bytes exceeds %d", r.Seq, len(payload), maxRecordSize)
+	}
+	out := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeader:], payload)
+	return out, nil
+}
+
+// DecodeRecord parses one framed record from the front of b and
+// returns it together with the number of bytes consumed. A short
+// buffer, a CRC mismatch or malformed JSON is an error; callers at a
+// segment tail treat any error as a torn write and stop.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, fmt.Errorf("journal: truncated frame header (%d bytes)", len(b))
+	}
+	size := binary.BigEndian.Uint32(b[0:4])
+	if size > maxRecordSize {
+		return Record{}, 0, fmt.Errorf("journal: record payload %d bytes exceeds %d", size, maxRecordSize)
+	}
+	if len(b) < frameHeader+int(size) {
+		return Record{}, 0, fmt.Errorf("journal: truncated record payload (%d of %d bytes)", len(b)-frameHeader, size)
+	}
+	payload := b[frameHeader : frameHeader+int(size)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("journal: record CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, 0, fmt.Errorf("journal: decoding record: %w", err)
+	}
+	return r, frameHeader + int(size), nil
+}

@@ -7,7 +7,9 @@
 // network; SMS is simulated by an in-process gateway with message
 // segmentation and rate limiting (DESIGN.md §2 records the
 // substitution). Delivery is asynchronous through a bounded queue with
-// retry, exponential backoff and a dead-letter list.
+// retry, exponential backoff and a bounded dead-letter list; a
+// delivery hook reports per-delivery outcomes so the broker's durable
+// journal can acknowledge or park each notification.
 package notify
 
 import (
@@ -30,6 +32,11 @@ type Notification struct {
 	Event      message.Event `json:"event"`
 	Mode       string        `json:"mode,omitempty"` // semantic | syntactic
 	Seq        uint64        `json:"seq,omitempty"`  // dispatcher sequence number
+	// JournalSeq carries the publication's journal sequence number for
+	// durable subscriptions (internal/journal); 0 means fire-and-forget.
+	// The broker's delivery hook uses it to advance the durable cursor
+	// on acknowledged delivery.
+	JournalSeq uint64 `json:"journal_seq,omitempty"`
 }
 
 // Encode renders the notification as one JSON line (no trailing newline).
@@ -78,6 +85,11 @@ type Config struct {
 	Workers    int           // delivery goroutines (default 4)
 	MaxRetries int           // attempts per notification beyond the first (default 3)
 	Backoff    time.Duration // base backoff, doubled per retry (default 1ms)
+	// DeadLetterLimit bounds the dead-letter list (DESIGN §2): when a
+	// retry-exhausted notification would push past the cap, the OLDEST
+	// dead letter is evicted and counted in Stats.DeadLettersDropped.
+	// Default 1024; negative means unlimited (the pre-cap behaviour).
+	DeadLetterLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.Backoff <= 0 {
 		c.Backoff = time.Millisecond
 	}
+	if c.DeadLetterLimit == 0 {
+		c.DeadLetterLimit = 1024
+	}
 	return c
 }
 
@@ -111,6 +126,21 @@ type job struct {
 	r Route
 }
 
+// DeliveryHook observes every delivery's final outcome: err is nil on
+// success and the last transport error when retries were exhausted.
+// On failure, returning true claims the notification — it is "parked"
+// (the durable journal will redeliver it) instead of being appended to
+// the dead-letter list. The hook runs on delivery worker goroutines
+// and must not block.
+type DeliveryHook func(n Notification, r Route, err error, attempts int) bool
+
+// Stats summarizes dispatcher state beyond the metrics registry.
+type Stats struct {
+	DeadLetters        int    // dead letters currently held
+	DeadLettersDropped uint64 // dead letters evicted by the size cap
+	Parked             uint64 // failed deliveries claimed by the hook (journal-parked)
+}
+
 // Engine is the notification dispatcher of Figure 2.
 type Engine struct {
 	cfg        Config
@@ -119,11 +149,14 @@ type Engine struct {
 	wg         sync.WaitGroup
 	inflight   atomic.Int64
 
-	mu     sync.Mutex
-	routes map[string]Route // subscriber → route
-	dead   []DeadLetter
-	closed bool
-	seq    uint64
+	mu          sync.Mutex
+	routes      map[string]Route // subscriber → route
+	dead        []DeadLetter
+	deadDropped uint64
+	parked      uint64
+	hook        DeliveryHook
+	closed      bool
+	seq         uint64
 
 	reg *metrics.Registry
 }
@@ -152,6 +185,17 @@ func NewEngine(cfg Config, transports ...Transport) (*Engine, error) {
 		go e.worker()
 	}
 	return e, nil
+}
+
+// SetDeliveryHook installs (or clears, with nil) the per-delivery
+// outcome callback. The broker uses it to acknowledge durable
+// deliveries (advancing the journal cursor) and to park
+// retry-exhausted durable notifications in the journal instead of the
+// dead-letter list.
+func (e *Engine) SetDeliveryHook(h DeliveryHook) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.hook = h
 }
 
 // SetRoute binds a subscriber to a transport/address. The transport must
@@ -216,6 +260,9 @@ func (e *Engine) worker() {
 func (e *Engine) deliver(j job) {
 	tr := e.transports[j.r.Transport]
 	lat := e.reg.Histogram("latency." + j.r.Transport)
+	e.mu.Lock()
+	hook := e.hook
+	e.mu.Unlock()
 	var err error
 	backoff := e.cfg.Backoff
 	attempts := 0
@@ -229,6 +276,9 @@ func (e *Engine) deliver(j job) {
 			if attempt > 0 {
 				e.reg.Counter("recovered").Add(uint64(attempt))
 			}
+			if hook != nil {
+				hook(j.n, j.r, nil, attempts)
+			}
 			return
 		}
 		e.reg.Counter("attempts_failed." + j.r.Transport).Inc()
@@ -237,8 +287,24 @@ func (e *Engine) deliver(j job) {
 			backoff *= 2
 		}
 	}
+	if hook != nil && hook(j.n, j.r, err, attempts) {
+		// Claimed: the durable journal retains the publication, so the
+		// dead-letter list (a lossy diagnostic buffer) is not involved.
+		e.reg.Counter("parked").Inc()
+		e.mu.Lock()
+		e.parked++
+		e.mu.Unlock()
+		return
+	}
 	e.reg.Counter("dead_lettered").Inc()
 	e.mu.Lock()
+	if e.cfg.DeadLetterLimit > 0 && len(e.dead) >= e.cfg.DeadLetterLimit {
+		drop := len(e.dead) - e.cfg.DeadLetterLimit + 1
+		copy(e.dead, e.dead[drop:])
+		e.dead = e.dead[:len(e.dead)-drop]
+		e.deadDropped += uint64(drop)
+		e.reg.Counter("dead_dropped").Add(uint64(drop))
+	}
 	e.dead = append(e.dead, DeadLetter{Notification: j.n, Route: j.r, Err: err, Attempts: attempts})
 	e.mu.Unlock()
 }
@@ -250,6 +316,17 @@ func (e *Engine) DeadLetters() []DeadLetter {
 	out := make([]DeadLetter, len(e.dead))
 	copy(out, e.dead)
 	return out
+}
+
+// Stats snapshots dispatcher state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		DeadLetters:        len(e.dead),
+		DeadLettersDropped: e.deadDropped,
+		Parked:             e.parked,
+	}
 }
 
 // Metrics exposes the dispatcher's registry.

@@ -479,3 +479,116 @@ func TestDispatchSequenceNumbers(t *testing.T) {
 		}
 	}
 }
+
+func TestDeadLetterListBounded(t *testing.T) {
+	sms := NewSMSGateway(0, 0)
+	eng, err := NewEngine(Config{Workers: 1, MaxRetries: 0, Backoff: time.Millisecond,
+		DeadLetterLimit: 3}, sms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.SetRoute("alice", Route{Transport: "sms", Addr: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	sms.FailNext(100)
+	for i := 1; i <= 7; i++ {
+		n := sampleNotification(message.SubID(i))
+		n.Subscriber = "alice"
+		if err := eng.Dispatch(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !eng.Drain(2 * time.Second) {
+		t.Fatal("queue did not drain")
+	}
+	dead := eng.DeadLetters()
+	if len(dead) != 3 {
+		t.Fatalf("dead letters = %d, want cap of 3", len(dead))
+	}
+	// Oldest evicted: the survivors are the newest three.
+	for i, d := range dead {
+		if want := message.SubID(i + 5); d.Notification.SubID != want {
+			t.Errorf("dead[%d].SubID = %d, want %d", i, d.Notification.SubID, want)
+		}
+	}
+	st := eng.Stats()
+	if st.DeadLettersDropped != 4 || st.DeadLetters != 3 {
+		t.Errorf("stats = %+v, want 4 dropped / 3 held", st)
+	}
+	if rep := eng.Metrics().Report(); !strings.Contains(rep, "dead_dropped") {
+		t.Errorf("metrics missing dead_dropped counter:\n%s", rep)
+	}
+}
+
+func TestDeliveryHookAcksAndParks(t *testing.T) {
+	sms := NewSMSGateway(0, 0)
+	eng, err := NewEngine(Config{Workers: 1, MaxRetries: 1, Backoff: time.Millisecond}, sms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.SetRoute("alice", Route{Transport: "sms", Addr: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		seq      uint64
+		err      error
+		attempts int
+	}
+	var mu sync.Mutex
+	var outcomes []outcome
+	eng.SetDeliveryHook(func(n Notification, r Route, err error, attempts int) bool {
+		mu.Lock()
+		outcomes = append(outcomes, outcome{n.JournalSeq, err, attempts})
+		mu.Unlock()
+		return n.JournalSeq != 0 // claim durable failures (park in journal)
+	})
+
+	ok := sampleNotification(1)
+	ok.Subscriber, ok.JournalSeq = "alice", 11
+	if err := eng.Dispatch(ok); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Drain(2 * time.Second) {
+		t.Fatal("drain 1")
+	}
+
+	sms.FailNext(100)
+	durableFail := sampleNotification(2)
+	durableFail.Subscriber, durableFail.JournalSeq = "alice", 12
+	if err := eng.Dispatch(durableFail); err != nil {
+		t.Fatal(err)
+	}
+	fireForget := sampleNotification(3)
+	fireForget.Subscriber = "alice" // JournalSeq 0: hook declines it
+	if err := eng.Dispatch(fireForget); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Drain(2 * time.Second) {
+		t.Fatal("drain 2")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(outcomes) != 3 {
+		t.Fatalf("hook fired %d times, want 3: %+v", len(outcomes), outcomes)
+	}
+	if outcomes[0].seq != 11 || outcomes[0].err != nil || outcomes[0].attempts != 1 {
+		t.Errorf("success outcome = %+v", outcomes[0])
+	}
+	if outcomes[1].seq != 12 || outcomes[1].err == nil || outcomes[1].attempts != 2 {
+		t.Errorf("durable failure outcome = %+v", outcomes[1])
+	}
+	if outcomes[2].seq != 0 || outcomes[2].err == nil {
+		t.Errorf("fire-and-forget failure outcome = %+v", outcomes[2])
+	}
+	// The claimed durable failure is parked, not dead-lettered; the
+	// declined fire-and-forget one lands in the list as before.
+	if dead := eng.DeadLetters(); len(dead) != 1 || dead[0].Notification.SubID != 3 {
+		t.Errorf("dead letters = %+v, want only sub 3", dead)
+	}
+	if st := eng.Stats(); st.Parked != 1 {
+		t.Errorf("stats = %+v, want Parked 1", st)
+	}
+}

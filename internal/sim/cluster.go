@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -10,6 +13,7 @@ import (
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
+	"stopss/internal/journal"
 	"stopss/internal/knowledge"
 	"stopss/internal/message"
 	"stopss/internal/notify"
@@ -24,13 +28,16 @@ const seqAttr = "sim_seq"
 
 // Broker is one simulated overlay participant: a real broker.Broker
 // and overlay.Node wired over the in-process fabric, with a recording
-// notification transport.
+// notification transport and a publication journal on disk.
 type Broker struct {
 	Name    string
 	B       *broker.Broker
 	Node    *overlay.Node
 	NT      *notify.Engine
 	KB      *knowledge.Base
+	J       *journal.Journal
+	jdir    string
+	snap    []byte // last SnapshotNow image; consumed by CrashRestart
 	rec     *recorder
 	crashed bool
 }
@@ -43,6 +50,7 @@ type Sub struct {
 	ID        message.SubID
 	Preds     []message.Predicate
 	Active    bool
+	Durable   bool
 }
 
 // Pub is one scenario publication together with the outcome expected
@@ -64,6 +72,7 @@ type Cluster struct {
 	Net     *Network
 	Brokers []*Broker
 
+	jcfg  journal.Config  // template; Dir is per-broker
 	edges map[[2]int]bool // configured topology
 	live  map[[2]int]bool // edges currently connected
 	subs  []*Sub
@@ -71,21 +80,38 @@ type Cluster struct {
 	seq   int
 }
 
+// Option tunes cluster construction.
+type Option func(*Cluster)
+
+// WithJournalConfig overrides the per-broker journal template (Dir is
+// always assigned per broker). The default is a plain journal with
+// small segments and no fsync — scenarios exercising retention or
+// crash durability tighten it.
+func WithJournalConfig(cfg journal.Config) Option {
+	return func(c *Cluster) { c.jcfg = cfg }
+}
+
 // NewCluster builds n brokers (named b00, b01, …) with started overlay
-// nodes listening on the fabric, but no links; callers wire a topology
-// with Wire or Connect. Cleanup is registered on tb.
-func NewCluster(tb testing.TB, n int) *Cluster {
+// nodes listening on the fabric and a publication journal each, but no
+// links; callers wire a topology with Wire or Connect. Cleanup is
+// registered on tb.
+func NewCluster(tb testing.TB, n int, opts ...Option) *Cluster {
 	tb.Helper()
 	c := &Cluster{
 		tb:    tb,
 		Net:   NewNetwork(),
+		jcfg:  journal.Config{SegmentBytes: 64 << 10},
 		edges: make(map[[2]int]bool),
 		live:  make(map[[2]int]bool),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("b%02d", i)
 		rec := newRecorder()
-		nt, err := notify.NewEngine(notify.Config{Workers: 2, QueueSize: 1 << 16}, rec)
+		nt, err := notify.NewEngine(notify.Config{Workers: 2, QueueSize: 1 << 16,
+			MaxRetries: 2, Backoff: time.Millisecond}, rec)
 		if err != nil {
 			tb.Fatal(err)
 		}
@@ -94,10 +120,19 @@ func NewCluster(tb testing.TB, n int) *Cluster {
 			Name: name,
 			B: broker.New(core.NewEngine(base.Stage(semantic.FullConfig()),
 				core.WithKnowledge(base)), nt),
-			NT:  nt,
-			KB:  base,
-			rec: rec,
+			NT:   nt,
+			KB:   base,
+			jdir: filepath.Join(tb.TempDir(), name),
+			rec:  rec,
 		}
+		jcfg := c.jcfg
+		jcfg.Dir = b.jdir
+		j, err := journal.Open(jcfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		b.J = j
+		b.B.AttachJournal(j)
 		c.startNode(b)
 		c.Brokers = append(c.Brokers, b)
 	}
@@ -107,6 +142,7 @@ func NewCluster(tb testing.TB, n int) *Cluster {
 				b.Node.Close()
 			}
 			b.NT.Close()
+			_ = b.J.Close()
 		}
 	})
 	return c
@@ -173,6 +209,116 @@ func (c *Cluster) Subscribe(i int, preds ...message.Predicate) *Sub {
 	s := &Sub{BrokerIdx: i, Client: client, ID: id, Preds: preds, Active: true}
 	c.subs = append(c.subs, s)
 	return s
+}
+
+// SubscribeDurable is Subscribe with at-least-once, journal-backed
+// delivery: the subscription's cursor advances only on acknowledged
+// delivery and VerifyAtLeastOnce checks it for gaps instead of
+// exactly-once.
+func (c *Cluster) SubscribeDurable(i int, preds ...message.Predicate) *Sub {
+	c.tb.Helper()
+	b := c.Brokers[i]
+	client := fmt.Sprintf("%s-c%d", b.Name, len(c.subs))
+	if err := b.B.Register(broker.Client{Name: client, Route: notify.Route{Transport: "sim", Addr: client}}); err != nil {
+		c.tb.Fatal(err)
+	}
+	id, err := b.B.SubscribeDurable(client, preds)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	s := &Sub{BrokerIdx: i, Client: client, ID: id, Preds: preds, Active: true, Durable: true}
+	c.subs = append(c.subs, s)
+	return s
+}
+
+// SetSubscriberOffline simulates broker i's notification endpoints
+// going away (or coming back): while offline every delivery attempt
+// fails, so durable notifications exhaust retries and park.
+func (c *Cluster) SetSubscriberOffline(i int, offline bool) {
+	c.Brokers[i].rec.setOffline(offline)
+}
+
+// SnapshotNow captures broker i's durable state (what a periodic
+// snapshotter would persist); CrashRestart consumes it. Subscriptions
+// created after the snapshot do not survive a CrashRestart, so
+// scenarios snapshot after their subscription setup.
+func (c *Cluster) SnapshotNow(i int) {
+	c.tb.Helper()
+	var buf bytes.Buffer
+	if err := c.Brokers[i].B.Snapshot(&buf); err != nil {
+		c.tb.Fatal(err)
+	}
+	c.Brokers[i].snap = buf.Bytes()
+}
+
+// CrashRestart kills broker i's PROCESS — overlay node, notifier and
+// broker object all go away, losing every in-memory delivery window —
+// and boots a fresh incarnation from the SnapshotNow image plus the
+// on-disk journal: restore, cursor merge, catch-up replay, then rejoin
+// the overlay. This is the crash model behind the at-least-once
+// guarantee; Crash/Rejoin model mere connectivity loss.
+func (c *Cluster) CrashRestart(i int) {
+	c.tb.Helper()
+	b := c.Brokers[i]
+	if b.snap == nil {
+		c.tb.Fatalf("sim: CrashRestart(%d) needs SnapshotNow(%d) first", i, i)
+	}
+	if !b.crashed {
+		b.Node.Close()
+		b.crashed = true
+		for e := range c.live {
+			if e[0] == i || e[1] == i {
+				delete(c.live, e)
+			}
+		}
+	}
+	c.Settle()
+	b.NT.Close()
+	if err := b.J.Close(); err != nil {
+		c.tb.Fatal(err)
+	}
+
+	// Fresh incarnation: new notifier (same recording endpoint — the
+	// subscriber side survives), new engine/KB, journal reopened from
+	// the same directory, state restored from the snapshot.
+	nt, err := notify.NewEngine(notify.Config{Workers: 2, QueueSize: 1 << 16,
+		MaxRetries: 2, Backoff: time.Millisecond}, b.rec)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	base := knowledge.NewBase(nil, nil, nil)
+	br := broker.New(core.NewEngine(base.Stage(semantic.FullConfig()),
+		core.WithKnowledge(base)), nt)
+	jcfg := c.jcfg
+	jcfg.Dir = b.jdir
+	j, err := journal.Open(jcfg)
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	br.AttachJournal(j)
+	if err := br.Restore(bytes.NewReader(b.snap)); err != nil {
+		c.tb.Fatalf("sim: restoring %s: %v", b.Name, err)
+	}
+	b.B, b.NT, b.KB, b.J = br, nt, base, j
+	if _, err := br.CatchUp(); err != nil {
+		c.tb.Fatalf("sim: catch-up on %s: %v", b.Name, err)
+	}
+
+	c.startNode(b)
+	for e := range c.edges {
+		if e[0] != i && e[1] != i {
+			continue
+		}
+		other := e[0] + e[1] - i
+		if c.Brokers[other].crashed || c.Net.cut(b.Name, c.Brokers[other].Name) {
+			continue
+		}
+		if err := b.Node.Dial(c.Brokers[other].Name); err != nil {
+			c.tb.Fatalf("sim: restart dial %d-%d: %v", i, other, err)
+		}
+		c.live[edge(i, other)] = true
+	}
+	c.Settle()
 }
 
 // Unsubscribe withdraws a tracked subscription; publications after this
@@ -454,6 +600,36 @@ func (c *Cluster) VerifyExactlyOnce() {
 	}
 }
 
+// VerifyAtLeastOnce asserts the durable delivery invariant over the
+// whole scenario so far: every publication reached each DURABLE
+// subscription in its expected set at least once — gaps are fatal,
+// duplicates are allowed and returned (the price of at-least-once) —
+// and durable subscriptions outside the expected set received nothing.
+// Non-durable subscriptions are not checked; use VerifyExactlyOnce in
+// scenarios without faults. Call after Settle.
+func (c *Cluster) VerifyAtLeastOnce() (duplicates int) {
+	c.tb.Helper()
+	for _, p := range c.pubs {
+		for _, s := range c.subs {
+			if !s.Durable {
+				continue
+			}
+			got := c.Brokers[s.BrokerIdx].rec.count(s.Client, s.ID, p.Seq)
+			if p.Expected[s] {
+				if got == 0 {
+					c.tb.Errorf("pub %d (from %s): durable subscriber %s/sub %d on %s NEVER delivered (gap)",
+						p.Seq, c.Brokers[p.Origin].Name, s.Client, s.ID, c.Brokers[s.BrokerIdx].Name)
+				}
+				duplicates += got - 1
+			} else if got != 0 {
+				c.tb.Errorf("pub %d (from %s): durable subscriber %s/sub %d on %s delivered %d times, want 0",
+					p.Seq, c.Brokers[p.Origin].Name, s.Client, s.ID, c.Brokers[s.BrokerIdx].Name, got)
+			}
+		}
+	}
+	return duplicates
+}
+
 // reachable returns the set of broker indexes reachable from origin
 // over live links (always including origin: local delivery needs no
 // overlay).
@@ -487,10 +663,12 @@ func edge(i, j int) [2]int {
 
 // recorder is the notification transport of simulated brokers: it
 // counts deliveries keyed by subscriber, subscription and publication
-// sequence.
+// sequence. It can be switched offline to model subscriber endpoints
+// going away (deliveries fail until it returns).
 type recorder struct {
-	mu     sync.Mutex
-	counts map[deliveryKey]int
+	mu      sync.Mutex
+	counts  map[deliveryKey]int
+	offline bool
 }
 
 type deliveryKey struct {
@@ -511,9 +689,21 @@ func (r *recorder) Send(_ string, n notify.Notification) error {
 		seq = int(v.IntVal())
 	}
 	r.mu.Lock()
+	if r.offline {
+		r.mu.Unlock()
+		return errEndpointOffline
+	}
 	r.counts[deliveryKey{n.Subscriber, n.SubID, seq}]++
 	r.mu.Unlock()
 	return nil
+}
+
+var errEndpointOffline = errors.New("sim: subscriber endpoint offline")
+
+func (r *recorder) setOffline(v bool) {
+	r.mu.Lock()
+	r.offline = v
+	r.mu.Unlock()
 }
 
 func (r *recorder) Close() error { return nil }

@@ -8,6 +8,8 @@
 //
 //	POST /api/register    {"name":"acme","transport":"tcp","addr":"127.0.0.1:9000"}
 //	POST /api/subscribe   {"client":"acme","subscription":"(university = Toronto) and (degree = PhD)"}
+//	POST /api/subscribe   {"client":"acme","subscription":"...","durable":true}
+//	POST /api/resume      {"client":"acme","id":1}   → replay-from-cursor for a durable sub
 //	POST /api/unsubscribe {"client":"acme","id":1}
 //	POST /api/publish     {"event":"(school, Toronto)(degree, PhD)(graduation year, 1990)"}
 //	GET  /api/mode        → {"mode":"semantic"}
@@ -15,6 +17,7 @@
 //	GET  /api/stats       → broker and engine counters
 //	GET  /api/kb          → knowledge-base version (delta count + digest)
 //	POST /api/kb          JSONL knowledge deltas (ontc -delta output)
+//	GET  /api/journal     → publication-journal stats + durable cursors
 //	GET  /                → demo page
 package webapp
 
@@ -58,6 +61,8 @@ func NewServer(b *broker.Broker) *Server {
 	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
 	s.mux.HandleFunc("GET /api/kb", s.handleKBStatus)
 	s.mux.HandleFunc("POST /api/kb", s.handleKBApply)
+	s.mux.HandleFunc("GET /api/journal", s.handleJournal)
+	s.mux.HandleFunc("POST /api/resume", s.handleResume)
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	return s
 }
@@ -78,14 +83,20 @@ type registerRequest struct {
 type subscribeRequest struct {
 	Client       string `json:"client"`
 	Subscription string `json:"subscription"`
+	// Durable requests at-least-once delivery backed by the broker's
+	// publication journal: the subscription gets a cursor that advances
+	// on acknowledged delivery, and POST /api/resume replays everything
+	// past it after a reconnect. Requires -journal-dir on the server.
+	Durable bool `json:"durable,omitempty"`
 }
 
 type subscribeResponse struct {
 	// ID is the first (or only) subscription created; IDs lists every
 	// subscription of a disjunctive submission, one per "or"-disjunct.
-	ID     message.SubID   `json:"id"`
-	IDs    []message.SubID `json:"ids"`
-	Parsed string          `json:"parsed"`
+	ID      message.SubID   `json:"id"`
+	IDs     []message.SubID `json:"ids"`
+	Parsed  string          `json:"parsed"`
+	Durable bool            `json:"durable,omitempty"`
 }
 
 type unsubscribeRequest struct {
@@ -164,7 +175,12 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	}
 	ids := make([]message.SubID, 0, len(groups))
 	for _, preds := range groups {
-		id, err := s.broker.Subscribe(req.Client, preds)
+		var id message.SubID
+		if req.Durable {
+			id, err = s.broker.SubscribeDurable(req.Client, preds)
+		} else {
+			id, err = s.broker.Subscribe(req.Client, preds)
+		}
 		if err != nil {
 			// Roll back the disjuncts already stored so the submission
 			// is all-or-nothing.
@@ -177,9 +193,10 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		ids = append(ids, id)
 	}
 	writeJSON(w, http.StatusOK, subscribeResponse{
-		ID:     ids[0],
-		IDs:    ids,
-		Parsed: sublang.FormatSubscriptionSet(groups),
+		ID:      ids[0],
+		IDs:     ids,
+		Parsed:  sublang.FormatSubscriptionSet(groups),
+		Durable: req.Durable,
 	})
 }
 
@@ -469,6 +486,44 @@ func (s *Server) handleKBApply(w http.ResponseWriter, r *http.Request) {
 		"results": results,
 		"version": s.broker.KnowledgeVersion(),
 	})
+}
+
+// handleJournal reports the publication journal's stats and the
+// durable cursors — the operator's view of retention pressure, parked
+// deliveries and replay progress.
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	j := s.broker.Journal()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("webapp: no journal attached to this broker (start the server with -journal-dir)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"stats":   j.Stats(),
+		"cursors": j.Cursors(),
+	})
+}
+
+type resumeRequest struct {
+	Client string        `json:"client"`
+	ID     message.SubID `json:"id"`
+}
+
+// handleResume re-attaches a durable subscriber after a reconnect:
+// everything past the subscription's cursor is replayed (at-least-once
+// — records already in flight are delivered once, parked ones are
+// retried).
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	var req resumeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	n, err := s.broker.ResumeDurable(req.Client, req.ID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "replayed": n})
 }
 
 // handleSnapshot streams the broker's durable state (clients, routes,
