@@ -34,6 +34,7 @@ import (
 	"stopss/internal/semantic"
 	"stopss/internal/sim"
 	"stopss/internal/sublang"
+	"stopss/internal/trace"
 	"stopss/internal/workload"
 )
 
@@ -336,7 +337,11 @@ func simBenchBroker(b *testing.B, net *sim.Network, name string) (*broker.Broker
 		b.Fatal(err)
 	}
 	br := broker.New(core.NewEngine(nil), ne)
-	node, err := overlay.NewNode(overlay.Config{Name: name, Listen: name, Transport: net.Host(name)}, br)
+	// Tracing off: this family isolates routing cost, and trace reports
+	// hopping back toward the origin would double the measured traffic.
+	// BenchmarkPublishTraced/-Untraced own the tracing overhead numbers.
+	node, err := overlay.NewNode(overlay.Config{Name: name, Listen: name,
+		Transport: net.Host(name), TraceSample: -1}, br)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -540,6 +545,9 @@ func BenchmarkDurablePublish(b *testing.B) {
 			}
 			defer ne.Close()
 			br := broker.New(core.NewEngine(nil), ne)
+			// Tracing off so the measured delta stays the journal cost
+			// alone; the traced publish path has its own gate pair below.
+			br.SetTracer(trace.New(trace.Config{Broker: "bench", Sample: -1}))
 			if durable {
 				j, err := journal.Open(journal.Config{Dir: b.TempDir()})
 				if err != nil {
@@ -572,6 +580,43 @@ func BenchmarkDurablePublish(b *testing.B) {
 				<-tr.ch
 			}
 		})
+	}
+}
+
+// BenchmarkPublishTraced / BenchmarkPublishUntraced gate the span
+// recording overhead on the fire-and-forget publish hot path (DESIGN
+// §10): same single-broker setup as BenchmarkDurablePublish, with the
+// tracer either sampling every publication (the default) or disabled
+// outright (-trace-sample=0). Untraced must stay within noise of the
+// pre-tracing publish baseline.
+func BenchmarkPublishTraced(b *testing.B)   { benchPublishTrace(b, 0) }
+func BenchmarkPublishUntraced(b *testing.B) { benchPublishTrace(b, -1) }
+
+func benchPublishTrace(b *testing.B, sample int) {
+	tr := &benchTransport{ch: make(chan struct{}, 8192)}
+	ne, err := notify.NewEngine(notify.Config{Workers: 4, QueueSize: 8192}, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ne.Close()
+	br := broker.New(core.NewEngine(nil), ne)
+	br.SetTracer(trace.New(trace.Config{Broker: "bench", Sample: sample}))
+	if err := br.Register(broker.Client{Name: "sub",
+		Route: notify.Route{Transport: "bench", Addr: "x"}}); err != nil {
+		b.Fatal(err)
+	}
+	preds := []message.Predicate{message.Pred("x", message.OpGe, message.Int(0))}
+	if _, err := br.Subscribe("sub", preds); err != nil {
+		b.Fatal(err)
+	}
+	ev := message.E("x", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.Publish(ev); err != nil {
+			b.Fatal(err)
+		}
+		<-tr.ch
 	}
 }
 

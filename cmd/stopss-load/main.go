@@ -24,6 +24,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -296,6 +297,13 @@ func run(url string, companies, resumes, concurrency int, seed int64, durableFra
 	}
 	fmt.Printf("server:     %v clients, %v subscriptions, %v published, %v notified\n",
 		stats["Clients"], stats["Subscriptions"], stats["Published"], stats["Notified"])
+	// Per-stage latency quantiles from the Prometheus exposition
+	// (DESIGN §10) — best-effort: older servers have no /metrics.
+	if stages, err := scrapeStages(url); err == nil {
+		printStageTable(os.Stdout, stages)
+	} else {
+		log.Printf("scraping /metrics: %v", err)
+	}
 	if nDurable > 0 {
 		fmt.Printf("durable:    %v subs, %v acked, %v parked, %v replayed; endpoint received %d\n",
 			stats["Durable"], stats["Acked"], stats["Parked"], stats["Replayed"], ep.received())

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// stageStat is one per-stage latency histogram scraped from the
+// server's Prometheus exposition (the stopss_stage_* families of
+// DESIGN §10).
+type stageStat struct {
+	Name   string // stage name with the prefix and unit stripped
+	Count  uint64
+	P50    float64 // seconds; +Inf when the quantile lands in the overflow bucket
+	P99    float64
+	maxLe  float64 // largest finite bucket bound seen (for overflow display)
+	bounds []float64
+	cums   []uint64
+}
+
+var leRe = regexp.MustCompile(`le="([^"]+)"`)
+
+// parseStageHistograms extracts every `<anything>_stage_<name>_seconds`
+// histogram from a Prometheus text exposition. Quantiles are
+// bucket-upper-bound estimates — the same resolution Prometheus's own
+// histogram_quantile would report.
+func parseStageHistograms(r io.Reader) ([]stageStat, error) {
+	byName := make(map[string]*stageStat)
+	order := []string{}
+	get := func(name string) *stageStat {
+		st, ok := byName[name]
+		if !ok {
+			st = &stageStat{Name: name}
+			byName[name] = st
+			order = append(order, name)
+		}
+		return st
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		metric, value, ok := splitSample(line)
+		if !ok {
+			continue
+		}
+		base, kind := histPart(metric)
+		stage := stageName(base)
+		if stage == "" {
+			continue
+		}
+		switch kind {
+		case "bucket":
+			m := leRe.FindStringSubmatch(metric)
+			if m == nil {
+				continue
+			}
+			bound, err := strconv.ParseFloat(m[1], 64)
+			if m[1] == "+Inf" {
+				bound, err = math.Inf(1), nil
+			}
+			if err != nil {
+				continue
+			}
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				continue
+			}
+			st := get(stage)
+			st.bounds = append(st.bounds, bound)
+			st.cums = append(st.cums, cum)
+			if !math.IsInf(bound, 1) && bound > st.maxLe {
+				st.maxLe = bound
+			}
+		case "count":
+			n, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				continue
+			}
+			get(stage).Count = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var out []stageStat
+	for _, name := range order {
+		st := byName[name]
+		if st.Count == 0 {
+			continue
+		}
+		// Exposition order is ascending, but sort defensively: quantile
+		// extraction walks the cumulative counts in bound order.
+		sort.Sort(byBound{st})
+		st.P50 = histQuantile(st.bounds, st.cums, 0.50)
+		st.P99 = histQuantile(st.bounds, st.cums, 0.99)
+		out = append(out, *st)
+	}
+	return out, nil
+}
+
+type byBound struct{ s *stageStat }
+
+func (b byBound) Len() int           { return len(b.s.bounds) }
+func (b byBound) Less(i, j int) bool { return b.s.bounds[i] < b.s.bounds[j] }
+func (b byBound) Swap(i, j int) {
+	b.s.bounds[i], b.s.bounds[j] = b.s.bounds[j], b.s.bounds[i]
+	b.s.cums[i], b.s.cums[j] = b.s.cums[j], b.s.cums[i]
+}
+
+// splitSample separates one exposition line into metric (name plus
+// optional label set) and value.
+func splitSample(line string) (metric, value string, ok bool) {
+	// The value follows the last space outside the label braces; label
+	// values in these families never contain spaces, so a plain split
+	// on the final space is sound.
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		return "", "", false
+	}
+	return strings.TrimSpace(line[:i]), strings.TrimSpace(line[i+1:]), true
+}
+
+// histPart splits a histogram sample name into its base family and the
+// bucket/count/sum role.
+func histPart(metric string) (base, kind string) {
+	name := metric
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		name = name[:i]
+	}
+	for _, suffix := range []string{"_bucket", "_count", "_sum"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix), suffix[1:]
+		}
+	}
+	return name, ""
+}
+
+// stageName extracts the stage from a family like
+// `stopss_stage_journal_append_seconds`; empty when the family is not
+// a stage histogram.
+func stageName(base string) string {
+	i := strings.Index(base, "_stage_")
+	if i < 0 || !strings.HasSuffix(base, "_seconds") {
+		return ""
+	}
+	return strings.TrimSuffix(base[i+len("_stage_"):], "_seconds")
+}
+
+// histQuantile returns the upper bound of the first bucket whose
+// cumulative count covers quantile q — +Inf when only the overflow
+// bucket does.
+func histQuantile(bounds []float64, cums []uint64, q float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
+	total := cums[len(cums)-1]
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	for i, c := range cums {
+		if c >= target {
+			return bounds[i]
+		}
+	}
+	return bounds[len(bounds)-1]
+}
+
+// scrapeStages fetches the server's /metrics exposition and extracts
+// the per-stage latency histograms.
+func scrapeStages(baseURL string) ([]stageStat, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: %s", resp.Status)
+	}
+	return parseStageHistograms(resp.Body)
+}
+
+// printStageTable renders the scraped per-stage latency quantiles.
+func printStageTable(w io.Writer, stats []stageStat) {
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-18s %10s %12s %12s\n", "stage", "count", "p50", "p99")
+	for _, st := range stats {
+		fmt.Fprintf(w, "%-18s %10d %12s %12s\n",
+			st.Name, st.Count, fmtSeconds(st.P50, st.maxLe), fmtSeconds(st.P99, st.maxLe))
+	}
+}
+
+// fmtSeconds renders a bucket-bound quantile; an overflow-bucket hit
+// shows as a lower bound on the true latency.
+func fmtSeconds(sec, maxLe float64) string {
+	if math.IsInf(sec, 1) {
+		return ">" + time.Duration(maxLe*float64(time.Second)).Round(time.Microsecond).String()
+	}
+	return time.Duration(sec * float64(time.Second)).Round(time.Microsecond).String()
+}

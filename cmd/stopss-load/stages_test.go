@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP stopss_stage_match_seconds histogram
+# TYPE stopss_stage_match_seconds histogram
+stopss_stage_match_seconds_bucket{broker="b1",le="0.001"} 50
+stopss_stage_match_seconds_bucket{broker="b1",le="0.01"} 90
+stopss_stage_match_seconds_bucket{broker="b1",le="0.1"} 99
+stopss_stage_match_seconds_bucket{broker="b1",le="+Inf"} 100
+stopss_stage_match_seconds_sum{broker="b1"} 0.42
+stopss_stage_match_seconds_count{broker="b1"} 100
+# TYPE stopss_stage_publish_to_ack_seconds histogram
+stopss_stage_publish_to_ack_seconds_bucket{broker="b1",le="0.5"} 0
+stopss_stage_publish_to_ack_seconds_bucket{broker="b1",le="+Inf"} 4
+stopss_stage_publish_to_ack_seconds_sum{broker="b1"} 9.1
+stopss_stage_publish_to_ack_seconds_count{broker="b1"} 4
+# TYPE stopss_trace_spans_total counter
+stopss_trace_spans_total{broker="b1"} 7
+# TYPE stopss_stage_idle_seconds histogram
+stopss_stage_idle_seconds_bucket{broker="b1",le="+Inf"} 0
+stopss_stage_idle_seconds_count{broker="b1"} 0
+`
+
+func TestParseStageHistograms(t *testing.T) {
+	stats, err := parseStageHistograms(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counter is not a stage; the empty histogram is dropped.
+	if len(stats) != 2 {
+		t.Fatalf("parsed %d stages, want 2: %+v", len(stats), stats)
+	}
+	match := stats[0]
+	if match.Name != "match" || match.Count != 100 {
+		t.Fatalf("first stage = %+v, want match with 100 observations", match)
+	}
+	// p50: 50th of 100 falls in the first bucket (cum 50 ≥ 50) → 1ms.
+	if match.P50 != 0.001 {
+		t.Errorf("match p50 = %v, want 0.001", match.P50)
+	}
+	// p99: 99th falls in the 0.1 bucket (cum 99 ≥ 99).
+	if match.P99 != 0.1 {
+		t.Errorf("match p99 = %v, want 0.1", match.P99)
+	}
+
+	ack := stats[1]
+	if ack.Name != "publish_to_ack" {
+		t.Fatalf("second stage = %q, want publish_to_ack", ack.Name)
+	}
+	// All four observations sit past the last finite bound: both
+	// quantiles land in the overflow bucket.
+	if !math.IsInf(ack.P50, 1) || !math.IsInf(ack.P99, 1) {
+		t.Errorf("overflow quantiles = %v/%v, want +Inf", ack.P50, ack.P99)
+	}
+
+	var buf bytes.Buffer
+	printStageTable(&buf, stats)
+	out := buf.String()
+	for _, want := range []string{"stage", "match", "publish_to_ack", "1ms", ">500ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stage table lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	if got := histQuantile(nil, nil, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	bounds := []float64{0.001, 0.01, math.Inf(1)}
+	cums := []uint64{0, 0, 0}
+	if got := histQuantile(bounds, cums, 0.99); got != 0 {
+		t.Errorf("zero-count quantile = %v, want 0", got)
+	}
+	cums = []uint64{1, 1, 1}
+	if got := histQuantile(bounds, cums, 0.01); got != 0.001 {
+		t.Errorf("single-observation p1 = %v, want first bound", got)
+	}
+	if got := histQuantile(bounds, cums, 1); got != 0.001 {
+		t.Errorf("single-observation p100 = %v, want first bound", got)
+	}
+}

@@ -10,6 +10,8 @@
 //	stopss-server -addr :8080 -shards 8
 //	stopss-server -addr :8081 -node b1 -overlay 127.0.0.1:7001
 //	stopss-server -addr :8082 -node b2 -overlay 127.0.0.1:7002 -peer 127.0.0.1:7001
+//	stopss-server -addr :8080 -log-format json -log-level debug
+//	stopss-server -addr :8080 -pprof-addr 127.0.0.1:6060 -trace-out boot.trace
 package main
 
 import (
@@ -19,10 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers the profiling surface on DefaultServeMux (-pprof-addr)
 	"os"
 	"os/signal"
+	rtrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -36,15 +41,63 @@ import (
 	"stopss/internal/ontology"
 	"stopss/internal/overlay"
 	"stopss/internal/semantic"
+	"stopss/internal/trace"
 	"stopss/internal/webapp"
 	"stopss/internal/workload"
 )
+
+// logger is the process-wide structured logger. main replaces it with
+// one carrying the broker identity on every record; tests run against
+// the default.
+var logger = slog.Default()
 
 // peerList collects repeatable -peer flags.
 type peerList []string
 
 func (p *peerList) String() string     { return strings.Join(*p, ",") }
 func (p *peerList) Set(v string) error { *p = append(*p, v); return nil }
+
+// buildLogger constructs the slog handler selected by -log-format and
+// -log-level.
+func buildLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	ho := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, ho)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// fatal logs at error level and exits.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// obsOptions groups the observability surface of run: profiling,
+// execution tracing, and per-publication trace sampling (DESIGN §10).
+type obsOptions struct {
+	PprofAddr     string // net/http/pprof listen address ("" = off)
+	TraceOut      string // runtime/trace capture file ("" = off)
+	TraceSample   int    // keep 1 in N publication traces; <=0 disables
+	TraceCapacity int    // retained-trace ring bound (0 = default)
+}
 
 func main() {
 	var peers peerList
@@ -63,12 +116,30 @@ func main() {
 	journalSegBytes := flag.Int64("journal-segment-bytes", 8<<20, "journal segment roll threshold in bytes (must be > 0)")
 	journalRetention := flag.Int64("journal-retention", 0, "cap on sealed journal bytes; oldest segments are dropped past it even if unacked (0 = unlimited)")
 	journalFsync := flag.Bool("journal-fsync", true, "group-committed fsync per publication batch (disable to trade crash durability for latency)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
+	traceOut := flag.String("trace-out", "", "write a runtime/trace capture to this file until shutdown (inspect with `go tool trace`)")
+	traceSample := flag.Int("trace-sample", 1, "keep the span tree of 1 in N publications (1 = all, 0 = off; dead-lettered deliveries are always kept)")
+	traceCapacity := flag.Int("trace-capacity", 0, "bound on retained publication traces (0 = default)")
 	flag.Parse()
+	lg, err := buildLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fatal("stopss-server: invalid logging flags", "err", err)
+	}
+	// Every record names this broker, so interleaved multi-broker logs
+	// (or aggregated JSON streams) stay attributable.
+	nodeID := *nodeName
+	if nodeID == "" {
+		nodeID = *addr
+	}
+	logger = lg.With("broker", nodeID)
+	slog.SetDefault(logger)
 	if *kbWatchInterval <= 0 {
-		log.Fatalf("stopss-server: -kb-watch-interval must be positive, got %v", *kbWatchInterval)
+		fatal("stopss-server: -kb-watch-interval must be positive", "interval", *kbWatchInterval)
 	}
 	if *journalSegBytes <= 0 {
-		log.Fatalf("stopss-server: -journal-segment-bytes must be positive, got %d", *journalSegBytes)
+		fatal("stopss-server: -journal-segment-bytes must be positive", "bytes", *journalSegBytes)
 	}
 	opts := stackOptions{
 		Addr:     *addr,
@@ -83,8 +154,14 @@ func main() {
 		RetentionBytes: *journalRetention,
 		Fsync:          *journalFsync,
 	}
-	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch, *kbWatchInterval, jcfg); err != nil {
-		log.Fatalf("stopss-server: %v", err)
+	obs := obsOptions{
+		PprofAddr:     *pprofAddr,
+		TraceOut:      *traceOut,
+		TraceSample:   *traceSample,
+		TraceCapacity: *traceCapacity,
+	}
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch, *kbWatchInterval, jcfg, obs); err != nil {
+		fatal("stopss-server: fatal", "err", err)
 	}
 }
 
@@ -116,7 +193,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("loading ontology %s: %w", name, err)
 	}
-	log.Printf("ontology: %s", ont.Summary())
+	logger.Info("ontology loaded", "source", name, "summary", ont.Summary())
 
 	mode, err := core.ParseMode(opts.Mode)
 	if err != nil {
@@ -167,7 +244,40 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config) error {
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config, obs obsOptions) error {
+	// Execution tracing and the profiling surface come up first so they
+	// cover the boot path (journal replay, snapshot restore, overlay
+	// joins) — often exactly what needs profiling.
+	if obs.TraceOut != "" {
+		f, err := os.Create(obs.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := rtrace.Start(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting runtime trace: %w", err)
+		}
+		defer func() {
+			rtrace.Stop()
+			if err := f.Close(); err != nil {
+				logger.Error("closing runtime trace capture", "path", obs.TraceOut, "err", err)
+			} else {
+				logger.Info("runtime trace written", "path", obs.TraceOut)
+			}
+		}()
+		logger.Info("runtime trace capturing", "path", obs.TraceOut)
+	}
+	if obs.PprofAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", obs.PprofAddr)
+			// DefaultServeMux carries only the pprof handlers here: the
+			// application API below uses its own mux.
+			if err := http.ListenAndServe(obs.PprofAddr, nil); err != nil {
+				logger.Error("pprof server failed", "addr", obs.PprofAddr, "err", err)
+			}
+		}()
+	}
+
 	reg := metrics.NewRegistry()
 	opts.Registry = reg
 	b, notifier, cleanup, err := buildStack(opts)
@@ -181,6 +291,12 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 		kbOriginName = opts.Addr
 	}
 	b.SetKnowledgeOrigin(knowledge.NewOrigin(kbOriginName))
+	// The flag's "0 = off" maps to the tracer's negative sentinel (its
+	// own zero value means "trace everything").
+	sample := obs.TraceSample
+	if sample <= 0 {
+		sample = -1
+	}
 	// The journal attaches BEFORE the snapshot restore so restored
 	// durable cursors merge with the journal's own persisted ones.
 	if jcfg.Dir != "" {
@@ -191,8 +307,9 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 		defer jnl.Close()
 		b.AttachJournal(jnl)
 		st := jnl.Stats()
-		log.Printf("journal %s: %d segments, next seq %d (fsync=%v, segment=%dB, retention=%dB)",
-			jcfg.Dir, st.Segments, st.NextSeq, jcfg.Fsync, jcfg.SegmentBytes, jcfg.RetentionBytes)
+		logger.Info("journal opened", "dir", jcfg.Dir, "segments", st.Segments,
+			"next_seq", st.NextSeq, "fsync", jcfg.Fsync,
+			"segment_bytes", jcfg.SegmentBytes, "retention_bytes", jcfg.RetentionBytes)
 	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {
@@ -202,8 +319,8 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 				return fmt.Errorf("restoring %s: %w", snapshot, restoreErr)
 			}
 			st := b.Stats()
-			log.Printf("restored %d clients, %d subscriptions (%d durable) from %s",
-				st.Clients, st.Subscriptions, st.Durable, snapshot)
+			logger.Info("snapshot restored", "path", snapshot, "clients", st.Clients,
+				"subscriptions", st.Subscriptions, "durable", st.Durable)
 		} else if !os.IsNotExist(err) {
 			return err
 		}
@@ -212,9 +329,9 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 	// journaled but never saw acknowledged.
 	if jcfg.Dir != "" {
 		if n, err := b.CatchUp(); err != nil {
-			log.Printf("journal catch-up: %v", err)
+			logger.Error("journal catch-up failed", "err", err)
 		} else if n > 0 {
-			log.Printf("journal catch-up: re-dispatched %d notifications", n)
+			logger.Info("journal catch-up", "redispatched", n)
 		}
 	}
 
@@ -226,12 +343,16 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			nodeName = opts.Addr
 		}
 		node, err = overlay.NewNode(overlay.Config{
-			Name:      nodeName,
-			Listen:    overlayAddr,
-			Peers:     peers,
-			Transport: overlay.TCP(), // production: real sockets
-			Registry:  reg,
-			Logf:      log.Printf,
+			Name:          nodeName,
+			Listen:        overlayAddr,
+			Peers:         peers,
+			Transport:     overlay.TCP(), // production: real sockets
+			Registry:      reg,
+			TraceSample:   sample,
+			TraceCapacity: obs.TraceCapacity,
+			Logf: func(format string, args ...any) {
+				logger.Info(fmt.Sprintf(format, args...), "subsystem", "overlay")
+			},
 		}, b)
 		if err != nil {
 			return err
@@ -240,12 +361,19 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			return err
 		}
 		defer node.Close()
-		log.Printf("overlay node %q listening on %q, peers %v", nodeName, node.Addr(), peers)
+		logger.Info("overlay node started", "node", nodeName, "listen", node.Addr(), "peers", peers)
+	} else {
+		// Standalone brokers trace too: same stage histograms and span
+		// trees, minus forward/recv hops.
+		b.SetTracer(trace.New(trace.Config{
+			Broker: kbOriginName, Sample: sample,
+			Capacity: obs.TraceCapacity, Registry: reg,
+		}))
 	}
 
 	srv := &http.Server{
 		Addr:              opts.Addr,
-		Handler:           webapp.NewServer(b),
+		Handler:           webapp.NewServer(b, webapp.WithMetrics("stopss", reg)),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -253,18 +381,18 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 	defer stop()
 	if kbWatch != "" {
 		go watchKBFile(ctx, kbWatch, kbWatchInterval, b)
-		log.Printf("watching %s for knowledge deltas every %v", kbWatch, kbWatchInterval)
+		logger.Info("watching knowledge-delta file", "path", kbWatch, "interval", kbWatchInterval)
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on http://%s (matcher=%s mode=%s shards=%d)",
-			opts.Addr, b.Engine().MatcherName(), b.Engine().Mode(), opts.Shards)
+		logger.Info("listening", "addr", opts.Addr, "matcher", b.Engine().MatcherName(),
+			"mode", b.Engine().Mode().String(), "shards", opts.Shards)
 		errCh <- srv.ListenAndServe()
 	}()
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down")
+		logger.Info("shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -283,7 +411,7 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			if err := f.Close(); err != nil {
 				return err
 			}
-			log.Printf("snapshot written to %s", snapshot)
+			logger.Info("snapshot written", "path", snapshot)
 		}
 		return nil
 	case err := <-errCh:
@@ -347,7 +475,7 @@ func (w *kbWatcher) poll() {
 	data, err := os.ReadFile(w.path)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			log.Printf("kb-watch: %v", err)
+			logger.Warn("kb-watch: reading delta file", "path", w.path, "err", err)
 		}
 		return
 	}
@@ -355,7 +483,7 @@ func (w *kbWatcher) poll() {
 		// Shrunk, or the consumed prefix changed: the file was
 		// regenerated, not appended to. Replay from the start —
 		// unchanged lines re-stamp to their old IDs and dedup.
-		log.Printf("kb-watch: %s rewritten; replaying from line 1", w.path)
+		logger.Info("kb-watch: file rewritten; replaying from line 1", "path", w.path)
 		w.offset, w.lineNo, w.prefix = 0, 0, kbFileSum(nil)
 	}
 	// Only complete (newline-terminated) lines are consumed; a
@@ -378,21 +506,21 @@ func (w *kbWatcher) poll() {
 		}
 		d, err := knowledge.Decode(line)
 		if err != nil {
-			log.Printf("kb-watch: %v", err)
+			logger.Warn("kb-watch: malformed delta line", "line", w.lineNo, "err", err)
 			continue
 		}
 		if d, err = knowledge.FileStamp(w.lineNo, d); err != nil {
-			log.Printf("kb-watch: %v", err)
+			logger.Warn("kb-watch: stamping delta", "line", w.lineNo, "err", err)
 			continue
 		}
 		rep, err := w.b.InjectKnowledge(d)
 		if err != nil {
-			log.Printf("kb-watch: applying %s: %v", d, err)
+			logger.Warn("kb-watch: applying delta", "delta", d.String(), "err", err)
 			continue
 		}
 		if rep.Applied {
-			log.Printf("kb-watch: applied %s %s (reindexed %d subs, KB version %s)",
-				d.Op, rep.ID, rep.Reindexed, rep.Version.Digest)
+			logger.Info("kb-watch: delta applied", "op", string(d.Op), "id", rep.ID,
+				"reindexed", rep.Reindexed, "kb_digest", rep.Version.Digest)
 		}
 	}
 	w.offset += int64(complete)

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stopss/internal/broker"
+	"stopss/internal/metrics"
+	"stopss/internal/overlay"
+	"stopss/internal/webapp"
+)
+
+// TestBuildLogger covers the -log-format/-log-level surface: both
+// handler kinds, level filtering, and rejection of unknown values.
+func TestBuildLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := buildLogger(&buf, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg = lg.With("broker", "b1")
+	lg.Info("suppressed")
+	lg.Warn("kept", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Fatalf("info record passed a warn-level logger:\n%s", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("json handler produced non-JSON %q: %v", out, err)
+	}
+	if rec["broker"] != "b1" || rec["msg"] != "kept" || rec["k"] != "v" {
+		t.Fatalf("record %v lacks broker identity or attrs", rec)
+	}
+
+	buf.Reset()
+	lg, err = buildLogger(&buf, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("fine-grained")
+	if !strings.Contains(buf.String(), "fine-grained") {
+		t.Fatalf("debug record missing from a debug-level text logger:\n%s", buf.String())
+	}
+
+	if _, err := buildLogger(io.Discard, "xml", "info"); err == nil {
+		t.Error("unknown format must fail")
+	}
+	if _, err := buildLogger(io.Discard, "text", "loud"); err == nil {
+		t.Error("unknown level must fail")
+	}
+}
+
+// obsBroker is one half of the two-broker observability fixture: a
+// full stack with an overlay node on a real TCP socket and the HTTP
+// API in front.
+type obsBroker struct {
+	b    *broker.Broker
+	node *overlay.Node
+	ts   *httptest.Server
+}
+
+func startObsBroker(t *testing.T, name string, peers ...string) *obsBroker {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	b, notifier, cleanup, err := buildStack(stackOptions{
+		Addr: "127.0.0.1:0", Matcher: "counting", Mode: "semantic", Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cleanup)
+	t.Cleanup(func() { notifier.Close() })
+	node, err := overlay.NewNode(overlay.Config{
+		Name:      name,
+		Listen:    "127.0.0.1:0",
+		Peers:     peers,
+		Transport: overlay.TCP(),
+		Registry:  reg,
+	}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	ts := httptest.NewServer(webapp.NewServer(b, webapp.WithMetrics("stopss", reg)))
+	t.Cleanup(ts.Close)
+	return &obsBroker{b: b, node: node, ts: ts}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestTwoBrokerObservability is the integration scenario behind the CI
+// observability step: two brokers federate over TCP, a publication
+// flows b1→b2, both /metrics endpoints expose non-zero stage
+// histograms, and the origin's /api/trace returns the complete span
+// chain including the remote deliver reported back over the overlay.
+func TestTwoBrokerObservability(t *testing.T) {
+	b1 := startObsBroker(t, "b1")
+	b2 := startObsBroker(t, "b2", b1.node.Addr())
+
+	api := func(ob *obsBroker, path string, body map[string]any) map[string]any {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(ob.ts.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d %v", path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	// Subscriber on b2; wait for its interest to flood to b1.
+	api(b2, "/api/register", map[string]any{"name": "acme", "transport": "sms", "addr": "555-0100"})
+	api(b2, "/api/subscribe", map[string]any{
+		"client": "acme", "subscription": "(university = Toronto)",
+	})
+	waitUntil(t, "subscription propagation to b1", func() bool {
+		return b1.b.Stats().Remote.RemoteSubs >= 1
+	})
+
+	// Publish at b1: must traverse the overlay and deliver at b2.
+	out := api(b1, "/api/publish", map[string]any{"event": "(school, Toronto)"})
+	pubID, _ := out["pub_id"].(string)
+	if pubID == "" {
+		t.Fatalf("publish response missing pub_id: %v", out)
+	}
+
+	// The deliver span is reported back asynchronously; poll the origin's
+	// trace endpoint until the chain closes.
+	traceURL := b1.ts.URL + "/api/trace/" + strings.ReplaceAll(pubID, "#", "%23")
+	kinds := make(map[string]int)
+	waitUntil(t, "complete span chain at the origin", func() bool {
+		resp, err := http.Get(traceURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return false
+		}
+		var tr struct {
+			Spans []struct {
+				Kind   string `json:"kind"`
+				Broker string `json:"broker"`
+			} `json:"spans"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		clear(kinds)
+		for _, s := range tr.Spans {
+			kinds[s.Kind]++
+		}
+		return kinds["deliver"] >= 1
+	})
+	for _, want := range []string{"publish", "match", "forward", "recv", "deliver"} {
+		if kinds[want] == 0 {
+			t.Errorf("span chain lacks a %s span: %v", want, kinds)
+		}
+	}
+
+	// Both brokers expose populated stage histograms.
+	for i, ob := range []*obsBroker{b1, b2} {
+		resp, err := http.Get(ob.ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := string(raw)
+		for _, metric := range []string{
+			"stopss_stage_match_seconds_count",
+			"stopss_stage_publish_seconds_count",
+		} {
+			// b2 never ran a local publish admission: its publish stage
+			// may legitimately be zero, but match must not be.
+			if i == 1 && metric == "stopss_stage_publish_seconds_count" {
+				continue
+			}
+			found := false
+			for _, line := range strings.Split(text, "\n") {
+				if strings.HasPrefix(line, metric) && !strings.HasSuffix(line, " 0") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("broker %d: %s missing or zero in /metrics", i+1, metric)
+			}
+		}
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"stopss/internal/core"
 	"stopss/internal/journal"
@@ -19,6 +21,7 @@ import (
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/notify"
+	"stopss/internal/trace"
 )
 
 // Client is a registered participant: a company (subscriber) or a
@@ -45,16 +48,22 @@ type Stats struct {
 	KBLocal               uint64 // knowledge deltas injected locally
 	KBRemote              uint64 // knowledge deltas applied from peer brokers
 	JournalEnabled        bool
-	Journal               journal.Stats // zero when no journal attached
-	Notify                notify.Stats  // dead-letter/park counters; zero without a notifier
-	Engine                core.Stats    // includes KBDeltas/KBVersion (federation skew check)
-	Remote                RemoteStats   // overlay routing counters; zero when standalone
+	Journal               journal.Stats       // zero when no journal attached
+	Notify                notify.Stats        // dead-letter/park counters; zero without a notifier
+	Engine                core.Stats          // includes KBDeltas/KBVersion (federation skew check)
+	Remote                RemoteStats         // overlay routing counters; zero when standalone
+	Trace                 trace.Stats         // tracer ring/sampling counters
+	Stages                trace.StageSnapshot // per-stage latency histograms (DESIGN §10)
 }
 
 // Broker is the event dispatcher.
 type Broker struct {
 	engine   core.PubSub
 	notifier *notify.Engine
+	// tracer mints publication IDs and records the per-stage span chain
+	// (DESIGN §10). Never nil — New installs a default; SetTracer
+	// replaces it (before traffic, so one identity mints every ID).
+	tracer atomic.Pointer[trace.Tracer]
 
 	mu      sync.Mutex
 	clients map[string]Client
@@ -85,17 +94,63 @@ type Broker struct {
 // New builds a broker over an engine and an optional notifier (nil means
 // matches are returned to the publisher but not delivered anywhere).
 func New(engine core.PubSub, notifier *notify.Engine) *Broker {
-	return &Broker{
+	b := &Broker{
 		engine:   engine,
 		notifier: notifier,
 		clients:  make(map[string]Client),
 		subs:     make(map[message.SubID]string),
 		durable:  make(map[message.SubID]*durableState),
 	}
+	b.tracer.Store(trace.New(trace.Config{}))
+	if notifier != nil {
+		// One delivery hook serves both consumers of per-delivery
+		// outcomes: the tracer (terminal deliver/dead-letter/park spans,
+		// end-to-end latency) and the durable journal (ack/park via
+		// JournalSeq) — see deliveryOutcome.
+		notifier.SetDeliveryHook(b.deliveryOutcome)
+	}
+	return b
 }
 
 // Engine exposes the underlying S-ToPSS engine (mode switching, stats).
 func (b *Broker) Engine() core.PubSub { return b.engine }
+
+// Tracer exposes the broker's publication tracer.
+func (b *Broker) Tracer() *trace.Tracer { return b.tracer.Load() }
+
+// SetTracer replaces the broker's tracer (overlay nodes and servers
+// install one carrying the node name). Call before any traffic: IDs
+// minted by the previous tracer stay resolvable only through it.
+func (b *Broker) SetTracer(t *trace.Tracer) {
+	if t != nil {
+		b.tracer.Store(t)
+	}
+}
+
+// deliveryOutcome is the notifier's DeliveryHook: it closes the
+// publication's span chain for this subscriber and drives the durable
+// ack/park state machine. Returning true claims a failed durable
+// delivery for journal replay (skipping the dead-letter list).
+func (b *Broker) deliveryOutcome(n notify.Notification, _ notify.Route, err error, _ int) bool {
+	tr := b.tracer.Load()
+	if err == nil {
+		if n.JournalSeq != 0 {
+			b.ackDurable(n.SubID, n.JournalSeq)
+		}
+		tr.Outcome(n.PubID, trace.KindDeliver, n.Subscriber, uint64(n.SubID), time.Now(), 0, "")
+		return false
+	}
+	parked := false
+	if n.JournalSeq != 0 {
+		parked = b.parkDurable(n.SubID, n.JournalSeq)
+	}
+	kind := trace.KindDeadLetter
+	if parked {
+		kind = trace.KindPark
+	}
+	tr.Outcome(n.PubID, kind, n.Subscriber, uint64(n.SubID), time.Now(), 0, err.Error())
+	return parked
+}
 
 // Register adds or updates a client. When the client has a route and a
 // notifier is attached, the route is installed.
@@ -203,13 +258,24 @@ type PublishResult struct {
 	// JournalSeq is the publication's journal sequence number (0 when
 	// no journal is attached).
 	JournalSeq uint64
+	// PubID is the publication's federation-wide trace identity
+	// (`broker#epoch/seq`); feed it to GET /api/trace/<pubID>.
+	PubID string
 }
 
 // Publish runs the publication through the engine and dispatches one
 // notification per match. Publishing does not require registration —
 // candidates in the demo scenario submit resumes anonymously.
 func (b *Broker) Publish(ev message.Event) (PublishResult, error) {
-	return b.publish(ev, false)
+	tr := b.tracer.Load()
+	pubID := tr.NewPubID()
+	t0 := time.Now()
+	tr.StampLocal(pubID, t0)
+	res, err := b.publish(ev, pubID, false)
+	if err == nil {
+		tr.Observe(pubID, trace.KindPublish, t0, time.Since(t0))
+	}
+	return res, err
 }
 
 // DeliverRemote accepts a publication forwarded by a peer broker: it is
@@ -217,15 +283,26 @@ func (b *Broker) Publish(ev message.Event) (PublishResult, error) {
 // to the forwarder again — the overlay layer owns inter-broker
 // propagation (and its loop prevention).
 func (b *Broker) DeliverRemote(ev message.Event) (PublishResult, error) {
-	return b.publish(ev, true)
+	return b.publish(ev, "", true)
 }
 
-func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
+// DeliverRemotePub is DeliverRemote carrying the publication's
+// federation-wide identity, so local matching/journal/delivery spans
+// land on the trace the origin broker started. The overlay node stamps
+// the trace (Tracer.StampRemote) before calling this.
+func (b *Broker) DeliverRemotePub(ev message.Event, pubID string) (PublishResult, error) {
+	return b.publish(ev, pubID, true)
+}
+
+func (b *Broker) publish(ev message.Event, pubID string, remote bool) (PublishResult, error) {
+	tr := b.tracer.Load()
+	tMatch := time.Now()
 	res, err := b.engine.Publish(ev)
 	if err != nil {
 		return PublishResult{}, err
 	}
-	out := PublishResult{Matches: res.Matches}
+	tr.Observe(pubID, trace.KindMatch, tMatch, time.Since(tMatch))
+	out := PublishResult{Matches: res.Matches, PubID: pubID}
 
 	// Journal append BEFORE notification fan-out: once the record is
 	// in the log, a crash anywhere downstream cannot lose a durable
@@ -239,12 +316,14 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 	var durableIDs map[message.SubID]bool
 	if j != nil {
 		ids := b.durableMatches(res.Matches)
-		out.JournalSeq, err = j.AppendFunc(ev, remote, func(seq uint64) {
+		tAppend := time.Now()
+		out.JournalSeq, err = j.AppendTraced(ev, remote, pubID, func(seq uint64) {
 			b.registerPending(ids, seq)
 		})
 		if err != nil {
 			return PublishResult{}, fmt.Errorf("broker: journaling publication: %w", err)
 		}
+		tr.Observe(pubID, trace.KindJournal, tAppend, time.Since(tAppend))
 		if len(ids) > 0 {
 			durableIDs = make(map[message.SubID]bool, len(ids))
 			for _, id := range ids {
@@ -262,7 +341,7 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 	f := b.forwarder
 	b.mu.Unlock()
 	if f != nil && !remote {
-		f.PublicationAccepted(ev)
+		f.PublicationAccepted(ev, pubID)
 	}
 
 	if b.notifier == nil {
@@ -279,6 +358,7 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 			Subscriber: sub.Subscriber,
 			Event:      ev,
 			Mode:       mode,
+			PubID:      pubID,
 		}
 		if durableIDs[id] {
 			n.JournalSeq = out.JournalSeq
@@ -288,10 +368,12 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 				// No endpoint right now: the journal keeps the event;
 				// replay on reconnect redelivers it.
 				b.parkDurable(id, out.JournalSeq)
+				tr.Outcome(pubID, trace.KindPark, sub.Subscriber, uint64(id), time.Now(), 0, "no route")
 				out.Parked++
 				continue
 			}
 			out.Dropped++
+			tr.Outcome(pubID, trace.KindUndeliverab, sub.Subscriber, uint64(id), time.Now(), 0, "no route")
 			b.mu.Lock()
 			b.dropsNoRoute++
 			b.mu.Unlock()
@@ -300,10 +382,12 @@ func (b *Broker) publish(ev message.Event, remote bool) (PublishResult, error) {
 		if err := b.notifier.Dispatch(n); err != nil {
 			if durableIDs[id] {
 				b.parkDurable(id, out.JournalSeq)
+				tr.Outcome(pubID, trace.KindPark, sub.Subscriber, uint64(id), time.Now(), 0, err.Error())
 				out.Parked++
 				continue
 			}
 			out.Dropped++
+			tr.Outcome(pubID, trace.KindUndeliverab, sub.Subscriber, uint64(id), time.Now(), 0, err.Error())
 			b.mu.Lock()
 			b.dropsNoRoute++
 			b.mu.Unlock()
@@ -349,5 +433,8 @@ func (b *Broker) Stats() Stats {
 	if rs != nil {
 		s.Remote = rs()
 	}
+	tr := b.tracer.Load()
+	s.Trace = tr.Stats()
+	s.Stages = tr.Stages()
 	return s
 }

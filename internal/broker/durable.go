@@ -3,11 +3,13 @@ package broker
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"stopss/internal/core"
 	"stopss/internal/journal"
 	"stopss/internal/message"
 	"stopss/internal/notify"
+	"stopss/internal/trace"
 )
 
 // Durable subscriptions (DESIGN.md §9): when a journal is attached,
@@ -70,26 +72,16 @@ func cursorKey(id message.SubID) string {
 	return "sub-" + strconv.FormatUint(uint64(id), 10)
 }
 
-// AttachJournal binds a publication journal to the broker and installs
-// the delivery-acknowledgement hook on the notifier. Must be called
-// before publishing; typically right after New and before Restore (so
-// restored durable cursors merge with the journal's own).
+// AttachJournal binds a publication journal to the broker. The
+// delivery-acknowledgement hook that drives durable ack/park is
+// installed by New (deliveryOutcome in broker.go — it also closes
+// trace span chains, so it is live with or without a journal). Must be
+// called before publishing; typically right after New and before
+// Restore (so restored durable cursors merge with the journal's own).
 func (b *Broker) AttachJournal(j *journal.Journal) {
 	b.mu.Lock()
 	b.journal = j
 	b.mu.Unlock()
-	if b.notifier != nil {
-		b.notifier.SetDeliveryHook(func(n notify.Notification, _ notify.Route, err error, _ int) bool {
-			if n.JournalSeq == 0 {
-				return false
-			}
-			if err == nil {
-				b.ackDurable(n.SubID, n.JournalSeq)
-				return false
-			}
-			return b.parkDurable(n.SubID, n.JournalSeq)
-		})
-	}
 }
 
 // Journal exposes the attached journal (nil when none).
@@ -431,7 +423,9 @@ func (b *Broker) replay(ids []message.SubID) (int, error) {
 				Event:      rec.Event,
 				Mode:       mode.String(),
 				JournalSeq: rec.Seq,
+				PubID:      rec.PubID,
 			}
+			b.tracer.Load().Observe(rec.PubID, trace.KindReplay, time.Now(), 0)
 			if _, routed := b.notifier.RouteOf(t.client); !routed {
 				b.parkDurable(t.id, rec.Seq)
 				continue

@@ -26,9 +26,12 @@ type Forwarder interface {
 	// pre-canonicalization form.
 	SubscriptionChanged(sub message.Subscription, added bool)
 	// PublicationAccepted reports a locally published event after local
-	// matching and notification dispatch. Publications injected by
+	// matching and notification dispatch, together with the publication
+	// ID the broker's tracer minted (`broker#epoch/seq`) — the overlay
+	// uses it both as the federation-wide dedup key and as the trace
+	// identity carried on pub frames. Publications injected by
 	// DeliverRemote are not reported.
-	PublicationAccepted(ev message.Event)
+	PublicationAccepted(ev message.Event, pubID string)
 	// AdvertisementChanged reports a local advertisement being recorded
 	// (added=true) or withdrawn.
 	AdvertisementChanged(adv matching.Advertisement, added bool)

@@ -18,6 +18,7 @@ type recordingForwarder struct {
 	subs    []message.Subscription
 	subAdds []bool
 	pubs    []message.Event
+	pubIDs  []string
 	advs    []matching.Advertisement
 	advAdds []bool
 	kbs     []knowledge.Delta
@@ -30,10 +31,11 @@ func (f *recordingForwarder) SubscriptionChanged(sub message.Subscription, added
 	f.subAdds = append(f.subAdds, added)
 }
 
-func (f *recordingForwarder) PublicationAccepted(ev message.Event) {
+func (f *recordingForwarder) PublicationAccepted(ev message.Event, pubID string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.pubs = append(f.pubs, ev)
+	f.pubIDs = append(f.pubIDs, pubID)
 }
 
 func (f *recordingForwarder) AdvertisementChanged(adv matching.Advertisement, added bool) {

@@ -224,13 +224,20 @@ func (j *Journal) Append(ev message.Event, remote bool) (uint64, error) {
 // while seq N-1 exists but is untracked. The callback must not call
 // back into the journal.
 func (j *Journal) AppendFunc(ev message.Event, remote bool, onSeq func(uint64)) (uint64, error) {
+	return j.AppendTraced(ev, remote, "", onSeq)
+}
+
+// AppendTraced is AppendFunc with the publication's trace identity
+// (internal/trace pub ID) stored on the record, so catch-up replay can
+// re-correlate redelivered notifications with their trace.
+func (j *Journal) AppendTraced(ev message.Event, remote bool, pubID string, onSeq func(uint64)) (uint64, error) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
 		return 0, fmt.Errorf("journal: closed")
 	}
 	seq := j.nextSeq
-	frame, err := EncodeRecord(Record{Seq: seq, Remote: remote, Event: ev})
+	frame, err := EncodeRecord(Record{Seq: seq, Remote: remote, Event: ev, PubID: pubID})
 	if err != nil {
 		j.mu.Unlock()
 		return 0, err

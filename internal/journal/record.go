@@ -28,6 +28,12 @@ type Record struct {
 	Seq    uint64        `json:"seq"`              // journal-assigned, monotonic from 1
 	Remote bool          `json:"remote,omitempty"` // arrived via the federation overlay
 	Event  message.Event `json:"event"`            // reuses the message wire codecs
+	// PubID is the publication's federation-wide identity
+	// (`broker#epoch/seq`, internal/trace). Catch-up replay propagates
+	// it into re-dispatched notifications so replayed deliveries stay
+	// correlated with their original trace. Empty in records written
+	// before tracing existed — the field is format-compatible both ways.
+	PubID string `json:"pub_id,omitempty"`
 }
 
 // Frame layout: 4-byte big-endian payload length, 4-byte big-endian

@@ -135,21 +135,72 @@ func (h *Histogram) Snapshot() Snapshot {
 	return s
 }
 
+// Quantile estimates the q-quantile. An empty histogram reports 0 (not
+// NaN); q is clamped to [0, 1]; the estimate is clamped to the exact
+// observed [min, max], so a single observation reports itself exactly
+// and the overflow bucket (>100s) cannot inflate the answer past the
+// largest duration actually seen.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
 // quantileLocked returns the upper bound of the bucket containing the
-// q-quantile. Callers hold h.mu.
+// q-quantile, clamped to the observed range. Callers hold h.mu.
 func (h *Histogram) quantileLocked(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 || math.IsNaN(q) {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	target := uint64(q * float64(h.count))
 	if target >= h.count {
 		target = h.count - 1
 	}
+	est := h.max
 	var cum uint64
 	for i, n := range h.buckets {
 		cum += n
 		if cum > target {
-			return boundOf(i)
+			est = boundOf(i)
+			break
 		}
 	}
-	return h.max
+	if est < h.min {
+		est = h.min
+	}
+	if est > h.max {
+		est = h.max
+	}
+	return est
+}
+
+// Buckets copies the cumulative bucket counts with their upper bounds,
+// the shape Prometheus exposition wants. The final entry is the
+// overflow bucket (upper bound +Inf, rendered by the caller); bound for
+// it is reported as the exact observed max.
+func (h *Histogram) Buckets() []BucketCount {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]BucketCount, 0, bucketCount)
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		out = append(out, BucketCount{Bound: boundOf(i), Cum: cum})
+	}
+	return out
+}
+
+// BucketCount is one cumulative histogram bucket: the count of
+// observations at or below Bound.
+type BucketCount struct {
+	Bound time.Duration
+	Cum   uint64
 }
 
 // String renders the snapshot compactly.

@@ -159,6 +159,103 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.P50 != 0 || s.P99 != 0 || s.Mean != 0 {
+		t.Errorf("empty snapshot has nonzero quantiles: %+v", s)
+	}
+}
+
+func TestQuantileClamping(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Errorf("q<0 not clamped: %v vs %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(7); got != h.Quantile(1) {
+		t.Errorf("q>1 not clamped: %v vs %v", got, h.Quantile(1))
+	}
+	if got := h.Quantile(1); got != 2*time.Millisecond {
+		t.Errorf("Quantile(1) = %v, want exact max 2ms", got)
+	}
+	if got := h.Quantile(0); got < time.Millisecond || got > 2*time.Millisecond {
+		t.Errorf("Quantile(0) = %v outside observed [1ms, 2ms]", got)
+	}
+}
+
+func TestQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	d := 1234567 * time.Nanosecond
+	h.Observe(d)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != d {
+			t.Errorf("Quantile(%v) = %v, want exact single observation %v", q, got, d)
+		}
+	}
+	s := h.Snapshot()
+	if s.P50 != d || s.P99 != d {
+		t.Errorf("snapshot quantiles %v/%v, want %v", s.P50, s.P99, d)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	// Observations beyond the top bucket (>100s) must report the exact
+	// max, not the top bucket's bound.
+	var h Histogram
+	d := 10 * time.Minute
+	for i := 0; i < 10; i++ {
+		h.Observe(d)
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != d {
+			t.Errorf("Quantile(%v) = %v, want exact overflow max %v", q, got, d)
+		}
+	}
+}
+
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	// A bucket's upper bound can exceed the largest observation in it;
+	// quantiles must never report a value outside [min, max].
+	var h Histogram
+	lo, hi := 101*time.Microsecond, 102*time.Microsecond
+	h.Observe(lo)
+	h.Observe(hi)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%v) = %v outside observed [%v, %v]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestBucketsCumulative(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Microsecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Second)
+	bs := h.Buckets()
+	if len(bs) != bucketCount {
+		t.Fatalf("got %d buckets, want %d", len(bs), bucketCount)
+	}
+	var prev uint64
+	for i, b := range bs {
+		if b.Cum < prev {
+			t.Fatalf("bucket %d cumulative count decreased: %d < %d", i, b.Cum, prev)
+		}
+		prev = b.Cum
+	}
+	if bs[len(bs)-1].Cum != 3 {
+		t.Fatalf("final cumulative count %d, want 3", bs[len(bs)-1].Cum)
+	}
+}
+
 func TestBucketMonotonicity(t *testing.T) {
 	prev := time.Duration(0)
 	for i := 0; i < bucketCount; i++ {

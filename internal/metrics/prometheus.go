@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every metric in the registry in the
+// Prometheus text exposition format (version 0.0.4).
+//
+// Metric names are prefixed with prefix + "_" (when non-empty) and
+// sanitized: any rune outside [a-zA-Z0-9_:] becomes '_', so the
+// registry's dotted names ("stage.match") surface as Prometheus-legal
+// ones ("stage_match"). labels are attached to every sample, values
+// escaped per the format (backslash, double-quote, newline).
+//
+// Counters render as `<name>_total` counter samples. Gauges render as
+// gauge samples. Histograms render as native Prometheus histograms in
+// SECONDS (the ecosystem convention): cumulative `le` buckets, then
+// `_sum` and `_count`. Only buckets whose cumulative count differs
+// from the previous one are emitted, plus the mandatory `le="+Inf"` —
+// sound because buckets are cumulative, and it keeps 73 log-scale
+// buckets from bloating every scrape.
+func (r *Registry) WritePrometheus(w io.Writer, prefix string, labels map[string]string) error {
+	lbl := renderLabels(labels)
+
+	type counterSample struct {
+		name string
+		v    uint64
+	}
+	type gaugeSample struct {
+		name string
+		v    int64
+	}
+	type histSample struct {
+		name    string
+		buckets []BucketCount
+		snap    Snapshot
+	}
+
+	// Snapshot under the registry lock, render outside it: Observe and
+	// Inc during a scrape must never block on the writer.
+	r.mu.Lock()
+	counters := make([]counterSample, 0, len(r.counters))
+	for name, c := range r.counters {
+		counters = append(counters, counterSample{sanitizeName(prefix, name), c.Value()})
+	}
+	gauges := make([]gaugeSample, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges = append(gauges, gaugeSample{sanitizeName(prefix, name), g.Value()})
+	}
+	hists := make([]histSample, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		hists = append(hists, histSample{sanitizeName(prefix, name) + "_seconds", h.Buckets(), h.Snapshot()})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	var b strings.Builder
+	for _, c := range counters {
+		fmt.Fprintf(&b, "# TYPE %s_total counter\n", c.name)
+		fmt.Fprintf(&b, "%s_total%s %d\n", c.name, lbl, c.v)
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", g.name)
+		fmt.Fprintf(&b, "%s%s %d\n", g.name, lbl, g.v)
+	}
+	for _, h := range hists {
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", h.name)
+		var prev uint64
+		for i, bc := range h.buckets {
+			if i > 0 && bc.Cum == prev {
+				continue
+			}
+			prev = bc.Cum
+			fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				h.name, bucketLabels(labels, formatSeconds(bc.Bound)), bc.Cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", h.name, bucketLabels(labels, "+Inf"), h.snap.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", h.name, lbl, formatSeconds(h.snap.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", h.name, lbl, h.snap.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// sanitizeName joins prefix and name and maps every rune outside the
+// Prometheus metric-name alphabet to '_'. A leading digit gets a '_'
+// prepended.
+func sanitizeName(prefix, name string) string {
+	full := name
+	if prefix != "" {
+		full = prefix + "_" + name
+	}
+	var b strings.Builder
+	b.Grow(len(full) + 1)
+	for i, r := range full {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// renderLabels builds the `{k="v",...}` clause ("" when empty), keys
+// sorted, values escaped.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + labelPairs(labels) + "}"
+}
+
+// bucketLabels builds the label clause for one histogram bucket,
+// merging the shared labels with le.
+func bucketLabels(labels map[string]string, le string) string {
+	pairs := labelPairs(labels)
+	if pairs != "" {
+		pairs += ","
+	}
+	return "{" + pairs + `le="` + le + `"}`
+}
+
+func labelPairs(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, sanitizeName("", k)+`="`+escapeLabelValue(labels[k])+`"`)
+	}
+	return strings.Join(parts, ",")
+}
+
+// escapeLabelValue escapes backslash, double-quote and newline, the
+// three characters the text format requires escaping in label values.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatSeconds renders a duration as a float second count with enough
+// precision for nanosecond-scale bounds and no exponent notation.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', -1, 64)
+}

@@ -1,0 +1,389 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pubs.accepted").Add(42)
+	r.Counter("drops").Inc()
+	r.Gauge("queue.depth").Set(-3)
+	h := r.Histogram("stage.match")
+	h.Observe(time.Microsecond)
+	h.Observe(time.Microsecond)
+	h.Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "stopss", map[string]string{
+		"broker": `b"1\x` + "\n2", // exercises every escape
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("prometheus output drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusParsesStrict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(7)
+	r.Gauge("g").Set(5)
+	h := r.Histogram("lat")
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "t", map[string]string{"node": "n1"}); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := parsePrometheusText(b.String())
+	if err != nil {
+		t.Fatalf("strict parse failed: %v\n%s", err, b.String())
+	}
+	if fams["t_a_total"] == nil || fams["t_g"] == nil || fams["t_lat_seconds"] == nil {
+		t.Fatalf("missing families: %v", fams)
+	}
+}
+
+func TestPrometheusHistogramCumulativity(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for _, d := range []time.Duration{time.Microsecond, time.Millisecond, time.Second, 10 * time.Minute} {
+		h.Observe(d)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := parsePrometheusText(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["lat_seconds"]
+	if f == nil || f.typ != "histogram" {
+		t.Fatalf("histogram family missing: %v", fams)
+	}
+	if err := f.checkHistogram(); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+}
+
+// TestConcurrentScrape hammers the registry with Inc/Observe while
+// scraping; run under -race this proves exposition never tears.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(time.Duration(i%1000) * time.Microsecond)
+				i++
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b, "x", map[string]string{"n": "1"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := parsePrometheusText(b.String()); err != nil {
+			t.Fatalf("scrape %d unparseable: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// --- strict test-side parser for the text exposition format ---
+
+type promFamily struct {
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheusText is a deliberately strict parser: every sample
+// line must be `name{labels} value` or `name value`, every metric must
+// follow its own # TYPE line, label values must use only the three
+// legal escapes, and names must match the Prometheus grammar.
+func parsePrometheusText(text string) (map[string]*promFamily, error) {
+	fams := make(map[string]*promFamily)
+	var current string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			name, typ := parts[2], parts[3]
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: invalid metric name %q", ln+1, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: invalid type %q", ln+1, typ)
+			}
+			if fams[name] != nil {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", ln+1, name)
+			}
+			fams[name] = &promFamily{typ: typ}
+			current = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count", "_total"} {
+			if fams[base] == nil && strings.HasSuffix(base, suf) {
+				if f := fams[strings.TrimSuffix(base, suf)]; f != nil {
+					base = strings.TrimSuffix(base, suf)
+					break
+				}
+			}
+		}
+		// counters expose name_total under a TYPE of the same full name
+		if fams[base] == nil && fams[s.name] == nil {
+			return nil, fmt.Errorf("sample %q has no TYPE", s.name)
+		}
+		if fams[base] == nil {
+			base = s.name
+		}
+		if base != current && fams[base] == nil {
+			return nil, fmt.Errorf("sample %q outside its family block", s.name)
+		}
+		fams[base].samples = append(fams[base].samples, s)
+	}
+	return fams, nil
+}
+
+func parseSampleLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else {
+		nameEnd = strings.IndexByte(rest, ' ')
+		if nameEnd < 0 {
+			return s, fmt.Errorf("no value separator in %q", line)
+		}
+	}
+	s.name = rest[:nameEnd]
+	if !validMetricName(s.name) {
+		return s, fmt.Errorf("invalid metric name %q", s.name)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimPrefix(rest, " ")
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+func parseLabels(block string, into map[string]string) error {
+	i := 0
+	for i < len(block) {
+		eq := strings.IndexByte(block[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without '=' in %q", block)
+		}
+		key := block[i : i+eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(block) || block[i] != '"' {
+			return fmt.Errorf("label value not quoted in %q", block)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(block) {
+				return fmt.Errorf("unterminated label value in %q", block)
+			}
+			c := block[i]
+			if c == '\\' {
+				if i+1 >= len(block) {
+					return fmt.Errorf("dangling escape in %q", block)
+				}
+				switch block[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("illegal escape \\%c in %q", block[i+1], block)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return fmt.Errorf("raw newline in label value in %q", block)
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[key] = val.String()
+		if i < len(block) {
+			if block[i] != ',' {
+				return fmt.Errorf("expected ',' after label in %q", block)
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+func validMetricName(n string) bool {
+	if n == "" {
+		return false
+	}
+	for i, r := range n {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(n string) bool {
+	if n == "" || strings.HasPrefix(n, "__") {
+		return false
+	}
+	for i, r := range n {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// checkHistogram validates the histogram invariants: le buckets are
+// cumulative and non-decreasing, a +Inf bucket exists and equals
+// _count, and _sum is present.
+func (f *promFamily) checkHistogram() error {
+	var prevLE, prevCum float64
+	prevLE = -1
+	var infCum, count float64
+	haveInf, haveSum, haveCount := false, false, false
+	for _, s := range f.samples {
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le := s.labels["le"]
+			if le == "" {
+				return fmt.Errorf("bucket without le label")
+			}
+			var bound float64
+			if le == "+Inf" {
+				haveInf = true
+				infCum = s.value
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("bad le %q: %v", le, err)
+			}
+			if bound <= prevLE {
+				return fmt.Errorf("le bounds not increasing: %v after %v", bound, prevLE)
+			}
+			if s.value < prevCum {
+				return fmt.Errorf("bucket counts not cumulative: %v after %v", s.value, prevCum)
+			}
+			prevLE, prevCum = bound, s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			haveSum = true
+		case strings.HasSuffix(s.name, "_count"):
+			haveCount = true
+			count = s.value
+		}
+	}
+	if !haveInf {
+		return fmt.Errorf("missing le=\"+Inf\" bucket")
+	}
+	if !haveSum || !haveCount {
+		return fmt.Errorf("missing _sum or _count")
+	}
+	if infCum != count {
+		return fmt.Errorf("+Inf bucket %v != _count %v", infCum, count)
+	}
+	if prevCum > infCum {
+		return fmt.Errorf("finite bucket %v exceeds +Inf %v", prevCum, infCum)
+	}
+	return nil
+}

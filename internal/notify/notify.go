@@ -37,6 +37,11 @@ type Notification struct {
 	// The broker's delivery hook uses it to advance the durable cursor
 	// on acknowledged delivery.
 	JournalSeq uint64 `json:"journal_seq,omitempty"`
+	// PubID is the publication's federation-wide trace identity
+	// (internal/trace, `broker#epoch/seq`). The broker's delivery hook
+	// closes the publication's span chain with it; subscribers can use
+	// it to correlate a notification with `GET /api/trace/<pubID>`.
+	PubID string `json:"pub_id,omitempty"`
 }
 
 // Encode renders the notification as one JSON line (no trailing newline).

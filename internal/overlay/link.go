@@ -56,7 +56,7 @@ type link struct {
 
 	peer string // peer node name, fixed by the hello exchange
 
-	outq chan Frame
+	outq chan outFrame
 	done chan struct{}
 	once sync.Once
 
@@ -67,9 +67,12 @@ type link struct {
 	// poll (via Node.Pending) to detect quiescence without timers.
 	inflight atomic.Int64
 
-	// Per-link frame counters, bound by the Node at attach time so the
-	// hot paths skip registry lookups.
+	// Per-link frame counters and the queue-wait histogram (time a
+	// frame spends between send's enqueue and the writer picking it
+	// up — the per-link backpressure signal of DESIGN §10), bound by
+	// the Node at attach time so the hot paths skip registry lookups.
 	sent, recv *metrics.Counter
+	qwait      *metrics.Histogram
 
 	// interests holds subscriptions received FROM this link: the
 	// downstream demand reachable through the peer. Publications are
@@ -95,7 +98,7 @@ func newLink(conn Conn, localName string) (*link, error) {
 		conn:      conn,
 		bw:        bufio.NewWriter(conn),
 		br:        bufio.NewReader(conn),
-		outq:      make(chan Frame, outqCap),
+		outq:      make(chan outFrame, outqCap),
 		done:      make(chan struct{}),
 		interests: make(map[routeID]routeEntry),
 		adverts:   make(map[advID]advEntry),
@@ -131,6 +134,13 @@ func newLink(conn Conn, localName string) (*link, error) {
 	return l, nil
 }
 
+// outFrame is one queued outbound frame stamped with its enqueue time,
+// so the writer can report how long it waited for the socket.
+type outFrame struct {
+	f  Frame
+	at time.Time
+}
+
 // writer drains the outbound queue onto the socket, batching frames
 // already queued before each flush. It exits when the link fails or is
 // closed.
@@ -138,17 +148,19 @@ func (l *link) writer(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		select {
-		case f := <-l.outq:
+		case of := <-l.outq:
 			batch := int64(1)
-			if err := writeFrame(l.bw, f); err != nil {
+			l.observeWait(of)
+			if err := writeFrame(l.bw, of.f); err != nil {
 				l.close()
 				return
 			}
 		drain:
 			for {
 				select {
-				case f := <-l.outq:
-					if err := writeFrame(l.bw, f); err != nil {
+				case of := <-l.outq:
+					l.observeWait(of)
+					if err := writeFrame(l.bw, of.f); err != nil {
 						l.close()
 						return
 					}
@@ -171,6 +183,13 @@ func (l *link) writer(wg *sync.WaitGroup) {
 	}
 }
 
+// observeWait feeds the per-link queue-wait histogram.
+func (l *link) observeWait(of outFrame) {
+	if l.qwait != nil {
+		l.qwait.Observe(time.Since(of.at))
+	}
+}
+
 // send enqueues one frame without ever blocking on the network. A full
 // queue drops the link (slow peer) instead of stalling the caller.
 func (l *link) send(f Frame) error {
@@ -183,7 +202,7 @@ func (l *link) send(f Frame) error {
 	// sits in the queue uncounted (quiescence detection relies on this).
 	l.inflight.Add(1)
 	select {
-	case l.outq <- f:
+	case l.outq <- outFrame{f: f, at: time.Now()}:
 		if l.sent != nil {
 			l.sent.Inc()
 		}

@@ -1,11 +1,8 @@
 package overlay
 
 import (
-	cryptorand "crypto/rand"
-	"encoding/hex"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"stopss/internal/broker"
@@ -14,6 +11,7 @@ import (
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/metrics"
+	"stopss/internal/trace"
 )
 
 // Config describes one overlay node.
@@ -40,6 +38,13 @@ type Config struct {
 	// Registry receives the overlay counters; nil allocates a private
 	// one (see Node.Registry).
 	Registry *metrics.Registry
+	// TraceSample is the tracer's head-based sampling rate: keep 1 in
+	// TraceSample publications. 0 defaults to 1 (trace everything);
+	// negative disables tracing (see trace.Config.Sample).
+	TraceSample int
+	// TraceCapacity bounds the tracer's in-memory ring of recent traces
+	// (0 = trace package default, 1024).
+	TraceCapacity int
 	// Logf, when set, receives one line per link event.
 	Logf func(format string, args ...any)
 }
@@ -67,13 +72,12 @@ type Node struct {
 	seen  map[string]bool
 	seenQ []string
 
-	// epoch makes publication IDs unique across node incarnations: a
-	// broker that crashes and rejoins restarts pubSeq at zero, and
-	// without an epoch its fresh IDs would land in peers' dedup windows
-	// left over from the previous life, silently swallowing its
-	// publications (found by the internal/sim crash/rejoin scenario).
-	epoch  string
-	pubSeq atomic.Uint64
+	// trc is the tracer NewNode installs on the broker: it mints the
+	// node-named publication IDs (`name#epoch/seq`; the per-incarnation
+	// epoch keeps a restarted broker's fresh IDs out of peers' stale
+	// dedup windows — found by the internal/sim crash/rejoin scenario)
+	// and records the span chain tracing each publication's journey.
+	trc *trace.Tracer
 
 	subsForwarded, subsPruned, subsQuenched, subsReissued *metrics.Counter
 	pubsForwarded, pubsReceived, pubsDeduped              *metrics.Counter
@@ -105,7 +109,6 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 		b:         b,
 		reg:       reg,
 		transport: tr,
-		epoch:     newEpoch(),
 		seen:      make(map[string]bool),
 
 		subsForwarded:    reg.Counter("overlay.subs_forwarded"),
@@ -121,10 +124,25 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 		kbDeduped:        reg.Counter("overlay.kb_deduped"),
 		kbDeltas:         reg.Gauge("overlay.kb_deltas"),
 	}
+	// The node owns the broker's tracer: publication IDs must carry the
+	// node's overlay name (peers dedup and trace by them), and the
+	// tracer's reporter needs the links to send trace reports upstream.
+	n.trc = trace.New(trace.Config{
+		Broker:   cfg.Name,
+		Sample:   cfg.TraceSample,
+		Capacity: cfg.TraceCapacity,
+		Registry: reg,
+	})
+	n.trc.SetReporter(n.reportUpstream)
+	b.SetTracer(n.trc)
 	b.SetForwarder(n)
 	b.SetRemoteStatsSource(n.remoteStats)
 	return n, nil
 }
+
+// Tracer exposes the node's publication tracer (shared with the
+// broker).
+func (n *Node) Tracer() *trace.Tracer { return n.trc }
 
 // Registry exposes the node's metrics registry.
 func (n *Node) Registry() *metrics.Registry { return n.reg }
@@ -221,6 +239,7 @@ func (n *Node) attach(conn Conn) error {
 	}
 	l.sent = n.reg.Counter("overlay.link." + l.peer + ".frames_sent")
 	l.recv = n.reg.Counter("overlay.link." + l.peer + ".frames_recv")
+	l.qwait = n.reg.Histogram("overlay.link." + l.peer + ".queue_wait")
 	n.links = append(n.links, l)
 	n.wg.Add(1)
 	go l.writer(&n.wg)
@@ -386,13 +405,13 @@ func (n *Node) SubscriptionChanged(sub message.Subscription, added bool) {
 }
 
 // PublicationAccepted implements broker.Forwarder for local
-// publications.
-func (n *Node) PublicationAccepted(ev message.Event) {
-	id := fmt.Sprintf("%s#%s/%d", n.cfg.Name, n.epoch, n.pubSeq.Add(1))
+// publications. The broker's tracer (which this node installed) minted
+// pubID, so it already carries this node's name and incarnation epoch.
+func (n *Node) PublicationAccepted(ev message.Event, pubID string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.markSeen(id)
-	n.routePub(ev, id, []string{n.cfg.Name}, nil)
+	n.markSeen(pubID)
+	n.routePub(ev, pubID, []string{n.cfg.Name}, nil)
 }
 
 // KnowledgeChanged implements broker.Forwarder for locally injected
@@ -578,14 +597,61 @@ func (n *Node) handleFrame(l *link, f Frame) {
 		n.mu.Unlock()
 
 		n.pubsReceived.Inc()
+		// Inherit the origin's sampling decision: spans on the frame
+		// mean the publication is traced; record our hop's recv span.
+		now := time.Now()
+		if n.trc.StampRemote(f.PubID, l.peer, f.Trace, now) {
+			n.trc.Recv(f.PubID, l.peer, now)
+		}
 		// Local delivery runs outside n.mu: it takes broker and engine
 		// locks and must not nest under routing state.
-		if _, err := n.b.DeliverRemote(*f.Event); err != nil {
+		if _, err := n.b.DeliverRemotePub(*f.Event, f.PubID); err != nil {
 			n.logf("overlay %s: remote publication rejected: %v", n.cfg.Name, err)
 		}
 		n.mu.Lock()
 		n.routePub(*f.Event, f.PubID, appendHop(f.Hops, n.cfg.Name), l)
 		n.mu.Unlock()
+
+	case frameTrace:
+		if f.PubID == "" || len(f.Trace) == 0 {
+			return
+		}
+		// Fold the downstream broker's span set into ours; when it told
+		// us something new and we are not the origin, relay our merged
+		// set one hop further upstream. Dedup by (broker, span seq)
+		// makes the relay idempotent, so repeated reports converge
+		// instead of echoing.
+		if !n.trc.Merge(f.PubID, f.Trace) {
+			return
+		}
+		if up := n.trc.Upstream(f.PubID); up != "" && up != l.peer {
+			n.sendTraceReport(f.PubID, up, n.trc.Spans(f.PubID))
+		}
+	}
+}
+
+// reportUpstream is the tracer's Reporter: a terminal delivery outcome
+// on this broker, for a publication that arrived from a peer, is sent
+// back along the arrival link so the origin assembles the full tree.
+// Runs on notify worker goroutines — send only enqueues.
+func (n *Node) reportUpstream(pubID, upstream string, spans []trace.Span) {
+	n.sendTraceReport(pubID, upstream, spans)
+}
+
+// sendTraceReport sends a trace frame to the named peer, if a link to
+// it is up (trace reports are best-effort diagnostics: a torn link
+// loses the report, never the delivery).
+func (n *Node) sendTraceReport(pubID, peer string, spans []trace.Span) {
+	if len(spans) == 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, l := range n.links {
+		if l.peer == peer {
+			l.send(Frame{Type: frameTrace, PubID: pubID, Trace: spans})
+			return
+		}
 	}
 }
 
@@ -668,8 +734,12 @@ func (n *Node) requench(l *link) {
 
 // routePub forwards a publication along every link with a matching
 // recorded interest, excluding the arrival link and visited peers.
+// Traced publications carry this node's accumulated span set on the
+// frame (the receiving hop inherits the sampling decision from its
+// presence), with a forward span recorded per link first.
 func (n *Node) routePub(ev message.Event, pubID string, hops []string, from *link) {
 	var events []message.Event
+	traced := n.trc.Traced(pubID)
 	for _, l := range n.links {
 		if l == from || visited(hops, l.peer) {
 			continue
@@ -683,8 +753,13 @@ func (n *Node) routePub(ev message.Event, pubID string, hops []string, from *lin
 		if !interestsMatch(l, events) {
 			continue
 		}
+		var spans []trace.Span
+		if traced {
+			n.trc.Forward(pubID, l.peer, time.Now())
+			spans = n.trc.Spans(pubID)
+		}
 		evCopy := ev.Clone()
-		if err := l.send(Frame{Type: framePub, Origin: hops[0], Event: &evCopy, PubID: pubID, Hops: hops}); err != nil {
+		if err := l.send(Frame{Type: framePub, Origin: hops[0], Event: &evCopy, PubID: pubID, Hops: hops, Trace: spans}); err != nil {
 			continue
 		}
 		n.pubsForwarded.Inc()
@@ -830,21 +905,6 @@ func (n *Node) markSeen(id string) {
 		delete(n.seen, old)
 	}
 }
-
-// newEpoch returns an 8-hex-char incarnation tag for publication IDs,
-// unique across node restarts (and across processes, so two brokers
-// accidentally sharing a name cannot cross-suppress publications).
-func newEpoch() string {
-	var b [4]byte
-	if _, err := cryptorand.Read(b[:]); err != nil {
-		// No entropy source: fall back to a process-local counter,
-		// which still separates incarnations within one process.
-		return fmt.Sprintf("e%d", epochFallback.Add(1))
-	}
-	return hex.EncodeToString(b[:])
-}
-
-var epochFallback atomic.Uint64
 
 // appendHop returns hops + name in a fresh slice (frames alias their
 // hop lists; sharing backing arrays across links would corrupt paths).

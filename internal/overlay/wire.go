@@ -46,6 +46,7 @@ import (
 
 	"stopss/internal/knowledge"
 	"stopss/internal/message"
+	"stopss/internal/trace"
 )
 
 // Frame types.
@@ -57,6 +58,7 @@ const (
 	frameUnadv = "unadv" // advertisement withdrawal
 	framePub   = "pub"   // publication forwarding
 	frameKB    = "kb"    // knowledge-delta replication
+	frameTrace = "trace" // trace report travelling BACK toward a pub's origin
 )
 
 // Frame is one overlay protocol message. Payload fields are pointers or
@@ -83,7 +85,15 @@ type Frame struct {
 	Preds  []message.Predicate `json:"preds,omitempty"`  // adv
 
 	Event *message.Event `json:"event,omitempty"`  // pub
-	PubID string         `json:"pub_id,omitempty"` // pub: origin-scoped dedup key
+	PubID string         `json:"pub_id,omitempty"` // pub/trace: origin-scoped identity
+
+	// Trace carries per-publication span records (DESIGN §10). On pub
+	// frames it holds the spans accumulated by every broker already
+	// visited — its presence IS the head-based sampling decision, made
+	// once at the origin. On trace frames it carries a broker's full
+	// current span set for the publication back along the reverse
+	// forwarding path, so terminal delivery outcomes reach the origin.
+	Trace []trace.Span `json:"trace,omitempty"`
 
 	// KB carries one knowledge delta (kb frames). The delta's own
 	// origin#epoch/seq identity is the dedup key, reusing the

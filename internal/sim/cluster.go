@@ -19,6 +19,7 @@ import (
 	"stopss/internal/notify"
 	"stopss/internal/overlay"
 	"stopss/internal/semantic"
+	"stopss/internal/trace"
 )
 
 // seqAttr carries the harness's per-publication sequence number inside
@@ -62,6 +63,13 @@ type Pub struct {
 	Origin   int
 	Event    message.Event
 	Expected map[*Sub]bool
+	// ID is the publication's trace identity (name#epoch/seq) as minted
+	// by the origin broker's tracer.
+	ID string
+	// faultSeq snapshots Cluster.faultSeq at publish time; trace
+	// completeness is only asserted for publications whose delivery
+	// window saw no fault (trace state is in-memory by design).
+	faultSeq int
 }
 
 // Cluster wires N brokers over one Network and drives scenarios:
@@ -78,6 +86,10 @@ type Cluster struct {
 	subs  []*Sub
 	pubs  []*Pub
 	seq   int
+	// faultSeq counts fault injections (crash, restart, partition,
+	// offline subscriber). Publications that straddle a fault are exempt
+	// from VerifyTraceComplete's full-chain requirement.
+	faultSeq int
 }
 
 // Option tunes cluster construction.
@@ -235,6 +247,7 @@ func (c *Cluster) SubscribeDurable(i int, preds ...message.Predicate) *Sub {
 // going away (or coming back): while offline every delivery attempt
 // fails, so durable notifications exhaust retries and park.
 func (c *Cluster) SetSubscriberOffline(i int, offline bool) {
+	c.faultSeq++
 	c.Brokers[i].rec.setOffline(offline)
 }
 
@@ -263,6 +276,7 @@ func (c *Cluster) CrashRestart(i int) {
 	if b.snap == nil {
 		c.tb.Fatalf("sim: CrashRestart(%d) needs SnapshotNow(%d) first", i, i)
 	}
+	c.faultSeq++
 	if !b.crashed {
 		b.Node.Close()
 		b.crashed = true
@@ -339,16 +353,18 @@ func (c *Cluster) Publish(i int, kv ...any) *Pub {
 	c.tb.Helper()
 	c.seq++
 	ev := message.E(append(append([]any{}, kv...), seqAttr, c.seq)...)
-	p := &Pub{Seq: c.seq, Origin: i, Event: ev, Expected: make(map[*Sub]bool)}
+	p := &Pub{Seq: c.seq, Origin: i, Event: ev, Expected: make(map[*Sub]bool), faultSeq: c.faultSeq}
 	reach := c.reachable(i)
 	for _, s := range c.subs {
 		if s.Active && reach[s.BrokerIdx] && message.NewSubscription(s.ID, s.Client, s.Preds...).Matches(ev) {
 			p.Expected[s] = true
 		}
 	}
-	if _, err := c.Brokers[i].B.Publish(ev); err != nil {
+	res, err := c.Brokers[i].B.Publish(ev)
+	if err != nil {
 		c.tb.Fatal(err)
 	}
+	p.ID = res.PubID
 	c.pubs = append(c.pubs, p)
 	return p
 }
@@ -363,13 +379,15 @@ func (c *Cluster) PublishExpect(i int, expected []*Sub, kv ...any) *Pub {
 	c.tb.Helper()
 	c.seq++
 	ev := message.E(append(append([]any{}, kv...), seqAttr, c.seq)...)
-	p := &Pub{Seq: c.seq, Origin: i, Event: ev, Expected: make(map[*Sub]bool)}
+	p := &Pub{Seq: c.seq, Origin: i, Event: ev, Expected: make(map[*Sub]bool), faultSeq: c.faultSeq}
 	for _, s := range expected {
 		p.Expected[s] = true
 	}
-	if _, err := c.Brokers[i].B.Publish(ev); err != nil {
+	res, err := c.Brokers[i].B.Publish(ev)
+	if err != nil {
 		c.tb.Fatal(err)
 	}
+	p.ID = res.PubID
 	c.pubs = append(c.pubs, p)
 	return p
 }
@@ -462,6 +480,7 @@ func expansionSignatures(b *broker.Broker, ev message.Event) []string {
 // survives, modelling a connectivity failure of one process.
 func (c *Cluster) Crash(i int) {
 	c.tb.Helper()
+	c.faultSeq++
 	b := c.Brokers[i]
 	b.Node.Close()
 	b.crashed = true
@@ -504,6 +523,7 @@ func (c *Cluster) Rejoin(i int) {
 // new dials across it fail until Heal.
 func (c *Cluster) Partition(group ...int) {
 	c.tb.Helper()
+	c.faultSeq++
 	side := make(map[string]bool)
 	in := make(map[int]bool)
 	for _, i := range group {
@@ -539,12 +559,32 @@ func (c *Cluster) Heal() {
 // Settle blocks until the overlay is quiescent — no bytes on any
 // stream, every stream reader parked, no node holding unflushed frames
 // — stably across several consecutive observations, then drains every
-// notifier so delivery assertions see all notifications. It never
-// sleeps for effect; the deadline exists only to fail loudly instead
-// of hanging if the overlay livelocks.
+// notifier so delivery assertions see all notifications. Draining can
+// itself create traffic: delivery hooks emit trace reports back toward
+// each publication's origin, so the outer loop settles again until a
+// drain pass leaves the network quiet. It never sleeps for effect; the
+// deadline exists only to fail loudly instead of hanging if the
+// overlay livelocks.
 func (c *Cluster) Settle() {
 	c.tb.Helper()
 	deadline := time.Now().Add(30 * time.Second)
+	for {
+		c.waitQuiesced(deadline)
+		for _, b := range c.Brokers {
+			if !b.NT.Drain(10 * time.Second) {
+				c.tb.Fatalf("sim: notifier of %s did not drain", b.Name)
+			}
+		}
+		if c.quiesced() {
+			return
+		}
+	}
+}
+
+// waitQuiesced spins until the network is stably quiet (three
+// consecutive observations) or the deadline passes.
+func (c *Cluster) waitQuiesced(deadline time.Time) {
+	c.tb.Helper()
 	misses := 0
 	for quiet := 0; quiet < 3; {
 		if time.Now().After(deadline) {
@@ -559,11 +599,6 @@ func (c *Cluster) Settle() {
 			}
 		}
 		runtime.Gosched()
-	}
-	for _, b := range c.Brokers {
-		if !b.NT.Drain(10 * time.Second) {
-			c.tb.Fatalf("sim: notifier of %s did not drain", b.Name)
-		}
 	}
 }
 
@@ -628,6 +663,79 @@ func (c *Cluster) VerifyAtLeastOnce() (duplicates int) {
 		}
 	}
 	return duplicates
+}
+
+// VerifyTraceComplete asserts the observability invariant (DESIGN §10)
+// for every publication whose delivery window was fault-free: the
+// ORIGIN broker's tracer must hold the full span chain — publish,
+// journal_append and match at the origin, a match and recv span from
+// every remote broker expected to deliver, a forward span launching
+// the publication into the overlay when remote delivery was expected,
+// and one deliver span per expected subscription (reported back along
+// the reverse forwarding path). Publications straddling a fault
+// injection are skipped: trace state is deliberately in-memory and
+// dies with its process. Returns how many publications were checked
+// strictly and how many were exempted. Call after Settle.
+func (c *Cluster) VerifyTraceComplete() (checked, skipped int) {
+	c.tb.Helper()
+	for _, p := range c.pubs {
+		if p.ID == "" || p.faultSeq != c.faultSeq {
+			skipped++
+			continue
+		}
+		checked++
+		origin := c.Brokers[p.Origin]
+		spans := origin.B.Tracer().Spans(p.ID)
+		if len(spans) == 0 {
+			c.tb.Errorf("pub %d (%s): origin %s holds no trace", p.Seq, p.ID, origin.Name)
+			continue
+		}
+		type kb struct{ kind, broker string }
+		have := make(map[kb]bool, len(spans))
+		type del struct {
+			client string
+			id     message.SubID
+		}
+		delivered := make(map[del]bool)
+		forwards := 0
+		for _, s := range spans {
+			have[kb{s.Kind, s.Broker}] = true
+			switch s.Kind {
+			case trace.KindDeliver:
+				delivered[del{s.Sub, message.SubID(s.SubID)}] = true
+			case trace.KindForward:
+				forwards++
+			}
+		}
+		for _, kind := range []string{trace.KindPublish, trace.KindJournal, trace.KindMatch} {
+			if !have[kb{kind, origin.Name}] {
+				c.tb.Errorf("pub %d (%s): origin %s trace lacks a %s span (have %v)",
+					p.Seq, p.ID, origin.Name, kind, spans)
+			}
+		}
+		remote := false
+		for s := range p.Expected {
+			if !delivered[del{s.Client, s.ID}] {
+				c.tb.Errorf("pub %d (%s): no deliver span for %s/sub %d on %s",
+					p.Seq, p.ID, s.Client, s.ID, c.Brokers[s.BrokerIdx].Name)
+			}
+			if s.BrokerIdx == p.Origin {
+				continue
+			}
+			remote = true
+			name := c.Brokers[s.BrokerIdx].Name
+			for _, kind := range []string{trace.KindRecv, trace.KindMatch} {
+				if !have[kb{kind, name}] {
+					c.tb.Errorf("pub %d (%s): delivering broker %s contributed no %s span",
+						p.Seq, p.ID, name, kind)
+				}
+			}
+		}
+		if remote && forwards == 0 {
+			c.tb.Errorf("pub %d (%s): remote delivery expected but the trace has no forward span", p.Seq, p.ID)
+		}
+	}
+	return checked, skipped
 }
 
 // reachable returns the set of broker indexes reachable from origin

@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stopss/internal/metrics"
+)
+
+func TestNewPubIDFormat(t *testing.T) {
+	tr := New(Config{Broker: "b1"})
+	id := tr.NewPubID()
+	if !strings.HasPrefix(id, "b1#") || !strings.Contains(id, "/") {
+		t.Fatalf("pub id %q not of form broker#epoch/seq", id)
+	}
+	if id2 := tr.NewPubID(); id2 == id {
+		t.Fatalf("pub ids not unique: %q", id)
+	}
+}
+
+func TestStampLocalRecordsSpans(t *testing.T) {
+	tr := New(Config{Broker: "b1"})
+	id := tr.NewPubID()
+	if !tr.StampLocal(id, time.Now()) {
+		t.Fatal("default sample=1 should trace everything")
+	}
+	tr.Observe(id, KindPublish, time.Now(), 10*time.Microsecond)
+	tr.Observe(id, KindMatch, time.Now(), time.Microsecond)
+	tr.Outcome(id, KindDeliver, "alice", 7, time.Now(), time.Millisecond, "")
+
+	spans := tr.Spans(id)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3: %+v", len(spans), spans)
+	}
+	kinds := map[string]bool{}
+	for _, s := range spans {
+		if s.Broker != "b1" {
+			t.Fatalf("span broker %q, want b1", s.Broker)
+		}
+		kinds[s.Kind] = true
+	}
+	for _, k := range []string{KindPublish, KindMatch, KindDeliver} {
+		if !kinds[k] {
+			t.Fatalf("missing %s span: %+v", k, spans)
+		}
+	}
+	st := tr.Stats()
+	if st.Stamped != 1 || st.Spans != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Config{Broker: "b1", Sample: 3})
+	kept := 0
+	for i := 0; i < 30; i++ {
+		id := tr.NewPubID()
+		if tr.StampLocal(id, time.Now()) {
+			kept++
+		}
+	}
+	if kept != 10 {
+		t.Fatalf("sample=3 kept %d of 30, want 10", kept)
+	}
+
+	off := New(Config{Broker: "b2", Sample: -1})
+	id := off.NewPubID()
+	if off.StampLocal(id, time.Now()) {
+		t.Fatal("sample<0 must not trace")
+	}
+	off.Observe(id, KindPublish, time.Now(), time.Microsecond)
+	if got := off.Spans(id); len(got) != 0 {
+		t.Fatalf("sample off recorded spans: %+v", got)
+	}
+}
+
+func TestStampRemoteInheritsSamplingDecision(t *testing.T) {
+	tr := New(Config{Broker: "b2"})
+	if tr.StampRemote("b1#e/1", "b1", nil, time.Now()) {
+		t.Fatal("frame without spans means origin sampled out; must not trace")
+	}
+	carried := []Span{{Broker: "b1", Seq: 1, Kind: KindPublish, Start: time.Now()}}
+	if !tr.StampRemote("b1#e/2", "b1", carried, time.Now()) {
+		t.Fatal("frame with spans must be traced")
+	}
+	if up := tr.Upstream("b1#e/2"); up != "b1" {
+		t.Fatalf("upstream %q, want b1", up)
+	}
+	spans := tr.Spans("b1#e/2")
+	if len(spans) != 1 || spans[0].Broker != "b1" {
+		t.Fatalf("carried spans not merged: %+v", spans)
+	}
+}
+
+func TestMergeDedupsByBrokerSeq(t *testing.T) {
+	tr := New(Config{Broker: "b1"})
+	id := tr.NewPubID()
+	tr.StampLocal(id, time.Now())
+	remote := []Span{
+		{Broker: "b2", Seq: 1, Kind: KindRecv, Start: time.Now()},
+		{Broker: "b2", Seq: 2, Kind: KindDeliver, Start: time.Now()},
+	}
+	if !tr.Merge(id, remote) {
+		t.Fatal("first merge should add spans")
+	}
+	if tr.Merge(id, remote) {
+		t.Fatal("second merge of identical spans should be a no-op")
+	}
+	if got := len(tr.Spans(id)); got != 2 {
+		t.Fatalf("got %d spans, want 2", got)
+	}
+	if tr.Merge("unknown#e/9", remote) {
+		t.Fatal("merge into unknown pub must be ignored")
+	}
+}
+
+func TestRemoteDeliverMergeClosesPublishToAck(t *testing.T) {
+	tr := New(Config{Broker: "b1"})
+	id := tr.NewPubID()
+	tr.StampLocal(id, time.Now())
+	// Two deliver spans reported back from remote brokers: each closes
+	// one publish→ack window at the origin, dedup'd across re-reports.
+	reported := []Span{
+		{Broker: "b2", Seq: 1, Kind: KindDeliver, Start: time.Now()},
+		{Broker: "b3", Seq: 1, Kind: KindDeliver, Start: time.Now()},
+	}
+	tr.Merge(id, reported)
+	tr.Merge(id, reported)
+	if got := tr.Stages().PublishToAck.Count; got != 2 {
+		t.Fatalf("publish_to_ack count = %d, want 2 (one per remote deliver)", got)
+	}
+
+	// A non-origin broker merging the same report must not observe:
+	// the window belongs to the publishing broker alone.
+	mid := New(Config{Broker: "b2"})
+	mid.StampRemote(id, "b1", []Span{{Broker: "b1", Seq: 1, Kind: KindPublish, Start: time.Now()}}, time.Now())
+	mid.Merge(id, reported)
+	if got := mid.Stages().PublishToAck.Count; got != 0 {
+		t.Fatalf("non-origin publish_to_ack count = %d, want 0", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{Broker: "b1", Capacity: 4})
+	var ids []string
+	for i := 0; i < 10; i++ {
+		id := tr.NewPubID()
+		tr.StampLocal(id, time.Now())
+		ids = append(ids, id)
+	}
+	if tr.Traced(ids[0]) {
+		t.Fatal("oldest trace should be evicted")
+	}
+	if !tr.Traced(ids[9]) {
+		t.Fatal("newest trace should be held")
+	}
+	st := tr.Stats()
+	if st.Held > 4 || st.Evicted == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFailedDeliveryForcesKeep(t *testing.T) {
+	// Sampled-out publication: a dead-letter outcome must still
+	// materialize a (partial) trace, and it must survive churn.
+	tr := New(Config{Broker: "b1", Sample: -1, Capacity: 8})
+	id := tr.NewPubID()
+	tr.StampLocal(id, time.Now())
+	tr.Outcome(id, KindDeadLetter, "bob", 3, time.Now(), time.Second, "conn refused")
+	if !tr.Traced(id) {
+		t.Fatal("dead-lettered delivery must force a trace")
+	}
+	// Churn far past capacity; the forced trace must remain.
+	on := New(Config{Broker: "b1", Capacity: 8})
+	fid := on.NewPubID()
+	on.StampLocal(fid, time.Now())
+	on.Outcome(fid, KindDeadLetter, "bob", 3, time.Now(), time.Second, "x")
+	for i := 0; i < 100; i++ {
+		id := on.NewPubID()
+		on.StampLocal(id, time.Now())
+	}
+	if !on.Traced(fid) {
+		t.Fatal("forced trace evicted by churn")
+	}
+	spans := on.Spans(fid)
+	found := false
+	for _, s := range spans {
+		if s.Kind == KindDeadLetter && s.Err == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dead_letter span missing: %+v", spans)
+	}
+}
+
+func TestReporterFiresForRemoteOrigin(t *testing.T) {
+	tr := New(Config{Broker: "b2"})
+	var mu sync.Mutex
+	var gotPub, gotUp string
+	var gotSpans []Span
+	tr.SetReporter(func(pubID, upstream string, spans []Span) {
+		mu.Lock()
+		gotPub, gotUp, gotSpans = pubID, upstream, spans
+		mu.Unlock()
+	})
+
+	carried := []Span{{Broker: "b1", Seq: 1, Kind: KindPublish, Start: time.Now()}}
+	tr.StampRemote("b1#e/1", "b1", carried, time.Now())
+	tr.Outcome("b1#e/1", KindDeliver, "alice", 1, time.Now(), time.Millisecond, "")
+
+	mu.Lock()
+	defer mu.Unlock()
+	if gotPub != "b1#e/1" || gotUp != "b1" {
+		t.Fatalf("report pub=%q up=%q", gotPub, gotUp)
+	}
+	if len(gotSpans) != 2 { // carried publish + local deliver
+		t.Fatalf("report spans %+v", gotSpans)
+	}
+
+	// Local-origin outcomes must NOT fire the reporter.
+	gotPub = ""
+	lid := tr.NewPubID()
+	tr.StampLocal(lid, time.Now())
+	tr.Outcome(lid, KindDeliver, "alice", 1, time.Now(), time.Millisecond, "")
+	if gotPub != "" {
+		t.Fatal("reporter fired for local-origin publication")
+	}
+}
+
+func TestStageHistogramsFeedEvenWhenSampledOut(t *testing.T) {
+	tr := New(Config{Broker: "b1", Sample: -1})
+	id := tr.NewPubID()
+	tr.StampLocal(id, time.Now())
+	tr.Observe(id, KindMatch, time.Now(), 5*time.Microsecond)
+	tr.Observe(id, KindJournal, time.Now(), 50*time.Microsecond)
+	st := tr.Stages()
+	if st.Match.Count != 1 || st.Journal.Count != 1 {
+		t.Fatalf("stage histograms not fed when sampled out: %+v", st)
+	}
+}
+
+func TestSpansSortedByStart(t *testing.T) {
+	tr := New(Config{Broker: "b1"})
+	id := tr.NewPubID()
+	tr.StampLocal(id, time.Now())
+	base := time.Now()
+	tr.Merge(id, []Span{
+		{Broker: "b3", Seq: 1, Kind: KindDeliver, Start: base.Add(2 * time.Second)},
+		{Broker: "b2", Seq: 1, Kind: KindRecv, Start: base.Add(time.Second)},
+	})
+	tr.Observe(id, KindPublish, base, time.Microsecond)
+	spans := tr.Spans(id)
+	if len(spans) != 3 || spans[0].Kind != KindPublish || spans[1].Kind != KindRecv || spans[2].Kind != KindDeliver {
+		t.Fatalf("spans not start-ordered: %+v", spans)
+	}
+}
+
+func TestConcurrentTracerUse(t *testing.T) {
+	tr := New(Config{Broker: "b1", Capacity: 64, Registry: metrics.NewRegistry()})
+	tr.SetReporter(func(string, string, []Span) {})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := tr.NewPubID()
+				tr.StampLocal(id, time.Now())
+				tr.Observe(id, KindMatch, time.Now(), time.Microsecond)
+				tr.Forward(id, "peer", time.Now())
+				tr.Outcome(id, KindDeliver, "s", 1, time.Now(), time.Microsecond, "")
+				tr.Spans(id)
+				tr.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+}

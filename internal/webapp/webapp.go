@@ -18,6 +18,9 @@
 //	GET  /api/kb          → knowledge-base version (delta count + digest)
 //	POST /api/kb          JSONL knowledge deltas (ontc -delta output)
 //	GET  /api/journal     → publication-journal stats + durable cursors
+//	GET  /api/trace/<id>  → assembled span tree of one publication (DESIGN §10;
+//	                        URL-encode the '#' in the pub ID as %23)
+//	GET  /metrics         → Prometheus text exposition of every registry
 //	GET  /                → demo page
 package webapp
 
@@ -32,19 +35,55 @@ import (
 	"stopss/internal/core"
 	"stopss/internal/knowledge"
 	"stopss/internal/message"
+	"stopss/internal/metrics"
 	"stopss/internal/notify"
 	"stopss/internal/sublang"
+	"stopss/internal/trace"
 )
+
+// metricSource is one registry rendered into GET /metrics.
+type metricSource struct {
+	prefix string
+	reg    *metrics.Registry
+}
 
 // Server is the HTTP front end over a broker.
 type Server struct {
-	broker *broker.Broker
-	mux    *http.ServeMux
+	broker  *broker.Broker
+	mux     *http.ServeMux
+	sources []metricSource
+	labels  map[string]string
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMetrics adds a registry to the GET /metrics exposition under the
+// given prefix (the broker tracer's registry — stage histograms, trace
+// counters, overlay counters when the tracer was installed by an
+// overlay node — is always included under "stopss"). Registries must
+// not repeat a (prefix, metric name) pair or the exposition would emit
+// duplicate families.
+func WithMetrics(prefix string, reg *metrics.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.sources = append(s.sources, metricSource{prefix: prefix, reg: reg})
+		}
+	}
+}
+
+// WithMetricsLabels attaches constant labels (e.g. broker identity) to
+// every exposed sample. Defaults to broker="<tracer identity>".
+func WithMetricsLabels(labels map[string]string) Option {
+	return func(s *Server) { s.labels = labels }
 }
 
 // NewServer builds the handler tree.
-func NewServer(b *broker.Broker) *Server {
+func NewServer(b *broker.Broker, opts ...Option) *Server {
 	s := &Server{broker: b, mux: http.NewServeMux()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("POST /api/register", s.handleRegister)
 	s.mux.HandleFunc("POST /api/subscribe", s.handleSubscribe)
 	s.mux.HandleFunc("POST /api/unsubscribe", s.handleUnsubscribe)
@@ -63,6 +102,8 @@ func NewServer(b *broker.Broker) *Server {
 	s.mux.HandleFunc("POST /api/kb", s.handleKBApply)
 	s.mux.HandleFunc("GET /api/journal", s.handleJournal)
 	s.mux.HandleFunc("POST /api/resume", s.handleResume)
+	s.mux.HandleFunc("GET /api/trace/{id...}", s.handleTrace)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	return s
 }
@@ -113,6 +154,9 @@ type publishResponse struct {
 	Notified int             `json:"notified"`
 	Dropped  int             `json:"dropped"`
 	Parsed   string          `json:"parsed"`
+	// PubID is the publication's trace identity; feed it (with '#'
+	// URL-encoded as %23) to GET /api/trace/<pub_id>.
+	PubID string `json:"pub_id,omitempty"`
 }
 
 type modeBody struct {
@@ -236,6 +280,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 		Notified: res.Notified,
 		Dropped:  res.Dropped,
 		Parsed:   sublang.FormatEvent(ev),
+		PubID:    res.PubID,
 	})
 }
 
@@ -290,7 +335,7 @@ func (s *Server) handlePublishFrom(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, publishResponse{
 		Matches: matches, Notified: res.Notified, Dropped: res.Dropped,
-		Parsed: sublang.FormatEvent(ev),
+		Parsed: sublang.FormatEvent(ev), PubID: res.PubID,
 	})
 }
 
@@ -524,6 +569,62 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "replayed": n})
+}
+
+// traceResponse is the GET /api/trace/<id> body: the publication's
+// span set, start-sorted, as assembled on THIS broker (span reports
+// from downstream brokers travel back along the forwarding path, so
+// the origin converges on the full tree once deliveries settle).
+type traceResponse struct {
+	PubID  string       `json:"pub_id"`
+	Broker string       `json:"broker"`
+	Spans  []trace.Span `json:"spans"`
+}
+
+// handleTrace returns the assembled span tree of one publication. The
+// {id...} wildcard keeps the '/' inside pub IDs (name#epoch/seq); the
+// '#' must arrive URL-encoded (%23) or the fragment would swallow the
+// tail before the request leaves the client.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("webapp: missing publication ID (use /api/trace/<name>%%23<epoch>/<seq>)"))
+		return
+	}
+	tr := s.broker.Tracer()
+	if tr == nil || !tr.Traced(id) {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("webapp: no trace for publication %q (evicted, sampled out, or never seen here)", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse{PubID: id, Broker: tr.Broker(), Spans: tr.Spans(id)})
+}
+
+// handleMetrics renders every registered registry in Prometheus text
+// exposition format (0.0.4). The broker tracer's registry leads under
+// the "stopss" prefix; WithMetrics sources follow in registration
+// order (a source that aliases the tracer registry is skipped so one
+// registry never emits twice).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	labels := s.labels
+	var traced *metrics.Registry
+	if tr := s.broker.Tracer(); tr != nil {
+		traced = tr.Registry()
+		if labels == nil && tr.Broker() != "" {
+			labels = map[string]string{"broker": tr.Broker()}
+		}
+		if err := traced.WritePrometheus(w, "stopss", labels); err != nil {
+			return // client went away mid-scrape; nothing to salvage
+		}
+	}
+	for _, src := range s.sources {
+		if src.reg == traced {
+			continue
+		}
+		if err := src.reg.WritePrometheus(w, src.prefix, labels); err != nil {
+			return
+		}
+	}
 }
 
 // handleSnapshot streams the broker's durable state (clients, routes,
