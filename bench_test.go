@@ -396,6 +396,7 @@ func BenchmarkOverlaySim(b *testing.B) {
 				b.Fatal("subscription did not propagate to the chain head")
 			}
 
+			b.ReportAllocs()
 			b.ResetTimer()
 			inflight := make(chan struct{}, 512)
 			done := make(chan struct{})
@@ -787,6 +788,7 @@ func BenchmarkShard(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := 0

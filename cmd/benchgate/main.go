@@ -33,6 +33,11 @@ import (
 type Baseline struct {
 	// NsPerOp maps normalized benchmark name to best-of-N ns/op.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp maps normalized benchmark name to best-of-N
+	// allocs/op, present only for benchmarks that call ReportAllocs.
+	// Allocation counts are nearly deterministic, so this gate catches
+	// hot-path allocation creep that ns/op noise would hide.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 // testEvent is the subset of the `go test -json` event schema we need.
@@ -42,8 +47,13 @@ type testEvent struct {
 }
 
 // benchLine matches one benchmark result line, capturing the name
-// (GOMAXPROCS suffix split off) and the ns/op figure.
-var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// (GOMAXPROCS suffix split off) and the ns/op figure; allocsPerOp then
+// fishes the allocs/op figure (present with -benchmem or ReportAllocs)
+// out of the rest of the line.
+var (
+	benchLine   = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+	allocsPerOp = regexp.MustCompile(`\s([0-9.]+) allocs/op`)
+)
 
 func main() {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline file")
@@ -93,7 +103,10 @@ func main() {
 // test2json delivers the two halves as separate Output events. The
 // output text is reassembled first and split on real newlines.
 func parse(r io.Reader) (Baseline, error) {
-	out := Baseline{NsPerOp: make(map[string]float64)}
+	out := Baseline{
+		NsPerOp:     make(map[string]float64),
+		AllocsPerOp: make(map[string]float64),
+	}
 	var text strings.Builder
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -115,31 +128,39 @@ func parse(r io.Reader) (Baseline, error) {
 		return out, err
 	}
 	for _, line := range strings.Split(text.String(), "\n") {
-		record(out.NsPerOp, line)
+		record(&out, line)
 	}
 	return out, nil
 }
 
-// record folds one output line into the result map, keeping the
-// minimum ns/op seen for each benchmark.
-func record(acc map[string]float64, line string) {
+// record folds one output line into the result maps, keeping the
+// minimum ns/op (and allocs/op, when reported) seen for each benchmark.
+func record(acc *Baseline, line string) {
 	m := benchLine.FindStringSubmatch(line)
 	if m == nil {
 		return
 	}
-	ns, err := strconv.ParseFloat(m[3], 64)
-	if err != nil {
-		return
+	name := m[1]
+	if ns, err := strconv.ParseFloat(m[3], 64); err == nil {
+		if cur, ok := acc.NsPerOp[name]; !ok || ns < cur {
+			acc.NsPerOp[name] = ns
+		}
 	}
-	if cur, ok := acc[m[1]]; !ok || ns < cur {
-		acc[m[1]] = ns
+	if a := allocsPerOp.FindStringSubmatch(line); a != nil {
+		if n, err := strconv.ParseFloat(a[1], 64); err == nil {
+			if cur, ok := acc.AllocsPerOp[name]; !ok || n < cur {
+				acc.AllocsPerOp[name] = n
+			}
+		}
 	}
 }
 
 // compare prints a per-benchmark verdict and returns the names that
-// regressed beyond the tolerance. Benchmarks missing on either side
-// are reported but never fail the gate: a renamed or newly added
-// benchmark needs a baseline refresh, not a red main.
+// regressed beyond the tolerance — on ns/op or on allocs/op (the same
+// drift rule applies to both; allocation regressions are reported as
+// "name (allocs)"). Benchmarks missing on either side are reported but
+// never fail the gate: a renamed or newly added benchmark needs a
+// baseline refresh, not a red main.
 func compare(w io.Writer, base, got Baseline, maxRegress float64) []string {
 	names := make([]string, 0, len(got.NsPerOp))
 	for name := range got.NsPerOp {
@@ -163,6 +184,28 @@ func compare(w io.Writer, base, got Baseline, maxRegress float64) []string {
 		}
 		fmt.Fprintf(w, "  %-6s %-60s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
 			verdict, name, cur, ref, delta*100)
+
+		aCur, haveCur := got.AllocsPerOp[name]
+		aRef, haveRef := base.AllocsPerOp[name]
+		if !haveCur || !haveRef {
+			continue // benchmark does not report allocations (or gained them: refresh)
+		}
+		aVerdict, aDelta := "ok", 0.0
+		switch {
+		case aRef > 0:
+			aDelta = (aCur - aRef) / aRef
+			if aDelta > maxRegress {
+				aVerdict = "REGRESS"
+			}
+		case aCur > 0: // from zero allocations, any allocation is a regression
+			aVerdict = "REGRESS"
+			aDelta = 1
+		}
+		if aVerdict == "REGRESS" {
+			regressions = append(regressions, name+" (allocs)")
+		}
+		fmt.Fprintf(w, "  %-6s %-60s %12.1f allocs/op  baseline %9.1f  (%+.1f%%)\n",
+			aVerdict, name, aCur, aRef, aDelta*100)
 	}
 	for name := range base.NsPerOp {
 		if _, ok := got.NsPerOp[name]; !ok {
@@ -183,6 +226,9 @@ func read(path string) (Baseline, error) {
 	}
 	if b.NsPerOp == nil {
 		b.NsPerOp = make(map[string]float64)
+	}
+	if b.AllocsPerOp == nil {
+		b.AllocsPerOp = make(map[string]float64)
 	}
 	return b, nil
 }

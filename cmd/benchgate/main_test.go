@@ -35,12 +35,22 @@ func TestParseJSONStream(t *testing.T) {
 }
 
 func TestParsePlainText(t *testing.T) {
-	got, err := parse(strings.NewReader("BenchmarkX-4   100   5000 ns/op   12 B/op\n"))
+	got, err := parse(strings.NewReader("BenchmarkX-4   100   5000 ns/op   12 B/op   3 allocs/op\n" +
+		"BenchmarkX-4   100   5100 ns/op   12 B/op   2 allocs/op\n" +
+		"BenchmarkY-4   100   7000 ns/op\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ns := got.NsPerOp["BenchmarkX"]; ns != 5000 {
 		t.Fatalf("plain text parse: %v", got.NsPerOp)
+	}
+	// allocs/op tracked independently (min of repeats), and only for
+	// benchmarks that report it.
+	if a := got.AllocsPerOp["BenchmarkX"]; a != 2 {
+		t.Fatalf("allocs parse: %v", got.AllocsPerOp)
+	}
+	if _, ok := got.AllocsPerOp["BenchmarkY"]; ok {
+		t.Fatalf("BenchmarkY reports no allocations but was recorded: %v", got.AllocsPerOp)
 	}
 }
 
@@ -65,5 +75,26 @@ func TestCompareGate(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestCompareGatesAllocs(t *testing.T) {
+	base := Baseline{
+		NsPerOp:     map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000, "BenchmarkZ": 1000},
+		AllocsPerOp: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 100, "BenchmarkZ": 0},
+	}
+	got := Baseline{
+		NsPerOp:     map[string]float64{"BenchmarkA": 1000, "BenchmarkB": 1000, "BenchmarkZ": 1000},
+		AllocsPerOp: map[string]float64{"BenchmarkA": 120, "BenchmarkB": 130, "BenchmarkZ": 1},
+	}
+	var sb strings.Builder
+	regressed := compare(&sb, base, got, 0.25)
+	// B drifted +30% allocs; Z went from zero allocations to one (any
+	// growth from zero fails); A's +20% passes. ns/op is flat for all.
+	if len(regressed) != 2 || regressed[0] != "BenchmarkB (allocs)" || regressed[1] != "BenchmarkZ (allocs)" {
+		t.Fatalf("regressions = %v, want [BenchmarkB (allocs) BenchmarkZ (allocs)]\n%s", regressed, sb.String())
+	}
+	if !strings.Contains(sb.String(), "allocs/op") {
+		t.Errorf("report missing allocs/op lines:\n%s", sb.String())
 	}
 }

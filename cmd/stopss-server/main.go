@@ -110,6 +110,7 @@ func main() {
 	nodeName := flag.String("node", "", "overlay node name (default: the -addr value)")
 	overlayAddr := flag.String("overlay", "", "overlay TCP listen address for peer brokers (empty: no listener)")
 	flag.Var(&peers, "peer", "overlay peer address to connect to (repeatable)")
+	wireCodec := flag.String("wire-codec", "binary", "highest overlay wire codec to offer: binary (compact framing, negotiated per link) or json (force the legacy framing, e.g. while old brokers are being upgraded)")
 	kbWatch := flag.String("kb-watch", "", "JSONL knowledge-delta file (ontc -delta output) polled for appended deltas to inject at runtime")
 	kbWatchInterval := flag.Duration("kb-watch-interval", time.Second, "poll interval for -kb-watch (must be > 0; sub-second values pick up appends nearly live)")
 	journalDir := flag.String("journal-dir", "", "publication-journal directory: enables durable subscriptions with at-least-once catch-up delivery")
@@ -141,6 +142,9 @@ func main() {
 	if *journalSegBytes <= 0 {
 		fatal("stopss-server: -journal-segment-bytes must be positive", "bytes", *journalSegBytes)
 	}
+	if *wireCodec != "binary" && *wireCodec != "json" {
+		fatal("stopss-server: -wire-codec must be binary or json", "codec", *wireCodec)
+	}
 	opts := stackOptions{
 		Addr:     *addr,
 		Ontology: *ontPath,
@@ -160,7 +164,7 @@ func main() {
 		TraceSample:   *traceSample,
 		TraceCapacity: *traceCapacity,
 	}
-	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *kbWatch, *kbWatchInterval, jcfg, obs); err != nil {
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *wireCodec, *kbWatch, *kbWatchInterval, jcfg, obs); err != nil {
 		fatal("stopss-server: fatal", "err", err)
 	}
 }
@@ -244,7 +248,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config, obs obsOptions) error {
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, wireCodec string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config, obs obsOptions) error {
 	// Execution tracing and the profiling surface come up first so they
 	// cover the boot path (journal replay, snapshot restore, overlay
 	// joins) — often exactly what needs profiling.
@@ -347,6 +351,7 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			Listen:        overlayAddr,
 			Peers:         peers,
 			Transport:     overlay.TCP(), // production: real sockets
+			DisableBinary: wireCodec == "json",
 			Registry:      reg,
 			TraceSample:   sample,
 			TraceCapacity: obs.TraceCapacity,

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -126,6 +127,12 @@ type Engine struct {
 	originals map[message.SubID]message.Subscription
 	stats     Stats
 	kb        *knowledge.Base // optional; set with WithKnowledge
+
+	// matchScratch accumulates per-derived-event match results during a
+	// multi-event union so the hot path allocates no dedup map. Guarded
+	// by mu (the union runs under the write lock); only a right-sized
+	// copy of the deduped result ever escapes.
+	matchScratch []message.SubID
 }
 
 // Option configures an Engine.
@@ -334,21 +341,7 @@ func (e *Engine) Publish(ev message.Event) (MatchResult, error) {
 		}
 
 		t1 := time.Now()
-		if len(res.Expansion.Events) == 1 {
-			res.Matches = e.matcher.Match(res.Expansion.Events[0])
-		} else {
-			set := make(map[message.SubID]bool)
-			for _, dev := range res.Expansion.Events {
-				for _, id := range e.matcher.Match(dev) {
-					set[id] = true
-				}
-			}
-			res.Matches = make([]message.SubID, 0, len(set))
-			for id := range set {
-				res.Matches = append(res.Matches, id)
-			}
-			sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i] < res.Matches[j] })
-		}
+		res.Matches = e.unionMatchesLocked(res.Expansion.Events)
 		res.MatchTime = time.Since(t1)
 	} else {
 		t1 := time.Now()
@@ -372,25 +365,40 @@ func (e *Engine) MatchEvents(events []message.Event) []message.SubID {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t0 := time.Now()
-	var matches []message.SubID
-	if len(events) == 1 {
-		matches = e.matcher.Match(events[0])
-	} else {
-		set := make(map[message.SubID]bool)
-		for _, ev := range events {
-			for _, id := range e.matcher.Match(ev) {
-				set[id] = true
-			}
-		}
-		matches = make([]message.SubID, 0, len(set))
-		for id := range set {
-			matches = append(matches, id)
-		}
-		sort.Slice(matches, func(i, j int) bool { return matches[i] < matches[j] })
-	}
+	matches := e.unionMatchesLocked(events)
 	e.stats.MatchTime += time.Since(t0)
 	e.stats.Matches += uint64(len(matches))
 	return matches
+}
+
+// unionMatchesLocked matches every derived event and returns the
+// ascending union of the results. Multi-event unions accumulate into
+// the engine's scratch slice (sort + in-place compaction instead of a
+// per-publication dedup map); the scratch never escapes — callers get
+// a right-sized copy. Callers hold e.mu.
+func (e *Engine) unionMatchesLocked(events []message.Event) []message.SubID {
+	if len(events) == 1 {
+		return e.matcher.Match(events[0])
+	}
+	ids := e.matchScratch[:0]
+	for _, ev := range events {
+		ids = append(ids, e.matcher.Match(ev)...)
+	}
+	slices.Sort(ids)
+	n := 0
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			ids[n] = id
+			n++
+		}
+	}
+	e.matchScratch = ids[:0] // keep the grown capacity for the next union
+	if n == 0 {
+		return nil
+	}
+	out := make([]message.SubID, n)
+	copy(out, ids[:n])
+	return out
 }
 
 // Merge accumulates another snapshot into s, summing counters and

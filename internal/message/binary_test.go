@@ -1,0 +1,224 @@
+package message
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBinaryValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		None(),
+		String(""),
+		String("Toronto"),
+		String(strings.Repeat("x", internMaxLen+1)), // too long to intern
+		Int(0),
+		Int(-1),
+		Int(math.MaxInt64),
+		Int(math.MinInt64),
+		Float(0),
+		Float(-2.5),
+		Float(math.Inf(1)),
+		Float(math.SmallestNonzeroFloat64),
+		Bool(true),
+		Bool(false),
+	}
+	for _, withDict := range []bool{false, true} {
+		var w BWriter
+		var rd *Intern
+		if withDict {
+			w.Dict = NewIntern()
+			rd = NewIntern()
+		}
+		for _, v := range vals {
+			w.Value(v)
+		}
+		r := NewBReader(w.Buf, rd)
+		for i, want := range vals {
+			got, err := r.Value()
+			if err != nil {
+				t.Fatalf("dict=%v value %d: %v", withDict, i, err)
+			}
+			if got != want {
+				t.Fatalf("dict=%v value %d: got %#v want %#v", withDict, i, got, want)
+			}
+		}
+		if r.Len() != 0 {
+			t.Fatalf("dict=%v: %d trailing bytes", withDict, r.Len())
+		}
+	}
+}
+
+func TestBinaryFloatNaN(t *testing.T) {
+	var w BWriter
+	w.Value(Float(math.NaN()))
+	got, err := NewBReader(w.Buf, nil).Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != KindFloat || !math.IsNaN(got.FloatVal()) {
+		t.Fatalf("NaN did not survive: %#v", got)
+	}
+}
+
+func TestBinaryInternReusesIDs(t *testing.T) {
+	enc := NewIntern()
+	var w BWriter
+	w.Dict = enc
+	w.String("school")
+	first := w.Len()
+	w.String("school")
+	refLen := w.Len() - first
+	if refLen >= first {
+		t.Fatalf("second occurrence (%d bytes) not shorter than literal (%d bytes)", refLen, first)
+	}
+	r := NewBReader(w.Buf, NewIntern())
+	for i := 0; i < 2; i++ {
+		s, err := r.String()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != "school" {
+			t.Fatalf("occurrence %d: got %q", i, s)
+		}
+	}
+}
+
+func TestBinaryInternRollback(t *testing.T) {
+	enc := NewIntern()
+	var w BWriter
+	w.Dict = enc
+	w.String("keep")
+	mark := enc.Mark()
+	w.String("dropped-a")
+	w.String("dropped-b")
+	enc.Rollback(mark)
+
+	// After rollback the encoder behaves as if the dropped frame never
+	// happened: re-encoding from the mark must produce the same bytes a
+	// fresh peer-side table would accept.
+	w.Buf = w.Buf[:0]
+	w.String("keep") // ref
+	w.String("next") // literal, takes the id the dropped strings vacated
+	dec := NewIntern()
+	dec.add("keep")
+	r := NewBReader(w.Buf, dec)
+	for _, want := range []string{"keep", "next"} {
+		got, err := r.String()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("got %q want %q", got, want)
+		}
+	}
+	if id, ok := enc.ids["next"]; !ok || id != 1 {
+		t.Fatalf("rollback did not free ids: next=%d ok=%v", id, ok)
+	}
+	if _, ok := enc.ids["dropped-a"]; ok {
+		t.Fatal("rolled-back string still in encoder table")
+	}
+}
+
+func TestBinaryInternCaps(t *testing.T) {
+	enc := NewIntern()
+	enc.strs = make([]string, internMax) // simulate full table
+	if enc.eligible("fresh") {
+		t.Fatal("full table must refuse new entries")
+	}
+	if enc.eligible("") {
+		t.Fatal("empty string must not intern")
+	}
+}
+
+func TestBinaryEventSubscriptionRoundTrip(t *testing.T) {
+	ev := NewEvent(
+		Pair{Attr: "school", Val: String("Toronto")},
+		Pair{Attr: "degree", Val: String("PhD")},
+		Pair{Attr: "graduation year", Val: Int(1990)},
+		Pair{Attr: "gpa", Val: Float(3.9)},
+		Pair{Attr: "tenured", Val: Bool(false)},
+	)
+	sub := Subscription{
+		ID:         42,
+		Subscriber: "client-7",
+		Preds: []Predicate{
+			Pred("university", OpEq, String("Toronto")),
+			Pred("professional experience", OpGe, Int(4)),
+			Between("gpa", Float(3), Float(4)),
+			Exists("degree"),
+		},
+	}
+
+	var w BWriter
+	w.Dict = NewIntern()
+	w.Event(ev)
+	w.Subscription(sub)
+
+	r := NewBReader(w.Buf, NewIntern())
+	gotEv, err := r.Event()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSub, err := r.Subscription()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d trailing bytes", r.Len())
+	}
+
+	// Compare via the JSON codec: it is the reference representation.
+	for _, pair := range []struct{ a, b any }{{ev, gotEv}, {sub, gotSub}} {
+		aj, _ := json.Marshal(pair.a)
+		bj, _ := json.Marshal(pair.b)
+		if string(aj) != string(bj) {
+			t.Fatalf("round trip mismatch:\n  sent %s\n  got  %s", aj, bj)
+		}
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+		run  func(r *BReader) error
+	}{
+		{"empty byte", nil, func(r *BReader) error { _, err := r.Byte(); return err }},
+		{"truncated uvarint", []byte{0x80}, func(r *BReader) error { _, err := r.Uvarint(); return err }},
+		{"truncated varint", []byte{0x80}, func(r *BReader) error { _, err := r.Varint(); return err }},
+		{"string over input", []byte{0x14, 'a'}, func(r *BReader) error { _, err := r.String(); return err }},
+		{"rawstring over input", []byte{0x0a, 'a'}, func(r *BReader) error { _, err := r.RawString(); return err }},
+		{"dict ref without dict", []byte{0x03}, func(r *BReader) error { _, err := r.String(); return err }},
+		{"unknown kind", []byte{0xee}, func(r *BReader) error { _, err := r.Value(); return err }},
+		{"truncated float", []byte{byte(KindFloat), 1, 2, 3}, func(r *BReader) error { _, err := r.Value(); return err }},
+		{"event count over input", []byte{0xff, 0xff, 0x03}, func(r *BReader) error { _, err := r.Event(); return err }},
+		{"unknown op", []byte{0x02, 'a', 0xee}, func(r *BReader) error { _, err := r.Predicate(); return err }},
+		{"sub count over input", []byte{0x01, 0x02, 'a', 0xff, 0x7f}, func(r *BReader) error { _, err := r.Subscription(); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(NewBReader(tc.buf, nil)); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+
+	t.Run("dict ref out of range", func(t *testing.T) {
+		r := NewBReader([]byte{0x05}, NewIntern()) // id 2, empty dict
+		if _, err := r.String(); err == nil {
+			t.Fatal("want error, got nil")
+		}
+	})
+}
+
+func TestBinaryWriterReset(t *testing.T) {
+	var w BWriter
+	w.RawString("hello")
+	capBefore := cap(w.Buf)
+	w.Reset()
+	if w.Len() != 0 || cap(w.Buf) != capBefore {
+		t.Fatalf("Reset lost capacity: len=%d cap=%d want cap=%d", w.Len(), cap(w.Buf), capBefore)
+	}
+}

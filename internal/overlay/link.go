@@ -2,13 +2,17 @@ package overlay
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"stopss/internal/matching"
+	"stopss/internal/message"
 	"stopss/internal/metrics"
 )
 
@@ -38,6 +42,14 @@ var (
 	errLinkSlow   = errors.New("overlay: peer too slow, link dropped")
 )
 
+// Errors from the hello exchange, distinguishable by the caller: a
+// timeout means a silent or stalled peer (worth re-dialing), a
+// malformed hello means the remote speaks something else entirely.
+var (
+	errHelloTimeout   = errors.New("overlay: hello handshake timed out")
+	errHelloMalformed = errors.New("overlay: malformed hello")
+)
+
 // outqCap bounds the per-link outbound queue. A full queue means the
 // peer is not draining its socket; the link is sacrificed rather than
 // letting backpressure propagate into the routing lock (which could
@@ -56,6 +68,24 @@ type link struct {
 
 	peer string // peer node name, fixed by the hello exchange
 
+	// codec is the negotiated wire-codec version: min(local max, peer
+	// max) from the hello exchange. codecJSON framing is the fallback
+	// that keeps mixed-version clusters interoperable.
+	codec int
+
+	// Encode scratch (writer goroutine only): binary frames are encoded
+	// here first — so an oversized or unencodable frame is detected
+	// before any byte reaches the connection and can be dropped without
+	// desyncing the stream — then copied into bw. The buffer and the
+	// interning dictionary persist for the link's lifetime, so steady
+	// state encodes without allocating.
+	enc message.BWriter
+
+	// Decode state (read-loop goroutine only): the reusable body buffer
+	// and the receive-direction dictionary mirroring the peer's encoder.
+	rbuf  []byte
+	rdict *message.Intern
+
 	outq chan outFrame
 	done chan struct{}
 	once sync.Once
@@ -65,6 +95,10 @@ type link struct {
 	// buffered batch, so a zero value means this link holds no
 	// unserialized outbound work — the property simulation harnesses
 	// poll (via Node.Pending) to detect quiescence without timers.
+	// Frames stranded in the queue when the link closes are never
+	// drained, so Pending ignores inflight for closed links (the race
+	// where send enqueues between the writer's exit and close would
+	// otherwise wedge quiescence forever).
 	inflight atomic.Int64
 
 	// Per-link frame counters and the queue-wait histogram (time a
@@ -72,7 +106,13 @@ type link struct {
 	// up — the per-link backpressure signal of DESIGN §10), bound by
 	// the Node at attach time so the hot paths skip registry lookups.
 	sent, recv *metrics.Counter
-	qwait      *metrics.Histogram
+	// oversized counts frames dropped because their encoded body
+	// exceeded maxFrameSize (node-wide counter, bound at attach).
+	oversized *metrics.Counter
+	qwait     *metrics.Histogram
+	// logf receives drop warnings (bound to the node's logger at
+	// attach; nil before that and in tests).
+	logf func(format string, args ...any)
 
 	// interests holds subscriptions received FROM this link: the
 	// downstream demand reachable through the peer. Publications are
@@ -91,9 +131,13 @@ type link struct {
 const handshakeTimeout = 5 * time.Second
 
 // newLink wraps an accepted or dialed connection and performs the hello
-// exchange: each side sends its node name and reads the peer's. The
-// writer goroutine is not yet running; the handshake writes directly.
-func newLink(conn Conn, localName string) (*link, error) {
+// exchange: each side sends its node name plus its maximum supported
+// wire-codec version and reads the peer's; both then derive the same
+// negotiated codec. The hello itself always travels in the legacy JSON
+// framing — it is the only frame a version-0 peer is guaranteed to
+// parse. The writer goroutine is not yet running; the handshake writes
+// directly.
+func newLink(conn Conn, localName string, maxCodec int) (*link, error) {
 	l := &link{
 		conn:      conn,
 		bw:        bufio.NewWriter(conn),
@@ -104,34 +148,87 @@ func newLink(conn Conn, localName string) (*link, error) {
 		adverts:   make(map[advID]advEntry),
 		out:       newCoverTable(),
 	}
-	deadline := time.Now().Add(handshakeTimeout)
-	conn.SetDeadline(deadline)
-	if err := writeFrame(l.bw, Frame{Type: frameHello, Name: localName}); err == nil {
-		err = l.bw.Flush()
-		if err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("overlay: hello to %s: %w", conn.RemoteAddr(), err)
-		}
-	} else {
+	fail := func(err error) (*link, error) {
 		conn.Close()
-		return nil, fmt.Errorf("overlay: hello to %s: %w", conn.RemoteAddr(), err)
+		return nil, err
 	}
-	f, err := readFrame(l.br)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("overlay: awaiting hello from %s: %w", conn.RemoteAddr(), err)
+	conn.SetDeadline(time.Now().Add(handshakeTimeout))
+	if err := writeFrame(l.bw, Frame{Type: frameHello, Name: localName, Codec: maxCodec}); err != nil {
+		return fail(fmt.Errorf("overlay: hello to %s: %w", conn.RemoteAddr(), err))
 	}
-	if f.Type != frameHello || f.Name == "" {
-		conn.Close()
-		return nil, fmt.Errorf("overlay: expected hello from %s, got %q", conn.RemoteAddr(), f.Type)
+	if err := l.bw.Flush(); err != nil {
+		return fail(fmt.Errorf("overlay: hello to %s: %w", conn.RemoteAddr(), err))
 	}
-	if f.Name == localName {
-		conn.Close()
-		return nil, fmt.Errorf("overlay: peer %s has this node's own name %q", conn.RemoteAddr(), f.Name)
+	f, err := readFrame(l.br, &l.rbuf)
+	switch {
+	case err != nil && isTimeout(err):
+		return fail(fmt.Errorf("overlay: awaiting hello from %s: %w", conn.RemoteAddr(), errHelloTimeout))
+	case err != nil:
+		return fail(fmt.Errorf("overlay: awaiting hello from %s: %w (%v)", conn.RemoteAddr(), errHelloMalformed, err))
+	case f.Type != frameHello || f.Name == "":
+		return fail(fmt.Errorf("overlay: from %s got %q frame: %w", conn.RemoteAddr(), f.Type, errHelloMalformed))
+	case f.Name == localName:
+		return fail(fmt.Errorf("overlay: peer %s has this node's own name %q", conn.RemoteAddr(), f.Name))
 	}
 	l.peer = f.Name
+	l.codec = min(maxCodec, f.Codec)
+	if l.codec < codecJSON {
+		l.codec = codecJSON // a negative advertisement is meaningless
+	}
+	if l.codec >= codecBinary {
+		l.codec = codecBinary // cap at the highest version we implement
+		l.enc.Dict = message.NewIntern()
+		l.rdict = message.NewIntern()
+	}
 	conn.SetDeadline(time.Time{})
 	return l, nil
+}
+
+// isTimeout reports whether a handshake read failed on the connection
+// deadline rather than on the peer's bytes.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// readFrame decodes the next inbound frame under the link's negotiated
+// codec, reusing the link's body buffer. Read-loop goroutine only.
+func (l *link) readFrame() (Frame, error) {
+	if l.codec >= codecBinary {
+		return readFrameBinary(l.br, &l.rbuf, l.rdict)
+	}
+	return readFrame(l.br, &l.rbuf)
+}
+
+// writeFrame encodes one outbound frame into the link's buffered
+// writer under the negotiated codec. Droppable failures (see
+// droppableWriteError) are reported before any byte reaches the
+// stream; for the binary codec the interning dictionary is rolled back
+// too, so the peer's table stays in sync. Writer goroutine only.
+func (l *link) writeFrame(f Frame) error {
+	if l.codec < codecBinary {
+		return writeFrame(l.bw, f)
+	}
+	mark := l.enc.Dict.Mark()
+	l.enc.Reset()
+	if err := appendFrameBinary(&l.enc, f); err != nil {
+		l.enc.Dict.Rollback(mark)
+		return err
+	}
+	if l.enc.Len() > maxFrameSize {
+		l.enc.Dict.Rollback(mark)
+		return fmt.Errorf("overlay: %s frame of %d bytes: %w", f.Type, l.enc.Len(), errFrameTooLarge)
+	}
+	var hdr [binary.MaxVarintLen32]byte
+	n := binary.PutUvarint(hdr[:], uint64(l.enc.Len()))
+	if _, err := l.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := l.bw.Write(l.enc.Buf)
+	return err
 }
 
 // outFrame is one queued outbound frame stamped with its enqueue time,
@@ -143,15 +240,18 @@ type outFrame struct {
 
 // writer drains the outbound queue onto the socket, batching frames
 // already queued before each flush. It exits when the link fails or is
-// closed.
+// closed. Frames whose encoding fails before touching the stream
+// (oversized bodies — a journal payload can exceed maxFrameSize once
+// trace spans inflate the frame) are dropped and counted individually;
+// only actual connection errors tear the link down.
 func (l *link) writer(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for {
 		select {
 		case of := <-l.outq:
 			batch := int64(1)
-			l.observeWait(of)
-			if err := writeFrame(l.bw, of.f); err != nil {
+			if err := l.emit(of, &batch); err != nil {
+				l.inflight.Add(-batch)
 				l.close()
 				return
 			}
@@ -159,17 +259,18 @@ func (l *link) writer(wg *sync.WaitGroup) {
 			for {
 				select {
 				case of := <-l.outq:
-					l.observeWait(of)
-					if err := writeFrame(l.bw, of.f); err != nil {
+					batch++
+					if err := l.emit(of, &batch); err != nil {
+						l.inflight.Add(-batch)
 						l.close()
 						return
 					}
-					batch++
 				default:
 					break drain
 				}
 			}
 			if err := l.bw.Flush(); err != nil {
+				l.inflight.Add(-batch)
 				l.close()
 				return
 			}
@@ -181,6 +282,31 @@ func (l *link) writer(wg *sync.WaitGroup) {
 			return
 		}
 	}
+}
+
+// emit writes one dequeued frame into the buffered writer. A droppable
+// encoding failure discards the frame — its inflight count is settled
+// immediately and it leaves the batch — and keeps the link; any other
+// error is a connection failure the caller must close on (the caller
+// settles the remaining batch).
+func (l *link) emit(of outFrame, batch *int64) error {
+	l.observeWait(of)
+	err := l.writeFrame(of.f)
+	if err == nil {
+		return nil
+	}
+	if droppableWriteError(err) {
+		*batch--
+		l.inflight.Add(-1)
+		if l.oversized != nil {
+			l.oversized.Inc()
+		}
+		if l.logf != nil {
+			l.logf("overlay: dropping %s frame to %s: %v", of.f.Type, l.peer, err)
+		}
+		return nil
+	}
+	return err
 }
 
 // observeWait feeds the per-link queue-wait histogram.

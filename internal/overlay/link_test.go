@@ -1,0 +1,313 @@
+package overlay
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+)
+
+// newCodecBroker is newTestBroker with the wire codec pinned.
+func newCodecBroker(t *testing.T, name string, disableBinary bool) *testBroker {
+	t.Helper()
+	ch := make(chan notify.Notification, 256)
+	nt, err := notify.NewEngine(notify.Config{Workers: 2}, &chanTransport{ch: ch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := broker.New(core.NewEngine(nil), nt)
+	node, err := NewNode(Config{Name: name, Listen: "127.0.0.1:0", DisableBinary: disableBinary}, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		node.Close()
+		nt.Close()
+	})
+	return &testBroker{b: b, node: node, nt: nt, ch: ch}
+}
+
+// TestOversizedFrameDropsFrameNotLink is the regression test for the
+// link-teardown bug: a single publication whose encoded frame exceeds
+// maxFrameSize used to error inside link.writer, which closed the whole
+// link — one big publication tore down the peering and re-dial loops
+// forever. The writer must instead drop that one frame (counted in
+// overlay.frames_oversized) and keep the link carrying everything else.
+func TestOversizedFrameDropsFrameNotLink(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		disableBinary bool
+	}{
+		{"binary", false},
+		{"json", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a := newCodecBroker(t, "A", tc.disableBinary)
+			b := newCodecBroker(t, "B", tc.disableBinary)
+			if err := b.node.Dial(a.node.Addr()); err != nil {
+				t.Fatal(err)
+			}
+			waitFor(t, "link up", func() bool { return len(a.node.Peers()) == 1 })
+
+			b.subscribe(t, "bob", message.Pred("x", message.OpGe, message.Int(0)))
+			waitFor(t, "subscription at A", func() bool {
+				return a.b.Stats().Remote.RemoteSubs == 1
+			})
+
+			if _, err := a.b.Publish(message.E("x", 1)); err != nil {
+				t.Fatal(err)
+			}
+			expectNotification(t, b.ch, "bob")
+
+			// The oversized publication matches bob too, so A routes it
+			// at the link — where encoding must drop it.
+			big := message.E("x", 2, "payload", message.String(strings.Repeat("p", maxFrameSize)))
+			if _, err := a.b.Publish(big); err != nil {
+				t.Fatal(err)
+			}
+			oversized := a.node.Registry().Counter("overlay.frames_oversized")
+			waitFor(t, "oversized frame counted", func() bool { return oversized.Value() == 1 })
+			expectSilence(t, b.ch)
+
+			// The link survived: still peered, and the next publication
+			// flows through it.
+			if got := len(a.node.Peers()); got != 1 {
+				t.Fatalf("oversized frame tore down the link: %d peers", got)
+			}
+			if _, err := a.b.Publish(message.E("x", 3)); err != nil {
+				t.Fatal(err)
+			}
+			n := expectNotification(t, b.ch, "bob")
+			if v, _ := n.Event.Get("x"); v.IntVal() != 3 {
+				t.Fatalf("follow-up event corrupted: %v", n.Event)
+			}
+			// And the drop did not strand quiescence accounting.
+			waitFor(t, "inflight settled", func() bool { return a.node.Pending() == 0 })
+		})
+	}
+}
+
+// pipeConn adapts one end of net.Pipe to the overlay Conn interface.
+type pipeConn struct{ net.Conn }
+
+func (c pipeConn) RemoteAddr() string { return "pipe" }
+
+// timeoutConn simulates a peer that connects and goes silent: reads
+// fail like an expired deadline, writes succeed.
+type timeoutConn struct{}
+
+func (timeoutConn) Read(p []byte) (int, error)  { return 0, os.ErrDeadlineExceeded }
+func (timeoutConn) Write(p []byte) (int, error) { return len(p), nil }
+func (timeoutConn) Close() error                { return nil }
+func (timeoutConn) SetDeadline(time.Time) error { return nil }
+func (timeoutConn) RemoteAddr() string          { return "stub" }
+
+// TestNewLinkHelloErrors pins the error taxonomy of the hello exchange:
+// a silent peer surfaces as errHelloTimeout, garbage or a non-hello
+// frame as errHelloMalformed — previously both collapsed into one
+// indistinguishable wrapped error on the caller's log line.
+func TestNewLinkHelloErrors(t *testing.T) {
+	t.Run("silent peer times out", func(t *testing.T) {
+		_, err := newLink(timeoutConn{}, "local", codecBinary)
+		if !errors.Is(err, errHelloTimeout) {
+			t.Fatalf("got %v, want errHelloTimeout", err)
+		}
+		if errors.Is(err, errHelloMalformed) {
+			t.Fatal("timeout must not also classify as malformed")
+		}
+	})
+
+	// peerScript runs f against the far end of a pipe while newLink
+	// handshakes on the near end.
+	peerScript := func(t *testing.T, f func(c net.Conn)) error {
+		t.Helper()
+		near, far := net.Pipe()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			f(far)
+			far.Close()
+		}()
+		_, err := newLink(pipeConn{near}, "local", codecBinary)
+		<-done
+		return err
+	}
+	drainHello := func(c net.Conn) {
+		buf := make([]byte, 4096)
+		c.Read(buf)
+	}
+
+	t.Run("garbage bytes are malformed", func(t *testing.T) {
+		err := peerScript(t, func(c net.Conn) {
+			drainHello(c)
+			c.Write([]byte{0, 0, 0, 2, '{', ']'})
+		})
+		if !errors.Is(err, errHelloMalformed) {
+			t.Fatalf("got %v, want errHelloMalformed", err)
+		}
+		if errors.Is(err, errHelloTimeout) {
+			t.Fatal("malformed hello must not classify as timeout")
+		}
+	})
+
+	t.Run("non-hello frame is malformed", func(t *testing.T) {
+		err := peerScript(t, func(c net.Conn) {
+			drainHello(c)
+			writeFrame(c, Frame{Type: frameSub, Origin: "x"})
+		})
+		if !errors.Is(err, errHelloMalformed) {
+			t.Fatalf("got %v, want errHelloMalformed", err)
+		}
+	})
+
+	t.Run("own name is rejected", func(t *testing.T) {
+		err := peerScript(t, func(c net.Conn) {
+			drainHello(c)
+			writeFrame(c, Frame{Type: frameHello, Name: "local"})
+		})
+		if err == nil || !strings.Contains(err.Error(), "own name") {
+			t.Fatalf("got %v, want own-name rejection", err)
+		}
+	})
+}
+
+// TestNewLinkCodecNegotiation checks both ends derive the same codec
+// from the hello exchange: min of the two advertised versions, clamped
+// to what this build implements.
+func TestNewLinkCodecNegotiation(t *testing.T) {
+	cases := []struct {
+		a, b, want int
+	}{
+		{codecBinary, codecBinary, codecBinary},
+		{codecBinary, codecJSON, codecJSON},
+		{codecJSON, codecBinary, codecJSON},
+		{codecJSON, codecJSON, codecJSON},
+		{99, codecBinary, codecBinary}, // future peer: capped at ours
+		{codecBinary, -3, codecJSON},   // nonsense advertisement
+	}
+	// TCP loopback rather than net.Pipe: both ends of the handshake
+	// write their hello before reading, which deadlocks on an unbuffered
+	// pipe but not on a kernel-buffered socket.
+	connPair := func(t *testing.T) (Conn, Conn) {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		type res struct {
+			c   net.Conn
+			err error
+		}
+		ch := make(chan res, 1)
+		go func() {
+			c, err := ln.Accept()
+			ch <- res{c, err}
+		}()
+		dialed, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		accepted := <-ch
+		if accepted.err != nil {
+			t.Fatal(accepted.err)
+		}
+		return tcpConn{dialed}, tcpConn{accepted.c}
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%d-%d", tc.a, tc.b), func(t *testing.T) {
+			near, far := connPair(t)
+			type res struct {
+				l   *link
+				err error
+			}
+			ch := make(chan res, 1)
+			go func() {
+				l, err := newLink(far, "peer-b", tc.b)
+				ch <- res{l, err}
+			}()
+			la, errA := newLink(near, "peer-a", tc.a)
+			rb := <-ch
+			if errA != nil || rb.err != nil {
+				t.Fatalf("handshake failed: %v / %v", errA, rb.err)
+			}
+			defer la.close()
+			defer rb.l.close()
+			if la.codec != tc.want || rb.l.codec != tc.want {
+				t.Fatalf("negotiated %d/%d, want %d on both ends", la.codec, rb.l.codec, tc.want)
+			}
+			if (la.codec >= codecBinary) != (la.rdict != nil) {
+				t.Fatal("dictionary allocation must track the negotiated codec")
+			}
+		})
+	}
+}
+
+// failConn accepts writes into the void until failAfter bytes have
+// arrived, then errors every write.
+type failConn struct {
+	mu        sync.Mutex
+	written   int
+	failAfter int
+}
+
+func (c *failConn) Read(p []byte) (int, error) { select {} }
+func (c *failConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.written += len(p)
+	if c.written > c.failAfter {
+		return 0, errors.New("wire cut")
+	}
+	return len(p), nil
+}
+func (c *failConn) Close() error                { return nil }
+func (c *failConn) SetDeadline(time.Time) error { return nil }
+func (c *failConn) RemoteAddr() string          { return "failconn" }
+
+// TestWriterErrorSettlesBatchInflight is the regression test for the
+// inflight leak: the writer's error exits used to return without
+// decrementing the partial batch, leaving inflight > 0 forever and
+// wedging Node.Pending/sim.Settle quiescence.
+func TestWriterErrorSettlesBatchInflight(t *testing.T) {
+	l := &link{
+		conn: &failConn{},
+		outq: make(chan outFrame, outqCap),
+		done: make(chan struct{}),
+	}
+	l.bw = bufio.NewWriter(l.conn)
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if err := l.send(Frame{Type: frameUnsub, Origin: "a", SubID: message.SubID(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.inflight.Load(); got != frames {
+		t.Fatalf("inflight %d before writer, want %d", got, frames)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go l.writer(&wg)
+	wg.Wait() // writer must exit on the write error
+	if got := l.inflight.Load(); got != 0 {
+		t.Fatalf("writer exit leaked inflight = %d, want 0", got)
+	}
+	select {
+	case <-l.done:
+	default:
+		t.Fatal("writer exit must close the link")
+	}
+}

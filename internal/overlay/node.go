@@ -35,6 +35,12 @@ type Config struct {
 	// overlaps the subscription. Sound only when every publisher in the
 	// overlay advertises.
 	Quench bool
+	// DisableBinary forces the legacy JSON wire codec on every link by
+	// advertising codec version 0 at hello. Negotiation then selects
+	// JSON regardless of what the peer supports — a compatibility and
+	// debugging knob (JSON frames are greppable on the wire), also used
+	// by the mixed-version interop tests.
+	DisableBinary bool
 	// Registry receives the overlay counters; nil allocates a private
 	// one (see Node.Registry).
 	Registry *metrics.Registry
@@ -83,6 +89,7 @@ type Node struct {
 	pubsForwarded, pubsReceived, pubsDeduped              *metrics.Counter
 	advertsForwarded                                      *metrics.Counter
 	kbForwarded, kbReceived, kbDeduped                    *metrics.Counter
+	framesOversized                                       *metrics.Counter
 	kbDeltas                                              *metrics.Gauge
 }
 
@@ -122,6 +129,7 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 		kbForwarded:      reg.Counter("overlay.kb_forwarded"),
 		kbReceived:       reg.Counter("overlay.kb_received"),
 		kbDeduped:        reg.Counter("overlay.kb_deduped"),
+		framesOversized:  reg.Counter("overlay.frames_oversized"),
 		kbDeltas:         reg.Gauge("overlay.kb_deltas"),
 	}
 	// The node owns the broker's tracer: publication IDs must carry the
@@ -219,7 +227,11 @@ func (n *Node) acceptLoop(ln Listener) {
 // attach performs the hello exchange, registers the link, synchronizes
 // the node's current routing state onto it, and starts its read loop.
 func (n *Node) attach(conn Conn) error {
-	l, err := newLink(conn, n.cfg.Name)
+	maxCodec := codecBinary
+	if n.cfg.DisableBinary {
+		maxCodec = codecJSON
+	}
+	l, err := newLink(conn, n.cfg.Name, maxCodec)
 	if err != nil {
 		return err
 	}
@@ -240,6 +252,9 @@ func (n *Node) attach(conn Conn) error {
 	l.sent = n.reg.Counter("overlay.link." + l.peer + ".frames_sent")
 	l.recv = n.reg.Counter("overlay.link." + l.peer + ".frames_recv")
 	l.qwait = n.reg.Histogram("overlay.link." + l.peer + ".queue_wait")
+	l.oversized = n.framesOversized
+	l.logf = n.cfg.Logf
+	n.reg.Gauge("overlay.link." + l.peer + ".codec").Set(int64(l.codec))
 	n.links = append(n.links, l)
 	n.wg.Add(1)
 	go l.writer(&n.wg)
@@ -298,7 +313,7 @@ func (n *Node) syncLink(l *link) {
 func (n *Node) readLoop(l *link) {
 	defer n.wg.Done()
 	for {
-		f, err := readFrame(l.br)
+		f, err := l.readFrame()
 		if err != nil {
 			n.detach(l)
 			return
@@ -361,15 +376,19 @@ func (n *Node) Pending() int {
 	defer n.mu.Unlock()
 	total := int64(0)
 	for _, l := range n.links {
-		total += l.inflight.Load()
-		// A closed link still registered here awaits its detach: its
-		// peer slot is not yet reusable, so quiescence must not be
-		// declared (a harness could otherwise re-dial and be rejected
-		// as a duplicate peer name).
 		select {
 		case <-l.done:
+			// A closed link still registered here awaits its detach: its
+			// peer slot is not yet reusable, so quiescence must not be
+			// declared (a harness could otherwise re-dial and be rejected
+			// as a duplicate peer name). Its inflight count, however, is
+			// dead weight and must NOT be included: send can win the race
+			// against close (done-check, then enqueue) and strand a
+			// counted frame in a queue no writer will ever drain — the
+			// stranded count would wedge quiescence forever.
 			total++
 		default:
+			total += l.inflight.Load()
 		}
 	}
 	return int(total)
@@ -739,6 +758,11 @@ func (n *Node) requench(l *link) {
 // presence), with a forward span recorded per link first.
 func (n *Node) routePub(ev message.Event, pubID string, hops []string, from *link) {
 	var events []message.Event
+	// evShared is one defensive clone of the event, made lazily and
+	// shared by every forwarded frame: link writers only READ the frame
+	// while encoding it, so the per-link copies this used to make were
+	// pure allocation overhead (the hop list is shared the same way).
+	var evShared *message.Event
 	traced := n.trc.Traced(pubID)
 	for _, l := range n.links {
 		if l == from || visited(hops, l.peer) {
@@ -758,8 +782,11 @@ func (n *Node) routePub(ev message.Event, pubID string, hops []string, from *lin
 			n.trc.Forward(pubID, l.peer, time.Now())
 			spans = n.trc.Spans(pubID)
 		}
-		evCopy := ev.Clone()
-		if err := l.send(Frame{Type: framePub, Origin: hops[0], Event: &evCopy, PubID: pubID, Hops: hops, Trace: spans}); err != nil {
+		if evShared == nil {
+			evCopy := ev.Clone()
+			evShared = &evCopy
+		}
+		if err := l.send(Frame{Type: framePub, Origin: hops[0], Event: evShared, PubID: pubID, Hops: hops, Trace: spans}); err != nil {
 			continue
 		}
 		n.pubsForwarded.Inc()

@@ -2,7 +2,7 @@ package overlay
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +56,14 @@ type ShardedEngine struct {
 	shardMatches []atomic.Uint64 // per-shard match deliveries
 
 	reg *metrics.Registry // optional; mirrors counters when set
+
+	// Publish hot-path pools: the one-event wrapper slice used in
+	// syntactic mode and the per-publication reply channel. Both are
+	// fully private to a Publish call by the time it returns (every
+	// worker has replied and MatchEvents does not retain its argument),
+	// so recycling them is safe under concurrent publishers.
+	evPool    sync.Pool // *[]message.Event, len 1
+	replyPool sync.Pool // chan shardReply, cap len(shards)-1
 }
 
 type matchJob struct {
@@ -294,7 +302,17 @@ func (s *ShardedEngine) Publish(ev message.Event) (core.MatchResult, error) {
 		s.reg.Counter("engine.sharded.publishes").Inc()
 	}
 
-	events := []message.Event{ev}
+	wrap, _ := s.evPool.Get().(*[]message.Event)
+	if wrap == nil {
+		w := make([]message.Event, 1)
+		wrap = &w
+	}
+	(*wrap)[0] = ev
+	events := *wrap
+	defer func() {
+		(*wrap)[0] = message.Event{} // drop the event reference
+		s.evPool.Put(wrap)
+	}()
 	if s.Mode() == core.Semantic {
 		t0 := time.Now()
 		res.Expansion = s.Stage().ProcessEvent(ev)
@@ -315,7 +333,13 @@ func (s *ShardedEngine) Publish(ev message.Event) (core.MatchResult, error) {
 	n := len(s.shards)
 	var reply chan shardReply
 	if n > 1 {
-		reply = make(chan shardReply, n-1)
+		reply, _ = s.replyPool.Get().(chan shardReply)
+		if reply == nil {
+			reply = make(chan shardReply, n-1)
+		}
+		// The channel goes back to the pool only after all n-1 replies
+		// have been received below, so a recycled channel is always empty.
+		defer s.replyPool.Put(reply)
 		for i := 1; i < n; i++ {
 			s.jobs[i] <- matchJob{events: events, reply: reply}
 		}
@@ -331,21 +355,13 @@ func (s *ShardedEngine) Publish(ev message.Event) (core.MatchResult, error) {
 		res.Matches = ids0
 	} else {
 		// Shards partition the subscription set, so the per-shard
-		// results are disjoint sorted runs: concatenate and sort, no
-		// dedup map needed.
-		parts := make([][]message.SubID, 1, n)
-		parts[0] = ids0
-		total := len(ids0)
+		// results are disjoint sorted runs: concatenate onto shard 0's
+		// result (which this call owns) and sort, no dedup map needed.
+		out := ids0
 		for i := 1; i < n; i++ {
-			r := <-reply
-			parts = append(parts, r.ids)
-			total += len(r.ids)
+			out = append(out, (<-reply).ids...)
 		}
-		out := make([]message.SubID, 0, total)
-		for _, p := range parts {
-			out = append(out, p...)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		slices.Sort(out)
 		res.Matches = out
 	}
 	res.MatchTime = time.Since(t1)

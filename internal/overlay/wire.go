@@ -1,7 +1,9 @@
 // Package overlay federates S-ToPSS brokers into a multi-node
 // publish/subscribe network: peer brokers connect over TCP and exchange
-// length-prefixed JSON frames that propagate subscriptions (with
-// covering-based pruning), advertisements, and publications.
+// length-prefixed frames that propagate subscriptions (with
+// covering-based pruning), advertisements, and publications. Frames are
+// binary with per-link interned dictionaries between up-to-date peers
+// and fall back to JSON framing for old ones (wire_binary.go).
 //
 // Routing model (the classic content-based federation scheme the
 // Toronto group's later systems use):
@@ -38,9 +40,9 @@ package overlay
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -78,6 +80,12 @@ type Frame struct {
 
 	Name string `json:"name,omitempty"` // hello: node name
 
+	// Codec is the sender's maximum supported wire-codec version
+	// (hello only). Both sides use min(local, peer) for every frame
+	// after the hello; peers predating the field leave it 0, selecting
+	// the legacy JSON framing (see wire_binary.go).
+	Codec int `json:"codec,omitempty"`
+
 	Sub   *message.Subscription `json:"sub,omitempty"`    // sub
 	SubID message.SubID         `json:"sub_id,omitempty"` // unsub
 
@@ -114,12 +122,31 @@ const frameAllocChunk = 64 << 10
 // errFrameTooLarge reports a length prefix outside (0, maxFrameSize].
 var errFrameTooLarge = fmt.Errorf("overlay: frame length out of range (max %d)", maxFrameSize)
 
+// errFrameEncode marks failures that happen while ENCODING a frame,
+// before any byte reaches the connection. Together with an oversized
+// encoded body (errFrameTooLarge from the write path) these are
+// droppable: the link writer discards the single frame (counted in
+// overlay.frames_oversized) instead of tearing down the link, because
+// the stream is still in sync — only this frame's payload was
+// unshippable.
+var errFrameEncode = fmt.Errorf("overlay: frame encoding failed")
+
+// droppableWriteError reports whether a writeFrame/appendFrameBinary
+// error cost the link nothing on the wire, so the frame can be dropped
+// and the link kept.
+func droppableWriteError(err error) bool {
+	return errors.Is(err, errFrameTooLarge) || errors.Is(err, errFrameEncode)
+}
+
 // writeFrame encodes f as a 4-byte big-endian length prefix followed by
-// the JSON body. The caller serializes concurrent writers.
+// the JSON body (wire codec version 0). The caller serializes
+// concurrent writers. The body is marshaled and size-checked before any
+// byte reaches w, so a failure leaves the stream intact (see
+// droppableWriteError).
 func writeFrame(w io.Writer, f Frame) error {
 	body, err := json.Marshal(f)
 	if err != nil {
-		return fmt.Errorf("overlay: encoding %s frame: %w", f.Type, err)
+		return fmt.Errorf("%w: %s frame: %v", errFrameEncode, f.Type, err)
 	}
 	if len(body) > maxFrameSize {
 		return fmt.Errorf("overlay: %s frame of %d bytes: %w", f.Type, len(body), errFrameTooLarge)
@@ -133,12 +160,14 @@ func writeFrame(w io.Writer, f Frame) error {
 	return err
 }
 
-// readFrame decodes one length-prefixed frame. A malformed length
-// prefix can neither allocate unbounded memory (lengths above
-// maxFrameSize are rejected before any body allocation) nor force a
-// large allocation backed by no data (the body buffer grows
-// incrementally as bytes arrive, starting at frameAllocChunk).
-func readFrame(r *bufio.Reader) (Frame, error) {
+// readFrame decodes one JSON-framed (codec version 0) frame. A
+// malformed length prefix can neither allocate unbounded memory
+// (lengths above maxFrameSize are rejected before any body allocation)
+// nor force a large allocation backed by no data (the body buffer grows
+// incrementally as bytes arrive, starting at frameAllocChunk). bufp, if
+// non-nil, is the caller's reusable body buffer: its capacity is kept
+// across frames, so a steady-state link reads without allocating.
+func readFrame(r *bufio.Reader, bufp *[]byte) (Frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Frame{}, err
@@ -147,22 +176,71 @@ func readFrame(r *bufio.Reader) (Frame, error) {
 	if n == 0 || n > maxFrameSize {
 		return Frame{}, fmt.Errorf("overlay: frame length %d: %w", n, errFrameTooLarge)
 	}
-	var body bytes.Buffer
-	body.Grow(int(min(n, frameAllocChunk)))
-	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
+	body, err := readBody(r, bufp, int(n))
+	if err != nil {
 		return Frame{}, err
 	}
 	var f Frame
-	if err := json.Unmarshal(body.Bytes(), &f); err != nil {
+	if err := json.Unmarshal(body, &f); err != nil {
 		return Frame{}, fmt.Errorf("overlay: decoding frame: %w", err)
 	}
 	if f.Type == "" {
 		return Frame{}, fmt.Errorf("overlay: frame missing type")
 	}
 	return f, nil
+}
+
+// readFrameBinary decodes one binary-framed (codec version 1) frame:
+// uvarint body length, then the body (wire_binary.go). The same
+// incremental-allocation hardening as readFrame applies, although
+// binary frames only ever arrive after the hello has vetted the peer.
+func readFrameBinary(r *bufio.Reader, bufp *[]byte, dict *message.Intern) (Frame, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Frame{}, err
+	}
+	if n == 0 || n > maxFrameSize {
+		return Frame{}, fmt.Errorf("overlay: frame length %d: %w", n, errFrameTooLarge)
+	}
+	body, err := readBody(r, bufp, int(n))
+	if err != nil {
+		return Frame{}, err
+	}
+	return decodeFrameBinary(body, dict)
+}
+
+// readBody fills a buffer with n body bytes from r, growing it in
+// frameAllocChunk steps so an attacker-controlled length prefix commits
+// memory only as body bytes actually arrive. With a non-nil bufp the
+// buffer (and its grown capacity) is reused across calls; decoded
+// frames must therefore copy what they keep, which both frame codecs
+// do (json.Unmarshal copies strings; BReader.String copies bytes).
+func readBody(r *bufio.Reader, bufp *[]byte, n int) ([]byte, error) {
+	var buf []byte
+	if bufp != nil {
+		buf = (*bufp)[:0]
+	}
+	for len(buf) < n {
+		start := len(buf)
+		chunk := min(n-start, frameAllocChunk)
+		if start+chunk > cap(buf) {
+			grown := make([]byte, start+chunk)
+			copy(grown, buf)
+			buf = grown
+		} else {
+			buf = buf[:start+chunk]
+		}
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if bufp != nil {
+			*bufp = buf
+		}
+	}
+	return buf, nil
 }
 
 // visited reports whether node name appears in the hop list.

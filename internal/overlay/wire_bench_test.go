@@ -1,0 +1,60 @@
+package overlay
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// BenchmarkWireCodec measures one pub frame through encode + decode
+// under each framing, with warmed per-link dictionaries for the binary
+// codec — the steady-state per-hop serialization cost the overlay pays
+// on every forwarded publication. Gated in CI on both ns/op and
+// allocs/op (EXPERIMENTS.md has the comparison table).
+func BenchmarkWireCodec(b *testing.B) {
+	ev := message.E("x", 42, "city", "Toronto", "score", 3.25)
+	f := Frame{Type: framePub, Origin: "broker-a", PubID: "broker-a#e1/99",
+		Event: &ev, Hops: []string{"broker-a", "broker-b"}}
+
+	b.Run("json", func(b *testing.B) {
+		var buf bytes.Buffer
+		var rbuf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := writeFrame(&buf, f); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := readFrame(bufio.NewReader(&buf), &rbuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("binary", func(b *testing.B) {
+		var w message.BWriter
+		w.Dict = message.NewIntern()
+		rdict := message.NewIntern()
+		// Warm both dictionaries so the loop measures steady state.
+		if err := appendFrameBinary(&w, f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeFrameBinary(w.Buf, rdict); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			if err := appendFrameBinary(&w, f); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := decodeFrameBinary(w.Buf, rdict); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,307 @@
+package overlay
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+	"stopss/internal/trace"
+)
+
+// Binary frame codec (wire protocol version 1, DESIGN §6). A binary
+// frame on the wire is a uvarint body length followed by the body:
+//
+//	type byte · presence mask (uvarint) · present fields in fixed order
+//
+// Fields reuse the message-layer binary codecs; recurring strings
+// (broker names, attributes, terms) go through a per-link, per-direction
+// interning dictionary that both ends grow deterministically, so after
+// warm-up a hop name or attribute costs one or two bytes. Knowledge
+// deltas stay as an embedded JSON blob: they are rare control-plane
+// traffic with a deeply nested shape, not worth a hand-rolled codec.
+//
+// The codec is negotiated at hello: the hello frame always travels in
+// the legacy length-prefixed JSON framing and advertises the sender's
+// maximum supported version in Frame.Codec; each side then uses
+// min(local, peer) for everything after the hello. Old peers omit the
+// field (JSON decoders ignore unknown keys), which reads as version 0 —
+// pure JSON framing — so mixed clusters keep working.
+const (
+	codecJSON   = 0 // legacy: 4-byte big-endian length + JSON body
+	codecBinary = 1 // uvarint length + binary body, interned strings
+)
+
+// Binary frame type codes (never 0, so a zeroed byte is malformed).
+var frameTypeCode = map[string]byte{
+	frameHello: 1,
+	frameSub:   2,
+	frameUnsub: 3,
+	frameAdv:   4,
+	frameUnadv: 5,
+	framePub:   6,
+	frameKB:    7,
+	frameTrace: 8,
+}
+
+var frameTypeName = map[byte]string{
+	1: frameHello,
+	2: frameSub,
+	3: frameUnsub,
+	4: frameAdv,
+	5: frameUnadv,
+	6: framePub,
+	7: frameKB,
+	8: frameTrace,
+}
+
+// Presence-mask bits, one per Frame payload field, in encode order. A
+// field is present iff it would survive the JSON codec's omitempty —
+// the two codecs must agree on what an absent field means for the
+// cross-codec round-trip guarantee to hold.
+const (
+	bitOrigin = 1 << iota
+	bitHops
+	bitName
+	bitSub
+	bitSubID
+	bitClient
+	bitPreds
+	bitEvent
+	bitPubID
+	bitTrace
+	bitKB
+	bitCodec
+
+	maskKnown = bitCodec<<1 - 1
+)
+
+// appendFrameBinary encodes f onto w. On error the caller must roll
+// back w's dictionary to its pre-call mark — partially encoded literals
+// have claimed ids the peer will never learn.
+func appendFrameBinary(w *message.BWriter, f Frame) error {
+	tc := frameTypeCode[f.Type]
+	if tc == 0 {
+		return fmt.Errorf("%w: unknown frame type %q", errFrameEncode, f.Type)
+	}
+	w.Byte(tc)
+
+	var mask uint64
+	if f.Origin != "" {
+		mask |= bitOrigin
+	}
+	if len(f.Hops) > 0 {
+		mask |= bitHops
+	}
+	if f.Name != "" {
+		mask |= bitName
+	}
+	if f.Sub != nil {
+		mask |= bitSub
+	}
+	if f.SubID != 0 {
+		mask |= bitSubID
+	}
+	if f.Client != "" {
+		mask |= bitClient
+	}
+	if len(f.Preds) > 0 {
+		mask |= bitPreds
+	}
+	if f.Event != nil {
+		mask |= bitEvent
+	}
+	if f.PubID != "" {
+		mask |= bitPubID
+	}
+	if len(f.Trace) > 0 {
+		mask |= bitTrace
+	}
+	if f.KB != nil {
+		mask |= bitKB
+	}
+	if f.Codec != 0 {
+		mask |= bitCodec
+	}
+	w.Uvarint(mask)
+
+	if mask&bitOrigin != 0 {
+		w.String(f.Origin)
+	}
+	if mask&bitHops != 0 {
+		w.Uvarint(uint64(len(f.Hops)))
+		for _, h := range f.Hops {
+			w.String(h)
+		}
+	}
+	if mask&bitName != 0 {
+		w.String(f.Name)
+	}
+	if mask&bitSub != 0 {
+		w.Subscription(*f.Sub)
+	}
+	if mask&bitSubID != 0 {
+		w.Uvarint(uint64(f.SubID))
+	}
+	if mask&bitClient != 0 {
+		w.String(f.Client)
+	}
+	if mask&bitPreds != 0 {
+		w.Uvarint(uint64(len(f.Preds)))
+		for _, p := range f.Preds {
+			w.Predicate(p)
+		}
+	}
+	if mask&bitEvent != 0 {
+		w.Event(*f.Event)
+	}
+	if mask&bitPubID != 0 {
+		// Publication IDs are unique by construction; interning them
+		// would only churn the dictionary.
+		w.RawString(f.PubID)
+	}
+	if mask&bitTrace != 0 {
+		trace.AppendSpans(w, f.Trace)
+	}
+	if mask&bitKB != 0 {
+		blob, err := json.Marshal(f.KB)
+		if err != nil {
+			return fmt.Errorf("%w: kb delta: %v", errFrameEncode, err)
+		}
+		w.Uvarint(uint64(len(blob)))
+		w.Buf = append(w.Buf, blob...)
+	}
+	if mask&bitCodec != 0 {
+		// Signed: a (hostile or buggy) JSON hello can carry a negative
+		// codec, and re-encoding must not corrupt it.
+		w.Varint(int64(f.Codec))
+	}
+	return nil
+}
+
+// decodeFrameBinary decodes one binary frame body. dict must be the
+// receive-direction dictionary mirroring the sender's.
+func decodeFrameBinary(body []byte, dict *message.Intern) (Frame, error) {
+	r := message.NewBReader(body, dict)
+	tc, err := r.Byte()
+	if err != nil {
+		return Frame{}, err
+	}
+	var f Frame
+	if f.Type = frameTypeName[tc]; f.Type == "" {
+		return Frame{}, fmt.Errorf("overlay: unknown binary frame type %d", tc)
+	}
+	mask, err := r.Uvarint()
+	if err != nil {
+		return Frame{}, err
+	}
+	if mask&^uint64(maskKnown) != 0 {
+		// Unknown fields carry no length, so they cannot be skipped;
+		// version negotiation guarantees both ends speak the same
+		// version, making this corruption, not a newer peer.
+		return Frame{}, fmt.Errorf("overlay: binary frame with unknown field bits %#x", mask)
+	}
+
+	if mask&bitOrigin != 0 {
+		if f.Origin, err = r.String(); err != nil {
+			return Frame{}, err
+		}
+	}
+	if mask&bitHops != 0 {
+		n, err := r.Uvarint()
+		if err != nil {
+			return Frame{}, err
+		}
+		if n > uint64(r.Len()) {
+			return Frame{}, fmt.Errorf("overlay: hop count %d exceeds input", n)
+		}
+		f.Hops = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			h, err := r.String()
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Hops = append(f.Hops, h)
+		}
+	}
+	if mask&bitName != 0 {
+		if f.Name, err = r.String(); err != nil {
+			return Frame{}, err
+		}
+	}
+	if mask&bitSub != 0 {
+		sub, err := r.Subscription()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Sub = &sub
+	}
+	if mask&bitSubID != 0 {
+		id, err := r.Uvarint()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.SubID = message.SubID(id)
+	}
+	if mask&bitClient != 0 {
+		if f.Client, err = r.String(); err != nil {
+			return Frame{}, err
+		}
+	}
+	if mask&bitPreds != 0 {
+		n, err := r.Uvarint()
+		if err != nil {
+			return Frame{}, err
+		}
+		if n > uint64(r.Len()) {
+			return Frame{}, fmt.Errorf("overlay: predicate count %d exceeds input", n)
+		}
+		f.Preds = make([]message.Predicate, 0, n)
+		for i := uint64(0); i < n; i++ {
+			p, err := r.Predicate()
+			if err != nil {
+				return Frame{}, err
+			}
+			f.Preds = append(f.Preds, p)
+		}
+	}
+	if mask&bitEvent != 0 {
+		ev, err := r.Event()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Event = &ev
+	}
+	if mask&bitPubID != 0 {
+		if f.PubID, err = r.RawString(); err != nil {
+			return Frame{}, err
+		}
+	}
+	if mask&bitTrace != 0 {
+		if f.Trace, err = trace.ReadSpans(r); err != nil {
+			return Frame{}, err
+		}
+	}
+	if mask&bitKB != 0 {
+		blob, err := r.RawString()
+		if err != nil {
+			return Frame{}, err
+		}
+		var d knowledge.Delta
+		if err := json.Unmarshal([]byte(blob), &d); err != nil {
+			return Frame{}, fmt.Errorf("overlay: decoding kb delta: %w", err)
+		}
+		f.KB = &d
+	}
+	if mask&bitCodec != 0 {
+		c, err := r.Varint()
+		if err != nil {
+			return Frame{}, err
+		}
+		f.Codec = int(c)
+	}
+	if r.Len() != 0 {
+		return Frame{}, fmt.Errorf("overlay: %d trailing bytes after %s frame", r.Len(), f.Type)
+	}
+	return f, nil
+}

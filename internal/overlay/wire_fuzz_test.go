@@ -22,17 +22,20 @@ func frameBytes(t *testing.F, f Frame) []byte {
 	return buf.Bytes()
 }
 
-// FuzzFrame drives readFrame with arbitrary bytes. Three guarantees:
-// it never panics, it never allocates beyond the frame cap no matter
-// what the length prefix claims, and any frame it accepts survives an
-// encode→decode round trip unchanged (decode∘encode is the identity
-// on decoded frames).
+// FuzzFrame drives readFrame with arbitrary bytes. Four guarantees: it
+// never panics, it never allocates beyond the frame cap no matter what
+// the length prefix claims, any frame it accepts survives a JSON
+// encode→decode round trip unchanged (decode∘encode is the identity on
+// decoded frames), and the same frame pushed through the BINARY codec
+// (struct→binary→struct) is indistinguishable — by canonical JSON —
+// from the JSON round trip, so a mixed-version cluster cannot disagree
+// about a frame's meaning.
 func FuzzFrame(f *testing.F) {
 	sub := message.NewSubscription(7, "acme",
 		message.Pred("x", message.OpGe, message.Int(10)),
 		message.Pred("city", message.OpEq, message.String("Toronto")))
 	ev := message.E("x", 42, "city", "Toronto")
-	f.Add(frameBytes(f, Frame{Type: frameHello, Name: "broker-a"}))
+	f.Add(frameBytes(f, Frame{Type: frameHello, Name: "broker-a", Codec: codecBinary}))
 	f.Add(frameBytes(f, Frame{Type: frameSub, Origin: "c", Hops: []string{"c", "b"}, Sub: &sub}))
 	f.Add(frameBytes(f, Frame{Type: frameUnsub, Origin: "c", SubID: 7, Hops: []string{"c"}}))
 	f.Add(frameBytes(f, Frame{Type: frameAdv, Origin: "a", Client: "p",
@@ -45,7 +48,7 @@ func FuzzFrame(f *testing.F) {
 	f.Add(binary.BigEndian.AppendUint32(nil, maxFrameSize+1))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		fr, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		fr, err := readFrame(bufio.NewReader(bytes.NewReader(data)), nil)
 		if err != nil {
 			if len(data) >= 4 {
 				if n := binary.BigEndian.Uint32(data[:4]); n > maxFrameSize && !errors.Is(err, errFrameTooLarge) {
@@ -67,7 +70,7 @@ func FuzzFrame(f *testing.F) {
 			}
 			t.Fatalf("re-encoding an accepted frame: %v", err)
 		}
-		fr2, err := readFrame(bufio.NewReader(&buf))
+		fr2, err := readFrame(bufio.NewReader(&buf), nil)
 		if err != nil {
 			t.Fatalf("re-decoding an accepted frame: %v", err)
 		}
@@ -84,29 +87,61 @@ func FuzzFrame(f *testing.F) {
 		if !bytes.Equal(b1, b2) {
 			t.Fatalf("round trip not stable:\n first: %s\nsecond: %s", b1, b2)
 		}
+
+		// Cross-codec leg: the binary codec must agree with JSON on
+		// every frame JSON accepts. An arbitrary Type string that is
+		// not a real frame type has no binary type code — that is the
+		// only excusable encode failure (the overlay never routes such
+		// frames; handleFrame ignores unknown types).
+		var bw message.BWriter
+		bw.Dict = message.NewIntern()
+		if err := appendFrameBinary(&bw, fr); err != nil {
+			if frameTypeCode[fr.Type] == 0 && errors.Is(err, errFrameEncode) {
+				return
+			}
+			t.Fatalf("binary-encoding an accepted frame: %v", err)
+		}
+		fr3, err := decodeFrameBinary(bw.Buf, message.NewIntern())
+		if err != nil {
+			t.Fatalf("binary round trip of an accepted frame failed: %v\nframe: %s", err, b1)
+		}
+		b3, err := json.Marshal(fr3)
+		if err != nil {
+			t.Fatalf("marshalling binary-decoded frame: %v", err)
+		}
+		if !bytes.Equal(b1, b3) {
+			t.Fatalf("binary and JSON codecs disagree:\n  json:   %s\n  binary: %s", b1, b3)
+		}
 	})
 }
 
 // TestReadFrameBoundedAllocation pins the hardening FuzzFrame relies
 // on: a forged length prefix claiming the full 1 MiB backed by no data
-// must not allocate the claimed size up front.
+// must not allocate the claimed size up front. Both framings are
+// probed; the binary framing's varint prefix can claim the cap too.
 func TestReadFrameBoundedAllocation(t *testing.T) {
-	hdr := binary.BigEndian.AppendUint32(nil, maxFrameSize)
+	jsonHdr := binary.BigEndian.AppendUint32(nil, maxFrameSize)
+	binHdr := binary.AppendUvarint(nil, maxFrameSize)
+	dict := message.NewIntern()
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	const rounds = 100
 	for i := 0; i < rounds; i++ {
-		if _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr))); err == nil {
-			t.Fatal("truncated 1MiB frame must not decode")
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(jsonHdr)), nil); err == nil {
+			t.Fatal("truncated 1MiB JSON frame must not decode")
+		}
+		if _, err := readFrameBinary(bufio.NewReader(bytes.NewReader(binHdr)), nil, dict); err == nil {
+			t.Fatal("truncated 1MiB binary frame must not decode")
 		}
 	}
 	runtime.ReadMemStats(&after)
 	// Pre-hardening, each forged header committed the full claimed MiB
-	// (rounds × 1 MiB total); incremental allocation stays around the
-	// initial chunk per call. Half the unbounded cost is the dividing
-	// line, leaving headroom for race-detector and runtime noise.
-	if grew := after.TotalAlloc - before.TotalAlloc; grew > rounds*maxFrameSize/2 {
+	// (rounds × 1 MiB total per framing); incremental allocation stays
+	// around the initial chunk per call. A quarter of the unbounded cost
+	// is the dividing line, leaving headroom for race-detector and
+	// runtime noise.
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 2*rounds*maxFrameSize/4 {
 		t.Fatalf("%d forged 1MiB headers allocated %d bytes; prefix-driven allocation is unbounded", rounds, grew)
 	}
 }

@@ -3,11 +3,45 @@ package overlay
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
+	"errors"
 	"reflect"
 	"testing"
+	"time"
 
+	"stopss/internal/knowledge"
 	"stopss/internal/message"
+	"stopss/internal/trace"
 )
+
+// testFrames is one frame of every type, exercising every payload
+// field at least once.
+func testFrames(t testing.TB) []Frame {
+	t.Helper()
+	sub := message.NewSubscription(7, "acme",
+		message.Pred("x", message.OpGe, message.Int(10)),
+		message.Pred("city", message.OpEq, message.String("Toronto")))
+	ev := message.E("x", 42, "city", "Toronto", "score", 3.25, "ok", true)
+	spans := []trace.Span{
+		{Broker: "broker-a", Seq: 1, Kind: trace.KindPublish, Start: time.Date(2026, 8, 8, 9, 0, 0, 123456789, time.UTC)},
+		{Broker: "broker-a", Seq: 2, Kind: trace.KindForward, Start: time.Date(2026, 8, 8, 9, 0, 1, 0, time.UTC), Link: "broker-b"},
+	}
+	kb := knowledge.Delta{Origin: "broker-a", Epoch: "e1", Seq: 3, Op: knowledge.OpAddSynonym,
+		Root: "school", Terms: []string{"university", "college"}}
+
+	return []Frame{
+		{Type: frameHello, Name: "broker-a", Codec: codecBinary},
+		{Type: frameSub, Origin: "broker-c", Hops: []string{"broker-c", "broker-b"}, Sub: &sub},
+		{Type: frameUnsub, Origin: "broker-c", SubID: 7, Hops: []string{"broker-c"}},
+		{Type: frameAdv, Origin: "broker-a", Client: "pub-1",
+			Preds: []message.Predicate{message.Pred("x", message.OpGe, message.Int(0))},
+			Hops:  []string{"broker-a"}},
+		{Type: frameUnadv, Origin: "broker-a", Client: "pub-1", Hops: []string{"broker-a"}},
+		{Type: framePub, Origin: "broker-a", PubID: "broker-a/1", Event: &ev, Hops: []string{"broker-a"}, Trace: spans},
+		{Type: frameKB, Origin: "broker-a", KB: &kb, Hops: []string{"broker-a"}},
+		{Type: frameTrace, PubID: "broker-a/1", Trace: spans},
+	}
+}
 
 func TestFrameRoundTrip(t *testing.T) {
 	sub := message.NewSubscription(7, "acme",
@@ -33,8 +67,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		}
 	}
 	r := bufio.NewReader(&buf)
+	var rbuf []byte
 	for i, want := range frames {
-		got, err := readFrame(r)
+		got, err := readFrame(r, &rbuf)
 		if err != nil {
 			t.Fatalf("reading frame %d: %v", i, err)
 		}
@@ -64,29 +99,177 @@ func TestFrameRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	if _, err := readFrame(r); err == nil {
+	if _, err := readFrame(r, &rbuf); err == nil {
 		t.Error("expected EOF after the last frame")
+	}
+}
+
+// TestBinaryFrameRoundTrip sends every frame type through the binary
+// codec over persistent dictionaries (as a real link would) and checks
+// the decoded frames are indistinguishable — by canonical JSON — from
+// the originals. The second pass re-sends the same frames so
+// dictionary back-references are actually exercised, and must produce
+// strictly smaller bodies.
+func TestBinaryFrameRoundTrip(t *testing.T) {
+	frames := testFrames(t)
+	l := &link{codec: codecBinary, bw: nil}
+	l.enc.Dict = message.NewIntern()
+	rdict := message.NewIntern()
+
+	var firstPass, secondPass int
+	for pass := 0; pass < 2; pass++ {
+		for i, want := range frames {
+			mark := l.enc.Dict.Mark()
+			l.enc.Reset()
+			if err := appendFrameBinary(&l.enc, want); err != nil {
+				l.enc.Dict.Rollback(mark)
+				t.Fatalf("pass %d frame %d (%s): encode: %v", pass, i, want.Type, err)
+			}
+			if pass == 0 {
+				firstPass += l.enc.Len()
+			} else {
+				secondPass += l.enc.Len()
+			}
+			got, err := decodeFrameBinary(l.enc.Buf, rdict)
+			if err != nil {
+				t.Fatalf("pass %d frame %d (%s): decode: %v", pass, i, want.Type, err)
+			}
+			wantJS, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJS, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wantJS, gotJS) {
+				t.Fatalf("pass %d frame %d (%s) round trip mismatch:\n  sent %s\n  got  %s",
+					pass, i, want.Type, wantJS, gotJS)
+			}
+		}
+	}
+	if secondPass >= firstPass {
+		t.Fatalf("interning had no effect: first pass %d bytes, second pass %d", firstPass, secondPass)
+	}
+}
+
+// TestBinaryFrameSmallerThanJSON pins the point of the exercise: a
+// warmed-up binary pub frame is a small fraction of its JSON form.
+func TestBinaryFrameSmallerThanJSON(t *testing.T) {
+	ev := message.E("x", 42, "city", "Toronto")
+	pub := Frame{Type: framePub, Origin: "broker-a", PubID: "broker-a#e/9",
+		Event: &ev, Hops: []string{"broker-a", "broker-b"}}
+
+	var w message.BWriter
+	w.Dict = message.NewIntern()
+	// Warm the dictionary with one frame, then measure the second.
+	if err := appendFrameBinary(&w, pub); err != nil {
+		t.Fatal(err)
+	}
+	w.Reset()
+	if err := appendFrameBinary(&w, pub); err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len()*2 >= len(js) {
+		t.Fatalf("binary pub frame is %d bytes vs %d JSON — expected < half", w.Len(), len(js))
+	}
+}
+
+func TestBinaryFrameRejectsGarbage(t *testing.T) {
+	dict := message.NewIntern()
+	if _, err := decodeFrameBinary(nil, dict); err == nil {
+		t.Error("empty body must be rejected")
+	}
+	if _, err := decodeFrameBinary([]byte{0x77}, dict); err == nil {
+		t.Error("unknown frame type must be rejected")
+	}
+	// Unknown presence bits cannot be skipped (no per-field lengths).
+	var w message.BWriter
+	w.Byte(frameTypeCode[frameHello])
+	w.Uvarint(maskKnown + 1)
+	if _, err := decodeFrameBinary(w.Buf, dict); err == nil {
+		t.Error("unknown presence bits must be rejected")
+	}
+	// Trailing bytes after a well-formed frame are corruption.
+	w.Reset()
+	if err := appendFrameBinary(&w, Frame{Type: frameHello, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Byte(0xff)
+	if _, err := decodeFrameBinary(w.Buf, message.NewIntern()); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+// TestLinkWriteFrameOversizedRollsBackDict pins the dictionary-desync
+// hazard: when an encoded frame is dropped for size, every literal it
+// interned must be forgotten, or the peer's table (which never sees the
+// frame) diverges and later back-references resolve to wrong strings.
+func TestLinkWriteFrameOversizedRollsBackDict(t *testing.T) {
+	var sink bytes.Buffer
+	l := &link{codec: codecBinary, bw: bufio.NewWriter(&sink), peer: "peer"}
+	l.enc.Dict = message.NewIntern()
+	rdict := message.NewIntern()
+
+	big := message.E("payload", string(make([]byte, maxFrameSize)))
+	over := Frame{Type: framePub, Origin: "broker-a", PubID: "p/1",
+		Event: &big, Hops: []string{"broker-a"}}
+	err := l.writeFrame(over)
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized frame: got %v, want errFrameTooLarge", err)
+	}
+	if !droppableWriteError(err) {
+		t.Fatal("oversized encode must be classified droppable")
+	}
+	if sink.Len() != 0 || l.bw.Buffered() != 0 {
+		t.Fatal("oversized frame leaked bytes onto the stream")
+	}
+
+	// The dropped frame interned "payload", "broker-a" etc. Re-encode a
+	// frame reusing those strings: a fresh receiver dictionary (which
+	// never saw the dropped frame) must still decode it.
+	ok := message.E("payload", "small")
+	good := Frame{Type: framePub, Origin: "broker-a", PubID: "p/2",
+		Event: &ok, Hops: []string{"broker-a"}}
+	if err := l.writeFrame(good); err != nil {
+		t.Fatalf("follow-up frame: %v", err)
+	}
+	if err := l.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrameBinary(bufio.NewReader(&sink), nil, rdict)
+	if err != nil {
+		t.Fatalf("decoding follow-up frame after a dropped one: %v", err)
+	}
+	wantJS, _ := json.Marshal(good)
+	gotJS, _ := json.Marshal(got)
+	if !bytes.Equal(wantJS, gotJS) {
+		t.Fatalf("dictionary desynced after drop:\n  sent %s\n  got  %s", wantJS, gotJS)
 	}
 }
 
 func TestFrameRejectsGarbage(t *testing.T) {
 	// Length prefix claiming more than the cap.
 	r := bufio.NewReader(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 'x'}))
-	if _, err := readFrame(r); err == nil {
+	if _, err := readFrame(r, nil); err == nil {
 		t.Error("oversized frame length must be rejected")
 	}
 	// Valid length, invalid JSON.
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 2})
 	buf.WriteString("{]")
-	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+	if _, err := readFrame(bufio.NewReader(&buf), nil); err == nil {
 		t.Error("malformed JSON body must be rejected")
 	}
 	// Valid JSON, missing type.
 	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 2})
 	buf.WriteString("{}")
-	if _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+	if _, err := readFrame(bufio.NewReader(&buf), nil); err == nil {
 		t.Error("frame without type must be rejected")
 	}
 }

@@ -32,6 +32,7 @@ const seqAttr = "sim_seq"
 // notification transport and a publication journal on disk.
 type Broker struct {
 	Name    string
+	idx     int // position in Cluster.Brokers (stable across restarts)
 	B       *broker.Broker
 	Node    *overlay.Node
 	NT      *notify.Engine
@@ -80,12 +81,14 @@ type Cluster struct {
 	Net     *Network
 	Brokers []*Broker
 
-	jcfg  journal.Config  // template; Dir is per-broker
-	edges map[[2]int]bool // configured topology
-	live  map[[2]int]bool // edges currently connected
-	subs  []*Sub
-	pubs  []*Pub
-	seq   int
+	jcfg    journal.Config                   // template; Dir is per-broker
+	edges   map[[2]int]bool                  // configured topology
+	live    map[[2]int]bool                  // edges currently connected
+	nodeCfg func(i int, cfg *overlay.Config) // optional per-broker tweak
+
+	subs []*Sub
+	pubs []*Pub
+	seq  int
 	// faultSeq counts fault injections (crash, restart, partition,
 	// offline subscriber). Publications that straddle a fault are exempt
 	// from VerifyTraceComplete's full-chain requirement.
@@ -101,6 +104,15 @@ type Option func(*Cluster)
 // crash durability tighten it.
 func WithJournalConfig(cfg journal.Config) Option {
 	return func(c *Cluster) { c.jcfg = cfg }
+}
+
+// WithNodeConfig installs a per-broker overlay configuration hook, run
+// after the harness seeds Name/Listen/Transport and before the node
+// starts (also on every rejoin or crash-restart incarnation). Scenarios
+// use it to pin per-broker knobs — e.g. DisableBinary, to model a
+// mixed-version cluster where some brokers only speak the JSON codec.
+func WithNodeConfig(f func(i int, cfg *overlay.Config)) Option {
+	return func(c *Cluster) { c.nodeCfg = f }
 }
 
 // NewCluster builds n brokers (named b00, b01, …) with started overlay
@@ -130,6 +142,7 @@ func NewCluster(tb testing.TB, n int, opts ...Option) *Cluster {
 		base := knowledge.NewBase(nil, nil, nil)
 		b := &Broker{
 			Name: name,
+			idx:  i,
 			B: broker.New(core.NewEngine(base.Stage(semantic.FullConfig()),
 				core.WithKnowledge(base)), nt),
 			NT:   nt,
@@ -164,11 +177,15 @@ func NewCluster(tb testing.TB, n int, opts ...Option) *Cluster {
 // start and rejoin share this).
 func (c *Cluster) startNode(b *Broker) {
 	c.tb.Helper()
-	node, err := overlay.NewNode(overlay.Config{
+	cfg := overlay.Config{
 		Name:      b.Name,
 		Listen:    b.Name, // fabric addresses are just names
 		Transport: c.Net.Host(b.Name),
-	}, b.B)
+	}
+	if c.nodeCfg != nil {
+		c.nodeCfg(b.idx, &cfg)
+	}
+	node, err := overlay.NewNode(cfg, b.B)
 	if err != nil {
 		c.tb.Fatal(err)
 	}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"stopss/internal/message"
+)
+
+// TestLinkCrashMidBurstSettles is the regression test for the
+// quiescence wedge: a link dying while its writer holds a partially
+// flushed batch (and more frames sit in the outbound queue) used to
+// strand a positive inflight count forever — Node.Pending never
+// returned to zero and Settle hung until its deadline. The writer must
+// settle its batch on every exit and Pending must ignore frames
+// stranded behind a closed link.
+func TestLinkCrashMidBurstSettles(t *testing.T) {
+	c := NewCluster(t, 2)
+	c.Wire([][2]int{{0, 1}})
+	c.Subscribe(1, ge("x", 0))
+	c.Settle()
+
+	// Sanity: the route works before the fault.
+	c.Publish(0, "x", 1)
+	c.Settle()
+	c.VerifyExactlyOnce()
+
+	// Stall the b00→b01 direction so b00's writer blocks mid-flush with
+	// a batch in hand, then pile a burst of matching publications into
+	// the outbound queue behind it.
+	c.Net.Stall("b00", "b01", true)
+	for i := 0; i < 50; i++ {
+		// Publish directly (untracked): these deliveries die with the
+		// link by design, so they must not enter the expected sets.
+		if _, err := c.Brokers[0].B.Publish(message.E("x", i+10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill the receiving broker. The severed pipe wakes b00's blocked
+	// writer with a write error while inflight > 0; Crash settles
+	// internally, so a stranded count would hang right here.
+	c.Crash(1)
+	c.Net.Stall("b00", "b01", false)
+	c.Settle()
+	if p := c.Brokers[0].Node.Pending(); p != 0 {
+		t.Fatalf("b00 still reports %d pending frames after the link died mid-burst", p)
+	}
+
+	// The survivor keeps working: rejoin and deliver again.
+	c.Rejoin(1)
+	c.Publish(0, "x", 2)
+	c.Settle()
+	c.VerifyExactlyOnce()
+}

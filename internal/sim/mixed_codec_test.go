@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"stopss/internal/overlay"
+)
+
+// TestMixedCodecCluster models a rolling upgrade: b01 only speaks the
+// legacy JSON framing while b00 and b02 support the binary codec. The
+// hello negotiation must settle every link on the highest framing both
+// ends share — JSON on anything touching b01, binary between upgraded
+// peers elsewhere — and routing across the mixed line must stay
+// exactly-once in both directions.
+func TestMixedCodecCluster(t *testing.T) {
+	c := NewCluster(t, 3, WithNodeConfig(func(i int, cfg *overlay.Config) {
+		if i == 1 {
+			cfg.DisableBinary = true // the not-yet-upgraded broker
+		}
+	}))
+	// Triangle: the b00–b02 edge is binary↔binary, both edges touching
+	// b01 must fall back to JSON.
+	c.Wire([][2]int{{0, 1}, {1, 2}, {0, 2}})
+
+	if got := c.Brokers[0].Node.Registry().Gauge("overlay.link.b02.codec").Value(); got != 1 {
+		t.Fatalf("b00→b02 negotiated codec %d, want 1 (binary between upgraded peers)", got)
+	}
+	// Both upgraded brokers negotiated DOWN to JSON against b01.
+	for _, probe := range []struct{ node, peer string }{
+		{"b00", "b01"}, {"b02", "b01"}, {"b01", "b00"}, {"b01", "b02"},
+	} {
+		i := int(probe.node[2] - '0')
+		got := c.Brokers[i].Node.Registry().Gauge("overlay.link." + probe.peer + ".codec").Value()
+		if got != 0 {
+			t.Fatalf("link %s→%s negotiated codec %d, want 0 (JSON fallback)", probe.node, probe.peer, got)
+		}
+	}
+
+	c.Subscribe(0, ge("x", 0))
+	c.Subscribe(2, ge("x", 10))
+	c.Settle()
+
+	// Publications crossing the codec boundary in both directions.
+	c.Publish(0, "x", 15) // binary→JSON→JSON: s0 and s2
+	c.Publish(2, "x", 5)  // JSON-side origin back to the binary side: s0
+	c.Publish(1, "x", 42) // from the legacy broker itself: s0 and s2
+	c.Settle()
+	c.VerifyExactlyOnce()
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"stopss/internal/message"
+)
+
+func TestSpanBinaryRoundTrip(t *testing.T) {
+	start := time.Date(2026, 8, 8, 12, 30, 0, 987654321, time.UTC)
+	spans := []Span{
+		{Broker: "a", Seq: 1, Kind: KindPublish, Start: start},
+		{Broker: "a", Seq: 2, Kind: KindMatch, Start: start.Add(time.Millisecond), Dur: 42},
+		{Broker: "a", Seq: 3, Kind: KindForward, Start: start.Add(2 * time.Millisecond), Link: "b"},
+		{Broker: "b", Seq: 1, Kind: KindRecv, Start: start.Add(3 * time.Millisecond), Link: "a"},
+		{Broker: "b", Seq: 2, Kind: KindDeliver, Start: start.Add(4 * time.Millisecond), Dur: 9000, Sub: "client", SubID: 7},
+		{Broker: "b", Seq: 3, Kind: KindDeadLetter, Start: start.In(time.FixedZone("X", 3600)), Err: "dial refused"},
+	}
+
+	var w message.BWriter
+	w.Dict = message.NewIntern()
+	AppendSpans(&w, spans)
+	got, err := ReadSpans(message.NewBReader(w.Buf, message.NewIntern()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The JSON rendering is the reference representation: binary decode
+	// must be indistinguishable from a JSON round trip (FuzzFrame in the
+	// overlay pins the same property end to end).
+	wantJS, _ := json.Marshal(spans)
+	gotJS, _ := json.Marshal(got)
+	if string(wantJS) != string(gotJS) {
+		t.Fatalf("round trip mismatch:\n  sent %s\n  got  %s", wantJS, gotJS)
+	}
+}
+
+func TestSpanBinaryEmpty(t *testing.T) {
+	var w message.BWriter
+	AppendSpans(&w, nil)
+	got, err := ReadSpans(message.NewBReader(w.Buf, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("want nil span list, got %v", got)
+	}
+}
+
+func TestSpanBinaryErrors(t *testing.T) {
+	// Truncated input at every prefix of a valid encoding must error,
+	// never panic or succeed.
+	var w message.BWriter
+	AppendSpans(&w, []Span{{Broker: "a", Seq: 1, Kind: KindPublish, Start: time.Now(), Err: "boom"}})
+	for i := 0; i < len(w.Buf); i++ {
+		if _, err := ReadSpans(message.NewBReader(w.Buf[:i], nil)); err == nil {
+			t.Fatalf("prefix of %d bytes decoded without error", i)
+		}
+	}
+
+	// A huge claimed count must be rejected before allocation.
+	var h message.BWriter
+	h.Uvarint(1 << 40)
+	if _, err := ReadSpans(message.NewBReader(h.Buf, nil)); err == nil {
+		t.Fatal("oversized span count accepted")
+	}
+
+	// A garbage timestamp must be rejected.
+	var g message.BWriter
+	g.Uvarint(1)
+	g.String("a")   // broker
+	g.Uvarint(1)    // seq
+	g.String("pub") // kind
+	g.RawString("not-a-time")
+	if _, err := ReadSpans(message.NewBReader(g.Buf, nil)); err == nil {
+		t.Fatal("garbage timestamp accepted")
+	}
+}
