@@ -1,0 +1,261 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"stopss/internal/broker"
+	"stopss/internal/core"
+	"stopss/internal/journal"
+	"stopss/internal/message"
+	"stopss/internal/notify"
+	"stopss/internal/ontology"
+	"stopss/internal/semantic"
+	"stopss/internal/store"
+	"stopss/internal/workload"
+)
+
+// Store-churn mode (-store-churn N): instead of driving a server over
+// HTTP, build the broker stack in-process and churn N durable
+// subscribers through the paged subscription store — subscribe,
+// detach, publish while paged out, resume a sample, crash-restart,
+// resume again. The point is the scale claim behind DESIGN §11: a
+// million offline durable subscribers cost the store's page budget in
+// RAM, not a million resident subscriptions, and the report prints the
+// process RSS alongside the store's counters so the claim is checkable
+// from the command line.
+
+// churnReport is what one store-churn run measured.
+type churnReport struct {
+	Subscribers   int
+	Detached      int           // records in the store after churn
+	SubDetachRate float64       // subscribe+detach ops/sec
+	ResumeP50     time.Duration // fault-in + replay latency over the sample
+	ResumeP99     time.Duration
+	RestartAttach time.Duration // reopen + AttachStore scan after the crash
+	RSSStartKiB   int64
+	RSSEndKiB     int64
+	Store         store.Stats
+}
+
+// vmRSSKiB reads the process's resident set from /proc (0 where /proc
+// is unavailable; the report then only carries store counters).
+func vmRSSKiB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmRSS:"); ok {
+			f := strings.Fields(rest)
+			if len(f) >= 1 {
+				v, _ := strconv.ParseInt(f[0], 10, 64)
+				return v
+			}
+		}
+	}
+	return 0
+}
+
+// runStoreChurn executes the in-process churn scenario: n durable
+// subscribers cycled through the store under the given page budget.
+func runStoreChurn(w io.Writer, dir string, n, pages int, seed int64) (*churnReport, error) {
+	ont, err := ontology.Load(workload.JobsODL, ontology.Options{})
+	if err != nil {
+		return nil, err
+	}
+	stage := ont.Stage(semantic.FullConfig())
+	jcfg := journal.Config{Dir: filepath.Join(dir, "journal"), SegmentBytes: 8 << 20, EphemeralCursors: true}
+	scfg := store.Config{Path: filepath.Join(dir, "subs.heap"), Pages: pages}
+
+	build := func() (*broker.Broker, *notify.Engine, *journal.Journal, *store.Store, error) {
+		nt, err := notify.NewEngine(notify.Config{Workers: 4, QueueSize: 1 << 14}, nopSink{})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		j, err := journal.Open(jcfg)
+		if err != nil {
+			nt.Close()
+			return nil, nil, nil, nil, err
+		}
+		st, err := store.Open(scfg)
+		if err != nil {
+			nt.Close()
+			j.Close()
+			return nil, nil, nil, nil, err
+		}
+		b := broker.New(core.NewEngine(stage), nt)
+		b.AttachJournal(j)
+		if err := b.AttachStore(st); err != nil {
+			nt.Close()
+			j.Close()
+			st.Close()
+			return nil, nil, nil, nil, err
+		}
+		if err := b.Register(broker.Client{Name: "churn", Route: notify.Route{Transport: "nop", Addr: "churn"}}); err != nil {
+			nt.Close()
+			j.Close()
+			st.Close()
+			return nil, nil, nil, nil, err
+		}
+		return b, nt, j, st, nil
+	}
+
+	rep := &churnReport{Subscribers: n, RSSStartKiB: vmRSSKiB()}
+	b, nt, j, st, err := build()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: churn — every subscriber registers durably and is paged
+	// out at once, the worst case for the store's allocator and pool.
+	ids := make([]message.SubID, n)
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		preds := []message.Predicate{message.Pred("university", message.OpEq,
+			message.String(fmt.Sprintf("City%d", i%199)))}
+		id, err := b.SubscribeDurable("churn", preds)
+		if err != nil {
+			return nil, fmt.Errorf("subscribe %d: %w", i, err)
+		}
+		if err := b.DetachDurable("churn", id); err != nil {
+			return nil, fmt.Errorf("detach %d: %w", i, err)
+		}
+		ids[i] = id
+		if (i+1)%100000 == 0 {
+			fmt.Fprintf(w, "  churned %d/%d (RSS %d KiB, store %d pages)\n",
+				i+1, n, vmRSSKiB(), b.Stats().Store.Pages)
+		}
+	}
+	rep.SubDetachRate = float64(n) / time.Since(t0).Seconds()
+
+	// Phase 2: publications while everyone is paged out — journaled and
+	// owed, delivered to nobody.
+	for i := 0; i < 20; i++ {
+		ev := message.E("school", fmt.Sprintf("City%d", i%199))
+		if _, err := b.Publish(ev); err != nil {
+			return nil, fmt.Errorf("publish: %w", err)
+		}
+	}
+
+	// Phase 3: resume a random sample, timing each fault-in + replay.
+	rng := rand.New(rand.NewSource(seed))
+	sample := 1000
+	if sample > n/2 {
+		sample = n / 2
+	}
+	resumed := make(map[message.SubID]bool, sample)
+	lats := make([]time.Duration, 0, sample)
+	for len(resumed) < sample {
+		id := ids[rng.Intn(n)]
+		if resumed[id] {
+			continue
+		}
+		resumed[id] = true
+		r0 := time.Now()
+		if _, err := b.ResumeDurable("churn", id); err != nil {
+			return nil, fmt.Errorf("resume %d: %w", id, err)
+		}
+		lats = append(lats, time.Since(r0))
+	}
+	nt.Drain(10 * time.Second)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+		rep.ResumeP50 = lats[len(lats)/2]
+		rep.ResumeP99 = lats[len(lats)*99/100]
+	}
+
+	// The churn phase is what the store counters should describe; the
+	// post-restart instance only ever reads.
+	rep.Store = b.Stats().Store
+
+	// Phase 4: crash-restart. Checkpoint (detach durability is
+	// checkpoint-granular), then abandon the stack without closing the
+	// store and rebuild it from disk.
+	if err := b.CheckpointStore(); err != nil {
+		return nil, err
+	}
+	if err := j.Close(); err != nil {
+		return nil, err
+	}
+	nt.Close()
+	t1 := time.Now()
+	b, nt, _, st2, err := build()
+	if err != nil {
+		return nil, err
+	}
+	rep.RestartAttach = time.Since(t1)
+	defer nt.Close()
+	defer st2.Close()
+	_ = st
+	if got, want := b.Stats().Detached, n-len(resumed); got != want {
+		return nil, fmt.Errorf("after restart: %d detached records, want %d", got, want)
+	}
+	// The survivors still fault in.
+	checked := 0
+	for _, id := range ids {
+		if resumed[id] {
+			continue
+		}
+		if _, err := b.ResumeDurable("churn", id); err != nil {
+			return nil, fmt.Errorf("post-restart resume %d: %w", id, err)
+		}
+		if checked++; checked == 100 {
+			break
+		}
+	}
+	nt.Drain(10 * time.Second)
+
+	rep.RSSEndKiB = vmRSSKiB()
+	rep.Detached = b.Stats().Detached
+	return rep, nil
+}
+
+// nopSink acknowledges every notification; churn mode measures the
+// store, not delivery transports.
+type nopSink struct{}
+
+func (nopSink) Name() string                           { return "nop" }
+func (nopSink) Send(string, notify.Notification) error { return nil }
+func (nopSink) Close() error                           { return nil }
+
+func printChurnReport(w io.Writer, rep *churnReport) {
+	fmt.Fprintln(w, strings.Repeat("-", 60))
+	fmt.Fprintf(w, "subscribers:    %d churned at %.0f subscribe+detach/sec\n", rep.Subscribers, rep.SubDetachRate)
+	fmt.Fprintf(w, "resume latency: p50 %v  p99 %v (fault-in + replay)\n", rep.ResumeP50, rep.ResumeP99)
+	fmt.Fprintf(w, "crash restart:  store reattached in %v\n", rep.RestartAttach)
+	if rep.RSSStartKiB > 0 {
+		fmt.Fprintf(w, "process RSS:    %d KiB -> %d KiB\n", rep.RSSStartKiB, rep.RSSEndKiB)
+	}
+	s := rep.Store // churn-phase counters, captured before the crash
+	fmt.Fprintf(w, "store:          %d records, %d pages (%d free), %d resident of %d pool pages\n",
+		s.Records, s.Pages, s.FreePages, s.Resident, s.PoolCapacity)
+	fmt.Fprintf(w, "pool:           %d hits, %d misses, %d evictions, %d write-backs, %d pin-waits\n",
+		s.Hits, s.Misses, s.Evictions, s.WriteBacks, s.PinWaits)
+}
+
+// storeChurnMain is the -store-churn entry point.
+func storeChurnMain(n, pages int, dir string, seed int64) error {
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "stopss-churn-*"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	log.Printf("store churn: %d durable subscribers, %d pool pages, dir %s", n, pages, dir)
+	rep, err := runStoreChurn(os.Stdout, dir, n, pages, seed)
+	if err != nil {
+		return err
+	}
+	printChurnReport(os.Stdout, rep)
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStoreChurnSmall runs the -store-churn scenario end to end at a
+// size CI can afford: the invariants (detached count across the
+// simulated crash, post-restart fault-ins, bounded pool residency) are
+// the same ones the million-subscriber run checks.
+func TestStoreChurnSmall(t *testing.T) {
+	var out bytes.Buffer
+	rep, err := runStoreChurn(&out, t.TempDir(), 3000, 8, 2003)
+	if err != nil {
+		t.Fatalf("store churn: %v\n%s", err, out.String())
+	}
+	if rep.Store.Resident > rep.Store.PoolCapacity {
+		t.Fatalf("resident %d exceeds pool budget %d", rep.Store.Resident, rep.Store.PoolCapacity)
+	}
+	if rep.Store.Evictions == 0 || rep.Store.WriteBacks == 0 {
+		t.Fatalf("churn never pressured the pool: %+v", rep.Store)
+	}
+	// 3000 churned, 1000 resumed before the crash, 100 after.
+	if rep.Detached != 3000-1000-100 {
+		t.Fatalf("detached after run = %d, want 1900", rep.Detached)
+	}
+	if rep.ResumeP50 <= 0 || rep.ResumeP99 < rep.ResumeP50 {
+		t.Fatalf("latency sample broken: p50 %v p99 %v", rep.ResumeP50, rep.ResumeP99)
+	}
+
+	var rbuf bytes.Buffer
+	printChurnReport(&rbuf, rep)
+	for _, want := range []string{"subscribers:", "resume latency:", "crash restart:", "store:", "pool:"} {
+		if !strings.Contains(rbuf.String(), want) {
+			t.Fatalf("report lacks %q:\n%s", want, rbuf.String())
+		}
+	}
+}

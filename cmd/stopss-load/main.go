@@ -9,10 +9,17 @@
 // /api/resume on every revival — exercising park, catch-up replay and
 // at-least-once delivery under subscriber churn.
 //
+// With -store-churn N the generator runs a different, in-process
+// experiment instead: it builds the broker stack locally and churns N
+// durable subscribers through the paged subscription store — detach,
+// publish, resume, crash-restart — reporting resume latencies and the
+// process RSS against the store's fixed page budget.
+//
 // Usage:
 //
 //	stopss-load -url http://127.0.0.1:8080 -companies 50 -resumes 500
 //	stopss-load -durable-frac 0.3 -churn-interval 300ms
+//	stopss-load -store-churn 1000000 -store-pages 1024
 package main
 
 import (
@@ -134,7 +141,16 @@ func main() {
 	seed := flag.Int64("seed", 2003, "workload seed")
 	durableFrac := flag.Float64("durable-frac", 0, "fraction of companies subscribing durably with a churning local TCP endpoint (0..1; needs -journal-dir on the server)")
 	churnInterval := flag.Duration("churn-interval", 300*time.Millisecond, "durable endpoint disconnect/reconnect period")
+	storeChurn := flag.Int("store-churn", 0, "in-process mode: churn this many durable subscribers through the paged subscription store instead of driving a server (try 1000000)")
+	storeChurnDir := flag.String("store-churn-dir", "", "working directory for -store-churn (default: a temp dir, removed afterwards)")
+	storePages := flag.Int("store-pages", 1024, "subscription-store buffer-pool pages for -store-churn")
 	flag.Parse()
+	if *storeChurn > 0 {
+		if err := storeChurnMain(*storeChurn, *storePages, *storeChurnDir, *seed); err != nil {
+			log.Fatalf("stopss-load: %v", err)
+		}
+		return
+	}
 	if *durableFrac < 0 || *durableFrac > 1 {
 		log.Fatalf("stopss-load: -durable-frac must be in [0,1], got %v", *durableFrac)
 	}

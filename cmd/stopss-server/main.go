@@ -27,6 +27,7 @@ import (
 	_ "net/http/pprof" // registers the profiling surface on DefaultServeMux (-pprof-addr)
 	"os"
 	"os/signal"
+	"path/filepath"
 	rtrace "runtime/trace"
 	"strings"
 	"time"
@@ -41,6 +42,7 @@ import (
 	"stopss/internal/ontology"
 	"stopss/internal/overlay"
 	"stopss/internal/semantic"
+	"stopss/internal/store"
 	"stopss/internal/trace"
 	"stopss/internal/webapp"
 	"stopss/internal/workload"
@@ -117,6 +119,9 @@ func main() {
 	journalSegBytes := flag.Int64("journal-segment-bytes", 8<<20, "journal segment roll threshold in bytes (must be > 0)")
 	journalRetention := flag.Int64("journal-retention", 0, "cap on sealed journal bytes; oldest segments are dropped past it even if unacked (0 = unlimited)")
 	journalFsync := flag.Bool("journal-fsync", true, "group-committed fsync per publication batch (disable to trade crash durability for latency)")
+	journalIndexEvery := flag.Int("journal-index-every", 128, "sparse seq->offset index granularity in records: catch-up scans seek instead of reading whole segments (0 disables indexing)")
+	storeDir := flag.String("store-dir", "", "paged subscription-store directory: durable subscriptions of disconnected clients are paged out to disk instead of staying resident (journal cursors become snapshot+store authority)")
+	storePages := flag.Int("store-pages", 1024, "subscription-store buffer-pool size in pages (8 KiB each): the resident memory budget for paged-out subscriptions")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty: disabled)")
@@ -152,11 +157,21 @@ func main() {
 		Mode:     *modeName,
 		Shards:   *shards,
 	}
+	// The flag's "0 = off" maps to the journal's negative sentinel (its
+	// own zero value means "default granularity").
+	indexEvery := *journalIndexEvery
+	if indexEvery <= 0 {
+		indexEvery = -1
+	}
 	jcfg := journal.Config{
 		Dir:            *journalDir,
 		SegmentBytes:   *journalSegBytes,
 		RetentionBytes: *journalRetention,
 		Fsync:          *journalFsync,
+		IndexEvery:     indexEvery,
+		// With a subscription store the store + snapshot are the cursor
+		// authorities; the journal stops rewriting cursors.json wholesale.
+		EphemeralCursors: *storeDir != "",
 	}
 	obs := obsOptions{
 		PprofAddr:     *pprofAddr,
@@ -164,7 +179,11 @@ func main() {
 		TraceSample:   *traceSample,
 		TraceCapacity: *traceCapacity,
 	}
-	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *wireCodec, *kbWatch, *kbWatchInterval, jcfg, obs); err != nil {
+	scfg := store.Config{Pages: *storePages}
+	if *storeDir != "" {
+		scfg.Path = filepath.Join(*storeDir, "subs.heap")
+	}
+	if err := run(opts, *snapshot, *nodeName, *overlayAddr, peers, *wireCodec, *kbWatch, *kbWatchInterval, jcfg, scfg, obs); err != nil {
 		fatal("stopss-server: fatal", "err", err)
 	}
 }
@@ -248,7 +267,7 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 	return broker.New(engine, notifier), notifier, cleanup, nil
 }
 
-func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, wireCodec string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config, obs obsOptions) error {
+func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []string, wireCodec string, kbWatch string, kbWatchInterval time.Duration, jcfg journal.Config, scfg store.Config, obs obsOptions) error {
 	// Execution tracing and the profiling surface come up first so they
 	// cover the boot path (journal replay, snapshot restore, overlay
 	// joins) — often exactly what needs profiling.
@@ -313,7 +332,28 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 		st := jnl.Stats()
 		logger.Info("journal opened", "dir", jcfg.Dir, "segments", st.Segments,
 			"next_seq", st.NextSeq, "fsync", jcfg.Fsync,
-			"segment_bytes", jcfg.SegmentBytes, "retention_bytes", jcfg.RetentionBytes)
+			"segment_bytes", jcfg.SegmentBytes, "retention_bytes", jcfg.RetentionBytes,
+			"index_entries", st.IndexEntries, "ephemeral_cursors", jcfg.EphemeralCursors)
+	}
+	// The subscription store attaches after the journal (it extends the
+	// journal's compaction floor) and before the snapshot restore (the
+	// restore's cursor merge consults stored records).
+	if scfg.Path != "" {
+		if err := os.MkdirAll(filepath.Dir(scfg.Path), 0o755); err != nil {
+			return err
+		}
+		pst, err := store.Open(scfg)
+		if err != nil {
+			return err
+		}
+		defer pst.Close()
+		if err := b.AttachStore(pst); err != nil {
+			return err
+		}
+		ss := pst.Stats()
+		logger.Info("subscription store opened", "path", scfg.Path,
+			"records", ss.Records, "pages", ss.Pages, "pool_pages", ss.PoolCapacity,
+			"torn_pages", ss.TornPages)
 	}
 	if snapshot != "" {
 		if f, err := os.Open(snapshot); err == nil {

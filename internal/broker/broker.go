@@ -21,6 +21,7 @@ import (
 	"stopss/internal/matching"
 	"stopss/internal/message"
 	"stopss/internal/notify"
+	"stopss/internal/store"
 	"stopss/internal/trace"
 )
 
@@ -45,10 +46,15 @@ type Stats struct {
 	Acked                 uint64 // durable deliveries acknowledged
 	Parked                uint64 // durable deliveries parked for replay
 	Replayed              uint64 // notifications re-dispatched by catch-up replay
+	Detached              int    // durable subscriptions paged out to the store
+	Detaches              uint64 // DetachDurable calls
+	FaultedIn             uint64 // detached subscriptions faulted back in by resume
 	KBLocal               uint64 // knowledge deltas injected locally
 	KBRemote              uint64 // knowledge deltas applied from peer brokers
 	JournalEnabled        bool
+	StoreEnabled          bool
 	Journal               journal.Stats       // zero when no journal attached
+	Store                 store.Stats         // zero when no store attached
 	Notify                notify.Stats        // dead-letter/park counters; zero without a notifier
 	Engine                core.Stats          // includes KBDeltas/KBVersion (federation skew check)
 	Remote                RemoteStats         // overlay routing counters; zero when standalone
@@ -75,6 +81,14 @@ type Broker struct {
 	journal *journal.Journal                // durable publication log; nil when not attached
 	durable map[message.SubID]*durableState // delivery windows of durable subscriptions
 
+	// store pages detached durable subscriptions out of RAM (store.go).
+	// detachedFloor/detachedCount back the journal's external ack floor;
+	// they are atomics because the journal reads them under its own lock
+	// (writers hold b.mu, readers don't).
+	store         *store.Store
+	detachedFloor atomic.Uint64
+	detachedCount atomic.Int64
+
 	forwarder   Forwarder          // overlay hook; nil when standalone
 	remoteStats func() RemoteStats // overlay stats source; nil when standalone
 	kbOrigin    *knowledge.Origin  // stamps unstamped local deltas
@@ -87,6 +101,8 @@ type Broker struct {
 	acked                 uint64
 	parked                uint64
 	replayed              uint64
+	detaches              uint64
+	faultedIn             uint64
 	kbLocal               uint64
 	kbRemote              uint64
 }
@@ -213,8 +229,23 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 	b.mu.Lock()
 	owner, ok := b.subs[id]
 	if !ok {
+		f := b.forwarder
 		b.mu.Unlock()
-		return fmt.Errorf("broker: unknown subscription %d", id)
+		// Not resident — it may be a detached durable subscription whose
+		// record lives only in the store.
+		sub, had, err := b.dropDetached(client, id)
+		if err != nil {
+			return err
+		}
+		if !had {
+			return fmt.Errorf("broker: unknown subscription %d", id)
+		}
+		if f != nil {
+			// Detach kept the overlay interest alive; a real unsubscribe
+			// finally retracts it.
+			f.SubscriptionChanged(sub, false)
+		}
+		return nil
 	}
 	if owner != client {
 		b.mu.Unlock()
@@ -416,15 +447,23 @@ func (b *Broker) Stats() Stats {
 		Acked:                 b.acked,
 		Parked:                b.parked,
 		Replayed:              b.replayed,
+		Detaches:              b.detaches,
+		FaultedIn:             b.faultedIn,
 		KBLocal:               b.kbLocal,
 		KBRemote:              b.kbRemote,
 	}
 	rs := b.remoteStats
 	j := b.journal
+	st := b.store
 	b.mu.Unlock()
 	if j != nil {
 		s.JournalEnabled = true
 		s.Journal = j.Stats()
+	}
+	if st != nil {
+		s.StoreEnabled = true
+		s.Store = st.Stats()
+		s.Detached = s.Store.Records
 	}
 	if b.notifier != nil {
 		s.Notify = b.notifier.Stats()

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"time"
@@ -114,16 +115,31 @@ func (b *Broker) SubscribeDurable(client string, preds []message.Predicate) (mes
 }
 
 // restoreDurable re-creates a durable subscription's state during
-// Restore, merging the snapshot's cursor with the journal's own
-// persisted one (whichever is further along — both only ever lag the
-// truth, so the max is still conservative).
+// Restore, merging the snapshot's cursor with the journal's persisted
+// one and any store record for the same ID (three-way max — each
+// authority only ever lags the acked truth, so the max is still
+// conservative). A store record here means the subscription was
+// detached after the snapshot was taken; the snapshot re-creates it
+// resident, so the store copy is absorbed and dropped.
 func (b *Broker) restoreDurable(id message.SubID, cursor uint64) {
 	b.mu.Lock()
 	j := b.journal
+	st := b.store
 	b.mu.Unlock()
 	if j != nil {
 		if jc, ok := j.Cursor(cursorKey(id)); ok && jc > cursor {
 			cursor = jc
+		}
+	}
+	if st != nil {
+		if data, ok, err := st.Get(uint64(id)); err == nil && ok {
+			var rec storedSub
+			if json.Unmarshal(data, &rec) == nil && rec.Cursor > cursor {
+				cursor = rec.Cursor
+			}
+			if st.Delete(uint64(id)) == nil {
+				b.detachedCount.Add(-1)
+			}
 		}
 	}
 	b.mu.Lock()
@@ -248,12 +264,17 @@ func (b *Broker) dropDurable(id message.SubID) {
 // ResumeDurable re-attaches a durable subscriber after a reconnect:
 // everything past the subscription's cursor that matches it is
 // re-dispatched. Returns the number of notifications re-dispatched.
+// When the subscription was paged out to the store (DetachDurable), it
+// is faulted back into residency first.
 func (b *Broker) ResumeDurable(client string, id message.SubID) (int, error) {
 	b.mu.Lock()
 	owner, ok := b.subs[id]
 	if !ok {
 		b.mu.Unlock()
-		return 0, fmt.Errorf("broker: unknown subscription %d", id)
+		if err := b.faultIn(client, id); err != nil {
+			return 0, err
+		}
+		return b.replay([]message.SubID{id})
 	}
 	if owner != client {
 		b.mu.Unlock()

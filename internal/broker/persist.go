@@ -160,7 +160,11 @@ func (b *Broker) Restore(r io.Reader) error {
 			}
 			sawHeader = true
 			b.mu.Lock()
-			b.nextID = rec.NextID
+			// Never lower the watermark: AttachStore may already have
+			// raised it past detached IDs the snapshot predates.
+			if rec.NextID > b.nextID {
+				b.nextID = rec.NextID
+			}
 			b.mu.Unlock()
 		case "client":
 			if !sawHeader {

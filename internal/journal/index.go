@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Sparse seq→offset index (DESIGN.md §11). Every IndexEvery-th record
+// in a segment gets an entry mapping its sequence number to its byte
+// offset, so Scan(from) on a deep cursor seeks near the right record
+// instead of decoding the whole segment from the head.
+//
+// The active segment's index lives only in memory, built as records
+// are appended. When a segment seals, the index is persisted to a
+// sidecar file (journal-<first>.idx) next to it; the sidecar also
+// carries the segment's record range and byte size, which lets reopen
+// trust a validated sidecar instead of re-reading the whole sealed
+// segment. Sidecars are pure derived data: missing or corrupt ones are
+// rebuilt from the segment, never the other way around.
+//
+// Sidecar layout (big-endian):
+//
+//	[0:4]   magic "STIX"
+//	[4:8]   format version
+//	[8:16]  first seq
+//	[16:24] last seq
+//	[24:32] segment bytes
+//	[32:36] entry count
+//	[36:..] entries, 16 bytes each: seq u64, offset u64
+//	[..:+4] CRC-32 (IEEE) of everything above
+const (
+	idxMagic   = 0x53544958 // "STIX"
+	idxVersion = 1
+	idxSuffix  = ".idx"
+
+	// defaultIndexEvery is the record stride between index entries
+	// when Config.IndexEvery is zero.
+	defaultIndexEvery = 128
+)
+
+type indexEntry struct {
+	seq uint64
+	off int64
+}
+
+// seekOffset returns the byte offset to start decoding from when
+// looking for records with seq >= from: the offset of the last indexed
+// record at or below from, or 0 when the index has nothing useful.
+func seekOffset(index []indexEntry, from uint64) int64 {
+	off := int64(0)
+	for _, e := range index {
+		if e.seq > from {
+			break
+		}
+		off = e.off
+	}
+	return off
+}
+
+func sidecarPath(segPath string) string {
+	return segPath[:len(segPath)-len(segSuffix)] + idxSuffix
+}
+
+// writeSidecar persists a sealed segment's index. Best-effort callers
+// may ignore the error: the sidecar is rebuilt on reopen if absent.
+func writeSidecar(seg segInfo) error {
+	buf := make([]byte, 36+16*len(seg.index)+4)
+	binary.BigEndian.PutUint32(buf[0:], idxMagic)
+	binary.BigEndian.PutUint32(buf[4:], idxVersion)
+	binary.BigEndian.PutUint64(buf[8:], seg.first)
+	binary.BigEndian.PutUint64(buf[16:], seg.last)
+	binary.BigEndian.PutUint64(buf[24:], uint64(seg.bytes))
+	binary.BigEndian.PutUint32(buf[32:], uint32(len(seg.index)))
+	at := 36
+	for _, e := range seg.index {
+		binary.BigEndian.PutUint64(buf[at:], e.seq)
+		binary.BigEndian.PutUint64(buf[at+8:], uint64(e.off))
+		at += 16
+	}
+	binary.BigEndian.PutUint32(buf[at:], crc32.ChecksumIEEE(buf[:at]))
+	return os.WriteFile(sidecarPath(seg.path), buf, 0o644)
+}
+
+// readSidecar loads and validates a segment's index sidecar. The
+// segment file itself is cross-checked only by size (the caller knows
+// the expected first seq from the segment name); any mismatch or
+// corruption returns an error and the caller rebuilds from the
+// segment.
+func readSidecar(segPath string, wantFirst uint64) (segInfo, error) {
+	buf, err := os.ReadFile(sidecarPath(segPath))
+	if err != nil {
+		return segInfo{}, err
+	}
+	if len(buf) < 40 {
+		return segInfo{}, fmt.Errorf("journal: sidecar for %s truncated", segPath)
+	}
+	body, sum := buf[:len(buf)-4], binary.BigEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return segInfo{}, fmt.Errorf("journal: sidecar for %s corrupt", segPath)
+	}
+	if binary.BigEndian.Uint32(buf[0:]) != idxMagic || binary.BigEndian.Uint32(buf[4:]) != idxVersion {
+		return segInfo{}, fmt.Errorf("journal: sidecar for %s has wrong magic/version", segPath)
+	}
+	info := segInfo{
+		path:  segPath,
+		first: binary.BigEndian.Uint64(buf[8:]),
+		last:  binary.BigEndian.Uint64(buf[16:]),
+		bytes: int64(binary.BigEndian.Uint64(buf[24:])),
+	}
+	if info.first != wantFirst {
+		return segInfo{}, fmt.Errorf("journal: sidecar for %s names first seq %d, want %d", segPath, info.first, wantFirst)
+	}
+	count := int(binary.BigEndian.Uint32(buf[32:]))
+	if len(buf) != 36+16*count+4 {
+		return segInfo{}, fmt.Errorf("journal: sidecar for %s has inconsistent entry count", segPath)
+	}
+	st, err := os.Stat(segPath)
+	if err != nil {
+		return segInfo{}, err
+	}
+	if st.Size() != info.bytes {
+		return segInfo{}, fmt.Errorf("journal: segment %s is %d bytes, sidecar says %d", segPath, st.Size(), info.bytes)
+	}
+	at := 36
+	prevSeq, prevOff := uint64(0), int64(-1)
+	for i := 0; i < count; i++ {
+		e := indexEntry{
+			seq: binary.BigEndian.Uint64(buf[at:]),
+			off: int64(binary.BigEndian.Uint64(buf[at+8:])),
+		}
+		at += 16
+		if e.seq < info.first || e.seq > info.last || e.off >= info.bytes ||
+			e.seq <= prevSeq && i > 0 || e.off <= prevOff && i > 0 {
+			return segInfo{}, fmt.Errorf("journal: sidecar for %s has out-of-range entry", segPath)
+		}
+		prevSeq, prevOff = e.seq, e.off
+		info.index = append(info.index, e)
+	}
+	return info, nil
+}
+
+func removeSidecar(segPath string) {
+	os.Remove(sidecarPath(segPath))
+}

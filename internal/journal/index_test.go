@@ -1,0 +1,243 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallSegs is a config that rolls often and indexes densely so tests
+// exercise many segments and sidecars with few records.
+func smallSegs(dir string) Config {
+	return Config{Dir: dir, SegmentBytes: 2 << 10, IndexEvery: 4}
+}
+
+func segAndIdxFiles(t *testing.T, dir string) (segs, idxs []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), segSuffix):
+			segs = append(segs, e.Name())
+		case strings.HasSuffix(e.Name(), idxSuffix):
+			idxs = append(idxs, e.Name())
+		}
+	}
+	return segs, idxs
+}
+
+func TestIndexSeekScanMatchesFullScan(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, smallSegs(dir))
+	j.SetCursor("keep", 0) // retain all history across rolls
+	appendN(t, j, 400)
+	for _, from := range []uint64{1, 2, 57, 128, 199, 200, 201, 399, 400, 401} {
+		recs := collect(t, j, from)
+		want := 0
+		if from <= 400 {
+			want = int(401 - from)
+		}
+		if len(recs) != want {
+			t.Fatalf("scan from %d returned %d records, want %d", from, len(recs), want)
+		}
+		for i, r := range recs {
+			if r.Seq != from+uint64(i) {
+				t.Fatalf("scan from %d: record %d has seq %d", from, i, r.Seq)
+			}
+		}
+	}
+	// Deep-cursor scans actually seeked.
+	if st := j.Stats(); st.SeekScans == 0 || st.SeekSkippedBytes == 0 {
+		t.Fatalf("no index seeks recorded: %+v", st)
+	}
+}
+
+func TestIndexSidecarsWrittenOnRollAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, smallSegs(dir))
+	j.SetCursor("keep", 0)
+	appendN(t, j, 400)
+	collect(t, j, 1) // flush so the active segment exists on disk too
+	segs, idxs := segAndIdxFiles(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("want several segments, got %d", len(segs))
+	}
+	// Every sealed segment (all but the newest) has a sidecar.
+	if len(idxs) != len(segs)-1 {
+		t.Fatalf("%d sidecars for %d segments", len(idxs), len(segs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete one sidecar and corrupt another: reopen must rebuild both
+	// and scans must stay correct.
+	if err := os.Remove(filepath.Join(dir, idxs[0])); err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) > 1 {
+		if err := os.WriteFile(filepath.Join(dir, idxs[1]), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2 := openT(t, smallSegs(dir))
+	recs := collect(t, j2, 390)
+	if len(recs) != 11 {
+		t.Fatalf("post-rebuild scan returned %d records, want 11", len(recs))
+	}
+	if _, idxs2 := segAndIdxFiles(t, dir); len(idxs2) < len(idxs) {
+		t.Fatalf("sidecars not rebuilt: %d, want >= %d", len(idxs2), len(idxs))
+	}
+	if st := j2.Stats(); st.IndexEntries == 0 {
+		t.Fatal("no index entries after reopen")
+	}
+}
+
+func TestIndexDisabled(t *testing.T) {
+	j := openT(t, Config{SegmentBytes: 2 << 10, IndexEvery: -1})
+	j.SetCursor("keep", 0)
+	appendN(t, j, 200)
+	if got := len(collect(t, j, 150)); got != 51 {
+		t.Fatalf("scan returned %d records, want 51", got)
+	}
+	st := j.Stats()
+	if st.IndexEntries != 0 || st.SeekScans != 0 {
+		t.Fatalf("index active despite IndexEvery=-1: %+v", st)
+	}
+}
+
+func TestIndexCompactionRemovesSidecars(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, smallSegs(dir))
+	j.SetCursor("sub", 0)
+	appendN(t, j, 400)
+	j.SetCursor("sub", 400)
+	appendN(t, j, 50) // trigger rolls so compaction can run
+	if st := j.Stats(); st.CompactedSegments == 0 {
+		t.Fatalf("no compaction happened: %+v", st)
+	}
+	_, idxs := segAndIdxFiles(t, dir)
+	for _, idx := range idxs {
+		seg := strings.TrimSuffix(idx, idxSuffix) + segSuffix
+		if _, err := os.Stat(filepath.Join(dir, seg)); err != nil {
+			t.Fatalf("sidecar %s outlived its segment", idx)
+		}
+	}
+}
+
+// TestReopenAfterRollDurable is the directory-fsync regression test:
+// roll segments with Fsync on, reopen, and verify every record is
+// still there (the roll path must have fsynced the directory so the
+// new segment name is durable).
+func TestReopenAfterRollDurable(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, SegmentBytes: 1 << 10, Fsync: true, IndexEvery: 8}
+	j := openT(t, cfg)
+	j.SetCursor("keep", 0)
+	appendN(t, j, 120)
+	segs, _ := segAndIdxFiles(t, dir)
+	if len(segs) < 2 {
+		t.Fatalf("want a roll, got %d segments", len(segs))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, cfg)
+	if got := len(collect(t, j2, 1)); got != 120 {
+		t.Fatalf("reopen after roll lost records: %d, want 120", got)
+	}
+	if next := j2.NextSeq(); next != 121 {
+		t.Fatalf("NextSeq = %d, want 121", next)
+	}
+}
+
+func TestCursorsFileTornReopen(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir})
+	appendN(t, j, 10)
+	j.SetCursor("sub-1", 7)
+	if err := j.SyncCursors(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate cursors.json mid-file, as a torn write would.
+	path := filepath.Join(dir, cursorsFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openT(t, Config{Dir: dir})
+	// The torn table is dropped: cursor gone, journal healthy, and the
+	// subscription sees redelivery from the start rather than loss.
+	if _, ok := j2.Cursor("sub-1"); ok {
+		t.Fatal("cursor survived a torn cursors.json")
+	}
+	if got := len(collect(t, j2, 1)); got != 10 {
+		t.Fatalf("records lost alongside torn cursors: %d, want 10", got)
+	}
+	// And the next save repairs the file.
+	j2.SetCursor("sub-1", 3)
+	if err := j2.SyncCursors(); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openT(t, Config{Dir: dir})
+	if c, ok := j3.Cursor("sub-1"); !ok || c != 3 {
+		t.Fatalf("cursor after repair = %d/%v, want 3", c, ok)
+	}
+}
+
+func TestEphemeralCursors(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, Config{Dir: dir, EphemeralCursors: true})
+	appendN(t, j, 5)
+	j.SetCursor("sub-1", 4)
+	if err := j.SyncCursors(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, cursorsFile)); !os.IsNotExist(err) {
+		t.Fatal("ephemeral mode wrote cursors.json")
+	}
+	j2 := openT(t, Config{Dir: dir, EphemeralCursors: true})
+	if _, ok := j2.Cursor("sub-1"); ok {
+		t.Fatal("ephemeral cursor survived reopen")
+	}
+	// A leftover cursors.json from a previous non-ephemeral run is
+	// ignored too.
+	if err := os.WriteFile(filepath.Join(dir, cursorsFile), []byte(`{"cursors":{"sub-9":9}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3 := openT(t, Config{Dir: dir, EphemeralCursors: true})
+	if _, ok := j3.Cursor("sub-9"); ok {
+		t.Fatal("ephemeral mode loaded cursors.json")
+	}
+}
+
+func TestFloorFuncPinsCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j := openT(t, smallSegs(dir))
+	var floor uint64 = 1
+	j.SetFloorFunc(func() (uint64, bool) { return floor, true })
+	appendN(t, j, 400)
+	// No journal cursors exist, but the external floor pins seq 2+.
+	if got := len(collect(t, j, 2)); got != 399 {
+		t.Fatalf("external floor did not pin history: %d records from seq 2, want 399", got)
+	}
+	// Raising the floor releases history on the next roll.
+	floor = 400
+	appendN(t, j, 200)
+	if st := j.Stats(); st.CompactedSegments == 0 {
+		t.Fatalf("raised floor never compacted: %+v", st)
+	}
+}

@@ -31,11 +31,24 @@ type Config struct {
 	// records are buffered and reach the file on roll, Scan, cursor
 	// sync or Close — cheaper, but a process crash can lose the tail.
 	Fsync bool
+	// IndexEvery is the record stride of the sparse seq→offset index
+	// that lets Scan seek into a segment instead of decoding it from
+	// the head (0 = default 128, negative = disabled). Smaller strides
+	// seek closer at the cost of bigger sidecars.
+	IndexEvery int
+	// EphemeralCursors keeps the cursor table purely in memory: no
+	// cursors.json is read or written. Set when a higher layer (the
+	// broker's subscription store) is the durable cursor authority and
+	// re-seeds cursors on reopen.
+	EphemeralCursors bool
 }
 
 func (c Config) withDefaults() Config {
 	if c.SegmentBytes <= 0 {
 		c.SegmentBytes = 8 << 20
+	}
+	if c.IndexEvery == 0 {
+		c.IndexEvery = defaultIndexEvery
 	}
 	return c
 }
@@ -53,6 +66,9 @@ type Stats struct {
 	RetentionDroppedSegments uint64 // sealed segments dropped by the retention cap
 	RetentionLostRecords     uint64 // records above a cursor lost to the retention cap
 	Replayed                 uint64 // records handed out by Scan
+	IndexEntries             int    // sparse index entries across all segments
+	SeekScans                uint64 // Scans that used the index to skip into a segment
+	SeekSkippedBytes         uint64 // segment bytes never read thanks to index seeks
 }
 
 type segInfo struct {
@@ -60,6 +76,7 @@ type segInfo struct {
 	first uint64
 	last  uint64
 	bytes int64
+	index []indexEntry // sparse seq→offset index (nil when disabled)
 }
 
 // Journal is a segmented, append-only publication log with durable
@@ -86,6 +103,7 @@ type Journal struct {
 	cursors                map[string]uint64
 	cursorsDirty           bool
 	commitsSinceCursorSave int
+	floorFn                func() (uint64, bool)
 	stats                  Stats
 
 	flushReq chan struct{}
@@ -121,8 +139,10 @@ func Open(cfg Config) (*Journal, error) {
 	if err := j.recover(); err != nil {
 		return nil, err
 	}
-	if err := j.loadCursors(); err != nil {
-		return nil, err
+	if !cfg.EphemeralCursors {
+		if err := j.loadCursors(); err != nil {
+			return nil, err
+		}
 	}
 	go j.flusher()
 	return j, nil
@@ -155,9 +175,24 @@ func (j *Journal) recover() error {
 	}
 	sort.Slice(cands, func(a, b int) bool { return cands[a].first < cands[b].first })
 	for i, c := range cands {
-		info, err := scanSegment(c.path, i == len(cands)-1)
-		if err != nil {
-			return err
+		newest := i == len(cands)-1
+		var info segInfo
+		if !newest && j.cfg.IndexEvery > 0 {
+			// A valid sidecar carries the sealed segment's range, size,
+			// and index, so reopen skips re-reading the whole segment.
+			if si, err := readSidecar(c.path, c.first); err == nil {
+				info = si
+			}
+		}
+		if info.first == 0 {
+			var err error
+			info, err = scanSegment(c.path, newest, j.cfg.IndexEvery)
+			if err != nil {
+				return err
+			}
+			if !newest && info.first != 0 && j.cfg.IndexEvery > 0 {
+				writeSidecar(info) // best-effort: derived data, rebuilt next reopen
+			}
 		}
 		if info.first == 0 {
 			// Empty segment (crash before the first record flushed):
@@ -165,6 +200,7 @@ func (j *Journal) recover() error {
 			if err := os.Remove(c.path); err != nil {
 				return fmt.Errorf("journal: removing empty segment %s: %w", c.path, err)
 			}
+			removeSidecar(c.path)
 			continue
 		}
 		j.sealed = append(j.sealed, info)
@@ -176,11 +212,12 @@ func (j *Journal) recover() error {
 	return nil
 }
 
-// scanSegment validates one segment file and returns its record range.
-// When truncateTorn is set (newest segment only — a crash can only
-// tear the file being written), a trailing partial or corrupt record
-// is truncated away; anywhere else it is an error.
-func scanSegment(path string, truncateTorn bool) (segInfo, error) {
+// scanSegment validates one segment file, returning its record range
+// and (when every > 0) a rebuilt sparse index. When truncateTorn is
+// set (newest segment only — a crash can only tear the file being
+// written), a trailing partial or corrupt record is truncated away;
+// anywhere else it is an error.
+func scanSegment(path string, truncateTorn bool, every int) (segInfo, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return segInfo{}, fmt.Errorf("journal: reading segment: %w", err)
@@ -200,6 +237,9 @@ func scanSegment(path string, truncateTorn bool) (segInfo, error) {
 		}
 		if info.first == 0 {
 			info.first = rec.Seq
+		}
+		if every > 0 && (len(info.index) == 0 || rec.Seq >= info.index[len(info.index)-1].seq+uint64(every)) {
+			info.index = append(info.index, indexEntry{seq: rec.Seq, off: int64(off)})
 		}
 		info.last = rec.Seq
 		off += n
@@ -251,6 +291,12 @@ func (j *Journal) AppendTraced(ev message.Event, remote bool, pubID string, onSe
 		j.activeInfo.first = seq
 	}
 	j.activeInfo.last = seq
+	if e := j.cfg.IndexEvery; e > 0 {
+		idx := j.activeInfo.index
+		if len(idx) == 0 || seq >= idx[len(idx)-1].seq+uint64(e) {
+			j.activeInfo.index = append(idx, indexEntry{seq: seq, off: j.activeInfo.bytes})
+		}
+	}
 	j.activeInfo.bytes += int64(len(frame))
 	j.buf = append(j.buf, frame...)
 	j.stats.Appends++
@@ -353,9 +399,35 @@ func (j *Journal) openActiveLocked() error {
 	if err != nil {
 		return fmt.Errorf("journal: opening segment: %w", err)
 	}
+	// Fsync the directory so the new segment's name survives power
+	// loss — without this a freshly rolled segment can vanish even
+	// though its records were fsynced.
+	if j.cfg.Fsync {
+		if err := syncDir(j.cfg.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
 	j.active = f
 	j.activeInfo.path = path
 	j.activeBorn = time.Now()
+	return nil
+}
+
+// syncDir fsyncs a directory, making its entries (renames, creates)
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: opening dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("journal: syncing dir %s: %w", dir, err)
+	}
 	return nil
 }
 
@@ -391,6 +463,9 @@ func (j *Journal) rollIfNeededLocked(incoming int64) error {
 	}
 	if j.activeInfo.first != 0 {
 		j.sealed = append(j.sealed, j.activeInfo)
+		if j.cfg.IndexEvery > 0 {
+			writeSidecar(j.activeInfo) // best-effort: rebuilt on reopen if lost
+		}
 	}
 	j.activeInfo = segInfo{}
 	j.compactLocked()
@@ -399,7 +474,9 @@ func (j *Journal) rollIfNeededLocked(incoming int64) error {
 
 // ackFloor is the sequence number every cursor has passed. With no
 // cursors nothing will ever be replayed, so the whole history up to
-// the head is reclaimable.
+// the head is reclaimable. An external floor function (the broker's
+// detached-subscription store) can pin the floor lower for consumers
+// whose cursors are not resident in the journal's table.
 func (j *Journal) ackFloorLocked() uint64 {
 	floor := j.nextSeq - 1
 	for _, c := range j.cursors {
@@ -407,7 +484,23 @@ func (j *Journal) ackFloorLocked() uint64 {
 			floor = c
 		}
 	}
+	if j.floorFn != nil {
+		if f, ok := j.floorFn(); ok && f < floor {
+			floor = f
+		}
+	}
 	return floor
+}
+
+// SetFloorFunc registers an external ack-floor source consulted by
+// compaction in addition to the in-memory cursor table. fn runs under
+// the journal lock and must not call back into the journal. Returning
+// ok=false means "no external floor". A conservative (stale-low) floor
+// only delays compaction; it never loses records.
+func (j *Journal) SetFloorFunc(fn func() (uint64, bool)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.floorFn = fn
 }
 
 // compactLocked removes sealed segments that (a) every cursor has
@@ -420,6 +513,7 @@ func (j *Journal) compactLocked() {
 		if os.Remove(j.sealed[0].path) == nil {
 			j.stats.CompactedSegments++
 		}
+		removeSidecar(j.sealed[0].path)
 		j.sealed = j.sealed[1:]
 	}
 	if j.cfg.RetentionBytes <= 0 {
@@ -431,6 +525,7 @@ func (j *Journal) compactLocked() {
 	}
 	for len(j.sealed) > 1 && total > j.cfg.RetentionBytes {
 		s := j.sealed[0]
+		removeSidecar(s.path)
 		if os.Remove(s.path) == nil {
 			j.stats.RetentionDroppedSegments++
 			if s.last > floor {
@@ -471,7 +566,11 @@ func (j *Journal) Scan(from uint64, fn func(Record) error) error {
 	j.mu.Unlock()
 
 	for _, s := range paths {
-		data, err := os.ReadFile(s.path)
+		// Seek: the sparse index names the offset of the last indexed
+		// record at or below the cursor, so a deep-cursor scan reads
+		// only the tail of the segment instead of the whole file.
+		start := seekOffset(s.index, from)
+		f, err := os.Open(s.path)
 		if os.IsNotExist(err) {
 			// A concurrent roll compacted (or retention-dropped) this
 			// segment after we snapshotted the list: its records are
@@ -480,16 +579,25 @@ func (j *Journal) Scan(from uint64, fn func(Record) error) error {
 			continue
 		}
 		if err != nil {
-			return fmt.Errorf("journal: reading segment: %w", err)
+			return fmt.Errorf("journal: opening segment: %w", err)
 		}
-		if int64(len(data)) > s.bytes {
-			data = data[:s.bytes] // ignore bytes appended since the snapshot
+		data := make([]byte, s.bytes-start)
+		_, err = f.ReadAt(data, start)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("journal: reading segment %s: %w", s.path, err)
+		}
+		if start > 0 {
+			j.mu.Lock()
+			j.stats.SeekScans++
+			j.stats.SeekSkippedBytes += uint64(start)
+			j.mu.Unlock()
 		}
 		off := 0
 		for off < len(data) {
 			rec, n, err := DecodeRecord(data[off:])
 			if err != nil {
-				return fmt.Errorf("journal: segment %s corrupt at byte %d: %w", s.path, off, err)
+				return fmt.Errorf("journal: segment %s corrupt at byte %d: %w", s.path, int64(off)+start, err)
 			}
 			off += n
 			if rec.Seq < from {
@@ -571,22 +679,39 @@ type cursorsOnDisk struct {
 	Cursors map[string]uint64 `json:"cursors"`
 }
 
-// saveCursorsLocked atomically rewrites cursors.json.
+// saveCursorsLocked atomically and durably rewrites cursors.json:
+// write a temp file, fsync it, rename into place, fsync the directory.
+// A crash at any point leaves either the old complete file or the new
+// complete file — never a torn mix.
 func (j *Journal) saveCursorsLocked() error {
+	j.cursorsDirty = false
+	j.commitsSinceCursorSave = 0
+	if j.cfg.EphemeralCursors {
+		return nil // a higher layer is the durable cursor authority
+	}
 	data, err := json.Marshal(cursorsOnDisk{Cursors: j.cursors})
 	if err != nil {
 		return fmt.Errorf("journal: encoding cursors: %w", err)
 	}
 	tmp := filepath.Join(j.cfg.Dir, cursorsFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: creating cursors temp: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("journal: writing cursors: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(j.cfg.Dir, cursorsFile)); err != nil {
 		return fmt.Errorf("journal: installing cursors: %w", err)
 	}
-	j.cursorsDirty = false
-	j.commitsSinceCursorSave = 0
-	return nil
+	return syncDir(j.cfg.Dir)
 }
 
 func (j *Journal) loadCursors() error {
@@ -599,7 +724,11 @@ func (j *Journal) loadCursors() error {
 	}
 	var d cursorsOnDisk
 	if err := json.Unmarshal(data, &d); err != nil {
-		return fmt.Errorf("journal: decoding cursors: %w", err)
+		// A torn cursors file (crash mid-write on a pre-fsync layout, or
+		// disk corruption) is recoverable: cursors restart at zero and
+		// the affected subscriptions see redelivery, never loss — so
+		// tolerate it instead of refusing to open.
+		return nil
 	}
 	if d.Cursors != nil {
 		j.cursors = d.Cursors
@@ -616,8 +745,10 @@ func (j *Journal) Stats() Stats {
 	s.Cursors = len(j.cursors)
 	s.Segments = len(j.sealed)
 	s.Bytes = int64(len(j.buf))
+	s.IndexEntries = len(j.activeInfo.index)
 	for _, seg := range j.sealed {
 		s.Bytes += seg.bytes
+		s.IndexEntries += len(seg.index)
 	}
 	if j.activeInfo.first != 0 {
 		s.Segments++

@@ -19,6 +19,7 @@ import (
 	"stopss/internal/notify"
 	"stopss/internal/overlay"
 	"stopss/internal/semantic"
+	"stopss/internal/store"
 	"stopss/internal/trace"
 )
 
@@ -38,6 +39,7 @@ type Broker struct {
 	NT      *notify.Engine
 	KB      *knowledge.Base
 	J       *journal.Journal
+	ST      *store.Store // nil unless the cluster was built WithStore
 	jdir    string
 	snap    []byte // last SnapshotNow image; consumed by CrashRestart
 	rec     *recorder
@@ -82,6 +84,7 @@ type Cluster struct {
 	Brokers []*Broker
 
 	jcfg    journal.Config                   // template; Dir is per-broker
+	scfg    *store.Config                    // template; Path is per-broker; nil = no store
 	edges   map[[2]int]bool                  // configured topology
 	live    map[[2]int]bool                  // edges currently connected
 	nodeCfg func(i int, cfg *overlay.Config) // optional per-broker tweak
@@ -104,6 +107,13 @@ type Option func(*Cluster)
 // crash durability tighten it.
 func WithJournalConfig(cfg journal.Config) Option {
 	return func(c *Cluster) { c.jcfg = cfg }
+}
+
+// WithStore gives every broker a paged subscription store (Path is
+// always assigned per broker), enabling Detach/Resume scenarios.
+// Scenarios stressing eviction shrink PageSize/Pages in the template.
+func WithStore(cfg store.Config) Option {
+	return func(c *Cluster) { c.scfg = &cfg }
 }
 
 // WithNodeConfig installs a per-broker overlay configuration hook, run
@@ -158,6 +168,18 @@ func NewCluster(tb testing.TB, n int, opts ...Option) *Cluster {
 		}
 		b.J = j
 		b.B.AttachJournal(j)
+		if c.scfg != nil {
+			scfg := *c.scfg
+			scfg.Path = filepath.Join(b.jdir, "subs.heap")
+			st, err := store.Open(scfg)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			b.ST = st
+			if err := b.B.AttachStore(st); err != nil {
+				tb.Fatal(err)
+			}
+		}
 		c.startNode(b)
 		c.Brokers = append(c.Brokers, b)
 	}
@@ -168,6 +190,9 @@ func NewCluster(tb testing.TB, n int, opts ...Option) *Cluster {
 			}
 			b.NT.Close()
 			_ = b.J.Close()
+			if b.ST != nil {
+				_ = b.ST.Close()
+			}
 		}
 	})
 	return c
@@ -327,6 +352,22 @@ func (c *Cluster) CrashRestart(i int) {
 		c.tb.Fatal(err)
 	}
 	br.AttachJournal(j)
+	if b.ST != nil {
+		// The old store handle is abandoned unclosed — the crash loses
+		// everything its pool had not checkpointed, by design. The new
+		// incarnation recovers from the on-disk image (store before
+		// Restore: restoreDurable's 3-way cursor merge needs it).
+		scfg := *c.scfg
+		scfg.Path = filepath.Join(b.jdir, "subs.heap")
+		st, err := store.Open(scfg)
+		if err != nil {
+			c.tb.Fatalf("sim: reopening store of %s: %v", b.Name, err)
+		}
+		b.ST = st
+		if err := br.AttachStore(st); err != nil {
+			c.tb.Fatalf("sim: reattaching store of %s: %v", b.Name, err)
+		}
+	}
 	if err := br.Restore(bytes.NewReader(b.snap)); err != nil {
 		c.tb.Fatalf("sim: restoring %s: %v", b.Name, err)
 	}
@@ -360,6 +401,41 @@ func (c *Cluster) Unsubscribe(s *Sub) {
 		c.tb.Fatal(err)
 	}
 	s.Active = false
+}
+
+// Detach pages a durable subscription out to its broker's store
+// (requires WithStore). The subscription stays Active for expectation
+// purposes: publications while detached are journaled and owed, and
+// must arrive after Resume — that is the at-least-once contract under
+// paging. Counts as a fault for trace-completeness purposes (replayed
+// deliveries rebuild no origin span chain).
+func (c *Cluster) Detach(s *Sub) {
+	c.tb.Helper()
+	c.faultSeq++
+	if err := c.Brokers[s.BrokerIdx].B.DetachDurable(s.Client, s.ID); err != nil {
+		c.tb.Fatalf("sim: detaching %s/sub %d: %v", s.Client, s.ID, err)
+	}
+}
+
+// Resume faults a detached subscription back in and replays what it
+// missed. Call Settle afterwards before verifying.
+func (c *Cluster) Resume(s *Sub) {
+	c.tb.Helper()
+	c.faultSeq++
+	if _, err := c.Brokers[s.BrokerIdx].B.ResumeDurable(s.Client, s.ID); err != nil {
+		c.tb.Fatalf("sim: resuming %s/sub %d: %v", s.Client, s.ID, err)
+	}
+}
+
+// CheckpointStore flushes broker i's subscription store, making every
+// detach so far crash-durable (detach durability is checkpoint-
+// granular). Scenarios call this before CrashRestart when detached
+// records must survive.
+func (c *Cluster) CheckpointStore(i int) {
+	c.tb.Helper()
+	if err := c.Brokers[i].B.CheckpointStore(); err != nil {
+		c.tb.Fatal(err)
+	}
 }
 
 // Publish emits an event (attribute/value pairs as in message.E) from

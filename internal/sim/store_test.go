@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"testing"
+
+	"stopss/internal/broker"
+	"stopss/internal/notify"
+	"stopss/internal/store"
+)
+
+// tinyStore is a store template small enough that a handful of
+// detached subscriptions overflows the buffer pool: scenarios under it
+// exercise eviction, write-back and read-through faulting, not just
+// the happy path.
+func tinyStore() store.Config {
+	return store.Config{PageSize: 512, Pages: 2}
+}
+
+// TestStoreDetachResumeUnderEviction: many durable subscriptions are
+// paged out through a two-page pool, publications flow while they are
+// detached, and every one of them must be made whole after resume —
+// with the store provably evicting and writing back along the way.
+func TestStoreDetachResumeUnderEviction(t *testing.T) {
+	c := NewCluster(t, 2, WithStore(tinyStore()))
+	c.Wire([][2]int{{0, 1}})
+
+	const nsubs = 40
+	subs := make([]*Sub, nsubs)
+	for i := range subs {
+		subs[i] = c.SubscribeDurable(1, ge("x", 0))
+	}
+	c.Settle()
+
+	// A delivered-and-acked prefix, so detach cursors are non-zero.
+	for i := 1; i <= 3; i++ {
+		c.Publish(0, "x", i)
+	}
+	c.Settle()
+
+	for _, s := range subs {
+		c.Detach(s)
+	}
+	st := c.Brokers[1].B.Stats()
+	if st.Detached != nsubs || st.Durable != 0 {
+		t.Fatalf("after detach: Detached=%d Durable=%d", st.Detached, st.Durable)
+	}
+	if st.Store.Resident > st.Store.PoolCapacity {
+		t.Fatalf("store resident %d exceeds pool budget %d", st.Store.Resident, st.Store.PoolCapacity)
+	}
+	if st.Store.Evictions == 0 || st.Store.WriteBacks == 0 {
+		t.Fatalf("pool never under pressure: %+v", st.Store)
+	}
+
+	// The owed stream: journaled while every subscriber is paged out.
+	for i := 4; i <= 10; i++ {
+		c.Publish(0, "x", i)
+	}
+	c.Settle()
+
+	for _, s := range subs {
+		c.Resume(s)
+	}
+	c.Settle()
+	if dups := c.VerifyAtLeastOnce(); dups != 0 {
+		t.Errorf("duplicates = %d, want 0 (no crash in this scenario)", dups)
+	}
+	st = c.Brokers[1].B.Stats()
+	if st.Detached != 0 || st.Durable != nsubs {
+		t.Fatalf("after resume: Detached=%d Durable=%d", st.Detached, st.Durable)
+	}
+	if st.FaultedIn != nsubs {
+		t.Fatalf("FaultedIn = %d, want %d", st.FaultedIn, nsubs)
+	}
+}
+
+// TestStoreCrashRestartDetachedResume: a detached subscription must
+// survive a full process crash — the broker restarts from an EMPTY
+// snapshot, so the paged store is the only authority that remembers
+// it. Publications are local to the subscriber's broker (a detached
+// subscription's overlay interests do not survive a restart's link
+// re-sync; see ROADMAP).
+func TestStoreCrashRestartDetachedResume(t *testing.T) {
+	c := NewCluster(t, 1, WithStore(tinyStore()))
+	c.SnapshotNow(0) // pre-subscription image: restore knows nothing
+
+	s := c.SubscribeDurable(0, ge("x", 0))
+	for i := 1; i <= 4; i++ {
+		c.Publish(0, "x", i)
+	}
+	c.Settle()
+
+	c.Detach(s)
+	c.CheckpointStore(0) // make the detach crash-durable
+	for i := 5; i <= 9; i++ {
+		c.Publish(0, "x", i) // owed: journaled while paged out
+	}
+	c.Settle()
+
+	c.CrashRestart(0)
+	st := c.Brokers[0].B.Stats()
+	if st.Detached != 1 || st.Durable != 0 {
+		t.Fatalf("after restart: Detached=%d Durable=%d (store did not survive)", st.Detached, st.Durable)
+	}
+
+	// The pre-subscription snapshot carries no client routes; the
+	// reconnecting subscriber re-registers before resuming, as a real
+	// client library would.
+	if err := c.Brokers[0].B.Register(broker.Client{Name: s.Client,
+		Route: notify.Route{Transport: "sim", Addr: s.Client}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Resume(s)
+	c.Settle()
+	c.VerifyAtLeastOnce() // gaps are fatal; dups allowed across the crash
+	if cur, ok := c.Brokers[0].B.DurableCursor(s.ID); !ok || cur < 9 {
+		t.Errorf("cursor after resume = %d/%v, want >= 9", cur, ok)
+	}
+
+	// The stream continues, and new subscriptions never collide with
+	// the ID the store preserved.
+	s2 := c.SubscribeDurable(0, ge("x", 0))
+	if s2.ID <= s.ID {
+		t.Fatalf("post-restart sub ID %d collides with stored ID space (max %d)", s2.ID, s.ID)
+	}
+	c.Publish(0, "x", 10)
+	c.Settle()
+	c.VerifyAtLeastOnce()
+}
+
+// TestStoreCrashRestartSnapshotMerge: a subscription snapshotted while
+// resident and detached afterwards restores through the 3-way cursor
+// merge — the store's (newer) cursor wins over the snapshot's stale
+// one, the record is absorbed, and replay owes exactly the tail.
+func TestStoreCrashRestartSnapshotMerge(t *testing.T) {
+	c := NewCluster(t, 1, WithStore(tinyStore()))
+
+	s := c.SubscribeDurable(0, ge("x", 0))
+	c.SnapshotNow(0) // cursor 0 in the snapshot
+	for i := 1; i <= 6; i++ {
+		c.Publish(0, "x", i)
+	}
+	c.Settle() // acked through 6
+
+	c.Detach(s) // store cursor 6
+	c.CheckpointStore(0)
+	for i := 7; i <= 9; i++ {
+		c.Publish(0, "x", i)
+	}
+	c.Settle()
+
+	c.CrashRestart(0)
+	// Restore saw the snapshot's resident copy AND the store record:
+	// the record is absorbed into residency at the merged cursor.
+	st := c.Brokers[0].B.Stats()
+	if st.Detached != 0 || st.Durable != 1 {
+		t.Fatalf("after restart: Detached=%d Durable=%d (store record not absorbed)", st.Detached, st.Durable)
+	}
+	if cur, ok := c.Brokers[0].B.DurableCursor(s.ID); !ok || cur < 6 {
+		t.Fatalf("restored cursor = %d/%v, want >= 6 (store cursor lost)", cur, ok)
+	}
+	c.Settle() // catch-up replay of 7..9 drains
+	c.VerifyAtLeastOnce()
+	for seq := 7; seq <= 9; seq++ {
+		if got := c.Brokers[0].rec.count(s.Client, s.ID, seq); got == 0 {
+			t.Errorf("owed pub %d never delivered after restart", seq)
+		}
+	}
+}

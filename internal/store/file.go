@@ -1,0 +1,159 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// heapFile is the on-disk side of the store: a single file of
+// fixed-size pages. Page 0 is the meta page; data pages start at 1.
+//
+// Meta page layout:
+//
+//	[0:4]   CRC-32 of bytes [4:32]
+//	[4:8]   magic "STPS"
+//	[8:12]  format version
+//	[12:16] page size
+//	[16:20] page count (incl. meta) at last checkpoint
+//	[20:24] free-list head (0 = empty)
+//	[24:32] stamp watermark at last checkpoint
+//
+// The page count and free-list head are advisory: reopen derives the
+// real page count from the file size and rebuilds the free list from
+// the pageFree flags found by the recovery scan, so a crash between a
+// structural change and the next checkpoint can never orphan or
+// double-allocate a page.
+const (
+	metaMagic   = 0x53545053 // "STPS"
+	metaVersion = 1
+	metaSize    = 32
+)
+
+// ErrTornPage marks a page whose checksum or stored ID does not match:
+// a torn write or misdirected I/O. The store recovers by dropping the
+// page (its records are rebuilt from the journal/snapshot authorities
+// upstream) — it never serves corrupt cells.
+var ErrTornPage = errors.New("store: torn page")
+
+type heapFile struct {
+	f        *os.File
+	pageSize int
+	npages   uint32 // incl. meta page 0
+}
+
+type metaState struct {
+	freeHead uint32
+	stamp    uint64
+}
+
+// openHeapFile opens or creates the heap file. A fresh file gets a
+// meta page; an existing one must match pageSize. The returned meta is
+// advisory (see above) — zeroed when the meta page itself is torn.
+func openHeapFile(path string, pageSize int) (*heapFile, metaState, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, metaState{}, fmt.Errorf("store: opening %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, metaState{}, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	h := &heapFile{f: f, pageSize: pageSize}
+	if st.Size() == 0 {
+		h.npages = 1
+		if err := h.writeMeta(metaState{}); err != nil {
+			f.Close()
+			return nil, metaState{}, err
+		}
+		return h, metaState{}, nil
+	}
+	h.npages = uint32(st.Size() / int64(pageSize))
+	if h.npages == 0 {
+		h.npages = 1 // short file: meta rewritten below by recovery
+	}
+	meta, err := h.readMeta()
+	if err != nil {
+		f.Close()
+		return nil, metaState{}, err
+	}
+	return h, meta, nil
+}
+
+func (h *heapFile) readMeta() (metaState, error) {
+	buf := make([]byte, metaSize)
+	if _, err := h.f.ReadAt(buf, 0); err != nil {
+		// Torn/short meta: recoverable — the scan rebuilds everything.
+		return metaState{}, nil
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != crc32.ChecksumIEEE(buf[4:metaSize]) {
+		return metaState{}, nil // torn meta: advisory only, rebuild
+	}
+	if binary.BigEndian.Uint32(buf[4:8]) != metaMagic {
+		return metaState{}, fmt.Errorf("store: %s is not a store file", h.f.Name())
+	}
+	if v := binary.BigEndian.Uint32(buf[8:12]); v != metaVersion {
+		return metaState{}, fmt.Errorf("store: format version %d unsupported (want %d)", v, metaVersion)
+	}
+	if ps := int(binary.BigEndian.Uint32(buf[12:16])); ps != h.pageSize {
+		return metaState{}, fmt.Errorf("store: file has page size %d, configured %d", ps, h.pageSize)
+	}
+	return metaState{
+		freeHead: binary.BigEndian.Uint32(buf[20:24]),
+		stamp:    binary.BigEndian.Uint64(buf[24:32]),
+	}, nil
+}
+
+func (h *heapFile) writeMeta(m metaState) error {
+	buf := make([]byte, h.pageSize)
+	binary.BigEndian.PutUint32(buf[4:8], metaMagic)
+	binary.BigEndian.PutUint32(buf[8:12], metaVersion)
+	binary.BigEndian.PutUint32(buf[12:16], uint32(h.pageSize))
+	binary.BigEndian.PutUint32(buf[16:20], h.npages)
+	binary.BigEndian.PutUint32(buf[20:24], m.freeHead)
+	binary.BigEndian.PutUint64(buf[24:32], m.stamp)
+	binary.BigEndian.PutUint32(buf[0:4], crc32.ChecksumIEEE(buf[4:metaSize]))
+	if _, err := h.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("store: writing meta page: %w", err)
+	}
+	return nil
+}
+
+// readPage fills buf with page id, verifying checksum and stored ID.
+func (h *heapFile) readPage(id uint32, buf page) error {
+	if _, err := h.f.ReadAt(buf, int64(id)*int64(h.pageSize)); err != nil {
+		return fmt.Errorf("store: reading page %d: %w", id, err)
+	}
+	if !buf.verify(id) {
+		return fmt.Errorf("%w: page %d", ErrTornPage, id)
+	}
+	return nil
+}
+
+// writePage seals (checksums) and writes buf as page id.
+func (h *heapFile) writePage(id uint32, buf page) error {
+	buf.seal()
+	if _, err := h.f.WriteAt(buf, int64(id)*int64(h.pageSize)); err != nil {
+		return fmt.Errorf("store: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+// extend grows the file by one page and returns its ID.
+func (h *heapFile) extend() uint32 {
+	id := h.npages
+	h.npages++
+	return id
+}
+
+func (h *heapFile) sync() error {
+	if err := h.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", h.f.Name(), err)
+	}
+	return nil
+}
+
+func (h *heapFile) close() error { return h.f.Close() }

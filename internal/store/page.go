@@ -1,0 +1,246 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Slotted heap-file page (DESIGN.md §11). One page is a fixed-size
+// byte buffer:
+//
+//	[0:4]   CRC-32 (IEEE) of bytes [4:pageSize], set at write-back
+//	[4:8]   page ID — guards against misdirected reads/writes
+//	[8:10]  flags (pageFree marks a free-list member)
+//	[10:12] slot count
+//	[12:14] freeHigh: lowest byte offset used by cell data
+//	[14:16] reserved
+//	[16:20] nextFree: free-list link (meaningful only with pageFree)
+//	[20:24] reserved
+//	[24:..] slot directory, 4 bytes per slot, growing forward
+//	[..:N]  cells, growing backward from the page end
+//
+// A slot is (cellOff uint16, cellLen uint16); cellLen 0 marks a dead
+// slot whose directory entry is reusable. A cell is the record key
+// (uint64), a store-assigned stamp (uint64, newest-wins crash
+// resolution), then the value bytes. The checksum is what turns a torn
+// write into a detected torn page instead of silently corrupt records.
+const (
+	pageHeaderSize = 24
+	slotSize       = 4
+	cellOverhead   = 16 // key + stamp
+
+	offCRC      = 0
+	offPageID   = 4
+	offFlags    = 8
+	offNSlots   = 10
+	offFreeHigh = 12
+	offNextFree = 16
+
+	pageFree = 1 << 0
+)
+
+type page []byte
+
+func (p page) init(id uint32) {
+	for i := range p {
+		p[i] = 0
+	}
+	binary.BigEndian.PutUint32(p[offPageID:], id)
+	binary.BigEndian.PutUint16(p[offFreeHigh:], uint16(len(p)))
+}
+
+func (p page) id() uint32       { return binary.BigEndian.Uint32(p[offPageID:]) }
+func (p page) flags() uint16    { return binary.BigEndian.Uint16(p[offFlags:]) }
+func (p page) nslots() int      { return int(binary.BigEndian.Uint16(p[offNSlots:])) }
+func (p page) freeHigh() int    { return int(binary.BigEndian.Uint16(p[offFreeHigh:])) }
+func (p page) nextFree() uint32 { return binary.BigEndian.Uint32(p[offNextFree:]) }
+
+func (p page) setFlags(f uint16)     { binary.BigEndian.PutUint16(p[offFlags:], f) }
+func (p page) setNSlots(n int)       { binary.BigEndian.PutUint16(p[offNSlots:], uint16(n)) }
+func (p page) setFreeHigh(v int)     { binary.BigEndian.PutUint16(p[offFreeHigh:], uint16(v)) }
+func (p page) setNextFree(id uint32) { binary.BigEndian.PutUint32(p[offNextFree:], id) }
+
+// markFree reinitializes the page as a free-list member linking to next.
+func (p page) markFree(next uint32) {
+	id := p.id()
+	p.init(id)
+	p.setFlags(pageFree)
+	p.setNextFree(next)
+}
+
+func (p page) slot(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	return int(binary.BigEndian.Uint16(p[base:])), int(binary.BigEndian.Uint16(p[base+2:]))
+}
+
+func (p page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.BigEndian.PutUint16(p[base:], uint16(off))
+	binary.BigEndian.PutUint16(p[base+2:], uint16(length))
+}
+
+// contiguousFree returns the bytes available between the end of the
+// slot directory and the lowest cell, assuming newSlot additional
+// directory entries.
+func (p page) contiguousFree(newSlots int) int {
+	low := pageHeaderSize + (p.nslots()+newSlots)*slotSize
+	if low > p.freeHigh() {
+		return 0
+	}
+	return p.freeHigh() - low
+}
+
+// liveBytes sums the cell bytes still referenced by live slots.
+func (p page) liveBytes() int {
+	total := 0
+	for i := 0; i < p.nslots(); i++ {
+		_, l := p.slot(i)
+		total += l
+	}
+	return total
+}
+
+// insert places a cell on the page, reusing a dead directory slot when
+// one exists and compacting first if fragmentation is hiding enough
+// space. Returns the slot index, or ok=false when the record cannot
+// fit even after compaction.
+func (p page) insert(key, stamp uint64, val []byte) (int, bool) {
+	need := cellOverhead + len(val)
+	slot := -1
+	for i := 0; i < p.nslots(); i++ {
+		if _, l := p.slot(i); l == 0 {
+			slot = i
+			break
+		}
+	}
+	newSlots := 0
+	if slot == -1 {
+		newSlots = 1
+	}
+	if p.contiguousFree(newSlots) < need {
+		// Fragmented free space (dead or shrunk cells) only becomes
+		// usable after compaction.
+		usable := len(p) - (pageHeaderSize + (p.nslots()+newSlots)*slotSize) - p.liveBytes()
+		if usable < need {
+			return 0, false
+		}
+		p.compact()
+		if p.contiguousFree(newSlots) < need {
+			return 0, false
+		}
+	}
+	if slot == -1 {
+		slot = p.nslots()
+		p.setNSlots(slot + 1)
+	}
+	off := p.freeHigh() - need
+	binary.BigEndian.PutUint64(p[off:], key)
+	binary.BigEndian.PutUint64(p[off+8:], stamp)
+	copy(p[off+cellOverhead:], val)
+	p.setSlot(slot, off, need)
+	p.setFreeHigh(off)
+	return slot, true
+}
+
+// update rewrites the value of a live slot in place when the new value
+// fits the existing cell; the caller falls back to delete+insert
+// otherwise. The bytes stranded by a shrinking update are reclaimed by
+// the next compaction.
+func (p page) update(slot int, stamp uint64, val []byte) bool {
+	off, l := p.slot(slot)
+	if l == 0 {
+		return false
+	}
+	need := cellOverhead + len(val)
+	if need > l {
+		return false
+	}
+	binary.BigEndian.PutUint64(p[off+8:], stamp)
+	copy(p[off+cellOverhead:], val)
+	p.setSlot(slot, off, need)
+	return true
+}
+
+// get returns the cell at slot. The value aliases the page buffer —
+// callers copy before unpinning.
+func (p page) get(slot int) (key, stamp uint64, val []byte, ok bool) {
+	if slot < 0 || slot >= p.nslots() {
+		return 0, 0, nil, false
+	}
+	off, l := p.slot(slot)
+	if l == 0 {
+		return 0, 0, nil, false
+	}
+	key = binary.BigEndian.Uint64(p[off:])
+	stamp = binary.BigEndian.Uint64(p[off+8:])
+	return key, stamp, p[off+cellOverhead : off+l], true
+}
+
+// delete kills a slot; trailing dead slots shrink the directory.
+func (p page) delete(slot int) {
+	p.setSlot(slot, 0, 0)
+	n := p.nslots()
+	for n > 0 {
+		if _, l := p.slot(n - 1); l != 0 {
+			break
+		}
+		n--
+	}
+	p.setNSlots(n)
+	if n == 0 {
+		p.setFreeHigh(len(p))
+	}
+}
+
+// scan visits every live cell. Returning false stops the scan. Values
+// alias the page buffer.
+func (p page) scan(fn func(slot int, key, stamp uint64, val []byte) bool) {
+	for i := 0; i < p.nslots(); i++ {
+		if key, stamp, val, ok := p.get(i); ok {
+			if !fn(i, key, stamp, val) {
+				return
+			}
+		}
+	}
+}
+
+// empty reports whether the page holds no live cells.
+func (p page) empty() bool {
+	for i := 0; i < p.nslots(); i++ {
+		if _, l := p.slot(i); l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compact rewrites live cells against the page end, squeezing out dead
+// and shrunk-cell space. Slot indices are preserved (the directory is
+// the identity RIDs point at).
+func (p page) compact() {
+	scratch := make([]byte, len(p))
+	high := len(p)
+	for i := 0; i < p.nslots(); i++ {
+		off, l := p.slot(i)
+		if l == 0 {
+			continue
+		}
+		high -= l
+		copy(scratch[high:], p[off:off+l])
+		p.setSlot(i, high, l)
+	}
+	copy(p[high:], scratch[high:])
+	p.setFreeHigh(high)
+}
+
+// seal computes and stores the page checksum; verify checks it.
+func (p page) seal() {
+	binary.BigEndian.PutUint32(p[offCRC:], crc32.ChecksumIEEE(p[4:]))
+}
+
+func (p page) verify(wantID uint32) bool {
+	if binary.BigEndian.Uint32(p[offCRC:]) != crc32.ChecksumIEEE(p[4:]) {
+		return false
+	}
+	return p.id() == wantID
+}

@@ -1,0 +1,209 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newTestPage(size int, id uint32) page {
+	p := make(page, size)
+	p.init(id)
+	return p
+}
+
+func TestPageInsertGetDelete(t *testing.T) {
+	p := newTestPage(512, 7)
+	if !p.empty() {
+		t.Fatal("fresh page not empty")
+	}
+	s1, ok := p.insert(100, 1, []byte("alpha"))
+	if !ok {
+		t.Fatal("insert alpha failed")
+	}
+	s2, ok := p.insert(200, 2, []byte("beta"))
+	if !ok {
+		t.Fatal("insert beta failed")
+	}
+	key, stamp, val, ok := p.get(s1)
+	if !ok || key != 100 || stamp != 1 || string(val) != "alpha" {
+		t.Fatalf("get s1 = %d/%d/%q/%v", key, stamp, val, ok)
+	}
+	p.delete(s1)
+	if _, _, _, ok := p.get(s1); ok {
+		t.Fatal("deleted slot still live")
+	}
+	key, _, val, ok = p.get(s2)
+	if !ok || key != 200 || string(val) != "beta" {
+		t.Fatal("delete disturbed sibling cell")
+	}
+	// The dead slot is reused by the next insert.
+	s3, ok := p.insert(300, 3, []byte("gamma"))
+	if !ok || s3 != s1 {
+		t.Fatalf("insert after delete got slot %d, want reused %d", s3, s1)
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := newTestPage(512, 1)
+	slot, _ := p.insert(1, 1, []byte("longer-value"))
+	if !p.update(slot, 2, []byte("short")) {
+		t.Fatal("shrinking update should fit in place")
+	}
+	_, stamp, val, _ := p.get(slot)
+	if stamp != 2 || string(val) != "short" {
+		t.Fatalf("after update: stamp=%d val=%q", stamp, val)
+	}
+	if p.update(slot, 3, bytes.Repeat([]byte("x"), 64)) {
+		t.Fatal("growing update should not fit in place")
+	}
+}
+
+func TestPageCompactionReclaimsFragmentation(t *testing.T) {
+	p := newTestPage(256, 1)
+	// Fill the page with small records.
+	var slots []int
+	for i := uint64(0); ; i++ {
+		s, ok := p.insert(i, i+1, []byte("0123456789"))
+		if !ok {
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 4 {
+		t.Fatalf("page too small for test: %d inserts", len(slots))
+	}
+	// Delete every other record; the free space is fragmented.
+	for i := 0; i < len(slots); i += 2 {
+		p.delete(slots[i])
+	}
+	// A larger record only fits after compaction.
+	if _, ok := p.insert(999, 1000, []byte("abcdefghijklmnopqrs")); !ok {
+		t.Fatal("insert after fragmentation failed; compaction did not reclaim space")
+	}
+	// Survivors are intact.
+	for i := 1; i < len(slots); i += 2 {
+		key, _, val, ok := p.get(slots[i])
+		if !ok || key != uint64(i) || string(val) != "0123456789" {
+			t.Fatalf("slot %d corrupted after compaction: %d/%q/%v", slots[i], key, val, ok)
+		}
+	}
+}
+
+func TestPageFullRejectsInsert(t *testing.T) {
+	p := newTestPage(256, 1)
+	for i := uint64(0); i < 1000; i++ {
+		if _, ok := p.insert(i, i+1, []byte("0123456789")); !ok {
+			return // filled up and refused, as expected
+		}
+	}
+	t.Fatal("page never refused an insert")
+}
+
+func TestPageSealVerify(t *testing.T) {
+	p := newTestPage(512, 42)
+	p.insert(1, 1, []byte("payload"))
+	p.seal()
+	if !p.verify(42) {
+		t.Fatal("sealed page does not verify")
+	}
+	if p.verify(43) {
+		t.Fatal("page verifies under the wrong ID")
+	}
+	p[100] ^= 0xFF
+	if p.verify(42) {
+		t.Fatal("corrupted page verifies")
+	}
+}
+
+func TestPageMarkFree(t *testing.T) {
+	p := newTestPage(512, 9)
+	p.insert(1, 1, []byte("x"))
+	p.markFree(17)
+	if p.flags()&pageFree == 0 {
+		t.Fatal("markFree did not set the free flag")
+	}
+	if p.id() != 9 {
+		t.Fatal("markFree lost the page ID")
+	}
+	if p.nextFree() != 17 {
+		t.Fatal("markFree lost the free link")
+	}
+	if !p.empty() {
+		t.Fatal("freed page still has live cells")
+	}
+}
+
+// TestPageRandomOps cross-checks the page against a map model through
+// a few thousand random insert/update/delete operations.
+func TestPageRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := newTestPage(1024, 3)
+	model := map[uint64][]byte{} // key -> value
+	slots := map[uint64]int{}    // key -> slot
+	stamp := uint64(0)
+	for op := 0; op < 5000; op++ {
+		stamp++
+		key := uint64(rng.Intn(40))
+		switch rng.Intn(3) {
+		case 0: // put
+			val := make([]byte, rng.Intn(48))
+			rng.Read(val)
+			if s, ok := slots[key]; ok {
+				if p.update(s, stamp, val) {
+					model[key] = val
+					continue
+				}
+				p.delete(s)
+				delete(slots, key)
+				delete(model, key)
+			}
+			if s, ok := p.insert(key, stamp, val); ok {
+				slots[key] = s
+				model[key] = val
+			}
+		case 1: // delete
+			if s, ok := slots[key]; ok {
+				p.delete(s)
+				delete(slots, key)
+				delete(model, key)
+			}
+		case 2: // get
+			s, ok := slots[key]
+			if !ok {
+				continue
+			}
+			gotKey, _, val, liveOK := p.get(s)
+			if !liveOK || gotKey != key || !bytes.Equal(val, model[key]) {
+				t.Fatalf("op %d: get(%d) = %d/%q, want %d/%q", op, s, gotKey, val, key, model[key])
+			}
+		}
+	}
+	// Full final cross-check via scan.
+	seen := map[uint64][]byte{}
+	p.scan(func(_ int, key, _ uint64, val []byte) bool {
+		seen[key] = append([]byte(nil), val...)
+		return true
+	})
+	if len(seen) != len(model) {
+		t.Fatalf("scan found %d records, model has %d", len(seen), len(model))
+	}
+	for k, v := range model {
+		if !bytes.Equal(seen[k], v) {
+			t.Fatalf("key %d: page %q != model %q", k, seen[k], v)
+		}
+	}
+}
+
+func TestPageContiguousFreeAccounting(t *testing.T) {
+	for _, size := range []int{256, 512, 4096} {
+		t.Run(fmt.Sprint(size), func(t *testing.T) {
+			p := newTestPage(size, 1)
+			want := size - pageHeaderSize - slotSize
+			if got := p.contiguousFree(1); got != want {
+				t.Fatalf("fresh page contiguousFree(1) = %d, want %d", got, want)
+			}
+		})
+	}
+}

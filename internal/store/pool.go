@@ -1,0 +1,192 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+)
+
+// frame is one buffer-pool slot: a resident page plus its pin count and
+// dirty bit. Unpinned frames sit on the pool's LRU list (head = most
+// recently released); pinned frames are off-list and unevictable.
+type frame struct {
+	id         uint32
+	buf        page
+	pins       int
+	dirty      bool
+	prev, next *frame // LRU links, nil while pinned
+}
+
+// pool is the buffer pool: a bounded set of resident pages over a
+// heapFile with pin/unpin reference counting, LRU eviction of the
+// least-recently-released unpinned page, and dirty-page write-back at
+// eviction (and wholesale on flush). When every frame is pinned, pin
+// blocks until a frame is released — back-pressure instead of
+// unbounded growth. Safe for concurrent use; I/O for a miss or an
+// eviction runs under the pool lock, which serializes faults (the
+// store's single-writer usage makes that the simple, correct choice —
+// see DESIGN.md §11).
+type pool struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	file     *heapFile
+	capacity int
+	frames   map[uint32]*frame
+	spare    []*frame // allocated buffers not holding any page
+	lruHead  *frame
+	lruTail  *frame
+
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	writeBacks uint64
+	pinWaits   uint64
+}
+
+func newPool(file *heapFile, capacity int) *pool {
+	bp := &pool{file: file, capacity: capacity, frames: make(map[uint32]*frame, capacity)}
+	bp.cond = sync.NewCond(&bp.mu)
+	return bp
+}
+
+// pin returns page id resident and pinned, faulting it from disk on a
+// miss. init=true skips the disk read and hands back a zeroed,
+// initialized page (for pages that have never been written). Every pin
+// must be paired with an unpin.
+func (bp *pool) pin(id uint32, init bool) (*frame, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		if f.pins == 0 {
+			bp.lruRemove(f)
+		}
+		f.pins++
+		bp.hits++
+		return f, nil
+	}
+	f, err := bp.freeFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	if init {
+		f.buf.init(id)
+		f.dirty = true
+	} else {
+		bp.misses++
+		if err := bp.file.readPage(id, f.buf); err != nil {
+			// The frame was never published; recycle the buffer so
+			// capacity is not leaked.
+			f.pins = 0
+			bp.spare = append(bp.spare, f)
+			return nil, err
+		}
+	}
+	bp.frames[id] = f
+	return f, nil
+}
+
+// freeFrameLocked produces an unused frame: below capacity it
+// allocates (or reuses a spare) one, otherwise it evicts the LRU
+// unpinned page (writing it back first when dirty), blocking while
+// every frame is pinned.
+func (bp *pool) freeFrameLocked() (*frame, error) {
+	if len(bp.frames) < bp.capacity {
+		if n := len(bp.spare); n > 0 {
+			f := bp.spare[n-1]
+			bp.spare = bp.spare[:n-1]
+			return f, nil
+		}
+		return &frame{buf: make(page, bp.file.pageSize)}, nil
+	}
+	for {
+		if f := bp.lruTail; f != nil {
+			bp.lruRemove(f)
+			if f.dirty {
+				if err := bp.file.writePage(f.id, f.buf); err != nil {
+					bp.lruPush(f) // keep it resident; the error surfaces
+					return nil, err
+				}
+				f.dirty = false
+				bp.writeBacks++
+			}
+			delete(bp.frames, f.id)
+			bp.evictions++
+			return f, nil
+		}
+		// Every frame pinned: wait for an unpin (back-pressure).
+		bp.pinWaits++
+		bp.cond.Wait()
+	}
+}
+
+// unpin releases one pin, recording whether the caller mutated the
+// page. When the pin count reaches zero the frame becomes evictable.
+func (bp *pool) unpin(f *frame, dirty bool) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic(fmt.Sprintf("store: unpin of page %d below zero", f.id))
+	}
+	if f.pins == 0 {
+		bp.lruPush(f)
+		bp.cond.Signal()
+	}
+}
+
+// flush writes back every dirty resident page (pinned or not — callers
+// quiesce mutation first; the store holds its own lock across
+// checkpoints). The pages stay resident.
+func (bp *pool) flush() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, f := range bp.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := bp.file.writePage(f.id, f.buf); err != nil {
+			return err
+		}
+		f.dirty = false
+		bp.writeBacks++
+	}
+	return nil
+}
+
+func (bp *pool) resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}
+
+func (bp *pool) lruPush(f *frame) {
+	f.prev = nil
+	f.next = bp.lruHead
+	if bp.lruHead != nil {
+		bp.lruHead.prev = f
+	}
+	bp.lruHead = f
+	if bp.lruTail == nil {
+		bp.lruTail = f
+	}
+}
+
+func (bp *pool) lruRemove(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if bp.lruHead == f {
+		bp.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if bp.lruTail == f {
+		bp.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}

@@ -1,0 +1,497 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Config sizes the store. Zero values get defaults.
+type Config struct {
+	// Path is the heap file. Required.
+	Path string
+	// PageSize in bytes (default 8192, min 256). Fixed for the life of
+	// the file; reopening with a different size is an error.
+	PageSize int
+	// Pages caps the buffer pool: the maximum number of pages resident
+	// in memory at once (default 1024, min 2). This — not the record
+	// count — bounds the store's RAM working set.
+	Pages int
+}
+
+const (
+	defaultPageSize = 8192
+	minPageSize     = 256
+	defaultPages    = 1024
+)
+
+func (c *Config) fill() error {
+	if c.Path == "" {
+		return errors.New("store: Config.Path is required")
+	}
+	if c.PageSize == 0 {
+		c.PageSize = defaultPageSize
+	}
+	if c.PageSize < minPageSize {
+		return fmt.Errorf("store: page size %d below minimum %d", c.PageSize, minPageSize)
+	}
+	if c.PageSize > 1<<16 {
+		// Slot offsets and lengths are uint16.
+		return fmt.Errorf("store: page size %d exceeds maximum %d", c.PageSize, 1<<16)
+	}
+	if c.Pages == 0 {
+		c.Pages = defaultPages
+	}
+	if c.Pages < 2 {
+		c.Pages = 2
+	}
+	return nil
+}
+
+// rid locates a record: page number + directory slot.
+type rid struct {
+	page uint32
+	slot uint16
+}
+
+// Store is a key→value heap of durable-subscription records kept on
+// disk behind a bounded buffer pool. Keys are uint64 (the broker's
+// subscription IDs); values are opaque bytes up to roughly a page. The
+// record directory (key→rid) is in-memory — a few dozen bytes per
+// record — while the records themselves page in and out on demand, so
+// millions of detached subscribers cost pages-budget RAM, not
+// records-count RAM.
+//
+// Crash safety: every page carries a checksum and its own ID; reopen
+// scans all pages, drops torn ones (counting them — upstream rebuilds
+// those records from journal/snapshot), resolves duplicate keys left
+// by a crash between two page write-backs via newest-wins stamps, and
+// rebuilds the free list from per-page free flags. The meta page is
+// advisory only.
+type Store struct {
+	mu    sync.Mutex
+	file  *heapFile
+	pool  *pool
+	dir   map[uint64]rid
+	free  []uint32            // free page stack (persistent truth: pageFree flags)
+	avail map[uint32]struct{} // data pages believed to have insert room
+	stamp uint64              // monotonic record stamp, survives reopen
+
+	puts, gets, deletes, torn uint64
+}
+
+// Stats is a point-in-time snapshot of store counters.
+type Stats struct {
+	Records      int    `json:"records"`
+	Pages        int    `json:"pages"` // incl. meta page
+	FreePages    int    `json:"free_pages"`
+	Resident     int    `json:"resident"` // pages in the buffer pool
+	PoolCapacity int    `json:"pool_capacity"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Evictions    uint64 `json:"evictions"`
+	WriteBacks   uint64 `json:"write_backs"`
+	PinWaits     uint64 `json:"pin_waits"`
+	TornPages    uint64 `json:"torn_pages"` // dropped during recovery
+	Puts         uint64 `json:"puts"`
+	Gets         uint64 `json:"gets"`
+	Deletes      uint64 `json:"deletes"`
+}
+
+// Open opens or creates the store and runs the recovery scan.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	file, meta, err := openHeapFile(cfg.Path, cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		file:  file,
+		pool:  newPool(file, cfg.Pages),
+		dir:   make(map[uint64]rid),
+		avail: make(map[uint32]struct{}),
+		stamp: meta.stamp,
+	}
+	if err := s.recover(); err != nil {
+		file.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover scans every page, building the directory, free list, and
+// stamp watermark. Torn pages are reinitialized as free; duplicate
+// keys (possible after a crash between two write-backs of a record
+// move) keep the copy with the larger stamp.
+func (s *Store) recover() error {
+	for id := uint32(1); id < s.file.npages; id++ {
+		f, err := s.pool.pin(id, false)
+		if err != nil {
+			if !errors.Is(err, ErrTornPage) {
+				return err
+			}
+			s.torn++
+			f, err = s.pool.pin(id, true)
+			if err != nil {
+				return err
+			}
+			f.buf.markFree(0)
+			s.pool.unpin(f, true)
+			s.free = append(s.free, id)
+			continue
+		}
+		if f.buf.flags()&pageFree != 0 {
+			s.free = append(s.free, id)
+			s.pool.unpin(f, false)
+			continue
+		}
+		dirty := false
+		var losers []int
+		f.buf.scan(func(slot int, key, stamp uint64, _ []byte) bool {
+			if stamp > s.stamp {
+				s.stamp = stamp
+			}
+			prev, ok := s.dir[key]
+			if !ok {
+				s.dir[key] = rid{page: id, slot: uint16(slot)}
+				return true
+			}
+			// Duplicate key. Compare stamps; same-page loser can be
+			// deleted now, cross-page losers after this pin.
+			if prev.page == id {
+				_, prevStamp, _, _ := f.buf.get(int(prev.slot))
+				if stamp > prevStamp {
+					f.buf.delete(int(prev.slot))
+					s.dir[key] = rid{page: id, slot: uint16(slot)}
+				} else {
+					losers = append(losers, slot)
+				}
+				dirty = true
+				return true
+			}
+			otherStamp, err := s.stampAt(prev)
+			if err == nil && stamp > otherStamp {
+				s.deleteAt(prev)
+				s.dir[key] = rid{page: id, slot: uint16(slot)}
+			} else {
+				losers = append(losers, slot)
+				dirty = true
+			}
+			return true
+		})
+		for _, slot := range losers {
+			f.buf.delete(slot)
+		}
+		if f.buf.empty() {
+			f.buf.markFree(0)
+			s.free = append(s.free, id)
+			s.pool.unpin(f, true)
+			continue
+		}
+		if f.buf.contiguousFree(1) >= cellOverhead+16 {
+			s.avail[id] = struct{}{}
+		}
+		s.pool.unpin(f, dirty)
+	}
+	return nil
+}
+
+func (s *Store) stampAt(r rid) (uint64, error) {
+	f, err := s.pool.pin(r.page, false)
+	if err != nil {
+		return 0, err
+	}
+	_, stamp, _, ok := f.buf.get(int(r.slot))
+	s.pool.unpin(f, false)
+	if !ok {
+		return 0, fmt.Errorf("store: dangling rid %d/%d", r.page, r.slot)
+	}
+	return stamp, nil
+}
+
+func (s *Store) deleteAt(r rid) {
+	f, err := s.pool.pin(r.page, false)
+	if err != nil {
+		return
+	}
+	f.buf.delete(int(r.slot))
+	s.pool.unpin(f, true)
+}
+
+// MaxValue returns the largest value Put accepts for this store's page
+// size.
+func (s *Store) MaxValue() int {
+	return s.file.pageSize - pageHeaderSize - slotSize - cellOverhead
+}
+
+// Put inserts or replaces the record for key.
+func (s *Store) Put(key uint64, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(val) > s.MaxValue() {
+		return fmt.Errorf("store: value of %d bytes exceeds page capacity %d", len(val), s.MaxValue())
+	}
+	s.puts++
+	s.stamp++
+	stamp := s.stamp
+	if r, ok := s.dir[key]; ok {
+		f, err := s.pool.pin(r.page, false)
+		if err != nil {
+			return err
+		}
+		if f.buf.update(int(r.slot), stamp, val) {
+			s.pool.unpin(f, true)
+			return nil
+		}
+		// Doesn't fit in place: retry on the same page (compaction may
+		// make room), else move to another page. The old cell stays
+		// live until the new copy is inserted, so a crash in between
+		// leaves at most a stamped duplicate for recovery to resolve.
+		if slot, ok := f.buf.insert(key, stamp, val); ok {
+			f.buf.delete(int(r.slot))
+			s.dir[key] = rid{page: r.page, slot: uint16(slot)}
+			s.pool.unpin(f, true)
+			return nil
+		}
+		s.pool.unpin(f, false)
+		newRid, err := s.insertLocked(key, stamp, val, r.page)
+		if err != nil {
+			return err
+		}
+		s.deleteAt(r)
+		s.avail[r.page] = struct{}{}
+		s.dir[key] = newRid
+		return nil
+	}
+	r, err := s.insertLocked(key, stamp, val, 0)
+	if err != nil {
+		return err
+	}
+	s.dir[key] = r
+	return nil
+}
+
+// insertLocked places a new cell on some page with room: a candidate
+// from the avail set first, then a free-list page, then a fresh page.
+// skip excludes a page already known to be full.
+func (s *Store) insertLocked(key, stamp uint64, val []byte, skip uint32) (rid, error) {
+	tried := 0
+	for id := range s.avail {
+		if id == skip {
+			continue
+		}
+		if tried >= 8 {
+			break // bound the probe; fall through to a fresh page
+		}
+		tried++
+		f, err := s.pool.pin(id, false)
+		if err != nil {
+			if errors.Is(err, ErrTornPage) {
+				delete(s.avail, id)
+				continue
+			}
+			return rid{}, err
+		}
+		slot, ok := f.buf.insert(key, stamp, val)
+		if !ok {
+			s.pool.unpin(f, false)
+			delete(s.avail, id)
+			continue
+		}
+		s.pool.unpin(f, true)
+		return rid{page: id, slot: uint16(slot)}, nil
+	}
+	var id uint32
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		id = s.file.extend()
+	}
+	f, err := s.pool.pin(id, true)
+	if err != nil {
+		return rid{}, err
+	}
+	f.buf.init(id) // the frame may hold the page's prior (free) content
+	slot, ok := f.buf.insert(key, stamp, val)
+	if !ok {
+		s.pool.unpin(f, true)
+		return rid{}, fmt.Errorf("store: record of %d bytes does not fit an empty page", len(val))
+	}
+	s.pool.unpin(f, true)
+	s.avail[id] = struct{}{}
+	return rid{page: id, slot: uint16(slot)}, nil
+}
+
+// Get returns a copy of the record for key.
+func (s *Store) Get(key uint64) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	r, ok := s.dir[key]
+	if !ok {
+		return nil, false, nil
+	}
+	f, err := s.pool.pin(r.page, false)
+	if err != nil {
+		return nil, false, err
+	}
+	gotKey, _, val, ok := f.buf.get(int(r.slot))
+	if !ok || gotKey != key {
+		s.pool.unpin(f, false)
+		return nil, false, fmt.Errorf("store: directory entry for key %d is stale", key)
+	}
+	out := make([]byte, len(val))
+	copy(out, val)
+	s.pool.unpin(f, false)
+	return out, true, nil
+}
+
+// Has reports whether key is present without touching the page.
+func (s *Store) Has(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.dir[key]
+	return ok
+}
+
+// Delete removes the record for key. Deleting an absent key is a
+// no-op. Pages emptied by a delete return to the free list.
+func (s *Store) Delete(key uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deletes++
+	r, ok := s.dir[key]
+	if !ok {
+		return nil
+	}
+	f, err := s.pool.pin(r.page, false)
+	if err != nil {
+		return err
+	}
+	f.buf.delete(int(r.slot))
+	if f.buf.empty() {
+		f.buf.markFree(0)
+		s.free = append(s.free, r.page)
+		delete(s.avail, r.page)
+	} else {
+		s.avail[r.page] = struct{}{}
+	}
+	s.pool.unpin(f, true)
+	delete(s.dir, key)
+	return nil
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dir)
+}
+
+// Keys returns every record key, unordered.
+func (s *Store) Keys() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]uint64, 0, len(s.dir))
+	for k := range s.dir {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Scan visits every record page by page (so the working set stays
+// within the pool budget). Values are only valid during the callback;
+// the callback must not call back into the store.
+func (s *Store) Scan(fn func(key uint64, val []byte) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := uint32(1); id < s.file.npages; id++ {
+		f, err := s.pool.pin(id, false)
+		if err != nil {
+			return err
+		}
+		if f.buf.flags()&pageFree != 0 {
+			s.pool.unpin(f, false)
+			continue
+		}
+		var scanErr error
+		f.buf.scan(func(_ int, key, _ uint64, val []byte) bool {
+			if err := fn(key, val); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		s.pool.unpin(f, false)
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}
+
+// Checkpoint writes every dirty page and the meta page to disk and
+// fsyncs. After Checkpoint returns, all records Put before the call
+// survive a crash (modulo torn pages, which recovery drops and
+// upstream authorities rebuild).
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	if err := s.pool.flush(); err != nil {
+		return err
+	}
+	if err := s.file.sync(); err != nil {
+		return err
+	}
+	var head uint32
+	if len(s.free) > 0 {
+		head = s.free[len(s.free)-1]
+	}
+	if err := s.file.writeMeta(metaState{freeHead: head, stamp: s.stamp}); err != nil {
+		return err
+	}
+	return s.file.sync()
+}
+
+// Close checkpoints and closes the file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.checkpointLocked()
+	if cerr := s.file.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns current counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pool.mu.Lock()
+	st := Stats{
+		Records:      len(s.dir),
+		Pages:        int(s.file.npages),
+		FreePages:    len(s.free),
+		Resident:     len(s.pool.frames),
+		PoolCapacity: s.pool.capacity,
+		Hits:         s.pool.hits,
+		Misses:       s.pool.misses,
+		Evictions:    s.pool.evictions,
+		WriteBacks:   s.pool.writeBacks,
+		PinWaits:     s.pool.pinWaits,
+		TornPages:    s.torn,
+		Puts:         s.puts,
+		Gets:         s.gets,
+		Deletes:      s.deletes,
+	}
+	s.pool.mu.Unlock()
+	return st
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestStore(t *testing.T, path string, pages int) *Store {
+	t.Helper()
+	s, err := Open(Config{Path: path, PageSize: 512, Pages: pages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStorePutGetDelete(t *testing.T) {
+	s := openTestStore(t, filepath.Join(t.TempDir(), "s.heap"), 4)
+	defer s.Close()
+	if err := s.Put(1, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := s.Get(1)
+	if err != nil || !ok || string(val) != "hello" {
+		t.Fatalf("Get = %q/%v/%v", val, ok, err)
+	}
+	if err := s.Put(1, []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	val, _, _ = s.Get(1)
+	if string(val) != "replaced" {
+		t.Fatalf("after replace: %q", val)
+	}
+	if err := s.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(1); ok {
+		t.Fatal("deleted key still present")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after delete", s.Len())
+	}
+}
+
+func TestStoreValueTooLarge(t *testing.T) {
+	s := openTestStore(t, filepath.Join(t.TempDir(), "s.heap"), 4)
+	defer s.Close()
+	if err := s.Put(1, make([]byte, s.MaxValue()+1)); err == nil {
+		t.Fatal("oversized value accepted")
+	}
+	if err := s.Put(1, make([]byte, s.MaxValue())); err != nil {
+		t.Fatalf("max-size value rejected: %v", err)
+	}
+}
+
+// TestStoreWorkingSetBounded puts far more records than the pool can
+// hold and checks residency never exceeds the page budget while every
+// record remains readable — the core bounded-RSS property.
+func TestStoreWorkingSetBounded(t *testing.T) {
+	s := openTestStore(t, filepath.Join(t.TempDir(), "s.heap"), 4)
+	defer s.Close()
+	const n = 500
+	for i := uint64(0); i < n; i++ {
+		if err := s.Put(i, []byte(fmt.Sprintf("record-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Resident > st.PoolCapacity {
+		t.Fatalf("resident %d exceeds pool capacity %d", st.Resident, st.PoolCapacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite records >> pool budget")
+	}
+	for i := uint64(0); i < n; i++ {
+		val, ok, err := s.Get(i)
+		if err != nil || !ok || string(val) != fmt.Sprintf("record-%d", i) {
+			t.Fatalf("Get(%d) = %q/%v/%v", i, val, ok, err)
+		}
+	}
+	if st := s.Stats(); st.Resident > st.PoolCapacity {
+		t.Fatalf("resident %d exceeds pool capacity %d after reads", st.Resident, st.PoolCapacity)
+	}
+}
+
+func TestStoreCheckpointReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.heap")
+	s := openTestStore(t, path, 8)
+	want := map[uint64][]byte{}
+	for i := uint64(0); i < 200; i++ {
+		v := []byte(fmt.Sprintf("value-%d", i*i))
+		if err := s.Put(i, v); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+	// Delete a contiguous prefix: sequential inserts pack sequential
+	// keys onto the same pages, so this empties whole pages onto the
+	// free list.
+	for i := uint64(0); i < 100; i++ {
+		if err := s.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, i)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openTestStore(t, path, 8)
+	defer s2.Close()
+	if s2.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", s2.Len(), len(want))
+	}
+	got := map[uint64][]byte{}
+	if err := s2.Scan(func(key uint64, val []byte) error {
+		got[key] = append([]byte(nil), val...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %d: reopened %q, want %q", k, got[k], v)
+		}
+	}
+	// Freed pages were rediscovered for reuse.
+	if st := s2.Stats(); st.FreePages == 0 {
+		t.Fatal("free list empty after reopening a store with deletions")
+	}
+}
+
+func TestStoreReopenRecoversTornPage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.heap")
+	s := openTestStore(t, path, 8)
+	for i := uint64(0); i < 60; i++ {
+		if err := s.Put(i, bytes.Repeat([]byte{byte(i)}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one data page in the middle of the file.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("garbage-torn-write"), 2*512+100); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, path, 8)
+	defer s2.Close()
+	st := s2.Stats()
+	if st.TornPages != 1 {
+		t.Fatalf("TornPages = %d, want 1", st.TornPages)
+	}
+	// Records on intact pages are still served; the torn page's records
+	// are gone (upstream authorities rebuild them), never corrupt.
+	if s2.Len() >= 60 || s2.Len() == 0 {
+		t.Fatalf("reopened Len = %d, want partial survival", s2.Len())
+	}
+	if err := s2.Scan(func(key uint64, val []byte) error {
+		if !bytes.Equal(val, bytes.Repeat([]byte{byte(key)}, 40)) {
+			return fmt.Errorf("key %d served corrupt value %q", key, val)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The torn page was reinitialized as free and is reusable.
+	if st.FreePages == 0 {
+		t.Fatal("torn page not reclaimed onto the free list")
+	}
+	if err := s2.Put(1000, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDuplicateKeyNewestWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.heap")
+	s := openTestStore(t, path, 8)
+	if err := s.Put(5, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between two write-backs of a record move: append
+	// a second page holding a newer-stamped copy of key 5.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := f.Stat()
+	id := uint32(st.Size() / 512)
+	p := make(page, 512)
+	p.init(id)
+	p.insert(5, 1<<40, []byte("new")) // stamp far above the watermark
+	p.seal()
+	if _, err := f.WriteAt(p, st.Size()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openTestStore(t, path, 8)
+	defer s2.Close()
+	val, ok, err := s2.Get(5)
+	if err != nil || !ok || string(val) != "new" {
+		t.Fatalf("Get(5) = %q/%v/%v, want newest copy", val, ok, err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after duplicate resolution", s2.Len())
+	}
+	// The stamp watermark advanced past the recovered copy, so new puts
+	// outrank it.
+	if err := s2.Put(5, []byte("newest")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3 := openTestStore(t, path, 8)
+	defer s3.Close()
+	if val, _, _ := s3.Get(5); string(val) != "newest" {
+		t.Fatalf("after re-put and reopen: %q", val)
+	}
+}
+
+// TestStoreRandomChurnAgainstModel is the long property test: random
+// puts/deletes/reopens cross-checked against a map, with a pool far
+// smaller than the data so eviction and reload are constantly
+// exercised.
+func TestStoreRandomChurnAgainstModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.heap")
+	rng := rand.New(rand.NewSource(42))
+	model := map[uint64][]byte{}
+	s := openTestStore(t, path, 3)
+	defer func() { s.Close() }()
+	for op := 0; op < 4000; op++ {
+		key := uint64(rng.Intn(300))
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5: // put
+			val := make([]byte, rng.Intn(120))
+			rng.Read(val)
+			if err := s.Put(key, val); err != nil {
+				t.Fatalf("op %d: Put: %v", op, err)
+			}
+			model[key] = val
+		case 6, 7: // delete
+			if err := s.Delete(key); err != nil {
+				t.Fatalf("op %d: Delete: %v", op, err)
+			}
+			delete(model, key)
+		case 8: // get
+			val, ok, err := s.Get(key)
+			if err != nil {
+				t.Fatalf("op %d: Get: %v", op, err)
+			}
+			wantVal, wantOK := model[key]
+			if ok != wantOK || !bytes.Equal(val, wantVal) {
+				t.Fatalf("op %d: Get(%d) = %q/%v, want %q/%v", op, key, val, ok, wantVal, wantOK)
+			}
+		case 9: // reopen every so often
+			if op%500 != 9 {
+				continue
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("op %d: Close: %v", op, err)
+			}
+			s = openTestStore(t, path, 3)
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("final Len = %d, model %d", s.Len(), len(model))
+	}
+	for k, v := range model {
+		val, ok, err := s.Get(k)
+		if err != nil || !ok || !bytes.Equal(val, v) {
+			t.Fatalf("final Get(%d) = %q/%v/%v, want %q", k, val, ok, err, v)
+		}
+	}
+}
+
+func TestStoreOpenRejectsMismatchedPageSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.heap")
+	s := openTestStore(t, path, 4)
+	s.Put(1, []byte("x"))
+	s.Close()
+	if _, err := Open(Config{Path: path, PageSize: 1024, Pages: 4}); err == nil {
+		t.Fatal("open with mismatched page size succeeded")
+	}
+}
+
+func TestStoreKeysAndHas(t *testing.T) {
+	s := openTestStore(t, filepath.Join(t.TempDir(), "s.heap"), 4)
+	defer s.Close()
+	for i := uint64(0); i < 10; i++ {
+		s.Put(i, []byte{byte(i)})
+	}
+	if !s.Has(3) || s.Has(99) {
+		t.Fatal("Has wrong")
+	}
+	if got := len(s.Keys()); got != 10 {
+		t.Fatalf("Keys returned %d, want 10", got)
+	}
+}

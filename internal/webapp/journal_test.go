@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"stopss/internal/notify"
 	"stopss/internal/ontology"
 	"stopss/internal/semantic"
+	"stopss/internal/store"
 	"stopss/internal/workload"
 )
 
@@ -148,6 +150,76 @@ func TestJournalEndpointAndDurableResume(t *testing.T) {
 	}
 	if code, _ := post(t, ts, "/api/resume", map[string]any{"client": "acme", "id": body["id"]}); code != http.StatusBadRequest {
 		t.Fatalf("resume of non-durable sub: %d, want 400", code)
+	}
+}
+
+func TestDetachEndpointRoundTrip(t *testing.T) {
+	ts, b, sink, ne := newDurableStack(t)
+	st, err := store.Open(store.Config{Path: filepath.Join(t.TempDir(), "subs.heap"), PageSize: 512, Pages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	if err := b.AttachStore(st); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _ := post(t, ts, "/api/register", map[string]any{
+		"name": "acme", "transport": "mem", "addr": "acme"})
+	if code != http.StatusOK {
+		t.Fatalf("register: %d", code)
+	}
+	code, body := post(t, ts, "/api/subscribe", map[string]any{
+		"client": "acme", "subscription": "(university = Toronto)", "durable": true})
+	if code != http.StatusOK {
+		t.Fatalf("durable subscribe: %d %v", code, body)
+	}
+	id := body["id"].(float64)
+
+	code, dbody := post(t, ts, "/api/detach", map[string]any{"client": "acme", "id": id})
+	if code != http.StatusOK {
+		t.Fatalf("detach: %d %v", code, dbody)
+	}
+	if got := b.Stats(); got.Detached != 1 || got.Durable != 0 {
+		t.Fatalf("after detach: Detached=%d Durable=%d", got.Detached, got.Durable)
+	}
+
+	// Published while paged out: journaled, not delivered.
+	if code, body := post(t, ts, "/api/publish", map[string]any{"event": "(school, Toronto)"}); code != http.StatusOK {
+		t.Fatalf("publish: %d %v", code, body)
+	}
+	if !ne.Drain(2 * time.Second) {
+		t.Fatal("drain")
+	}
+	if sink.count() != 0 {
+		t.Fatalf("detached subscription delivered %d times", sink.count())
+	}
+
+	// Resume faults it back in and replays the missed publication.
+	code, rbody := post(t, ts, "/api/resume", map[string]any{"client": "acme", "id": id})
+	if code != http.StatusOK {
+		t.Fatalf("resume: %d %v", code, rbody)
+	}
+	if rbody["replayed"].(float64) != 1 {
+		t.Fatalf("resume replayed %v, want 1", rbody["replayed"])
+	}
+	if !ne.Drain(2 * time.Second) {
+		t.Fatal("drain 2")
+	}
+	if sink.count() != 1 {
+		t.Fatalf("endpoint saw %d deliveries, want 1", sink.count())
+	}
+
+	// Detach of an unknown sub is a client error, not a crash.
+	if code, _ := post(t, ts, "/api/detach", map[string]any{"client": "acme", "id": 99}); code != http.StatusBadRequest {
+		t.Fatalf("detach of unknown sub: %d, want 400", code)
+	}
+}
+
+func TestDetachEndpointWithoutStore(t *testing.T) {
+	ts, _, _, _ := newDurableStack(t)
+	if code, _ := post(t, ts, "/api/detach", map[string]any{"client": "acme", "id": 1}); code != http.StatusNotFound {
+		t.Fatalf("detach without store: %d, want 404", code)
 	}
 }
 

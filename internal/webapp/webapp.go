@@ -10,6 +10,7 @@
 //	POST /api/subscribe   {"client":"acme","subscription":"(university = Toronto) and (degree = PhD)"}
 //	POST /api/subscribe   {"client":"acme","subscription":"...","durable":true}
 //	POST /api/resume      {"client":"acme","id":1}   → replay-from-cursor for a durable sub
+//	POST /api/detach      {"client":"acme","id":1}   → page a durable sub out to the store
 //	POST /api/unsubscribe {"client":"acme","id":1}
 //	POST /api/publish     {"event":"(school, Toronto)(degree, PhD)(graduation year, 1990)"}
 //	GET  /api/mode        → {"mode":"semantic"}
@@ -102,6 +103,7 @@ func NewServer(b *broker.Broker, opts ...Option) *Server {
 	s.mux.HandleFunc("POST /api/kb", s.handleKBApply)
 	s.mux.HandleFunc("GET /api/journal", s.handleJournal)
 	s.mux.HandleFunc("POST /api/resume", s.handleResume)
+	s.mux.HandleFunc("POST /api/detach", s.handleDetach)
 	s.mux.HandleFunc("GET /api/trace/{id...}", s.handleTrace)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /", s.handleIndex)
@@ -569,6 +571,27 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "replayed": n})
+}
+
+// handleDetach pages a durable subscription out to the subscription
+// store (requires -store-dir): its resident state is released and a
+// later POST /api/resume faults it back in with a full catch-up
+// replay. The natural call point is a client library's "going offline
+// for a while" signal.
+func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
+	var req resumeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if s.broker.Store() == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("webapp: no subscription store attached to this broker (start the server with -store-dir)"))
+		return
+	}
+	if err := s.broker.DetachDurable(req.Client, req.ID); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "detached": true})
 }
 
 // traceResponse is the GET /api/trace/<id> body: the publication's
