@@ -64,13 +64,14 @@ func BenchmarkMatcher(b *testing.B) {
 					b.Fatal(err)
 				}
 				for _, s := range subs[:n] {
-					if err := m.Add(s); err != nil {
+					if err := matching.Index(m, s); err != nil {
 						b.Fatal(err)
 					}
 				}
+				var scratch []message.SubID
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					m.Match(events[i%len(events)])
+					scratch = m.Match(events[i%len(events)], scratch[:0])
 				}
 			})
 		}
@@ -92,7 +93,7 @@ func BenchmarkMatcherAdd(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s := subs[i%len(subs)]
 				s.ID = message.SubID(i + 1) // unique
-				if err := m.Add(s); err != nil {
+				if err := matching.Index(m, s); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -1003,4 +1004,137 @@ func BenchmarkOverlay(b *testing.B) {
 		}
 		run(b, brA, trC)
 	})
+}
+
+// --- query-optimizer additions (DESIGN §12) ---
+
+// BenchmarkMatchPushdown measures the predicate-pushdown win: every
+// subscription carries one selective equality plus expensive string
+// scans, and the compiled plan evaluates the equality first, so the
+// thousands of non-matching candidates bail on one comparison instead
+// of running substring searches.
+func BenchmarkMatchPushdown(b *testing.B) {
+	haystack := "a-rather-long-resume-field-with-no-needle-in-it-anywhere-at-all"
+	for _, alg := range matching.Algorithms() {
+		b.Run(alg, func(b *testing.B) {
+			m, err := matching.New(alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 1; i <= 5000; i++ {
+				s := message.NewSubscription(message.SubID(i), "c",
+					message.Pred("summary", message.OpContains, message.String(fmt.Sprintf("needle-%04d", i))),
+					message.Pred("team", message.OpEq, message.String(fmt.Sprintf("team-%04d", i))),
+					message.Pred("title", message.OpContains, message.String("engineer")),
+				)
+				if err := matching.Index(m, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ev := message.E("summary", haystack, "team", "team-0001", "title", "senior-engineer")
+			var scratch []message.SubID
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scratch = m.Match(ev, scratch[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCache measures subscription compilation: warm hits the
+// plan cache (duplicate canonical forms share one compiled plan), cold
+// compiles a fresh canonical form every iteration.
+func BenchmarkPlanCache(b *testing.B) {
+	gen, err := workload.New(workload.Config{Seed: 55})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := gen.Subscriptions(200000)
+	b.Run("warm", func(b *testing.B) {
+		m, err := matching.New("counting")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range subs[:1024] {
+			if err := matching.Index(m, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Compile(subs[i%1024]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		m, err := matching.New("counting")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Compile(subs[i%len(subs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExpansionLRU is the repeated-event-shape publish benchmark:
+// real feeds publish the same shapes constantly, and the warm case
+// serves the semantic expansion from the engine's LRU instead of
+// re-running the synonym/hierarchy/mapping stages per publication.
+func BenchmarkExpansionLRU(b *testing.B) {
+	// Expansion-heavy shape: deep concept trees, long mapping chains and
+	// near-certain synonym/concept usage make the semantic stage the
+	// dominant cost, which is precisely the regime the LRU targets
+	// (matching cost is identical warm and cold — the cached expansion
+	// still gets matched).
+	gen, err := workload.New(workload.Config{
+		Seed: 77, SynonymProb: 0.95, ConceptProb: 0.9,
+		ConceptTrees: 6, ConceptDepth: 6, ConceptFanout: 3,
+		MappingChains: 4, ChainLength: 8,
+		PairsMin: 8, PairsMax: 12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	subs := gen.Subscriptions(500)
+	shapes := gen.Events(64) // well inside the default LRU capacity
+	for i := range shapes {  // every shape also triggers a mapping chain
+		shapes[i].Add(fmt.Sprintf("chain%d-hop0", i%4), message.Int(0))
+	}
+	for _, tc := range []struct {
+		name string
+		cap  int
+	}{
+		{"warm", core.DefaultExpansionCacheSize},
+		{"cold", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := core.NewEngine(gen.KB().Stage(semantic.FullConfig()),
+				core.WithExpansionCache(tc.cap))
+			for _, s := range subs {
+				if err := eng.Subscribe(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, e := range shapes { // pre-warm the cache
+				if _, err := eng.Publish(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Publish(shapes[i%len(shapes)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -109,6 +109,7 @@ func main() {
 	modeName := flag.String("mode", "semantic", "initial mode: semantic or syntactic")
 	snapshot := flag.String("snapshot", "", "snapshot file: restored on start if present, written on shutdown")
 	shards := flag.Int("shards", 1, "matching engine shards (>1 enables the concurrent sharded pool)")
+	expansionCache := flag.Int("expansion-cache", core.DefaultExpansionCacheSize, "semantic expansion LRU capacity in event shapes, invalidated precisely by knowledge deltas (0 disables memoization)")
 	nodeName := flag.String("node", "", "overlay node name (default: the -addr value)")
 	overlayAddr := flag.String("overlay", "", "overlay TCP listen address for peer brokers (empty: no listener)")
 	flag.Var(&peers, "peer", "overlay peer address to connect to (repeatable)")
@@ -151,11 +152,12 @@ func main() {
 		fatal("stopss-server: -wire-codec must be binary or json", "codec", *wireCodec)
 	}
 	opts := stackOptions{
-		Addr:     *addr,
-		Ontology: *ontPath,
-		Matcher:  *matcherName,
-		Mode:     *modeName,
-		Shards:   *shards,
+		Addr:           *addr,
+		Ontology:       *ontPath,
+		Matcher:        *matcherName,
+		ExpansionCache: *expansionCache,
+		Mode:           *modeName,
+		Shards:         *shards,
 	}
 	// The flag's "0 = off" maps to the journal's negative sentinel (its
 	// own zero value means "default granularity").
@@ -195,7 +197,11 @@ type stackOptions struct {
 	Matcher  string
 	Mode     string
 	Shards   int
-	Registry *metrics.Registry // optional; shared with the overlay node
+	// ExpansionCache is the semantic expansion LRU capacity (0 = off).
+	// Sharded deployments hold it at the pool level; single-engine ones
+	// inside the engine.
+	ExpansionCache int
+	Registry       *metrics.Registry // optional; shared with the overlay node
 }
 
 // buildStack assembles engine, notifier and broker — everything the
@@ -237,13 +243,19 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 		if _, err := matching.New(opts.Matcher); err != nil {
 			return nil, nil, nil, err
 		}
-		shardOpts := []overlay.ShardOption{overlay.WithKnowledgeBase(base)}
+		shardOpts := []overlay.ShardOption{
+			overlay.WithKnowledgeBase(base),
+			overlay.WithShardExpansionCache(opts.ExpansionCache),
+		}
 		if opts.Registry != nil {
 			shardOpts = append(shardOpts, overlay.WithRegistry(opts.Registry))
 		}
 		pool := overlay.NewSharded(opts.Shards, func(int) *core.Engine {
 			m, _ := matching.New(opts.Matcher)
-			return core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode))
+			// Shard engines never expand (the pool expands once and
+			// memoizes); disable their per-engine caches.
+			return core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode),
+				core.WithExpansionCache(0))
 		}, shardOpts...)
 		engine, cleanup = pool, pool.Close
 	} else {
@@ -251,7 +263,8 @@ func buildStack(opts stackOptions) (*broker.Broker, *notify.Engine, func(), erro
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		engine = core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode), core.WithKnowledge(base))
+		engine = core.NewEngine(stage, core.WithMatcher(m), core.WithMode(mode), core.WithKnowledge(base),
+			core.WithExpansionCache(opts.ExpansionCache))
 	}
 
 	notifier, err := notify.NewEngine(notify.Config{Workers: 8},

@@ -317,13 +317,13 @@ func T3(sc Scale) (string, error) {
 				return "", err
 			}
 			for _, s := range allSubs[:n] {
-				if err := m.Add(s); err != nil {
+				if err := matching.Index(m, s); err != nil {
 					return "", err
 				}
 			}
 			t0 := time.Now()
 			for _, e := range events {
-				m.Match(e)
+				m.Match(e, nil)
 			}
 			row = append(row, nsPerOp(time.Since(t0), nEvents))
 		}

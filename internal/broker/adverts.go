@@ -19,7 +19,7 @@ func (b *Broker) Advertise(client string, preds []message.Predicate) error {
 	b.mu.Lock()
 	if _, ok := b.clients[client]; !ok {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: unknown client %q", client)
+		return fmt.Errorf("broker: %w %q", ErrUnknownClient, client)
 	}
 	a := matching.NewAdvertisement(client, preds...)
 	if err := a.Validate(); err != nil {

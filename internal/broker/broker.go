@@ -203,7 +203,7 @@ func (b *Broker) Subscribe(client string, preds []message.Predicate) (message.Su
 	b.mu.Lock()
 	if _, ok := b.clients[client]; !ok {
 		b.mu.Unlock()
-		return 0, fmt.Errorf("broker: unknown client %q", client)
+		return 0, fmt.Errorf("broker: %w %q", ErrUnknownClient, client)
 	}
 	b.nextID++
 	id := b.nextID
@@ -238,7 +238,7 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 			return err
 		}
 		if !had {
-			return fmt.Errorf("broker: unknown subscription %d", id)
+			return fmt.Errorf("broker: %w %d", ErrUnknownSubscription, id)
 		}
 		if f != nil {
 			// Detach kept the overlay interest alive; a real unsubscribe
@@ -249,7 +249,7 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 	}
 	if owner != client {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, owner, client)
+		return fmt.Errorf("broker: subscription %d belongs to %q, not %q: %w", id, owner, client, ErrNotOwner)
 	}
 	delete(b.subs, id)
 	f := b.forwarder

@@ -100,7 +100,7 @@ func (b *Broker) SubscribeDurable(client string, preds []message.Predicate) (mes
 	j := b.journal
 	b.mu.Unlock()
 	if j == nil {
-		return 0, fmt.Errorf("broker: durable subscriptions need an attached journal")
+		return 0, fmt.Errorf("broker: durable subscriptions need an attached journal (-journal-dir): %w", ErrNoJournal)
 	}
 	id, err := b.Subscribe(client, preds)
 	if err != nil {
@@ -278,11 +278,11 @@ func (b *Broker) ResumeDurable(client string, id message.SubID) (int, error) {
 	}
 	if owner != client {
 		b.mu.Unlock()
-		return 0, fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, owner, client)
+		return 0, fmt.Errorf("broker: subscription %d belongs to %q, not %q: %w", id, owner, client, ErrNotOwner)
 	}
 	if _, durable := b.durable[id]; !durable {
 		b.mu.Unlock()
-		return 0, fmt.Errorf("broker: subscription %d is not durable", id)
+		return 0, fmt.Errorf("broker: subscription %d: %w", id, ErrNotDurable)
 	}
 	b.mu.Unlock()
 	return b.replay([]message.SubID{id})
@@ -316,7 +316,7 @@ func (b *Broker) replay(ids []message.SubID) (int, error) {
 	j := b.journal
 	if j == nil {
 		b.mu.Unlock()
-		return 0, fmt.Errorf("broker: no journal attached")
+		return 0, fmt.Errorf("broker: %w", ErrNoJournal)
 	}
 	if b.notifier == nil {
 		b.mu.Unlock()

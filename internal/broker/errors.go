@@ -1,0 +1,24 @@
+package broker
+
+import "errors"
+
+// Sentinel errors the HTTP front end (internal/webapp) maps to status
+// codes. Broker methods wrap them with %w and site context (which
+// client, which subscription), so callers classify with errors.Is and
+// humans still get the full story.
+var (
+	// ErrUnknownClient: the named client was never registered here.
+	ErrUnknownClient = errors.New("unknown client")
+	// ErrUnknownSubscription: no resident or stored subscription has
+	// the given ID.
+	ErrUnknownSubscription = errors.New("unknown subscription")
+	// ErrNotOwner: the subscription exists but belongs to a different
+	// client than the caller.
+	ErrNotOwner = errors.New("not the owning client")
+	// ErrNotDurable: the operation needs a durable subscription (one
+	// created with SubscribeDurable) and this one is not.
+	ErrNotDurable = errors.New("subscription is not durable")
+	// ErrNoJournal: the operation needs the publication journal and the
+	// broker was started without one (-journal-dir).
+	ErrNoJournal = errors.New("no journal attached")
+)

@@ -118,16 +118,16 @@ func (b *Broker) DetachDurable(client string, id message.SubID) error {
 	owner, ok := b.subs[id]
 	if !ok {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: unknown subscription %d", id)
+		return fmt.Errorf("broker: %w %d", ErrUnknownSubscription, id)
 	}
 	if owner != client {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, owner, client)
+		return fmt.Errorf("broker: subscription %d belongs to %q, not %q: %w", id, owner, client, ErrNotOwner)
 	}
 	dst, durable := b.durable[id]
 	if !durable {
 		b.mu.Unlock()
-		return fmt.Errorf("broker: subscription %d is not durable", id)
+		return fmt.Errorf("broker: subscription %d: %w", id, ErrNotDurable)
 	}
 	cursor := dst.cursor
 	b.mu.Unlock()
@@ -171,21 +171,21 @@ func (b *Broker) faultIn(client string, id message.SubID) error {
 	j := b.journal
 	b.mu.Unlock()
 	if st == nil {
-		return fmt.Errorf("broker: unknown subscription %d", id)
+		return fmt.Errorf("broker: %w %d", ErrUnknownSubscription, id)
 	}
 	data, ok, err := st.Get(uint64(id))
 	if err != nil {
 		return fmt.Errorf("broker: loading subscription %d: %w", id, err)
 	}
 	if !ok {
-		return fmt.Errorf("broker: unknown subscription %d", id)
+		return fmt.Errorf("broker: %w %d", ErrUnknownSubscription, id)
 	}
 	var rec storedSub
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return fmt.Errorf("broker: stored subscription %d corrupt: %w", id, err)
 	}
 	if rec.Client != client {
-		return fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, rec.Client, client)
+		return fmt.Errorf("broker: subscription %d belongs to %q, not %q: %w", id, rec.Client, client, ErrNotOwner)
 	}
 	// Merge with any journal cursor that survived (non-ephemeral mode).
 	if j != nil {
@@ -234,7 +234,7 @@ func (b *Broker) dropDetached(client string, id message.SubID) (message.Subscrip
 		return message.Subscription{}, false, fmt.Errorf("broker: stored subscription %d corrupt: %w", id, err)
 	}
 	if rec.Client != client {
-		return message.Subscription{}, false, fmt.Errorf("broker: subscription %d belongs to %q, not %q", id, rec.Client, client)
+		return message.Subscription{}, false, fmt.Errorf("broker: subscription %d belongs to %q, not %q: %w", id, rec.Client, client, ErrNotOwner)
 	}
 	if err := st.Delete(uint64(id)); err != nil {
 		return message.Subscription{}, false, err

@@ -86,6 +86,21 @@ type Stats struct {
 	// exactly that — so a non-zero rate is a cost regression signal.
 	KBFullReindexes uint64
 	KBVersion       string // order-sensitive digest of the applied log
+
+	// Query-optimizer observability (DESIGN.md §12). Plan-cache counters
+	// come from the matcher (compiled subscription plans shared across
+	// duplicates); expansion counters from the engine's semantic-
+	// expansion LRU; InternedTerms is the size of the process-wide
+	// string-intern table (global, so Merge takes the max, not the sum).
+	PlanCacheHits        uint64
+	PlanCacheMisses      uint64
+	PlansCached          int
+	ExpansionHits        uint64
+	ExpansionMisses      uint64
+	ExpansionEvictions   uint64
+	ExpansionInvalidated uint64
+	ExpansionSize        int
+	InternedTerms        int
 }
 
 // PubSub is the engine surface the broker (and everything above it)
@@ -133,6 +148,16 @@ type Engine struct {
 	// by mu (the union runs under the write lock); only a right-sized
 	// copy of the deduped result ever escapes.
 	matchScratch []message.SubID
+
+	// expCache memoizes semantic-expansion results by event signature
+	// (nil when disabled). stageVersion is the stage snapshot version
+	// the cache contents were computed under; Publish flushes on
+	// mismatch, which catches out-of-band stage mutations (SetConfig,
+	// ontology Replace) that bypass ApplyKnowledge's precise
+	// invalidation. Both guarded by mu.
+	expCache     *ExpansionCache
+	expCap       int
+	stageVersion uint64
 }
 
 // Option configures an Engine.
@@ -156,6 +181,12 @@ func WithKnowledge(b *knowledge.Base) Option {
 	return func(e *Engine) { e.kb = b }
 }
 
+// WithExpansionCache sets the semantic-expansion LRU capacity; n <= 0
+// disables memoization. Default: DefaultExpansionCacheSize.
+func WithExpansionCache(n int) Option {
+	return func(e *Engine) { e.expCap = n }
+}
+
 // NewEngine builds an engine over the given semantic stage. A nil stage
 // yields an engine with an empty knowledge base (still valid: it simply
 // never rewrites or expands anything).
@@ -168,12 +199,20 @@ func NewEngine(stage *semantic.Stage, opts ...Option) *Engine {
 		matcher:   matching.NewCounting(),
 		mode:      Semantic,
 		originals: make(map[message.SubID]message.Subscription),
+		expCap:    DefaultExpansionCacheSize,
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.expCache = NewExpansionCache(e.expCap)
+	e.stageVersion = e.stage.Version()
 	return e
 }
+
+// ExpansionCache exposes the engine's expansion LRU (nil when disabled).
+// The sharded pool reuses the same type at pool level; this accessor
+// exists for tests and diagnostics.
+func (e *Engine) ExpansionCache() *ExpansionCache { return e.expCache }
 
 // Stage exposes the semantic stage (e.g. for the ontology loader).
 func (e *Engine) Stage() *semantic.Stage { return e.stage }
@@ -214,19 +253,23 @@ func (e *Engine) SetMode(m Mode) error {
 	return nil
 }
 
-// reindexIDsLocked re-derives and re-installs the indexed forms of the
-// given subscriptions under the current mode and stage. Every new form
-// is staged and validated BEFORE the first removal — validation is the
-// only content-dependent failure of matcher.Add — so a failed re-index
-// leaves the matcher exactly as it was, consistent with e.originals.
-// Callers hold e.mu.
+// reindexIDsLocked re-derives, re-compiles and re-installs the indexed
+// forms of the given subscriptions under the current mode and stage.
+// Every new form is compiled (which validates it) BEFORE the first
+// removal — validation is the only content-dependent failure of the
+// compile-and-add path — so a failed re-index leaves the matcher exactly
+// as it was, consistent with e.originals. After a successful re-index
+// the matcher re-estimates plan selectivity: the indexed population just
+// changed, so compile-time posting counts have gone stale. Callers hold
+// e.mu.
 func (e *Engine) reindexIDsLocked(ids []message.SubID) error {
-	forms := make([]message.Subscription, len(ids))
+	plans := make([]*matching.Plan, len(ids))
 	for i, id := range ids {
-		forms[i] = e.indexedForm(e.originals[id])
-		if err := forms[i].Validate(); err != nil {
+		p, err := e.matcher.Compile(e.indexedForm(e.originals[id]))
+		if err != nil {
 			return fmt.Errorf("core: re-indexing subscription %d: %w", id, err)
 		}
+		plans[i] = p
 	}
 	for _, id := range ids {
 		if !e.matcher.Remove(id) {
@@ -235,13 +278,16 @@ func (e *Engine) reindexIDsLocked(ids []message.SubID) error {
 	}
 	var firstErr error
 	for i, id := range ids {
-		// Add cannot fail here (the form validated and its ID was just
+		// Add cannot fail here (the plan compiled and its ID was just
 		// removed), but if it ever does, keep re-inserting the rest so
 		// the matcher misses at most the one refused subscription, and
 		// report it instead of dropping entries silently.
-		if err := e.matcher.Add(forms[i]); err != nil && firstErr == nil {
+		if err := e.matcher.Add(id, plans[i]); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("core: re-indexing subscription %d: %w", id, err)
 		}
+	}
+	if len(ids) > 0 {
+		e.matcher.Reestimate()
 	}
 	return firstErr
 }
@@ -267,7 +313,11 @@ func (e *Engine) Subscribe(s message.Subscription) error {
 	if _, dup := e.originals[s.ID]; dup {
 		return fmt.Errorf("core: subscription %d already exists", s.ID)
 	}
-	if err := e.matcher.Add(e.indexedForm(s)); err != nil {
+	p, err := e.matcher.Compile(e.indexedForm(s))
+	if err != nil {
+		return err
+	}
+	if err := e.matcher.Add(s.ID, p); err != nil {
 		return err
 	}
 	e.originals[s.ID] = s.Clone()
@@ -328,7 +378,7 @@ func (e *Engine) Publish(ev message.Event) (MatchResult, error) {
 
 	if e.mode == Semantic {
 		t0 := time.Now()
-		res.Expansion = e.stage.ProcessEvent(ev)
+		res.Expansion = e.expandLocked(ev)
 		res.SemanticTime = time.Since(t0)
 		e.stats.SemanticTime += res.SemanticTime
 		e.stats.DerivedEvents += uint64(len(res.Expansion.Events))
@@ -345,13 +395,36 @@ func (e *Engine) Publish(ev message.Event) (MatchResult, error) {
 		res.MatchTime = time.Since(t1)
 	} else {
 		t1 := time.Now()
-		res.Matches = e.matcher.Match(ev)
+		res.Matches = e.unionMatchesLocked([]message.Event{ev})
 		res.MatchTime = time.Since(t1)
 	}
 
 	e.stats.MatchTime += res.MatchTime
 	e.stats.Matches += uint64(len(res.Matches))
 	return res, nil
+}
+
+// expandLocked runs the semantic stage on a publication, memoized
+// through the expansion LRU when enabled. A stage version mismatch
+// (out-of-band SetConfig or ontology Replace) flushes the cache before
+// the probe; ApplyKnowledge invalidates precisely and re-stamps the
+// version itself, so the common knowledge path never flushes here.
+// Callers hold e.mu for writing.
+func (e *Engine) expandLocked(ev message.Event) semantic.Result {
+	if e.expCache == nil {
+		return e.stage.ProcessEvent(ev)
+	}
+	if v := e.stage.Version(); v != e.stageVersion {
+		e.expCache.Flush()
+		e.stageVersion = v
+	}
+	sig := ev.Signature()
+	if res, ok := e.expCache.Get(sig); ok {
+		return res
+	}
+	res := e.stage.ProcessEvent(ev)
+	e.expCache.Put(sig, res, EventTerms(ev))
+	return res
 }
 
 // MatchEvents matches a set of already-expanded events against the
@@ -377,19 +450,23 @@ func (e *Engine) MatchEvents(events []message.Event) []message.SubID {
 // per-publication dedup map); the scratch never escapes — callers get
 // a right-sized copy. Callers hold e.mu.
 func (e *Engine) unionMatchesLocked(events []message.Event) []message.SubID {
-	if len(events) == 1 {
-		return e.matcher.Match(events[0])
-	}
 	ids := e.matchScratch[:0]
-	for _, ev := range events {
-		ids = append(ids, e.matcher.Match(ev)...)
-	}
-	slices.Sort(ids)
 	n := 0
-	for i, id := range ids {
-		if i == 0 || id != ids[i-1] {
-			ids[n] = id
-			n++
+	if len(events) == 1 {
+		// Single event: the matcher's appended region is already sorted
+		// and duplicate-free.
+		ids = e.matcher.Match(events[0], ids)
+		n = len(ids)
+	} else {
+		for _, ev := range events {
+			ids = e.matcher.Match(ev, ids)
+		}
+		slices.Sort(ids)
+		for i, id := range ids {
+			if i == 0 || id != ids[i-1] {
+				ids[n] = id
+				n++
+			}
 		}
 	}
 	e.matchScratch = ids[:0] // keep the grown capacity for the next union
@@ -421,6 +498,19 @@ func (s Stats) Merge(o Stats) Stats {
 	s.MatchTime += o.MatchTime
 	s.KBReindexed += o.KBReindexed
 	s.KBFullReindexes += o.KBFullReindexes
+	s.PlanCacheHits += o.PlanCacheHits
+	s.PlanCacheMisses += o.PlanCacheMisses
+	s.PlansCached += o.PlansCached
+	s.ExpansionHits += o.ExpansionHits
+	s.ExpansionMisses += o.ExpansionMisses
+	s.ExpansionEvictions += o.ExpansionEvictions
+	s.ExpansionInvalidated += o.ExpansionInvalidated
+	s.ExpansionSize += o.ExpansionSize
+	// The intern table is process-global: every engine reports the same
+	// table, so a merge keeps the larger snapshot instead of summing.
+	if o.InternedTerms > s.InternedTerms {
+		s.InternedTerms = o.InternedTerms
+	}
 	// KB version fields are per-base, not additive: a sharded pool's
 	// shards share one base bound at the pool level, so at most one
 	// side of a merge carries them.
@@ -437,8 +527,20 @@ func (e *Engine) Stats() Stats {
 	e.mu.RLock()
 	s := e.stats
 	s.Subscriptions = e.matcher.Size()
+	ps := e.matcher.PlanStats()
 	kb := e.kb
+	expCache := e.expCache
 	e.mu.RUnlock()
+	s.PlanCacheHits = ps.Hits
+	s.PlanCacheMisses = ps.Misses
+	s.PlansCached = ps.Cached
+	es := expCache.Stats()
+	s.ExpansionHits = es.Hits
+	s.ExpansionMisses = es.Misses
+	s.ExpansionEvictions = es.Evictions
+	s.ExpansionInvalidated = es.Invalidated
+	s.ExpansionSize = es.Size
+	s.InternedTerms = message.InternedTerms()
 	if kb != nil {
 		v := kb.Version()
 		s.KBDeltas = uint64(v.Deltas)

@@ -15,22 +15,26 @@ import (
 // predicates (attribute, value). Subscriptions sharing an access
 // predicate form a cluster stored in a hash table. Matching an event
 // probes, for every (attribute, value) pair it carries, the cluster of
-// that pair and verifies only the residual predicates of the cluster's
-// subscriptions. Subscriptions without any equality predicate cannot be
-// clustered and live in a small fallback list that is scanned fully.
+// that pair and verifies the member subscriptions' plans — in pushdown
+// order with early exit, so the residual check is as cheap as the
+// optimizer can make it. Subscriptions without any equality predicate
+// cannot be clustered and live in a small fallback list that is scanned
+// fully.
 //
 // The access predicate is chosen as the equality predicate whose
 // (attr, value) cluster is currently smallest, a standard load-balancing
 // heuristic from the paper.
 type Cluster struct {
+	planner
 	clusters    map[string][]*kSub // access key → members
 	unclustered []*kSub
 	subs        map[message.SubID]*kSub
 }
 
 type kSub struct {
-	sub message.Subscription
-	key string // access cluster key; "" when unclustered
+	id   message.SubID
+	plan *Plan
+	key  string // access cluster key; "" when unclustered
 }
 
 // accessKey builds the hash key of an equality predicate's cluster.
@@ -41,6 +45,7 @@ func accessKey(attr string, v message.Value) string {
 // NewCluster returns an empty cluster matcher.
 func NewCluster() *Cluster {
 	return &Cluster{
+		planner:  newPlanner(),
 		clusters: make(map[string][]*kSub),
 		subs:     make(map[message.SubID]*kSub),
 	}
@@ -60,21 +65,22 @@ func (m *Cluster) Clusters() int { return len(m.clusters) }
 func (m *Cluster) Unclustered() int { return len(m.unclustered) }
 
 // Add implements Matcher.
-func (m *Cluster) Add(sub message.Subscription) error {
-	if err := sub.Validate(); err != nil {
-		return err
+func (m *Cluster) Add(id message.SubID, p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("matching: nil plan for subscription %d", id)
 	}
-	if _, dup := m.subs[sub.ID]; dup {
-		return fmt.Errorf("matching: subscription %d already indexed", sub.ID)
+	if _, dup := m.subs[id]; dup {
+		return fmt.Errorf("matching: subscription %d already indexed", id)
 	}
-	ks := &kSub{sub: sub.Clone()}
+	ks := &kSub{id: id, plan: p}
 	// Pick the equality predicate with the smallest current cluster.
 	best, bestLen := "", -1
-	for _, p := range sub.Preds {
-		if p.Op != message.OpEq {
+	for i := range p.Preds() {
+		pp := &p.Preds()[i]
+		if pp.Pred.Op != message.OpEq {
 			continue
 		}
-		key := accessKey(p.Attr, p.Val)
+		key := accessKey(pp.Pred.Attr, pp.Pred.Val)
 		if n := len(m.clusters[key]); bestLen < 0 || n < bestLen {
 			best, bestLen = key, n
 		}
@@ -85,7 +91,8 @@ func (m *Cluster) Add(sub message.Subscription) error {
 		ks.key = best
 		m.clusters[best] = append(m.clusters[best], ks)
 	}
-	m.subs[sub.ID] = ks
+	m.subs[id] = ks
+	m.retain(p)
 	return nil
 }
 
@@ -96,6 +103,7 @@ func (m *Cluster) Remove(id message.SubID) bool {
 		return false
 	}
 	delete(m.subs, id)
+	m.release(ks.plan)
 	if ks.key == "" {
 		m.unclustered = removeSub(m.unclustered, ks)
 		return true
@@ -119,8 +127,9 @@ func removeSub(s []*kSub, target *kSub) []*kSub {
 }
 
 // Match implements Matcher.
-func (m *Cluster) Match(e message.Event) []message.SubID {
-	var out []message.SubID
+func (m *Cluster) Match(e message.Event, scratch []message.SubID) []message.SubID {
+	m.view.reset(e)
+	out, start := scratch, len(scratch)
 	seenKeys := make(map[string]bool, e.Len())
 	for _, pair := range e.Pairs() {
 		key := accessKey(pair.Attr, pair.Val)
@@ -129,16 +138,16 @@ func (m *Cluster) Match(e message.Event) []message.SubID {
 		}
 		seenKeys[key] = true
 		for _, ks := range m.clusters[key] {
-			if ks.sub.Matches(e) {
-				out = append(out, ks.sub.ID)
+			if ks.plan.eval(&m.view) {
+				out = append(out, ks.id)
 			}
 		}
 	}
 	for _, ks := range m.unclustered {
-		if ks.sub.Matches(e) {
-			out = append(out, ks.sub.ID)
+		if ks.plan.eval(&m.view) {
+			out = append(out, ks.id)
 		}
 	}
-	sortIDs(out)
+	sortIDs(out[start:])
 	return out
 }

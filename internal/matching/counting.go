@@ -12,8 +12,10 @@ import (
 // system" (PODC 1999) — citation [1] of the S-ToPSS paper.
 //
 // Identical predicates appearing in many subscriptions are stored once
-// (unique-predicate table keyed by the predicate's canonical form). Per
-// attribute there is an operator-specific index:
+// (unique-predicate table keyed by the predicate's canonical form; plans
+// arrive pre-deduplicated from the planner, so a subscription contributes
+// each distinct predicate exactly once). Per attribute — keyed by its
+// interned symbol — there is an operator-specific index:
 //
 //   - equality:  hash  value → predicates               (O(1) probe)
 //   - ordering:  sorted threshold arrays per operator   (binary search)
@@ -28,16 +30,28 @@ import (
 // predicate count. Counters are reset lazily with an epoch stamp, so a
 // Match is O(satisfied predicates), not O(subscriptions).
 type Counting struct {
-	preds     map[string]*cPred          // canonical form → unique predicate
-	subs      map[message.SubID]*cSub    // indexed subscriptions
-	attrs     map[string]*attrIndex      // per-attribute operator indexes
-	notExists map[string]map[*cPred]bool // attr → not-exists predicates
+	planner
+	preds     map[string]*cPred               // canonical form → unique predicate
+	subs      map[message.SubID]*cSub         // indexed subscriptions
+	attrs     map[message.Sym]*attrIndex      // per-attribute operator indexes
+	notExists map[message.Sym]map[*cPred]bool // attr → not-exists predicates
+	plans     map[*Plan]*cPlan                // plan → its unique-predicate slots
 	epoch     uint64
+	evSyms    []message.Sym // per-Match scratch: event attribute symbols
+}
+
+// cPlan is the counting matcher's compiled form of a shared Plan: the
+// unique-predicate slots it references, built once and reused by every
+// subscription sharing the plan.
+type cPlan struct {
+	cpreds []*cPred
+	refs   int // subscriptions in this matcher using the plan
 }
 
 type cPred struct {
 	pred    message.Predicate
-	subs    map[message.SubID]*cSub // subscriptions referencing this predicate (a sub may reference it more than once)
+	sym     message.Sym             // interned attribute
+	subs    map[message.SubID]*cSub // subscriptions referencing this predicate
 	refs    int                     // total references (for removal bookkeeping)
 	hitAt   uint64                  // epoch of last satisfaction (per-event dedup)
 	ordered bool                    // tracked by a sorted threshold index
@@ -45,8 +59,8 @@ type cPred struct {
 
 type cSub struct {
 	id    message.SubID
+	plan  *Plan
 	need  int // number of predicate slots that must be satisfied
-	preds []*cPred
 	count int
 	seen  uint64 // epoch stamp for lazy counter reset
 }
@@ -109,10 +123,12 @@ func (t *thresholds) remove(p *cPred) {
 // NewCounting returns an empty counting matcher.
 func NewCounting() *Counting {
 	return &Counting{
+		planner:   newPlanner(),
 		preds:     make(map[string]*cPred),
 		subs:      make(map[message.SubID]*cSub),
-		attrs:     make(map[string]*attrIndex),
-		notExists: make(map[string]map[*cPred]bool),
+		attrs:     make(map[message.Sym]*attrIndex),
+		notExists: make(map[message.Sym]map[*cPred]bool),
+		plans:     make(map[*Plan]*cPlan),
 	}
 }
 
@@ -127,46 +143,46 @@ func (m *Counting) Size() int { return len(m.subs) }
 // subscriptions is what makes it sublinear).
 func (m *Counting) UniquePredicates() int { return len(m.preds) }
 
-func (m *Counting) attr(name string) *attrIndex {
-	ai := m.attrs[name]
+func (m *Counting) attr(sym message.Sym) *attrIndex {
+	ai := m.attrs[sym]
 	if ai == nil {
 		ai = &attrIndex{eq: make(map[string][]*cPred)}
-		m.attrs[name] = ai
+		m.attrs[sym] = ai
 	}
 	return ai
 }
 
 // Add implements Matcher.
-func (m *Counting) Add(sub message.Subscription) error {
-	if err := sub.Validate(); err != nil {
-		return err
+func (m *Counting) Add(id message.SubID, p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("matching: nil plan for subscription %d", id)
 	}
-	if _, dup := m.subs[sub.ID]; dup {
-		return fmt.Errorf("matching: subscription %d already indexed", sub.ID)
+	if _, dup := m.subs[id]; dup {
+		return fmt.Errorf("matching: subscription %d already indexed", id)
 	}
-	cs := &cSub{id: sub.ID}
-	// Identical predicates within one subscription collapse to a single
-	// slot: they are satisfied together, so counting them once keeps the
-	// "count == need" completion test exact.
-	within := make(map[string]bool, len(sub.Preds))
-	for _, p := range sub.Preds {
-		key := p.Canonical()
-		if within[key] {
-			continue
+	cp := m.plans[p]
+	if cp == nil {
+		cp = &cPlan{cpreds: make([]*cPred, 0, p.NumPreds())}
+		for i := range p.Preds() {
+			pp := &p.Preds()[i]
+			u := m.preds[pp.Canon]
+			if u == nil {
+				u = &cPred{pred: pp.Pred, sym: pp.Sym, subs: make(map[message.SubID]*cSub)}
+				m.preds[pp.Canon] = u
+				m.indexPredicate(u)
+			}
+			cp.cpreds = append(cp.cpreds, u)
 		}
-		within[key] = true
-		cp := m.preds[key]
-		if cp == nil {
-			cp = &cPred{pred: p, subs: make(map[message.SubID]*cSub)}
-			m.preds[key] = cp
-			m.indexPredicate(cp)
-		}
-		cp.refs++
-		cp.subs[sub.ID] = cs
-		cs.preds = append(cs.preds, cp)
+		m.plans[p] = cp
 	}
-	cs.need = len(cs.preds)
-	m.subs[sub.ID] = cs
+	cp.refs++
+	cs := &cSub{id: id, plan: p, need: len(cp.cpreds)}
+	for _, u := range cp.cpreds {
+		u.refs++
+		u.subs[id] = cs
+	}
+	m.subs[id] = cs
+	m.retain(p)
 	return nil
 }
 
@@ -174,17 +190,17 @@ func (m *Counting) Add(sub message.Subscription) error {
 // operator structures.
 func (m *Counting) indexPredicate(cp *cPred) {
 	p := cp.pred
-	ai := m.attr(p.Attr)
+	ai := m.attr(cp.sym)
 	switch p.Op {
 	case message.OpEq:
 		ai.eq[p.Val.Canonical()] = append(ai.eq[p.Val.Canonical()], cp)
 	case message.OpExists:
 		ai.exists = append(ai.exists, cp)
 	case message.OpNotExists:
-		set := m.notExists[p.Attr]
+		set := m.notExists[cp.sym]
 		if set == nil {
 			set = make(map[*cPred]bool)
-			m.notExists[p.Attr] = set
+			m.notExists[cp.sym] = set
 		}
 		set[cp] = true
 	case message.OpLt, message.OpLe, message.OpGt, message.OpGe:
@@ -219,20 +235,25 @@ func (m *Counting) Remove(id message.SubID) bool {
 		return false
 	}
 	delete(m.subs, id)
-	for _, cp := range cs.preds {
-		delete(cp.subs, id)
-		cp.refs--
-		if cp.refs == 0 {
-			m.unindexPredicate(cp)
-			delete(m.preds, cp.pred.Canonical())
+	cp := m.plans[cs.plan]
+	for _, u := range cp.cpreds {
+		delete(u.subs, id)
+		u.refs--
+		if u.refs == 0 {
+			m.unindexPredicate(u)
+			delete(m.preds, u.pred.Canonical())
 		}
 	}
+	if cp.refs--; cp.refs == 0 {
+		delete(m.plans, cs.plan)
+	}
+	m.release(cs.plan)
 	return true
 }
 
 func (m *Counting) unindexPredicate(cp *cPred) {
 	p := cp.pred
-	ai := m.attrs[p.Attr]
+	ai := m.attrs[cp.sym]
 	if ai == nil {
 		return
 	}
@@ -254,9 +275,9 @@ func (m *Counting) unindexPredicate(cp *cPred) {
 	case message.OpExists:
 		ai.exists = removeFrom(ai.exists)
 	case message.OpNotExists:
-		delete(m.notExists[p.Attr], cp)
-		if len(m.notExists[p.Attr]) == 0 {
-			delete(m.notExists, p.Attr)
+		delete(m.notExists[cp.sym], cp)
+		if len(m.notExists[cp.sym]) == 0 {
+			delete(m.notExists, cp.sym)
 		}
 	case message.OpLt:
 		if cp.ordered {
@@ -290,9 +311,10 @@ func (m *Counting) unindexPredicate(cp *cPred) {
 }
 
 // Match implements Matcher.
-func (m *Counting) Match(e message.Event) []message.SubID {
+func (m *Counting) Match(e message.Event, scratch []message.SubID) []message.SubID {
 	m.epoch++
-	var out []message.SubID
+	out, start := scratch, len(scratch)
+	m.evSyms = m.evSyms[:0]
 
 	hit := func(cp *cPred) {
 		if cp.hitAt == m.epoch {
@@ -312,7 +334,12 @@ func (m *Counting) Match(e message.Event) []message.SubID {
 	}
 
 	for _, pair := range e.Pairs() {
-		ai := m.attrs[pair.Attr]
+		sym, ok := message.Interned(pair.Attr)
+		if !ok {
+			continue // no indexed predicate can reference this attribute
+		}
+		m.evSyms = append(m.evSyms, sym)
+		ai := m.attrs[sym]
 		if ai == nil {
 			continue
 		}
@@ -378,11 +405,15 @@ func (m *Counting) Match(e message.Event) []message.SubID {
 	}
 
 	// Negation pass: a not-exists predicate is satisfied when the event
-	// lacks the attribute entirely.
+	// lacks the attribute entirely. Event attributes that were never
+	// interned cannot collide with an indexed (hence interned) attribute.
 	if len(m.notExists) > 0 {
-		for attrName, set := range m.notExists {
-			if e.Has(attrName) {
-				continue
+	negation:
+		for sym, set := range m.notExists {
+			for _, es := range m.evSyms {
+				if es == sym {
+					continue negation
+				}
 			}
 			for cp := range set {
 				hit(cp)
@@ -390,6 +421,6 @@ func (m *Counting) Match(e message.Event) []message.SubID {
 		}
 	}
 
-	sortIDs(out)
+	sortIDs(out[start:])
 	return out
 }

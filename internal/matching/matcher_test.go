@@ -32,10 +32,10 @@ func TestAddRemoveLifecycle(t *testing.T) {
 	for _, m := range allMatchers() {
 		t.Run(m.Name(), func(t *testing.T) {
 			s := message.NewSubscription(1, "c", message.Pred("a", message.OpEq, message.Int(1)))
-			if err := m.Add(s); err != nil {
+			if err := Index(m, s); err != nil {
 				t.Fatalf("Add: %v", err)
 			}
-			if err := m.Add(s); err == nil {
+			if err := Index(m, s); err == nil {
 				t.Error("duplicate Add must fail")
 			}
 			if m.Size() != 1 {
@@ -50,11 +50,11 @@ func TestAddRemoveLifecycle(t *testing.T) {
 			if m.Size() != 0 {
 				t.Errorf("Size = %d, want 0", m.Size())
 			}
-			if got := m.Match(message.E("a", 1)); len(got) != 0 {
+			if got := m.Match(message.E("a", 1), nil); len(got) != 0 {
 				t.Errorf("removed subscription still matches: %v", got)
 			}
 			// Invalid subscriptions are rejected.
-			if err := m.Add(message.NewSubscription(2, "c")); err == nil {
+			if err := Index(m, message.NewSubscription(2, "c")); err == nil {
 				t.Error("empty subscription must be rejected")
 			}
 		})
@@ -87,12 +87,12 @@ func TestMatchBasicOperators(t *testing.T) {
 	}
 	for _, m := range allMatchers() {
 		for _, s := range subs {
-			if err := m.Add(s); err != nil {
+			if err := Index(m, s); err != nil {
 				t.Fatalf("%s: Add: %v", m.Name(), err)
 			}
 		}
 		for _, tc := range cases {
-			if got := m.Match(tc.e); !reflect.DeepEqual(got, tc.want) {
+			if got := m.Match(tc.e, nil); !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("%s: Match(%v) = %v, want %v", m.Name(), tc.e, got, tc.want)
 			}
 		}
@@ -102,13 +102,13 @@ func TestMatchBasicOperators(t *testing.T) {
 func TestMatchNumericCrossKind(t *testing.T) {
 	for _, m := range allMatchers() {
 		s := message.NewSubscription(1, "c", message.Pred("x", message.OpEq, message.Int(4)))
-		if err := m.Add(s); err != nil {
+		if err := Index(m, s); err != nil {
 			t.Fatal(err)
 		}
-		if got := m.Match(message.E("x", 4.0)); len(got) != 1 {
+		if got := m.Match(message.E("x", 4.0), nil); len(got) != 1 {
 			t.Errorf("%s: Float(4.0) should satisfy x = Int(4)", m.Name())
 		}
-		if got := m.Match(message.E("x", "4")); len(got) != 0 {
+		if got := m.Match(message.E("x", "4"), nil); len(got) != 0 {
 			t.Errorf("%s: String(\"4\") must not satisfy x = Int(4)", m.Name())
 		}
 	}
@@ -122,11 +122,11 @@ func TestMatchMultiValuedAttribute(t *testing.T) {
 		s := message.NewSubscription(1, "c",
 			message.Pred("skill", message.OpEq, message.String("COBOL")),
 			message.Pred("years", message.OpGe, message.Int(3)))
-		if err := m.Add(s); err != nil {
+		if err := Index(m, s); err != nil {
 			t.Fatal(err)
 		}
 		e := message.E("skill", "Java", "skill", "COBOL", "skill", "COBOL", "years", 5)
-		if got := m.Match(e); len(got) != 1 || got[0] != 1 {
+		if got := m.Match(e, nil); len(got) != 1 || got[0] != 1 {
 			t.Errorf("%s: Match = %v, want [1]", m.Name(), got)
 		}
 		// Two pairs both satisfying different thresholds must not
@@ -135,10 +135,10 @@ func TestMatchMultiValuedAttribute(t *testing.T) {
 		s2 := message.NewSubscription(2, "c",
 			message.Pred("years", message.OpGe, message.Int(3)),
 			message.Pred("missing", message.OpEq, message.Int(1)))
-		if err := m.Add(s2); err != nil {
+		if err := Index(m, s2); err != nil {
 			t.Fatal(err)
 		}
-		if got := m.Match(e2); len(got) != 0 {
+		if got := m.Match(e2, nil); len(got) != 0 {
 			t.Errorf("%s: double-counted predicate produced false match: %v", m.Name(), got)
 		}
 	}
@@ -150,13 +150,13 @@ func TestDuplicatePredicatesInOneSubscription(t *testing.T) {
 			message.Pred("a", message.OpEq, message.Int(1)),
 			message.Pred("a", message.OpEq, message.Int(1)), // duplicate
 			message.Pred("b", message.OpEq, message.Int(2)))
-		if err := m.Add(s); err != nil {
+		if err := Index(m, s); err != nil {
 			t.Fatal(err)
 		}
-		if got := m.Match(message.E("a", 1, "b", 2)); len(got) != 1 {
+		if got := m.Match(message.E("a", 1, "b", 2), nil); len(got) != 1 {
 			t.Errorf("%s: duplicated predicate broke completion count: %v", m.Name(), got)
 		}
-		if got := m.Match(message.E("b", 2)); len(got) != 0 {
+		if got := m.Match(message.E("b", 2), nil); len(got) != 0 {
 			t.Errorf("%s: partially satisfied subscription matched: %v", m.Name(), got)
 		}
 	}
@@ -167,14 +167,14 @@ func TestSharedPredicateRemoval(t *testing.T) {
 	// the other (counting matcher refcounts unique predicates).
 	for _, m := range allMatchers() {
 		shared := message.Pred("sym", message.OpEq, message.String("IBM"))
-		if err := m.Add(message.NewSubscription(1, "c", shared)); err != nil {
+		if err := Index(m, message.NewSubscription(1, "c", shared)); err != nil {
 			t.Fatal(err)
 		}
-		if err := m.Add(message.NewSubscription(2, "c", shared, message.Pred("p", message.OpGt, message.Int(5)))); err != nil {
+		if err := Index(m, message.NewSubscription(2, "c", shared, message.Pred("p", message.OpGt, message.Int(5)))); err != nil {
 			t.Fatal(err)
 		}
 		m.Remove(1)
-		got := m.Match(message.E("sym", "IBM", "p", 10))
+		got := m.Match(message.E("sym", "IBM", "p", 10), nil)
 		if len(got) != 1 || got[0] != 2 {
 			t.Errorf("%s: Match = %v, want [2]", m.Name(), got)
 		}
@@ -187,7 +187,7 @@ func TestCountingStats(t *testing.T) {
 	for i := 1; i <= 10; i++ {
 		s := message.NewSubscription(message.SubID(i), "c", shared,
 			message.Pred("p", message.OpGt, message.Int(int64(i))))
-		if err := m.Add(s); err != nil {
+		if err := Index(m, s); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -203,13 +203,13 @@ func TestCountingStats(t *testing.T) {
 
 func TestClusterStats(t *testing.T) {
 	m := NewCluster()
-	if err := m.Add(message.NewSubscription(1, "c", message.Pred("a", message.OpEq, message.Int(1)))); err != nil {
+	if err := Index(m, message.NewSubscription(1, "c", message.Pred("a", message.OpEq, message.Int(1)))); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Add(message.NewSubscription(2, "c", message.Pred("a", message.OpEq, message.Int(2)))); err != nil {
+	if err := Index(m, message.NewSubscription(2, "c", message.Pred("a", message.OpEq, message.Int(2)))); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Add(message.NewSubscription(3, "c", message.Pred("a", message.OpGt, message.Int(0)))); err != nil {
+	if err := Index(m, message.NewSubscription(3, "c", message.Pred("a", message.OpGt, message.Int(0)))); err != nil {
 		t.Fatal(err)
 	}
 	if m.Clusters() != 2 {
@@ -219,7 +219,7 @@ func TestClusterStats(t *testing.T) {
 		t.Errorf("Unclustered = %d, want 1", m.Unclustered())
 	}
 	// The unclustered subscription must still match.
-	if got := m.Match(message.E("a", 5)); len(got) != 1 || got[0] != 3 {
+	if got := m.Match(message.E("a", 5), nil); len(got) != 1 || got[0] != 3 {
 		t.Errorf("Match = %v, want [3]", got)
 	}
 	m.Remove(1)
@@ -232,10 +232,10 @@ func TestClusterBalancesAccessPredicates(t *testing.T) {
 	m := NewCluster()
 	// First subscription seeds cluster (a,1). The second has equality
 	// predicates (a,1) and (b,2); it must pick the smaller cluster (b,2).
-	if err := m.Add(message.NewSubscription(1, "c", message.Pred("a", message.OpEq, message.Int(1)))); err != nil {
+	if err := Index(m, message.NewSubscription(1, "c", message.Pred("a", message.OpEq, message.Int(1)))); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Add(message.NewSubscription(2, "c",
+	if err := Index(m, message.NewSubscription(2, "c",
 		message.Pred("a", message.OpEq, message.Int(1)),
 		message.Pred("b", message.OpEq, message.Int(2)))); err != nil {
 		t.Fatal(err)
@@ -320,16 +320,16 @@ func TestQuickMatchersAgree(t *testing.T) {
 		for i := 0; i < nSubs; i++ {
 			s := randSubscription(r, message.SubID(i+1))
 			for _, m := range matchers {
-				if err := m.Add(s); err != nil {
+				if err := Index(m, s); err != nil {
 					t.Fatalf("%s Add: %v", m.Name(), err)
 				}
 			}
 		}
 		for j := 0; j < 40; j++ {
 			e := randEvent(r)
-			want := naive.Match(e)
+			want := naive.Match(e, nil)
 			for _, m := range matchers[1:] {
-				got := m.Match(e)
+				got := m.Match(e, nil)
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("trial %d: %s disagrees with naive on %v:\n got %v\nwant %v",
 						trial, m.Name(), e, got, want)
@@ -353,7 +353,7 @@ func TestQuickMatchersAgreeUnderChurn(t *testing.T) {
 			live[next] = true
 			next++
 			for _, m := range matchers {
-				if err := m.Add(s); err != nil {
+				if err := Index(m, s); err != nil {
 					t.Fatalf("Add: %v", err)
 				}
 			}
@@ -377,9 +377,9 @@ func TestQuickMatchersAgreeUnderChurn(t *testing.T) {
 		}
 		if step%10 == 0 {
 			e := randEvent(r)
-			want := naive.Match(e)
+			want := naive.Match(e, nil)
 			for _, m := range matchers[1:] {
-				if got := m.Match(e); !reflect.DeepEqual(got, want) {
+				if got := m.Match(e, nil); !reflect.DeepEqual(got, want) {
 					t.Fatalf("step %d: %s disagrees on %v: got %v want %v", step, m.Name(), e, got, want)
 				}
 			}
@@ -394,7 +394,7 @@ func TestQuickMatchersAgreeUnderChurn(t *testing.T) {
 
 func TestMatchEmptyMatcher(t *testing.T) {
 	for _, m := range allMatchers() {
-		if got := m.Match(message.E("a", 1)); len(got) != 0 {
+		if got := m.Match(message.E("a", 1), nil); len(got) != 0 {
 			t.Errorf("%s: empty matcher matched: %v", m.Name(), got)
 		}
 	}
@@ -404,11 +404,11 @@ func TestMatchDeterministicOrder(t *testing.T) {
 	for _, m := range allMatchers() {
 		for i := 20; i >= 1; i-- {
 			s := message.NewSubscription(message.SubID(i), "c", message.Pred("a", message.OpEq, message.Int(1)))
-			if err := m.Add(s); err != nil {
+			if err := Index(m, s); err != nil {
 				t.Fatal(err)
 			}
 		}
-		got := m.Match(message.E("a", 1))
+		got := m.Match(message.E("a", 1), nil)
 		for i := 1; i < len(got); i++ {
 			if got[i-1] >= got[i] {
 				t.Fatalf("%s: result not in ascending order: %v", m.Name(), got)
@@ -422,12 +422,12 @@ func TestMatchDeterministicOrder(t *testing.T) {
 
 func ExampleMatcher() {
 	m := NewCounting()
-	_ = m.Add(message.NewSubscription(1, "recruiter",
+	_ = Index(m, message.NewSubscription(1, "recruiter",
 		message.Pred("university", message.OpEq, message.String("Toronto")),
 		message.Pred("professional experience", message.OpGe, message.Int(4)),
 	))
-	fmt.Println(m.Match(message.E("university", "Toronto", "professional experience", 5)))
-	fmt.Println(m.Match(message.E("school", "Toronto", "professional experience", 5)))
+	fmt.Println(m.Match(message.E("university", "Toronto", "professional experience", 5), nil))
+	fmt.Println(m.Match(message.E("school", "Toronto", "professional experience", 5), nil))
 	// Output:
 	// [1]
 	// []

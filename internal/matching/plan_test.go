@@ -1,0 +1,196 @@
+package matching
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"stopss/internal/message"
+)
+
+func TestPlanCacheSharesDuplicates(t *testing.T) {
+	for _, m := range allMatchers() {
+		t.Run(m.Name(), func(t *testing.T) {
+			preds := []message.Predicate{
+				message.Pred("sym", message.OpEq, message.String("IBM")),
+				message.Pred("price", message.OpGt, message.Int(100)),
+			}
+			// Same predicate set in a different order: same canonical
+			// form, so the second Compile must hit the cache.
+			p1, err := m.Compile(message.NewSubscription(1, "a", preds[0], preds[1]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := m.Compile(message.NewSubscription(2, "b", preds[1], preds[0]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p1 != p2 {
+				t.Fatal("duplicate subscriptions did not share one plan")
+			}
+			if err := m.Add(1, p1); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Add(2, p2); err != nil {
+				t.Fatal(err)
+			}
+			if p1.Refs() != 2 {
+				t.Fatalf("Refs = %d, want 2", p1.Refs())
+			}
+			st := m.PlanStats()
+			if st.Hits != 1 || st.Misses != 1 || st.Cached != 1 {
+				t.Fatalf("PlanStats = %+v, want 1 hit, 1 miss, 1 cached", st)
+			}
+			got := m.Match(message.E("sym", "IBM", "price", 101), nil)
+			if !reflect.DeepEqual(got, []message.SubID{1, 2}) {
+				t.Fatalf("Match = %v, want [1 2]", got)
+			}
+			// Removing one sharer keeps the plan; removing both evicts.
+			m.Remove(1)
+			if st := m.PlanStats(); st.Cached != 1 {
+				t.Fatalf("Cached after first Remove = %d, want 1", st.Cached)
+			}
+			m.Remove(2)
+			if st := m.PlanStats(); st.Cached != 0 {
+				t.Fatalf("Cached after both Removes = %d, want 0", st.Cached)
+			}
+		})
+	}
+}
+
+func TestPlanDedupAndPushdownOrder(t *testing.T) {
+	m := NewNaive()
+	p, err := m.Compile(message.NewSubscription(1, "c",
+		message.Pred("z", message.OpContains, message.String("x")),
+		message.Exists("m"),
+		message.Pred("a", message.OpEq, message.Int(1)),
+		message.Pred("a", message.OpEq, message.Int(1)), // duplicate slot
+		message.Pred("b", message.OpLt, message.Int(9)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPreds() != 4 {
+		t.Fatalf("NumPreds = %d, want 4 (duplicate collapsed)", p.NumPreds())
+	}
+	ops := make([]message.Op, 0, 4)
+	for _, pp := range p.Preds() {
+		ops = append(ops, pp.Pred.Op)
+	}
+	want := []message.Op{message.OpEq, message.OpLt, message.OpContains, message.OpExists}
+	if !reflect.DeepEqual(ops, want) {
+		t.Fatalf("pushdown order = %v, want %v", ops, want)
+	}
+}
+
+func TestPlanReestimateOrdersByPostings(t *testing.T) {
+	m := NewNaive()
+	// Make attribute "hot" far more referenced than "cold": equality
+	// predicates over hot dominate the posting counts.
+	for i := 0; i < 20; i++ {
+		s := message.NewSubscription(message.SubID(100+i), "c",
+			message.Pred("hot", message.OpEq, message.Int(int64(i))))
+		if err := Index(m, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := m.Compile(message.NewSubscription(1, "c",
+		message.Pred("hot", message.OpEq, message.Int(500)),
+		message.Pred("cold", message.OpEq, message.Int(1)),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(1, p); err != nil {
+		t.Fatal(err)
+	}
+	// Compile already saw the postings, but force a re-sort through the
+	// public hook and verify the rare attribute is evaluated first.
+	m.Reestimate()
+	if got := p.Preds()[0].Pred.Attr; got != "cold" {
+		t.Fatalf("first predicate after Reestimate on %q, want cold (rarer attribute)", got)
+	}
+	if got := m.PlanStats().Attrs; got != 2 {
+		t.Fatalf("PlanStats.Attrs = %d, want 2", got)
+	}
+}
+
+func TestPlanCompileRejectsInvalid(t *testing.T) {
+	m := NewCounting()
+	if _, err := m.Compile(message.NewSubscription(1, "c")); err == nil {
+		t.Fatal("empty subscription must be rejected")
+	}
+	if _, err := m.Compile(message.NewSubscription(2, "c", message.Predicate{Attr: "a"})); err == nil {
+		t.Fatal("invalid operator must be rejected")
+	}
+	if err := m.Add(3, nil); err == nil {
+		t.Fatal("nil plan must be rejected")
+	}
+}
+
+func TestEventViewSemantics(t *testing.T) {
+	// The interned view must preserve reference semantics, including
+	// not-exists over un-interned event attributes and multi-valued
+	// attributes where only a later instance satisfies the predicate.
+	for _, m := range allMatchers() {
+		if err := Index(m, message.NewSubscription(1, "c",
+			message.Pred("vw", message.OpGe, message.Int(10)),
+			message.Pred("vw-absent", message.OpNotExists, message.None()),
+		)); err != nil {
+			t.Fatal(err)
+		}
+		e := message.E("vw", 3, "vw", 15, "vw-noise-never-interned", 1)
+		if got := m.Match(e, nil); !reflect.DeepEqual(got, []message.SubID{1}) {
+			t.Fatalf("%s: Match = %v, want [1]", m.Name(), got)
+		}
+		if got := m.Match(message.E("vw", 15, "vw-absent", 0), nil); len(got) != 0 {
+			t.Fatalf("%s: not-exists violated, got %v", m.Name(), got)
+		}
+	}
+}
+
+func TestMatchAppendsToScratch(t *testing.T) {
+	for _, m := range allMatchers() {
+		if err := Index(m, message.NewSubscription(7, "c",
+			message.Pred("sa", message.OpEq, message.Int(1)))); err != nil {
+			t.Fatal(err)
+		}
+		scratch := []message.SubID{99}
+		out := m.Match(message.E("sa", 1), scratch)
+		if !reflect.DeepEqual(out, []message.SubID{99, 7}) {
+			t.Fatalf("%s: Match append = %v, want [99 7]", m.Name(), out)
+		}
+	}
+}
+
+// TestPlanPipelineAgreesAfterReestimate replays the central agreement
+// property with Reestimate churn interleaved: re-ordering cached plans
+// must never change match results.
+func TestPlanPipelineAgreesAfterReestimate(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	matchers := allMatchers()
+	naive := matchers[0]
+	for i := 0; i < 120; i++ {
+		s := randSubscription(r, message.SubID(i+1))
+		for _, m := range matchers {
+			if err := Index(m, s); err != nil {
+				t.Fatalf("%s Add: %v", m.Name(), err)
+			}
+		}
+	}
+	for j := 0; j < 60; j++ {
+		if j%7 == 0 {
+			for _, m := range matchers {
+				m.Reestimate()
+			}
+		}
+		e := randEvent(r)
+		want := naive.Match(e, nil)
+		for _, m := range matchers[1:] {
+			if got := m.Match(e, nil); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s disagrees with naive on %v after reestimate: got %v want %v",
+					m.Name(), e, got, want)
+			}
+		}
+	}
+}

@@ -20,19 +20,22 @@ import (
 //
 // Non-equality predicates (ranges, string operators, existence) do not
 // partition well on edges; following the standard engineering of [1],
-// each subscription keeps its residual predicate list, verified when the
-// walk reaches its leaf.
+// each leaf verifies the subscription's remaining plan predicates — in
+// pushdown order, skipping the ones already proven by the walk.
 type Tree struct {
+	planner
 	root *treeNode
 	subs map[message.SubID]*treeSub
 }
 
 // treeSub remembers where a subscription's leaf is, for removal, plus
-// its residual (non-equality) predicates.
+// which plan predicates the walk itself proves (by canonical form) so
+// verification skips them.
 type treeSub struct {
-	sub      message.Subscription
-	residual []message.Predicate
-	leaf     *treeNode
+	id      message.SubID
+	plan    *Plan
+	onEdges []string // canonical forms of predicates consumed by tree edges
+	leaf    *treeNode
 }
 
 // treeNode is one test node. A node either tests an attribute (attr !=
@@ -51,7 +54,7 @@ func newTreeNode() *treeNode {
 
 // NewTree returns an empty matching tree.
 func NewTree() *Tree {
-	return &Tree{root: newTreeNode(), subs: make(map[message.SubID]*treeSub)}
+	return &Tree{planner: newPlanner(), root: newTreeNode(), subs: make(map[message.SubID]*treeSub)}
 }
 
 // Name implements Matcher.
@@ -61,27 +64,28 @@ func (m *Tree) Name() string { return "tree" }
 func (m *Tree) Size() int { return len(m.subs) }
 
 // Add implements Matcher.
-func (m *Tree) Add(sub message.Subscription) error {
-	if err := sub.Validate(); err != nil {
-		return err
+func (m *Tree) Add(id message.SubID, p *Plan) error {
+	if p == nil {
+		return fmt.Errorf("matching: nil plan for subscription %d", id)
 	}
-	if _, dup := m.subs[sub.ID]; dup {
-		return fmt.Errorf("matching: subscription %d already indexed", sub.ID)
+	if _, dup := m.subs[id]; dup {
+		return fmt.Errorf("matching: subscription %d already indexed", id)
 	}
-	ts := &treeSub{sub: sub.Clone()}
+	ts := &treeSub{id: id, plan: p}
 
-	// Split into tree-indexable equality tests (one per attribute; a
-	// second equality on the same attribute stays residual) and
-	// residual predicates.
+	// Pick the tree-indexable equality tests: one per attribute (a
+	// second equality on the same attribute stays in the verified
+	// remainder). Everything not consumed by an edge is verified at the
+	// leaf via the shared plan.
 	eq := make(map[string]message.Value)
-	for _, p := range sub.Preds {
-		if p.Op == message.OpEq {
-			if _, seen := eq[p.Attr]; !seen {
-				eq[p.Attr] = p.Val
-				continue
+	for i := range p.Preds() {
+		pp := &p.Preds()[i]
+		if pp.Pred.Op == message.OpEq {
+			if _, seen := eq[pp.Pred.Attr]; !seen {
+				eq[pp.Pred.Attr] = pp.Pred.Val
+				ts.onEdges = append(ts.onEdges, pp.Canon)
 			}
 		}
-		ts.residual = append(ts.residual, p)
 	}
 	attrs := make([]string, 0, len(eq))
 	for a := range eq {
@@ -93,9 +97,10 @@ func (m *Tree) Add(sub message.Subscription) error {
 	for _, a := range attrs {
 		node = m.descend(node, a, eq[a])
 	}
-	node.leaves[sub.ID] = ts
+	node.leaves[id] = ts
 	ts.leaf = node
-	m.subs[sub.ID] = ts
+	m.subs[id] = ts
+	m.retain(p)
 	return nil
 }
 
@@ -148,13 +153,15 @@ func (m *Tree) Remove(id message.SubID) bool {
 	}
 	delete(m.subs, id)
 	delete(ts.leaf.leaves, id)
+	m.release(ts.plan)
 	// Empty nodes are left in place; they are cheap and the churn of
 	// restructuring paths is not worth it for this workload profile.
 	return true
 }
 
 // Match implements Matcher.
-func (m *Tree) Match(e message.Event) []message.SubID {
+func (m *Tree) Match(e message.Event, scratch []message.SubID) []message.SubID {
+	m.view.reset(e)
 	// Event attribute → set of canonical values (multi-valued events).
 	vals := make(map[string][]string, e.Len())
 	for _, p := range e.Pairs() {
@@ -171,15 +178,15 @@ func (m *Tree) Match(e message.Event) []message.SubID {
 		}
 	}
 
-	var out []message.SubID
+	out, start := scratch, len(scratch)
 	var walk func(n *treeNode)
 	walk = func(n *treeNode) {
 		if n == nil {
 			return
 		}
 		for _, ts := range n.leaves {
-			if m.verify(ts, e) {
-				out = append(out, ts.sub.ID)
+			if m.verify(ts) {
+				out = append(out, ts.id)
 			}
 		}
 		if n.attr == "" {
@@ -193,14 +200,27 @@ func (m *Tree) Match(e message.Event) []message.SubID {
 		walk(n.dontCare)
 	}
 	walk(m.root)
-	sortIDs(out)
+	sortIDs(out[start:])
 	return out
 }
 
-// verify checks the residual predicates at a leaf.
-func (m *Tree) verify(ts *treeSub, e message.Event) bool {
-	for _, p := range ts.residual {
-		if !p.Matches(e) {
+// verify checks the plan predicates not consumed by tree edges, in
+// pushdown order against the resolved event view.
+func (m *Tree) verify(ts *treeSub) bool {
+	preds := ts.plan.Preds()
+	for i := range preds {
+		pp := &preds[i]
+		onEdge := false
+		for _, c := range ts.onEdges {
+			if c == pp.Canon {
+				onEdge = true
+				break
+			}
+		}
+		if onEdge {
+			continue
+		}
+		if !m.view.satisfies(pp) {
 			return false
 		}
 	}

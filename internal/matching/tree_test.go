@@ -18,14 +18,14 @@ func TestTreeSharedPrefixPaths(t *testing.T) {
 		s := message.NewSubscription(message.SubID(i+1), "c",
 			message.Pred("sym", message.OpEq, message.String("IBM")),
 			message.Pred("price", message.OpEq, message.Int(int64(i%10))))
-		if err := m.Add(s); err != nil {
+		if err := Index(m, s); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if d := m.Depth(); d > 4 {
 		t.Errorf("Depth = %d; shared prefixes should keep the tree shallow", d)
 	}
-	got := m.Match(message.E("sym", "IBM", "price", 3))
+	got := m.Match(message.E("sym", "IBM", "price", 3), nil)
 	if len(got) != 10 {
 		t.Errorf("Match = %d subs, want 10", len(got))
 	}
@@ -37,7 +37,7 @@ func TestTreeDontCareRouting(t *testing.T) {
 	m := NewTree()
 	mustAdd := func(id int, preds ...message.Predicate) {
 		t.Helper()
-		if err := m.Add(message.NewSubscription(message.SubID(id), "c", preds...)); err != nil {
+		if err := Index(m, message.NewSubscription(message.SubID(id), "c", preds...)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -60,7 +60,7 @@ func TestTreeDontCareRouting(t *testing.T) {
 		{message.E("a", 1), nil},
 	}
 	for _, tc := range cases {
-		got := m.Match(tc.e)
+		got := m.Match(tc.e, nil)
 		if !reflect.DeepEqual(got, tc.want) && !(len(got) == 0 && len(tc.want) == 0) {
 			t.Errorf("Match(%v) = %v, want %v", tc.e, got, tc.want)
 		}
@@ -71,14 +71,14 @@ func TestTreeResidualOnlySubscription(t *testing.T) {
 	// No equality predicates at all: the subscription lives at the root
 	// and is verified residually.
 	m := NewTree()
-	if err := m.Add(message.NewSubscription(1, "c",
+	if err := Index(m, message.NewSubscription(1, "c",
 		message.Pred("p", message.OpGt, message.Int(10)))); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Match(message.E("p", 11)); len(got) != 1 {
+	if got := m.Match(message.E("p", 11), nil); len(got) != 1 {
 		t.Errorf("Match = %v", got)
 	}
-	if got := m.Match(message.E("p", 9)); len(got) != 0 {
+	if got := m.Match(message.E("p", 9), nil); len(got) != 0 {
 		t.Errorf("Match = %v", got)
 	}
 }
@@ -88,15 +88,15 @@ func TestTreeDuplicateEqualitySameAttr(t *testing.T) {
 	// the subscription unsatisfiable by a single-valued event but
 	// satisfiable by a multi-valued one.
 	m := NewTree()
-	if err := m.Add(message.NewSubscription(1, "c",
+	if err := Index(m, message.NewSubscription(1, "c",
 		message.Pred("tag", message.OpEq, message.String("x")),
 		message.Pred("tag", message.OpEq, message.String("y")))); err != nil {
 		t.Fatal(err)
 	}
-	if got := m.Match(message.E("tag", "x")); len(got) != 0 {
+	if got := m.Match(message.E("tag", "x"), nil); len(got) != 0 {
 		t.Errorf("single-valued event matched: %v", got)
 	}
-	if got := m.Match(message.E("tag", "x", "tag", "y")); len(got) != 1 {
+	if got := m.Match(message.E("tag", "x", "tag", "y"), nil); len(got) != 1 {
 		t.Errorf("multi-valued event should match: %v", got)
 	}
 }
@@ -107,17 +107,17 @@ func TestTreeFuzzAgainstNaive(t *testing.T) {
 		naive, tree := NewNaive(), NewTree()
 		for i := 0; i < 120; i++ {
 			s := randSubscription(r, message.SubID(i+1))
-			if err := naive.Add(s); err != nil {
+			if err := Index(naive, s); err != nil {
 				t.Fatal(err)
 			}
-			if err := tree.Add(s); err != nil {
+			if err := Index(tree, s); err != nil {
 				t.Fatal(err)
 			}
 		}
 		for j := 0; j < 60; j++ {
 			e := randEvent(r)
-			want := naive.Match(e)
-			got := tree.Match(e)
+			want := naive.Match(e, nil)
+			got := tree.Match(e, nil)
 			if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
 				t.Fatalf("tree disagrees with naive on %v:\n got %v\nwant %v", e, got, want)
 			}
@@ -127,10 +127,10 @@ func TestTreeFuzzAgainstNaive(t *testing.T) {
 
 func ExampleTree() {
 	m := NewTree()
-	_ = m.Add(message.NewSubscription(1, "recruiter",
+	_ = Index(m, message.NewSubscription(1, "recruiter",
 		message.Pred("university", message.OpEq, message.String("Toronto")),
 		message.Pred("professional experience", message.OpGe, message.Int(4))))
-	fmt.Println(m.Match(message.E("university", "Toronto", "professional experience", 5)))
+	fmt.Println(m.Match(message.E("university", "Toronto", "professional experience", 5), nil))
 	fmt.Println(m.Depth())
 	// Output:
 	// [1]

@@ -1,0 +1,136 @@
+package message
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sym is a process-wide interned identifier for a term (attribute name or
+// ontology concept). Two equal strings always intern to the same Sym, so
+// hot-path term comparisons become integer compares instead of string
+// compares. The zero Sym is reserved and never assigned.
+type Sym uint32
+
+// NoSym is the zero Sym; Interned returns it for strings that were never
+// interned.
+const NoSym Sym = 0
+
+// internState is an immutable snapshot of the intern table. Readers load
+// it atomically and never block writers. Writers stage new terms in a
+// small mutex-guarded delta map and fold it into a fresh snapshot only
+// when it reaches a fixed fraction of the snapshot size, so bulk loads
+// (a 100k-term ontology) cost O(n) total instead of O(n²) — the naive
+// copy-per-insert variant made large ontology loads quadratic. Lookups
+// sit on the per-event match path and must not contend: when the delta
+// is empty (the steady state — matching never interns), a miss resolves
+// without touching the lock.
+type internState struct {
+	syms  map[string]Sym
+	names []string // names[sym-1] == string for sym
+}
+
+var (
+	internMu   sync.RWMutex // guards internDelta / internDeltaNames
+	internSnap atomic.Pointer[internState]
+
+	// Terms interned since the last snapshot merge. internDeltaN mirrors
+	// len(internDelta) so readers can skip the RLock when nothing is
+	// pending.
+	internDelta      = map[string]Sym{}
+	internDeltaNames []string
+	internDeltaN     atomic.Int32
+)
+
+func init() {
+	internSnap.Store(&internState{syms: map[string]Sym{}})
+}
+
+// InternSym returns the Sym for s, assigning a fresh one on first sight.
+// (The name avoids clashing with the per-link wire dictionary type
+// Intern, which is a separate, connection-scoped mechanism.)
+func InternSym(s string) Sym {
+	if sym, ok := internSnap.Load().syms[s]; ok {
+		return sym
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	cur := internSnap.Load()
+	if sym, ok := cur.syms[s]; ok {
+		return sym
+	}
+	if sym, ok := internDelta[s]; ok {
+		return sym
+	}
+	sym := Sym(len(cur.names) + len(internDeltaNames) + 1)
+	internDelta[s] = sym
+	internDeltaNames = append(internDeltaNames, s)
+	internDeltaN.Store(int32(len(internDelta)))
+	// Fold the delta in once it is a meaningful fraction of the snapshot:
+	// geometric growth keeps bulk interning amortized O(1) per term.
+	if n := len(internDelta); n >= 64 && 2*n >= len(cur.syms) {
+		next := &internState{
+			syms:  make(map[string]Sym, len(cur.syms)+n),
+			names: make([]string, 0, len(cur.names)+len(internDeltaNames)),
+		}
+		for k, v := range cur.syms {
+			next.syms[k] = v
+		}
+		for k, v := range internDelta {
+			next.syms[k] = v
+		}
+		next.names = append(append(next.names, cur.names...), internDeltaNames...)
+		internSnap.Store(next)
+		internDelta = map[string]Sym{}
+		internDeltaNames = nil
+		internDeltaN.Store(0)
+	}
+	return sym
+}
+
+// Interned returns the Sym previously assigned to s, or (NoSym, false)
+// when s was never interned. It never grows the table, which keeps the
+// event-side of matching from inflating the table with transient terms.
+func Interned(s string) (Sym, bool) {
+	if sym, ok := internSnap.Load().syms[s]; ok {
+		return sym, true
+	}
+	if internDeltaN.Load() == 0 {
+		// Nothing pending — but a merge may have landed between the two
+		// loads, so recheck the (possibly fresher) snapshot.
+		sym, ok := internSnap.Load().syms[s]
+		return sym, ok
+	}
+	internMu.RLock()
+	defer internMu.RUnlock()
+	if sym, ok := internSnap.Load().syms[s]; ok {
+		return sym, true
+	}
+	sym, ok := internDelta[s]
+	return sym, ok
+}
+
+// SymName returns the string a Sym was assigned for, or "" for NoSym and
+// unknown Syms.
+func SymName(sym Sym) string {
+	if sym == NoSym {
+		return ""
+	}
+	if st := internSnap.Load(); int(sym) <= len(st.names) {
+		return st.names[sym-1]
+	}
+	internMu.RLock()
+	defer internMu.RUnlock()
+	st := internSnap.Load()
+	if int(sym) <= len(st.names) {
+		return st.names[sym-1]
+	}
+	if idx := int(sym) - 1 - len(st.names); idx >= 0 && idx < len(internDeltaNames) {
+		return internDeltaNames[idx]
+	}
+	return ""
+}
+
+// InternedTerms reports the current size of the global intern table.
+func InternedTerms() int {
+	return len(internSnap.Load().syms) + int(internDeltaN.Load())
+}

@@ -1,0 +1,73 @@
+package message
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternStable(t *testing.T) {
+	a := InternSym("intern-test-alpha")
+	if a == NoSym {
+		t.Fatalf("Intern returned NoSym")
+	}
+	if b := InternSym("intern-test-alpha"); b != a {
+		t.Fatalf("Intern not stable: %d then %d", a, b)
+	}
+	if c := InternSym("intern-test-beta"); c == a {
+		t.Fatalf("distinct strings share sym %d", a)
+	}
+	if got := SymName(a); got != "intern-test-alpha" {
+		t.Fatalf("SymName(%d) = %q", a, got)
+	}
+}
+
+func TestInternedLookupOnly(t *testing.T) {
+	before := InternedTerms()
+	if sym, ok := Interned("intern-test-never-seen-term"); ok || sym != NoSym {
+		t.Fatalf("Interned returned (%d, %v) for unseen term", sym, ok)
+	}
+	if after := InternedTerms(); after != before {
+		t.Fatalf("Interned grew the table: %d -> %d", before, after)
+	}
+	want := InternSym("intern-test-gamma")
+	sym, ok := Interned("intern-test-gamma")
+	if !ok || sym != want {
+		t.Fatalf("Interned = (%d, %v), want (%d, true)", sym, ok, want)
+	}
+}
+
+func TestSymNameUnknown(t *testing.T) {
+	if got := SymName(NoSym); got != "" {
+		t.Fatalf("SymName(NoSym) = %q", got)
+	}
+	if got := SymName(Sym(1 << 30)); got != "" {
+		t.Fatalf("SymName(huge) = %q", got)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	const workers = 8
+	var wg sync.WaitGroup
+	syms := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			syms[w] = make([]Sym, 64)
+			for i := 0; i < 64; i++ {
+				syms[w][i] = InternSym(fmt.Sprintf("intern-conc-%d", i))
+				Interned("intern-conc-0")
+				InternedTerms()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range syms[0] {
+			if syms[w][i] != syms[0][i] {
+				t.Fatalf("worker %d term %d: sym %d != %d", w, i, syms[w][i], syms[0][i])
+			}
+		}
+	}
+}

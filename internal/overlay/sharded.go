@@ -42,6 +42,17 @@ type ShardedEngine struct {
 
 	kb *knowledge.Base // optional; bound at the pool level
 
+	// expCache memoizes semantic expansions at the pool level — the pool
+	// expands once per publication, so the memo lives where the work is.
+	// stageVersion is the stage snapshot version the cache was filled
+	// under; Publish flushes on mismatch (out-of-band SetConfig or
+	// ontology swap), while ApplyKnowledge invalidates precisely and
+	// re-stamps. The cache is self-locking: publishers probe it
+	// concurrently under the pool read lock.
+	expCache     *core.ExpansionCache
+	expCap       int
+	stageVersion atomic.Uint64
+
 	// Publication-level statistics (the semantic half lives here, not
 	// in the shards, because expansion happens once at this level).
 	events    atomic.Uint64
@@ -86,6 +97,15 @@ func WithRegistry(reg *metrics.Registry) ShardOption {
 	return func(s *ShardedEngine) { s.reg = reg }
 }
 
+// WithShardExpansionCache sets the pool-level expansion LRU capacity;
+// n <= 0 disables memoization. Default: core.DefaultExpansionCacheSize.
+// Shard engines never consult their own caches (the pool expands once
+// and hands shards pre-expanded events), so this is the only expansion
+// memo a sharded deployment has.
+func WithShardExpansionCache(n int) ShardOption {
+	return func(s *ShardedEngine) { s.expCap = n }
+}
+
 // WithKnowledgeBase binds a runtime knowledge base to the pool. The
 // shared semantic stage the shard factory uses must have been built
 // over the base's structures (knowledge.Base.Stage); individual shards
@@ -105,14 +125,17 @@ func NewSharded(n int, mk func(shard int) *core.Engine, opts ...ShardOption) *Sh
 		shards:       make([]*core.Engine, n),
 		jobs:         make([]chan matchJob, n),
 		shardMatches: make([]atomic.Uint64, n),
+		expCap:       core.DefaultExpansionCacheSize,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	s.expCache = core.NewExpansionCache(s.expCap)
 	for i := range s.shards {
 		s.shards[i] = mk(i)
 		s.jobs[i] = make(chan matchJob)
 	}
+	s.stageVersion.Store(s.Stage().Version())
 	// Shard 0 is matched by the publishing goroutine itself (see
 	// Publish); workers cover shards 1..n-1.
 	s.wg.Add(n - 1)
@@ -254,6 +277,19 @@ func (s *ShardedEngine) ApplyKnowledge(d knowledge.Delta) (core.KnowledgeReport,
 		return rep, nil
 	}
 	s.Stage().Replace(out.Synonyms, out.Hierarchy, out.Mappings)
+	// Memoized expansions: an in-order synonym delta invalidates exactly
+	// the entries touching an affected term (the same raw-term argument
+	// that scopes shard re-indexing); hierarchy/mapping deltas and
+	// refolds flush. Re-stamp the validated stage version so the next
+	// Publish does not flush redundantly.
+	if s.expCache != nil {
+		if d.Op == knowledge.OpAddSynonym && !out.Refolded {
+			s.expCache.InvalidateTerms(out.Affected)
+		} else {
+			s.expCache.Flush()
+		}
+	}
+	s.stageVersion.Store(s.Stage().Version())
 	// The base reports the exact changed-term set even across a suffix
 	// refold, so every shard re-indexes incrementally; only a delta past
 	// the KBFullReindexTerms threshold widens to the full partition.
@@ -315,7 +351,7 @@ func (s *ShardedEngine) Publish(ev message.Event) (core.MatchResult, error) {
 	}()
 	if s.Mode() == core.Semantic {
 		t0 := time.Now()
-		res.Expansion = s.Stage().ProcessEvent(ev)
+		res.Expansion = s.expand(ev)
 		res.SemanticTime = time.Since(t0)
 		events = res.Expansion.Events
 		s.semTime.Add(int64(res.SemanticTime))
@@ -368,6 +404,27 @@ func (s *ShardedEngine) Publish(ev message.Event) (core.MatchResult, error) {
 	return res, nil
 }
 
+// expand runs the shared semantic stage on a publication, memoized
+// through the pool-level expansion LRU. Callers hold s.mu for reading;
+// concurrent publishers may race the version flush, which at worst
+// flushes twice.
+func (s *ShardedEngine) expand(ev message.Event) semantic.Result {
+	if s.expCache == nil {
+		return s.Stage().ProcessEvent(ev)
+	}
+	if v := s.Stage().Version(); v != s.stageVersion.Load() {
+		s.expCache.Flush()
+		s.stageVersion.Store(v)
+	}
+	sig := ev.Signature()
+	if res, ok := s.expCache.Get(sig); ok {
+		return res
+	}
+	res := s.Stage().ProcessEvent(ev)
+	s.expCache.Put(sig, res, core.EventTerms(ev))
+	return res
+}
+
 // Stats implements core.PubSub: per-shard counters are summed and the
 // publication-level semantic counters (tracked here, since expansion
 // happens once) are layered on top. MatchTime is the sum of per-shard
@@ -385,6 +442,13 @@ func (s *ShardedEngine) Stats() core.Stats {
 	out.MappingCalls += s.mapCalls.Load()
 	out.Truncated += s.truncated.Load()
 	out.SemanticTime += time.Duration(s.semTime.Load())
+	if es := s.expCache.Stats(); es.Capacity > 0 {
+		out.ExpansionHits += es.Hits
+		out.ExpansionMisses += es.Misses
+		out.ExpansionEvictions += es.Evictions
+		out.ExpansionInvalidated += es.Invalidated
+		out.ExpansionSize += es.Size
+	}
 	if s.kb != nil {
 		v := s.kb.Version()
 		out.KBDeltas = uint64(v.Deltas)

@@ -1,0 +1,102 @@
+package overlay
+
+import (
+	"testing"
+
+	"stopss/internal/core"
+	"stopss/internal/knowledge"
+	"stopss/internal/message"
+	"stopss/internal/semantic"
+)
+
+// TestShardedExpansionCache: the pool memoizes semantic expansions per
+// event signature, and a synonym delta invalidates exactly the entries
+// whose raw terms it touched — a stale entry here would keep matching
+// the pre-delta vocabulary.
+func TestShardedExpansionCache(t *testing.T) {
+	pool, _ := newKBPool(t, 2)
+	if err := pool.Subscribe(message.NewSubscription(1, "c1",
+		message.Pred("position", message.OpEq, message.String("dev")))); err != nil {
+		t.Fatal(err)
+	}
+
+	// "job" is unknown vocabulary pre-delta: no match, and the (miss,
+	// hit) pair proves the second publish was served from the memo.
+	ev := message.E("job", "dev")
+	for i := 0; i < 2; i++ {
+		res, err := pool.Publish(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != 0 {
+			t.Fatalf("publish %d: pre-delta matches %v", i, res.Matches)
+		}
+	}
+	st := pool.Stats()
+	if st.ExpansionMisses != 1 || st.ExpansionHits != 1 || st.ExpansionSize != 1 {
+		t.Fatalf("warm-up stats: misses=%d hits=%d size=%d, want 1/1/1",
+			st.ExpansionMisses, st.ExpansionHits, st.ExpansionSize)
+	}
+
+	// The delta's changed-term set is {"job"}; the cached entry mentions
+	// "job" as written and must be dropped, so the re-published event is
+	// re-expanded under the new stage and now canonicalizes to
+	// "position" — which the subscription matches.
+	if _, err := pool.ApplyKnowledge(knowledge.Delta{
+		Origin: "t", Epoch: "e1", Seq: 1,
+		Op: knowledge.OpAddSynonym, Root: "position", Terms: []string{"job"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Publish(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 || res.Matches[0] != 1 {
+		t.Fatalf("post-delta matches: %v, want [1] (stale expansion served?)", res.Matches)
+	}
+	if st = pool.Stats(); st.ExpansionInvalidated == 0 {
+		t.Fatalf("synonym delta invalidated nothing: %+v", st)
+	}
+
+	// Hierarchy deltas restructure the expansion stages and flush the
+	// whole memo.
+	before := pool.Stats().ExpansionSize
+	if before == 0 {
+		t.Fatal("expected a repopulated cache before the is-a delta")
+	}
+	if _, err := pool.ApplyKnowledge(knowledge.Delta{
+		Origin: "t", Epoch: "e1", Seq: 2,
+		Op: knowledge.OpAddIsA, Child: "dev", Parent: "engineer",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st = pool.Stats(); st.ExpansionSize != 0 {
+		t.Fatalf("is-a delta left %d cached expansions, want a flush", st.ExpansionSize)
+	}
+}
+
+// TestShardedExpansionCacheDisabled: capacity 0 turns memoization off;
+// every publish runs the stage and no cache counters move.
+func TestShardedExpansionCacheDisabled(t *testing.T) {
+	base := knowledge.NewBase(nil, nil, nil)
+	stage := base.Stage(semantic.FullConfig())
+	pool := NewSharded(2, func(int) *core.Engine {
+		return core.NewEngine(stage)
+	}, WithKnowledgeBase(base), WithShardExpansionCache(0))
+	t.Cleanup(pool.Close)
+
+	ev := message.E("job", "dev")
+	for i := 0; i < 3; i++ {
+		if _, err := pool.Publish(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := pool.Stats()
+	if st.ExpansionHits != 0 || st.ExpansionMisses != 0 || st.ExpansionSize != 0 {
+		t.Fatalf("disabled cache moved counters: %+v", st)
+	}
+	if st.Events != 3 {
+		t.Fatalf("events: %d, want 3", st.Events)
+	}
+}

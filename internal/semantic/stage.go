@@ -76,6 +76,11 @@ func SyntacticConfig() Config { return Config{} }
 type Stage struct {
 	wmu  sync.Mutex // serializes writers; readers only load snap
 	snap atomic.Pointer[stageSnap]
+	// version counts snapshot installs. Expansion memoizers key their
+	// validity on it: any snapshot swap — knowledge update, ontology
+	// replace, config change — bumps it, so a cached expansion is valid
+	// exactly while the version it was computed under is current.
+	version atomic.Uint64
 }
 
 // stageSnap is one immutable view of the stage.
@@ -101,8 +106,13 @@ func NewStage(syn *Synonyms, hier *Hierarchy, maps *Mappings, cfg Config) *Stage
 	}
 	st := &Stage{}
 	st.snap.Store(&stageSnap{syn: syn, hier: hier, maps: maps, cfg: cfg})
+	st.version.Store(1)
 	return st
 }
+
+// Version reports the current snapshot version; it changes on every
+// SetConfig or Replace.
+func (st *Stage) Version() uint64 { return st.version.Load() }
 
 // load returns the current snapshot (never nil).
 func (st *Stage) load() *stageSnap { return st.snap.Load() }
@@ -130,6 +140,7 @@ func (st *Stage) SetConfig(cfg Config) {
 	defer st.wmu.Unlock()
 	cur := st.load()
 	st.snap.Store(&stageSnap{syn: cur.syn, hier: cur.hier, maps: cur.maps, cfg: cfg})
+	st.version.Add(1)
 }
 
 // Replace atomically installs new knowledge structures, keeping the
@@ -151,6 +162,7 @@ func (st *Stage) Replace(syn *Synonyms, hier *Hierarchy, maps *Mappings) {
 		maps = cur.maps
 	}
 	st.snap.Store(&stageSnap{syn: syn, hier: hier, maps: maps, cfg: cur.cfg})
+	st.version.Add(1)
 }
 
 // Result reports what the semantic stage did to one publication.

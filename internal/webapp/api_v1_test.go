@@ -1,0 +1,164 @@
+package webapp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestAPIv1Aliases: every route is reachable under /api/v1 and the
+// legacy /api prefix, against the same broker state — a client may mix
+// the two surfaces freely mid-session.
+func TestAPIv1Aliases(t *testing.T) {
+	ts, _ := newStack(t, nil)
+
+	if code, _ := post(t, ts, "/api/v1/register", map[string]string{"name": "acme"}); code != http.StatusOK {
+		t.Fatalf("v1 register: %d", code)
+	}
+	// Subscribe through v1, observe through legacy.
+	code, body := post(t, ts, "/api/v1/subscribe", map[string]string{
+		"client": "acme", "subscription": "(degree = PhD)",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("v1 subscribe: %d %v", code, body)
+	}
+	code, legacy := get(t, ts, "/api/subscriptions?client=acme")
+	if code != http.StatusOK {
+		t.Fatalf("legacy subscriptions: %d", code)
+	}
+	if subs, _ := legacy["subscriptions"].([]any); len(subs) != 1 {
+		t.Fatalf("legacy surface sees %v, want the v1 subscription", legacy)
+	}
+	// Publish through legacy, matches must reflect the v1 subscription.
+	code, pub := post(t, ts, "/api/publish", map[string]string{"event": "(degree, PhD)"})
+	if code != http.StatusOK {
+		t.Fatalf("legacy publish: %d", code)
+	}
+	if ms, _ := pub["matches"].([]any); len(ms) != 1 {
+		t.Fatalf("legacy publish matched %v, want the v1 subscription", pub)
+	}
+	for _, path := range []string{"/api/v1/mode", "/api/v1/stats", "/api/v1/clients"} {
+		if code, _ := get(t, ts, path); code != http.StatusOK {
+			t.Errorf("GET %s: %d", path, code)
+		}
+	}
+	// Errors carry the same envelope on both surfaces.
+	for _, path := range []string{"/api/unsubscribe", "/api/v1/unsubscribe"} {
+		code, body := post(t, ts, path, map[string]any{"client": "acme", "id": 99})
+		if code != http.StatusNotFound {
+			t.Errorf("POST %s: %d, want 404", path, code)
+		}
+		if c, _ := body["code"].(float64); int(c) != http.StatusNotFound {
+			t.Errorf("POST %s: envelope code %v, want 404", path, body["code"])
+		}
+	}
+}
+
+// TestTraceEndpointRawHash: pub IDs are name#epoch/seq, and although
+// browsers strip '#' fragments client-side, a non-browser client may
+// legitimately send the ID raw — the request-target reaches the server
+// verbatim. Both the raw and the %23-escaped spelling must resolve.
+// The raw form needs a hand-written request: net/http's client URL
+// parsing would treat the '#' as a fragment before the bytes leave.
+func TestTraceEndpointRawHash(t *testing.T) {
+	ts, _ := newStack(t, nil)
+
+	if code, _ := post(t, ts, "/api/v1/register", map[string]string{"name": "acme"}); code != http.StatusOK {
+		t.Fatal("register failed")
+	}
+	if code, _ := post(t, ts, "/api/v1/subscribe", map[string]string{
+		"client": "acme", "subscription": "(degree = PhD)",
+	}); code != http.StatusOK {
+		t.Fatal("subscribe failed")
+	}
+	code, body := post(t, ts, "/api/v1/publish", map[string]string{"event": "(degree, PhD)"})
+	if code != http.StatusOK {
+		t.Fatal("publish failed")
+	}
+	pubID, _ := body["pub_id"].(string)
+	if !strings.Contains(pubID, "#") {
+		t.Fatalf("pub ID %q lacks the '#' under test", pubID)
+	}
+
+	// Escaped form through the normal client.
+	if code, tr := get(t, ts, "/api/v1"+strings.TrimPrefix(tracePath(pubID), "/api")); code != http.StatusOK {
+		t.Fatalf("escaped trace fetch: %d (%v)", code, tr)
+	}
+
+	// Raw form over a hand-rolled HTTP/1.1 request.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /api/v1/trace/%s HTTP/1.1\r\nHost: stopss\r\nConnection: close\r\n\r\n", pubID)
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("raw-# trace fetch: %d (%s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), pubID) {
+		t.Fatalf("raw-# trace body lacks pub ID %q:\n%s", pubID, raw)
+	}
+}
+
+// TestMetricsOptimizerGauges: the /metrics exposition includes the
+// query-optimizer families (plan cache, expansion LRU, intern table)
+// snapshotted from engine stats.
+func TestMetricsOptimizerGauges(t *testing.T) {
+	ts, _ := newStack(t, nil)
+
+	if code, _ := post(t, ts, "/api/v1/register", map[string]string{"name": "acme"}); code != http.StatusOK {
+		t.Fatal("register failed")
+	}
+	if code, _ := post(t, ts, "/api/v1/subscribe", map[string]string{
+		"client": "acme", "subscription": "(degree = PhD)",
+	}); code != http.StatusOK {
+		t.Fatal("subscribe failed")
+	}
+	// Publish the same shape twice: the second expansion is a cache hit.
+	for i := 0; i < 2; i++ {
+		if code, _ := post(t, ts, "/api/v1/publish", map[string]string{"event": "(degree, PhD)"}); code != http.StatusOK {
+			t.Fatal("publish failed")
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"# TYPE stopss_optimizer_plan_cache_misses_total counter",
+		"# TYPE stopss_optimizer_plans_cached gauge",
+		"# TYPE stopss_optimizer_expansion_cache_hits_total counter",
+		"stopss_optimizer_expansion_cache_hits_total{",
+		"# TYPE stopss_optimizer_expansion_cache_size gauge",
+		"# TYPE stopss_optimizer_interned_terms gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics output lacks %q:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "stopss_optimizer_expansion_cache_hits_total{") && !strings.HasSuffix(line, " 1") {
+			t.Fatalf("expansion hit counter = %q, want 1 (second publish should be a cache hit)", line)
+		}
+	}
+}

@@ -148,8 +148,8 @@ func TestJournalEndpointAndDurableResume(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("subscribe: %d %v", code, body)
 	}
-	if code, _ := post(t, ts, "/api/resume", map[string]any{"client": "acme", "id": body["id"]}); code != http.StatusBadRequest {
-		t.Fatalf("resume of non-durable sub: %d, want 400", code)
+	if code, _ := post(t, ts, "/api/resume", map[string]any{"client": "acme", "id": body["id"]}); code != http.StatusConflict {
+		t.Fatalf("resume of non-durable sub: %d, want 409", code)
 	}
 }
 
@@ -211,8 +211,8 @@ func TestDetachEndpointRoundTrip(t *testing.T) {
 	}
 
 	// Detach of an unknown sub is a client error, not a crash.
-	if code, _ := post(t, ts, "/api/detach", map[string]any{"client": "acme", "id": 99}); code != http.StatusBadRequest {
-		t.Fatalf("detach of unknown sub: %d, want 400", code)
+	if code, _ := post(t, ts, "/api/detach", map[string]any{"client": "acme", "id": 99}); code != http.StatusNotFound {
+		t.Fatalf("detach of unknown sub: %d, want 404", code)
 	}
 }
 
@@ -229,7 +229,7 @@ func TestJournalEndpointWithoutJournal(t *testing.T) {
 		t.Fatalf("journal without journal: %d, want 404", code)
 	}
 	if code, _ := post(t, ts, "/api/subscribe", map[string]any{
-		"client": "acme", "subscription": "(degree = PhD)", "durable": true}); code != http.StatusBadRequest {
-		t.Fatalf("durable subscribe without journal: %d, want 400", code)
+		"client": "acme", "subscription": "(degree = PhD)", "durable": true}); code != http.StatusConflict {
+		t.Fatalf("durable subscribe without journal: %d, want 409", code)
 	}
 }

@@ -11,9 +11,11 @@ import (
 	"stopss/internal/trace"
 )
 
-// tracePath escapes a pub ID for GET /api/trace/<id>: the '#' must be
-// %23-encoded (a raw fragment never reaches the server) while the '/'
-// stays literal for the {id...} wildcard to capture.
+// tracePath escapes a pub ID for GET /api/trace/<id>: browser-side URL
+// handling strips a raw '#' as a fragment, so clients going through a
+// URL parser send it %23-encoded, while the '/' stays literal for the
+// {id...} wildcard to capture. (The server also accepts a raw '#' —
+// see TestTraceEndpointRawHash.)
 func tracePath(pubID string) string {
 	return "/api/trace/" + strings.ReplaceAll(pubID, "#", "%23")
 }

@@ -3,34 +3,54 @@
 // publication input over an HTTP/JSON API, a mode switch between
 // semantic and syntactic operation, and a statistics view.
 //
+// The API is versioned: every route lives under /api/v1/..., and the
+// original unversioned /api/... paths remain as aliases of v1 so
+// existing clients and scripts keep working. Errors are a uniform JSON
+// envelope {"error":"...","code":<http status>} with the status code
+// repeated in the body, and broker conditions map to proper statuses:
+// unknown client/subscription → 404, foreign subscription → 403,
+// non-durable subscription or missing journal/store → 409, malformed
+// input → 400.
+//
 // Subscriptions and publications are submitted in the paper's surface
 // syntax (internal/sublang):
 //
-//	POST /api/register    {"name":"acme","transport":"tcp","addr":"127.0.0.1:9000"}
-//	POST /api/subscribe   {"client":"acme","subscription":"(university = Toronto) and (degree = PhD)"}
-//	POST /api/subscribe   {"client":"acme","subscription":"...","durable":true}
-//	POST /api/resume      {"client":"acme","id":1}   → replay-from-cursor for a durable sub
-//	POST /api/detach      {"client":"acme","id":1}   → page a durable sub out to the store
-//	POST /api/unsubscribe {"client":"acme","id":1}
-//	POST /api/publish     {"event":"(school, Toronto)(degree, PhD)(graduation year, 1990)"}
-//	GET  /api/mode        → {"mode":"semantic"}
-//	POST /api/mode        {"mode":"syntactic"}
-//	GET  /api/stats       → broker and engine counters
-//	GET  /api/kb          → knowledge-base version (delta count + digest)
-//	POST /api/kb          JSONL knowledge deltas (ontc -delta output)
-//	GET  /api/journal     → publication-journal stats + durable cursors
-//	GET  /api/trace/<id>  → assembled span tree of one publication (DESIGN §10;
-//	                        URL-encode the '#' in the pub ID as %23)
-//	GET  /metrics         → Prometheus text exposition of every registry
-//	GET  /                → demo page
+//	POST /api/v1/register      {"name":"acme","transport":"tcp","addr":"127.0.0.1:9000"}
+//	POST /api/v1/subscribe     {"client":"acme","subscription":"(university = Toronto) and (degree = PhD)"}
+//	POST /api/v1/subscribe     {"client":"acme","subscription":"...","durable":true}
+//	POST /api/v1/resume        {"client":"acme","id":1}   → replay-from-cursor for a durable sub
+//	POST /api/v1/detach        {"client":"acme","id":1}   → page a durable sub out to the store
+//	POST /api/v1/unsubscribe   {"client":"acme","id":1}
+//	POST /api/v1/publish       {"event":"(school, Toronto)(degree, PhD)(graduation year, 1990)"}
+//	POST /api/v1/publish-from  {"client":"acme","event":"..."}  → enforces the advertisement
+//	POST /api/v1/advertise     {"client":"acme","advertisement":"..."}
+//	GET  /api/v1/overlaps?client=acme → subscriptions the advertisement can match
+//	POST /api/v1/explain       {"id":1,"event":"..."} → why (not) matched
+//	GET  /api/v1/mode          → {"mode":"semantic"}
+//	POST /api/v1/mode          {"mode":"syntactic"}
+//	GET  /api/v1/stats         → broker and engine counters (incl. plan-cache,
+//	                             expansion-LRU and intern-table gauges)
+//	GET  /api/v1/clients       → registered client names
+//	GET  /api/v1/subscriptions?client=acme → the client's subscriptions
+//	GET  /api/v1/snapshot      → durable broker state as JSON lines
+//	GET  /api/v1/kb            → knowledge-base version (delta count + digest)
+//	POST /api/v1/kb            JSONL knowledge deltas (ontc -delta output)
+//	GET  /api/v1/journal       → publication-journal stats + durable cursors
+//	GET  /api/v1/trace/<id>    → assembled span tree of one publication
+//	                             (DESIGN §10; the '#' in the pub ID may be
+//	                             sent raw or URL-encoded as %23)
+//	GET  /metrics              → Prometheus text exposition of every registry
+//	GET  /                     → demo page
 package webapp
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 
 	"stopss/internal/broker"
 	"stopss/internal/core"
@@ -85,26 +105,39 @@ func NewServer(b *broker.Broker, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
-	s.mux.HandleFunc("POST /api/register", s.handleRegister)
-	s.mux.HandleFunc("POST /api/subscribe", s.handleSubscribe)
-	s.mux.HandleFunc("POST /api/unsubscribe", s.handleUnsubscribe)
-	s.mux.HandleFunc("POST /api/publish", s.handlePublish)
-	s.mux.HandleFunc("GET /api/mode", s.handleGetMode)
-	s.mux.HandleFunc("POST /api/mode", s.handleSetMode)
-	s.mux.HandleFunc("POST /api/advertise", s.handleAdvertise)
-	s.mux.HandleFunc("POST /api/publish-from", s.handlePublishFrom)
-	s.mux.HandleFunc("GET /api/overlaps", s.handleOverlaps)
-	s.mux.HandleFunc("POST /api/explain", s.handleExplain)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/clients", s.handleClients)
-	s.mux.HandleFunc("GET /api/subscriptions", s.handleSubscriptions)
-	s.mux.HandleFunc("GET /api/snapshot", s.handleSnapshot)
-	s.mux.HandleFunc("GET /api/kb", s.handleKBStatus)
-	s.mux.HandleFunc("POST /api/kb", s.handleKBApply)
-	s.mux.HandleFunc("GET /api/journal", s.handleJournal)
-	s.mux.HandleFunc("POST /api/resume", s.handleResume)
-	s.mux.HandleFunc("POST /api/detach", s.handleDetach)
-	s.mux.HandleFunc("GET /api/trace/{id...}", s.handleTrace)
+	// Every API route registers twice: under the versioned /api/v1
+	// prefix (canonical) and under the original /api prefix (legacy
+	// alias, same handlers, same wire types). New routes must join this
+	// table, not bypass it, so the two surfaces can never drift.
+	routes := []struct {
+		verb, path string
+		h          http.HandlerFunc
+	}{
+		{"POST", "/register", s.handleRegister},
+		{"POST", "/subscribe", s.handleSubscribe},
+		{"POST", "/unsubscribe", s.handleUnsubscribe},
+		{"POST", "/publish", s.handlePublish},
+		{"GET", "/mode", s.handleGetMode},
+		{"POST", "/mode", s.handleSetMode},
+		{"POST", "/advertise", s.handleAdvertise},
+		{"POST", "/publish-from", s.handlePublishFrom},
+		{"GET", "/overlaps", s.handleOverlaps},
+		{"POST", "/explain", s.handleExplain},
+		{"GET", "/stats", s.handleStats},
+		{"GET", "/clients", s.handleClients},
+		{"GET", "/subscriptions", s.handleSubscriptions},
+		{"GET", "/snapshot", s.handleSnapshot},
+		{"GET", "/kb", s.handleKBStatus},
+		{"POST", "/kb", s.handleKBApply},
+		{"GET", "/journal", s.handleJournal},
+		{"POST", "/resume", s.handleResume},
+		{"POST", "/detach", s.handleDetach},
+		{"GET", "/trace/{id...}", s.handleTrace},
+	}
+	for _, rt := range routes {
+		s.mux.HandleFunc(rt.verb+" /api/v1"+rt.path, rt.h)
+		s.mux.HandleFunc(rt.verb+" /api"+rt.path, rt.h)
+	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	return s
@@ -165,8 +198,12 @@ type modeBody struct {
 	Mode string `json:"mode"`
 }
 
+// errorBody is the uniform error envelope of every API error response,
+// versioned and legacy alike. Code repeats the HTTP status so clients
+// reading only the body (queued responses, logs) can still classify.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  int    `json:"code"`
 }
 
 // --- helpers ---
@@ -178,7 +215,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: status})
+}
+
+// writeBrokerErr maps broker sentinel conditions to HTTP statuses:
+// things that don't exist are 404, things that exist but belong to
+// someone else are 403, operations the broker's configuration or the
+// subscription's kind cannot support are 409, and anything else is a
+// plain bad request.
+func writeBrokerErr(w http.ResponseWriter, err error) {
+	writeErr(w, statusFor(err), err)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, broker.ErrUnknownClient),
+		errors.Is(err, broker.ErrUnknownSubscription):
+		return http.StatusNotFound
+	case errors.Is(err, broker.ErrNotOwner):
+		return http.StatusForbidden
+	case errors.Is(err, broker.ErrNotDurable),
+		errors.Is(err, broker.ErrNoJournal):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func decode[T any](w http.ResponseWriter, r *http.Request, into *T) bool {
@@ -203,7 +264,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		c.Route = notify.Route{Transport: req.Transport, Addr: req.Addr}
 	}
 	if err := s.broker.Register(c); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"registered": req.Name})
@@ -233,7 +294,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			for _, done := range ids {
 				_ = s.broker.Unsubscribe(req.Client, done)
 			}
-			writeErr(w, http.StatusBadRequest, err)
+			writeBrokerErr(w, err)
 			return
 		}
 		ids = append(ids, id)
@@ -252,7 +313,7 @@ func (s *Server) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.broker.Unsubscribe(req.Client, req.ID); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"unsubscribed": req.ID})
@@ -270,7 +331,7 @@ func (s *Server) handlePublish(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.broker.Publish(ev)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	matches := res.Matches
@@ -303,7 +364,7 @@ func (s *Server) handleAdvertise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.broker.Advertise(req.Client, preds); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"advertised": req.Client})
@@ -328,7 +389,7 @@ func (s *Server) handlePublishFrom(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.broker.PublishFrom(req.Client, ev)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	matches := res.Matches
@@ -351,7 +412,7 @@ func (s *Server) handleOverlaps(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.broker.OverlappingSubscriptions(client)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	if ids == nil {
@@ -567,7 +628,7 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.broker.ResumeDurable(req.Client, req.ID)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "replayed": n})
@@ -588,7 +649,7 @@ func (s *Server) handleDetach(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.broker.DetachDurable(req.Client, req.ID); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeBrokerErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": req.ID, "detached": true})
@@ -605,11 +666,18 @@ type traceResponse struct {
 }
 
 // handleTrace returns the assembled span tree of one publication. The
-// {id...} wildcard keeps the '/' inside pub IDs (name#epoch/seq); the
-// '#' must arrive URL-encoded (%23) or the fragment would swallow the
-// tail before the request leaves the client.
+// {id...} wildcard keeps the '/' inside pub IDs (name#epoch/seq). The
+// '#' may arrive either raw — servers receive the request-target
+// verbatim; only browsers strip fragments client-side — or URL-encoded
+// as %23 (which the mux decodes). A defensive extra unescape also
+// accepts double-encoded IDs from clients that escape an already-
+// escaped ID; '#' and '/' never appear percent-encoded in a pub ID
+// sent straight, so the extra decode cannot corrupt a well-formed one.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if u, err := url.PathUnescape(id); err == nil {
+		id = u
+	}
 	if id == "" {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("webapp: missing publication ID (use /api/trace/<name>%%23<epoch>/<seq>)"))
 		return
@@ -648,6 +716,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Query-optimizer gauges (plan cache, expansion LRU, intern table)
+	// live in engine stats, not a long-lived registry: snapshot them
+	// into a scratch registry per scrape so they render with the same
+	// formatting and labels as everything else.
+	st := s.broker.Engine().Stats()
+	opt := metrics.NewRegistry()
+	opt.Counter("plan_cache_hits").Add(st.PlanCacheHits)
+	opt.Counter("plan_cache_misses").Add(st.PlanCacheMisses)
+	opt.Gauge("plans_cached").Set(int64(st.PlansCached))
+	opt.Counter("expansion_cache_hits").Add(st.ExpansionHits)
+	opt.Counter("expansion_cache_misses").Add(st.ExpansionMisses)
+	opt.Counter("expansion_cache_evictions").Add(st.ExpansionEvictions)
+	opt.Counter("expansion_cache_invalidated").Add(st.ExpansionInvalidated)
+	opt.Gauge("expansion_cache_size").Set(int64(st.ExpansionSize))
+	opt.Gauge("interned_terms").Set(int64(st.InternedTerms))
+	_ = opt.WritePrometheus(w, "stopss_optimizer", labels)
 }
 
 // handleSnapshot streams the broker's durable state (clients, routes,

@@ -133,21 +133,26 @@ func TestAPIErrors(t *testing.T) {
 	cases := []struct {
 		path string
 		body any
+		want int
 	}{
-		{"/api/register", map[string]string{}},                                            // empty name
-		{"/api/subscribe", map[string]string{"client": "ghost", "subscription": "(a=1)"}}, // unknown client
-		{"/api/subscribe", map[string]string{"client": "acme", "subscription": "((("}},    // parse error
-		{"/api/publish", map[string]string{"event": "not an event"}},                      // parse error
-		{"/api/mode", map[string]string{"mode": "quantum"}},                               // unknown mode
-		{"/api/unsubscribe", map[string]any{"client": "acme", "id": 99}},                  // unknown sub
+		{"/api/register", map[string]string{}, http.StatusBadRequest},                                          // empty name
+		{"/api/subscribe", map[string]string{"client": "ghost", "subscription": "(a=1)"}, http.StatusNotFound}, // unknown client
+		{"/api/subscribe", map[string]string{"client": "acme", "subscription": "((("}, http.StatusBadRequest},  // parse error
+		{"/api/publish", map[string]string{"event": "not an event"}, http.StatusBadRequest},                    // parse error
+		{"/api/mode", map[string]string{"mode": "quantum"}, http.StatusBadRequest},                             // unknown mode
+		{"/api/unsubscribe", map[string]any{"client": "acme", "id": 99}, http.StatusNotFound},                  // unknown sub
 	}
 	for _, tc := range cases {
 		code, body := post(t, ts, tc.path, tc.body)
-		if code != http.StatusBadRequest {
-			t.Errorf("POST %s %v: code = %d, want 400 (%v)", tc.path, tc.body, code, body)
+		if code != tc.want {
+			t.Errorf("POST %s %v: code = %d, want %d (%v)", tc.path, tc.body, code, tc.want, body)
 		}
 		if body["error"] == "" {
 			t.Errorf("POST %s: missing error message", tc.path)
+		}
+		// The envelope repeats the HTTP status in the body.
+		if got, ok := body["code"].(float64); !ok || int(got) != tc.want {
+			t.Errorf("POST %s: envelope code = %v, want %d", tc.path, body["code"], tc.want)
 		}
 	}
 	// Unknown fields are rejected.
