@@ -71,6 +71,13 @@ func main() {
 	}
 
 	if *update {
+		// Show what the refresh changes against the previous baseline —
+		// informational only: an update never fails, but a surprising
+		// delta in this table is the reviewer's cue to look closer.
+		if base, err := read(*baselinePath); err == nil {
+			fmt.Printf("benchgate: drift against previous %s:\n", *baselinePath)
+			compare(os.Stdout, base, got, *maxRegress)
+		}
 		if err := write(*baselinePath, got); err != nil {
 			fatal(err)
 		}

@@ -320,6 +320,13 @@ func run(url string, companies, resumes, concurrency int, seed int64, durableFra
 	} else {
 		log.Printf("scraping /metrics: %v", err)
 	}
+	// Laggiest subscriptions from the per-subscription accounting
+	// endpoint — also best-effort on older servers.
+	if total, rows, err := scrapeSubs(url, 5); err == nil {
+		printSubsTable(os.Stdout, total, rows)
+	} else {
+		log.Printf("scraping /api/v1/subs: %v", err)
+	}
 	if nDurable > 0 {
 		fmt.Printf("durable:    %v subs, %v acked, %v parked, %v replayed; endpoint received %d\n",
 			stats["Durable"], stats["Acked"], stats["Parked"], stats["Replayed"], ep.received())

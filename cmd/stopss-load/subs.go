@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// subRow is one row of the server's GET /api/v1/subs response
+// (broker.SubStat), decoded loosely — only the fields the post-run
+// table renders.
+type subRow struct {
+	ID                uint64 `json:"id"`
+	Client            string `json:"client"`
+	Durable           bool   `json:"durable"`
+	Matched           uint64 `json:"matched"`
+	Delivered         uint64 `json:"delivered"`
+	Parked            uint64 `json:"parked"`
+	Lag               uint64 `json:"lag"`
+	LastDeliveryAgeMS int64  `json:"last_delivery_age_ms"`
+}
+
+// scrapeSubs fetches the laggiest subscriptions from the server's
+// per-subscription accounting endpoint (DESIGN §10).
+func scrapeSubs(baseURL string, limit int) (total int, rows []subRow, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/subs?limit=%d", baseURL, limit))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("/api/v1/subs: %s", resp.Status)
+	}
+	var body struct {
+		Total int      `json:"total"`
+		Subs  []subRow `json:"subs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0, nil, err
+	}
+	return body.Total, body.Subs, nil
+}
+
+// printSubsTable renders the post-run laggiest-subscriptions view:
+// which subscribers ended the run behind the journal head, and by how
+// much. The rows arrive laggiest-first from the server.
+func printSubsTable(w io.Writer, total int, rows []subRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "laggiest subscriptions (%d tracked):\n", total)
+	fmt.Fprintf(w, "%-6s %-14s %-7s %10s %10s %8s %8s %12s\n",
+		"sub", "client", "durable", "matched", "delivered", "parked", "lag", "last-deliver")
+	for _, r := range rows {
+		last := "never"
+		if r.LastDeliveryAgeMS >= 0 {
+			last = (time.Duration(r.LastDeliveryAgeMS) * time.Millisecond).Round(time.Millisecond).String() + " ago"
+		}
+		fmt.Fprintf(w, "%-6d %-14s %-7v %10d %10d %8d %8d %12s\n",
+			r.ID, r.Client, r.Durable, r.Matched, r.Delivered, r.Parked, r.Lag, last)
+	}
+}

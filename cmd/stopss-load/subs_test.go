@@ -1,0 +1,45 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestScrapeAndPrintSubs(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/subs" || r.URL.Query().Get("limit") != "5" {
+			t.Errorf("unexpected request %s?%s", r.URL.Path, r.URL.RawQuery)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"total":42,"matched":42,"subs":[
+			{"id":7,"client":"acme","durable":true,"matched":120,"delivered":100,"parked":9,"lag":20,"last_delivery_age_ms":1500},
+			{"id":3,"client":"beta","matched":5,"delivered":5,"lag":0,"last_delivery_age_ms":-1}]}`))
+	}))
+	defer ts.Close()
+
+	total, rows, err := scrapeSubs(ts.URL, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 42 || len(rows) != 2 || rows[0].ID != 7 || rows[0].Lag != 20 {
+		t.Fatalf("scraped total=%d rows=%+v", total, rows)
+	}
+
+	var sb strings.Builder
+	printSubsTable(&sb, total, rows)
+	out := sb.String()
+	for _, want := range []string{"42 tracked", "acme", "1.5s ago", "never"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table lacks %q:\n%s", want, out)
+		}
+	}
+
+	// An empty view prints nothing — no noise on fire-and-forget runs.
+	sb.Reset()
+	printSubsTable(&sb, 0, nil)
+	if sb.Len() != 0 {
+		t.Fatalf("empty view printed %q", sb.String())
+	}
+}

@@ -95,10 +95,12 @@ func fatal(msg string, args ...any) {
 // obsOptions groups the observability surface of run: profiling,
 // execution tracing, and per-publication trace sampling (DESIGN §10).
 type obsOptions struct {
-	PprofAddr     string // net/http/pprof listen address ("" = off)
-	TraceOut      string // runtime/trace capture file ("" = off)
-	TraceSample   int    // keep 1 in N publication traces; <=0 disables
-	TraceCapacity int    // retained-trace ring bound (0 = default)
+	PprofAddr     string        // net/http/pprof listen address ("" = off)
+	TraceOut      string        // runtime/trace capture file ("" = off)
+	TraceSample   int           // keep 1 in N publication traces; <=0 disables
+	TraceCapacity int           // retained-trace ring bound (0 = default)
+	OpsInterval   time.Duration // ops-gossip refresh period (0 = on link events only)
+	OpsStaleAfter time.Duration // cluster-view staleness threshold (0 = 30s)
 }
 
 func main() {
@@ -129,6 +131,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a runtime/trace capture to this file until shutdown (inspect with `go tool trace`)")
 	traceSample := flag.Int("trace-sample", 1, "keep the span tree of 1 in N publications (1 = all, 0 = off; dead-lettered deliveries are always kept)")
 	traceCapacity := flag.Int("trace-capacity", 0, "bound on retained publication traces (0 = default)")
+	opsInterval := flag.Duration("ops-interval", 10*time.Second, "broker health-summary gossip refresh period for GET /api/cluster (0: refresh only on link establishment)")
+	opsStaleAfter := flag.Duration("ops-stale-after", 0, "age past which a peer's gossiped health summary is flagged stale in GET /api/cluster (0 = 30s)")
 	flag.Parse()
 	lg, err := buildLogger(os.Stderr, *logFormat, *logLevel)
 	if err != nil {
@@ -180,6 +184,8 @@ func main() {
 		TraceOut:      *traceOut,
 		TraceSample:   *traceSample,
 		TraceCapacity: *traceCapacity,
+		OpsInterval:   *opsInterval,
+		OpsStaleAfter: *opsStaleAfter,
 	}
 	scfg := store.Config{Pages: *storePages}
 	if *storeDir != "" {
@@ -408,6 +414,8 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 			Registry:      reg,
 			TraceSample:   sample,
 			TraceCapacity: obs.TraceCapacity,
+			OpsInterval:   obs.OpsInterval,
+			OpsStaleAfter: obs.OpsStaleAfter,
 			Logf: func(format string, args ...any) {
 				logger.Info(fmt.Sprintf(format, args...), "subsystem", "overlay")
 			},
@@ -429,9 +437,13 @@ func run(opts stackOptions, snapshot, nodeName, overlayAddr string, peers []stri
 		}))
 	}
 
+	webOpts := []webapp.Option{webapp.WithMetrics("stopss", reg)}
+	if node != nil {
+		webOpts = append(webOpts, webapp.WithCluster(node.ClusterView))
+	}
 	srv := &http.Server{
 		Addr:              opts.Addr,
-		Handler:           webapp.NewServer(b, webapp.WithMetrics("stopss", reg)),
+		Handler:           webapp.NewServer(b, webOpts...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

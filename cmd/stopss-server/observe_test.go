@@ -91,7 +91,9 @@ func startObsBroker(t *testing.T, name string, peers ...string) *obsBroker {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = node.Close() })
-	ts := httptest.NewServer(webapp.NewServer(b, webapp.WithMetrics("stopss", reg)))
+	ts := httptest.NewServer(webapp.NewServer(b,
+		webapp.WithMetrics("stopss", reg),
+		webapp.WithCluster(node.ClusterView)))
 	t.Cleanup(ts.Close)
 	return &obsBroker{b: b, node: node, ts: ts}
 }
@@ -104,6 +106,59 @@ func waitUntil(t *testing.T, what string, cond func() bool) {
 			t.Fatalf("timed out waiting for %s", what)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestThreeBrokerClusterView is the federation-health integration
+// scenario behind the CI observability step: three brokers federate in
+// a line over real TCP, and GET /api/v1/cluster on EVERY broker —
+// including the line's endpoints, which never link to each other —
+// reports all three healthy, with no refresh ticker involved (the
+// attach-time gossip alone must converge).
+func TestThreeBrokerClusterView(t *testing.T) {
+	b1 := startObsBroker(t, "b1")
+	b2 := startObsBroker(t, "b2", b1.node.Addr())
+	b3 := startObsBroker(t, "b3", b2.node.Addr())
+
+	fetch := func(ob *obsBroker) (brokers, stale int, entries map[string]bool) {
+		t.Helper()
+		resp, err := http.Get(ob.ts.URL + "/api/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/api/v1/cluster: %d", resp.StatusCode)
+		}
+		var cr struct {
+			Brokers int `json:"brokers"`
+			Stale   int `json:"stale"`
+			Cluster []struct {
+				Broker string `json:"broker"`
+				Stale  bool   `json:"stale"`
+			} `json:"cluster"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		entries = make(map[string]bool)
+		for _, e := range cr.Cluster {
+			entries[e.Broker] = !e.Stale
+		}
+		return cr.Brokers, cr.Stale, entries
+	}
+
+	for i, ob := range []*obsBroker{b1, b2, b3} {
+		waitUntil(t, "full healthy cluster view on broker "+ob.node.Addr(), func() bool {
+			brokers, stale, _ := fetch(ob)
+			return brokers == 3 && stale == 0
+		})
+		_, _, entries := fetch(ob)
+		for _, name := range []string{"b1", "b2", "b3"} {
+			if !entries[name] {
+				t.Errorf("broker %d's cluster view lacks a fresh %s entry: %v", i+1, name, entries)
+			}
+		}
 	}
 }
 
@@ -183,6 +238,28 @@ func TestTwoBrokerObservability(t *testing.T) {
 			t.Errorf("span chain lacks a %s span: %v", want, kinds)
 		}
 	}
+
+	// The laggiest-subscription view is live on both brokers; b2 owns
+	// the only subscription and must report it delivered.
+	waitUntil(t, "delivery accounted on b2's /api/v1/subs", func() bool {
+		resp, err := http.Get(b2.ts.URL + "/api/v1/subs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb struct {
+			Total int `json:"total"`
+			Subs  []struct {
+				Client    string `json:"client"`
+				Delivered uint64 `json:"delivered"`
+			} `json:"subs"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.Total == 1 && len(sb.Subs) == 1 &&
+			sb.Subs[0].Client == "acme" && sb.Subs[0].Delivered >= 1
+	})
 
 	// Both brokers expose populated stage histograms.
 	for i, ob := range []*obsBroker{b1, b2} {

@@ -93,6 +93,11 @@ type Broker struct {
 	remoteStats func() RemoteStats // overlay stats source; nil when standalone
 	kbOrigin    *knowledge.Origin  // stamps unstamped local deltas
 
+	// subStats holds per-subscription delivery accounting blocks
+	// (substats.go): SubID → *subCounters, updated lock-free on the
+	// publish and delivery-hook paths.
+	subStats sync.Map
+
 	published             uint64
 	notified              uint64
 	remoteDelivered       uint64
@@ -147,9 +152,15 @@ func (b *Broker) SetTracer(t *trace.Tracer) {
 // publication's span chain for this subscriber and drives the durable
 // ack/park state machine. Returning true claims a failed durable
 // delivery for journal replay (skipping the dead-letter list).
-func (b *Broker) deliveryOutcome(n notify.Notification, _ notify.Route, err error, _ int) bool {
+func (b *Broker) deliveryOutcome(n notify.Notification, _ notify.Route, err error, attempts int) bool {
 	tr := b.tracer.Load()
+	sc := b.subCountersFor(n.SubID)
+	if attempts > 1 {
+		sc.retried.Add(uint64(attempts - 1))
+	}
 	if err == nil {
+		sc.delivered.Add(1)
+		sc.lastDelivery.Store(time.Now().UnixNano())
 		if n.JournalSeq != 0 {
 			b.ackDurable(n.SubID, n.JournalSeq)
 		}
@@ -159,6 +170,9 @@ func (b *Broker) deliveryOutcome(n notify.Notification, _ notify.Route, err erro
 	parked := false
 	if n.JournalSeq != 0 {
 		parked = b.parkDurable(n.SubID, n.JournalSeq)
+	}
+	if !parked {
+		sc.deadLettered.Add(1)
 	}
 	kind := trace.KindDeadLetter
 	if parked {
@@ -240,6 +254,7 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 		if !had {
 			return fmt.Errorf("broker: %w %d", ErrUnknownSubscription, id)
 		}
+		b.dropSubCounters(id)
 		if f != nil {
 			// Detach kept the overlay interest alive; a real unsubscribe
 			// finally retracts it.
@@ -255,6 +270,7 @@ func (b *Broker) Unsubscribe(client string, id message.SubID) error {
 	f := b.forwarder
 	b.mu.Unlock()
 	b.dropDurable(id)
+	b.dropSubCounters(id)
 	sub, had := b.engine.Subscription(id)
 	b.engine.Unsubscribe(id)
 	if f != nil && had {
@@ -384,6 +400,7 @@ func (b *Broker) publish(ev message.Event, pubID string, remote bool) (PublishRe
 		if !ok {
 			continue // raced with unsubscribe
 		}
+		b.subCountersFor(id).matched.Add(1)
 		n := notify.Notification{
 			SubID:      id,
 			Subscriber: sub.Subscriber,

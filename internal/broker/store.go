@@ -3,6 +3,7 @@ package broker
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"stopss/internal/message"
 	"stopss/internal/store"
@@ -160,6 +161,7 @@ func (b *Broker) DetachDurable(client string, id message.SubID) error {
 		j.DeleteCursor(cursorKey(id))
 	}
 	b.engine.Unsubscribe(id)
+	b.dropSubCounters(id)
 	return nil
 }
 
@@ -244,6 +246,35 @@ func (b *Broker) dropDetached(client string, id message.SubID) (message.Subscrip
 		j.DeleteCursor(cursorKey(id))
 	}
 	return rec.Sub, true, nil
+}
+
+// DetachedSubscriptions returns every subscription currently paged out
+// to the store, in its original form, ascending by ID. The overlay's
+// link re-sync uses it to re-advertise detached interests after a
+// broker restart: a detached subscriber's interest must keep routing
+// remote publications into this broker's journal even though no
+// resident subscription carries it (the DESIGN §11 crash-restart
+// caveat). Corrupt records are skipped — re-advertisement is
+// best-effort diagnostics-free routing state, and recovery already
+// counted any torn pages.
+func (b *Broker) DetachedSubscriptions() []message.Subscription {
+	b.mu.Lock()
+	st := b.store
+	b.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	var out []message.Subscription
+	_ = st.Scan(func(key uint64, val []byte) error {
+		var rec storedSub
+		if err := json.Unmarshal(val, &rec); err != nil {
+			return nil
+		}
+		out = append(out, rec.Sub)
+		return nil
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // CheckpointStore flushes the subscription store to stable storage

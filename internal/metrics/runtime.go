@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	rtm "runtime/metrics"
+	"time"
+)
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime's health
+// signals (DESIGN §10): the process-level counterpart to the
+// application counters a Registry carries. Everything comes from the
+// stdlib runtime/metrics interface, so sampling costs microseconds and
+// pulls in no dependency.
+type RuntimeStats struct {
+	Goroutines      int64         // live goroutines
+	HeapBytes       uint64        // bytes in live heap objects
+	GCPauseP99      time.Duration // 99th percentile stop-the-world pause
+	SchedLatencyP99 time.Duration // 99th percentile run-queue wait
+}
+
+// runtimeSamples is the fixed sample set ReadRuntime requests. The
+// names are part of the Go runtime's compatibility surface; an unknown
+// name yields KindBad, which ReadRuntime treats as zero rather than
+// failing the scrape.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// ReadRuntime samples the runtime's health metrics.
+func ReadRuntime() RuntimeStats {
+	samples := make([]rtm.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	rtm.Read(samples)
+	var out RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == rtm.KindUint64 {
+				out.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == rtm.KindUint64 {
+				out.HeapBytes = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() == rtm.KindFloat64Histogram {
+				out.GCPauseP99 = histP99(s.Value.Float64Histogram())
+			}
+		case "/sched/latencies:seconds":
+			if s.Value.Kind() == rtm.KindFloat64Histogram {
+				out.SchedLatencyP99 = histP99(s.Value.Float64Histogram())
+			}
+		}
+	}
+	return out
+}
+
+// histP99 resolves the 99th percentile of a runtime float64 histogram
+// (values in seconds) to its bucket upper bound — the same resolution
+// rule Histogram.Quantile and histogram_quantile use. The runtime's
+// outermost buckets can be ±Inf; those resolve to the nearest finite
+// boundary so the result is always representable as a Duration.
+func histP99(h *rtm.Float64Histogram) time.Duration {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(float64(total)*0.99 + 0.5)
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i] .. Buckets[i+1].
+			ub := h.Buckets[i+1]
+			if ub > 1e18 || ub != ub { // +Inf or NaN guard
+				ub = h.Buckets[i]
+			}
+			if ub < 0 {
+				ub = 0
+			}
+			return time.Duration(ub * float64(time.Second))
+		}
+	}
+	return 0
+}
+
+// SetRuntimeGauges writes a runtime snapshot into the registry as
+// gauges (durations in nanoseconds, so the integer gauges keep
+// sub-millisecond resolution): runtime.goroutines, runtime.heap_bytes,
+// runtime.gc_pause_p99_ns, runtime.sched_latency_p99_ns. Callers
+// typically invoke it per scrape so /metrics always reports the
+// current process health.
+func (r *Registry) SetRuntimeGauges(s RuntimeStats) {
+	r.Gauge("runtime.goroutines").Set(s.Goroutines)
+	r.Gauge("runtime.heap_bytes").Set(int64(s.HeapBytes))
+	r.Gauge("runtime.gc_pause_p99_ns").Set(int64(s.GCPauseP99))
+	r.Gauge("runtime.sched_latency_p99_ns").Set(int64(s.SchedLatencyP99))
+}

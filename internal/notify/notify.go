@@ -144,6 +144,8 @@ type Stats struct {
 	DeadLetters        int    // dead letters currently held
 	DeadLettersDropped uint64 // dead letters evicted by the size cap
 	Parked             uint64 // failed deliveries claimed by the hook (journal-parked)
+	Delivered          uint64 // successful deliveries, all transports
+	Retried            uint64 // extra attempts beyond the first (success or not)
 }
 
 // Engine is the notification dispatcher of Figure 2.
@@ -153,6 +155,8 @@ type Engine struct {
 	queue      chan job
 	wg         sync.WaitGroup
 	inflight   atomic.Int64
+	delivered  atomic.Uint64
+	retried    atomic.Uint64
 
 	mu          sync.Mutex
 	routes      map[string]Route // subscriber → route
@@ -278,8 +282,10 @@ func (e *Engine) deliver(j job) {
 		if err == nil {
 			lat.Observe(time.Since(t0))
 			e.reg.Counter("delivered." + j.r.Transport).Inc()
+			e.delivered.Add(1)
 			if attempt > 0 {
 				e.reg.Counter("recovered").Add(uint64(attempt))
+				e.retried.Add(uint64(attempt))
 			}
 			if hook != nil {
 				hook(j.n, j.r, nil, attempts)
@@ -291,6 +297,9 @@ func (e *Engine) deliver(j job) {
 			time.Sleep(backoff)
 			backoff *= 2
 		}
+	}
+	if attempts > 1 {
+		e.retried.Add(uint64(attempts - 1))
 	}
 	if hook != nil && hook(j.n, j.r, err, attempts) {
 		// Claimed: the durable journal retains the publication, so the
@@ -331,6 +340,8 @@ func (e *Engine) Stats() Stats {
 		DeadLetters:        len(e.dead),
 		DeadLettersDropped: e.deadDropped,
 		Parked:             e.parked,
+		Delivered:          e.delivered.Load(),
+		Retried:            e.retried.Load(),
 	}
 }
 

@@ -176,7 +176,9 @@ func newLink(conn Conn, localName string, maxCodec int) (*link, error) {
 		l.codec = codecJSON // a negative advertisement is meaningless
 	}
 	if l.codec >= codecBinary {
-		l.codec = codecBinary // cap at the highest version we implement
+		if l.codec > codecOps {
+			l.codec = codecOps // cap at the highest version we implement
+		}
 		l.enc.Dict = message.NewIntern()
 		l.rdict = message.NewIntern()
 	}

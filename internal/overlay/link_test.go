@@ -195,8 +195,10 @@ func TestNewLinkCodecNegotiation(t *testing.T) {
 		{codecBinary, codecJSON, codecJSON},
 		{codecJSON, codecBinary, codecJSON},
 		{codecJSON, codecJSON, codecJSON},
-		{99, codecBinary, codecBinary}, // future peer: capped at ours
-		{codecBinary, -3, codecJSON},   // nonsense advertisement
+		{codecOps, codecOps, codecOps},
+		{codecOps, codecBinary, codecBinary}, // v2 against a v1 peer: v1 framing
+		{99, codecOps, codecOps},             // future peer: capped at ours
+		{codecBinary, -3, codecJSON},         // nonsense advertisement
 	}
 	// TCP loopback rather than net.Pipe: both ends of the handshake
 	// write their hello before reading, which deadlocks on an unbuffered

@@ -51,6 +51,14 @@ type Config struct {
 	// TraceCapacity bounds the tracer's in-memory ring of recent traces
 	// (0 = trace package default, 1024).
 	TraceCapacity int
+	// OpsInterval, when positive, refreshes the node's health summary
+	// into the ops gossip at this period (ops.go). Zero disables the
+	// ticker — summaries still flow on every link establishment, which
+	// keeps the clock-free simulation harness quiescence-detectable.
+	OpsInterval time.Duration
+	// OpsStaleAfter is the age past which a gossiped peer summary is
+	// flagged stale in ClusterView (0 = 30s default).
+	OpsStaleAfter time.Duration
 	// Logf, when set, receives one line per link event.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +86,14 @@ type Node struct {
 	seen  map[string]bool
 	seenQ []string
 
+	// Cluster introspection gossip (ops.go): the per-incarnation epoch
+	// and sequence identifying this node's own summaries, and the
+	// eventually-consistent view of every broker's last summary.
+	opsEpoch string
+	opsSeq   uint64
+	opsView  map[string]*opsEntry
+	opsStop  chan struct{}
+
 	// trc is the tracer NewNode installs on the broker: it mints the
 	// node-named publication IDs (`name#epoch/seq`; the per-incarnation
 	// epoch keeps a restarted broker's fresh IDs out of peers' stale
@@ -89,6 +105,7 @@ type Node struct {
 	pubsForwarded, pubsReceived, pubsDeduped              *metrics.Counter
 	advertsForwarded                                      *metrics.Counter
 	kbForwarded, kbReceived, kbDeduped                    *metrics.Counter
+	opsForwarded, opsReceived                             *metrics.Counter
 	framesOversized                                       *metrics.Counter
 	kbDeltas                                              *metrics.Gauge
 }
@@ -117,6 +134,9 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 		reg:       reg,
 		transport: tr,
 		seen:      make(map[string]bool),
+		opsEpoch:  newOpsEpoch(),
+		opsView:   make(map[string]*opsEntry),
+		opsStop:   make(chan struct{}),
 
 		subsForwarded:    reg.Counter("overlay.subs_forwarded"),
 		subsPruned:       reg.Counter("overlay.subs_pruned"),
@@ -129,6 +149,8 @@ func NewNode(cfg Config, b *broker.Broker) (*Node, error) {
 		kbForwarded:      reg.Counter("overlay.kb_forwarded"),
 		kbReceived:       reg.Counter("overlay.kb_received"),
 		kbDeduped:        reg.Counter("overlay.kb_deduped"),
+		opsForwarded:     reg.Counter("overlay.ops_forwarded"),
+		opsReceived:      reg.Counter("overlay.ops_received"),
 		framesOversized:  reg.Counter("overlay.frames_oversized"),
 		kbDeltas:         reg.Gauge("overlay.kb_deltas"),
 	}
@@ -185,6 +207,10 @@ func (n *Node) Start() error {
 			return err
 		}
 	}
+	if n.cfg.OpsInterval > 0 {
+		n.wg.Add(1)
+		go n.opsLoop(n.cfg.OpsInterval)
+	}
 	return nil
 }
 
@@ -227,7 +253,7 @@ func (n *Node) acceptLoop(ln Listener) {
 // attach performs the hello exchange, registers the link, synchronizes
 // the node's current routing state onto it, and starts its read loop.
 func (n *Node) attach(conn Conn) error {
-	maxCodec := codecBinary
+	maxCodec := codecOps
 	if n.cfg.DisableBinary {
 		maxCodec = codecJSON
 	}
@@ -264,6 +290,10 @@ func (n *Node) attach(conn Conn) error {
 
 	n.wg.Add(1)
 	go n.readLoop(l)
+	// Flood a fresh health summary now that the topology changed — the
+	// event-driven emission that keeps the gossip current (and the sim's
+	// clock-free Settle converging) without any ticker.
+	n.PublishOps()
 	return nil
 }
 
@@ -281,6 +311,14 @@ func (n *Node) syncLink(l *link) {
 		}
 	}
 	for _, sub := range n.b.Subscriptions() {
+		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
+		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
+	}
+	// Detached durable subscriptions are paged out of the engine but
+	// their delivery obligation survives (DESIGN §11): after a broker
+	// restart the link re-sync must re-advertise them too, or remote
+	// publications stop flowing here until the subscriber resumes.
+	for _, sub := range n.b.DetachedSubscriptions() {
 		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
 		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
 	}
@@ -307,6 +345,7 @@ func (n *Node) syncLink(l *link) {
 			n.sendAdv(l, aid, ae.adv, hops)
 		}
 	}
+	n.syncOps(l)
 }
 
 // readLoop pumps frames off one link until it fails, then detaches it.
@@ -335,6 +374,9 @@ func (n *Node) detach(l *link) {
 			break
 		}
 	}
+	// A direct link failing is the one deterministic down signal the
+	// gossip has; the flag clears when a fresh summary arrives.
+	n.markPeerDown(l.peer)
 	closed := n.closed
 	n.mu.Unlock()
 	if !closed {
@@ -352,6 +394,8 @@ func (n *Node) Close() error {
 	n.closed = true
 	links := append([]*link(nil), n.links...)
 	n.mu.Unlock()
+
+	close(n.opsStop)
 
 	n.b.SetForwarder(nil)
 	n.b.SetRemoteStatsSource(nil)
@@ -631,6 +675,12 @@ func (n *Node) handleFrame(l *link, f Frame) {
 		n.routePub(*f.Event, f.PubID, appendHop(f.Hops, n.cfg.Name), l)
 		n.mu.Unlock()
 
+	case frameOps:
+		if f.Ops == nil {
+			return
+		}
+		n.handleOps(l, f)
+
 	case frameTrace:
 		if f.PubID == "" || len(f.Trace) == 0 {
 			return
@@ -734,6 +784,10 @@ func (n *Node) withdrawSub(rid routeID, hops []string, from *link) {
 // go out.
 func (n *Node) requench(l *link) {
 	for _, sub := range n.b.Subscriptions() {
+		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
+		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
+	}
+	for _, sub := range n.b.DetachedSubscriptions() {
 		rid := routeID{Origin: n.cfg.Name, ID: sub.ID}
 		n.offerSub(l, rid, routeEntry{raw: sub, canon: n.canonicalize(sub), hops: []string{n.cfg.Name}})
 	}

@@ -61,6 +61,7 @@ const (
 	framePub   = "pub"   // publication forwarding
 	frameKB    = "kb"    // knowledge-delta replication
 	frameTrace = "trace" // trace report travelling BACK toward a pub's origin
+	frameOps   = "ops"   // broker health summary gossip (cluster introspection)
 )
 
 // Frame is one overlay protocol message. Payload fields are pointers or
@@ -107,6 +108,13 @@ type Frame struct {
 	// origin#epoch/seq identity is the dedup key, reusing the
 	// publication suppression machinery with a "kb|" prefix.
 	KB *knowledge.Delta `json:"kb,omitempty"`
+
+	// Ops carries one broker health summary (ops frames, DESIGN §10):
+	// low-rate cluster-introspection gossip flooded with the same
+	// hop-list/dedup machinery as publications, keyed "ops|" +
+	// origin#epoch/seq. Requires wire codec ≥ 2 on binary links; on
+	// JSON links old peers simply ignore the unknown frame type.
+	Ops *OpsSummary `json:"ops,omitempty"`
 }
 
 // maxFrameSize bounds one frame on the wire; a subscription or expanded

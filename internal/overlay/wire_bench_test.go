@@ -57,4 +57,67 @@ func BenchmarkWireCodec(b *testing.B) {
 			}
 		}
 	})
+
+	// Ops gossip frames are low-rate (one per broker per refresh
+	// interval), so these sub-benchmarks guard against accidental bloat
+	// of the summary payload rather than a hot path.
+	ops := benchOpsFrame()
+
+	b.Run("ops-json", func(b *testing.B) {
+		var buf bytes.Buffer
+		var rbuf []byte
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := writeFrame(&buf, ops); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := readFrame(bufio.NewReader(&buf), &rbuf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("ops-binary", func(b *testing.B) {
+		var w message.BWriter
+		w.Dict = message.NewIntern()
+		rdict := message.NewIntern()
+		if err := appendFrameBinary(&w, ops); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := decodeFrameBinary(w.Buf, rdict); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			if err := appendFrameBinary(&w, ops); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := decodeFrameBinary(w.Buf, rdict); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchOpsFrame builds a representative ops frame: a busy broker with
+// two links, a deep journal and live caches.
+func benchOpsFrame() Frame {
+	return Frame{Type: frameOps, Origin: "broker-a", Hops: []string{"broker-a", "broker-b"},
+		Ops: &OpsSummary{
+			Origin: "broker-a", Epoch: "deadbeef", Seq: 12345,
+			Links: []OpsLink{
+				{Peer: "broker-b", Codec: 2, Queue: 3, Inflight: 5, Sent: 99999, Recv: 88888},
+				{Peer: "broker-c", Codec: 1, Sent: 777, Recv: 555},
+			},
+			Subscriptions: 2048, Durable: 512, Detached: 64,
+			Published: 1 << 20, Delivered: 1 << 19, Parked: 33, DeadLetters: 2,
+			JournalHead: 1 << 20, JournalFloor: 4096, RetentionLost: 16,
+			StoreResident: 448, StorePages: 1024,
+			KBVersion: "a1b2c3d4", KBDeltas: 42,
+			ExpansionHitRate: 0.93, Goroutines: 87, HeapBytes: 64 << 20,
+		}}
 }

@@ -30,6 +30,12 @@ import (
 const (
 	codecJSON   = 0 // legacy: 4-byte big-endian length + JSON body
 	codecBinary = 1 // uvarint length + binary body, interned strings
+	// codecOps adds the ops frame (broker health gossip) to the binary
+	// framing. Negotiation is unchanged — min(local, peer) — so a v1
+	// peer never receives an ops frame in binary form (its decoder
+	// rejects unknown type codes as corruption); senders gate on the
+	// negotiated link version (Node.sendOps).
+	codecOps = 2
 )
 
 // Binary frame type codes (never 0, so a zeroed byte is malformed).
@@ -42,6 +48,7 @@ var frameTypeCode = map[string]byte{
 	framePub:   6,
 	frameKB:    7,
 	frameTrace: 8,
+	frameOps:   9,
 }
 
 var frameTypeName = map[byte]string{
@@ -53,6 +60,7 @@ var frameTypeName = map[byte]string{
 	6: framePub,
 	7: frameKB,
 	8: frameTrace,
+	9: frameOps,
 }
 
 // Presence-mask bits, one per Frame payload field, in encode order. A
@@ -72,8 +80,9 @@ const (
 	bitTrace
 	bitKB
 	bitCodec
+	bitOps
 
-	maskKnown = bitCodec<<1 - 1
+	maskKnown = bitOps<<1 - 1
 )
 
 // appendFrameBinary encodes f onto w. On error the caller must roll
@@ -122,6 +131,9 @@ func appendFrameBinary(w *message.BWriter, f Frame) error {
 	}
 	if f.Codec != 0 {
 		mask |= bitCodec
+	}
+	if f.Ops != nil {
+		mask |= bitOps
 	}
 	w.Uvarint(mask)
 
@@ -175,6 +187,17 @@ func appendFrameBinary(w *message.BWriter, f Frame) error {
 		// Signed: a (hostile or buggy) JSON hello can carry a negative
 		// codec, and re-encoding must not corrupt it.
 		w.Varint(int64(f.Codec))
+	}
+	if mask&bitOps != 0 {
+		// Like knowledge deltas, ops summaries travel as an embedded
+		// JSON blob: rare low-rate control-plane traffic with an
+		// evolving shape, not worth a hand-rolled codec.
+		blob, err := json.Marshal(f.Ops)
+		if err != nil {
+			return fmt.Errorf("%w: ops summary: %v", errFrameEncode, err)
+		}
+		w.Uvarint(uint64(len(blob)))
+		w.Buf = append(w.Buf, blob...)
 	}
 	return nil
 }
@@ -299,6 +322,17 @@ func decodeFrameBinary(body []byte, dict *message.Intern) (Frame, error) {
 			return Frame{}, err
 		}
 		f.Codec = int(c)
+	}
+	if mask&bitOps != 0 {
+		blob, err := r.RawString()
+		if err != nil {
+			return Frame{}, err
+		}
+		var s OpsSummary
+		if err := json.Unmarshal([]byte(blob), &s); err != nil {
+			return Frame{}, fmt.Errorf("overlay: decoding ops summary: %w", err)
+		}
+		f.Ops = &s
 	}
 	if r.Len() != 0 {
 		return Frame{}, fmt.Errorf("overlay: %d trailing bytes after %s frame", r.Len(), f.Type)

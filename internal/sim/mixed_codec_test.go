@@ -22,8 +22,8 @@ func TestMixedCodecCluster(t *testing.T) {
 	// b01 must fall back to JSON.
 	c.Wire([][2]int{{0, 1}, {1, 2}, {0, 2}})
 
-	if got := c.Brokers[0].Node.Registry().Gauge("overlay.link.b02.codec").Value(); got != 1 {
-		t.Fatalf("b00→b02 negotiated codec %d, want 1 (binary between upgraded peers)", got)
+	if got := c.Brokers[0].Node.Registry().Gauge("overlay.link.b02.codec").Value(); got != 2 {
+		t.Fatalf("b00→b02 negotiated codec %d, want 2 (current binary codec between upgraded peers)", got)
 	}
 	// Both upgraded brokers negotiated DOWN to JSON against b01.
 	for _, probe := range []struct{ node, peer string }{

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+
+	"stopss/internal/overlay"
+	"stopss/internal/store"
+)
+
+// view fetches one broker's cluster view indexed by broker name.
+func view(c *Cluster, i int) map[string]overlay.ClusterEntry {
+	out := make(map[string]overlay.ClusterEntry)
+	for _, e := range c.Brokers[i].Node.ClusterView() {
+		out[e.Broker] = e
+	}
+	return out
+}
+
+// TestOpsViewConvergence wires a 3-broker line and checks the cluster
+// introspection gossip converges without any ticker: after Settle,
+// every broker — including the end brokers, which never link to each
+// other — holds a fresh summary for every other broker, and an
+// explicit PublishOps refresh propagates updated counters end to end.
+func TestOpsViewConvergence(t *testing.T) {
+	c := NewCluster(t, 3)
+	c.Wire([][2]int{{0, 1}, {1, 2}})
+
+	for i := range c.Brokers {
+		v := view(c, i)
+		if len(v) != 3 {
+			t.Fatalf("broker %d cluster view has %d entries, want 3: %v", i, len(v), v)
+		}
+		for name, e := range v {
+			if e.Stale || e.Down {
+				t.Errorf("broker %d sees %s stale=%v down=%v right after wiring", i, name, e.Stale, e.Down)
+			}
+			if !e.Self && e.Summary.Origin != name {
+				t.Errorf("broker %d entry %s carries summary from %q", i, name, e.Summary.Origin)
+			}
+		}
+		if !v[c.Brokers[i].Name].Self {
+			t.Errorf("broker %d view lacks a self entry", i)
+		}
+	}
+
+	// The attach-time summaries predate this subscription; a manual
+	// refresh must carry the new counters across both hops.
+	c.Subscribe(2, ge("x", 0))
+	c.Settle()
+	c.Publish(2, "x", 7)
+	c.Settle()
+	c.Brokers[2].Node.PublishOps()
+	c.Settle()
+
+	e := view(c, 0)["b02"]
+	if e.Summary.Subscriptions != 1 {
+		t.Errorf("b00's view of b02 reports %d subscriptions after refresh, want 1", e.Summary.Subscriptions)
+	}
+	if e.Summary.JournalHead == 0 {
+		t.Errorf("b00's view of b02 reports journal head 0 after a publication")
+	}
+	if len(e.Summary.Links) != 1 || e.Summary.Links[0].Peer != "b01" {
+		t.Errorf("b00's view of b02 reports links %+v, want exactly b01", e.Summary.Links)
+	}
+	c.VerifyExactlyOnce()
+}
+
+// TestOpsViewCrashStale crashes the middle broker of a line: both
+// survivors are its direct neighbors, so their link failure must flag
+// its entry down (and therefore stale) deterministically — no clock
+// involved — while the survivors keep seeing each other fresh through
+// their own still-valid summaries. Rejoin must clear the flag.
+func TestOpsViewCrashStale(t *testing.T) {
+	c := NewCluster(t, 3)
+	c.Wire([][2]int{{0, 1}, {1, 2}})
+
+	c.Crash(1)
+
+	for _, i := range []int{0, 2} {
+		v := view(c, i)
+		e, ok := v["b01"]
+		if !ok {
+			t.Fatalf("broker %d lost b01's entry on crash; the view must keep it flagged, not drop it", i)
+		}
+		if !e.Down || !e.Stale {
+			t.Errorf("broker %d sees crashed b01 down=%v stale=%v, want both true", i, e.Down, e.Stale)
+		}
+	}
+	// The far entries (b00↔b02) were gossiped before the crash and are
+	// not down — still trusted, just aging.
+	if e := view(c, 0)["b02"]; e.Down {
+		t.Errorf("b00 marked b02 down though only b01 crashed: %+v", e)
+	}
+
+	c.Rejoin(1)
+	for _, i := range []int{0, 2} {
+		if e := view(c, i)["b01"]; e.Down || e.Stale {
+			t.Errorf("broker %d still sees b01 down=%v stale=%v after rejoin", i, e.Down, e.Stale)
+		}
+	}
+	c.VerifyExactlyOnce()
+}
+
+// TestDetachedInterestSurvivesCrashRestart is the regression test for
+// the DESIGN §11 crash-restart caveat: a durable subscription paged
+// out to the store before the broker crashed must still pull remote
+// publications to its broker after the restart. The restarted broker's
+// link re-sync now offers detached store interests alongside resident
+// ones; before that fix, the peer saw no interest, never forwarded,
+// and the post-restart publication was lost to the subscriber forever.
+func TestDetachedInterestSurvivesCrashRestart(t *testing.T) {
+	c := NewCluster(t, 2, WithStore(store.Config{PageSize: 512, Pages: 64}))
+	c.Wire([][2]int{{0, 1}})
+
+	s := c.SubscribeDurable(0, ge("x", 0))
+	c.Settle()
+
+	c.Detach(s)
+	c.CheckpointStore(0)
+	c.SnapshotNow(0)
+	c.CrashRestart(0)
+
+	// Published AFTER the restart: only the re-advertised detached
+	// interest can route it to b00, where the journal owes it.
+	c.Publish(1, "x", 5)
+	c.Settle()
+
+	c.Resume(s)
+	c.Settle()
+	if dup := c.VerifyAtLeastOnce(); dup != 0 {
+		t.Logf("at-least-once delivered with %d duplicates (allowed)", dup)
+	}
+}

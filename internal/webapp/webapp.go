@@ -39,6 +39,10 @@
 //	GET  /api/v1/trace/<id>    → assembled span tree of one publication
 //	                             (DESIGN §10; the '#' in the pub ID may be
 //	                             sent raw or URL-encoded as %23)
+//	GET  /api/v1/subs          → per-subscription delivery accounting,
+//	                             laggiest first (?limit=K, ?min_lag=N)
+//	GET  /api/v1/cluster       → gossiped federation health view with
+//	                             staleness stamps (overlay brokers only)
 //	GET  /metrics              → Prometheus text exposition of every registry
 //	GET  /                     → demo page
 package webapp
@@ -58,6 +62,7 @@ import (
 	"stopss/internal/message"
 	"stopss/internal/metrics"
 	"stopss/internal/notify"
+	"stopss/internal/overlay"
 	"stopss/internal/sublang"
 	"stopss/internal/trace"
 )
@@ -74,6 +79,9 @@ type Server struct {
 	mux     *http.ServeMux
 	sources []metricSource
 	labels  map[string]string
+	// cluster supplies the federation health view for GET /api/cluster
+	// (WithCluster); nil on standalone brokers.
+	cluster func() []overlay.ClusterEntry
 }
 
 // Option customizes a Server.
@@ -133,6 +141,8 @@ func NewServer(b *broker.Broker, opts ...Option) *Server {
 		{"POST", "/resume", s.handleResume},
 		{"POST", "/detach", s.handleDetach},
 		{"GET", "/trace/{id...}", s.handleTrace},
+		{"GET", "/subs", s.handleSubs},
+		{"GET", "/cluster", s.handleCluster},
 	}
 	for _, rt := range routes {
 		s.mux.HandleFunc(rt.verb+" /api/v1"+rt.path, rt.h)
@@ -731,7 +741,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	opt.Counter("expansion_cache_invalidated").Add(st.ExpansionInvalidated)
 	opt.Gauge("expansion_cache_size").Set(int64(st.ExpansionSize))
 	opt.Gauge("interned_terms").Set(int64(st.InternedTerms))
-	_ = opt.WritePrometheus(w, "stopss_optimizer", labels)
+	if err := opt.WritePrometheus(w, "stopss_optimizer", labels); err != nil {
+		return
+	}
+	// Process health and per-subscription lag (health.go).
+	s.writeHealthMetrics(w, labels)
 }
 
 // handleSnapshot streams the broker's durable state (clients, routes,
